@@ -1,0 +1,233 @@
+//! Attribute values — the paper's *atom* sort.
+//!
+//! Section 2 of the paper fixes the atom sort to the natural numbers and
+//! equips it with the functions and predicates of Presburger arithmetic
+//! plus `max`, `min`, `sum`, `size`. The worked examples nonetheless write
+//! symbolic values (`e-name` values, marital status `S`, department names),
+//! which the paper implicitly Gödel-codes into naturals. We keep the
+//! symbolic values readable: [`Atom`] is either a natural or an interned
+//! string, with arithmetic defined only on the numeric half. This is an
+//! isomorphic encoding, not an extension of the theory — interned strings
+//! are in bijection with their interner indices.
+
+use crate::error::{TxError, TxResult};
+use crate::symbol::Symbol;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An attribute value: a natural number or a symbolic constant.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Atom {
+    /// A natural number (the paper's atom sort proper).
+    Nat(u64),
+    /// A symbolic constant, readable stand-in for a Gödel-coded natural.
+    Str(Symbol),
+}
+
+impl Atom {
+    /// Build a string atom.
+    pub fn str(s: &str) -> Atom {
+        Atom::Str(Symbol::new(s))
+    }
+
+    /// Build a numeric atom.
+    pub fn nat(n: u64) -> Atom {
+        Atom::Nat(n)
+    }
+
+    /// The numeric value, or a sort error for symbolic atoms.
+    pub fn as_nat(self) -> TxResult<u64> {
+        match self {
+            Atom::Nat(n) => Ok(n),
+            Atom::Str(s) => Err(TxError::sort(format!(
+                "expected a natural number, found symbolic atom {s:?}",
+                s = s.as_str()
+            ))),
+        }
+    }
+
+    /// The symbol, or a sort error for numeric atoms.
+    pub fn as_symbol(self) -> TxResult<Symbol> {
+        match self {
+            Atom::Str(s) => Ok(s),
+            Atom::Nat(n) => Err(TxError::sort(format!(
+                "expected a symbolic atom, found natural {n}"
+            ))),
+        }
+    }
+
+    /// True iff this is a numeric atom.
+    pub fn is_nat(self) -> bool {
+        matches!(self, Atom::Nat(_))
+    }
+
+    /// Natural-number addition; errors on symbolic operands.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, rhs: Atom) -> TxResult<Atom> {
+        Ok(Atom::Nat(
+            self.as_nat()?
+                .checked_add(rhs.as_nat()?)
+                .ok_or_else(|| TxError::eval("natural-number addition overflow"))?,
+        ))
+    }
+
+    /// Natural-number subtraction (monus: truncating at zero, as Presburger
+    /// arithmetic over the naturals has no negative numbers).
+    pub fn monus(self, rhs: Atom) -> TxResult<Atom> {
+        Ok(Atom::Nat(self.as_nat()?.saturating_sub(rhs.as_nat()?)))
+    }
+
+    /// Natural-number multiplication; errors on symbolic operands.
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, rhs: Atom) -> TxResult<Atom> {
+        Ok(Atom::Nat(
+            self.as_nat()?
+                .checked_mul(rhs.as_nat()?)
+                .ok_or_else(|| TxError::eval("natural-number multiplication overflow"))?,
+        ))
+    }
+
+    /// Binary maximum over naturals.
+    pub fn max(self, rhs: Atom) -> TxResult<Atom> {
+        Ok(Atom::Nat(self.as_nat()?.max(rhs.as_nat()?)))
+    }
+
+    /// Binary minimum over naturals.
+    pub fn min(self, rhs: Atom) -> TxResult<Atom> {
+        Ok(Atom::Nat(self.as_nat()?.min(rhs.as_nat()?)))
+    }
+
+    /// Strict order on naturals; errors on symbolic operands.
+    pub fn lt(self, rhs: Atom) -> TxResult<bool> {
+        Ok(self.as_nat()? < rhs.as_nat()?)
+    }
+
+    /// Non-strict order on naturals; errors on symbolic operands.
+    pub fn le(self, rhs: Atom) -> TxResult<bool> {
+        Ok(self.as_nat()? <= rhs.as_nat()?)
+    }
+
+    /// A total order usable for deterministic enumeration (all naturals
+    /// before all symbols; symbols by interner index). This is *not* the
+    /// arithmetic order of the theory — use [`Atom::lt`] for that.
+    pub fn enumeration_cmp(self, rhs: Atom) -> Ordering {
+        match (self, rhs) {
+            (Atom::Nat(a), Atom::Nat(b)) => a.cmp(&b),
+            (Atom::Nat(_), Atom::Str(_)) => Ordering::Less,
+            (Atom::Str(_), Atom::Nat(_)) => Ordering::Greater,
+            (Atom::Str(a), Atom::Str(b)) => a.index().cmp(&b.index()),
+        }
+    }
+}
+
+impl PartialOrd for Atom {
+    fn partial_cmp(&self, other: &Atom) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Atom {
+    fn cmp(&self, other: &Atom) -> Ordering {
+        self.enumeration_cmp(*other)
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Atom::Nat(n) => write!(f, "{n}"),
+            Atom::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl From<u64> for Atom {
+    fn from(n: u64) -> Atom {
+        Atom::Nat(n)
+    }
+}
+
+impl From<&str> for Atom {
+    fn from(s: &str) -> Atom {
+        Atom::str(s)
+    }
+}
+
+impl From<Symbol> for Atom {
+    fn from(s: Symbol) -> Atom {
+        Atom::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_on_naturals() {
+        assert_eq!(Atom::nat(40).add(Atom::nat(2)).unwrap(), Atom::nat(42));
+        assert_eq!(Atom::nat(7).mul(Atom::nat(6)).unwrap(), Atom::nat(42));
+        assert_eq!(Atom::nat(50).monus(Atom::nat(8)).unwrap(), Atom::nat(42));
+        assert_eq!(Atom::nat(3).monus(Atom::nat(8)).unwrap(), Atom::nat(0));
+        assert_eq!(Atom::nat(1).max(Atom::nat(9)).unwrap(), Atom::nat(9));
+        assert_eq!(Atom::nat(1).min(Atom::nat(9)).unwrap(), Atom::nat(1));
+    }
+
+    #[test]
+    fn arithmetic_rejects_symbols() {
+        assert!(Atom::str("S").add(Atom::nat(1)).is_err());
+        assert!(Atom::nat(1).lt(Atom::str("S")).is_err());
+        assert!(Atom::str("a").monus(Atom::str("b")).is_err());
+    }
+
+    #[test]
+    fn overflow_is_an_error_not_a_wrap() {
+        assert!(Atom::nat(u64::MAX).add(Atom::nat(1)).is_err());
+        assert!(Atom::nat(u64::MAX).mul(Atom::nat(2)).is_err());
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(Atom::nat(3).lt(Atom::nat(5)).unwrap());
+        assert!(!Atom::nat(5).lt(Atom::nat(5)).unwrap());
+        assert!(Atom::nat(5).le(Atom::nat(5)).unwrap());
+    }
+
+    #[test]
+    fn equality_mixes_sorts_without_error() {
+        // Equality is decidable across the whole atom sort.
+        assert_ne!(Atom::nat(0), Atom::str("0"));
+        assert_eq!(Atom::str("S"), Atom::str("S"));
+    }
+
+    #[test]
+    fn enumeration_order_is_total_and_deterministic() {
+        let mut v = [Atom::str("b"), Atom::nat(2), Atom::str("a"), Atom::nat(1)];
+        v.sort();
+        assert_eq!(v[0], Atom::nat(1));
+        assert_eq!(v[1], Atom::nat(2));
+        // Strings sort after naturals (by interner index between themselves).
+        assert!(matches!(v[2], Atom::Str(_)));
+        assert!(matches!(v[3], Atom::Str(_)));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Atom::nat(5).as_nat().unwrap(), 5);
+        assert_eq!(Atom::str("x").as_symbol().unwrap().as_str(), "x");
+        assert!(Atom::str("x").as_nat().is_err());
+        assert!(Atom::nat(5).as_symbol().is_err());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Atom::nat(7).to_string(), "7");
+        assert_eq!(Atom::str("S").to_string(), "'S'");
+    }
+}

@@ -1,0 +1,146 @@
+//! Error vocabulary for the whole system.
+//!
+//! A single error type keeps cross-crate signatures simple; the variants
+//! partition by *which discipline was violated*, mirroring the paper's own
+//! distinctions: sort errors (the logic is many-sorted), executability
+//! errors (only f-terms are programs), definedness errors (iteration over
+//! an infinite satisfying set, or an order-dependent result, is undefined —
+//! Section 2), and so on.
+
+use std::fmt;
+
+/// Convenient result alias used across all crates.
+pub type TxResult<T> = Result<T, TxError>;
+
+/// Any error produced by the transaction-logic system.
+#[derive(Clone, PartialEq, Eq)]
+pub enum TxError {
+    /// A many-sorted discipline violation (wrong sort, wrong arity).
+    Sort(String),
+    /// The expression is not an executable program: it is an s-expression
+    /// (or refers to states explicitly) rather than an f-term. Section 2's
+    /// non-executable salary example lands here.
+    NotExecutable(String),
+    /// A runtime evaluation failure (unknown relation, missing tuple,
+    /// arithmetic overflow, unbound variable…).
+    Eval(String),
+    /// `foreach x | p do s` whose satisfying set cannot be finitely
+    /// enumerated — the paper leaves its value undefined.
+    InfiniteDomain(String),
+    /// `foreach` whose result depends on the enumeration order — likewise
+    /// undefined in the paper.
+    OrderDependent(String),
+    /// The expression fails to denote — e.g. evaluating a fluent tuple
+    /// variable at a state where that tuple does not exist, or `s ; t`
+    /// when no `t`-arc leaves `s`. Model checking treats atoms with
+    /// non-denoting arguments as false (negative free logic); execution
+    /// surfaces this as an error.
+    Undefined(String),
+    /// Concrete-syntax parse error, with 1-based line/column.
+    Parse {
+        /// 1-based source line.
+        line: u32,
+        /// 1-based source column.
+        col: u32,
+        /// Human-readable description of what went wrong.
+        msg: String,
+    },
+    /// The prover exhausted its resource bound without a verdict.
+    ProofBound(String),
+    /// The synthesizer could not handle the specification (outside the
+    /// supported constructive fragment).
+    Synthesis(String),
+    /// A schema-level inconsistency (duplicate relation, unknown attribute…).
+    Schema(String),
+}
+
+impl TxError {
+    /// Build a [`TxError::Sort`].
+    pub fn sort(msg: impl Into<String>) -> TxError {
+        TxError::Sort(msg.into())
+    }
+
+    /// Build a [`TxError::Eval`].
+    pub fn eval(msg: impl Into<String>) -> TxError {
+        TxError::Eval(msg.into())
+    }
+
+    /// Build a [`TxError::NotExecutable`].
+    pub fn not_executable(msg: impl Into<String>) -> TxError {
+        TxError::NotExecutable(msg.into())
+    }
+
+    /// Build a [`TxError::Schema`].
+    pub fn schema(msg: impl Into<String>) -> TxError {
+        TxError::Schema(msg.into())
+    }
+
+    /// Build a [`TxError::Undefined`].
+    pub fn undefined(msg: impl Into<String>) -> TxError {
+        TxError::Undefined(msg.into())
+    }
+
+    /// True iff this is the "fails to denote" error.
+    pub fn is_undefined(&self) -> bool {
+        matches!(self, TxError::Undefined(_))
+    }
+
+    /// Build a [`TxError::Parse`].
+    pub fn parse(line: u32, col: u32, msg: impl Into<String>) -> TxError {
+        TxError::Parse {
+            line,
+            col,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for TxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxError::Sort(m) => write!(f, "sort error: {m}"),
+            TxError::NotExecutable(m) => write!(f, "not executable: {m}"),
+            TxError::Eval(m) => write!(f, "evaluation error: {m}"),
+            TxError::InfiniteDomain(m) => write!(f, "undefined (infinite iteration domain): {m}"),
+            TxError::OrderDependent(m) => write!(f, "undefined (order-dependent iteration): {m}"),
+            TxError::Undefined(m) => write!(f, "undefined: {m}"),
+            TxError::Parse { line, col, msg } => write!(f, "parse error at {line}:{col}: {msg}"),
+            TxError::ProofBound(m) => write!(f, "proof bound exhausted: {m}"),
+            TxError::Synthesis(m) => write!(f, "synthesis failure: {m}"),
+            TxError::Schema(m) => write!(f, "schema error: {m}"),
+        }
+    }
+}
+
+impl fmt::Debug for TxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::error::Error for TxError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        let e = TxError::sort("expected state");
+        assert_eq!(e.to_string(), "sort error: expected state");
+        let e = TxError::parse(3, 14, "unexpected ';'");
+        assert_eq!(e.to_string(), "parse error at 3:14: unexpected ';'");
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(TxError::eval("x"), TxError::eval("x"));
+        assert_ne!(TxError::eval("x"), TxError::sort("x"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&TxError::eval("boom"));
+    }
+}

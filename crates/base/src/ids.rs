@@ -1,0 +1,95 @@
+//! Identifier sorts.
+//!
+//! The paper's Section 2 introduces *identifier sorts* — the n-ary tuple
+//! identifier sort and the n-ary set (relation) identifier sort — together
+//! with the `id` function that maps a tuple or relation to its identifier.
+//! Identifiers are what the frame axioms quantify over: `modify`ing tuple
+//! `t₂` leaves attribute `i` of every tuple `t₁` with `id(t₁) ≠ id(t₂)`
+//! untouched. Identity must therefore survive attribute modification, which
+//! is why it is carried separately from the tuple's field values.
+//!
+//! [`StateId`] names nodes of the evolution graph. States are *values* in
+//! the logic; the graph assigns them identities so transitions (arcs) can
+//! reference endpoints cheaply.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $repr:ty, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub $repr);
+
+        impl $name {
+            /// The raw numeric identifier.
+            pub fn raw(self) -> $repr {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Display::fmt(self, f)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a tuple — the value of the paper's `id` function on
+    /// tuples. Allocated by the state in which the tuple is first inserted
+    /// and stable under `modify`.
+    TupleId,
+    u64,
+    "t#"
+);
+
+id_type!(
+    /// Identifier of a relation — the value of the paper's `id` function on
+    /// relations (n-ary sets). Allocated by the catalog or by `assign`.
+    RelId,
+    u32,
+    "r#"
+);
+
+id_type!(
+    /// Identifier of a database state within an evolution graph.
+    StateId,
+    u32,
+    "s#"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TupleId(7).to_string(), "t#7");
+        assert_eq!(RelId(3).to_string(), "r#3");
+        assert_eq!(StateId(0).to_string(), "s#0");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        assert!(TupleId(1) < TupleId(2));
+        let mut set = HashSet::new();
+        set.insert(RelId(1));
+        set.insert(RelId(1));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn raw_round_trips() {
+        assert_eq!(TupleId(42).raw(), 42);
+        assert_eq!(RelId(42).raw(), 42);
+        assert_eq!(StateId(42).raw(), 42);
+    }
+}

@@ -1,0 +1,32 @@
+//! Foundation types for the situational transaction logic.
+//!
+//! This crate provides the vocabulary shared by every other layer of the
+//! system:
+//!
+//! * [`Symbol`] — cheap interned strings used for relation names, attribute
+//!   names, variable names, and user-defined function symbols.
+//! * [`Atom`] — attribute values. The paper fixes the atom sort to the
+//!   natural numbers; we additionally admit interned strings as a readable
+//!   isomorphic encoding (every example in the paper uses symbolic names
+//!   such as `e-name` values or the marital status `S`). Arithmetic is only
+//!   defined on the numeric half, exactly as Presburger arithmetic demands.
+//! * [`TupleId`], [`RelId`], [`StateId`] — the identifier sorts. The
+//!   paper's frame axioms are keyed on the `id` function; stable identity
+//!   across `modify` is what makes frame reasoning possible.
+//! * [`TxError`] — the error vocabulary for evaluation, parsing,
+//!   classification, proving, and synthesis.
+//!
+//! Nothing here knows about terms, formulas, or states; those live in
+//! `txlog-logic` and `txlog-relational`.
+
+#![warn(missing_docs)]
+
+pub mod atom;
+pub mod error;
+pub mod ids;
+pub mod symbol;
+
+pub use atom::Atom;
+pub use error::{TxError, TxResult};
+pub use ids::{RelId, StateId, TupleId};
+pub use symbol::Symbol;

@@ -1,0 +1,171 @@
+//! Interned strings.
+//!
+//! Symbols are used pervasively — relation names, attribute names, variable
+//! names, user function symbols, string-valued atoms — so they must be cheap
+//! to copy, compare, and hash. A global interner maps each distinct string
+//! to a `u32` index; `Symbol` is that index.
+//!
+//! The interner is process-global and append-only. Interning is
+//! `Mutex`-guarded; resolution takes the same lock. Symbols from different
+//! threads are therefore consistent, and a `Symbol` is valid for the
+//! lifetime of the process.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned string.
+///
+/// `Symbol`s are `Copy`, and equality/ordering/hash are O(1) on the index.
+/// Note that `Ord` is *interning order*, not lexicographic order; use
+/// [`Symbol::as_str`] when lexicographic order matters.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Interner {
+    names: Vec<&'static str>,
+    table: HashMap<&'static str, u32>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            names: Vec::new(),
+            table: HashMap::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Intern `name`, returning its symbol. Idempotent.
+    pub fn new(name: &str) -> Symbol {
+        let mut int = interner().lock().expect("symbol interner poisoned");
+        if let Some(&ix) = int.table.get(name) {
+            return Symbol(ix);
+        }
+        let ix = u32::try_from(int.names.len()).expect("symbol table overflow");
+        // Leaking is deliberate: symbols live for the whole process, and the
+        // set of distinct names in any realistic schema/program is tiny.
+        let owned: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        int.names.push(owned);
+        int.table.insert(owned, ix);
+        Symbol(ix)
+    }
+
+    /// The string this symbol was interned from.
+    pub fn as_str(self) -> &'static str {
+        let int = interner().lock().expect("symbol interner poisoned");
+        int.names[self.0 as usize]
+    }
+
+    /// The raw interner index. Stable within a process run only.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({:?})", self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::new(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Symbol {
+        Symbol::new(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::new("EMP");
+        let b = Symbol::new("EMP");
+        assert_eq!(a, b);
+        assert_eq!(a.index(), b.index());
+    }
+
+    #[test]
+    fn distinct_names_distinct_symbols() {
+        let a = Symbol::new("salary");
+        let b = Symbol::new("age");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn round_trip() {
+        let s = Symbol::new("cancel-project");
+        assert_eq!(s.as_str(), "cancel-project");
+        assert_eq!(s.to_string(), "cancel-project");
+    }
+
+    #[test]
+    fn empty_string_is_a_valid_symbol() {
+        let s = Symbol::new("");
+        assert_eq!(s.as_str(), "");
+        assert_eq!(s, Symbol::new(""));
+    }
+
+    #[test]
+    fn hash_agrees_with_eq() {
+        let h = |s: Symbol| {
+            let mut hasher = DefaultHasher::new();
+            s.hash(&mut hasher);
+            hasher.finish()
+        };
+        assert_eq!(h(Symbol::new("x")), h(Symbol::new("x")));
+    }
+
+    #[test]
+    fn from_impls() {
+        let a: Symbol = "PROJ".into();
+        let b: Symbol = String::from("PROJ").into();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    (0..64)
+                        .map(|j| Symbol::new(&format!("concurrent-{}", (i + j) % 16)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let all: Vec<Vec<Symbol>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for row in &all {
+            for s in row {
+                assert!(s.as_str().starts_with("concurrent-"));
+            }
+        }
+        // Same name interned from different threads must be the same symbol.
+        let x = Symbol::new("concurrent-3");
+        for row in &all {
+            for s in row {
+                if s.as_str() == "concurrent-3" {
+                    assert_eq!(*s, x);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! B1 — evaluator throughput: executing the state-changing fluents and
+//! `foreach` loops as relation cardinality grows.
+//!
+//! The paper claims its formalism supports validation "conveniently,
+//! efficiently, and automatically"; B1 quantifies the execution substrate
+//! those claims stand on: cost of one `insert`/`delete`/`modify` (the
+//! copy-on-write step) and of a full `foreach` sweep, as functions of
+//! relation size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use txlog::empdb::transactions::raise_salary;
+use txlog::empdb::{populate, Sizes};
+use txlog::engine::{Engine, Env};
+use txlog::logic::{parse_fterm, FTerm};
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b1_primitives");
+    for &n in &[10usize, 100, 1000] {
+        let (schema, db) = populate(Sizes::scaled(n), 1).expect("population generates");
+        let engine = Engine::new(&schema);
+        let env = Env::new();
+        let ctx = txlog::empdb::parse_ctx();
+        let insert: FTerm = parse_fterm(
+            "insert(tuple('newbie', 'dept-0', 500, 30, 'S'), EMP)",
+            &ctx,
+            &[],
+        )
+        .expect("parses");
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("insert", n), &n, |b, _| {
+            b.iter(|| engine.execute(&db, &insert, &env).expect("executes"))
+        });
+        let delete: FTerm = parse_fterm(
+            "foreach e: 5tup | e in EMP & e-name(e) = 'emp-0' do delete(e, EMP) end",
+            &ctx,
+            &[],
+        )
+        .expect("parses");
+        group.bench_with_input(BenchmarkId::new("delete_one", n), &n, |b, _| {
+            b.iter(|| engine.execute(&db, &delete, &env).expect("executes"))
+        });
+        let modify: FTerm = parse_fterm(
+            "foreach e: 5tup | e in EMP & e-name(e) = 'emp-0' do \
+               modify(e, salary, salary(e) + 1) end",
+            &ctx,
+            &[],
+        )
+        .expect("parses");
+        group.bench_with_input(BenchmarkId::new("modify_one", n), &n, |b, _| {
+            b.iter(|| engine.execute(&db, &modify, &env).expect("executes"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_foreach_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b1_foreach_sweep");
+    for &n in &[10usize, 100, 1000] {
+        let (schema, db) = populate(Sizes::scaled(n), 2).expect("population generates");
+        let engine = Engine::new(&schema);
+        let env = Env::new();
+        let ctx = txlog::empdb::parse_ctx();
+        let raise_all: FTerm = parse_fterm(
+            "foreach e: 5tup | e in EMP do modify(e, salary, salary(e) + 1) end",
+            &ctx,
+            &[],
+        )
+        .expect("parses");
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("raise_all", n), &n, |b, _| {
+            b.iter(|| engine.execute(&db, &raise_all, &env).expect("executes"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_order_independence_check(c: &mut Criterion) {
+    // ablation: the cost of the order-independence rejection heuristic
+    let mut group = c.benchmark_group("b1_order_check_ablation");
+    for &checked in &[false, true] {
+        let (schema, db) = populate(Sizes::scaled(200), 3).expect("population generates");
+        let opts = txlog::engine::EvalOptions {
+            check_order_independence: checked,
+            ..Default::default()
+        };
+        let engine = Engine::with_options(&schema, opts);
+        let env = Env::new();
+        let tx = raise_salary("emp-0", 1);
+        group.bench_with_input(
+            BenchmarkId::new("raise_one", if checked { "checked" } else { "unchecked" }),
+            &checked,
+            |b, _| b.iter(|| engine.execute(&db, &tx, &env).expect("executes")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_primitives,
+    bench_foreach_sweep,
+    bench_order_independence_check
+);
+criterion_main!(benches);

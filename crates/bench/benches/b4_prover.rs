@@ -1,0 +1,102 @@
+//! B4 — prover performance: symbolic regression, deductive-tableau
+//! search, and the full verification pipeline on transactions of growing
+//! size.
+//!
+//! The paper's pitch for staying first-order is proof-search tractability
+//! ("a more efficient proof theory … than higher-order logics"); B4
+//! measures what our tableau actually pays as implication chains deepen,
+//! and what regression costs as transactions grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use txlog::logic::{parse_fterm, parse_sformula, FTerm, ParseCtx, SFormula};
+use txlog::prover::{entails_with, instantiate_transaction, regress, Limits};
+
+fn ctx() -> ParseCtx {
+    ParseCtx::with_relations(&["R", "S", "EMP", "R0", "R1", "R2", "R3", "R4", "R5"])
+}
+
+fn bench_regression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b4_regression");
+    let constraint = parse_sformula(
+        "forall s: state, t: tx, x': 1tup . x' in s:R -> x' in (s;t):R",
+        &ctx(),
+    )
+    .expect("parses");
+    for &len in &[1usize, 4, 16, 64] {
+        // a chain of `len` inserts into R
+        let tx_src = (0..len)
+            .map(|i| format!("insert(tuple({i}), R)"))
+            .collect::<Vec<_>>()
+            .join(" ;; ");
+        let tx: FTerm = parse_fterm(&tx_src, &ctx(), &[]).expect("parses");
+        let instantiated =
+            instantiate_transaction(&constraint, &tx).expect("single transaction var");
+        group.bench_with_input(BenchmarkId::new("insert_chain", len), &len, |b, _| {
+            b.iter(|| regress(&instantiated))
+        });
+    }
+    group.finish();
+}
+
+fn implication_chain(depth: usize) -> (Vec<SFormula>, SFormula) {
+    // R0 ⊆ R1 ⊆ … ⊆ Rdepth, prove R0 → Rdepth membership
+    let mut assertions = Vec::new();
+    for i in 0..depth {
+        assertions.push(
+            parse_sformula(
+                &format!(
+                    "forall w: state, x': 1tup . x' in w:R{i} -> x' in w:R{}",
+                    i + 1
+                ),
+                &ctx(),
+            )
+            .expect("parses"),
+        );
+    }
+    let goal = parse_sformula(
+        &format!("forall w: state, x': 1tup . x' in w:R0 -> x' in w:R{depth}"),
+        &ctx(),
+    )
+    .expect("parses");
+    (assertions, goal)
+}
+
+fn bench_tableau_chains(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b4_tableau");
+    group.sample_size(10);
+    for &depth in &[1usize, 2, 3, 4] {
+        let (assertions, goal) = implication_chain(depth);
+        group.bench_with_input(BenchmarkId::new("chain_depth", depth), &depth, |b, _| {
+            b.iter(|| {
+                entails_with(&assertions, &goal, Limits::default()).expect("chain proves")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_tableau_failure_cost(c: &mut Criterion) {
+    // the cost of *not* finding a proof (bound exhaustion) — the honest
+    // price of the Unknown verdict
+    let mut group = c.benchmark_group("b4_tableau_exhaustion");
+    group.sample_size(10);
+    let goal = parse_sformula("forall w: state . tuple(1) in w:R", &ctx()).expect("parses");
+    for &steps in &[50usize, 200, 800] {
+        let limits = Limits {
+            max_steps: steps,
+            max_rows: 200,
+        };
+        group.bench_with_input(BenchmarkId::new("max_steps", steps), &steps, |b, _| {
+            b.iter(|| entails_with(&[], &goal, limits).expect_err("no proof exists"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_regression,
+    bench_tableau_chains,
+    bench_tableau_failure_cost
+);
+criterion_main!(benches);

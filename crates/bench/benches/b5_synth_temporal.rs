@@ -1,0 +1,109 @@
+//! B5 — synthesis latency and the cost of the δ embedding.
+//!
+//! Synthesis is a compile-time activity (once per specification), and δ
+//! turns each temporal operator into a quantifier over transactions —
+//! model-checking its image is exponential in modal depth on the finite
+//! graph. Both shapes are measured here.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use txlog::base::Atom;
+use txlog::empdb::constraints::example1_all;
+use txlog::empdb::spec::cancel_project_spec;
+use txlog::empdb::employee_schema;
+use txlog::engine::{Binding, Env, ModelBuilder, StateVal, Value};
+use txlog::logic::{FFormula, FTerm, STerm, Var};
+use txlog::relational::TxLabel;
+use txlog::synthesis::synthesize;
+use txlog::temporal::{delta, holds, TFormula};
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b5_synthesis");
+    let schema = employee_schema();
+    let (spec, _, _) = cancel_project_spec();
+    let statics: Vec<_> = example1_all().into_iter().map(|(_, f)| f).collect();
+    group.bench_function("cancel_project_spec", |b| {
+        b.iter(|| synthesize(&schema, &spec, &statics, "E").expect("synthesizes"))
+    });
+    group.finish();
+}
+
+fn chain_model(len: usize) -> txlog::engine::Model {
+    let schema = txlog::relational::Schema::new()
+        .relation("R", &["a"])
+        .expect("schema builds");
+    let rid = schema.rel_id("R").expect("R exists");
+    let mut b = ModelBuilder::new(schema);
+    let mut db = b.schema().initial_state();
+    let mut prev = b.add_state(db.clone());
+    for i in 1..len {
+        db = db
+            .insert_fields(rid, &[Atom::nat(i as u64)])
+            .expect("insert applies")
+            .0;
+        let cur = b.add_state(db.clone());
+        b.graph_mut()
+            .add_arc(prev, TxLabel::new(&format!("t{i}")), cur)
+            .expect("arc is fresh");
+        prev = cur;
+    }
+    b.graph_mut().reflexive_close();
+    b.graph_mut().transitive_close();
+    b.finish()
+}
+
+fn nested_eventually(depth: usize) -> TFormula {
+    let mut f = TFormula::Atom(FFormula::member(
+        FTerm::TupleCons(vec![FTerm::Nat(1)]),
+        FTerm::rel("R"),
+    ));
+    for _ in 0..depth {
+        f = f.eventually();
+    }
+    f
+}
+
+fn bench_delta_translation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b5_delta_translate");
+    let s = Var::state("s");
+    for &depth in &[1usize, 3, 6] {
+        let f = nested_eventually(depth);
+        group.bench_with_input(BenchmarkId::new("modal_depth", depth), &depth, |b, _| {
+            b.iter(|| delta(&STerm::var(s), &f))
+        });
+    }
+    group.finish();
+}
+
+fn bench_temporal_vs_delta_checking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b5_temporal_vs_delta");
+    group.sample_size(10);
+    let s = Var::state("s");
+    for &len in &[3usize, 5] {
+        let model = chain_model(len);
+        let f = nested_eventually(2);
+        let node = model.graph.state_ids().next().expect("model has states");
+        group.bench_with_input(BenchmarkId::new("direct", len), &len, |b, _| {
+            b.iter(|| holds(&model, node, &f).expect("evaluates"))
+        });
+        let translated = delta(&STerm::var(s), &f);
+        let env = Env::new().bind(
+            s,
+            Binding::Val(Value::State(StateVal::node(
+                node,
+                model.graph.state(node).clone(),
+            ))),
+        );
+        group.bench_with_input(BenchmarkId::new("via_delta", len), &len, |b, _| {
+            b.iter(|| model.eval_sformula(&translated, &env).expect("evaluates"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_synthesis,
+    bench_delta_translation,
+    bench_temporal_vs_delta_checking
+);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Per-experiment bench targets: each group regenerates one of the
+//! paper's Section 4 examples end to end (bench_e1_static … bench_e7),
+//! so the cost of reproducing every claim is itself tracked.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use txlog_bench::{
+    e1_static, e2_marital, e3_transaction, e4_history, e5_cancel, e6_synthesis,
+    e7_temporal, e8_extensions,
+};
+
+fn bench_all(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.bench_function("bench_e1_static", |b| b.iter(e1_static::run));
+    group.bench_function("bench_e2_marital", |b| b.iter(e2_marital::run));
+    group.bench_function("bench_e3_transaction", |b| b.iter(e3_transaction::run));
+    group.bench_function("bench_e4_history", |b| b.iter(e4_history::run));
+    group.bench_function("bench_e5_cancel", |b| b.iter(e5_cancel::run));
+    group.bench_function("bench_e6_synthesis", |b| b.iter(e6_synthesis::run));
+    group.bench_function("bench_e7_temporal", |b| b.iter(e7_temporal::run));
+    group.bench_function("bench_e8_extensions", |b| b.iter(e8_extensions::run));
+    group.finish();
+}
+
+criterion_group!(benches, bench_all);
+criterion_main!(benches);

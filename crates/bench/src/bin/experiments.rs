@@ -1,0 +1,27 @@
+//! Run every experiment (E1–E7) and print the paper-vs-measured report.
+//!
+//! ```text
+//! cargo run -p txlog-bench --bin experiments --release
+//! ```
+
+fn main() {
+    let reports = txlog_bench::run_all();
+    let mut all_ok = true;
+    for r in &reports {
+        println!("{}", r.render());
+        all_ok &= r.all_agree();
+    }
+    let total: usize = reports.iter().map(|r| r.claims.len()).sum();
+    let agreed: usize = reports
+        .iter()
+        .flat_map(|r| &r.claims)
+        .filter(|c| c.agree)
+        .count();
+    println!("==================================================");
+    println!("claims checked: {total}, agreeing with the paper: {agreed}");
+    if !all_ok {
+        println!("SOME CLAIMS DISAGREE — see above");
+        std::process::exit(1);
+    }
+    println!("all experiments reproduce the paper's claims");
+}

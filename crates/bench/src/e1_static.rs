@@ -1,0 +1,93 @@
+//! E1 — Example 1: the three static constraints.
+//!
+//! Paper claims: the constraints are *static* (part of the static
+//! semantics), hence checkable against the current state alone; valid
+//! databases satisfy them; databases breaking referential or aggregation
+//! structure violate exactly the constraint concerned.
+
+use crate::{Claim, Report};
+use txlog::constraints::{checkability, classify, ConstraintClass, Hints, Window};
+use txlog::empdb::constraints::example1_all;
+use txlog::empdb::data::{
+    corrupt_dangling_alloc, corrupt_idle_employee, corrupt_overallocate,
+};
+use txlog::empdb::{populate, Sizes};
+use txlog::engine::ModelBuilder;
+use txlog::relational::{DbState, Schema};
+
+fn verdicts(schema: &Schema, db: DbState) -> Vec<(&'static str, bool)> {
+    let mut b = ModelBuilder::new(schema.clone());
+    b.add_state(db);
+    let model = b.finish();
+    example1_all()
+        .into_iter()
+        .map(|(name, f)| (name, model.check(&f).expect("constraint evaluates")))
+        .collect()
+}
+
+/// Run E1.
+pub fn run() -> Report {
+    let mut claims = Vec::new();
+    let (schema, db) = populate(Sizes::default(), 42).expect("population generates");
+
+    // classification + window
+    for (name, f) in example1_all() {
+        let class = classify(&f);
+        let window = checkability(&f, Hints::default());
+        claims.push(Claim::new(
+            format!("{name}: class"),
+            "static constraint (Definition 4)",
+            format!("{class:?}"),
+            class == ConstraintClass::Static,
+        ));
+        claims.push(Claim::new(
+            format!("{name}: checkability"),
+            "checkable with the current state only (window 1)",
+            format!("{window:?}"),
+            window == Window::States(1),
+        ));
+    }
+
+    // valid database satisfies all three
+    let all_ok = verdicts(&schema, db.clone()).iter().all(|&(_, ok)| ok);
+    claims.push(Claim::new(
+        "valid database",
+        "satisfies all three constraints",
+        if all_ok { "all satisfied" } else { "violated" }.to_string(),
+        all_ok,
+    ));
+
+    // targeted corruptions violate exactly the targeted constraint
+    let cases: Vec<(&str, DbState)> = vec![
+        (
+            "alloc-within-100",
+            corrupt_overallocate(&schema, &db).expect("corruption applies"),
+        ),
+        (
+            "alloc-references-project",
+            corrupt_dangling_alloc(&schema, &db).expect("corruption applies"),
+        ),
+        (
+            "employee-has-project",
+            corrupt_idle_employee(&schema, &db).expect("corruption applies"),
+        ),
+    ];
+    for (target, bad) in cases {
+        let vs = verdicts(&schema, bad);
+        let only_target_failed = vs
+            .iter()
+            .all(|&(name, ok)| if name == target { !ok } else { ok });
+        claims.push(Claim::new(
+            format!("corruption targeting {target}"),
+            format!("violates {target} and nothing else"),
+            format!("{vs:?}"),
+            only_target_failed,
+        ));
+    }
+
+    Report {
+        id: "E1",
+        title: "Example 1 — static constraints of the employee database",
+        claims,
+    }
+}

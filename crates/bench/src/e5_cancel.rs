@@ -1,0 +1,253 @@
+//! E5 — Example 5: the `cancel-project` transaction.
+//!
+//! Paper claims:
+//!
+//! 1. the procedural program cancels the project, removes its
+//!    allocations, fires employees left without any project, and reduces
+//!    by `v` the salaries of those still working elsewhere;
+//! 2. "the transaction here can be proved to preserve the validity of
+//!    all transaction constraints in Examples 2 and 3 **except** that it
+//!    may violate the one about salary modification if there are
+//!    employees who work for projects besides p";
+//! 3. "the validity of the first constraint in Example 4 [never-rehire]
+//!    is also preserved since the transaction does not hire new
+//!    employees".
+
+use crate::{Claim, Report};
+use txlog::base::Atom;
+use txlog::empdb::constraints::{
+    ic2_marital_transaction, ic3_salary_needs_dept_switch, ic3_skill_retention,
+};
+use txlog::empdb::transactions::cancel_project;
+use txlog::empdb::{employee_schema, populate, Sizes};
+use txlog::engine::{Engine, Env};
+use txlog::prover::{verify_preserves, Verdict, VerifyOptions};
+use txlog::relational::TupleVal;
+
+/// Run E5.
+pub fn run() -> Report {
+    let mut claims = Vec::new();
+    let schema = employee_schema();
+    let (tx, p, v) = cancel_project();
+
+    // --- behaviour on a concrete database ---
+    let (_, db) = populate(Sizes::default(), 51).expect("population generates");
+    let proj_rel = schema.rel_id("PROJ").expect("PROJ exists");
+    let alloc_rel = schema.rel_id("ALLOC").expect("ALLOC exists");
+    let emp_rel = schema.rel_id("EMP").expect("EMP exists");
+
+    let target: TupleVal = db
+        .relation(proj_rel)
+        .expect("PROJ in state")
+        .iter_vals()
+        .next()
+        .expect("a project exists");
+    let target_name = target.fields[0];
+    let env = Env::new()
+        .bind_tuple(p, target.clone())
+        .bind_atom(v, Atom::nat(50));
+
+    // classify employees in the pre-state
+    let pre_allocs: Vec<(Atom, Atom)> = db
+        .relation(alloc_rel)
+        .expect("ALLOC in state")
+        .iter()
+        .map(|t| (t.fields()[0], t.fields()[1]))
+        .collect();
+    let on_target: Vec<Atom> = pre_allocs
+        .iter()
+        .filter(|(_, pr)| *pr == target_name)
+        .map(|(e, _)| *e)
+        .collect();
+    let also_elsewhere: Vec<Atom> = on_target
+        .iter()
+        .copied()
+        .filter(|e| {
+            pre_allocs
+                .iter()
+                .any(|(e2, pr)| e2 == e && *pr != target_name)
+        })
+        .collect();
+    let only_target: Vec<Atom> = on_target
+        .iter()
+        .copied()
+        .filter(|e| !also_elsewhere.contains(e))
+        .collect();
+
+    let engine = Engine::new(&schema);
+    let post = engine.execute(&db, &tx, &env).expect("cancel-project executes");
+
+    let project_gone = !post
+        .relation(proj_rel)
+        .expect("PROJ in state")
+        .contains_fields(&target.fields);
+    claims.push(Claim::new(
+        "project deleted",
+        "p is removed from PROJ",
+        format!("gone = {project_gone}"),
+        project_gone,
+    ));
+
+    let allocs_gone = !post
+        .relation(alloc_rel)
+        .expect("ALLOC in state")
+        .iter()
+        .any(|t| t.fields()[1] == target_name);
+    claims.push(Claim::new(
+        "allocations deleted",
+        "every allocation to p is removed",
+        format!("gone = {allocs_gone}"),
+        allocs_gone,
+    ));
+
+    let fired_ok = only_target.iter().all(|e| {
+        !post
+            .relation(emp_rel)
+            .expect("EMP in state")
+            .iter()
+            .any(|t| t.fields()[0] == *e)
+    });
+    claims.push(Claim::new(
+        "project-less employees fired",
+        "employees with no other project are deleted from EMP",
+        format!(
+            "{} employee(s) checked, all deleted = {fired_ok}",
+            only_target.len()
+        ),
+        fired_ok,
+    ));
+
+    let pre_salary = |name: Atom| -> Atom {
+        db.relation(emp_rel)
+            .expect("EMP in state")
+            .iter()
+            .find(|t| t.fields()[0] == name)
+            .map(|t| t.fields()[2])
+            .expect("employee present before")
+    };
+    let reduced_ok = also_elsewhere.iter().all(|e| {
+        post.relation(emp_rel)
+            .expect("EMP in state")
+            .iter()
+            .find(|t| t.fields()[0] == *e)
+            .map(|t| {
+                t.fields()[2]
+                    == pre_salary(*e)
+                        .monus(Atom::nat(50))
+                        .expect("salaries are naturals")
+            })
+            .unwrap_or(false)
+    });
+    claims.push(Claim::new(
+        "other employees' salaries reduced by v",
+        "employees still allocated elsewhere keep their job at salary − v",
+        format!(
+            "{} employee(s) checked, all reduced = {reduced_ok}",
+            also_elsewhere.len()
+        ),
+        reduced_ok,
+    ));
+
+    // --- verification against the Example 2/3 constraints ---
+    let gen = |seed: u64| Ok(populate(Sizes::default(), 600 + seed).expect("populates").1);
+    let opts = VerifyOptions {
+        models: 6,
+        ..VerifyOptions::default()
+    };
+    let mk_env = |schema: &txlog::relational::Schema, db: &txlog::relational::DbState| {
+        let proj_rel = schema.rel_id("PROJ").expect("PROJ exists");
+        let t: TupleVal = db
+            .relation(proj_rel)
+            .expect("PROJ in state")
+            .iter_vals()
+            .next()
+            .expect("project exists");
+        Env::new().bind_tuple(p, t).bind_atom(v, Atom::nat(50))
+    };
+    // NOTE: verify_preserves binds one env for all seeds; bind against
+    // seed 600's database (all generated databases share proj-0's tuple
+    // *name*, but identity differs — so bind per-model via a wrapper
+    // transaction is overkill; instead check each seed manually here).
+    let mut skill_ok = true;
+    let mut marital_ok = true;
+    let mut salary_refuted = false;
+    for seed in 0..6u64 {
+        let db = gen(seed).expect("generates");
+        let env = mk_env(&schema, &db);
+        let mut b = txlog::engine::ModelBuilder::new(schema.clone());
+        let s0 = b.add_state(db);
+        b.apply(s0, "cancel-project", &tx, &env).expect("executes");
+        let model = b.finish();
+        skill_ok &= model.check(&ic3_skill_retention()).expect("evaluates");
+        marital_ok &= model
+            .check(&ic2_marital_transaction())
+            .expect("evaluates");
+        salary_refuted |= !model
+            .check(&ic3_salary_needs_dept_switch())
+            .expect("evaluates");
+    }
+    claims.push(Claim::new(
+        "preserves skill retention (Example 3)",
+        "cancel-project never removes a surviving employee's skills",
+        format!("holds on all checked models = {skill_ok}"),
+        skill_ok,
+    ));
+    claims.push(Claim::new(
+        "preserves the marital constraint (Example 2)",
+        "cancel-project never touches m-status or age",
+        format!("holds on all checked models = {marital_ok}"),
+        marital_ok,
+    ));
+    claims.push(Claim::new(
+        "violates the salary/department constraint",
+        "it MAY violate the salary-modification constraint when employees \
+         work for projects besides p (salary drops without a department \
+         switch)",
+        format!("violation exhibited = {salary_refuted}"),
+        salary_refuted,
+    ));
+
+    // --- never-rehire preserved: cancel-project only deletes ---
+    let nr = txlog::empdb::constraints::ic4_never_rehire();
+    let mut nr_ok = true;
+    for seed in 0..4u64 {
+        let db = gen(seed).expect("generates");
+        let env = mk_env(&schema, &db);
+        let mut b = txlog::engine::ModelBuilder::new(schema.clone());
+        let s0 = b.add_state(db);
+        b.apply(s0, "cancel-project", &tx, &env).expect("executes");
+        b.transitive_close();
+        nr_ok &= b.finish().check(&nr).expect("evaluates");
+    }
+    claims.push(Claim::new(
+        "preserves never-rehire (Example 4)",
+        "the transaction does not hire new employees",
+        format!("holds on all checked models = {nr_ok}"),
+        nr_ok,
+    ));
+
+    // --- the symbolic pipeline reports honestly: foreach ⇒ model checked ---
+    let verdict = verify_preserves(
+        &schema,
+        &tx,
+        "cancel-project",
+        &mk_env(&schema, &gen(0).expect("generates")),
+        &ic3_skill_retention(),
+        &[],
+        &gen,
+        &opts,
+    );
+    claims.push(Claim::new(
+        "verification pipeline verdict",
+        "foreach-loops are beyond pure regression; verification falls \
+         back to bounded model checking and says so",
+        format!("{verdict:?}"),
+        matches!(verdict, Verdict::ModelChecked { .. } | Verdict::Refuted { .. }),
+    ));
+
+    Report {
+        id: "E5",
+        title: "Example 5 — the cancel-project transaction",
+        claims,
+    }
+}

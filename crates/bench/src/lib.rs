@@ -1,0 +1,111 @@
+//! Experiment harness reproducing the paper's Section 4 examples.
+//!
+//! The paper has no tables or figures; its evaluation is six worked
+//! examples plus the Section 3 expressiveness construction. Each module
+//! here re-runs one of them mechanically and reports *paper claim* vs
+//! *measured outcome*; the `experiments` binary prints the full report,
+//! and `EXPERIMENTS.md` archives it.
+
+#![warn(missing_docs)]
+
+pub mod e1_static;
+pub mod e2_marital;
+pub mod e3_transaction;
+pub mod e4_history;
+pub mod e5_cancel;
+pub mod e6_synthesis;
+pub mod e7_temporal;
+pub mod e8_extensions;
+
+/// One checked claim: the paper's statement and what we measured.
+#[derive(Clone, Debug)]
+pub struct Claim {
+    /// Short item name.
+    pub item: String,
+    /// What the paper says should happen.
+    pub paper: String,
+    /// What this implementation measured.
+    pub measured: String,
+    /// Whether they agree.
+    pub agree: bool,
+}
+
+impl Claim {
+    /// Record a claim.
+    pub fn new(
+        item: impl Into<String>,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+        agree: bool,
+    ) -> Claim {
+        Claim {
+            item: item.into(),
+            paper: paper.into(),
+            measured: measured.into(),
+            agree,
+        }
+    }
+}
+
+/// A full experiment report.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Experiment identifier (E1…E7).
+    pub id: &'static str,
+    /// Title.
+    pub title: &'static str,
+    /// The claims checked.
+    pub claims: Vec<Claim>,
+}
+
+impl Report {
+    /// True iff every claim agrees with the paper.
+    pub fn all_agree(&self) -> bool {
+        self.claims.iter().all(|c| c.agree)
+    }
+
+    /// Render as a text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        for c in &self.claims {
+            out.push_str(&format!(
+                "  [{}] {}\n      paper:    {}\n      measured: {}\n",
+                if c.agree { "OK" } else { "MISMATCH" },
+                c.item,
+                c.paper,
+                c.measured
+            ));
+        }
+        out
+    }
+}
+
+/// Run every experiment.
+pub fn run_all() -> Vec<Report> {
+    vec![
+        e1_static::run(),
+        e2_marital::run(),
+        e3_transaction::run(),
+        e4_history::run(),
+        e5_cancel::run(),
+        e6_synthesis::run(),
+        e7_temporal::run(),
+        e8_extensions::run(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn every_experiment_matches_the_paper() {
+        for report in super::run_all() {
+            assert!(
+                report.all_agree(),
+                "experiment {} disagrees with the paper:\n{}",
+                report.id,
+                report.render()
+            );
+        }
+    }
+}

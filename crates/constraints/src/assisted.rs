@@ -1,0 +1,283 @@
+//! Verification-assisted validation.
+//!
+//! The paper's closing claim: "Transaction verification can be combined
+//! with constraint validation to make more constraints checkable with
+//! less amount of history maintained, which leads to more knowledgable
+//! database systems." This module implements that combination:
+//!
+//! * transactions are registered with per-constraint **verification
+//!   verdicts** (from `txlog-prover`'s pipeline, or any other proof);
+//! * at each step, constraints the arriving transaction *provably
+//!   preserves* are skipped — no model built, no history consulted;
+//! * other constraints fall back to the ordinary windowed check.
+//!
+//! A transaction constraint that would need a two-state window becomes
+//! maintainable with **zero** retained history along runs that only
+//! execute verified transactions; the checker tracks how often each
+//! path was taken so the saving is measurable (bench `b6_assisted`).
+
+use crate::window::{History, Window, WindowedChecker};
+use std::collections::{HashMap, HashSet};
+use txlog_base::{TxError, TxResult};
+use txlog_logic::SFormula;
+
+/// A registry of transactions verified to preserve given constraints.
+#[derive(Clone, Default)]
+pub struct VerifiedRegistry {
+    /// transaction label → constraint names it provably preserves
+    preserves: HashMap<String, HashSet<String>>,
+}
+
+impl VerifiedRegistry {
+    /// Empty registry.
+    pub fn new() -> VerifiedRegistry {
+        VerifiedRegistry::default()
+    }
+
+    /// Record that the transaction labelled `tx` preserves `constraint`.
+    /// Call this only with a verdict from an actual verification (e.g.
+    /// [`Verdict::is_proved`]); the checker *trusts* this registry.
+    ///
+    /// [`Verdict::is_proved`]: ../txlog_prover/enum.Verdict.html
+    pub fn record(&mut self, tx: &str, constraint: &str) {
+        self.preserves
+            .entry(tx.to_string())
+            .or_default()
+            .insert(constraint.to_string());
+    }
+
+    /// Does the registry certify `tx` for `constraint`?
+    pub fn certified(&self, tx: &str, constraint: &str) -> bool {
+        self.preserves
+            .get(tx)
+            .is_some_and(|cs| cs.contains(constraint))
+    }
+}
+
+/// Outcome counters for one assisted checker.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct AssistStats {
+    /// Steps decided by the verification certificate alone.
+    pub skipped_by_proof: usize,
+    /// Steps that ran the windowed model check.
+    pub model_checked: usize,
+}
+
+/// A constraint checker that consults verification certificates before
+/// building any model.
+pub struct AssistedChecker {
+    name: String,
+    fallback: WindowedChecker,
+    stats: AssistStats,
+}
+
+impl AssistedChecker {
+    /// Wrap `constraint` (named `name` for registry lookups) with its
+    /// fallback window.
+    pub fn new(
+        name: &str,
+        constraint: SFormula,
+        window: Window,
+    ) -> TxResult<AssistedChecker> {
+        Ok(AssistedChecker {
+            name: name.to_string(),
+            fallback: WindowedChecker::new(constraint, window)?,
+            stats: AssistStats::default(),
+        })
+    }
+
+    /// The constraint's registry name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> AssistStats {
+        self.stats
+    }
+
+    /// Check the newest step of `history`, whose final transition was
+    /// produced by the transaction labelled `last_label`. If the registry
+    /// certifies that transaction for this constraint, the step is
+    /// accepted without model checking (soundly: a proof covers every
+    /// state, including this one); otherwise the windowed check runs.
+    pub fn check_step(
+        &mut self,
+        history: &History,
+        last_label: &str,
+        registry: &VerifiedRegistry,
+    ) -> TxResult<bool> {
+        if registry.certified(last_label, &self.name) {
+            self.stats.skipped_by_proof += 1;
+            return Ok(true);
+        }
+        self.stats.model_checked += 1;
+        self.fallback.check_now(history)
+    }
+
+    /// The full check, ignoring certificates (for comparisons).
+    pub fn check_unassisted(&self, history: &History) -> TxResult<bool> {
+        self.fallback.check_now(history)
+    }
+}
+
+/// One certification outcome: (transaction label, constraint name, proved).
+pub type CertLog = Vec<(String, String, bool)>;
+
+/// Convenience: populate a registry by running the prover's verification
+/// pipeline for each (label, transaction) against each (name, constraint),
+/// recording only symbolic proofs. Returns the registry and the verdicts.
+pub fn certify<F>(
+    mut verify: F,
+    transactions: &[(&str, txlog_logic::FTerm)],
+    constraints: &[(&str, SFormula)],
+) -> TxResult<(VerifiedRegistry, CertLog)>
+where
+    F: FnMut(&txlog_logic::FTerm, &SFormula) -> TxResult<bool>,
+{
+    let mut registry = VerifiedRegistry::new();
+    let mut log = Vec::new();
+    for (label, tx) in transactions {
+        for (cname, c) in constraints {
+            let proved = verify(tx, c)?;
+            if proved {
+                registry.record(label, cname);
+            }
+            log.push((label.to_string(), cname.to_string(), proved));
+        }
+    }
+    Ok((registry, log))
+}
+
+/// Guard against misuse: constructing an assisted checker over a
+/// non-checkable window is still an error (certificates reduce *cost*,
+/// not expressiveness).
+pub fn assisted_window_guard(window: &Window) -> TxResult<()> {
+    if let Window::NotCheckable(reason) = window {
+        return Err(TxError::eval(format!(
+            "assisted checking cannot rescue a non-checkable constraint: {reason}"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txlog_base::Atom;
+    use txlog_engine::Env;
+    use txlog_logic::{parse_fterm, parse_sformula, ParseCtx};
+    use txlog_relational::Schema;
+
+    fn schema() -> Schema {
+        Schema::new().relation("EMP", &["e-name", "salary"]).unwrap()
+    }
+
+    fn ctx() -> ParseCtx {
+        ParseCtx::with_relations(&["EMP"])
+    }
+
+    fn monotone() -> SFormula {
+        parse_sformula(
+            "forall s: state, t: tx, e: 2tup .
+               (s:e in s:EMP & (s;t):e in (s;t):EMP)
+                 -> salary(s:e) <= salary((s;t):e)",
+            &ctx(),
+        )
+        .unwrap()
+    }
+
+    fn start() -> History {
+        let schema = schema();
+        let db = schema.initial_state();
+        let emp = schema.rel_id("EMP").unwrap();
+        let (db, _) = db
+            .insert_fields(emp, &[Atom::str("ann"), Atom::nat(500)])
+            .unwrap();
+        History::new(schema, db)
+    }
+
+    #[test]
+    fn certified_steps_skip_model_checking() {
+        let mut registry = VerifiedRegistry::new();
+        registry.record("raise", "monotone");
+        let mut checker =
+            AssistedChecker::new("monotone", monotone(), Window::States(2)).unwrap();
+        let mut history = start();
+        let raise = parse_fterm(
+            "foreach e: 2tup | e in EMP do modify(e, salary, salary(e) + 10) end",
+            &ctx(),
+            &[],
+        )
+        .unwrap();
+        for _ in 0..3 {
+            history.step("raise", &raise, &Env::new()).unwrap();
+            assert!(checker.check_step(&history, "raise", &registry).unwrap());
+        }
+        assert_eq!(
+            checker.stats(),
+            AssistStats {
+                skipped_by_proof: 3,
+                model_checked: 0
+            }
+        );
+    }
+
+    #[test]
+    fn uncertified_steps_fall_back_and_catch_violations() {
+        let registry = VerifiedRegistry::new(); // nothing certified
+        let mut checker =
+            AssistedChecker::new("monotone", monotone(), Window::States(2)).unwrap();
+        let mut history = start();
+        let cut = parse_fterm(
+            "foreach e: 2tup | e in EMP do modify(e, salary, salary(e) - 10) end",
+            &ctx(),
+            &[],
+        )
+        .unwrap();
+        history.step("cut", &cut, &Env::new()).unwrap();
+        assert!(!checker.check_step(&history, "cut", &registry).unwrap());
+        assert_eq!(checker.stats().model_checked, 1);
+        assert_eq!(checker.stats().skipped_by_proof, 0);
+    }
+
+    #[test]
+    fn certificates_are_per_constraint() {
+        let mut registry = VerifiedRegistry::new();
+        registry.record("raise", "some-other-constraint");
+        let mut checker =
+            AssistedChecker::new("monotone", monotone(), Window::States(2)).unwrap();
+        let mut history = start();
+        let raise = parse_fterm(
+            "foreach e: 2tup | e in EMP do modify(e, salary, salary(e) + 10) end",
+            &ctx(),
+            &[],
+        )
+        .unwrap();
+        history.step("raise", &raise, &Env::new()).unwrap();
+        assert!(checker.check_step(&history, "raise", &registry).unwrap());
+        // fell back: the certificate names a different constraint
+        assert_eq!(checker.stats().model_checked, 1);
+    }
+
+    #[test]
+    fn not_checkable_guard() {
+        assert!(assisted_window_guard(&Window::States(2)).is_ok());
+        assert!(
+            assisted_window_guard(&Window::NotCheckable("future".into())).is_err()
+        );
+    }
+
+    #[test]
+    fn certify_populates_registry() {
+        let raise = parse_fterm("insert(tuple('x', 1), EMP)", &ctx(), &[]).unwrap();
+        let (registry, log) = certify(
+            |_tx, _c| Ok(true),
+            &[("hire", raise)],
+            &[("monotone", monotone())],
+        )
+        .unwrap();
+        assert!(registry.certified("hire", "monotone"));
+        assert_eq!(log.len(), 1);
+    }
+}

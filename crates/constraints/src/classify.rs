@@ -1,0 +1,229 @@
+//! Syntactic classification of integrity constraints.
+//!
+//! Definition 4 splits IC into *static* constraints — those equivalent to
+//! `(∀s) s :: q` — and *dynamic* ones. Among the dynamic constraints the
+//! paper singles out **transaction constraints**: "the relationships among
+//! two states and a transaction that connects them". We classify by the
+//! shape of state references:
+//!
+//! * one situational state variable, no transitions → **static**;
+//! * one state variable plus transitions of composition depth 1
+//!   (`s ; t`) → **transaction**;
+//! * anything else (several independent state variables as in Example 2's
+//!   flawed formulation, or nested transitions `s;t₁;t₂` as in Example
+//!   4) → general **dynamic**.
+
+use std::collections::HashSet;
+use txlog_logic::{SFormula, STerm, Sort, Var, VarClass};
+
+/// The paper's constraint taxonomy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ConstraintClass {
+    /// Equivalent to `(∀s) s :: q` — properties of single states.
+    Static,
+    /// Relates two states and the transaction connecting them.
+    Transaction,
+    /// Any other dynamic constraint (more states, longer transition
+    /// chains, or unrelated state variables).
+    Dynamic,
+}
+
+/// Structural facts about state references in a constraint.
+#[derive(Clone, Debug, Default)]
+pub struct StateShape {
+    /// Distinct situational state variables.
+    pub state_vars: HashSet<Var>,
+    /// Distinct fluent state (transaction) variables.
+    pub tx_vars: HashSet<Var>,
+    /// Maximum `EvalState` nesting depth over a state variable
+    /// (`s` → 0, `s;t` → 1, `s;t₁;t₂` → 2).
+    pub max_transition_depth: usize,
+}
+
+/// Compute the state-reference shape of a constraint.
+pub fn state_shape(f: &SFormula) -> StateShape {
+    let mut shape = StateShape::default();
+    walk_formula(f, &mut shape);
+    shape
+}
+
+fn walk_formula(f: &SFormula, shape: &mut StateShape) {
+    match f {
+        SFormula::True | SFormula::False => {}
+        SFormula::Holds(w, _) => {
+            walk_term(w, shape);
+        }
+        SFormula::Cmp(_, a, b) | SFormula::Member(a, b) | SFormula::Subset(a, b) => {
+            walk_term(a, shape);
+            walk_term(b, shape);
+        }
+        SFormula::Not(q) => walk_formula(q, shape),
+        SFormula::And(a, b)
+        | SFormula::Or(a, b)
+        | SFormula::Implies(a, b)
+        | SFormula::Iff(a, b) => {
+            walk_formula(a, shape);
+            walk_formula(b, shape);
+        }
+        SFormula::Forall(v, q) | SFormula::Exists(v, q) => {
+            note_var(*v, shape);
+            walk_formula(q, shape);
+        }
+        SFormula::UserPred(_, ts) => {
+            for t in ts {
+                walk_term(t, shape);
+            }
+        }
+    }
+}
+
+fn note_var(v: Var, shape: &mut StateShape) {
+    if v.sort == Sort::State {
+        match v.class {
+            VarClass::Situational => {
+                shape.state_vars.insert(v);
+            }
+            VarClass::Fluent => {
+                shape.tx_vars.insert(v);
+            }
+        }
+    }
+}
+
+fn walk_term(t: &STerm, shape: &mut StateShape) {
+    match t {
+        STerm::Var(v) => note_var(*v, shape),
+        STerm::Nat(_) | STerm::Str(_) => {}
+        STerm::EvalObj(w, _) => {
+            shape.max_transition_depth = shape.max_transition_depth.max(transition_depth(w));
+            walk_term(w, shape);
+        }
+        STerm::EvalState(w, _) => {
+            // the EvalState itself is a transition over w
+            shape.max_transition_depth =
+                shape.max_transition_depth.max(transition_depth(w) + 1);
+            walk_term(w, shape);
+        }
+        STerm::Attr(_, t) | STerm::Select(t, _) | STerm::IdOf(t) => walk_term(t, shape),
+        STerm::TupleCons(ts) | STerm::App(_, ts) | STerm::UserApp(_, ts) => {
+            for t in ts {
+                walk_term(t, shape);
+            }
+        }
+        STerm::SetFormer { head, vars, cond } => {
+            for v in vars {
+                note_var(*v, shape);
+            }
+            walk_term(head, shape);
+            walk_formula(cond, shape);
+        }
+    }
+}
+
+/// `s` → 0, `s;t` → 1, `(s;t₁);t₂` → 2, …
+fn transition_depth(w: &STerm) -> usize {
+    match w {
+        STerm::EvalState(inner, _) => transition_depth(inner) + 1,
+        _ => 0,
+    }
+}
+
+/// Classify a constraint per Definition 4 plus the transaction subclass.
+pub fn classify(f: &SFormula) -> ConstraintClass {
+    let shape = state_shape(f);
+    let n_states = shape.state_vars.len();
+    let depth = shape.max_transition_depth;
+    match (n_states, depth) {
+        (0 | 1, 0) => ConstraintClass::Static,
+        (1, 1) => ConstraintClass::Transaction,
+        _ => ConstraintClass::Dynamic,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txlog_logic::{parse_sformula, ParseCtx};
+
+    fn ctx() -> ParseCtx {
+        ParseCtx::with_relations(&["EMP", "DEPT", "PROJ", "ALLOC", "SKILL", "FIRE"])
+    }
+
+    #[test]
+    fn example1_is_static() {
+        let f = parse_sformula(
+            "forall s: state, e': 5tup . e' in s:EMP ->
+               exists a': 3tup . a' in s:ALLOC & e-name(e') = a-emp(a')",
+            &ctx(),
+        )
+        .unwrap();
+        assert_eq!(classify(&f), ConstraintClass::Static);
+    }
+
+    #[test]
+    fn example2_right_form_is_transaction() {
+        let f = parse_sformula(
+            "forall s: state, t: tx, e: 5tup .
+               (s:e in s:EMP & (s;t):e in (s;t):EMP &
+                age(s:e) < age((s;t):e) & m-status(s:e) != 'S')
+                 -> m-status((s;t):e) != 'S'",
+            &ctx(),
+        )
+        .unwrap();
+        assert_eq!(classify(&f), ConstraintClass::Transaction);
+    }
+
+    #[test]
+    fn example2_wrong_form_is_dynamic() {
+        // two independent state variables: a state-pair property, not a
+        // transaction property
+        let f = parse_sformula(
+            "forall s1: state, s2: state, e: 5tup .
+               (s1:e in s1:EMP & s2:e in s2:EMP &
+                age(s1:e) < age(s2:e) & m-status(s1:e) != 'S')
+                 -> m-status(s2:e) != 'S'",
+            &ctx(),
+        )
+        .unwrap();
+        assert_eq!(classify(&f), ConstraintClass::Dynamic);
+    }
+
+    #[test]
+    fn example4_never_rehire_is_dynamic() {
+        let f = parse_sformula(
+            "forall s: state, t1: tx, e: 5tup .
+               (s:e in s:EMP & !((s;t1):e in (s;t1):EMP))
+                 -> !(exists t2: tx . ((s;t1);t2):e in ((s;t1);t2):EMP)",
+            &ctx(),
+        )
+        .unwrap();
+        assert_eq!(classify(&f), ConstraintClass::Dynamic);
+        let shape = state_shape(&f);
+        assert_eq!(shape.max_transition_depth, 2);
+        assert_eq!(shape.tx_vars.len(), 2);
+    }
+
+    #[test]
+    fn holds_form_is_static() {
+        let f = parse_sformula(
+            "forall s: state . s::(forall e: 5tup . e in EMP -> salary(e) <= 100000)",
+            &ctx(),
+        )
+        .unwrap();
+        assert_eq!(classify(&f), ConstraintClass::Static);
+    }
+
+    #[test]
+    fn shape_counts_variables() {
+        let f = parse_sformula(
+            "forall s: state, t: tx, k: 2tup .
+               s:k in s:SKILL -> (s;t):k in (s;t):SKILL",
+            &ctx(),
+        )
+        .unwrap();
+        let shape = state_shape(&f);
+        assert_eq!(shape.state_vars.len(), 1);
+        assert_eq!(shape.tx_vars.len(), 1);
+        assert_eq!(shape.max_transition_depth, 1);
+    }
+}

@@ -1,0 +1,181 @@
+//! Checkability as a specification-complexity measure.
+//!
+//! Section 5: "We may treat checkability as a specification complexity
+//! measure and investigate the relationships between various classes of
+//! integrity constraints." This module gives [`Window`] the ordinal
+//! structure that idea needs — a total order from "current state
+//! suffices" up to "not checkable at all" — plus the induced measure on
+//! constraints and the comparisons between constraint classes.
+
+use crate::classify::{classify, ConstraintClass};
+use crate::window::{checkability, Hints, Window};
+use std::cmp::Ordering;
+use txlog_logic::SFormula;
+
+/// The complexity ordinal of a checkability verdict: how much history the
+/// database system must maintain, ordered by maintenance burden.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Complexity {
+    /// A bounded window of `k` states (k ≥ 1).
+    Bounded(usize),
+    /// The complete history.
+    CompleteHistory,
+    /// Beyond any history maintenance (requires proof obligations about
+    /// future transactions at every step).
+    Unenforceable,
+}
+
+impl Complexity {
+    /// The measure of a checkability verdict.
+    pub fn of_window(w: &Window) -> Complexity {
+        match w {
+            Window::States(k) => Complexity::Bounded(*k),
+            Window::Complete => Complexity::CompleteHistory,
+            Window::NotCheckable(_) => Complexity::Unenforceable,
+        }
+    }
+
+    /// The measure of a constraint under the given hints.
+    pub fn of_constraint(f: &SFormula, hints: Hints) -> Complexity {
+        Complexity::of_window(&checkability(f, hints))
+    }
+
+    /// Join: the burden of maintaining *both* constraints — the pointwise
+    /// maximum (one history serves all constraints at once).
+    pub fn join(self, other: Complexity) -> Complexity {
+        self.max(other)
+    }
+
+    /// The least complexity that any constraint in the syntactic class
+    /// can have (the class floor): static constraints can reach window 1,
+    /// transaction constraints window 2, general dynamic ones cannot be
+    /// bounded in general.
+    pub fn class_floor(class: ConstraintClass) -> Complexity {
+        match class {
+            ConstraintClass::Static => Complexity::Bounded(1),
+            ConstraintClass::Transaction => Complexity::Bounded(2),
+            ConstraintClass::Dynamic => Complexity::CompleteHistory,
+        }
+    }
+}
+
+/// The complexity profile of a whole schema's IC set: the join of the
+/// members, plus per-constraint measures.
+#[derive(Clone, Debug)]
+pub struct Profile {
+    /// (name, measure) per constraint.
+    pub members: Vec<(String, Complexity)>,
+    /// The join — the history the system must actually maintain.
+    pub total: Complexity,
+}
+
+/// Compute the profile of a constraint set.
+pub fn profile<'a>(
+    constraints: impl IntoIterator<Item = (&'a str, &'a SFormula, Hints)>,
+) -> Profile {
+    let mut members = Vec::new();
+    let mut total = Complexity::Bounded(1);
+    for (name, f, hints) in constraints {
+        let c = Complexity::of_constraint(f, hints);
+        total = total.join(c);
+        members.push((name.to_string(), c));
+    }
+    Profile { members, total }
+}
+
+/// The classes ordered by their floors — the paper's "relationships
+/// between various classes of integrity constraints", e.g. static ≺
+/// transaction ≺ dynamic.
+pub fn class_cmp(a: ConstraintClass, b: ConstraintClass) -> Ordering {
+    Complexity::class_floor(a).cmp(&Complexity::class_floor(b))
+}
+
+/// Re-export for callers computing classes and measures together.
+pub fn measure_with_class(f: &SFormula, hints: Hints) -> (ConstraintClass, Complexity) {
+    (classify(f), Complexity::of_constraint(f, hints))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txlog_logic::{parse_sformula, ParseCtx};
+
+    fn ctx() -> ParseCtx {
+        ParseCtx::with_relations(&["EMP", "SKILL"])
+    }
+
+    fn static_ic() -> SFormula {
+        parse_sformula(
+            "forall s: state, e': 2tup . e' in s:EMP -> salary(e') <= 1000",
+            &ctx(),
+        )
+        .unwrap()
+    }
+
+    fn tx_ic() -> SFormula {
+        parse_sformula(
+            "forall s: state, t: tx, e: 2tup .
+               (s:e in s:EMP & (s;t):e in (s;t):EMP)
+                 -> salary(s:e) <= salary((s;t):e)",
+            &ctx(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ordinal_order() {
+        assert!(Complexity::Bounded(1) < Complexity::Bounded(2));
+        assert!(Complexity::Bounded(100) < Complexity::CompleteHistory);
+        assert!(Complexity::CompleteHistory < Complexity::Unenforceable);
+    }
+
+    #[test]
+    fn join_is_max() {
+        assert_eq!(
+            Complexity::Bounded(2).join(Complexity::Bounded(3)),
+            Complexity::Bounded(3)
+        );
+        assert_eq!(
+            Complexity::Bounded(3).join(Complexity::CompleteHistory),
+            Complexity::CompleteHistory
+        );
+    }
+
+    #[test]
+    fn class_floors_are_strictly_ordered() {
+        assert_eq!(
+            class_cmp(ConstraintClass::Static, ConstraintClass::Transaction),
+            Ordering::Less
+        );
+        assert_eq!(
+            class_cmp(ConstraintClass::Transaction, ConstraintClass::Dynamic),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn profile_of_employee_style_set() {
+        let transitive = Hints {
+            step_relation_transitive: true,
+            ..Hints::default()
+        };
+        let s = static_ic();
+        let t = tx_ic();
+        let p = profile([
+            ("static", &s, Hints::default()),
+            ("transaction", &t, transitive),
+        ]);
+        assert_eq!(p.members[0].1, Complexity::Bounded(1));
+        assert_eq!(p.members[1].1, Complexity::Bounded(2));
+        // the system maintains the max window
+        assert_eq!(p.total, Complexity::Bounded(2));
+    }
+
+    #[test]
+    fn measure_with_class_agrees() {
+        let (class, c) = measure_with_class(&static_ic(), Hints::default());
+        assert_eq!(class, ConstraintClass::Static);
+        assert_eq!(c, Complexity::Bounded(1));
+        assert!(c >= Complexity::class_floor(class));
+    }
+}

@@ -1,0 +1,250 @@
+//! History encoding: trading history maintenance for auxiliary state.
+//!
+//! Example 4 shows the paper's remedy for an uncheckable dynamic
+//! constraint: "we may encode part of the history by having a relation
+//! `FIRE` about those employees fired by the company. Such an encoding
+//! makes the constraint statically checkable, by adding a static
+//! constraint `(∀s)(∀e'). e' ∈ s:FIRE → e' ∉ s:EMP`."
+//!
+//! [`NeverReinsertEncoding`] generalizes this: for any relation `R` and
+//! key attribute, it
+//!
+//! 1. adds a unary audit relation to the schema,
+//! 2. rewrites every transaction so each `delete(t, R)` also records the
+//!    key of `t` in the audit relation, and
+//! 3. produces the static constraint that no current member of `R` has a
+//!    recorded key —
+//!
+//! so the dynamic "once gone, never back" constraint becomes checkable
+//! with a single state.
+
+use txlog_base::{Symbol, TxResult};
+use txlog_logic::{FFormula, FTerm, SFormula, STerm, Var};
+use txlog_relational::Schema;
+
+/// The FIRE-style encoding for one relation/key pair.
+pub struct NeverReinsertEncoding {
+    /// The relation whose members must never return (e.g. `EMP`).
+    pub relation: Symbol,
+    /// The key attribute identifying members across deletion (e.g.
+    /// `e-name`).
+    pub key_attr: Symbol,
+    /// The audit relation's name (e.g. `FIRE`).
+    pub audit: Symbol,
+    /// The arity of `relation`.
+    arity: usize,
+}
+
+impl NeverReinsertEncoding {
+    /// Create the encoding, extending `schema` with the audit relation.
+    pub fn install(
+        schema: &mut Schema,
+        relation: &str,
+        key_attr: &str,
+        audit: &str,
+    ) -> TxResult<NeverReinsertEncoding> {
+        let decl = schema.expect(relation)?;
+        let arity = decl.arity();
+        // validate the key attribute exists
+        schema.attr_index(relation, key_attr)?;
+        let audit_attr = format!("{audit}-key");
+        schema.add_relation(audit, &[audit_attr.as_str()])?;
+        Ok(NeverReinsertEncoding {
+            relation: Symbol::new(relation),
+            key_attr: Symbol::new(key_attr),
+            audit: Symbol::new(audit),
+            arity,
+        })
+    }
+
+    /// Rewrite a transaction so every `delete(t, R)` is preceded by
+    /// recording `key(t)` in the audit relation. All other constructs are
+    /// rewritten recursively; queries are untouched.
+    pub fn rewrite(&self, t: &FTerm) -> FTerm {
+        match t {
+            FTerm::Delete(tup, rel) if *rel == self.relation => {
+                let key = FTerm::Attr(self.key_attr, tup.clone());
+                let record = FTerm::Insert(
+                    Box::new(FTerm::TupleCons(vec![key])),
+                    self.audit,
+                );
+                FTerm::Seq(
+                    Box::new(record),
+                    Box::new(FTerm::Delete(tup.clone(), *rel)),
+                )
+            }
+            FTerm::Seq(a, b) => FTerm::Seq(
+                Box::new(self.rewrite(a)),
+                Box::new(self.rewrite(b)),
+            ),
+            FTerm::Cond(p, a, b) => FTerm::Cond(
+                p.clone(),
+                Box::new(self.rewrite(a)),
+                Box::new(self.rewrite(b)),
+            ),
+            FTerm::Foreach(v, p, body) => {
+                FTerm::Foreach(*v, p.clone(), Box::new(self.rewrite(body)))
+            }
+            other => other.clone(),
+        }
+    }
+
+    /// The static constraint replacing the dynamic one:
+    /// `∀s ∀x'. x' ∈ s:AUDIT → ¬∃e'. e' ∈ s:R ∧ key(e') = key-of(x')`.
+    pub fn static_constraint(&self) -> SFormula {
+        let s = Var::state("s");
+        let x = Var::tup_s("x", 1);
+        let e = Var::tup_s("e", self.arity);
+        let in_audit = SFormula::member(
+            STerm::var(x),
+            STerm::var(s).eval_obj(FTerm::Rel(self.audit)),
+        );
+        let same_key = SFormula::eq(
+            STerm::Attr(self.key_attr, Box::new(STerm::var(e))),
+            STerm::Select(Box::new(STerm::var(x)), 1),
+        );
+        let present = SFormula::exists(
+            e,
+            SFormula::member(
+                STerm::var(e),
+                STerm::var(s).eval_obj(FTerm::Rel(self.relation)),
+            )
+            .and(same_key),
+        );
+        SFormula::forall_all([s, x], in_audit.implies(present.not()))
+    }
+
+    /// The original dynamic constraint this encoding replaces (for
+    /// documentation and for the experiments' side-by-side comparison):
+    /// `∀s ∀t₁ ∀e. (s:e ∈ s:R ∧ s;t₁:e ∉ s;t₁:R) →
+    ///    ¬∃t₂. s;t₁;t₂:e ∈ s;t₁;t₂:R`.
+    pub fn dynamic_constraint(&self) -> SFormula {
+        let s = Var::state("s");
+        let t1 = Var::transaction("t1");
+        let t2 = Var::transaction("t2");
+        let e = Var::tup_f("e", self.arity);
+        let rel = FTerm::Rel(self.relation);
+        let at = |w: STerm| -> SFormula {
+            SFormula::member(
+                w.clone().eval_obj(FTerm::var(e)),
+                w.eval_obj(rel.clone()),
+            )
+        };
+        let s0 = STerm::var(s);
+        let s1 = STerm::var(s).eval_state(FTerm::var(t1));
+        let s2 = STerm::var(s)
+            .eval_state(FTerm::var(t1))
+            .eval_state(FTerm::var(t2));
+        SFormula::forall_all(
+            [s, t1, e],
+            at(s0)
+                .and(at(s1.clone()).not())
+                .implies(SFormula::exists(t2, at(s2)).not()),
+        )
+    }
+
+    /// A guard formula usable as a transaction precondition: `p` may be
+    /// inserted into `R` only if its key is not recorded. (This is the
+    /// enforcement half; the static constraint is the checking half.)
+    pub fn insert_guard(&self, tup: FTerm) -> FFormula {
+        let key = FTerm::Attr(self.key_attr, Box::new(tup));
+        FFormula::Member(FTerm::TupleCons(vec![key]), FTerm::Rel(self.audit)).not()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txlog_base::Atom;
+    use txlog_engine::{Engine, Env, ModelBuilder};
+    use txlog_logic::{parse_fterm, ParseCtx};
+
+    fn schema() -> Schema {
+        Schema::new()
+            .relation("EMP", &["e-name", "salary"])
+            .unwrap()
+    }
+
+    #[test]
+    fn install_extends_schema() {
+        let mut schema = schema();
+        let enc = NeverReinsertEncoding::install(&mut schema, "EMP", "e-name", "FIRE").unwrap();
+        assert!(schema.expect("FIRE").is_ok());
+        assert_eq!(enc.audit.as_str(), "FIRE");
+    }
+
+    #[test]
+    fn install_validates_names() {
+        let mut schema = schema();
+        assert!(NeverReinsertEncoding::install(&mut schema, "NOPE", "e-name", "FIRE").is_err());
+        assert!(NeverReinsertEncoding::install(&mut schema, "EMP", "nope", "FIRE").is_err());
+    }
+
+    #[test]
+    fn rewrite_records_deletions() {
+        let mut schema = schema();
+        let enc = NeverReinsertEncoding::install(&mut schema, "EMP", "e-name", "FIRE").unwrap();
+        let ctx = ParseCtx::with_relations(&["EMP", "FIRE"]);
+        let fire_ann = parse_fterm(
+            "foreach e: 2tup | e in EMP & e-name(e) = 'ann' do delete(e, EMP) end",
+            &ctx,
+            &[],
+        )
+        .unwrap();
+        let rewritten = enc.rewrite(&fire_ann);
+        assert!(rewritten.to_string().contains("insert(tuple(e-name(e)), FIRE)"));
+
+        // execute: ann leaves EMP and appears in FIRE
+        let db = schema.initial_state();
+        let emp = schema.rel_id("EMP").unwrap();
+        let (db, _) = db
+            .insert_fields(emp, &[Atom::str("ann"), Atom::nat(500)])
+            .unwrap();
+        let engine = Engine::new(&schema);
+        let db2 = engine.execute(&db, &rewritten, &Env::new()).unwrap();
+        assert!(db2.relation(emp).unwrap().is_empty());
+        let fire = schema.rel_id("FIRE").unwrap();
+        assert!(db2
+            .relation(fire)
+            .unwrap()
+            .contains_fields(&[Atom::str("ann")]));
+    }
+
+    #[test]
+    fn static_constraint_detects_rehire() {
+        let mut schema = schema();
+        let enc = NeverReinsertEncoding::install(&mut schema, "EMP", "e-name", "FIRE").unwrap();
+        let constraint = enc.static_constraint();
+
+        // state where ann is both fired and employed: violation
+        let db = schema.initial_state();
+        let emp = schema.rel_id("EMP").unwrap();
+        let fire = schema.rel_id("FIRE").unwrap();
+        let (db, _) = db
+            .insert_fields(emp, &[Atom::str("ann"), Atom::nat(500)])
+            .unwrap();
+        let (bad, _) = db.insert_fields(fire, &[Atom::str("ann")]).unwrap();
+        let mut b = ModelBuilder::new(schema.clone());
+        b.add_state(bad);
+        assert!(!b.finish().check(&constraint).unwrap());
+
+        // fired-but-gone is fine
+        let db = schema.initial_state();
+        let (ok, _) = db.insert_fields(fire, &[Atom::str("ann")]).unwrap();
+        let mut b = ModelBuilder::new(schema);
+        b.add_state(ok);
+        assert!(b.finish().check(&constraint).unwrap());
+    }
+
+    #[test]
+    fn encoded_constraint_is_static_class() {
+        let mut schema = schema();
+        let enc = NeverReinsertEncoding::install(&mut schema, "EMP", "e-name", "FIRE").unwrap();
+        use crate::classify::{classify, ConstraintClass};
+        assert_eq!(classify(&enc.static_constraint()), ConstraintClass::Static);
+        assert_eq!(
+            classify(&enc.dynamic_constraint()),
+            ConstraintClass::Dynamic
+        );
+    }
+}

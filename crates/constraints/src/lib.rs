@@ -1,0 +1,34 @@
+//! Integrity constraints: classification, checkability, enforcement.
+//!
+//! The paper's Section 3 trade-off — "between the expressiveness of the
+//! semantic specification and the ability of the database system to
+//! properly maintain the semantics" — made executable:
+//!
+//! * [`classify()`](classify()) sorts constraints into static / transaction / dynamic
+//!   (Definition 4 plus the transaction subclass);
+//! * [`checkability`] computes the history window a database system must
+//!   maintain, combining syntax with declared domain facts ([`Hints`] —
+//!   the paper's transitivity arguments);
+//! * [`History`] and [`WindowedChecker`] enforce a constraint over a
+//!   linear history with bounded state retention, and
+//!   [`find_window_unsoundness`] refutes windows that are too small;
+//! * [`NeverReinsertEncoding`] implements Example 4's FIRE encoding,
+//!   converting an uncheckable dynamic constraint into a static one by
+//!   auditing deletions.
+
+#![warn(missing_docs)]
+
+pub mod assisted;
+pub mod classify;
+pub mod complexity;
+pub mod encoding;
+pub mod window;
+
+pub use assisted::{certify, AssistStats, AssistedChecker, VerifiedRegistry};
+pub use classify::{classify, state_shape, ConstraintClass, StateShape};
+pub use complexity::{class_cmp, measure_with_class, profile, Complexity, Profile};
+pub use encoding::NeverReinsertEncoding;
+pub use window::{
+    checkability, find_window_unsoundness, Hints, History, HistoryOutcome, Window,
+    WindowedChecker,
+};

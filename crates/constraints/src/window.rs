@@ -1,0 +1,507 @@
+//! Checkability: windowed constraint checking over bounded history.
+//!
+//! Section 3 defines a constraint to be *checkable* if "its validity in
+//! the maintained partial model, together with the assumption that the
+//! database has been valid in the history, implies its validity in the
+//! complete model". The paper argues per example: static constraints are
+//! checkable with the current state alone; the skill-retention constraint
+//! is checkable with two states because `⊆` is transitive; the
+//! salary/department constraint with three states because `<` is
+//! transitive; its `≠` variant only with complete history; never-rehire
+//! not at all (without encoding).
+//!
+//! This module provides both halves of that story:
+//!
+//! * [`History`] + [`WindowedChecker`] — enforce a constraint while
+//!   maintaining only the last `k` states (the *partial model*);
+//! * [`checkability`] — a conservative analysis combining the syntactic
+//!   class with caller-supplied domain [`Hints`] (the paper's
+//!   transitivity arguments are domain facts, not syntax);
+//! * [`find_window_unsoundness`] — a semantic falsifier: search a given
+//!   history for a point where every window check passed yet the full
+//!   model violates the constraint, demonstrating that window `k` is too
+//!   small. Soundness of a *claimed* window is thereby refutable.
+
+use crate::classify::{classify, ConstraintClass};
+use txlog_base::{TxError, TxResult};
+use txlog_engine::{Env, EvalOptions, Model};
+use txlog_logic::{FTerm, SFormula};
+use txlog_relational::{DbState, EvolutionGraph, Schema, TxLabel};
+
+/// How much history a database system must maintain to enforce a
+/// constraint.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Window {
+    /// The last `k` states suffice (k ≥ 1; 1 = current state only).
+    States(usize),
+    /// Only the complete history suffices.
+    Complete,
+    /// Not checkable by state-window maintenance at all (e.g. requires
+    /// proving the existence of future transactions, as in Example 4's
+    /// invertibility constraint).
+    NotCheckable(String),
+}
+
+/// Domain facts the checkability analysis may rely on — the paper's
+/// transitivity arguments made explicit.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct Hints {
+    /// The binary relation the constraint enforces between the two ends
+    /// of a transaction is transitive (e.g. `⊆` for skill retention,
+    /// `≤`/`<` for ages). Makes a transaction constraint checkable with a
+    /// two-state window.
+    pub step_relation_transitive: bool,
+    /// The constraint constrains intermediate states too (Example 3's
+    /// salary constraint: a decrease must pass through a department
+    /// switch), raising the window to three states.
+    pub constrains_intermediates: bool,
+    /// The constraint's step relation is *not* closed under composition
+    /// (Example 3's `≠`-salary variant): only the complete history works.
+    pub step_relation_not_composable: bool,
+    /// The constraint quantifies over future/hypothetical transactions
+    /// (Example 4's invertibility, project termination): no amount of
+    /// history maintenance checks it.
+    pub refers_to_future: bool,
+}
+
+/// Conservative checkability analysis (Section 3's informal notion).
+///
+/// ```
+/// use txlog_constraints::{checkability, Hints, Window};
+/// use txlog_logic::{parse_sformula, ParseCtx};
+///
+/// let ctx = ParseCtx::with_relations(&["EMP"]);
+/// let static_ic = parse_sformula(
+///     "forall s: state, e': 2tup . e' in s:EMP -> salary(e') <= 1000",
+///     &ctx,
+/// ).unwrap();
+/// assert_eq!(checkability(&static_ic, Hints::default()), Window::States(1));
+///
+/// let tx_ic = parse_sformula(
+///     "forall s: state, t: tx, e: 2tup .
+///        (s:e in s:EMP & (s;t):e in (s;t):EMP)
+///          -> salary(s:e) <= salary((s;t):e)",
+///     &ctx,
+/// ).unwrap();
+/// let transitive = Hints { step_relation_transitive: true, ..Hints::default() };
+/// assert_eq!(checkability(&tx_ic, transitive), Window::States(2));
+/// ```
+pub fn checkability(f: &SFormula, hints: Hints) -> Window {
+    if hints.refers_to_future {
+        return Window::NotCheckable(
+            "constraint quantifies over future transactions; checking would \
+             require proving their existence at every step"
+                .into(),
+        );
+    }
+    match classify(f) {
+        ConstraintClass::Static => Window::States(1),
+        ConstraintClass::Transaction => {
+            if hints.step_relation_not_composable {
+                Window::Complete
+            } else if hints.constrains_intermediates {
+                Window::States(3)
+            } else if hints.step_relation_transitive {
+                Window::States(2)
+            } else {
+                // without a transitivity argument, soundness of any fixed
+                // window cannot be concluded
+                Window::Complete
+            }
+        }
+        ConstraintClass::Dynamic => Window::NotCheckable(
+            "general dynamic constraint: relates states across unboundedly \
+             many transitions; consider a history encoding"
+                .into(),
+        ),
+    }
+}
+
+/// A recorded linear history of database states connected by transactions.
+#[derive(Clone)]
+pub struct History {
+    schema: Schema,
+    states: Vec<DbState>,
+    labels: Vec<String>,
+}
+
+impl History {
+    /// Start a history at an initial state.
+    pub fn new(schema: Schema, initial: DbState) -> History {
+        History {
+            schema,
+            states: vec![initial],
+            labels: Vec::new(),
+        }
+    }
+
+    /// Execute `tx` at the latest state and append the result.
+    pub fn step(&mut self, label: &str, tx: &FTerm, env: &Env) -> TxResult<&DbState> {
+        let engine = txlog_engine::Engine::new(&self.schema);
+        let next = engine.execute(self.latest(), tx, env)?;
+        self.states.push(next);
+        self.labels.push(label.to_string());
+        Ok(self.latest())
+    }
+
+    /// Append a pre-computed state (for synthetic histories).
+    pub fn push_state(&mut self, label: &str, state: DbState) {
+        self.states.push(state);
+        self.labels.push(label.to_string());
+    }
+
+    /// The latest state.
+    pub fn latest(&self) -> &DbState {
+        self.states.last().expect("history is never empty")
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True iff only the initial state is present.
+    pub fn is_empty(&self) -> bool {
+        self.states.len() <= 1
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// All states, oldest first.
+    pub fn states(&self) -> &[DbState] {
+        &self.states
+    }
+
+    /// Build a model from the suffix window of the last `k` states (or
+    /// fewer, early in the history): the *partial model* a database
+    /// system with window `k` maintains.
+    pub fn window_model(&self, k: usize) -> Model {
+        let start = self.states.len().saturating_sub(k.max(1));
+        self.model_of_range(start, self.states.len())
+    }
+
+    /// Build the complete model of the history.
+    pub fn full_model(&self) -> Model {
+        self.model_of_range(0, self.states.len())
+    }
+
+    fn model_of_range(&self, start: usize, end: usize) -> Model {
+        let mut graph = EvolutionGraph::new();
+        let mut prev = None;
+        for i in start..end {
+            let id = graph.add_state(self.states[i].clone());
+            if let Some(prev_id) = prev {
+                if prev_id != id {
+                    let label = TxLabel::new(&self.labels[i - 1]);
+                    graph
+                        .add_arc(prev_id, label, id)
+                        .expect("linear history arcs are consistent");
+                } else {
+                    // a no-op step: record the arc as an identity-like
+                    // transition under its own label
+                    let label = TxLabel::new(&self.labels[i - 1]);
+                    let _ = graph.add_arc(prev_id, label, id);
+                }
+            }
+            prev = Some(id);
+        }
+        // No Λ self-loops here: history models record *proper* executed
+        // transactions. Including the null transaction would trivially
+        // falsify ≠-style constraints (salary(s:e) ≠ salary(s;Λ:e) is
+        // never true), which is plainly not the paper's reading.
+        graph.transitive_close();
+        Model::new(self.schema.clone(), graph).with_options(EvalOptions::default())
+    }
+}
+
+/// Incremental enforcement of one constraint with a `k`-state window.
+pub struct WindowedChecker {
+    constraint: SFormula,
+    window: usize,
+}
+
+/// Outcome of checking a whole history.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistoryOutcome {
+    /// Window verdicts per step (index i = after state i+1 was appended).
+    pub per_step: Vec<bool>,
+    /// Verdict on the complete model.
+    pub global: bool,
+}
+
+impl WindowedChecker {
+    /// A checker for `constraint` maintaining `window` states.
+    pub fn new(constraint: SFormula, window: Window) -> TxResult<WindowedChecker> {
+        let window = match window {
+            Window::States(k) if k >= 1 => k,
+            Window::States(_) => {
+                return Err(TxError::eval("window must maintain at least one state"))
+            }
+            Window::Complete => usize::MAX,
+            Window::NotCheckable(reason) => {
+                return Err(TxError::eval(format!(
+                    "constraint is not checkable: {reason}"
+                )))
+            }
+        };
+        Ok(WindowedChecker { constraint, window })
+    }
+
+    /// The constraint being enforced.
+    pub fn constraint(&self) -> &SFormula {
+        &self.constraint
+    }
+
+    /// Check the window model at the history's current end.
+    pub fn check_now(&self, history: &History) -> TxResult<bool> {
+        let model = if self.window == usize::MAX {
+            history.full_model()
+        } else {
+            history.window_model(self.window)
+        };
+        model.check(&self.constraint)
+    }
+
+    /// Replay an entire history: window verdicts after every step plus
+    /// the global verdict on the complete model.
+    pub fn replay(&self, history: &History) -> TxResult<HistoryOutcome> {
+        let mut per_step = Vec::with_capacity(history.len());
+        for end in 1..=history.len() {
+            let mut prefix = History {
+                schema: history.schema.clone(),
+                states: history.states[..end].to_vec(),
+                labels: history.labels[..end.saturating_sub(1)].to_vec(),
+            };
+            // normalize: History::new guarantees non-empty, replay keeps it
+            if prefix.states.is_empty() {
+                prefix.states.push(history.states[0].clone());
+            }
+            per_step.push(self.check_now(&prefix)?);
+        }
+        let global = history.full_model().check(&self.constraint)?;
+        Ok(HistoryOutcome { per_step, global })
+    }
+}
+
+/// Search a history for evidence that window `k` is unsound for this
+/// constraint: every windowed check passes but the complete model fails.
+/// Returns `Some(step_count)` — the history length demonstrating the gap —
+/// or `None` if the window verdicts agree with the global verdict.
+pub fn find_window_unsoundness(
+    constraint: &SFormula,
+    k: usize,
+    history: &History,
+) -> TxResult<Option<usize>> {
+    let checker = WindowedChecker::new(constraint.clone(), Window::States(k))?;
+    let outcome = checker.replay(history)?;
+    if outcome.per_step.iter().all(|&ok| ok) && !outcome.global {
+        Ok(Some(history.len()))
+    } else {
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txlog_base::Atom;
+    use txlog_logic::{parse_fterm, parse_sformula, ParseCtx};
+
+    fn schema() -> Schema {
+        Schema::new()
+            .relation("EMP", &["e-name", "salary"])
+            .unwrap()
+            .relation("SKILL", &["s-emp", "s-no"])
+            .unwrap()
+    }
+
+    fn ctx() -> ParseCtx {
+        ParseCtx::with_relations(&["EMP", "SKILL"])
+    }
+
+    fn start() -> (Schema, DbState) {
+        let schema = schema();
+        let db = schema.initial_state();
+        let emp = schema.rel_id("EMP").unwrap();
+        let (db, _) = db
+            .insert_fields(emp, &[Atom::str("ann"), Atom::nat(500)])
+            .unwrap();
+        (schema, db)
+    }
+
+    #[test]
+    fn static_constraint_window_one() {
+        let f = parse_sformula(
+            "forall s: state, e': 2tup . e' in s:EMP -> salary(e') <= 1000",
+            &ctx(),
+        )
+        .unwrap();
+        assert_eq!(checkability(&f, Hints::default()), Window::States(1));
+    }
+
+    #[test]
+    fn transaction_constraint_needs_hints() {
+        let f = parse_sformula(
+            "forall s: state, t: tx, e: 2tup .
+               (s:e in s:EMP & (s;t):e in (s;t):EMP)
+                 -> salary(s:e) <= salary((s;t):e)",
+            &ctx(),
+        )
+        .unwrap();
+        // ≤ is transitive → two states suffice
+        let hints = Hints {
+            step_relation_transitive: true,
+            ..Hints::default()
+        };
+        assert_eq!(checkability(&f, hints), Window::States(2));
+        // without the transitivity fact the analysis stays conservative
+        assert_eq!(checkability(&f, Hints::default()), Window::Complete);
+        // the ≠ variant composes to equality: complete history
+        let hints = Hints {
+            step_relation_not_composable: true,
+            ..Hints::default()
+        };
+        assert_eq!(checkability(&f, hints), Window::Complete);
+    }
+
+    #[test]
+    fn future_references_not_checkable() {
+        let f = parse_sformula(
+            "forall s: state, t1: tx . exists t2: tx . s = (s;t1);t2",
+            &ctx(),
+        )
+        .unwrap();
+        let hints = Hints {
+            refers_to_future: true,
+            ..Hints::default()
+        };
+        assert!(matches!(checkability(&f, hints), Window::NotCheckable(_)));
+    }
+
+    #[test]
+    fn windowed_checker_enforces_monotone_salary() {
+        let (schema, db) = start();
+        let f = parse_sformula(
+            "forall s: state, t: tx, e: 2tup .
+               (s:e in s:EMP & (s;t):e in (s;t):EMP)
+                 -> salary(s:e) <= salary((s;t):e)",
+            &ctx(),
+        )
+        .unwrap();
+        let mut history = History::new(schema, db);
+        let raise = parse_fterm(
+            "foreach e: 2tup | e in EMP do modify(e, salary, salary(e) + 100) end",
+            &ctx(),
+            &[],
+        )
+        .unwrap();
+        history.step("raise", &raise, &Env::new()).unwrap();
+        history.step("raise", &raise, &Env::new()).unwrap();
+        let checker = WindowedChecker::new(f, Window::States(2)).unwrap();
+        let outcome = checker.replay(&history).unwrap();
+        assert!(outcome.per_step.iter().all(|&b| b));
+        assert!(outcome.global);
+    }
+
+    #[test]
+    fn windowed_checker_catches_violation_in_window() {
+        let (schema, db) = start();
+        let f = parse_sformula(
+            "forall s: state, t: tx, e: 2tup .
+               (s:e in s:EMP & (s;t):e in (s;t):EMP)
+                 -> salary(s:e) <= salary((s;t):e)",
+            &ctx(),
+        )
+        .unwrap();
+        let mut history = History::new(schema, db);
+        let cut = parse_fterm(
+            "foreach e: 2tup | e in EMP do modify(e, salary, salary(e) - 100) end",
+            &ctx(),
+            &[],
+        )
+        .unwrap();
+        history.step("cut", &cut, &Env::new()).unwrap();
+        let checker = WindowedChecker::new(f, Window::States(2)).unwrap();
+        let outcome = checker.replay(&history).unwrap();
+        assert!(!outcome.per_step[1]);
+        assert!(!outcome.global);
+    }
+
+    #[test]
+    fn too_small_window_is_demonstrably_unsound() {
+        // salary must never return to an earlier value (a ≠-style
+        // constraint): with window 2 each step looks fine, but the full
+        // history exposes a violation when the value cycles back.
+        let (schema, db) = start();
+        let f = parse_sformula(
+            "forall s: state, t: tx, e: 2tup .
+               (s:e in s:EMP & (s;t):e in (s;t):EMP)
+                 -> salary(s:e) != salary((s;t):e)",
+            &ctx(),
+        )
+        .unwrap();
+        let mut history = History::new(schema, db);
+        let up = parse_fterm(
+            "foreach e: 2tup | e in EMP do modify(e, salary, salary(e) + 100) end",
+            &ctx(),
+            &[],
+        )
+        .unwrap();
+        let down = parse_fterm(
+            "foreach e: 2tup | e in EMP do modify(e, salary, salary(e) - 100) end",
+            &ctx(),
+            &[],
+        )
+        .unwrap();
+        history.step("up", &up, &Env::new()).unwrap();
+        history.step("down", &down, &Env::new()).unwrap();
+        // window 2 passes each step (each adjacent pair differs) but the
+        // full model contains the composed arc s0 → s2 with equal salary.
+        let gap = find_window_unsoundness(&f, 2, &history).unwrap();
+        assert_eq!(gap, Some(3));
+    }
+
+    #[test]
+    fn complete_window_checker_equals_global() {
+        let (schema, db) = start();
+        let f = parse_sformula(
+            "forall s: state, t: tx, e: 2tup .
+               (s:e in s:EMP & (s;t):e in (s;t):EMP)
+                 -> salary(s:e) != salary((s;t):e)",
+            &ctx(),
+        )
+        .unwrap();
+        let mut history = History::new(schema, db);
+        let up = parse_fterm(
+            "foreach e: 2tup | e in EMP do modify(e, salary, salary(e) + 100) end",
+            &ctx(),
+            &[],
+        )
+        .unwrap();
+        let down = parse_fterm(
+            "foreach e: 2tup | e in EMP do modify(e, salary, salary(e) - 100) end",
+            &ctx(),
+            &[],
+        )
+        .unwrap();
+        history.step("up", &up, &Env::new()).unwrap();
+        history.step("down", &down, &Env::new()).unwrap();
+        let checker = WindowedChecker::new(f, Window::Complete).unwrap();
+        let outcome = checker.replay(&history).unwrap();
+        assert!(!outcome.per_step[2]);
+        assert!(!outcome.global);
+    }
+
+    #[test]
+    fn not_checkable_rejected_by_checker() {
+        let f = SFormula::True;
+        assert!(WindowedChecker::new(
+            f,
+            Window::NotCheckable("reason".into())
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,275 @@
+//! Synthetic populations of the employee database.
+//!
+//! The paper has no datasets; experiments need databases, so this module
+//! generates them. [`populate`] builds a state satisfying all of Example
+//! 1's static constraints (every employee has a project, every allocation
+//! references a live project, allocations sum to ≤ 100%); the
+//! `corrupt_*` helpers produce targeted violations for negative tests.
+
+use crate::schema::employee_schema;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use txlog_base::{Atom, TxResult};
+use txlog_relational::{DbState, Schema};
+
+/// Sizing knobs for a generated population.
+#[derive(Clone, Copy, Debug)]
+pub struct Sizes {
+    /// Number of departments.
+    pub depts: usize,
+    /// Number of projects.
+    pub projects: usize,
+    /// Number of employees.
+    pub employees: usize,
+    /// Maximum allocations per employee (at least 1 is always created).
+    pub max_allocs: usize,
+    /// Maximum skills per employee.
+    pub max_skills: usize,
+}
+
+impl Default for Sizes {
+    fn default() -> Sizes {
+        Sizes {
+            depts: 3,
+            projects: 4,
+            employees: 10,
+            max_allocs: 3,
+            max_skills: 2,
+        }
+    }
+}
+
+impl Sizes {
+    /// A small population (fast model checking).
+    pub fn small() -> Sizes {
+        Sizes {
+            depts: 2,
+            projects: 2,
+            employees: 4,
+            max_allocs: 2,
+            max_skills: 1,
+        }
+    }
+
+    /// Scale employees (and projects proportionally) for benchmarks.
+    pub fn scaled(employees: usize) -> Sizes {
+        Sizes {
+            depts: (employees / 10).max(2),
+            projects: (employees / 5).max(2),
+            employees,
+            max_allocs: 3,
+            max_skills: 2,
+        }
+    }
+}
+
+/// Deterministic employee name for index `i`.
+pub fn emp_name(i: usize) -> String {
+    format!("emp-{i}")
+}
+
+/// Deterministic project name for index `i`.
+pub fn proj_name(i: usize) -> String {
+    format!("proj-{i}")
+}
+
+/// Deterministic department name for index `i`.
+pub fn dept_name(i: usize) -> String {
+    format!("dept-{i}")
+}
+
+/// Generate a valid population with the given sizes and seed. The result
+/// satisfies all three Example 1 constraints by construction.
+pub fn populate(sizes: Sizes, seed: u64) -> TxResult<(Schema, DbState)> {
+    let schema = employee_schema();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = schema.initial_state();
+
+    let dept = schema.rel_id("DEPT")?;
+    let proj = schema.rel_id("PROJ")?;
+    let emp = schema.rel_id("EMP")?;
+    let alloc = schema.rel_id("ALLOC")?;
+    let skill = schema.rel_id("SKILL")?;
+
+    for i in 0..sizes.depts {
+        let fields = [
+            Atom::str(&dept_name(i)),
+            Atom::str(&format!("chair-{i}")),
+            Atom::str(&format!("loc-{}", i % 3)),
+        ];
+        db = db.insert_fields(dept, &fields)?.0;
+    }
+    for i in 0..sizes.projects {
+        let fields = [Atom::str(&proj_name(i)), Atom::nat(100)];
+        db = db.insert_fields(proj, &fields)?.0;
+    }
+    for i in 0..sizes.employees {
+        let name = emp_name(i);
+        let fields = [
+            Atom::str(&name),
+            Atom::str(&dept_name(rng.gen_range(0..sizes.depts))),
+            Atom::nat(rng.gen_range(300..900)),
+            Atom::nat(rng.gen_range(22..60)),
+            Atom::str(if rng.gen_bool(0.5) { "S" } else { "M" }),
+        ];
+        db = db.insert_fields(emp, &fields)?.0;
+
+        // 1..=max_allocs allocations over distinct projects, total ≤ 100
+        let n_allocs = rng.gen_range(1..=sizes.max_allocs.max(1));
+        let mut remaining: u64 = 100;
+        let mut projects: Vec<usize> = (0..sizes.projects).collect();
+        for k in 0..n_allocs.min(sizes.projects) {
+            let pick = rng.gen_range(0..projects.len());
+            let p = projects.swap_remove(pick);
+            let share = if k + 1 == n_allocs {
+                remaining
+            } else {
+                rng.gen_range(1..=remaining.max(1))
+            };
+            remaining -= share.min(remaining);
+            let fields = [
+                Atom::str(&name),
+                Atom::str(&proj_name(p)),
+                Atom::nat(share),
+            ];
+            db = db.insert_fields(alloc, &fields)?.0;
+            if remaining == 0 {
+                break;
+            }
+        }
+
+        for _ in 0..rng.gen_range(0..=sizes.max_skills) {
+            let fields = [Atom::str(&name), Atom::nat(rng.gen_range(1..50))];
+            db = db.insert_fields(skill, &fields)?.0;
+        }
+    }
+    Ok((schema, db))
+}
+
+/// Corrupt a state by over-allocating one employee past 100% — violates
+/// Example 1's third constraint.
+pub fn corrupt_overallocate(schema: &Schema, db: &DbState) -> TxResult<DbState> {
+    let alloc = schema.rel_id("ALLOC")?;
+    let name = emp_name(0);
+    let fields = [
+        Atom::str(&name),
+        Atom::str(&proj_name(0)),
+        Atom::nat(200),
+    ];
+    Ok(db.insert_fields(alloc, &fields)?.0)
+}
+
+/// Corrupt a state with a dangling allocation (references no project) —
+/// violates Example 1's second constraint.
+pub fn corrupt_dangling_alloc(schema: &Schema, db: &DbState) -> TxResult<DbState> {
+    let alloc = schema.rel_id("ALLOC")?;
+    let fields = [
+        Atom::str(&emp_name(0)),
+        Atom::str("no-such-project"),
+        Atom::nat(0),
+    ];
+    Ok(db.insert_fields(alloc, &fields)?.0)
+}
+
+/// Corrupt a state with an idle employee (no allocations) — violates
+/// Example 1's first constraint.
+pub fn corrupt_idle_employee(schema: &Schema, db: &DbState) -> TxResult<DbState> {
+    let emp = schema.rel_id("EMP")?;
+    let fields = [
+        Atom::str("idler"),
+        Atom::str(&dept_name(0)),
+        Atom::nat(100),
+        Atom::nat(30),
+        Atom::str("S"),
+    ];
+    Ok(db.insert_fields(emp, &fields)?.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::example1_all;
+    use txlog_engine::ModelBuilder;
+
+    fn check_all(schema: Schema, db: DbState) -> Vec<(&'static str, bool)> {
+        let mut b = ModelBuilder::new(schema);
+        b.add_state(db);
+        let model = b.finish();
+        example1_all()
+            .into_iter()
+            .map(|(name, f)| (name, model.check(&f).unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn generated_population_is_valid() {
+        for seed in [1, 7, 42] {
+            let (schema, db) = populate(Sizes::default(), seed).unwrap();
+            for (name, ok) in check_all(schema, db) {
+                assert!(ok, "constraint {name} violated by generated data (seed {seed})");
+            }
+        }
+    }
+
+    #[test]
+    fn corruptions_violate_the_right_constraint() {
+        let (schema, db) = populate(Sizes::small(), 3).unwrap();
+
+        let bad = corrupt_overallocate(&schema, &db).unwrap();
+        let verdicts = check_all(schema.clone(), bad);
+        assert!(!verdicts.iter().find(|(n, _)| *n == "alloc-within-100").unwrap().1);
+
+        let bad = corrupt_dangling_alloc(&schema, &db).unwrap();
+        let verdicts = check_all(schema.clone(), bad);
+        assert!(
+            !verdicts
+                .iter()
+                .find(|(n, _)| *n == "alloc-references-project")
+                .unwrap()
+                .1
+        );
+
+        let bad = corrupt_idle_employee(&schema, &db).unwrap();
+        let verdicts = check_all(schema.clone(), bad);
+        assert!(
+            !verdicts
+                .iter()
+                .find(|(n, _)| *n == "employee-has-project")
+                .unwrap()
+                .1
+        );
+    }
+
+    #[test]
+    fn population_sizes_are_respected() {
+        let sizes = Sizes {
+            depts: 2,
+            projects: 3,
+            employees: 5,
+            max_allocs: 2,
+            max_skills: 1,
+        };
+        let (schema, db) = populate(sizes, 9).unwrap();
+        assert_eq!(
+            db.relation(schema.rel_id("EMP").unwrap()).unwrap().len(),
+            5
+        );
+        assert_eq!(
+            db.relation(schema.rel_id("PROJ").unwrap()).unwrap().len(),
+            3
+        );
+        assert_eq!(
+            db.relation(schema.rel_id("DEPT").unwrap()).unwrap().len(),
+            2
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let (_, a) = populate(Sizes::small(), 5).unwrap();
+        let (_, b) = populate(Sizes::small(), 5).unwrap();
+        assert!(a.content_eq(&b));
+        let (_, c) = populate(Sizes::small(), 6).unwrap();
+        assert!(!a.content_eq(&c));
+    }
+}

@@ -1,0 +1,22 @@
+//! The paper's employee database (Section 4), executable.
+//!
+//! * [`schema`] — EMP / DEPT / PROJ / ALLOC / SKILL (+ the scratch
+//!   relation `E` used by `cancel-project`);
+//! * [`constraints`] — every integrity constraint of Examples 1–4, with
+//!   the paper's checkability hints;
+//! * [`transactions`] — Example 5's `cancel-project` verbatim plus the
+//!   everyday transactions used to evolve databases in experiments;
+//! * [`data`] — synthetic valid populations and targeted corruptions;
+//! * [`spec`] — Example 6's declarative specification of
+//!   `cancel-project`, input to the synthesizer.
+
+#![warn(missing_docs)]
+
+pub mod constraints;
+pub mod data;
+pub mod schema;
+pub mod spec;
+pub mod transactions;
+
+pub use data::{populate, Sizes};
+pub use schema::{employee_schema, parse_ctx};

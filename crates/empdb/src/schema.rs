@@ -1,0 +1,70 @@
+//! The paper's employee database schema (Section 4):
+//!
+//! ```text
+//! EMP(e-name, e-dept, salary, age, m-status)
+//! DEPT(d-name, chair, location)
+//! PROJ(p-name, t-alloc)
+//! ALLOC(a-emp, a-proj, perc)
+//! SKILL(s-emp, s-no)
+//! ```
+//!
+//! plus the unary scratch relation `E` that Example 5's `cancel-project`
+//! assigns, and (when the FIRE encoding is installed) the audit relation
+//! `FIRE`.
+
+use txlog_logic::ParseCtx;
+use txlog_relational::Schema;
+
+/// All relation names, including the scratch relation `E`.
+pub const RELATIONS: &[&str] = &["EMP", "DEPT", "PROJ", "ALLOC", "SKILL", "E"];
+
+/// Build the employee schema.
+pub fn employee_schema() -> Schema {
+    Schema::new()
+        .relation("EMP", &["e-name", "e-dept", "salary", "age", "m-status"])
+        .expect("static schema is well-formed")
+        .relation("DEPT", &["d-name", "chair", "location"])
+        .expect("static schema is well-formed")
+        .relation("PROJ", &["p-name", "t-alloc"])
+        .expect("static schema is well-formed")
+        .relation("ALLOC", &["a-emp", "a-proj", "perc"])
+        .expect("static schema is well-formed")
+        .relation("SKILL", &["s-emp", "s-no"])
+        .expect("static schema is well-formed")
+        .relation("E", &["e-key"])
+        .expect("static schema is well-formed")
+}
+
+/// A parse context knowing every employee-database relation (including
+/// `FIRE`, which only exists after the encoding is installed; mentioning
+/// it in constraints is harmless otherwise).
+pub fn parse_ctx() -> ParseCtx {
+    ParseCtx::with_relations(&["EMP", "DEPT", "PROJ", "ALLOC", "SKILL", "E", "FIRE"])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_matches_paper() {
+        let s = employee_schema();
+        assert_eq!(s.expect("EMP").unwrap().arity(), 5);
+        assert_eq!(s.expect("DEPT").unwrap().arity(), 3);
+        assert_eq!(s.expect("PROJ").unwrap().arity(), 2);
+        assert_eq!(s.expect("ALLOC").unwrap().arity(), 3);
+        assert_eq!(s.expect("SKILL").unwrap().arity(), 2);
+        assert_eq!(s.expect("E").unwrap().arity(), 1);
+        assert_eq!(s.attr_index("EMP", "salary").unwrap(), 3);
+        assert_eq!(s.attr_index("EMP", "m-status").unwrap(), 5);
+        assert_eq!(s.attr_index("ALLOC", "perc").unwrap(), 3);
+    }
+
+    #[test]
+    fn initial_state_is_empty() {
+        let s = employee_schema();
+        let db = s.initial_state();
+        assert_eq!(db.relation_count(), 6);
+        assert_eq!(db.total_tuples(), 0);
+    }
+}

@@ -1,0 +1,297 @@
+//! Transactions over the employee database, including Example 5's
+//! `cancel-project` verbatim, plus the everyday transactions the
+//! experiments use to evolve databases (hire, fire, raises, marriages,
+//! skills, projects).
+//!
+//! Constructors return ground f-terms (parameters already substituted),
+//! except [`cancel_project`], which is the paper's parameterized program
+//! `cancel-project(p, v)`.
+
+use crate::schema::parse_ctx;
+use txlog_logic::{parse_fterm, FTerm, Var};
+
+fn parse(src: &str, params: &[Var]) -> FTerm {
+    parse_fterm(src, &parse_ctx(), params)
+        .unwrap_or_else(|e| panic!("builtin transaction failed to parse: {e}\n{src}"))
+}
+
+/// Example 5's transaction, verbatim:
+///
+/// ```text
+/// transaction cancel-project(p, v)
+///   assign(E, {a-emp(a) | a ∈ ALLOC ∧ a-proj(a) = p-name(p)});;
+///   foreach a | a ∈ ALLOC ∧ a-proj(a) = p-name(p) do
+///     delete₂(a, ALLOC);;
+///   delete₂(p, PROJ);;
+///   foreach e | e ∈ EMP ∧ e-name(e) ∈ E do
+///     if (∃a)(a ∈ ALLOC ∧ a-emp(a) = e-name(e))
+///     then modify₃(e, 3, salary(e) − v)
+///     else delete₅(e, EMP)
+/// ```
+///
+/// Cancels project `p`, fires employees left without any project, and
+/// reduces by `v` the salaries of those who still work on other projects.
+/// Returns the program and its parameters `(p, v)`.
+pub fn cancel_project() -> (FTerm, Var, Var) {
+    let p = Var::tup_f("p", 2);
+    let v = Var::atom_f("v");
+    let tx = parse(
+        "assign(E, { a-emp(a) | a: 3tup . a in ALLOC & a-proj(a) = p-name(p) }) ;;
+         foreach a: 3tup | a in ALLOC & a-proj(a) = p-name(p) do
+           delete(a, ALLOC)
+         end ;;
+         delete(p, PROJ) ;;
+         foreach e: 5tup | e in EMP & tuple(e-name(e)) in E do
+           if exists a: 3tup . a in ALLOC & a-emp(a) = e-name(e)
+           then modify(e, 3, salary(e) - v)
+           else delete(e, EMP)
+         end",
+        &[p, v],
+    );
+    (tx, p, v)
+}
+
+/// Hire `name` into `dept` with the given salary/age/status, allocated
+/// `perc`% to `proj`.
+pub fn hire(name: &str, dept: &str, salary: u64, age: u64, status: &str, proj: &str, perc: u64) -> FTerm {
+    parse(
+        &format!(
+            "insert(tuple('{name}', '{dept}', {salary}, {age}, '{status}'), EMP) ;;
+             insert(tuple('{name}', '{proj}', {perc}), ALLOC)"
+        ),
+        &[],
+    )
+}
+
+/// Fire `name`: remove allocations, skills, and the employee tuple (the
+/// paper's Example 3 note: skills are deleted along with the employee).
+pub fn fire(name: &str) -> FTerm {
+    parse(
+        &format!(
+            "foreach a: 3tup | a in ALLOC & a-emp(a) = '{name}' do delete(a, ALLOC) end ;;
+             foreach k: 2tup | k in SKILL & s-emp(k) = '{name}' do delete(k, SKILL) end ;;
+             foreach e: 5tup | e in EMP & e-name(e) = '{name}' do delete(e, EMP) end"
+        ),
+        &[],
+    )
+}
+
+/// Rehire a previously fired employee (used to *violate* the never-rehire
+/// constraint in experiments).
+pub fn rehire(name: &str, dept: &str, salary: u64, age: u64, proj: &str, perc: u64) -> FTerm {
+    hire(name, dept, salary, age, "S", proj, perc)
+}
+
+/// Give `name` a raise of `amount`.
+pub fn raise_salary(name: &str, amount: u64) -> FTerm {
+    parse(
+        &format!(
+            "foreach e: 5tup | e in EMP & e-name(e) = '{name}' do
+               modify(e, salary, salary(e) + {amount})
+             end"
+        ),
+        &[],
+    )
+}
+
+/// Cut `name`'s salary by `amount` — violates Example 3's salary
+/// constraint unless composed with a department switch.
+pub fn cut_salary(name: &str, amount: u64) -> FTerm {
+    parse(
+        &format!(
+            "foreach e: 5tup | e in EMP & e-name(e) = '{name}' do
+               modify(e, salary, salary(e) - {amount})
+             end"
+        ),
+        &[],
+    )
+}
+
+/// Move `name` to `dept`.
+pub fn switch_dept(name: &str, dept: &str) -> FTerm {
+    parse(
+        &format!(
+            "foreach e: 5tup | e in EMP & e-name(e) = '{name}' do
+               modify(e, e-dept, '{dept}')
+             end"
+        ),
+        &[],
+    )
+}
+
+/// Cut salary *with* a simultaneous department switch — the legal way to
+/// decrease pay under Example 3's constraint.
+pub fn demote(name: &str, amount: u64, dept: &str) -> FTerm {
+    cut_salary(name, amount).seq(switch_dept(name, dept))
+}
+
+/// A birthday: increment `name`'s age.
+pub fn birthday(name: &str) -> FTerm {
+    parse(
+        &format!(
+            "foreach e: 5tup | e in EMP & e-name(e) = '{name}' do
+               modify(e, age, age(e) + 1)
+             end"
+        ),
+        &[],
+    )
+}
+
+/// Marry: set `m-status` to `'M'`.
+pub fn marry(name: &str) -> FTerm {
+    parse(
+        &format!(
+            "foreach e: 5tup | e in EMP & e-name(e) = '{name}' do
+               modify(e, m-status, 'M')
+             end"
+        ),
+        &[],
+    )
+}
+
+/// Illegally revert `name` to single — violates Example 2's constraint
+/// when ages have advanced.
+pub fn annul(name: &str) -> FTerm {
+    parse(
+        &format!(
+            "foreach e: 5tup | e in EMP & e-name(e) = '{name}' do
+               modify(e, m-status, 'S')
+             end"
+        ),
+        &[],
+    )
+}
+
+/// `name` obtains skill number `no`.
+pub fn obtain_skill(name: &str, no: u64) -> FTerm {
+    parse(&format!("insert(tuple('{name}', {no}), SKILL)"), &[])
+}
+
+/// Drop a skill — violates Example 3's retention constraint while the
+/// employee remains employed.
+pub fn drop_skill(name: &str, no: u64) -> FTerm {
+    parse(
+        &format!("delete(tuple('{name}', {no}), SKILL)"),
+        &[],
+    )
+}
+
+/// Create a project.
+pub fn add_project(pname: &str, total_alloc: u64) -> FTerm {
+    parse(
+        &format!("insert(tuple('{pname}', {total_alloc}), PROJ)"),
+        &[],
+    )
+}
+
+/// Allocate `perc`% of `name` to project `pname`.
+pub fn allocate(name: &str, pname: &str, perc: u64) -> FTerm {
+    parse(
+        &format!("insert(tuple('{name}', '{pname}', {perc}), ALLOC)"),
+        &[],
+    )
+}
+
+/// Create a department.
+pub fn add_dept(dname: &str, chair: &str, location: &str) -> FTerm {
+    parse(
+        &format!("insert(tuple('{dname}', '{chair}', '{location}'), DEPT)"),
+        &[],
+    )
+}
+
+/// Delete a department by name (no referential guard — experiments use
+/// it to probe the Structural Model constraints).
+pub fn delete_dept(dname: &str) -> FTerm {
+    parse(
+        &format!(
+            "foreach d: 3tup | d in DEPT & d-name(d) = '{dname}' do delete(d, DEPT) end"
+        ),
+        &[],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::employee_schema;
+    use txlog_base::Atom;
+    use txlog_engine::{check_program, Engine, Env, ProgramKind};
+
+    #[test]
+    fn cancel_project_parses_and_checks() {
+        let schema = employee_schema();
+        let (tx, p, v) = cancel_project();
+        assert_eq!(
+            check_program(&schema, &tx, &[p, v]).unwrap(),
+            ProgramKind::Transaction
+        );
+        let text = tx.to_string();
+        assert!(text.contains("assign(E"));
+        assert!(text.contains("delete(p, PROJ)"));
+        assert!(text.contains("(salary(e) - v)"));
+    }
+
+    #[test]
+    fn workday_transactions_check() {
+        let schema = employee_schema();
+        for tx in [
+            hire("ann", "cs", 500, 30, "S", "alpha", 50),
+            fire("ann"),
+            raise_salary("ann", 10),
+            cut_salary("ann", 10),
+            switch_dept("ann", "ee"),
+            demote("ann", 10, "ee"),
+            birthday("ann"),
+            marry("ann"),
+            annul("ann"),
+            obtain_skill("ann", 7),
+            drop_skill("ann", 7),
+            add_project("alpha", 100),
+            allocate("ann", "alpha", 25),
+            add_dept("cs", "mgr", "hq"),
+            delete_dept("cs"),
+        ] {
+            assert_eq!(
+                check_program(&schema, &tx, &[]).unwrap(),
+                ProgramKind::Transaction,
+                "{tx}"
+            );
+        }
+    }
+
+    #[test]
+    fn hire_then_fire_round_trips() {
+        let schema = employee_schema();
+        let engine = Engine::new(&schema);
+        let db0 = schema.initial_state();
+        let db1 = engine
+            .execute(&db0, &hire("ann", "cs", 500, 30, "S", "alpha", 50), &Env::new())
+            .unwrap();
+        let emp = schema.rel_id("EMP").unwrap();
+        let alloc = schema.rel_id("ALLOC").unwrap();
+        assert_eq!(db1.relation(emp).unwrap().len(), 1);
+        assert_eq!(db1.relation(alloc).unwrap().len(), 1);
+        let db2 = engine.execute(&db1, &fire("ann"), &Env::new()).unwrap();
+        assert!(db2.relation(emp).unwrap().is_empty());
+        assert!(db2.relation(alloc).unwrap().is_empty());
+    }
+
+    #[test]
+    fn raise_changes_salary_only() {
+        let schema = employee_schema();
+        let engine = Engine::new(&schema);
+        let db0 = schema.initial_state();
+        let db1 = engine
+            .execute(&db0, &hire("ann", "cs", 500, 30, "S", "alpha", 50), &Env::new())
+            .unwrap();
+        let db2 = engine
+            .execute(&db1, &raise_salary("ann", 100), &Env::new())
+            .unwrap();
+        let emp = schema.rel_id("EMP").unwrap();
+        let t = db2.relation(emp).unwrap().iter().next().unwrap();
+        assert_eq!(t.fields()[2], Atom::nat(600));
+        assert_eq!(t.fields()[1], Atom::str("cs")); // frame
+        assert_eq!(t.fields()[3], Atom::nat(30));
+    }
+}

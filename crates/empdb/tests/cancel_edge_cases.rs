@@ -1,0 +1,174 @@
+//! Edge cases for Example 5's `cancel-project`: empty projects, absent
+//! projects, reductions exceeding salaries, and repeated cancellation.
+
+use txlog_base::Atom;
+use txlog_empdb::transactions::cancel_project;
+use txlog_empdb::{employee_schema, populate, Sizes};
+use txlog_engine::{Engine, Env};
+use txlog_relational::TupleVal;
+
+fn target(db: &txlog_relational::DbState, schema: &txlog_relational::Schema, name: &str) -> Option<TupleVal> {
+    let proj = schema.rel_id("PROJ").expect("PROJ exists");
+    db.relation(proj)
+        .expect("PROJ in state")
+        .iter_vals()
+        .find(|t| t.fields[0] == Atom::str(name))
+}
+
+#[test]
+fn cancelling_a_project_with_no_allocations() {
+    let schema = employee_schema();
+    let engine = Engine::new(&schema);
+    let (_, db) = populate(Sizes::small(), 201).expect("population generates");
+    // add an unreferenced project
+    let proj = schema.rel_id("PROJ").expect("PROJ exists");
+    let (db, _) = db
+        .insert_fields(proj, &[Atom::str("orphan"), Atom::nat(100)])
+        .expect("insert applies");
+    let (tx, p, v) = cancel_project();
+    let env = Env::new()
+        .bind_tuple(p, target(&db, &schema, "orphan").expect("orphan exists"))
+        .bind_atom(v, Atom::nat(10));
+    let out = engine.execute(&db, &tx, &env).expect("cancel executes");
+    // the project vanishes; nothing else changes except the scratch E
+    assert!(target(&out, &schema, "orphan").is_none());
+    let emp = schema.rel_id("EMP").expect("EMP exists");
+    assert_eq!(
+        out.relation(emp).expect("EMP in state").len(),
+        db.relation(emp).expect("EMP in state").len()
+    );
+    let alloc = schema.rel_id("ALLOC").expect("ALLOC exists");
+    assert_eq!(
+        out.relation(alloc).expect("ALLOC in state").len(),
+        db.relation(alloc).expect("ALLOC in state").len()
+    );
+}
+
+#[test]
+fn cancelling_a_nonexistent_project_is_a_noop_modulo_scratch() {
+    let schema = employee_schema();
+    let engine = Engine::new(&schema);
+    let (_, db) = populate(Sizes::small(), 202).expect("population generates");
+    let (tx, p, v) = cancel_project();
+    // a tuple value that names no stored project
+    let ghost = TupleVal::anonymous(vec![Atom::str("ghost"), Atom::nat(0)]);
+    let env = Env::new().bind_tuple(p, ghost).bind_atom(v, Atom::nat(10));
+    let out = engine.execute(&db, &tx, &env).expect("cancel executes");
+    for rel in ["EMP", "PROJ", "ALLOC", "SKILL"] {
+        let rid = schema.rel_id(rel).expect("relation exists");
+        assert_eq!(
+            out.relation(rid).expect("relation in state").value_set(),
+            db.relation(rid).expect("relation in state").value_set(),
+            "{rel} must be untouched"
+        );
+    }
+}
+
+#[test]
+fn reduction_larger_than_salary_truncates_at_zero() {
+    // monus semantics: naturals have no negatives (Presburger)
+    let schema = employee_schema();
+    let engine = Engine::new(&schema);
+    let db = schema.initial_state();
+    let env0 = Env::new();
+    // one employee on two projects, tiny salary
+    let db = engine
+        .execute(
+            &db,
+            &txlog_empdb::transactions::hire("lo", "dept-0", 30, 25, "S", "keep", 50),
+            &env0,
+        )
+        .expect("hire executes");
+    let db = engine
+        .execute(
+            &db,
+            &txlog_empdb::transactions::add_project("doomed", 100),
+            &env0,
+        )
+        .expect("project added");
+    let db = engine
+        .execute(
+            &db,
+            &txlog_empdb::transactions::allocate("lo", "doomed", 50),
+            &env0,
+        )
+        .expect("allocation added");
+    let (tx, p, v) = cancel_project();
+    let env = Env::new()
+        .bind_tuple(p, target(&db, &schema, "doomed").expect("doomed exists"))
+        .bind_atom(v, Atom::nat(1000));
+    let out = engine.execute(&db, &tx, &env).expect("cancel executes");
+    let emp = schema.rel_id("EMP").expect("EMP exists");
+    let lo = out
+        .relation(emp)
+        .expect("EMP in state")
+        .iter()
+        .find(|t| t.fields()[0] == Atom::str("lo"))
+        .expect("lo survives (still on 'keep')");
+    assert_eq!(lo.fields()[2], Atom::nat(0), "salary truncates at zero");
+}
+
+#[test]
+fn double_cancellation_is_idempotent_on_the_database() {
+    let schema = employee_schema();
+    let engine = Engine::new(&schema);
+    let (_, db) = populate(Sizes::small(), 203).expect("population generates");
+    let (tx, p, v) = cancel_project();
+    let t = target(&db, &schema, "proj-0").expect("proj-0 exists");
+    let env = Env::new().bind_tuple(p, t).bind_atom(v, Atom::nat(10));
+    let once = engine.execute(&db, &tx, &env).expect("first cancel");
+    let twice = engine.execute(&once, &tx, &env).expect("second cancel");
+    // second run: project already gone, allocations gone, E snapshot is
+    // empty, so no employee is touched
+    for rel in ["EMP", "PROJ", "ALLOC", "SKILL"] {
+        let rid = schema.rel_id(rel).expect("relation exists");
+        assert_eq!(
+            twice.relation(rid).expect("in state").value_set(),
+            once.relation(rid).expect("in state").value_set(),
+            "{rel} changed on re-cancellation"
+        );
+    }
+}
+
+#[test]
+fn everyone_on_the_project_only_means_mass_firing() {
+    let schema = employee_schema();
+    let engine = Engine::new(&schema);
+    let db = schema.initial_state();
+    let env0 = Env::new();
+    let db = engine
+        .execute(
+            &db,
+            &txlog_empdb::transactions::add_project("solo", 100),
+            &env0,
+        )
+        .expect("project added");
+    let mut db = db;
+    for i in 0..3 {
+        db = engine
+            .execute(
+                &db,
+                &txlog_empdb::transactions::hire(
+                    &format!("w{i}"),
+                    "dept-0",
+                    100,
+                    30,
+                    "S",
+                    "solo",
+                    100,
+                ),
+                &env0,
+            )
+            .expect("hire executes");
+    }
+    let (tx, p, v) = cancel_project();
+    let env = Env::new()
+        .bind_tuple(p, target(&db, &schema, "solo").expect("solo exists"))
+        .bind_atom(v, Atom::nat(10));
+    let out = engine.execute(&db, &tx, &env).expect("cancel executes");
+    let emp = schema.rel_id("EMP").expect("EMP exists");
+    assert!(
+        out.relation(emp).expect("EMP in state").is_empty(),
+        "everyone worked only on the cancelled project"
+    );
+}

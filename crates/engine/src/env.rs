@@ -1,0 +1,169 @@
+//! Evaluation environments.
+//!
+//! An [`Env`] maps variables to their runtime bindings. The binding kind
+//! reflects the variable's class:
+//!
+//! * situational variables bind to [`Value`]s (a state, a tuple value, an
+//!   atom, a set…);
+//! * fluent **tuple** variables bind to a [`TupleVal`] whose identity (if
+//!   any) is re-resolved at each state of evaluation — this is how `s:e`
+//!   and `s;t:e` track "the same employee" across states;
+//! * fluent **state** variables (transactions) bind to an arc label
+//!   ([`TxLabel`]) during model checking, or to a concrete transaction
+//!   program when executing parameterized programs;
+//! * fluent **atom** variables bind to rigid atoms.
+
+use crate::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+use txlog_base::Atom;
+use txlog_logic::{FTerm, Var};
+use txlog_relational::{TupleVal, TxLabel};
+
+/// A runtime binding for one variable.
+#[derive(Clone, PartialEq)]
+pub enum Binding {
+    /// A situational value.
+    Val(Value),
+    /// A fluent tuple: identity tracked across states.
+    FluentTuple(TupleVal),
+    /// A fluent atom (rigid).
+    FluentAtom(Atom),
+    /// A transaction, as an evolution-graph arc label.
+    Label(TxLabel),
+    /// A transaction, as a concrete program (used when executing
+    /// parameterized transactions whose parameters are themselves
+    /// transactions).
+    Program(FTerm),
+}
+
+impl fmt::Display for Binding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Binding::Val(v) => write!(f, "{v}"),
+            Binding::FluentTuple(t) => write!(f, "{t}"),
+            Binding::FluentAtom(a) => write!(f, "{a}"),
+            Binding::Label(l) => write!(f, "{l}"),
+            Binding::Program(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+impl fmt::Debug for Binding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// An immutable-by-convention evaluation environment. Extension clones;
+/// environments are small (bounded by quantifier nesting depth plus
+/// program parameters), so cloning is cheap.
+#[derive(Clone, Default)]
+pub struct Env {
+    map: HashMap<Var, Binding>,
+}
+
+impl Env {
+    /// The empty environment.
+    pub fn new() -> Env {
+        Env::default()
+    }
+
+    /// Look up a variable.
+    pub fn get(&self, v: &Var) -> Option<&Binding> {
+        self.map.get(v)
+    }
+
+    /// Extend with one binding, returning the extended environment.
+    pub fn bind(&self, v: Var, b: Binding) -> Env {
+        let mut next = self.clone();
+        next.map.insert(v, b);
+        next
+    }
+
+    /// Extend in place.
+    pub fn bind_mut(&mut self, v: Var, b: Binding) {
+        self.map.insert(v, b);
+    }
+
+    /// Convenience: bind a fluent tuple variable.
+    pub fn bind_tuple(&self, v: Var, t: TupleVal) -> Env {
+        self.bind(v, Binding::FluentTuple(t))
+    }
+
+    /// Convenience: bind a fluent atom variable.
+    pub fn bind_atom(&self, v: Var, a: Atom) -> Env {
+        self.bind(v, Binding::FluentAtom(a))
+    }
+
+    /// Convenience: bind a situational value.
+    pub fn bind_val(&self, v: Var, val: Value) -> Env {
+        self.bind(v, Binding::Val(val))
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True iff no bindings.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl fmt::Debug for Env {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut entries: Vec<_> = self.map.iter().collect();
+        entries.sort_by_key(|(v, _)| (v.name.index(), v.sort, v.class));
+        write!(f, "{{")?;
+        for (i, (v, b)) in entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v} ↦ {b}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_is_persistent() {
+        let env = Env::new();
+        let v = Var::atom_f("v");
+        let env2 = env.bind_atom(v, Atom::nat(7));
+        assert!(env.get(&v).is_none());
+        assert!(matches!(
+            env2.get(&v),
+            Some(Binding::FluentAtom(a)) if *a == Atom::nat(7)
+        ));
+    }
+
+    #[test]
+    fn rebinding_shadows() {
+        let v = Var::atom_f("v");
+        let env = Env::new().bind_atom(v, Atom::nat(1)).bind_atom(v, Atom::nat(2));
+        assert!(matches!(
+            env.get(&v),
+            Some(Binding::FluentAtom(a)) if *a == Atom::nat(2)
+        ));
+        assert_eq!(env.len(), 1);
+    }
+
+    #[test]
+    fn distinct_sorts_do_not_collide() {
+        let a = Var::tup_f("x", 2);
+        let b = Var::tup_f("x", 3);
+        let env = Env::new()
+            .bind_tuple(a, TupleVal::anonymous(vec![Atom::nat(1), Atom::nat(2)]))
+            .bind_tuple(
+                b,
+                TupleVal::anonymous(vec![Atom::nat(1), Atom::nat(2), Atom::nat(3)]),
+            );
+        assert_eq!(env.len(), 2);
+    }
+}

@@ -1,0 +1,752 @@
+//! The fluent evaluator: executable semantics of f-expressions.
+//!
+//! This module realizes the situational functions operationally:
+//! evaluating an object-sorted f-term at a state is `w : e`, a fluent
+//! formula is `w :: p`, and executing a state-sorted f-term (a
+//! transaction) is `w ; e`. The linkage axioms of Section 2 hold by
+//! construction:
+//!
+//! * `composition-linkage` — [`Engine::execute`] of `a ;; b` threads the
+//!   intermediate state;
+//! * `condition-linkage` — `if p then a else b` evaluates `p` at the
+//!   *current* state and runs one branch;
+//! * `iteration-linkage` — `foreach x | p do s` enumerates `{x | w::p}`
+//!   **at the initial state** `w` and composes `s[x₁/x] ;; … ;; s[xₙ/x]`,
+//!   with each composition step seeing the state its predecessors built.
+//!   The result is undefined when the satisfying set cannot be enumerated
+//!   or when the result depends on the enumeration order; enabling
+//!   [`EvalOptions::check_order_independence`] detects the latter by
+//!   executing the reversed enumeration and comparing final states (a
+//!   sound rejector: a mismatch proves order dependence).
+//!
+//! Partiality follows the paper: expressions that fail to denote (a dead
+//! tuple, a missing relation) evaluate to [`TxError::Undefined`]; atomic
+//! formulas over non-denoting terms are **false** (negative free logic),
+//! so `¬(deleted-tuple ∈ R)` comes out true, which is exactly what the
+//! `delete-action` axiom demands.
+
+use crate::env::{Binding, Env};
+use crate::value::{SetVal, Value};
+use std::collections::HashMap;
+use txlog_base::{Atom, Symbol, TxError, TxResult};
+use txlog_logic::{CmpOp, FFormula, FTerm, ObjSort, Op, Sort, Var, VarClass};
+use txlog_relational::{DbState, Schema, TupleVal};
+
+/// Evaluation options.
+#[derive(Clone, Copy)]
+pub struct EvalOptions {
+    /// Execute `foreach` bodies under both the canonical and the reversed
+    /// enumeration and fail with [`TxError::OrderDependent`] if the final
+    /// states differ. Doubles the cost of iterations.
+    pub check_order_independence: bool,
+    /// Upper bound on the number of iterations a single `foreach` may
+    /// perform — a guard against accidentally unbounded domains.
+    pub max_iterations: usize,
+}
+
+impl Default for EvalOptions {
+    fn default() -> EvalOptions {
+        EvalOptions {
+            check_order_independence: false,
+            max_iterations: 1_000_000,
+        }
+    }
+}
+
+/// The evaluator. Borrow a schema, evaluate many expressions.
+pub struct Engine<'a> {
+    schema: &'a Schema,
+    opts: EvalOptions,
+    /// attribute name → (relation arity, 1-based index); names must be
+    /// globally unique, as the paper's `l(t)` sugar presumes.
+    attrs: HashMap<Symbol, (usize, usize)>,
+}
+
+impl<'a> Engine<'a> {
+    /// Build an engine over a schema with default options.
+    pub fn new(schema: &'a Schema) -> Engine<'a> {
+        Engine::with_options(schema, EvalOptions::default())
+    }
+
+    /// Build an engine with explicit options.
+    pub fn with_options(schema: &'a Schema, opts: EvalOptions) -> Engine<'a> {
+        let mut attrs = HashMap::new();
+        for d in schema.decls() {
+            for (i, &a) in d.attrs.iter().enumerate() {
+                // Later declarations shadow earlier ones only if the
+                // name repeats; the employee schema has unique names.
+                attrs.entry(a).or_insert((d.arity(), i + 1));
+            }
+        }
+        Engine {
+            schema,
+            opts,
+            attrs,
+        }
+    }
+
+    /// The schema this engine evaluates against.
+    pub fn schema(&self) -> &Schema {
+        self.schema
+    }
+
+    fn attr(&self, name: Symbol) -> TxResult<(usize, usize)> {
+        self.attrs.get(&name).copied().ok_or_else(|| {
+            TxError::schema(format!("unknown attribute {name} (not in any relation)"))
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // w : e — object evaluation
+    // ------------------------------------------------------------------
+
+    /// Evaluate an object-sorted f-term at a state (`w : e`).
+    pub fn eval_obj(&self, db: &DbState, t: &FTerm, env: &Env) -> TxResult<Value> {
+        match t {
+            FTerm::Var(v) => self.eval_var(db, *v, env),
+            FTerm::Nat(n) => Ok(Value::Atom(Atom::Nat(*n))),
+            FTerm::Str(s) => Ok(Value::Atom(Atom::Str(*s))),
+            FTerm::Rel(name) => {
+                let decl = self.schema.by_name(*name).ok_or_else(|| {
+                    TxError::schema(format!("unknown relation {name}"))
+                })?;
+                match db.relation(decl.id) {
+                    Some(rel) => Ok(Value::Set(SetVal::from_relation(rel))),
+                    None => Err(TxError::undefined(format!(
+                        "relation {name} does not exist in this state"
+                    ))),
+                }
+            }
+            FTerm::Attr(name, inner) => {
+                let tuple = self.eval_obj(db, inner, env)?.into_tuple()?;
+                let (arity, ix) = self.attr(*name)?;
+                if tuple.arity() != arity {
+                    return Err(TxError::sort(format!(
+                        "attribute {name} belongs to {arity}-ary tuples, got arity {}",
+                        tuple.arity()
+                    )));
+                }
+                Ok(Value::Atom(tuple.select(ix)?))
+            }
+            FTerm::Select(inner, i) => {
+                let tuple = self.eval_obj(db, inner, env)?.into_tuple()?;
+                Ok(Value::Atom(tuple.select(*i)?))
+            }
+            FTerm::TupleCons(parts) => {
+                let mut fields = Vec::with_capacity(parts.len());
+                for p in parts {
+                    fields.push(self.eval_obj(db, p, env)?.into_atom()?);
+                }
+                Ok(Value::Tuple(TupleVal::anonymous(fields)))
+            }
+            FTerm::App(op, args) => self.eval_op(db, *op, args, env),
+            FTerm::SetFormer { head, vars, cond } => {
+                self.eval_setformer(db, head, vars, cond, env)
+            }
+            FTerm::IdOf(inner) => match self.eval_obj(db, inner, env)? {
+                Value::Tuple(t) => t
+                    .id
+                    .map(Value::TupleId)
+                    .ok_or_else(|| TxError::undefined("id of an anonymous tuple")),
+                Value::Set(s) => s
+                    .rel_id
+                    .map(Value::RelId)
+                    .ok_or_else(|| TxError::undefined("id of a computed set")),
+                other => Err(TxError::sort(format!("id of non-identified value {other}"))),
+            },
+            FTerm::UserApp(name, _) => Err(TxError::eval(format!(
+                "user function {name} has no evaluation rule registered"
+            ))),
+            _ => Err(TxError::sort(format!(
+                "state-sorted term in object position: {t}"
+            ))),
+        }
+    }
+
+    fn eval_var(&self, db: &DbState, v: Var, env: &Env) -> TxResult<Value> {
+        match env.get(&v) {
+            Some(Binding::FluentTuple(tv)) => match tv.id {
+                Some(id) => match db.find_tuple(id) {
+                    Some((_, current)) => Ok(Value::Tuple(current)),
+                    None => Err(TxError::undefined(format!(
+                        "tuple {id} (variable {v}) does not exist in this state"
+                    ))),
+                },
+                None => Ok(Value::Tuple(tv.clone())),
+            },
+            Some(Binding::FluentAtom(a)) => Ok(Value::Atom(*a)),
+            Some(Binding::Val(val)) => Ok(val.clone()),
+            Some(Binding::Label(_)) | Some(Binding::Program(_)) => Err(TxError::sort(
+                format!("transaction variable {v} used in object position"),
+            )),
+            None => Err(TxError::eval(format!("unbound variable {v}"))),
+        }
+    }
+
+    fn eval_op(&self, db: &DbState, op: Op, args: &[FTerm], env: &Env) -> TxResult<Value> {
+        match op {
+            Op::Add | Op::Monus | Op::Mul | Op::Max | Op::Min => {
+                let a = self.eval_obj(db, &args[0], env)?.into_atom()?;
+                let b = self.eval_obj(db, &args[1], env)?.into_atom()?;
+                let r = match op {
+                    Op::Add => a.add(b)?,
+                    Op::Monus => a.monus(b)?,
+                    Op::Mul => a.mul(b)?,
+                    Op::Max => a.max(b)?,
+                    Op::Min => a.min(b)?,
+                    _ => unreachable!(),
+                };
+                Ok(Value::Atom(r))
+            }
+            Op::Sum => {
+                let s = self.eval_obj(db, &args[0], env)?.into_set()?;
+                Ok(Value::Atom(s.sum()?))
+            }
+            Op::Size => {
+                let s = self.eval_obj(db, &args[0], env)?.into_set()?;
+                Ok(Value::Atom(Atom::Nat(s.len() as u64)))
+            }
+            Op::Union | Op::Inter | Op::Diff | Op::Product => {
+                let a = self.eval_obj(db, &args[0], env)?.into_set()?;
+                let b = self.eval_obj(db, &args[1], env)?.into_set()?;
+                let r = match op {
+                    Op::Union => a.union(&b)?,
+                    Op::Inter => a.inter(&b)?,
+                    Op::Diff => a.diff(&b)?,
+                    Op::Product => a.product(&b)?,
+                    _ => unreachable!(),
+                };
+                Ok(Value::Set(r))
+            }
+        }
+    }
+
+    fn eval_setformer(
+        &self,
+        db: &DbState,
+        head: &FTerm,
+        vars: &[Var],
+        cond: &FFormula,
+        env: &Env,
+    ) -> TxResult<Value> {
+        let mut members = Vec::new();
+        self.enumerate_assignments(db, vars, cond, env, &mut |env| {
+            if self.eval_truth(db, cond, env)? {
+                let v = self.eval_obj(db, head, env)?;
+                members.push(v.into_tuple()?);
+            }
+            Ok(())
+        })?;
+        let arity = match members.first() {
+            Some(m) => m.arity(),
+            None => head_arity_hint(head).unwrap_or(1),
+        };
+        Ok(Value::Set(SetVal::from_members(arity, members)?))
+    }
+
+    /// Enumerate all assignments of `vars` over their finite domains,
+    /// calling `visit` for each extension of `env`. Domains are derived
+    /// from the condition where possible (a `x ∈ R` conjunct restricts
+    /// `x` to `R`'s tuples) and fall back to the state's active domain.
+    fn enumerate_assignments(
+        &self,
+        db: &DbState,
+        vars: &[Var],
+        cond: &FFormula,
+        env: &Env,
+        visit: &mut dyn FnMut(&Env) -> TxResult<()>,
+    ) -> TxResult<()> {
+        match vars.split_first() {
+            None => visit(env),
+            Some((&v, rest)) => {
+                for b in self.domain_of(db, v, cond)? {
+                    let env2 = env.bind(v, b);
+                    self.enumerate_assignments(db, rest, cond, &env2, visit)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The finite domain a bound fluent variable ranges over at `db`.
+    fn domain_of(&self, db: &DbState, v: Var, cond: &FFormula) -> TxResult<Vec<Binding>> {
+        match v.sort {
+            Sort::Obj(ObjSort::Tup(n)) => {
+                // Prefer a restricting membership conjunct.
+                if let Some(rel) = find_membership_rel(cond, v) {
+                    let decl = self.schema.by_name(rel).ok_or_else(|| {
+                        TxError::schema(format!("unknown relation {rel}"))
+                    })?;
+                    if decl.arity() != n {
+                        return Err(TxError::sort(format!(
+                            "variable {v} has arity {n} but relation {rel} has arity {}",
+                            decl.arity()
+                        )));
+                    }
+                    return Ok(match db.relation(decl.id) {
+                        Some(r) => r.iter_vals().map(Binding::FluentTuple).collect(),
+                        None => Vec::new(),
+                    });
+                }
+                // Fall back to every arity-n tuple in the state.
+                let mut out = Vec::new();
+                for (_, rel) in db.relations() {
+                    if rel.arity() == n {
+                        out.extend(rel.iter_vals().map(Binding::FluentTuple));
+                    }
+                }
+                Ok(out)
+            }
+            Sort::Obj(ObjSort::Atom) => {
+                let mut atoms = active_atoms(db);
+                collect_fformula_atoms(cond, &mut atoms);
+                atoms.sort();
+                atoms.dedup();
+                Ok(atoms.into_iter().map(Binding::FluentAtom).collect())
+            }
+            other => Err(TxError::sort(format!(
+                "cannot enumerate domain of sort {other} (variable {v})"
+            ))),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // w :: p — truth evaluation
+    // ------------------------------------------------------------------
+
+    /// Evaluate a fluent formula at a state (`w :: p`). Atoms over
+    /// non-denoting terms are false.
+    pub fn eval_truth(&self, db: &DbState, p: &FFormula, env: &Env) -> TxResult<bool> {
+        match p {
+            FFormula::True => Ok(true),
+            FFormula::False => Ok(false),
+            FFormula::Cmp(op, a, b) => {
+                let a = self.eval_obj_opt(db, a, env)?;
+                let b = self.eval_obj_opt(db, b, env)?;
+                match (a, b) {
+                    (Some(a), Some(b)) => cmp_values(*op, &a, &b),
+                    _ => Ok(false),
+                }
+            }
+            FFormula::Member(t, set) => {
+                let t = self.eval_obj_opt(db, t, env)?;
+                let set = self.eval_obj_opt(db, set, env)?;
+                match (t, set) {
+                    (Some(t), Some(set)) => {
+                        Ok(set.into_set()?.contains(&t.into_tuple()?))
+                    }
+                    _ => Ok(false),
+                }
+            }
+            FFormula::Subset(a, b) => {
+                let a = self.eval_obj_opt(db, a, env)?;
+                let b = self.eval_obj_opt(db, b, env)?;
+                match (a, b) {
+                    (Some(a), Some(b)) => a.into_set()?.subset(&b.into_set()?),
+                    _ => Ok(false),
+                }
+            }
+            FFormula::Not(q) => Ok(!self.eval_truth(db, q, env)?),
+            FFormula::And(a, b) => {
+                Ok(self.eval_truth(db, a, env)? && self.eval_truth(db, b, env)?)
+            }
+            FFormula::Or(a, b) => {
+                Ok(self.eval_truth(db, a, env)? || self.eval_truth(db, b, env)?)
+            }
+            FFormula::Implies(a, b) => {
+                Ok(!self.eval_truth(db, a, env)? || self.eval_truth(db, b, env)?)
+            }
+            FFormula::Iff(a, b) => {
+                Ok(self.eval_truth(db, a, env)? == self.eval_truth(db, b, env)?)
+            }
+            FFormula::Exists(v, body) => {
+                let mut found = false;
+                for b in self.domain_of(db, *v, body)? {
+                    let env2 = env.bind(*v, b);
+                    if self.eval_truth(db, body, &env2)? {
+                        found = true;
+                        break;
+                    }
+                }
+                Ok(found)
+            }
+            FFormula::Forall(v, body) => {
+                for b in self.domain_of(db, *v, body)? {
+                    let env2 = env.bind(*v, b);
+                    if !self.eval_truth(db, body, &env2)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            FFormula::UserPred(name, _) => Err(TxError::eval(format!(
+                "user predicate {name} has no evaluation rule registered"
+            ))),
+        }
+    }
+
+    /// Evaluate, mapping [`TxError::Undefined`] to `None`.
+    pub fn eval_obj_opt(
+        &self,
+        db: &DbState,
+        t: &FTerm,
+        env: &Env,
+    ) -> TxResult<Option<Value>> {
+        match self.eval_obj(db, t, env) {
+            Ok(v) => Ok(Some(v)),
+            Err(e) if e.is_undefined() => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // w ; e — execution
+    // ------------------------------------------------------------------
+
+    /// Execute a transaction at a state (`w ; e`), yielding the successor
+    /// state. Object-sorted terms are rejected: they are queries, not
+    /// transactions (Definition 3).
+    pub fn execute(&self, db: &DbState, t: &FTerm, env: &Env) -> TxResult<DbState> {
+        match t {
+            FTerm::Identity => Ok(db.clone()),
+            FTerm::Seq(a, b) => {
+                let mid = self.execute(db, a, env)?;
+                self.execute(&mid, b, env)
+            }
+            FTerm::Cond(p, a, b) => {
+                if self.eval_truth(db, p, env)? {
+                    self.execute(db, a, env)
+                } else {
+                    self.execute(db, b, env)
+                }
+            }
+            FTerm::Foreach(v, p, body) => self.execute_foreach(db, *v, p, body, env),
+            FTerm::Insert(tup, rel) => {
+                let decl = self.rel_decl(*rel)?;
+                let tv = self.eval_obj(db, tup, env)?.into_tuple()?;
+                if tv.arity() != decl.arity() {
+                    return Err(TxError::sort(format!(
+                        "insert of {}-ary tuple into {}-ary relation {rel}",
+                        tv.arity(),
+                        decl.arity()
+                    )));
+                }
+                Ok(db.insert(decl.id, &tv)?.0)
+            }
+            FTerm::Delete(tup, rel) => {
+                let decl = self.rel_decl(*rel)?;
+                match self.eval_obj_opt(db, tup, env)? {
+                    Some(v) => db.delete(decl.id, &v.into_tuple()?),
+                    // Deleting a non-denoting tuple is a no-op, matching
+                    // delete of an absent value.
+                    None => Ok(db.clone()),
+                }
+            }
+            FTerm::Modify(tup, i, val) => {
+                let tv = self.eval_obj(db, tup, env)?.into_tuple()?;
+                let v = self.eval_obj(db, val, env)?.into_atom()?;
+                db.modify(&tv, *i, v)
+            }
+            FTerm::ModifyAttr(tup, attr, val) => {
+                let tv = self.eval_obj(db, tup, env)?.into_tuple()?;
+                let (arity, ix) = self.attr(*attr)?;
+                if tv.arity() != arity {
+                    return Err(TxError::sort(format!(
+                        "attribute {attr} belongs to {arity}-ary tuples, got arity {}",
+                        tv.arity()
+                    )));
+                }
+                let v = self.eval_obj(db, val, env)?.into_atom()?;
+                db.modify(&tv, ix, v)
+            }
+            FTerm::Assign(rel, set) => {
+                let decl = self.rel_decl(*rel)?;
+                let sv = self.eval_obj(db, set, env)?.into_set()?;
+                if sv.arity != decl.arity() {
+                    return Err(TxError::sort(format!(
+                        "assign of {}-ary set to {}-ary relation {rel}",
+                        sv.arity,
+                        decl.arity()
+                    )));
+                }
+                db.assign(decl.id, decl.arity(), sv.members())
+            }
+            FTerm::Var(v) => match env.get(v) {
+                Some(Binding::Program(p)) => {
+                    let p = p.clone();
+                    self.execute(db, &p, env)
+                }
+                Some(Binding::Label(l)) => Err(TxError::not_executable(format!(
+                    "transaction variable {v} is bound to graph label {l}; \
+                     labels are only meaningful during model checking"
+                ))),
+                Some(_) => Err(TxError::sort(format!(
+                    "variable {v} is not bound to a transaction"
+                ))),
+                None => Err(TxError::eval(format!("unbound transaction variable {v}"))),
+            },
+            other => Err(TxError::not_executable(format!(
+                "object-sorted term used as a transaction: {other}"
+            ))),
+        }
+    }
+
+    fn execute_foreach(
+        &self,
+        db: &DbState,
+        v: Var,
+        p: &FFormula,
+        body: &FTerm,
+        env: &Env,
+    ) -> TxResult<DbState> {
+        // iteration-linkage: the satisfying set is fixed at the initial
+        // state, then the body instances compose sequentially.
+        let mut matches = Vec::new();
+        for b in self.domain_of(db, v, p)? {
+            let env2 = env.bind(v, b.clone());
+            if self.eval_truth(db, p, &env2)? {
+                matches.push(b);
+            }
+            if matches.len() > self.opts.max_iterations {
+                return Err(TxError::InfiniteDomain(format!(
+                    "foreach over {v} exceeded {} iterations",
+                    self.opts.max_iterations
+                )));
+            }
+        }
+        let run = |order: &[Binding]| -> TxResult<DbState> {
+            let mut cur = db.clone();
+            for b in order {
+                let env2 = env.bind(v, b.clone());
+                cur = self.execute(&cur, body, &env2)?;
+            }
+            Ok(cur)
+        };
+        let forward = run(&matches)?;
+        if self.opts.check_order_independence && matches.len() > 1 {
+            let reversed: Vec<Binding> = matches.iter().rev().cloned().collect();
+            let backward = run(&reversed)?;
+            if !forward.content_eq(&backward) {
+                return Err(TxError::OrderDependent(format!(
+                    "foreach over {v} yields different states under different \
+                     enumeration orders"
+                )));
+            }
+        }
+        Ok(forward)
+    }
+
+    fn rel_decl(&self, name: Symbol) -> TxResult<&txlog_relational::RelDecl> {
+        self.schema
+            .by_name(name)
+            .ok_or_else(|| TxError::schema(format!("unknown relation {name}")))
+    }
+}
+
+/// Compare two values under a comparison operator. Order comparisons
+/// require atoms; equality is semantic at any sort.
+pub fn cmp_values(op: CmpOp, a: &Value, b: &Value) -> TxResult<bool> {
+    match op {
+        CmpOp::Eq => Ok(a.sem_eq(b)),
+        CmpOp::Ne => Ok(!a.sem_eq(b)),
+        CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+            let x = a.clone().into_atom()?;
+            let y = b.clone().into_atom()?;
+            match op {
+                CmpOp::Lt => x.lt(y),
+                CmpOp::Le => x.le(y),
+                CmpOp::Gt => y.lt(x),
+                CmpOp::Ge => y.le(x),
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+/// All atoms occurring in any relation of the state, in enumeration order.
+pub fn active_atoms(db: &DbState) -> Vec<Atom> {
+    let mut out = Vec::new();
+    for (_, rel) in db.relations() {
+        for t in rel.iter() {
+            out.extend_from_slice(t.fields());
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Find a conjunct `v ∈ R` restricting `v` to relation `R`, looking
+/// through conjunctions (and the left side of implications under
+/// negation-free positions is deliberately *not* searched: only positive
+/// top-level conjuncts soundly restrict the domain).
+fn find_membership_rel(p: &FFormula, v: Var) -> Option<Symbol> {
+    match p {
+        FFormula::Member(FTerm::Var(x), FTerm::Rel(r)) if *x == v => Some(*r),
+        FFormula::And(a, b) => find_membership_rel(a, v).or_else(|| find_membership_rel(b, v)),
+        // `x ∈ R & …  ->  …` in a guard position: the antecedent of an
+        // implication restricts the quantified domain for ∀v (v ∈ R → φ).
+        FFormula::Implies(a, _) => find_membership_rel(a, v),
+        _ => None,
+    }
+}
+
+/// Collect numeric/symbolic constants mentioned in a formula (used to seed
+/// atom-sorted quantifier domains).
+fn collect_fformula_atoms(p: &FFormula, out: &mut Vec<Atom>) {
+    fn term(t: &FTerm, out: &mut Vec<Atom>) {
+        match t {
+            FTerm::Nat(n) => out.push(Atom::Nat(*n)),
+            FTerm::Str(s) => out.push(Atom::Str(*s)),
+            FTerm::Attr(_, t) | FTerm::Select(t, _) | FTerm::IdOf(t) => term(t, out),
+            FTerm::TupleCons(ts) | FTerm::App(_, ts) | FTerm::UserApp(_, ts) => {
+                for t in ts {
+                    term(t, out);
+                }
+            }
+            FTerm::SetFormer { head, cond, .. } => {
+                term(head, out);
+                collect_fformula_atoms(cond, out);
+            }
+            _ => {}
+        }
+    }
+    match p {
+        FFormula::Cmp(_, a, b) | FFormula::Member(a, b) | FFormula::Subset(a, b) => {
+            term(a, out);
+            term(b, out);
+        }
+        FFormula::Not(q) => collect_fformula_atoms(q, out),
+        FFormula::And(a, b)
+        | FFormula::Or(a, b)
+        | FFormula::Implies(a, b)
+        | FFormula::Iff(a, b) => {
+            collect_fformula_atoms(a, out);
+            collect_fformula_atoms(b, out);
+        }
+        FFormula::Exists(_, q) | FFormula::Forall(_, q) => collect_fformula_atoms(q, out),
+        FFormula::UserPred(_, ts) => {
+            for t in ts {
+                term(t, out);
+            }
+        }
+        FFormula::True | FFormula::False => {}
+    }
+}
+
+fn head_arity_hint(head: &FTerm) -> Option<usize> {
+    match head.sort_hint() {
+        Some(Sort::Obj(ObjSort::Atom)) => Some(1),
+        Some(Sort::Obj(ObjSort::Tup(n))) => Some(n),
+        _ => None,
+    }
+}
+
+/// Check that an f-term is a well-formed database program over `schema`
+/// with parameters `params` (Definition 3): every free variable is a
+/// parameter, every relation and attribute is declared. Returns whether
+/// the program is a transaction (state sort) or a query.
+pub fn check_program(
+    schema: &Schema,
+    t: &FTerm,
+    params: &[Var],
+) -> TxResult<ProgramKind> {
+    let free = txlog_logic::subst::fterm_free_vars(t);
+    for v in &free {
+        if !params.contains(v) {
+            return Err(TxError::not_executable(format!(
+                "free variable {v} is not a declared parameter"
+            )));
+        }
+        if v.class == VarClass::Situational && v.sort != Sort::ATOM {
+            return Err(TxError::not_executable(format!(
+                "situational parameter {v} cannot appear in a program"
+            )));
+        }
+    }
+    check_names(schema, t)?;
+    Ok(if t.is_transaction_shaped() {
+        ProgramKind::Transaction
+    } else {
+        ProgramKind::Query
+    })
+}
+
+/// Definition 3's dichotomy of database programs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProgramKind {
+    /// An f-term of state sort.
+    Transaction,
+    /// An f-term of object sort.
+    Query,
+}
+
+fn check_names(schema: &Schema, t: &FTerm) -> TxResult<()> {
+    let check_rel = |name: Symbol| -> TxResult<()> {
+        schema
+            .by_name(name)
+            .map(|_| ())
+            .ok_or_else(|| TxError::schema(format!("unknown relation {name}")))
+    };
+    match t {
+        FTerm::Rel(r) => check_rel(*r),
+        FTerm::Attr(_, inner) | FTerm::Select(inner, _) | FTerm::IdOf(inner) => {
+            check_names(schema, inner)
+        }
+        FTerm::TupleCons(ts) | FTerm::App(_, ts) | FTerm::UserApp(_, ts) => {
+            ts.iter().try_for_each(|t| check_names(schema, t))
+        }
+        FTerm::SetFormer { head, cond, .. } => {
+            check_names(schema, head)?;
+            check_formula_names(schema, cond)
+        }
+        FTerm::Seq(a, b) => {
+            check_names(schema, a)?;
+            check_names(schema, b)
+        }
+        FTerm::Cond(p, a, b) => {
+            check_formula_names(schema, p)?;
+            check_names(schema, a)?;
+            check_names(schema, b)
+        }
+        FTerm::Foreach(_, p, body) => {
+            check_formula_names(schema, p)?;
+            check_names(schema, body)
+        }
+        FTerm::Insert(tup, r) | FTerm::Delete(tup, r) => {
+            check_rel(*r)?;
+            check_names(schema, tup)
+        }
+        FTerm::Modify(tup, _, v) | FTerm::ModifyAttr(tup, _, v) => {
+            check_names(schema, tup)?;
+            check_names(schema, v)
+        }
+        FTerm::Assign(r, set) => {
+            check_rel(*r)?;
+            check_names(schema, set)
+        }
+        FTerm::Var(_) | FTerm::Nat(_) | FTerm::Str(_) | FTerm::Identity => Ok(()),
+    }
+}
+
+fn check_formula_names(schema: &Schema, p: &FFormula) -> TxResult<()> {
+    match p {
+        FFormula::True | FFormula::False => Ok(()),
+        FFormula::Cmp(_, a, b) | FFormula::Member(a, b) | FFormula::Subset(a, b) => {
+            check_names(schema, a)?;
+            check_names(schema, b)
+        }
+        FFormula::Not(q) => check_formula_names(schema, q),
+        FFormula::And(a, b)
+        | FFormula::Or(a, b)
+        | FFormula::Implies(a, b)
+        | FFormula::Iff(a, b) => {
+            check_formula_names(schema, a)?;
+            check_formula_names(schema, b)
+        }
+        FFormula::Exists(_, q) | FFormula::Forall(_, q) => check_formula_names(schema, q),
+        FFormula::UserPred(_, ts) => {
+            ts.iter().try_for_each(|t| check_names(schema, t))
+        }
+    }
+}

@@ -1,0 +1,442 @@
+//! Runtime values — the semantic domain of evaluation.
+//!
+//! Evaluating an expression yields a [`Value`]: an atom, a tuple value, a
+//! finite set of tuples, a state (a node of the evolution graph or a
+//! detached state computed by executing a transaction), or an identifier.
+//! Set values are kept sorted and deduplicated so value equality is
+//! structural equality.
+
+use std::fmt;
+use std::sync::Arc;
+use txlog_base::{Atom, RelId, StateId, TupleId, TxError, TxResult};
+use txlog_relational::{DbState, Relation, TupleVal};
+
+/// A finite set of n-ary tuples, as a value (the paper's `nset` sorts).
+#[derive(Clone, PartialEq, Eq)]
+pub struct SetVal {
+    /// The member arity.
+    pub arity: usize,
+    /// The originating relation's identity, when the set *is* a relation
+    /// value (needed for `id(R)`); `None` for computed sets.
+    pub rel_id: Option<RelId>,
+    members: Vec<TupleVal>,
+}
+
+impl SetVal {
+    /// An empty set of the given arity.
+    pub fn empty(arity: usize) -> SetVal {
+        SetVal {
+            arity,
+            rel_id: None,
+            members: Vec::new(),
+        }
+    }
+
+    /// Build from members, normalizing (sort + dedup by fields-and-id).
+    pub fn from_members(arity: usize, mut members: Vec<TupleVal>) -> TxResult<SetVal> {
+        for m in &members {
+            if m.arity() != arity {
+                return Err(TxError::sort(format!(
+                    "{}-ary member in {arity}-ary set",
+                    m.arity()
+                )));
+            }
+        }
+        members.sort_by(|a, b| a.fields.cmp(&b.fields).then(a.id.cmp(&b.id)));
+        members.dedup();
+        Ok(SetVal {
+            arity,
+            rel_id: None,
+            members,
+        })
+    }
+
+    /// The value of a stored relation.
+    pub fn from_relation(rel: &Relation) -> SetVal {
+        let members: Vec<TupleVal> = rel.iter_vals().collect();
+        let mut sv = SetVal::from_members(rel.arity(), members)
+            .expect("relation members are arity-checked on insert");
+        sv.rel_id = Some(rel.id());
+        sv
+    }
+
+    /// Members in normalized order.
+    pub fn members(&self) -> &[TupleVal] {
+        &self.members
+    }
+
+    /// Cardinality (the paper's `size_n`). Counts *distinct tuples*; two
+    /// identified tuples with equal fields are distinct tuples, but an
+    /// anonymous duplicate of an identified value is not re-counted when
+    /// comparing by value — `value_len` gives the pure value count.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Cardinality by pure field values.
+    pub fn value_len(&self) -> usize {
+        let mut fields: Vec<&Arc<[Atom]>> = self.members.iter().map(|m| &m.fields).collect();
+        fields.sort();
+        fields.dedup();
+        fields.len()
+    }
+
+    /// Membership by the paper's convention: identified values must match
+    /// an identified member; anonymous values match on fields.
+    pub fn contains(&self, t: &TupleVal) -> bool {
+        match t.id {
+            Some(id) => self
+                .members
+                .iter()
+                .any(|m| m.id == Some(id) && m.fields == t.fields),
+            None => self.members.iter().any(|m| m.fields == t.fields),
+        }
+    }
+
+    /// Membership by field values only.
+    pub fn contains_fields(&self, fields: &[Atom]) -> bool {
+        self.members.iter().any(|m| &*m.fields == fields)
+    }
+
+    /// Set union (by value; identified members are kept distinct by id).
+    pub fn union(&self, other: &SetVal) -> TxResult<SetVal> {
+        self.check_arity(other, "union")?;
+        let mut members = self.members.clone();
+        members.extend(other.members.iter().cloned());
+        SetVal::from_members(self.arity, members)
+    }
+
+    /// Set intersection by field values.
+    pub fn inter(&self, other: &SetVal) -> TxResult<SetVal> {
+        self.check_arity(other, "inter")?;
+        let members = self
+            .members
+            .iter()
+            .filter(|m| other.contains_fields(&m.fields))
+            .cloned()
+            .collect();
+        SetVal::from_members(self.arity, members)
+    }
+
+    /// Set difference by field values.
+    pub fn diff(&self, other: &SetVal) -> TxResult<SetVal> {
+        self.check_arity(other, "diff")?;
+        let members = self
+            .members
+            .iter()
+            .filter(|m| !other.contains_fields(&m.fields))
+            .cloned()
+            .collect();
+        SetVal::from_members(self.arity, members)
+    }
+
+    /// Cartesian product: an (m+n)-ary set of anonymous tuples.
+    pub fn product(&self, other: &SetVal) -> TxResult<SetVal> {
+        let mut members = Vec::with_capacity(self.members.len() * other.members.len());
+        for a in &self.members {
+            for b in &other.members {
+                let mut fields: Vec<Atom> = a.fields.to_vec();
+                fields.extend_from_slice(&b.fields);
+                members.push(TupleVal::anonymous(fields));
+            }
+        }
+        SetVal::from_members(self.arity + other.arity, members)
+    }
+
+    /// Subset by field values (the paper's `⊆_n`).
+    pub fn subset(&self, other: &SetVal) -> TxResult<bool> {
+        self.check_arity(other, "subset")?;
+        Ok(self
+            .members
+            .iter()
+            .all(|m| other.contains_fields(&m.fields)))
+    }
+
+    /// Sum of the single attribute of a 1-ary set (the paper's `sum`).
+    pub fn sum(&self) -> TxResult<Atom> {
+        if self.arity != 1 {
+            return Err(TxError::sort(format!(
+                "sum requires a 1-ary set, got arity {}",
+                self.arity
+            )));
+        }
+        let mut total: u64 = 0;
+        for m in &self.members {
+            total = total
+                .checked_add(m.fields[0].as_nat()?)
+                .ok_or_else(|| TxError::eval("sum overflow"))?;
+        }
+        Ok(Atom::Nat(total))
+    }
+
+    /// Value equality by field multiplicity-free comparison (two sets are
+    /// equal iff they contain the same field vectors).
+    pub fn value_eq(&self, other: &SetVal) -> bool {
+        if self.arity != other.arity {
+            return false;
+        }
+        let norm = |s: &SetVal| {
+            let mut v: Vec<Arc<[Atom]>> = s.members.iter().map(|m| m.fields.clone()).collect();
+            v.sort();
+            v.dedup();
+            v
+        };
+        norm(self) == norm(other)
+    }
+
+    fn check_arity(&self, other: &SetVal, op: &str) -> TxResult<()> {
+        if self.arity != other.arity {
+            return Err(TxError::sort(format!(
+                "{op} of sets with arities {} and {}",
+                self.arity, other.arity
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SetVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, m) in self.members.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{m}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Debug for SetVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A state value during model checking: a node of the evolution graph, or
+/// a detached state computed by executing a transaction (the result of
+/// `s ; tx` need not be a recorded node).
+#[derive(Clone)]
+pub struct StateVal {
+    /// The state's contents.
+    pub db: DbState,
+    /// The graph node, when this state is one.
+    pub node: Option<StateId>,
+}
+
+impl StateVal {
+    /// A node state.
+    pub fn node(id: StateId, db: DbState) -> StateVal {
+        StateVal { db, node: Some(id) }
+    }
+
+    /// A detached state.
+    pub fn detached(db: DbState) -> StateVal {
+        StateVal { db, node: None }
+    }
+}
+
+impl PartialEq for StateVal {
+    fn eq(&self, other: &StateVal) -> bool {
+        // State equality is content equality — two routes to the same
+        // contents are the same state (Example 4 compares s = s;t1;t2).
+        self.db.content_eq(&other.db)
+    }
+}
+
+impl Eq for StateVal {}
+
+impl fmt::Display for StateVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.node {
+            Some(id) => write!(f, "{id}"),
+            None => write!(f, "<detached state>"),
+        }
+    }
+}
+
+impl fmt::Debug for StateVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Any runtime value.
+#[derive(Clone, PartialEq, Eq)]
+pub enum Value {
+    /// An attribute value.
+    Atom(Atom),
+    /// An n-ary tuple value.
+    Tuple(TupleVal),
+    /// A finite n-ary set value.
+    Set(SetVal),
+    /// A state.
+    State(StateVal),
+    /// A tuple identifier (result of `id(t)`).
+    TupleId(TupleId),
+    /// A relation identifier (result of `id(R)`).
+    RelId(RelId),
+}
+
+impl Value {
+    /// Extract an atom, or a sort error.
+    pub fn into_atom(self) -> TxResult<Atom> {
+        match self {
+            Value::Atom(a) => Ok(a),
+            other => Err(TxError::sort(format!("expected atom, got {other}"))),
+        }
+    }
+
+    /// Extract a tuple, or a sort error.
+    pub fn into_tuple(self) -> TxResult<TupleVal> {
+        match self {
+            Value::Tuple(t) => Ok(t),
+            // An atom coerces to a 1-tuple where a tuple is demanded —
+            // the paper freely writes sets of attribute values.
+            Value::Atom(a) => Ok(TupleVal::anonymous(vec![a])),
+            other => Err(TxError::sort(format!("expected tuple, got {other}"))),
+        }
+    }
+
+    /// Extract a set, or a sort error.
+    pub fn into_set(self) -> TxResult<SetVal> {
+        match self {
+            Value::Set(s) => Ok(s),
+            other => Err(TxError::sort(format!("expected set, got {other}"))),
+        }
+    }
+
+    /// Extract a state, or a sort error.
+    pub fn into_state(self) -> TxResult<StateVal> {
+        match self {
+            Value::State(s) => Ok(s),
+            other => Err(TxError::sort(format!("expected state, got {other}"))),
+        }
+    }
+
+    /// Semantic equality for the `=` predicate: sets compare by value,
+    /// tuples by fields-and-identity-if-both-identified, atoms directly.
+    pub fn sem_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Set(a), Value::Set(b)) => a.value_eq(b),
+            (Value::Tuple(a), Value::Tuple(b)) => match (a.id, b.id) {
+                (Some(x), Some(y)) => x == y && a.fields == b.fields,
+                _ => a.fields == b.fields,
+            },
+            (Value::Atom(a), Value::Tuple(t)) | (Value::Tuple(t), Value::Atom(a)) => {
+                t.arity() == 1 && t.fields[0] == *a
+            }
+            (a, b) => a == b,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Atom(a) => write!(f, "{a}"),
+            Value::Tuple(t) => write!(f, "{t}"),
+            Value::Set(s) => write!(f, "{s}"),
+            Value::State(s) => write!(f, "{s}"),
+            Value::TupleId(id) => write!(f, "{id}"),
+            Value::RelId(id) => write!(f, "{id}"),
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tv(ns: &[u64]) -> TupleVal {
+        TupleVal::anonymous(ns.iter().map(|&n| Atom::nat(n)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn set_normalization_dedups() {
+        let s = SetVal::from_members(1, vec![tv(&[2]), tv(&[1]), tv(&[2])]).unwrap();
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(&tv(&[1])));
+    }
+
+    #[test]
+    fn set_ops() {
+        let a = SetVal::from_members(1, vec![tv(&[1]), tv(&[2])]).unwrap();
+        let b = SetVal::from_members(1, vec![tv(&[2]), tv(&[3])]).unwrap();
+        assert_eq!(a.union(&b).unwrap().len(), 3);
+        assert_eq!(a.inter(&b).unwrap().len(), 1);
+        assert_eq!(a.diff(&b).unwrap().len(), 1);
+        assert!(a.diff(&b).unwrap().contains(&tv(&[1])));
+        let p = a.product(&b).unwrap();
+        assert_eq!(p.arity, 2);
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let a = SetVal::from_members(1, vec![tv(&[1])]).unwrap();
+        let b = SetVal::from_members(2, vec![tv(&[1, 2])]).unwrap();
+        assert!(a.union(&b).is_err());
+        assert!(SetVal::from_members(1, vec![tv(&[1, 2])]).is_err());
+    }
+
+    #[test]
+    fn subset_and_sum() {
+        let a = SetVal::from_members(1, vec![tv(&[10]), tv(&[20])]).unwrap();
+        let b = SetVal::from_members(1, vec![tv(&[10]), tv(&[20]), tv(&[30])]).unwrap();
+        assert!(a.subset(&b).unwrap());
+        assert!(!b.subset(&a).unwrap());
+        assert_eq!(b.sum().unwrap(), Atom::nat(60));
+    }
+
+    #[test]
+    fn sum_requires_unary() {
+        let p = SetVal::from_members(2, vec![tv(&[1, 2])]).unwrap();
+        assert!(p.sum().is_err());
+    }
+
+    #[test]
+    fn value_eq_ignores_identity() {
+        let a = SetVal::from_members(
+            1,
+            vec![TupleVal::identified(TupleId(1), vec![Atom::nat(5)])],
+        )
+        .unwrap();
+        let b = SetVal::from_members(1, vec![tv(&[5])]).unwrap();
+        assert!(a.value_eq(&b));
+    }
+
+    #[test]
+    fn semantic_equality_of_values() {
+        assert!(Value::Atom(Atom::nat(5)).sem_eq(&Value::Tuple(tv(&[5]))));
+        assert!(!Value::Atom(Atom::nat(5)).sem_eq(&Value::Atom(Atom::nat(6))));
+    }
+
+    #[test]
+    fn state_values_compare_by_content() {
+        let db = DbState::new();
+        let a = StateVal::node(StateId(0), db.clone());
+        let b = StateVal::detached(db);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn into_conversions() {
+        assert!(Value::Atom(Atom::nat(1)).into_atom().is_ok());
+        assert!(Value::Atom(Atom::nat(1)).into_set().is_err());
+        assert!(Value::Atom(Atom::nat(1)).into_tuple().is_ok()); // coercion
+        assert!(Value::Tuple(tv(&[1])).into_state().is_err());
+    }
+}

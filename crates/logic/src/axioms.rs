@@ -1,0 +1,375 @@
+//! The situational transaction theory T_L as first-class data.
+//!
+//! Section 2 axiomatizes the domain-independent behaviour of databases:
+//! fluent-function laws (`composition-associativity`, `identity-fluent`),
+//! linkage axioms connecting situational functions with fluent functions
+//! (`composition-linkage`, `condition-linkage`, `iteration-linkage`, and
+//! the object/predicate/state/setformer linkages), and action/frame axioms
+//! for the state-changing fluents (`modify-action`, `modify-frame`, and
+//! their analogues for `insert`, `delete`, `assign`).
+//!
+//! In this implementation the *linkage* axioms are the operational
+//! semantics of the engine — they hold by construction of the evaluator —
+//! and the *action/frame* axioms are both (a) verified against every model
+//! the engine builds (the integration tests instantiate the schemas below
+//! and model-check them) and (b) used by the prover as rewrite knowledge.
+//! This module renders the schemas as closed [`SFormula`]s so they can be
+//! displayed, instantiated, checked, and handed to the prover.
+
+use crate::fluent::{FFormula, FTerm};
+use crate::situational::{SFormula, STerm};
+use crate::sort::Var;
+use std::fmt;
+
+/// A named axiom instance: a closed s-formula plus its schema name.
+#[derive(Clone)]
+pub struct Axiom {
+    /// Schema name, matching the paper's label (e.g. `modify-frame`).
+    pub name: String,
+    /// The closed s-formula.
+    pub formula: SFormula,
+}
+
+impl fmt::Display for Axiom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.name, self.formula)
+    }
+}
+
+impl fmt::Debug for Axiom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// `identity-fluent` on states: `∀s. s;Λ = s`.
+pub fn identity_fluent() -> Axiom {
+    let s = Var::state("s");
+    Axiom {
+        name: "identity-fluent".into(),
+        formula: SFormula::forall(
+            s,
+            SFormula::eq(
+                STerm::var(s).eval_state(FTerm::Identity),
+                STerm::var(s),
+            ),
+        ),
+    }
+}
+
+/// `∃u. w = u` — the state term denotes a recorded state. The paper
+/// assumes transactions are total; finite models record only the
+/// transitions that exist, so the laws below carry this guard (an
+/// undefined term makes any atom false in the checker's free logic, and
+/// `undefined = undefined` must not be read as a violation).
+fn defined(w: STerm, tag: &str) -> SFormula {
+    let u = Var::state(&format!("u-{tag}"));
+    SFormula::exists(u, SFormula::eq(w, STerm::var(u)))
+}
+
+/// `composition-linkage`: `∀s ∀a ∀b. defined((s;a);b) → s;(a;;b) = (s;a);b`
+/// where `a`, `b` range over transactions.
+pub fn composition_linkage() -> Axiom {
+    let s = Var::state("s");
+    let a = Var::transaction("a");
+    let b = Var::transaction("b");
+    let stepped = STerm::var(s)
+        .eval_state(FTerm::var(a))
+        .eval_state(FTerm::var(b));
+    Axiom {
+        name: "composition-linkage".into(),
+        formula: SFormula::forall_all(
+            [s, a, b],
+            defined(stepped.clone(), "cl").implies(SFormula::eq(
+                STerm::var(s).eval_state(FTerm::var(a).seq(FTerm::var(b))),
+                stepped,
+            )),
+        ),
+    }
+}
+
+/// `composition-associativity` at the evaluation level:
+/// `∀s ∀a ∀b ∀c. defined(((s;a);b);c) → s;((a;;b);;c) = s;(a;;(b;;c))`.
+pub fn composition_associativity() -> Axiom {
+    let s = Var::state("s");
+    let a = Var::transaction("a");
+    let b = Var::transaction("b");
+    let c = Var::transaction("c");
+    let left = FTerm::var(a).seq(FTerm::var(b)).seq(FTerm::var(c));
+    let right = FTerm::var(a).seq(FTerm::var(b).seq(FTerm::var(c)));
+    let stepped = STerm::var(s)
+        .eval_state(FTerm::var(a))
+        .eval_state(FTerm::var(b))
+        .eval_state(FTerm::var(c));
+    Axiom {
+        name: "composition-associativity".into(),
+        formula: SFormula::forall_all(
+            [s, a, b, c],
+            defined(stepped, "ca").implies(SFormula::eq(
+                STerm::var(s).eval_state(left),
+                STerm::var(s).eval_state(right),
+            )),
+        ),
+    }
+}
+
+/// `insert-action` for relation `rel` of the given arity:
+/// `∀s ∀t. s:t ∈ s:rel → (s;insert(t, rel)):t ∈ (s;insert(t, rel)):rel`
+/// — inserting a (live) tuple makes it a member afterwards. The guard
+/// `s:t ∈ s:rel` restricts the fluent variable to tuples that denote at
+/// `s`; the general action axiom over arbitrary tuple *values* is
+/// exercised operationally by the engine's tests.
+pub fn insert_action(rel: &str, arity: usize) -> Axiom {
+    let s = Var::state("s");
+    let t = Var::tup_f("t", arity);
+    let after = STerm::var(s).eval_state(FTerm::insert(FTerm::var(t), rel));
+    Axiom {
+        name: format!("insert-action({rel})"),
+        formula: SFormula::forall_all(
+            [s, t],
+            SFormula::member(
+                STerm::var(s).eval_obj(FTerm::var(t)),
+                STerm::var(s).eval_obj(FTerm::rel(rel)),
+            )
+            .implies(SFormula::member(
+                after.clone().eval_obj(FTerm::var(t)),
+                after.eval_obj(FTerm::rel(rel)),
+            )),
+        ),
+    }
+}
+
+/// `delete-action` for relation `rel`:
+/// `∀s ∀t. ¬((s;delete(t, rel)):t ∈ (s;delete(t, rel)):rel)` — after
+/// deleting `t` from `rel`, `t` is not a member (a deleted tuple fails to
+/// denote, and a non-denoting membership is false).
+pub fn delete_action(rel: &str, arity: usize) -> Axiom {
+    let s = Var::state("s");
+    let t = Var::tup_f("t", arity);
+    let after = STerm::var(s).eval_state(FTerm::delete(FTerm::var(t), rel));
+    Axiom {
+        name: format!("delete-action({rel})"),
+        formula: SFormula::forall_all(
+            [s, t],
+            SFormula::member(
+                after.clone().eval_obj(FTerm::var(t)),
+                after.eval_obj(FTerm::rel(rel)),
+            )
+            .not(),
+        ),
+    }
+}
+
+/// `delete-frame` for relations `rel` (deleted from) and `other`:
+/// deleting from `rel` does not change `other`.
+pub fn delete_frame(rel: &str, arity: usize, other: &str) -> Axiom {
+    let s = Var::state("s");
+    let t = Var::tup_f("t", arity);
+    let after = STerm::var(s).eval_state(FTerm::delete(FTerm::var(t), rel));
+    Axiom {
+        name: format!("delete-frame({rel}, {other})"),
+        formula: SFormula::forall_all(
+            [s, t],
+            SFormula::eq(
+                after.eval_obj(FTerm::rel(other)),
+                STerm::var(s).eval_obj(FTerm::rel(other)),
+            ),
+        ),
+    }
+}
+
+/// `insert-frame` for `rel` (inserted into) and `other ≠ rel`. Guarded
+/// on the tuple denoting at `s` (the fluent variable ranges over all
+/// identities in the model; inserting a tuple that does not exist at `s`
+/// is not an executable step there).
+pub fn insert_frame(rel: &str, arity: usize, other: &str) -> Axiom {
+    let s = Var::state("s");
+    let t = Var::tup_f("t", arity);
+    let after = STerm::var(s).eval_state(FTerm::insert(FTerm::var(t), rel));
+    Axiom {
+        name: format!("insert-frame({rel}, {other})"),
+        formula: SFormula::forall_all(
+            [s, t],
+            SFormula::member(
+                STerm::var(s).eval_obj(FTerm::var(t)),
+                STerm::var(s).eval_obj(FTerm::rel(rel)),
+            )
+            .implies(SFormula::eq(
+                after.eval_obj(FTerm::rel(other)),
+                STerm::var(s).eval_obj(FTerm::rel(other)),
+            )),
+        ),
+    }
+}
+
+/// The paper's `modify-action` (for attribute `i`, 1 ≤ i ≤ arity):
+/// `∀w ∀t ∀v. w:t ∈ w:rel →
+///     select((w;modify(t, i, v)):t, i) = v`.
+pub fn modify_action(rel: &str, arity: usize, i: usize) -> Axiom {
+    assert!(i >= 1 && i <= arity, "modify-action index out of range");
+    let w = Var::state("w");
+    let t = Var::tup_f("t", arity);
+    let v = Var::atom_f("v");
+    let after = STerm::var(w).eval_state(FTerm::modify(
+        FTerm::var(t),
+        i,
+        FTerm::var(v),
+    ));
+    Axiom {
+        name: format!("modify-action({rel}, {i})"),
+        formula: SFormula::forall_all(
+            [w, t, v],
+            SFormula::member(
+                STerm::var(w).eval_obj(FTerm::var(t)),
+                STerm::var(w).eval_obj(FTerm::rel(rel)),
+            )
+            .implies(SFormula::eq(
+                STerm::Select(Box::new(after.eval_obj(FTerm::var(t))), i),
+                STerm::var(w).eval_obj(FTerm::var(v)),
+            )),
+        ),
+    }
+}
+
+/// The paper's `modify-frame`: for tuples with distinct identifiers,
+/// modifying `t₂` leaves every attribute of `t₁` unchanged:
+/// `∀w ∀t₁ ∀t₂ ∀v. (w:t₁ ∈ w:rel ∧ w:t₂ ∈ w:rel ∧ id(w:t₁) ≠ id(w:t₂)) →
+///     select((w;modify(t₂, j, v)):t₁, i) = select(w:t₁, i)`.
+pub fn modify_frame(rel: &str, arity: usize, i: usize, j: usize) -> Axiom {
+    assert!(i >= 1 && i <= arity && j >= 1 && j <= arity);
+    let w = Var::state("w");
+    let t1 = Var::tup_f("t1", arity);
+    let t2 = Var::tup_f("t2", arity);
+    let v = Var::atom_f("v");
+    let after = STerm::var(w).eval_state(FTerm::modify(
+        FTerm::var(t2),
+        j,
+        FTerm::var(v),
+    ));
+    let in_rel = |t: Var| {
+        SFormula::member(
+            STerm::var(w).eval_obj(FTerm::var(t)),
+            STerm::var(w).eval_obj(FTerm::rel(rel)),
+        )
+    };
+    let distinct = SFormula::ne(
+        STerm::IdOf(Box::new(STerm::var(w).eval_obj(FTerm::var(t1)))),
+        STerm::IdOf(Box::new(STerm::var(w).eval_obj(FTerm::var(t2)))),
+    );
+    Axiom {
+        name: format!("modify-frame({rel}, {i}, {j})"),
+        formula: SFormula::forall_all(
+            [w, t1, t2, v],
+            in_rel(t1)
+                .and(in_rel(t2))
+                .and(distinct)
+                .implies(SFormula::eq(
+                    STerm::Select(Box::new(after.eval_obj(FTerm::var(t1))), i),
+                    STerm::Select(
+                        Box::new(STerm::var(w).eval_obj(FTerm::var(t1))),
+                        i,
+                    ),
+                )),
+        ),
+    }
+}
+
+/// `condition-linkage` specialized to membership tests:
+/// `∀s ∀t. s;(if p then a else b) = (if s::p then s;a else s;b)` — we
+/// render the right-hand case split as a conjunction of two implications.
+pub fn condition_linkage(p: FFormula, a: FTerm, b: FTerm) -> Axiom {
+    let s = Var::state("s");
+    let cond_tx = FTerm::cond(p.clone(), a.clone(), b.clone());
+    let lhs = STerm::var(s).eval_state(cond_tx);
+    let then_eq = SFormula::Holds(STerm::var(s), p.clone()).implies(SFormula::eq(
+        lhs.clone(),
+        STerm::var(s).eval_state(a),
+    ));
+    let else_eq = SFormula::Holds(STerm::var(s), p)
+        .not()
+        .implies(SFormula::eq(lhs, STerm::var(s).eval_state(b)));
+    Axiom {
+        name: "condition-linkage".into(),
+        formula: SFormula::forall(s, then_eq.and(else_eq)),
+    }
+}
+
+/// The domain-independent core of T_L for a given set of relations
+/// (name, arity): fluent laws plus per-relation action/frame instances.
+pub fn theory(rels: &[(&str, usize)]) -> Vec<Axiom> {
+    let mut out = vec![
+        identity_fluent(),
+        composition_linkage(),
+        composition_associativity(),
+    ];
+    for &(rel, arity) in rels {
+        out.push(insert_action(rel, arity));
+        out.push(delete_action(rel, arity));
+        for i in 1..=arity {
+            out.push(modify_action(rel, arity, i));
+            for j in 1..=arity {
+                out.push(modify_frame(rel, arity, i, j));
+            }
+        }
+        for &(other, _) in rels {
+            if other != rel {
+                out.push(insert_frame(rel, arity, other));
+                out.push(delete_frame(rel, arity, other));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subst::sformula_free_vars;
+
+    #[test]
+    fn axioms_are_closed() {
+        for ax in theory(&[("EMP", 5), ("DEPT", 3)]) {
+            assert!(
+                sformula_free_vars(&ax.formula).is_empty(),
+                "axiom {} has free variables",
+                ax.name
+            );
+        }
+    }
+
+    #[test]
+    fn theory_size_scales_with_schema() {
+        let small = theory(&[("R", 1)]);
+        let big = theory(&[("R", 1), ("S", 2)]);
+        assert!(big.len() > small.len());
+        // R with arity 1: insert-action, delete-action, 1 modify-action,
+        // 1 modify-frame; plus 3 fluent laws.
+        assert_eq!(small.len(), 3 + 2 + 1 + 1);
+    }
+
+    #[test]
+    fn display_matches_paper_shape() {
+        let ax = modify_action("EMP", 5, 3);
+        let text = ax.to_string();
+        assert!(text.contains("modify-action(EMP, 3)"));
+        assert!(text.contains("modify(t, 3, v)"));
+        let ax = identity_fluent();
+        assert_eq!(ax.formula.to_string(), "forall s: state . s;Λ = s");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn modify_action_rejects_bad_index() {
+        let _ = modify_action("EMP", 5, 6);
+    }
+
+    #[test]
+    fn condition_linkage_is_closed_when_parts_are() {
+        let ax = condition_linkage(
+            FFormula::True,
+            FTerm::Identity,
+            FTerm::Identity,
+        );
+        assert!(sformula_free_vars(&ax.formula).is_empty());
+    }
+}

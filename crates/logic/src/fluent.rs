@@ -1,0 +1,680 @@
+//! Fluent expressions: f-terms and f-formulas.
+//!
+//! F-expressions "do not refer to states explicitly" (Section 2): they are
+//! mappings from states to objects, truth values, or states. In this AST
+//! that discipline is enforced **by construction** — [`FTerm`] and
+//! [`FFormula`] contain no situational subterms, so every well-formed
+//! f-term is an executable program over the current state. The paper's
+//! non-executable salary program (which branches on a *future* state) is
+//! only writable at the situational level, where no evaluator will run it
+//! as a program; its f-level counterpart `if p then s else t` evaluates
+//! the condition at the *current* state, per the condition-linkage axiom.
+//!
+//! F-terms of state sort are **transactions**; f-terms of object sort are
+//! **queries** (Definition 3).
+
+use crate::sort::{ObjSort, Sort, Var, VarClass};
+use std::fmt;
+use txlog_base::Symbol;
+
+/// Built-in object-level operators (functions over naturals and sets).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Op {
+    /// Natural addition `+`.
+    Add,
+    /// Natural subtraction (monus) `−`.
+    Monus,
+    /// Natural multiplication `*`.
+    Mul,
+    /// Binary maximum.
+    Max,
+    /// Binary minimum.
+    Min,
+    /// Sum of a set of 1-tuples (the paper's aggregate `sum`).
+    Sum,
+    /// Cardinality of a set (the paper's `size_n`).
+    Size,
+    /// Set union `∪`.
+    Union,
+    /// Set intersection `∩`.
+    Inter,
+    /// Set difference `−`.
+    Diff,
+    /// Cartesian product `×`.
+    Product,
+}
+
+impl Op {
+    /// Number of arguments the operator takes.
+    pub fn arity(self) -> usize {
+        match self {
+            Op::Sum | Op::Size => 1,
+            _ => 2,
+        }
+    }
+
+    /// Operator name as printed.
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::Add => "+",
+            Op::Monus => "-",
+            Op::Mul => "*",
+            Op::Max => "max",
+            Op::Min => "min",
+            Op::Sum => "sum",
+            Op::Size => "size",
+            Op::Union => "union",
+            Op::Inter => "inter",
+            Op::Diff => "diff",
+            Op::Product => "product",
+        }
+    }
+
+    /// True for the infix arithmetic trio.
+    pub fn is_infix(self) -> bool {
+        matches!(self, Op::Add | Op::Monus | Op::Mul)
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Comparison predicates shared by both expression levels.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CmpOp {
+    /// Equality `=` (any sort).
+    Eq,
+    /// Disequality `≠`.
+    Ne,
+    /// Strict order `<` on naturals.
+    Lt,
+    /// Non-strict order `≤` on naturals.
+    Le,
+    /// Strict order `>` on naturals.
+    Gt,
+    /// Non-strict order `≥` on naturals.
+    Ge,
+}
+
+impl CmpOp {
+    /// Printed form.
+    pub fn name(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+
+    /// The comparison with its arguments swapped.
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// The logical negation of the comparison.
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A fluent expression (f-term).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum FTerm {
+    /// A fluent variable.
+    Var(Var),
+    /// A natural-number constant.
+    Nat(u64),
+    /// A symbolic atom constant.
+    Str(Symbol),
+    /// A relation f-constant from the schema's R (e.g. `EMP`).
+    Rel(Symbol),
+    /// Attribute selection by name — the paper's `l(t)` sugar for
+    /// `select_n(t, i)`. Resolved against the schema at evaluation time.
+    Attr(Symbol, Box<FTerm>),
+    /// Positional selection `select_n(t, i)`, 1-based.
+    Select(Box<FTerm>, usize),
+    /// Tuple generator `tuple_n(v₁, …, vₙ)`.
+    TupleCons(Vec<FTerm>),
+    /// Built-in operator application.
+    App(Op, Vec<FTerm>),
+    /// Set former `{ f(y) | p(x, y) }`: `head` may mention the bound
+    /// `vars`; `cond` restricts them.
+    SetFormer {
+        /// The head expression `f(y)`.
+        head: Box<FTerm>,
+        /// The bound variables `y`.
+        vars: Vec<Var>,
+        /// The condition `p(x, y)`.
+        cond: Box<FFormula>,
+    },
+    /// The identifier function `id(t)`.
+    IdOf(Box<FTerm>),
+    /// A user-defined f-function application.
+    UserApp(Symbol, Vec<FTerm>),
+
+    // ------ state-sorted fluents (transactions) ------
+    /// The identity fluent `Λ` (the null transaction).
+    Identity,
+    /// Sequential composition `s ;; t`.
+    Seq(Box<FTerm>, Box<FTerm>),
+    /// Conditional fluent `if p then s else t`. The condition is evaluated
+    /// at the current state (condition-linkage).
+    Cond(Box<FFormula>, Box<FTerm>, Box<FTerm>),
+    /// Iteration fluent `foreach x | p do s`: the composition of `s[xᵢ/x]`
+    /// over an enumeration of `{x | p}`; undefined if that set is infinite
+    /// or the result is order-dependent.
+    Foreach(Var, Box<FFormula>, Box<FTerm>),
+    /// `insert_n(t, R)`.
+    Insert(Box<FTerm>, Symbol),
+    /// `delete_n(t, R)`.
+    Delete(Box<FTerm>, Symbol),
+    /// `modify_n(t, i, v)` with 1-based attribute index `i`.
+    Modify(Box<FTerm>, usize, Box<FTerm>),
+    /// `modify` with a named attribute, resolved against the schema.
+    ModifyAttr(Box<FTerm>, Symbol, Box<FTerm>),
+    /// `assign(R, S)`: make relation `R` equal the set value `S`.
+    Assign(Symbol, Box<FTerm>),
+}
+
+impl FTerm {
+    /// Fluent variable reference.
+    pub fn var(v: Var) -> FTerm {
+        debug_assert_eq!(v.class, VarClass::Fluent, "FTerm::Var must be fluent-class");
+        FTerm::Var(v)
+    }
+
+    /// Natural constant.
+    pub fn nat(n: u64) -> FTerm {
+        FTerm::Nat(n)
+    }
+
+    /// Symbolic atom constant.
+    pub fn str(s: &str) -> FTerm {
+        FTerm::Str(Symbol::new(s))
+    }
+
+    /// Relation constant.
+    pub fn rel(name: &str) -> FTerm {
+        FTerm::Rel(Symbol::new(name))
+    }
+
+    /// Attribute selection `attr(t)`.
+    pub fn attr(name: &str, t: FTerm) -> FTerm {
+        FTerm::Attr(Symbol::new(name), Box::new(t))
+    }
+
+    /// Sequential composition, flattening identities.
+    pub fn seq(self, other: FTerm) -> FTerm {
+        match (self, other) {
+            (FTerm::Identity, t) => t,
+            (s, FTerm::Identity) => s,
+            (s, t) => FTerm::Seq(Box::new(s), Box::new(t)),
+        }
+    }
+
+    /// Compose a sequence of transactions left to right.
+    pub fn seq_all(parts: impl IntoIterator<Item = FTerm>) -> FTerm {
+        parts
+            .into_iter()
+            .fold(FTerm::Identity, |acc, t| acc.seq(t))
+    }
+
+    /// `if p then self-branch else other` helper.
+    pub fn cond(p: FFormula, then_t: FTerm, else_t: FTerm) -> FTerm {
+        FTerm::Cond(Box::new(p), Box::new(then_t), Box::new(else_t))
+    }
+
+    /// `foreach v | p do body` helper.
+    pub fn foreach(v: Var, p: FFormula, body: FTerm) -> FTerm {
+        FTerm::Foreach(v, Box::new(p), Box::new(body))
+    }
+
+    /// `insert(t, R)` helper.
+    pub fn insert(t: FTerm, rel: &str) -> FTerm {
+        FTerm::Insert(Box::new(t), Symbol::new(rel))
+    }
+
+    /// `delete(t, R)` helper.
+    pub fn delete(t: FTerm, rel: &str) -> FTerm {
+        FTerm::Delete(Box::new(t), Symbol::new(rel))
+    }
+
+    /// `modify(t, i, v)` helper (1-based `i`).
+    pub fn modify(t: FTerm, i: usize, v: FTerm) -> FTerm {
+        FTerm::Modify(Box::new(t), i, Box::new(v))
+    }
+
+    /// `modify` by attribute name.
+    pub fn modify_attr(t: FTerm, attr: &str, v: FTerm) -> FTerm {
+        FTerm::ModifyAttr(Box::new(t), Symbol::new(attr), Box::new(v))
+    }
+
+    /// `assign(R, S)` helper.
+    pub fn assign(rel: &str, set: FTerm) -> FTerm {
+        FTerm::Assign(Symbol::new(rel), Box::new(set))
+    }
+
+    /// Infix `+`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, rhs: FTerm) -> FTerm {
+        FTerm::App(Op::Add, vec![self, rhs])
+    }
+
+    /// Infix monus `-`.
+    pub fn monus(self, rhs: FTerm) -> FTerm {
+        FTerm::App(Op::Monus, vec![self, rhs])
+    }
+
+    /// Infix `*`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, rhs: FTerm) -> FTerm {
+        FTerm::App(Op::Mul, vec![self, rhs])
+    }
+
+    /// True iff this term is of state sort, i.e. a transaction rather than
+    /// a query, assuming it is well-sorted. (Definition 3's dichotomy.)
+    pub fn is_transaction_shaped(&self) -> bool {
+        matches!(
+            self,
+            FTerm::Identity
+                | FTerm::Seq(..)
+                | FTerm::Cond(..)
+                | FTerm::Foreach(..)
+                | FTerm::Insert(..)
+                | FTerm::Delete(..)
+                | FTerm::Modify(..)
+                | FTerm::ModifyAttr(..)
+                | FTerm::Assign(..)
+        ) || matches!(self, FTerm::Var(v) if v.sort == Sort::State)
+    }
+
+    /// The sort of this term where it is syntax-directed. `Attr`,
+    /// `UserApp`, and variables report what their structure implies;
+    /// full checking lives in the engine, which knows the schema.
+    pub fn sort_hint(&self) -> Option<Sort> {
+        match self {
+            FTerm::Var(v) => Some(v.sort),
+            FTerm::Nat(_) | FTerm::Str(_) => Some(Sort::ATOM),
+            FTerm::Rel(_) => None, // arity comes from the schema
+            FTerm::Attr(..) | FTerm::Select(..) => Some(Sort::ATOM),
+            FTerm::TupleCons(ts) => Some(Sort::tup(ts.len())),
+            FTerm::App(op, _) => match op {
+                Op::Add | Op::Monus | Op::Mul | Op::Max | Op::Min | Op::Sum | Op::Size => {
+                    Some(Sort::ATOM)
+                }
+                Op::Union | Op::Inter | Op::Diff | Op::Product => None,
+            },
+            FTerm::SetFormer { .. } => None,
+            FTerm::IdOf(_) => None,
+            FTerm::UserApp(..) => None,
+            FTerm::Identity
+            | FTerm::Seq(..)
+            | FTerm::Cond(..)
+            | FTerm::Foreach(..)
+            | FTerm::Insert(..)
+            | FTerm::Delete(..)
+            | FTerm::Modify(..)
+            | FTerm::ModifyAttr(..)
+            | FTerm::Assign(..) => Some(Sort::State),
+        }
+    }
+}
+
+/// A fluent formula (truth-valued fluent), evaluated at a state by the
+/// `w :: p` situational function.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum FFormula {
+    /// The constant true.
+    True,
+    /// The constant false.
+    False,
+    /// Comparison of two object-sorted f-terms.
+    Cmp(CmpOp, FTerm, FTerm),
+    /// Membership `t ∈ S`.
+    Member(FTerm, FTerm),
+    /// Subset `S ⊆ T` (by value).
+    Subset(FTerm, FTerm),
+    /// Negation.
+    Not(Box<FFormula>),
+    /// Conjunction.
+    And(Box<FFormula>, Box<FFormula>),
+    /// Disjunction.
+    Or(Box<FFormula>, Box<FFormula>),
+    /// Implication.
+    Implies(Box<FFormula>, Box<FFormula>),
+    /// Biconditional.
+    Iff(Box<FFormula>, Box<FFormula>),
+    /// Bounded existential over an object-sorted fluent variable.
+    Exists(Var, Box<FFormula>),
+    /// Bounded universal over an object-sorted fluent variable.
+    Forall(Var, Box<FFormula>),
+    /// A user-defined f-predicate.
+    UserPred(Symbol, Vec<FTerm>),
+}
+
+impl FFormula {
+    /// `lhs = rhs`.
+    pub fn eq(lhs: FTerm, rhs: FTerm) -> FFormula {
+        FFormula::Cmp(CmpOp::Eq, lhs, rhs)
+    }
+
+    /// `lhs ≠ rhs`.
+    pub fn ne(lhs: FTerm, rhs: FTerm) -> FFormula {
+        FFormula::Cmp(CmpOp::Ne, lhs, rhs)
+    }
+
+    /// `lhs < rhs`.
+    pub fn lt(lhs: FTerm, rhs: FTerm) -> FFormula {
+        FFormula::Cmp(CmpOp::Lt, lhs, rhs)
+    }
+
+    /// `lhs ≤ rhs`.
+    pub fn le(lhs: FTerm, rhs: FTerm) -> FFormula {
+        FFormula::Cmp(CmpOp::Le, lhs, rhs)
+    }
+
+    /// `t ∈ S`.
+    pub fn member(t: FTerm, set: FTerm) -> FFormula {
+        FFormula::Member(t, set)
+    }
+
+    /// Negation helper, collapsing double negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> FFormula {
+        match self {
+            FFormula::Not(inner) => *inner,
+            FFormula::True => FFormula::False,
+            FFormula::False => FFormula::True,
+            f => FFormula::Not(Box::new(f)),
+        }
+    }
+
+    /// Conjunction helper, absorbing `true`.
+    pub fn and(self, rhs: FFormula) -> FFormula {
+        match (self, rhs) {
+            (FFormula::True, r) => r,
+            (l, FFormula::True) => l,
+            (l, r) => FFormula::And(Box::new(l), Box::new(r)),
+        }
+    }
+
+    /// Disjunction helper, absorbing `false`.
+    pub fn or(self, rhs: FFormula) -> FFormula {
+        match (self, rhs) {
+            (FFormula::False, r) => r,
+            (l, FFormula::False) => l,
+            (l, r) => FFormula::Or(Box::new(l), Box::new(r)),
+        }
+    }
+
+    /// Implication helper.
+    pub fn implies(self, rhs: FFormula) -> FFormula {
+        FFormula::Implies(Box::new(self), Box::new(rhs))
+    }
+
+    /// Existential helper.
+    pub fn exists(v: Var, body: FFormula) -> FFormula {
+        FFormula::Exists(v, Box::new(body))
+    }
+
+    /// Universal helper.
+    pub fn forall(v: Var, body: FFormula) -> FFormula {
+        FFormula::Forall(v, Box::new(body))
+    }
+
+    /// Conjoin a sequence of formulas.
+    pub fn and_all(fs: impl IntoIterator<Item = FFormula>) -> FFormula {
+        fs.into_iter().fold(FFormula::True, FFormula::and)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Display
+// ---------------------------------------------------------------------
+
+impl fmt::Display for FTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FTerm::Var(v) => write!(f, "{v}"),
+            FTerm::Nat(n) => write!(f, "{n}"),
+            FTerm::Str(s) => write!(f, "'{s}'"),
+            FTerm::Rel(r) => write!(f, "{r}"),
+            FTerm::Attr(a, t) => write!(f, "{a}({t})"),
+            FTerm::Select(t, i) => write!(f, "select({t}, {i})"),
+            FTerm::TupleCons(ts) => {
+                write!(f, "tuple(")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+            FTerm::App(op, args) if op.is_infix() && args.len() == 2 => {
+                write!(f, "({} {op} {})", args[0], args[1])
+            }
+            FTerm::App(op, args) => {
+                write!(f, "{op}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            FTerm::SetFormer { head, vars, cond } => {
+                write!(f, "{{ {head} | ")?;
+                for (i, v) in vars.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}: {}", v.sort)?;
+                }
+                write!(f, " . {cond} }}")
+            }
+            FTerm::IdOf(t) => write!(f, "id({t})"),
+            FTerm::UserApp(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            FTerm::Identity => write!(f, "Λ"),
+            FTerm::Seq(a, b) => write!(f, "{a} ;; {b}"),
+            FTerm::Cond(p, t, e) => write!(f, "if {p} then {t} else {e}"),
+            FTerm::Foreach(v, p, body) => {
+                write!(f, "foreach {v}: {} | {p} do {body} end", v.sort)
+            }
+            FTerm::Insert(t, r) => write!(f, "insert({t}, {r})"),
+            FTerm::Delete(t, r) => write!(f, "delete({t}, {r})"),
+            FTerm::Modify(t, i, v) => write!(f, "modify({t}, {i}, {v})"),
+            FTerm::ModifyAttr(t, a, v) => write!(f, "modify({t}, {a}, {v})"),
+            FTerm::Assign(r, s) => write!(f, "assign({r}, {s})"),
+        }
+    }
+}
+
+impl fmt::Debug for FTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for FFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FFormula::True => write!(f, "true"),
+            FFormula::False => write!(f, "false"),
+            FFormula::Cmp(op, a, b) => write!(f, "{a} {op} {b}"),
+            FFormula::Member(t, s) => write!(f, "{t} in {s}"),
+            FFormula::Subset(a, b) => write!(f, "{a} subset {b}"),
+            FFormula::Not(p) => write!(f, "!({p})"),
+            FFormula::And(a, b) => write!(f, "({} & {})", WrapQF(a), WrapQF(b)),
+            FFormula::Or(a, b) => write!(f, "({} | {})", WrapQF(a), WrapQF(b)),
+            FFormula::Implies(a, b) => {
+                write!(f, "({} -> {})", WrapQF(a), WrapQF(b))
+            }
+            FFormula::Iff(a, b) => write!(f, "({} <-> {})", WrapQF(a), WrapQF(b)),
+            FFormula::Exists(v, p) => write!(f, "exists {v}: {} . {p}", v.sort),
+            FFormula::Forall(v, p) => write!(f, "forall {v}: {} . {p}", v.sort),
+            FFormula::UserPred(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// Parenthesize quantified operands of binary connectives (see the
+/// situational printer's `WrapQ` for the rationale).
+struct WrapQF<'a>(&'a FFormula);
+
+impl fmt::Display for WrapQF<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            FFormula::Forall(..) | FFormula::Exists(..) => write!(f, "({})", self.0),
+            _ => write!(f, "{}", self.0),
+        }
+    }
+}
+
+impl fmt::Debug for FFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Marker for `ObjSort::Bool` so the import is used where intended.
+#[allow(dead_code)]
+const _: ObjSort = ObjSort::Bool;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_absorbs_identity() {
+        let ins = FTerm::insert(FTerm::var(Var::tup_f("x", 1)), "R");
+        assert_eq!(FTerm::Identity.seq(ins.clone()), ins);
+        assert_eq!(ins.clone().seq(FTerm::Identity), ins);
+        let composed = ins.clone().seq(ins.clone());
+        assert!(matches!(composed, FTerm::Seq(..)));
+    }
+
+    #[test]
+    fn seq_all_of_empty_is_identity() {
+        assert_eq!(FTerm::seq_all([]), FTerm::Identity);
+    }
+
+    #[test]
+    fn transaction_shape_detection() {
+        assert!(FTerm::Identity.is_transaction_shaped());
+        assert!(FTerm::insert(FTerm::nat(1), "R").is_transaction_shaped());
+        assert!(!FTerm::nat(1).is_transaction_shaped());
+        assert!(!FTerm::attr("salary", FTerm::var(Var::tup_f("e", 5))).is_transaction_shaped());
+        assert!(FTerm::var(Var::transaction("t")).is_transaction_shaped());
+        assert!(!FTerm::var(Var::tup_f("e", 5)).is_transaction_shaped());
+    }
+
+    #[test]
+    fn sort_hints() {
+        assert_eq!(FTerm::nat(3).sort_hint(), Some(Sort::ATOM));
+        assert_eq!(
+            FTerm::TupleCons(vec![FTerm::nat(1), FTerm::nat(2)]).sort_hint(),
+            Some(Sort::tup(2))
+        );
+        assert_eq!(FTerm::Identity.sort_hint(), Some(Sort::State));
+        assert_eq!(FTerm::rel("EMP").sort_hint(), None);
+    }
+
+    #[test]
+    fn formula_constructors_simplify() {
+        assert_eq!(FFormula::True.and(FFormula::False), FFormula::False);
+        assert_eq!(FFormula::False.or(FFormula::True), FFormula::True);
+        assert_eq!(FFormula::True.not(), FFormula::False);
+        let p = FFormula::eq(FTerm::nat(1), FTerm::nat(1));
+        assert_eq!(p.clone().not().not(), p);
+    }
+
+    #[test]
+    fn and_all_folds() {
+        let p = FFormula::eq(FTerm::nat(1), FTerm::nat(1));
+        let q = FFormula::lt(FTerm::nat(1), FTerm::nat(2));
+        let both = FFormula::and_all([p.clone(), q.clone()]);
+        assert_eq!(both, p.and(q));
+        assert_eq!(FFormula::and_all([]), FFormula::True);
+    }
+
+    #[test]
+    fn cmp_flip_negate() {
+        assert_eq!(CmpOp::Lt.flip(), CmpOp::Gt);
+        assert_eq!(CmpOp::Lt.negate(), CmpOp::Ge);
+        assert_eq!(CmpOp::Eq.flip(), CmpOp::Eq);
+        assert_eq!(CmpOp::Eq.negate(), CmpOp::Ne);
+    }
+
+    #[test]
+    fn display_round_trip_shapes() {
+        let e = Var::tup_f("e", 5);
+        let t = FTerm::modify_attr(
+            FTerm::var(e),
+            "salary",
+            FTerm::attr("salary", FTerm::var(e)).monus(FTerm::nat(100)),
+        );
+        assert_eq!(t.to_string(), "modify(e, salary, (salary(e) - 100))");
+        let p = FFormula::member(FTerm::var(e), FTerm::rel("EMP"));
+        assert_eq!(p.to_string(), "e in EMP");
+    }
+
+    #[test]
+    fn foreach_display() {
+        let a = Var::tup_f("a", 3);
+        let t = FTerm::foreach(
+            a,
+            FFormula::member(FTerm::var(a), FTerm::rel("ALLOC")),
+            FTerm::delete(FTerm::var(a), "ALLOC"),
+        );
+        assert_eq!(
+            t.to_string(),
+            "foreach a: 3tup | a in ALLOC do delete(a, ALLOC) end"
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! The situational transaction logic of Qian & Waldinger (SIGMOD 1988).
+//!
+//! A many-sorted classical first-order logic in which database states and
+//! state transitions are explicit objects. The crate provides:
+//!
+//! * the sort system ([`sort`]): situational vs fluent classes over the
+//!   state, atom, tuple, set, and identifier sorts;
+//! * fluent expressions ([`fluent`]): f-terms (queries and transactions)
+//!   and f-formulas, with the fluent combinators `;;`,
+//!   `if‑then‑else`, and `foreach`;
+//! * situational expressions ([`situational`]): s-terms and s-formulas
+//!   built with the three situational functions `w:e`, `w::p`, `w;e`;
+//! * substitution and unification ([`subst`], [`unify`]);
+//! * the situational transaction theory T_L as data ([`axioms`]);
+//! * a concrete syntax ([`parser`]).
+//!
+//! The executability discipline of Section 2 is enforced **by type**:
+//! [`FTerm`] cannot mention states, so every f-term is a program over the
+//! implicit current state; the paper's non-executable example (branching
+//! on a future state) is only writable as an [`STerm`], which no evaluator
+//! accepts as a program.
+
+#![warn(missing_docs)]
+
+pub mod axioms;
+pub mod fluent;
+pub mod parser;
+pub mod ra;
+pub mod situational;
+pub mod sortck;
+pub mod sort;
+pub mod subst;
+pub mod unify;
+
+pub use fluent::{CmpOp, FFormula, FTerm, Op};
+pub use parser::{parse_fformula, parse_fterm, parse_sformula, parse_sformula_with_params, ParseCtx};
+pub use situational::{SFormula, STerm};
+pub use sort::{ObjSort, Sort, Var, VarClass};
+pub use sortck::{check_fformula, check_sformula, sort_of_fterm, sort_of_sterm, Signature};

@@ -1,0 +1,1448 @@
+//! Concrete syntax for the transaction logic.
+//!
+//! The paper's notation, rendered in ASCII. Two entry points:
+//!
+//! * [`parse_sformula`] — integrity constraints and axioms (closed
+//!   s-formulas, possibly with caller-supplied free parameters);
+//! * [`parse_fterm`] — transactions and queries (f-terms with parameters).
+//!
+//! # Syntax overview
+//!
+//! ```text
+//! -- quantifiers bind sorted variables; primes mark situational class
+//! forall s: state, e: 5tup .
+//!   s:e in s:EMP -> exists a': 2tup . a' in s:ALLOC
+//!
+//! -- situational functions
+//! s:expr      object value of fluent expr at state s
+//! s;tx        state after executing tx at s        (";;" composes fluents)
+//! s::(p)      truth of fluent formula p at s
+//!
+//! -- transactions
+//! assign(E, { a-emp(a) | a: 3tup . a in ALLOC }) ;;
+//! foreach a: 3tup | a in ALLOC do delete(a, ALLOC) end ;;
+//! if p then modify(e, salary, salary(e) - v) else delete(e, EMP)
+//! ```
+//!
+//! Binder sorts: `state` (a situational state variable), `tx` (a fluent
+//! state variable — a transaction), `atom`/`nat`, `Ntup` (e.g. `5tup`),
+//! `Nset`. A primed *name* (`e'`) declares a situational object variable;
+//! unprimed object names are fluent. Atom-sorted variables are rigid and
+//! may be used at either level.
+
+use crate::fluent::{CmpOp, FFormula, FTerm, Op};
+use crate::situational::{SFormula, STerm};
+use crate::sort::{Sort, Var, VarClass};
+use std::collections::{HashMap, HashSet};
+use txlog_base::{Symbol, TxError, TxResult};
+
+// ---------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Tok {
+    Ident(String),  // may end with a prime: e'
+    Int(u64),
+    Quoted(String), // 'S'
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Comma,
+    Dot,
+    Colon,       // :
+    ColonColon,  // ::
+    Semi,        // ;
+    SemiSemi,    // ;;
+    Bar,         // |
+    Amp,         // &
+    Arrow,       // ->
+    DArrow,      // <->
+    Bang,        // !
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Plus,
+    Minus,
+    Star,
+    Eof,
+}
+
+#[derive(Clone)]
+struct SpannedTok {
+    tok: Tok,
+    line: u32,
+    col: u32,
+}
+
+fn lex(src: &str) -> TxResult<Vec<SpannedTok>> {
+    let mut out = Vec::new();
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    macro_rules! push {
+        ($tok:expr, $len:expr) => {{
+            out.push(SpannedTok {
+                tok: $tok,
+                line,
+                col,
+            });
+            i += $len;
+            col += $len as u32;
+        }};
+    }
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '-' if chars.get(i + 1) == Some(&'-') => {
+                // line comment
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => push!(Tok::LParen, 1),
+            ')' => push!(Tok::RParen, 1),
+            '{' => push!(Tok::LBrace, 1),
+            '}' => push!(Tok::RBrace, 1),
+            ',' => push!(Tok::Comma, 1),
+            '.' => push!(Tok::Dot, 1),
+            '&' => push!(Tok::Amp, 1),
+            '|' => push!(Tok::Bar, 1),
+            '+' => push!(Tok::Plus, 1),
+            '*' => push!(Tok::Star, 1),
+            ':' if chars.get(i + 1) == Some(&':') => push!(Tok::ColonColon, 2),
+            ':' => push!(Tok::Colon, 1),
+            ';' if chars.get(i + 1) == Some(&';') => push!(Tok::SemiSemi, 2),
+            ';' => push!(Tok::Semi, 1),
+            '-' if chars.get(i + 1) == Some(&'>') => push!(Tok::Arrow, 2),
+            '-' => push!(Tok::Minus, 1),
+            '<' if chars.get(i + 1) == Some(&'-') && chars.get(i + 2) == Some(&'>') => {
+                push!(Tok::DArrow, 3)
+            }
+            '<' if chars.get(i + 1) == Some(&'=') => push!(Tok::Le, 2),
+            '<' => push!(Tok::Lt, 1),
+            '>' if chars.get(i + 1) == Some(&'=') => push!(Tok::Ge, 2),
+            '>' => push!(Tok::Gt, 1),
+            '=' => push!(Tok::Eq, 1),
+            '!' if chars.get(i + 1) == Some(&'=') => push!(Tok::Ne, 2),
+            '!' => push!(Tok::Bang, 1),
+            '\'' => {
+                // quoted symbolic atom: 'S'
+                let start = i + 1;
+                let mut j = start;
+                while j < chars.len() && chars[j] != '\'' {
+                    if chars[j] == '\n' {
+                        return Err(TxError::parse(line, col, "unterminated quoted atom"));
+                    }
+                    j += 1;
+                }
+                if j >= chars.len() {
+                    return Err(TxError::parse(line, col, "unterminated quoted atom"));
+                }
+                let text: String = chars[start..j].iter().collect();
+                let len = j + 1 - i;
+                out.push(SpannedTok {
+                    tok: Tok::Quoted(text),
+                    line,
+                    col,
+                });
+                i += len;
+                col += len as u32;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < chars.len() && chars[j].is_ascii_digit() {
+                    j += 1;
+                }
+                // A digit run followed by letters is an identifier like
+                // `5tup` (sort names).
+                if j < chars.len() && (chars[j].is_ascii_alphabetic() || chars[j] == '_') {
+                    let mut k = j;
+                    while k < chars.len()
+                        && (chars[k].is_ascii_alphanumeric()
+                            || chars[k] == '_'
+                            || chars[k] == '-' && chars.get(k + 1).is_some_and(|c| c.is_ascii_alphanumeric()))
+                    {
+                        k += 1;
+                    }
+                    if k < chars.len() && chars[k] == '\'' {
+                        k += 1;
+                    }
+                    let text: String = chars[i..k].iter().collect();
+                    let len = k - i;
+                    out.push(SpannedTok {
+                        tok: Tok::Ident(text),
+                        line,
+                        col,
+                    });
+                    i += len;
+                    col += len as u32;
+                } else {
+                    let text: String = chars[i..j].iter().collect();
+                    let n: u64 = text
+                        .parse()
+                        .map_err(|_| TxError::parse(line, col, "integer literal overflow"))?;
+                    let len = j - i;
+                    out.push(SpannedTok {
+                        tok: Tok::Int(n),
+                        line,
+                        col,
+                    });
+                    i += len;
+                    col += len as u32;
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == 'Λ' => {
+                let mut j = i;
+                while j < chars.len()
+                    && (chars[j].is_ascii_alphanumeric()
+                        || chars[j] == '_'
+                        || chars[j] == 'Λ'
+                        // hyphen joins identifier parts when followed by
+                        // an alphanumeric (e-name, cancel-project)
+                        || (chars[j] == '-'
+                            && chars.get(j + 1).is_some_and(|c| c.is_ascii_alphanumeric())))
+                {
+                    j += 1;
+                }
+                // optional trailing prime marks situational class
+                if j < chars.len() && chars[j] == '\'' {
+                    j += 1;
+                }
+                let text: String = chars[i..j].iter().collect();
+                let len = j - i;
+                out.push(SpannedTok {
+                    tok: Tok::Ident(text),
+                    line,
+                    col,
+                });
+                i += len;
+                col += len as u32;
+            }
+            other => {
+                return Err(TxError::parse(
+                    line,
+                    col,
+                    format!("unexpected character {other:?}"),
+                ))
+            }
+        }
+    }
+    out.push(SpannedTok {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+/// Parser configuration: the relation names the source may mention.
+pub struct ParseCtx {
+    relations: HashSet<Symbol>,
+}
+
+impl ParseCtx {
+    /// A context knowing the given relation names.
+    pub fn new(relations: impl IntoIterator<Item = Symbol>) -> ParseCtx {
+        ParseCtx {
+            relations: relations.into_iter().collect(),
+        }
+    }
+
+    /// A context from string names.
+    pub fn with_relations(names: &[&str]) -> ParseCtx {
+        ParseCtx::new(names.iter().map(|n| Symbol::new(n)))
+    }
+}
+
+struct Parser<'a> {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+    ctx: &'a ParseCtx,
+    scope: HashMap<String, Var>,
+    /// Set when a `::(...)` truth evaluation was consumed during term
+    /// parsing; picked up by `parse_s_atom`.
+    pending_holds: Option<SFormula>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &str, ctx: &'a ParseCtx) -> TxResult<Parser<'a>> {
+        Ok(Parser {
+            toks: lex(src)?,
+            pos: 0,
+            ctx,
+            scope: HashMap::new(),
+            pending_holds: None,
+        })
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn here(&self) -> (u32, u32) {
+        let t = &self.toks[self.pos];
+        (t.line, t.col)
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> TxResult<T> {
+        let (line, col) = self.here();
+        Err(TxError::parse(line, col, msg))
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> TxResult<()> {
+        if *self.peek() == tok {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {what}, found {:?}", self.peek()))
+        }
+    }
+
+    fn eat_ident(&mut self, kw: &str) -> bool {
+        if let Tok::Ident(s) = self.peek() {
+            if s == kw {
+                self.bump();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn is_ident(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    // ---------- binders ----------
+
+    /// `name ':' sort` — primed names are situational, unprimed fluent;
+    /// `state` is situational, `tx` is fluent state.
+    fn parse_binder(&mut self) -> TxResult<Var> {
+        let name = match self.bump() {
+            Tok::Ident(s) => s,
+            other => return self.err(format!("expected variable name, found {other:?}")),
+        };
+        self.expect(Tok::Colon, "':' in binder")?;
+        let sort_name = match self.bump() {
+            Tok::Ident(s) => s,
+            other => return self.err(format!("expected sort name, found {other:?}")),
+        };
+        let (primed, base) = match name.strip_suffix('\'') {
+            Some(b) => (true, b.to_string()),
+            None => (false, name.clone()),
+        };
+        // A trailing prime on the sort (e.g. `5tup'`) also marks
+        // situational class, mirroring the paper's subscripts.
+        let sort_name = sort_name.trim_end_matches('\'');
+        let (sort, class) = match sort_name {
+            "state" => (Sort::State, VarClass::Situational),
+            "tx" | "trans" | "transaction" => (Sort::State, VarClass::Fluent),
+            "atom" | "nat" => (
+                Sort::ATOM,
+                if primed {
+                    VarClass::Situational
+                } else {
+                    VarClass::Fluent
+                },
+            ),
+            s => {
+                let class = if primed {
+                    VarClass::Situational
+                } else {
+                    VarClass::Fluent
+                };
+                if let Some(n) = s.strip_suffix("tup") {
+                    let n: usize = n
+                        .parse()
+                        .map_err(|_| TxError::parse(0, 0, format!("bad tuple sort {s}")))?;
+                    (Sort::tup(n), class)
+                } else if let Some(n) = s.strip_suffix("set") {
+                    let n: usize = n
+                        .parse()
+                        .map_err(|_| TxError::parse(0, 0, format!("bad set sort {s}")))?;
+                    (Sort::set(n), class)
+                } else {
+                    return self.err(format!("unknown sort {s}"));
+                }
+            }
+        };
+        Ok(Var {
+            name: Symbol::new(&base),
+            sort,
+            class,
+        })
+    }
+
+    /// Pre-scan a set former `{ head | binders . cond }` from just after
+    /// the `{`: locate the top-level `|`, parse the binder list, and
+    /// return `(binders, bar_pos, after_dot_pos)` with the cursor restored
+    /// to the start. The head mentions the binders, so they must be in
+    /// scope *before* the head is parsed even though they appear after it.
+    fn setformer_binders(&mut self) -> TxResult<(Vec<Var>, usize, usize)> {
+        let start = self.pos;
+        let mut depth = 0usize;
+        let mut k = self.pos;
+        let bar = loop {
+            match &self.toks[k].tok {
+                Tok::LParen | Tok::LBrace => depth += 1,
+                Tok::RParen | Tok::RBrace => {
+                    if depth == 0 {
+                        return self.err("missing '|' in set former");
+                    }
+                    depth -= 1;
+                }
+                Tok::Bar if depth == 0 => break k,
+                Tok::Eof => return self.err("missing '|' in set former"),
+                _ => {}
+            }
+            k += 1;
+        };
+        self.pos = bar + 1;
+        let mut binders = vec![self.parse_binder()?];
+        while *self.peek() == Tok::Comma {
+            self.bump();
+            binders.push(self.parse_binder()?);
+        }
+        self.expect(Tok::Dot, "'.' after set-former binders")?;
+        let after_dot = self.pos;
+        self.pos = start;
+        Ok((binders, bar, after_dot))
+    }
+
+    fn scope_key(v: Var) -> String {
+        // situational object vars are referred to with their prime
+        if v.class == VarClass::Situational && v.sort != Sort::State {
+            format!("{}'", v.name)
+        } else {
+            v.name.to_string()
+        }
+    }
+
+    fn with_binders<T>(
+        &mut self,
+        vars: &[Var],
+        f: impl FnOnce(&mut Self) -> TxResult<T>,
+    ) -> TxResult<T> {
+        let mut saved = Vec::new();
+        for v in vars {
+            let key = Self::scope_key(*v);
+            saved.push((key.clone(), self.scope.insert(key, *v)));
+        }
+        let out = f(self);
+        for (key, old) in saved.into_iter().rev() {
+            match old {
+                Some(v) => {
+                    self.scope.insert(key, v);
+                }
+                None => {
+                    self.scope.remove(&key);
+                }
+            }
+        }
+        out
+    }
+
+    // ---------- s-formulas ----------
+
+    fn parse_sformula(&mut self) -> TxResult<SFormula> {
+        if self.is_ident("forall") || self.is_ident("exists") {
+            let is_forall = self.is_ident("forall");
+            self.bump();
+            let mut binders = vec![self.parse_binder()?];
+            while *self.peek() == Tok::Comma {
+                self.bump();
+                binders.push(self.parse_binder()?);
+            }
+            self.expect(Tok::Dot, "'.' after binders")?;
+            let body = self.with_binders(&binders.clone(), |p| p.parse_sformula())?;
+            let mut out = body;
+            for v in binders.into_iter().rev() {
+                out = if is_forall {
+                    SFormula::Forall(v, Box::new(out))
+                } else {
+                    SFormula::Exists(v, Box::new(out))
+                };
+            }
+            return Ok(out);
+        }
+        self.parse_s_iff()
+    }
+
+    fn parse_s_iff(&mut self) -> TxResult<SFormula> {
+        let lhs = self.parse_s_implies()?;
+        if *self.peek() == Tok::DArrow {
+            self.bump();
+            let rhs = self.parse_s_iff()?;
+            return Ok(SFormula::Iff(Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_s_implies(&mut self) -> TxResult<SFormula> {
+        let lhs = self.parse_s_or()?;
+        if *self.peek() == Tok::Arrow {
+            self.bump();
+            let rhs = self.parse_s_implies()?;
+            return Ok(SFormula::Implies(Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_s_or(&mut self) -> TxResult<SFormula> {
+        let mut lhs = self.parse_s_and()?;
+        while *self.peek() == Tok::Bar || self.is_ident("or") {
+            self.bump();
+            let rhs = self.parse_s_and()?;
+            lhs = SFormula::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_s_and(&mut self) -> TxResult<SFormula> {
+        let mut lhs = self.parse_s_unary()?;
+        while *self.peek() == Tok::Amp || self.is_ident("and") {
+            self.bump();
+            let rhs = self.parse_s_unary()?;
+            lhs = SFormula::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_s_unary(&mut self) -> TxResult<SFormula> {
+        if *self.peek() == Tok::Bang || self.is_ident("not") {
+            self.bump();
+            let inner = self.parse_s_unary()?;
+            return Ok(SFormula::Not(Box::new(inner)));
+        }
+        if self.is_ident("forall") || self.is_ident("exists") {
+            return self.parse_sformula();
+        }
+        if self.is_ident("true") {
+            self.bump();
+            return Ok(SFormula::True);
+        }
+        if self.is_ident("false") {
+            self.bump();
+            return Ok(SFormula::False);
+        }
+        // Parenthesized formula vs parenthesized term: try formula first
+        // by lookahead — cheapest is backtracking on position.
+        if *self.peek() == Tok::LParen {
+            let save = self.pos;
+            self.bump();
+            if let Ok(f) = self.parse_sformula() {
+                if *self.peek() == Tok::RParen {
+                    self.bump();
+                    // Could still be the start of a comparison like
+                    // "(a) = b" — only accept as formula if no cmp follows.
+                    if !self.starts_cmp() {
+                        return Ok(f);
+                    }
+                }
+            }
+            self.pos = save;
+            self.pending_holds = None;
+        }
+        self.parse_s_atom()
+    }
+
+    fn starts_cmp(&self) -> bool {
+        matches!(
+            self.peek(),
+            Tok::Eq | Tok::Ne | Tok::Lt | Tok::Le | Tok::Gt | Tok::Ge
+        ) || self.is_ident("in")
+            || self.is_ident("subset")
+    }
+
+    fn parse_s_atom(&mut self) -> TxResult<SFormula> {
+        let lhs = self.parse_sterm()?;
+        // `s::(p)` — truth evaluation — is handled in parse_sterm's
+        // postfix loop, which returns a marker via SHolds; see below.
+        if let Some(f) = self.pending_holds.take() {
+            // `::` was consumed during term parsing
+            return Ok(f);
+        }
+        match self.peek().clone() {
+            Tok::Eq => {
+                self.bump();
+                Ok(SFormula::Cmp(CmpOp::Eq, lhs, self.parse_sterm()?))
+            }
+            Tok::Ne => {
+                self.bump();
+                Ok(SFormula::Cmp(CmpOp::Ne, lhs, self.parse_sterm()?))
+            }
+            Tok::Lt => {
+                self.bump();
+                Ok(SFormula::Cmp(CmpOp::Lt, lhs, self.parse_sterm()?))
+            }
+            Tok::Le => {
+                self.bump();
+                Ok(SFormula::Cmp(CmpOp::Le, lhs, self.parse_sterm()?))
+            }
+            Tok::Gt => {
+                self.bump();
+                Ok(SFormula::Cmp(CmpOp::Gt, lhs, self.parse_sterm()?))
+            }
+            Tok::Ge => {
+                self.bump();
+                Ok(SFormula::Cmp(CmpOp::Ge, lhs, self.parse_sterm()?))
+            }
+            Tok::Ident(ref s) if s == "in" => {
+                self.bump();
+                Ok(SFormula::Member(lhs, self.parse_sterm()?))
+            }
+            Tok::Ident(ref s) if s == "subset" => {
+                self.bump();
+                Ok(SFormula::Subset(lhs, self.parse_sterm()?))
+            }
+            _ => self.err("expected a comparison, 'in', 'subset', or '::' after term"),
+        }
+    }
+
+    // ---------- s-terms ----------
+
+    fn parse_sterm(&mut self) -> TxResult<STerm> {
+        let mut lhs = self.parse_sterm_mul()?;
+        loop {
+            match self.peek() {
+                Tok::Plus => {
+                    self.bump();
+                    let rhs = self.parse_sterm_mul()?;
+                    lhs = STerm::App(Op::Add, vec![lhs, rhs]);
+                }
+                Tok::Minus => {
+                    self.bump();
+                    let rhs = self.parse_sterm_mul()?;
+                    lhs = STerm::App(Op::Monus, vec![lhs, rhs]);
+                }
+                _ => break,
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn parse_sterm_mul(&mut self) -> TxResult<STerm> {
+        let mut lhs = self.parse_sterm_postfix()?;
+        while *self.peek() == Tok::Star {
+            self.bump();
+            let rhs = self.parse_sterm_postfix()?;
+            lhs = STerm::App(Op::Mul, vec![lhs, rhs]);
+        }
+        Ok(lhs)
+    }
+
+    /// Postfix situational functions: `:` (eval-object), `;` (eval-state),
+    /// `::` (holds; recorded in `pending_holds`).
+    fn parse_sterm_postfix(&mut self) -> TxResult<STerm> {
+        let mut t = self.parse_sterm_primary()?;
+        loop {
+            match self.peek() {
+                Tok::Colon => {
+                    self.bump();
+                    let e = self.parse_fterm_postfixless()?;
+                    t = STerm::EvalObj(Box::new(t), Box::new(e));
+                }
+                Tok::Semi => {
+                    self.bump();
+                    let e = self.parse_fterm_postfixless()?;
+                    t = STerm::EvalState(Box::new(t), Box::new(e));
+                }
+                Tok::ColonColon => {
+                    self.bump();
+                    self.expect(Tok::LParen, "'(' after '::'")?;
+                    let p = self.parse_fformula()?;
+                    self.expect(Tok::RParen, "')' closing '::(...)'")?;
+                    self.pending_holds = Some(SFormula::Holds(t.clone(), p));
+                    return Ok(t);
+                }
+                _ => break,
+            }
+        }
+        Ok(t)
+    }
+
+    fn parse_sterm_primary(&mut self) -> TxResult<STerm> {
+        match self.peek().clone() {
+            Tok::Int(n) => {
+                self.bump();
+                Ok(STerm::Nat(n))
+            }
+            Tok::Quoted(s) => {
+                self.bump();
+                Ok(STerm::Str(Symbol::new(&s)))
+            }
+            Tok::LParen => {
+                self.bump();
+                let t = self.parse_sterm()?;
+                self.expect(Tok::RParen, "')'")?;
+                Ok(t)
+            }
+            Tok::LBrace => {
+                self.bump();
+                let (binders, bar_pos, after_dot) = self.setformer_binders()?;
+                let (head, cond) = self.with_binders(&binders.clone(), |p| {
+                    let head = p.parse_sterm()?;
+                    if p.pos != bar_pos {
+                        return p.err("unexpected tokens before '|' in set former");
+                    }
+                    p.pos = after_dot;
+                    let cond = p.parse_sformula()?;
+                    Ok((head, cond))
+                })?;
+                self.expect(Tok::RBrace, "'}' closing set former")?;
+                Ok(STerm::SetFormer {
+                    head: Box::new(head),
+                    vars: binders,
+                    cond: Box::new(cond),
+                })
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                match name.as_str() {
+                    "sum" | "size" | "max" | "min" | "union" | "inter" | "diff"
+                    | "product" => {
+                        let op = match name.as_str() {
+                            "sum" => Op::Sum,
+                            "size" => Op::Size,
+                            "max" => Op::Max,
+                            "min" => Op::Min,
+                            "union" => Op::Union,
+                            "inter" => Op::Inter,
+                            "diff" => Op::Diff,
+                            _ => Op::Product,
+                        };
+                        self.expect(Tok::LParen, "'(' after operator")?;
+                        let mut args = vec![self.parse_sterm()?];
+                        while *self.peek() == Tok::Comma {
+                            self.bump();
+                            args.push(self.parse_sterm()?);
+                        }
+                        self.expect(Tok::RParen, "')'")?;
+                        if args.len() != op.arity() {
+                            return self.err(format!(
+                                "{op} takes {} arguments, got {}",
+                                op.arity(),
+                                args.len()
+                            ));
+                        }
+                        Ok(STerm::App(op, args))
+                    }
+                    "tuple" => {
+                        self.expect(Tok::LParen, "'(' after tuple")?;
+                        let mut args = Vec::new();
+                        if *self.peek() != Tok::RParen {
+                            args.push(self.parse_sterm()?);
+                            while *self.peek() == Tok::Comma {
+                                self.bump();
+                                args.push(self.parse_sterm()?);
+                            }
+                        }
+                        self.expect(Tok::RParen, "')'")?;
+                        Ok(STerm::TupleCons(args))
+                    }
+                    "id" => {
+                        self.expect(Tok::LParen, "'(' after id")?;
+                        let t = self.parse_sterm()?;
+                        self.expect(Tok::RParen, "')'")?;
+                        Ok(STerm::IdOf(Box::new(t)))
+                    }
+                    "select" => {
+                        self.expect(Tok::LParen, "'(' after select")?;
+                        let t = self.parse_sterm()?;
+                        self.expect(Tok::Comma, "','")?;
+                        let i = match self.bump() {
+                            Tok::Int(n) => n as usize,
+                            other => {
+                                return self
+                                    .err(format!("expected index, found {other:?}"))
+                            }
+                        };
+                        self.expect(Tok::RParen, "')'")?;
+                        Ok(STerm::Select(Box::new(t), i))
+                    }
+                    _ => {
+                        if let Some(&v) = self.scope.get(&name) {
+                            // Fluent atom variables are rigid and usable
+                            // at the s-level; other fluent variables are
+                            // not s-terms.
+                            if v.class == VarClass::Fluent
+                                && v.sort != Sort::ATOM
+                                && v.sort != Sort::State
+                            {
+                                return self.err(format!(
+                                    "fluent variable {name} must be evaluated at a state \
+                                     (write s:{name})"
+                                ));
+                            }
+                            if v.class == VarClass::Fluent && v.sort == Sort::State {
+                                return self.err(format!(
+                                    "transaction variable {name} must be applied to a state \
+                                     (write s;{name})"
+                                ));
+                            }
+                            return Ok(STerm::Var(v));
+                        }
+                        if *self.peek() == Tok::LParen {
+                            // attribute selection or user function
+                            self.bump();
+                            let mut args = vec![self.parse_sterm()?];
+                            while *self.peek() == Tok::Comma {
+                                self.bump();
+                                args.push(self.parse_sterm()?);
+                            }
+                            self.expect(Tok::RParen, "')'")?;
+                            if args.len() == 1 {
+                                let arg = args.pop().expect("one arg");
+                                return Ok(STerm::Attr(Symbol::new(&name), Box::new(arg)));
+                            }
+                            return Ok(STerm::UserApp(Symbol::new(&name), args));
+                        }
+                        self.err(format!("unknown identifier {name} in s-term position"))
+                    }
+                }
+            }
+            other => self.err(format!("unexpected {other:?} in s-term position")),
+        }
+    }
+
+    // ---------- f-formulas ----------
+
+    fn parse_fformula(&mut self) -> TxResult<FFormula> {
+        if self.is_ident("forall") || self.is_ident("exists") {
+            let is_forall = self.is_ident("forall");
+            self.bump();
+            let mut binders = vec![self.parse_binder()?];
+            while *self.peek() == Tok::Comma {
+                self.bump();
+                binders.push(self.parse_binder()?);
+            }
+            self.expect(Tok::Dot, "'.' after binders")?;
+            let body = self.with_binders(&binders.clone(), |p| p.parse_fformula())?;
+            let mut out = body;
+            for v in binders.into_iter().rev() {
+                out = if is_forall {
+                    FFormula::Forall(v, Box::new(out))
+                } else {
+                    FFormula::Exists(v, Box::new(out))
+                };
+            }
+            return Ok(out);
+        }
+        self.parse_f_iff()
+    }
+
+    fn parse_f_iff(&mut self) -> TxResult<FFormula> {
+        let lhs = self.parse_f_implies()?;
+        if *self.peek() == Tok::DArrow {
+            self.bump();
+            let rhs = self.parse_f_iff()?;
+            return Ok(FFormula::Iff(Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_f_implies(&mut self) -> TxResult<FFormula> {
+        let lhs = self.parse_f_or()?;
+        if *self.peek() == Tok::Arrow {
+            self.bump();
+            let rhs = self.parse_f_implies()?;
+            return Ok(FFormula::Implies(Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_f_or(&mut self) -> TxResult<FFormula> {
+        let mut lhs = self.parse_f_and()?;
+        while *self.peek() == Tok::Bar || self.is_ident("or") {
+            // inside foreach/setformer, '|' only appears as a separator
+            // *before* a binder list; disjunction always sits between two
+            // formulas, so this is unambiguous where we call it.
+            self.bump();
+            let rhs = self.parse_f_and()?;
+            lhs = FFormula::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_f_and(&mut self) -> TxResult<FFormula> {
+        let mut lhs = self.parse_f_unary()?;
+        while *self.peek() == Tok::Amp || self.is_ident("and") {
+            self.bump();
+            let rhs = self.parse_f_unary()?;
+            lhs = FFormula::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_f_unary(&mut self) -> TxResult<FFormula> {
+        if *self.peek() == Tok::Bang || self.is_ident("not") {
+            self.bump();
+            let inner = self.parse_f_unary()?;
+            return Ok(FFormula::Not(Box::new(inner)));
+        }
+        if self.is_ident("forall") || self.is_ident("exists") {
+            return self.parse_fformula();
+        }
+        if self.is_ident("true") {
+            self.bump();
+            return Ok(FFormula::True);
+        }
+        if self.is_ident("false") {
+            self.bump();
+            return Ok(FFormula::False);
+        }
+        if *self.peek() == Tok::LParen {
+            let save = self.pos;
+            self.bump();
+            if let Ok(f) = self.parse_fformula() {
+                if *self.peek() == Tok::RParen {
+                    self.bump();
+                    if !self.starts_cmp() {
+                        return Ok(f);
+                    }
+                }
+            }
+            self.pos = save;
+        }
+        self.parse_f_atom()
+    }
+
+    fn parse_f_atom(&mut self) -> TxResult<FFormula> {
+        let lhs = self.parse_fterm()?;
+        match self.peek().clone() {
+            Tok::Eq => {
+                self.bump();
+                Ok(FFormula::Cmp(CmpOp::Eq, lhs, self.parse_fterm()?))
+            }
+            Tok::Ne => {
+                self.bump();
+                Ok(FFormula::Cmp(CmpOp::Ne, lhs, self.parse_fterm()?))
+            }
+            Tok::Lt => {
+                self.bump();
+                Ok(FFormula::Cmp(CmpOp::Lt, lhs, self.parse_fterm()?))
+            }
+            Tok::Le => {
+                self.bump();
+                Ok(FFormula::Cmp(CmpOp::Le, lhs, self.parse_fterm()?))
+            }
+            Tok::Gt => {
+                self.bump();
+                Ok(FFormula::Cmp(CmpOp::Gt, lhs, self.parse_fterm()?))
+            }
+            Tok::Ge => {
+                self.bump();
+                Ok(FFormula::Cmp(CmpOp::Ge, lhs, self.parse_fterm()?))
+            }
+            Tok::Ident(ref s) if s == "in" => {
+                self.bump();
+                Ok(FFormula::Member(lhs, self.parse_fterm()?))
+            }
+            Tok::Ident(ref s) if s == "subset" => {
+                self.bump();
+                Ok(FFormula::Subset(lhs, self.parse_fterm()?))
+            }
+            _ => self.err("expected a comparison, 'in', or 'subset' in fluent formula"),
+        }
+    }
+
+    // ---------- f-terms ----------
+
+    /// Full f-term including `;;` composition at lowest precedence.
+    fn parse_fterm_seq(&mut self) -> TxResult<FTerm> {
+        let mut lhs = self.parse_fterm()?;
+        while *self.peek() == Tok::SemiSemi {
+            self.bump();
+            let rhs = self.parse_fterm()?;
+            lhs = FTerm::Seq(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_fterm(&mut self) -> TxResult<FTerm> {
+        let mut lhs = self.parse_fterm_mul()?;
+        loop {
+            match self.peek() {
+                Tok::Plus => {
+                    self.bump();
+                    let rhs = self.parse_fterm_mul()?;
+                    lhs = FTerm::App(Op::Add, vec![lhs, rhs]);
+                }
+                Tok::Minus => {
+                    self.bump();
+                    let rhs = self.parse_fterm_mul()?;
+                    lhs = FTerm::App(Op::Monus, vec![lhs, rhs]);
+                }
+                _ => break,
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn parse_fterm_mul(&mut self) -> TxResult<FTerm> {
+        let mut lhs = self.parse_fterm_primary()?;
+        while *self.peek() == Tok::Star {
+            self.bump();
+            let rhs = self.parse_fterm_primary()?;
+            lhs = FTerm::App(Op::Mul, vec![lhs, rhs]);
+        }
+        Ok(lhs)
+    }
+
+    /// An f-term without trailing arithmetic — used directly after
+    /// `:` / `;` so that `s:salary(e) - 100` parses as `(s:salary(e)) - 100`
+    /// at the s-level rather than swallowing `- 100` into the fluent.
+    fn parse_fterm_postfixless(&mut self) -> TxResult<FTerm> {
+        self.parse_fterm_primary()
+    }
+
+    fn parse_fterm_primary(&mut self) -> TxResult<FTerm> {
+        match self.peek().clone() {
+            Tok::Int(n) => {
+                self.bump();
+                Ok(FTerm::Nat(n))
+            }
+            Tok::Quoted(s) => {
+                self.bump();
+                Ok(FTerm::Str(Symbol::new(&s)))
+            }
+            Tok::LParen => {
+                self.bump();
+                let t = self.parse_fterm_seq()?;
+                self.expect(Tok::RParen, "')'")?;
+                Ok(t)
+            }
+            Tok::LBrace => {
+                self.bump();
+                let (binders, bar_pos, after_dot) = self.setformer_binders()?;
+                let (head, cond) = self.with_binders(&binders.clone(), |p| {
+                    let head = p.parse_fterm()?;
+                    if p.pos != bar_pos {
+                        return p.err("unexpected tokens before '|' in set former");
+                    }
+                    p.pos = after_dot;
+                    let cond = p.parse_fformula()?;
+                    Ok((head, cond))
+                })?;
+                self.expect(Tok::RBrace, "'}' closing set former")?;
+                Ok(FTerm::SetFormer {
+                    head: Box::new(head),
+                    vars: binders,
+                    cond: Box::new(cond),
+                })
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                match name.as_str() {
+                    "skip" | "Λ" | "nil" => Ok(FTerm::Identity),
+                    "if" => {
+                        let p = self.parse_fformula()?;
+                        if !self.eat_ident("then") {
+                            return self.err("expected 'then'");
+                        }
+                        let a = self.parse_fterm_seq()?;
+                        if !self.eat_ident("else") {
+                            return self.err("expected 'else'");
+                        }
+                        let b = self.parse_fterm_seq()?;
+                        Ok(FTerm::Cond(Box::new(p), Box::new(a), Box::new(b)))
+                    }
+                    "foreach" => {
+                        let binder = self.parse_binder()?;
+                        self.expect(Tok::Bar, "'|' after foreach binder")?;
+                        let (p, body) = self.with_binders(&[binder], |pr| {
+                            let p = pr.parse_fformula()?;
+                            if !pr.eat_ident("do") {
+                                return pr.err("expected 'do'");
+                            }
+                            let body = pr.parse_fterm_seq()?;
+                            Ok((p, body))
+                        })?;
+                        if !self.eat_ident("end") {
+                            return self.err("expected 'end' closing foreach");
+                        }
+                        Ok(FTerm::Foreach(binder, Box::new(p), Box::new(body)))
+                    }
+                    "insert" | "delete" => {
+                        self.expect(Tok::LParen, "'('")?;
+                        let t = self.parse_fterm()?;
+                        self.expect(Tok::Comma, "','")?;
+                        let rel = match self.bump() {
+                            Tok::Ident(r) => r,
+                            other => {
+                                return self
+                                    .err(format!("expected relation name, found {other:?}"))
+                            }
+                        };
+                        self.expect(Tok::RParen, "')'")?;
+                        let rel = Symbol::new(&rel);
+                        if name == "insert" {
+                            Ok(FTerm::Insert(Box::new(t), rel))
+                        } else {
+                            Ok(FTerm::Delete(Box::new(t), rel))
+                        }
+                    }
+                    "modify" => {
+                        self.expect(Tok::LParen, "'('")?;
+                        let t = self.parse_fterm()?;
+                        self.expect(Tok::Comma, "','")?;
+                        let attr = self.bump();
+                        self.expect(Tok::Comma, "','")?;
+                        let v = self.parse_fterm()?;
+                        self.expect(Tok::RParen, "')'")?;
+                        match attr {
+                            Tok::Int(i) => {
+                                Ok(FTerm::Modify(Box::new(t), i as usize, Box::new(v)))
+                            }
+                            Tok::Ident(a) => Ok(FTerm::ModifyAttr(
+                                Box::new(t),
+                                Symbol::new(&a),
+                                Box::new(v),
+                            )),
+                            other => {
+                                self.err(format!("expected attribute, found {other:?}"))
+                            }
+                        }
+                    }
+                    "assign" => {
+                        self.expect(Tok::LParen, "'('")?;
+                        let rel = match self.bump() {
+                            Tok::Ident(r) => r,
+                            other => {
+                                return self
+                                    .err(format!("expected relation name, found {other:?}"))
+                            }
+                        };
+                        self.expect(Tok::Comma, "','")?;
+                        let set = self.parse_fterm()?;
+                        self.expect(Tok::RParen, "')'")?;
+                        Ok(FTerm::Assign(Symbol::new(&rel), Box::new(set)))
+                    }
+                    "sum" | "size" | "max" | "min" | "union" | "inter" | "diff"
+                    | "product" => {
+                        let op = match name.as_str() {
+                            "sum" => Op::Sum,
+                            "size" => Op::Size,
+                            "max" => Op::Max,
+                            "min" => Op::Min,
+                            "union" => Op::Union,
+                            "inter" => Op::Inter,
+                            "diff" => Op::Diff,
+                            _ => Op::Product,
+                        };
+                        self.expect(Tok::LParen, "'(' after operator")?;
+                        let mut args = vec![self.parse_fterm()?];
+                        while *self.peek() == Tok::Comma {
+                            self.bump();
+                            args.push(self.parse_fterm()?);
+                        }
+                        self.expect(Tok::RParen, "')'")?;
+                        if args.len() != op.arity() {
+                            return self.err(format!(
+                                "{op} takes {} arguments, got {}",
+                                op.arity(),
+                                args.len()
+                            ));
+                        }
+                        Ok(FTerm::App(op, args))
+                    }
+                    "tuple" => {
+                        self.expect(Tok::LParen, "'(' after tuple")?;
+                        let mut args = Vec::new();
+                        if *self.peek() != Tok::RParen {
+                            args.push(self.parse_fterm()?);
+                            while *self.peek() == Tok::Comma {
+                                self.bump();
+                                args.push(self.parse_fterm()?);
+                            }
+                        }
+                        self.expect(Tok::RParen, "')'")?;
+                        Ok(FTerm::TupleCons(args))
+                    }
+                    "id" => {
+                        self.expect(Tok::LParen, "'(' after id")?;
+                        let t = self.parse_fterm()?;
+                        self.expect(Tok::RParen, "')'")?;
+                        Ok(FTerm::IdOf(Box::new(t)))
+                    }
+                    "select" => {
+                        self.expect(Tok::LParen, "'(' after select")?;
+                        let t = self.parse_fterm()?;
+                        self.expect(Tok::Comma, "','")?;
+                        let i = match self.bump() {
+                            Tok::Int(n) => n as usize,
+                            other => {
+                                return self
+                                    .err(format!("expected index, found {other:?}"))
+                            }
+                        };
+                        self.expect(Tok::RParen, "')'")?;
+                        Ok(FTerm::Select(Box::new(t), i))
+                    }
+                    _ => {
+                        let sym = Symbol::new(&name);
+                        if let Some(&v) = self.scope.get(&name) {
+                            if v.class == VarClass::Situational && v.sort != Sort::ATOM {
+                                return self.err(format!(
+                                    "situational variable {name} cannot occur inside a fluent"
+                                ));
+                            }
+                            return Ok(FTerm::Var(v));
+                        }
+                        if self.ctx.relations.contains(&sym) {
+                            return Ok(FTerm::Rel(sym));
+                        }
+                        if *self.peek() == Tok::LParen {
+                            self.bump();
+                            let mut args = vec![self.parse_fterm()?];
+                            while *self.peek() == Tok::Comma {
+                                self.bump();
+                                args.push(self.parse_fterm()?);
+                            }
+                            self.expect(Tok::RParen, "')'")?;
+                            if args.len() == 1 {
+                                let arg = args.pop().expect("one arg");
+                                return Ok(FTerm::Attr(sym, Box::new(arg)));
+                            }
+                            return Ok(FTerm::UserApp(sym, args));
+                        }
+                        self.err(format!("unknown identifier {name} in f-term position"))
+                    }
+                }
+            }
+            other => self.err(format!("unexpected {other:?} in f-term position")),
+        }
+    }
+}
+
+impl Parser<'_> {
+    fn finish(&mut self) -> TxResult<()> {
+        if *self.peek() != Tok::Eof {
+            return self.err(format!("trailing input: {:?}", self.peek()));
+        }
+        Ok(())
+    }
+}
+
+/// Parse a closed s-formula (an integrity constraint or axiom).
+pub fn parse_sformula(src: &str, ctx: &ParseCtx) -> TxResult<SFormula> {
+    let mut p = Parser::new(src, ctx)?;
+    let f = p.parse_sformula()?;
+    p.finish()?;
+    Ok(f)
+}
+
+/// Parse an s-formula with free parameters already in scope.
+pub fn parse_sformula_with_params(
+    src: &str,
+    ctx: &ParseCtx,
+    params: &[Var],
+) -> TxResult<SFormula> {
+    let mut p = Parser::new(src, ctx)?;
+    for v in params {
+        p.scope.insert(Parser::scope_key(*v), *v);
+    }
+    let f = p.parse_sformula()?;
+    p.finish()?;
+    Ok(f)
+}
+
+/// Parse an f-term (a transaction or query) with the given parameters in
+/// scope — Definition 3's database program `Tr(x̄)`.
+pub fn parse_fterm(src: &str, ctx: &ParseCtx, params: &[Var]) -> TxResult<FTerm> {
+    let mut p = Parser::new(src, ctx)?;
+    for v in params {
+        p.scope.insert(Parser::scope_key(*v), *v);
+    }
+    let t = p.parse_fterm_seq()?;
+    p.finish()?;
+    Ok(t)
+}
+
+/// Parse an f-formula with parameters (used for conditions in isolation).
+pub fn parse_fformula(src: &str, ctx: &ParseCtx, params: &[Var]) -> TxResult<FFormula> {
+    let mut p = Parser::new(src, ctx)?;
+    for v in params {
+        p.scope.insert(Parser::scope_key(*v), *v);
+    }
+    let f = p.parse_fformula()?;
+    p.finish()?;
+    Ok(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> ParseCtx {
+        ParseCtx::with_relations(&["EMP", "DEPT", "PROJ", "ALLOC", "SKILL", "E", "R", "S"])
+    }
+
+    #[test]
+    fn parse_static_constraint_example1() {
+        let src = "forall s: state, e': 5tup .
+            e' in s:EMP -> exists a': 3tup .
+              a' in s:ALLOC & e-name(e') = a-emp(a')";
+        let f = parse_sformula(src, &ctx()).unwrap();
+        let text = f.to_string();
+        assert!(text.contains("s:EMP"));
+        assert!(text.contains("e-name(e')"));
+    }
+
+    #[test]
+    fn parse_sum_constraint() {
+        let src = "forall s: state, e': 5tup .
+            e' in s:EMP ->
+              sum({ perc(a') | a': 3tup . a' in s:ALLOC & a-emp(a') = e-name(e') }) <= 100";
+        let f = parse_sformula(src, &ctx()).unwrap();
+        assert!(f.to_string().contains("sum("));
+    }
+
+    #[test]
+    fn parse_transaction_constraint_with_eval() {
+        // Example 3's skill-retention shape
+        let src = "forall s: state, t: tx, e: 5tup, k: 2tup .
+            (s:e in s:EMP & (s;t):e in (s;t):EMP & s:k in s:SKILL)
+              -> (s;t):k in (s;t):SKILL";
+        let f = parse_sformula(src, &ctx()).unwrap();
+        let text = f.to_string();
+        assert!(text.contains("(s;t):e"));
+        assert!(text.contains("(s;t):SKILL"));
+    }
+
+    #[test]
+    fn parse_holds() {
+        let src = "forall s: state . s::(exists e: 5tup . e in EMP)";
+        let f = parse_sformula(src, &ctx()).unwrap();
+        assert!(matches!(
+            f,
+            SFormula::Forall(_, ref body) if matches!(**body, SFormula::Holds(..))
+        ));
+    }
+
+    #[test]
+    fn parse_cancel_project_transaction() {
+        let p = Var::tup_f("p", 2);
+        let v = Var::atom_f("v");
+        let src = "
+            assign(E, { a-emp(a) | a: 3tup . a in ALLOC & a-proj(a) = p-name(p) }) ;;
+            foreach a: 3tup | a in ALLOC & a-proj(a) = p-name(p) do
+              delete(a, ALLOC)
+            end ;;
+            delete(p, PROJ) ;;
+            foreach e: 5tup | e in EMP & tuple(e-name(e)) in E do
+              if exists a: 3tup . a in ALLOC & a-emp(a) = e-name(e)
+              then modify(e, 3, salary(e) - v)
+              else delete(e, EMP)
+            end";
+        let t = parse_fterm(src, &ctx(), &[p, v]).unwrap();
+        let text = t.to_string();
+        assert!(text.contains("assign(E"));
+        assert!(text.contains("delete(p, PROJ)"));
+        assert!(text.contains("modify(e, 3, (salary(e) - v))"));
+    }
+
+    #[test]
+    fn parse_if_and_identity() {
+        let t = parse_fterm("if true then skip else skip", &ctx(), &[]).unwrap();
+        assert!(matches!(t, FTerm::Cond(..)));
+        let t = parse_fterm("skip ;; skip", &ctx(), &[]).unwrap();
+        assert!(matches!(t, FTerm::Seq(..)));
+    }
+
+    #[test]
+    fn quoted_atoms_and_primes_coexist() {
+        let src = "forall s: state, e': 5tup .
+            e' in s:EMP -> m-status(e') != 'S'";
+        let f = parse_sformula(src, &ctx()).unwrap();
+        assert!(f.to_string().contains("'S'"));
+    }
+
+    #[test]
+    fn state_equality_example4() {
+        let src = "forall s: state, t1: tx . exists t2: tx . s = (s;t1);t2";
+        let f = parse_sformula(src, &ctx()).unwrap();
+        assert!(f.to_string().contains("(s;t1);t2"));
+    }
+
+    #[test]
+    fn reject_fluent_tuple_var_at_s_level() {
+        let src = "forall s: state, e: 5tup . e in s:EMP";
+        assert!(parse_sformula(src, &ctx()).is_err());
+    }
+
+    #[test]
+    fn reject_situational_var_in_fluent() {
+        let src = "forall s: state, e': 5tup . s::(e' in EMP)";
+        assert!(parse_sformula(src, &ctx()).is_err());
+    }
+
+    #[test]
+    fn reject_unknown_identifier() {
+        assert!(parse_fterm("mystery", &ctx(), &[]).is_err());
+    }
+
+    #[test]
+    fn parse_error_carries_position() {
+        let err = parse_sformula("forall s: state .\n  s ???", &ctx()).unwrap_err();
+        match err {
+            TxError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn trailing_input_rejected() {
+        assert!(parse_fterm("skip skip", &ctx(), &[]).is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let src = "-- a comment\nskip -- another\n;; skip";
+        let t = parse_fterm(src, &ctx(), &[]).unwrap();
+        assert!(matches!(t, FTerm::Seq(..)));
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let v = Var::atom_f("v");
+        let t = parse_fterm("1 + 2 * v", &ctx(), &[v]).unwrap();
+        assert_eq!(t.to_string(), "(1 + (2 * v))");
+    }
+
+    #[test]
+    fn atom_param_usable_both_levels() {
+        let v = Var::atom_f("v");
+        // f-level
+        assert!(parse_fterm("v + 1", &ctx(), &[v]).is_ok());
+        // s-level
+        let f = parse_sformula_with_params("v = 3", &ctx(), &[v]).unwrap();
+        assert_eq!(f.to_string(), "v = 3");
+    }
+}

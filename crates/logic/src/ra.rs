@@ -1,0 +1,205 @@
+//! Relational-algebra sugar: derived query builders.
+//!
+//! Definition 3 splits database programs into transactions (state sort)
+//! and **queries** (object sort). The paper's query vocabulary is set
+//! formers plus the set functions; classical relational algebra is
+//! definable from it, and this module provides the definitions as
+//! f-term builders, so downstream code can write `select`/`project`/
+//! `join` instead of spelling the set formers out:
+//!
+//! * `σ_p(R)`   = `{ x | x ∈ R ∧ p(x) }`
+//! * `π_attrs(R)` = `{ tuple(a₁(x), …, aₖ(x)) | x ∈ R }`
+//! * `R ⋈_{a=b} S` = `{ tuple(…x…, …y…) | x ∈ R ∧ y ∈ S ∧ a(x) = b(y) }`
+//! * semijoin, count, aggregate sums over a selected column.
+//!
+//! Everything returned is an ordinary [`FTerm`]; the engine evaluates it
+//! with no special cases, and `sortck` checks it like any other query.
+
+use crate::fluent::{FFormula, FTerm, Op};
+use crate::sort::Var;
+use txlog_base::Symbol;
+
+/// Fresh bound-variable maker so nested operators do not capture.
+fn bound(base: &str, arity: usize, depth: usize) -> Var {
+    Var::tup_f(&format!("{base}{depth}"), arity)
+}
+
+/// σ: tuples of `rel` (arity `n`) satisfying `pred(x)` for the bound
+/// variable handed to `pred`.
+pub fn select<F>(rel: &str, n: usize, pred: F) -> FTerm
+where
+    F: FnOnce(Var) -> FFormula,
+{
+    let x = bound("σx", n, n);
+    let cond = FFormula::member(FTerm::var(x), FTerm::rel(rel)).and(pred(x));
+    FTerm::SetFormer {
+        head: Box::new(FTerm::var(x)),
+        vars: vec![x],
+        cond: Box::new(cond),
+    }
+}
+
+/// π: project `rel` (arity `n`) onto the named attributes.
+pub fn project(rel: &str, n: usize, attrs: &[&str]) -> FTerm {
+    let x = bound("πx", n, n);
+    let head = FTerm::TupleCons(
+        attrs
+            .iter()
+            .map(|a| FTerm::Attr(Symbol::new(a), Box::new(FTerm::var(x))))
+            .collect(),
+    );
+    FTerm::SetFormer {
+        head: Box::new(head),
+        vars: vec![x],
+        cond: Box::new(FFormula::member(FTerm::var(x), FTerm::rel(rel))),
+    }
+}
+
+/// ⋈: equi-join of `left` (arity `ln`) and `right` (arity `rn`) on
+/// `left_attr = right_attr`, projecting the given output attributes
+/// (looked up on whichever side declares them — attribute names are
+/// globally unique, as the paper's selection sugar presumes).
+pub fn equi_join(
+    left: &str,
+    ln: usize,
+    right: &str,
+    rn: usize,
+    left_attr: &str,
+    right_attr: &str,
+    output: &[(&str, Side)],
+) -> FTerm {
+    let x = bound("jx", ln, ln);
+    let y = bound("jy", rn, rn);
+    let cond = FFormula::member(FTerm::var(x), FTerm::rel(left))
+        .and(FFormula::member(FTerm::var(y), FTerm::rel(right)))
+        .and(FFormula::eq(
+            FTerm::Attr(Symbol::new(left_attr), Box::new(FTerm::var(x))),
+            FTerm::Attr(Symbol::new(right_attr), Box::new(FTerm::var(y))),
+        ));
+    let head = FTerm::TupleCons(
+        output
+            .iter()
+            .map(|(a, side)| {
+                let v = match side {
+                    Side::Left => x,
+                    Side::Right => y,
+                };
+                FTerm::Attr(Symbol::new(a), Box::new(FTerm::var(v)))
+            })
+            .collect(),
+    );
+    FTerm::SetFormer {
+        head: Box::new(head),
+        vars: vec![x, y],
+        cond: Box::new(cond),
+    }
+}
+
+/// Which join operand an output attribute is read from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Side {
+    /// The left operand.
+    Left,
+    /// The right operand.
+    Right,
+}
+
+/// Semijoin `left ⋉ right` on `left_attr = right_attr`: left tuples with
+/// at least one partner.
+pub fn semijoin(
+    left: &str,
+    ln: usize,
+    right: &str,
+    rn: usize,
+    left_attr: &str,
+    right_attr: &str,
+) -> FTerm {
+    let x = bound("sx", ln, ln);
+    let y = bound("sy", rn, rn);
+    let has_partner = FFormula::exists(
+        y,
+        FFormula::member(FTerm::var(y), FTerm::rel(right)).and(FFormula::eq(
+            FTerm::Attr(Symbol::new(left_attr), Box::new(FTerm::var(x))),
+            FTerm::Attr(Symbol::new(right_attr), Box::new(FTerm::var(y))),
+        )),
+    );
+    FTerm::SetFormer {
+        head: Box::new(FTerm::var(x)),
+        vars: vec![x],
+        cond: Box::new(
+            FFormula::member(FTerm::var(x), FTerm::rel(left)).and(has_partner),
+        ),
+    }
+}
+
+/// `size(R)` — cardinality of a relation or any set-valued query.
+pub fn count(set: FTerm) -> FTerm {
+    FTerm::App(Op::Size, vec![set])
+}
+
+/// `sum` of one attribute over the tuples of `rel` satisfying `pred`.
+pub fn sum_where<F>(rel: &str, n: usize, attr: &str, pred: F) -> FTerm
+where
+    F: FnOnce(Var) -> FFormula,
+{
+    let x = bound("Σx", n, n);
+    let cond = FFormula::member(FTerm::var(x), FTerm::rel(rel)).and(pred(x));
+    let former = FTerm::SetFormer {
+        head: Box::new(FTerm::Attr(Symbol::new(attr), Box::new(FTerm::var(x)))),
+        vars: vec![x],
+        cond: Box::new(cond),
+    };
+    FTerm::App(Op::Sum, vec![former])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_shape() {
+        let q = select("EMP", 5, |e| {
+            FFormula::lt(FTerm::nat(500), FTerm::attr("salary", FTerm::var(e)))
+        });
+        let text = q.to_string();
+        assert!(text.contains("in EMP"), "{text}");
+        assert!(text.contains("500 < salary"), "{text}");
+    }
+
+    #[test]
+    fn project_builds_tuple_head() {
+        let q = project("EMP", 5, &["e-name", "salary"]);
+        let text = q.to_string();
+        assert!(text.starts_with("{ tuple(e-name("), "{text}");
+    }
+
+    #[test]
+    fn join_mentions_both_relations() {
+        let q = equi_join(
+            "EMP",
+            5,
+            "ALLOC",
+            3,
+            "e-name",
+            "a-emp",
+            &[("e-name", Side::Left), ("a-proj", Side::Right)],
+        );
+        let text = q.to_string();
+        assert!(text.contains("in EMP"), "{text}");
+        assert!(text.contains("in ALLOC"), "{text}");
+        assert!(text.contains("e-name(jx5) = a-emp(jy3)"), "{text}");
+    }
+
+    #[test]
+    fn derived_queries_are_object_sorted() {
+        for q in [
+            select("EMP", 5, |_| FFormula::True),
+            project("EMP", 5, &["salary"]),
+            semijoin("EMP", 5, "ALLOC", 3, "e-name", "a-emp"),
+            count(FTerm::rel("EMP")),
+            sum_where("ALLOC", 3, "perc", |_| FFormula::True),
+        ] {
+            assert!(!q.is_transaction_shaped(), "{q}");
+        }
+    }
+}

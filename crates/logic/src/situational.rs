@@ -1,0 +1,547 @@
+//! Situational expressions: s-terms and s-formulas.
+//!
+//! S-expressions "denote particular values in specific states" (Section 2).
+//! They are built from situational variables, the three situational
+//! functions applied to f-expressions —
+//!
+//! * `w : e`  — the **object** obtained by evaluating fluent `e` at `w`
+//!   ([`STerm::EvalObj`]),
+//! * `w :: p` — the **truth value** of fluent formula `p` at `w`
+//!   ([`SFormula::Holds`]),
+//! * `w ; e`  — the **state** after executing transaction `e` at `w`
+//!   ([`STerm::EvalState`]),
+//!
+//! — and the ordinary first-order apparatus (functions, predicates,
+//! connectives, quantifiers). Axioms and integrity constraints are closed
+//! s-formulas (Definition 1).
+//!
+//! Quantifiers may bind situational variables (primed: values) *or* fluent
+//! variables (unprimed: mappings), because the paper's examples do both —
+//! Example 1 quantifies situational tuple variables `e'`, while Examples
+//! 2–4 quantify fluent tuple variables `e` (evaluated at several states as
+//! `s:e`, `s;t:e`) and fluent state variables `t` (transactions).
+
+use crate::fluent::{CmpOp, FFormula, FTerm, Op};
+use crate::sort::{Sort, Var, VarClass};
+use std::fmt;
+use txlog_base::Symbol;
+
+/// A situational term (s-expression of object or state sort).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum STerm {
+    /// A situational variable — a state variable `s` or a primed object
+    /// variable `e'`.
+    Var(Var),
+    /// `w : e` — evaluate object-sorted fluent `e` at state `w`.
+    EvalObj(Box<STerm>, Box<FTerm>),
+    /// `w ; e` — the state after executing transaction `e` at state `w`.
+    EvalState(Box<STerm>, Box<FTerm>),
+    /// A natural-number constant.
+    Nat(u64),
+    /// A symbolic atom constant.
+    Str(Symbol),
+    /// Attribute selection by name on a tuple-sorted s-term (the primed
+    /// `salary'(w, t)` of the paper — selection on an already-evaluated
+    /// tuple value needs no further state argument).
+    Attr(Symbol, Box<STerm>),
+    /// Positional selection, 1-based.
+    Select(Box<STerm>, usize),
+    /// Tuple generator over s-terms.
+    TupleCons(Vec<STerm>),
+    /// Built-in operator application over s-terms.
+    App(Op, Vec<STerm>),
+    /// Situational set former `{ head | vars . cond }`.
+    SetFormer {
+        /// The head expression.
+        head: Box<STerm>,
+        /// Bound situational variables.
+        vars: Vec<Var>,
+        /// The restricting condition.
+        cond: Box<SFormula>,
+    },
+    /// The identifier function `id` applied to an s-term.
+    IdOf(Box<STerm>),
+    /// A user-defined s-function application (the primed `f'`; the state
+    /// argument, when needed, is an explicit first argument).
+    UserApp(Symbol, Vec<STerm>),
+}
+
+impl STerm {
+    /// Situational variable reference.
+    pub fn var(v: Var) -> STerm {
+        debug_assert_eq!(
+            v.class,
+            VarClass::Situational,
+            "STerm::Var must be situational-class"
+        );
+        STerm::Var(v)
+    }
+
+    /// `w : e`.
+    pub fn eval_obj(self, e: FTerm) -> STerm {
+        STerm::EvalObj(Box::new(self), Box::new(e))
+    }
+
+    /// `w ; e`.
+    pub fn eval_state(self, e: FTerm) -> STerm {
+        STerm::EvalState(Box::new(self), Box::new(e))
+    }
+
+    /// `w :: p` (an s-formula).
+    pub fn holds(self, p: FFormula) -> SFormula {
+        SFormula::Holds(self, p)
+    }
+
+    /// Attribute selection helper.
+    pub fn attr(name: &str, t: STerm) -> STerm {
+        STerm::Attr(Symbol::new(name), Box::new(t))
+    }
+
+    /// Natural constant.
+    pub fn nat(n: u64) -> STerm {
+        STerm::Nat(n)
+    }
+
+    /// Symbolic constant.
+    pub fn str(s: &str) -> STerm {
+        STerm::Str(Symbol::new(s))
+    }
+
+    /// Infix `+`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, rhs: STerm) -> STerm {
+        STerm::App(Op::Add, vec![self, rhs])
+    }
+
+    /// Infix monus `-`.
+    pub fn monus(self, rhs: STerm) -> STerm {
+        STerm::App(Op::Monus, vec![self, rhs])
+    }
+
+    /// Sum aggregate.
+    pub fn sum(set: STerm) -> STerm {
+        STerm::App(Op::Sum, vec![set])
+    }
+
+    /// True iff the term is state-sorted where syntax determines it.
+    pub fn is_state_shaped(&self) -> bool {
+        match self {
+            STerm::Var(v) => v.sort == Sort::State,
+            STerm::EvalState(..) => true,
+            _ => false,
+        }
+    }
+}
+
+/// A situational formula — the sentence language of the logic. Axioms and
+/// integrity constraints are closed `SFormula`s.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum SFormula {
+    /// The constant true.
+    True,
+    /// The constant false.
+    False,
+    /// `w :: p` — fluent formula `p` holds at state `w`.
+    Holds(STerm, FFormula),
+    /// Comparison of two s-terms. `Eq`/`Ne` apply at any sort (including
+    /// the state sort — Example 4 compares `s = s;t₁;t₂`).
+    Cmp(CmpOp, STerm, STerm),
+    /// Membership `t ∈ S` over s-terms.
+    Member(STerm, STerm),
+    /// Subset over s-terms (by value).
+    Subset(STerm, STerm),
+    /// Negation.
+    Not(Box<SFormula>),
+    /// Conjunction.
+    And(Box<SFormula>, Box<SFormula>),
+    /// Disjunction.
+    Or(Box<SFormula>, Box<SFormula>),
+    /// Implication.
+    Implies(Box<SFormula>, Box<SFormula>),
+    /// Biconditional.
+    Iff(Box<SFormula>, Box<SFormula>),
+    /// Universal quantifier (situational or fluent variable).
+    Forall(Var, Box<SFormula>),
+    /// Existential quantifier (situational or fluent variable).
+    Exists(Var, Box<SFormula>),
+    /// A user-defined s-predicate.
+    UserPred(Symbol, Vec<STerm>),
+}
+
+impl SFormula {
+    /// `lhs = rhs`.
+    pub fn eq(lhs: STerm, rhs: STerm) -> SFormula {
+        SFormula::Cmp(CmpOp::Eq, lhs, rhs)
+    }
+
+    /// `lhs ≠ rhs`.
+    pub fn ne(lhs: STerm, rhs: STerm) -> SFormula {
+        SFormula::Cmp(CmpOp::Ne, lhs, rhs)
+    }
+
+    /// `lhs < rhs`.
+    pub fn lt(lhs: STerm, rhs: STerm) -> SFormula {
+        SFormula::Cmp(CmpOp::Lt, lhs, rhs)
+    }
+
+    /// `lhs ≤ rhs`.
+    pub fn le(lhs: STerm, rhs: STerm) -> SFormula {
+        SFormula::Cmp(CmpOp::Le, lhs, rhs)
+    }
+
+    /// `t ∈ S`.
+    pub fn member(t: STerm, set: STerm) -> SFormula {
+        SFormula::Member(t, set)
+    }
+
+    /// Negation, collapsing double negation and constants.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> SFormula {
+        match self {
+            SFormula::Not(inner) => *inner,
+            SFormula::True => SFormula::False,
+            SFormula::False => SFormula::True,
+            f => SFormula::Not(Box::new(f)),
+        }
+    }
+
+    /// Conjunction, absorbing `true`.
+    pub fn and(self, rhs: SFormula) -> SFormula {
+        match (self, rhs) {
+            (SFormula::True, r) => r,
+            (l, SFormula::True) => l,
+            (l, r) => SFormula::And(Box::new(l), Box::new(r)),
+        }
+    }
+
+    /// Disjunction, absorbing `false`.
+    pub fn or(self, rhs: SFormula) -> SFormula {
+        match (self, rhs) {
+            (SFormula::False, r) => r,
+            (l, SFormula::False) => l,
+            (l, r) => SFormula::Or(Box::new(l), Box::new(r)),
+        }
+    }
+
+    /// Implication.
+    pub fn implies(self, rhs: SFormula) -> SFormula {
+        SFormula::Implies(Box::new(self), Box::new(rhs))
+    }
+
+    /// Biconditional.
+    pub fn iff(self, rhs: SFormula) -> SFormula {
+        SFormula::Iff(Box::new(self), Box::new(rhs))
+    }
+
+    /// Universal closure over one variable.
+    pub fn forall(v: Var, body: SFormula) -> SFormula {
+        SFormula::Forall(v, Box::new(body))
+    }
+
+    /// Existential closure over one variable.
+    pub fn exists(v: Var, body: SFormula) -> SFormula {
+        SFormula::Exists(v, Box::new(body))
+    }
+
+    /// Universal closure over several variables (outermost first).
+    pub fn forall_all(vars: impl IntoIterator<Item = Var>, body: SFormula) -> SFormula {
+        let vars: Vec<Var> = vars.into_iter().collect();
+        vars.into_iter()
+            .rev()
+            .fold(body, |acc, v| SFormula::forall(v, acc))
+    }
+
+    /// Conjoin many formulas.
+    pub fn and_all(fs: impl IntoIterator<Item = SFormula>) -> SFormula {
+        fs.into_iter().fold(SFormula::True, SFormula::and)
+    }
+
+    /// Strip an outermost block of universal quantifiers, returning the
+    /// bound variables (outermost first) and the matrix.
+    pub fn strip_foralls(&self) -> (Vec<Var>, &SFormula) {
+        let mut vars = Vec::new();
+        let mut cur = self;
+        while let SFormula::Forall(v, body) = cur {
+            vars.push(*v);
+            cur = body;
+        }
+        (vars, cur)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Display
+// ---------------------------------------------------------------------
+
+impl fmt::Display for STerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            STerm::Var(v) => write!(f, "{v}"),
+            STerm::EvalObj(w, e) => {
+                write!(f, "{w}:{e}", w = WrapState(w), e = WrapFluent(e))
+            }
+            STerm::EvalState(w, e) => {
+                write!(f, "{w};{e}", w = WrapState(w), e = WrapFluent(e))
+            }
+            STerm::Nat(n) => write!(f, "{n}"),
+            STerm::Str(s) => write!(f, "'{s}'"),
+            STerm::Attr(a, t) => write!(f, "{a}({t})"),
+            STerm::Select(t, i) => write!(f, "select({t}, {i})"),
+            STerm::TupleCons(ts) => {
+                write!(f, "tuple(")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+            STerm::App(op, args) if op.is_infix() && args.len() == 2 => {
+                write!(f, "({} {op} {})", args[0], args[1])
+            }
+            STerm::App(op, args) => {
+                write!(f, "{op}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            STerm::SetFormer { head, vars, cond } => {
+                write!(f, "{{ {head} | ")?;
+                for (i, v) in vars.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}: {}", v.sort)?;
+                }
+                write!(f, " . {cond} }}")
+            }
+            STerm::IdOf(t) => write!(f, "id({t})"),
+            STerm::UserApp(name, args) => {
+                write!(f, "{name}'(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// Parenthesize compound state terms on the left of `:` / `;` / `::` so
+/// `s;t : e` prints unambiguously as `(s;t):e`.
+struct WrapState<'a>(&'a STerm);
+
+/// Parenthesize fluent operands of `:` / `;` whose printed forms would
+/// extend past the evaluation (`s;(a ;; b)`, `s;(if … else …)`) — the
+/// parser reads only a primary fluent after the operator.
+struct WrapFluent<'a>(&'a FTerm);
+
+impl fmt::Display for WrapFluent<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            FTerm::Seq(..) | FTerm::Cond(..) | FTerm::App(..) => {
+                write!(f, "({})", self.0)
+            }
+            _ => write!(f, "{}", self.0),
+        }
+    }
+}
+
+impl fmt::Display for WrapState<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            STerm::Var(_) => write!(f, "{}", self.0),
+            _ => write!(f, "({})", self.0),
+        }
+    }
+}
+
+impl fmt::Debug for STerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for SFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SFormula::True => write!(f, "true"),
+            SFormula::False => write!(f, "false"),
+            SFormula::Holds(w, p) => write!(f, "{w}::({p})", w = WrapState(w)),
+            SFormula::Cmp(op, a, b) => write!(f, "{a} {op} {b}"),
+            SFormula::Member(t, s) => write!(f, "{t} in {s}"),
+            SFormula::Subset(a, b) => write!(f, "{a} subset {b}"),
+            SFormula::Not(p) => write!(f, "!({p})"),
+            SFormula::And(a, b) => {
+                write!(f, "({} & {})", WrapQ(a), WrapQ(b))
+            }
+            SFormula::Or(a, b) => {
+                write!(f, "({} | {})", WrapQ(a), WrapQ(b))
+            }
+            SFormula::Implies(a, b) => {
+                write!(f, "({} -> {})", WrapQ(a), WrapQ(b))
+            }
+            SFormula::Iff(a, b) => {
+                write!(f, "({} <-> {})", WrapQ(a), WrapQ(b))
+            }
+            SFormula::Forall(v, p) => {
+                write!(f, "forall {v}: {} . {p}", BinderSort(*v))
+            }
+            SFormula::Exists(v, p) => {
+                write!(f, "exists {v}: {} . {p}", BinderSort(*v))
+            }
+            SFormula::UserPred(name, args) => {
+                write!(f, "{name}'(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// Parenthesize quantified operands of binary connectives: a bare
+/// `exists v: sort . body -> q` would re-parse with the implication
+/// inside the quantifier's scope.
+struct WrapQ<'a>(&'a SFormula);
+
+impl fmt::Display for WrapQ<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            SFormula::Forall(..) | SFormula::Exists(..) => write!(f, "({})", self.0),
+            _ => write!(f, "{}", self.0),
+        }
+    }
+}
+
+/// Binder sort annotation in the concrete syntax: `tx` for state-sorted
+/// fluent variables (transactions), a trailing `'` on situational object
+/// sorts (mirroring the paper's `∀_5tup' e'`), the plain sort otherwise.
+struct BinderSort(Var);
+
+impl fmt::Display for BinderSort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.0.sort, self.0.class) {
+            (Sort::State, VarClass::Fluent) => write!(f, "tx"),
+            (Sort::State, VarClass::Situational) => write!(f, "state"),
+            (sort, VarClass::Situational) => write!(f, "{sort}'"),
+            (sort, VarClass::Fluent) => write!(f, "{sort}"),
+        }
+    }
+}
+
+impl fmt::Debug for SFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_of_situational_functions() {
+        let s = STerm::var(Var::state("s"));
+        let t = Var::transaction("t");
+        let e = Var::tup_f("e", 5);
+        // s:e
+        let obj = s.clone().eval_obj(FTerm::var(e));
+        assert_eq!(obj.to_string(), "s:e");
+        // (s;t):e
+        let after = s
+            .clone()
+            .eval_state(FTerm::var(t))
+            .eval_obj(FTerm::var(e));
+        assert_eq!(after.to_string(), "(s;t):e");
+        // s::(p)
+        let holds = s.holds(FFormula::member(FTerm::var(e), FTerm::rel("EMP")));
+        assert_eq!(holds.to_string(), "s::(e in EMP)");
+    }
+
+    #[test]
+    fn connective_simplification() {
+        assert_eq!(SFormula::True.and(SFormula::False), SFormula::False);
+        assert_eq!(SFormula::False.or(SFormula::True), SFormula::True);
+        let p = SFormula::eq(STerm::nat(1), STerm::nat(1));
+        assert_eq!(p.clone().not().not(), p);
+    }
+
+    #[test]
+    fn forall_all_order_is_outermost_first() {
+        let s = Var::state("s");
+        let t = Var::transaction("t");
+        let body = SFormula::True;
+        let q = SFormula::forall_all([s, t], body);
+        match q {
+            SFormula::Forall(v1, inner) => {
+                assert_eq!(v1, s);
+                match *inner {
+                    SFormula::Forall(v2, _) => assert_eq!(v2, t),
+                    other => panic!("expected inner forall, got {other}"),
+                }
+            }
+            other => panic!("expected forall, got {other}"),
+        }
+    }
+
+    #[test]
+    fn strip_foralls() {
+        let s = Var::state("s");
+        let e = Var::tup_s("e", 5);
+        let q = SFormula::forall_all([s, e], SFormula::False);
+        let (vars, matrix) = q.strip_foralls();
+        assert_eq!(vars, vec![s, e]);
+        assert_eq!(*matrix, SFormula::False);
+    }
+
+    #[test]
+    fn state_equality_is_expressible() {
+        // Example 4's invertibility: s = s;t1;t2
+        let s = Var::state("s");
+        let t1 = Var::transaction("t1");
+        let t2 = Var::transaction("t2");
+        let lhs = STerm::var(s);
+        let rhs = STerm::var(s)
+            .eval_state(FTerm::var(t1))
+            .eval_state(FTerm::var(t2));
+        let f = SFormula::eq(lhs, rhs);
+        assert_eq!(f.to_string(), "s = (s;t1);t2");
+    }
+
+    #[test]
+    fn binder_display_marks_situational_object_sorts() {
+        let e = Var::tup_s("e", 5);
+        let q = SFormula::forall(e, SFormula::True);
+        assert_eq!(q.to_string(), "forall e': 5tup' . true");
+        let t = Var::transaction("t");
+        let q = SFormula::exists(t, SFormula::True);
+        assert_eq!(q.to_string(), "exists t: tx . true");
+    }
+
+    #[test]
+    fn sum_display() {
+        let a = Var::tup_s("a", 3);
+        let set = STerm::SetFormer {
+            head: Box::new(STerm::attr("perc", STerm::var(a))),
+            vars: vec![a],
+            cond: Box::new(SFormula::True),
+        };
+        assert_eq!(
+            STerm::sum(set).to_string(),
+            "sum({ perc(a') | a': 3tup . true })"
+        );
+    }
+}

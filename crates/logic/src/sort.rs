@@ -1,0 +1,253 @@
+//! The many-sorted sort system.
+//!
+//! Section 2 distinguishes two *classes* of sorts — situational and fluent —
+//! each with five *types*: the state sort, the atom sort (naturals), n-ary
+//! tuple sorts, finite n-ary set sorts, and the identifier sorts (n-ary
+//! tuple identifiers and n-ary set identifiers). Every fluent sort has an
+//! associated situational sort and vice versa; we therefore represent the
+//! *type* once ([`Sort`]) and record the *class* on variables
+//! ([`VarClass`]).
+//!
+//! The class distinction matters semantically:
+//!
+//! * A **situational** variable (written primed in the paper: `e'`, `a'`)
+//!   denotes a particular value — a tuple value, a state, a number.
+//! * A **fluent** variable (unprimed: `e`, `t`) denotes a mapping from
+//!   states to values and must be evaluated at a state (`s : e`) to yield
+//!   one. In finite models, a tuple-sorted fluent variable ranges over
+//!   tuple *identities* (so `s:e` and `s;t:e` track "the same employee"
+//!   across states — exactly how Examples 2–4 use them), and a state-sorted
+//!   fluent variable ranges over *transactions* (arc labels), so `s ; t` is
+//!   a reachability step.
+
+use std::fmt;
+use txlog_base::Symbol;
+
+/// The object sorts (everything except the state sort).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ObjSort {
+    /// The atom sort: natural numbers (and their readable symbolic coding).
+    Atom,
+    /// The n-ary tuple sort `ntup`.
+    Tup(usize),
+    /// The finite n-ary set sort `nset`.
+    Set(usize),
+    /// The n-ary tuple identifier sort `nt-id`.
+    TupId(usize),
+    /// The n-ary set identifier sort `ns-id`.
+    SetId(usize),
+    /// The truth-value sort (used internally for formula sorting; the
+    /// paper keeps formulas separate from terms, as do we — this sort
+    /// never appears on a variable).
+    Bool,
+}
+
+impl fmt::Display for ObjSort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjSort::Atom => write!(f, "atom"),
+            ObjSort::Tup(n) => write!(f, "{n}tup"),
+            ObjSort::Set(n) => write!(f, "{n}set"),
+            ObjSort::TupId(n) => write!(f, "{n}t-id"),
+            ObjSort::SetId(n) => write!(f, "{n}s-id"),
+            ObjSort::Bool => write!(f, "bool"),
+        }
+    }
+}
+
+impl fmt::Debug for ObjSort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// The sort of a term: the state sort or an object sort.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Sort {
+    /// The state sort.
+    State,
+    /// An object sort.
+    Obj(ObjSort),
+}
+
+impl Sort {
+    /// The atom sort, for brevity.
+    pub const ATOM: Sort = Sort::Obj(ObjSort::Atom);
+
+    /// The n-ary tuple sort.
+    pub fn tup(n: usize) -> Sort {
+        Sort::Obj(ObjSort::Tup(n))
+    }
+
+    /// The n-ary set sort.
+    pub fn set(n: usize) -> Sort {
+        Sort::Obj(ObjSort::Set(n))
+    }
+
+    /// True iff this is the state sort.
+    pub fn is_state(self) -> bool {
+        matches!(self, Sort::State)
+    }
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sort::State => write!(f, "state"),
+            Sort::Obj(o) => write!(f, "{o}"),
+        }
+    }
+}
+
+impl fmt::Debug for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Whether a variable is situational (denotes a value) or fluent (denotes
+/// a mapping from states to values).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum VarClass {
+    /// A situational variable — written primed in the paper (`e'`).
+    Situational,
+    /// A fluent variable — written unprimed (`e`, `t`).
+    Fluent,
+}
+
+/// A sorted, classed variable.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var {
+    /// The variable's name (without the prime; the prime is the display
+    /// convention for situational class).
+    pub name: Symbol,
+    /// The sort of values this variable ranges over.
+    pub sort: Sort,
+    /// Situational or fluent.
+    pub class: VarClass,
+}
+
+impl Var {
+    /// A situational state variable (e.g. the `s` of `∀_state' s`).
+    ///
+    /// Note the paper's state quantifiers `(∀_state' s)` are situational:
+    /// they range over *states*. State-sorted *fluent* variables (the `t`
+    /// of `s ; t`) range over *transactions*.
+    pub fn state(name: &str) -> Var {
+        Var {
+            name: Symbol::new(name),
+            sort: Sort::State,
+            class: VarClass::Situational,
+        }
+    }
+
+    /// A state-sorted fluent variable — ranges over transactions.
+    pub fn transaction(name: &str) -> Var {
+        Var {
+            name: Symbol::new(name),
+            sort: Sort::State,
+            class: VarClass::Fluent,
+        }
+    }
+
+    /// A situational tuple variable of the given arity (the paper's
+    /// primed `e'`).
+    pub fn tup_s(name: &str, arity: usize) -> Var {
+        Var {
+            name: Symbol::new(name),
+            sort: Sort::tup(arity),
+            class: VarClass::Situational,
+        }
+    }
+
+    /// A fluent tuple variable of the given arity (the paper's unprimed
+    /// `e` in `s : e`) — ranges over tuple identities.
+    pub fn tup_f(name: &str, arity: usize) -> Var {
+        Var {
+            name: Symbol::new(name),
+            sort: Sort::tup(arity),
+            class: VarClass::Fluent,
+        }
+    }
+
+    /// A situational atom variable.
+    pub fn atom_s(name: &str) -> Var {
+        Var {
+            name: Symbol::new(name),
+            sort: Sort::ATOM,
+            class: VarClass::Situational,
+        }
+    }
+
+    /// A fluent atom variable (rigid: atoms do not vary with state, but
+    /// the class still governs where the variable may occur).
+    pub fn atom_f(name: &str) -> Var {
+        Var {
+            name: Symbol::new(name),
+            sort: Sort::ATOM,
+            class: VarClass::Fluent,
+        }
+    }
+
+    /// True for situational class.
+    pub fn is_situational(self) -> bool {
+        self.class == VarClass::Situational
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class {
+            VarClass::Situational if self.sort != Sort::State => write!(f, "{}'", self.name),
+            _ => write!(f, "{}", self.name),
+        }
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self, self.sort)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sort_display() {
+        assert_eq!(Sort::State.to_string(), "state");
+        assert_eq!(Sort::ATOM.to_string(), "atom");
+        assert_eq!(Sort::tup(5).to_string(), "5tup");
+        assert_eq!(Sort::set(2).to_string(), "2set");
+        assert_eq!(Sort::Obj(ObjSort::TupId(3)).to_string(), "3t-id");
+        assert_eq!(Sort::Obj(ObjSort::SetId(2)).to_string(), "2s-id");
+    }
+
+    #[test]
+    fn situational_tuple_vars_display_primed() {
+        assert_eq!(Var::tup_s("e", 5).to_string(), "e'");
+        assert_eq!(Var::tup_f("e", 5).to_string(), "e");
+        // state variables are conventionally unprimed even when situational
+        assert_eq!(Var::state("s").to_string(), "s");
+        assert_eq!(Var::transaction("t").to_string(), "t");
+    }
+
+    #[test]
+    fn variables_distinguish_class_and_sort() {
+        let a = Var::tup_s("e", 5);
+        let b = Var::tup_f("e", 5);
+        let c = Var::tup_s("e", 2);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, Var::tup_s("e", 5));
+    }
+
+    #[test]
+    fn state_sort_predicate() {
+        assert!(Sort::State.is_state());
+        assert!(!Sort::ATOM.is_state());
+        assert!(Var::state("s").is_situational());
+        assert!(!Var::transaction("t").is_situational());
+    }
+}

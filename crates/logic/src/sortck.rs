@@ -1,0 +1,647 @@
+//! Sort checking: the many-sorted discipline of Section 2, enforced.
+//!
+//! The logic is an instance of many-sorted first-order logic; this module
+//! decides whether an expression is well-sorted against a schema-supplied
+//! signature, computing the sort of every term:
+//!
+//! * attribute selection applies to tuples of the declaring relation's
+//!   arity and yields an atom;
+//! * `insert`/`delete` take a tuple of the relation's arity; `modify`'s
+//!   index must be within it; `assign` takes a set of matching arity;
+//! * set formers yield `nset` for the head's tuple arity (atoms coerce to
+//!   1-tuples, as the paper's `{perc(a') | …}` presumes);
+//! * fluent combinators demand state-sorted operands, comparisons demand
+//!   compatible object sorts, `sum`/`size` demand sets.
+//!
+//! The checker is used by `check_program` callers wanting full diagnosis
+//! and by the parser's test-suite to validate the built-in corpus.
+
+use crate::fluent::{CmpOp, FFormula, FTerm, Op};
+use crate::situational::{SFormula, STerm};
+use crate::sort::{ObjSort, Sort, VarClass};
+use std::collections::HashMap;
+use txlog_base::{Symbol, TxError, TxResult};
+
+/// The signature sort checking runs against: relation arities and
+/// attribute positions.
+#[derive(Clone, Default)]
+pub struct Signature {
+    rels: HashMap<Symbol, usize>,
+    attrs: HashMap<Symbol, (usize, usize)>, // attr → (owner arity, 1-based ix)
+}
+
+impl Signature {
+    /// Empty signature.
+    pub fn new() -> Signature {
+        Signature::default()
+    }
+
+    /// Declare a relation with named attributes.
+    pub fn relation(mut self, name: &str, attrs: &[&str]) -> Signature {
+        let rel = Symbol::new(name);
+        self.rels.insert(rel, attrs.len());
+        for (i, a) in attrs.iter().enumerate() {
+            self.attrs.insert(Symbol::new(a), (attrs.len(), i + 1));
+        }
+        self
+    }
+
+    /// Arity of a relation.
+    pub fn rel_arity(&self, name: Symbol) -> TxResult<usize> {
+        self.rels
+            .get(&name)
+            .copied()
+            .ok_or_else(|| TxError::schema(format!("unknown relation {name}")))
+    }
+
+    /// (owner arity, index) of an attribute.
+    pub fn attr(&self, name: Symbol) -> TxResult<(usize, usize)> {
+        self.attrs
+            .get(&name)
+            .copied()
+            .ok_or_else(|| TxError::schema(format!("unknown attribute {name}")))
+    }
+}
+
+/// Sort of an f-term under the signature (variables carry their sorts).
+pub fn sort_of_fterm(sig: &Signature, t: &FTerm) -> TxResult<Sort> {
+    match t {
+        FTerm::Var(v) => Ok(v.sort),
+        FTerm::Nat(_) | FTerm::Str(_) => Ok(Sort::ATOM),
+        FTerm::Rel(r) => Ok(Sort::set(sig.rel_arity(*r)?)),
+        FTerm::Attr(a, inner) => {
+            let (owner, _) = sig.attr(*a)?;
+            expect_sort(sig, inner, Sort::tup(owner), "attribute selection")?;
+            Ok(Sort::ATOM)
+        }
+        FTerm::Select(inner, i) => {
+            match sort_of_fterm(sig, inner)? {
+                Sort::Obj(ObjSort::Tup(n)) if *i >= 1 && *i <= n => Ok(Sort::ATOM),
+                Sort::Obj(ObjSort::Tup(n)) => Err(TxError::sort(format!(
+                    "select index {i} out of range for {n}-ary tuple"
+                ))),
+                other => Err(TxError::sort(format!(
+                    "select applies to tuples, got {other}"
+                ))),
+            }
+        }
+        FTerm::TupleCons(parts) => {
+            for p in parts {
+                expect_sort(sig, p, Sort::ATOM, "tuple component")?;
+            }
+            Ok(Sort::tup(parts.len()))
+        }
+        FTerm::App(op, args) => sort_of_op(sig, *op, args),
+        FTerm::SetFormer { head, vars, cond } => {
+            check_fformula(sig, cond)?;
+            let _ = vars;
+            match sort_of_fterm(sig, head)? {
+                Sort::ATOM => Ok(Sort::set(1)),
+                Sort::Obj(ObjSort::Tup(n)) => Ok(Sort::set(n)),
+                other => Err(TxError::sort(format!(
+                    "set-former head must be a tuple or atom, got {other}"
+                ))),
+            }
+        }
+        FTerm::IdOf(inner) => match sort_of_fterm(sig, inner)? {
+            Sort::Obj(ObjSort::Tup(n)) => Ok(Sort::Obj(ObjSort::TupId(n))),
+            Sort::Obj(ObjSort::Set(n)) => Ok(Sort::Obj(ObjSort::SetId(n))),
+            other => Err(TxError::sort(format!("id applies to tuples/sets, got {other}"))),
+        },
+        FTerm::UserApp(name, args) => {
+            for a in args {
+                sort_of_fterm(sig, a)?;
+            }
+            Err(TxError::sort(format!(
+                "user function {name} has no declared signature"
+            )))
+        }
+        FTerm::Identity => Ok(Sort::State),
+        FTerm::Seq(a, b) => {
+            expect_sort(sig, a, Sort::State, "';;' left operand")?;
+            expect_sort(sig, b, Sort::State, "';;' right operand")?;
+            Ok(Sort::State)
+        }
+        FTerm::Cond(p, a, b) => {
+            check_fformula(sig, p)?;
+            let sa = sort_of_fterm(sig, a)?;
+            let sb = sort_of_fterm(sig, b)?;
+            if sa != sb {
+                return Err(TxError::sort(format!(
+                    "conditional branches have different sorts: {sa} vs {sb}"
+                )));
+            }
+            Ok(sa)
+        }
+        FTerm::Foreach(v, p, body) => {
+            if !matches!(v.sort, Sort::Obj(ObjSort::Tup(_)) | Sort::Obj(ObjSort::Atom)) {
+                return Err(TxError::sort(format!(
+                    "foreach binder {v} must range over tuples or atoms"
+                )));
+            }
+            check_fformula(sig, p)?;
+            expect_sort(sig, body, Sort::State, "foreach body")?;
+            Ok(Sort::State)
+        }
+        FTerm::Insert(tup, rel) | FTerm::Delete(tup, rel) => {
+            let n = sig.rel_arity(*rel)?;
+            expect_sort(sig, tup, Sort::tup(n), "insert/delete tuple")?;
+            Ok(Sort::State)
+        }
+        FTerm::Modify(tup, i, v) => {
+            match sort_of_fterm(sig, tup)? {
+                Sort::Obj(ObjSort::Tup(n)) if *i >= 1 && *i <= n => {}
+                Sort::Obj(ObjSort::Tup(n)) => {
+                    return Err(TxError::sort(format!(
+                        "modify index {i} out of range for {n}-ary tuple"
+                    )))
+                }
+                other => {
+                    return Err(TxError::sort(format!(
+                        "modify applies to tuples, got {other}"
+                    )))
+                }
+            }
+            expect_sort(sig, v, Sort::ATOM, "modify value")?;
+            Ok(Sort::State)
+        }
+        FTerm::ModifyAttr(tup, attr, v) => {
+            let (owner, _) = sig.attr(*attr)?;
+            expect_sort(sig, tup, Sort::tup(owner), "modify tuple")?;
+            expect_sort(sig, v, Sort::ATOM, "modify value")?;
+            Ok(Sort::State)
+        }
+        FTerm::Assign(rel, set) => {
+            let n = sig.rel_arity(*rel)?;
+            expect_sort(sig, set, Sort::set(n), "assign source set")?;
+            Ok(Sort::State)
+        }
+    }
+}
+
+fn sort_of_op(sig: &Signature, op: Op, args: &[FTerm]) -> TxResult<Sort> {
+    if args.len() != op.arity() {
+        return Err(TxError::sort(format!(
+            "{op} takes {} arguments, got {}",
+            op.arity(),
+            args.len()
+        )));
+    }
+    match op {
+        Op::Add | Op::Monus | Op::Mul | Op::Max | Op::Min => {
+            for a in args {
+                expect_sort(sig, a, Sort::ATOM, "arithmetic operand")?;
+            }
+            Ok(Sort::ATOM)
+        }
+        Op::Sum => {
+            expect_sort(sig, &args[0], Sort::set(1), "sum operand")?;
+            Ok(Sort::ATOM)
+        }
+        Op::Size => match sort_of_fterm(sig, &args[0])? {
+            Sort::Obj(ObjSort::Set(_)) => Ok(Sort::ATOM),
+            other => Err(TxError::sort(format!("size applies to sets, got {other}"))),
+        },
+        Op::Union | Op::Inter | Op::Diff => {
+            let sa = sort_of_fterm(sig, &args[0])?;
+            let sb = sort_of_fterm(sig, &args[1])?;
+            match (sa, sb) {
+                (Sort::Obj(ObjSort::Set(m)), Sort::Obj(ObjSort::Set(n))) if m == n => {
+                    Ok(Sort::set(m))
+                }
+                _ => Err(TxError::sort(format!(
+                    "{op} needs two sets of equal arity, got {sa} and {sb}"
+                ))),
+            }
+        }
+        Op::Product => {
+            let sa = sort_of_fterm(sig, &args[0])?;
+            let sb = sort_of_fterm(sig, &args[1])?;
+            match (sa, sb) {
+                (Sort::Obj(ObjSort::Set(m)), Sort::Obj(ObjSort::Set(n))) => {
+                    Ok(Sort::set(m + n))
+                }
+                _ => Err(TxError::sort(format!(
+                    "product needs two sets, got {sa} and {sb}"
+                ))),
+            }
+        }
+    }
+}
+
+fn expect_sort(sig: &Signature, t: &FTerm, want: Sort, what: &str) -> TxResult<()> {
+    let got = sort_of_fterm(sig, t)?;
+    if got != want {
+        return Err(TxError::sort(format!("{what}: expected {want}, got {got}")));
+    }
+    Ok(())
+}
+
+/// Check an f-formula (truth-sorted).
+pub fn check_fformula(sig: &Signature, p: &FFormula) -> TxResult<()> {
+    match p {
+        FFormula::True | FFormula::False => Ok(()),
+        FFormula::Cmp(op, a, b) => {
+            let sa = sort_of_fterm(sig, a)?;
+            let sb = sort_of_fterm(sig, b)?;
+            check_cmp(*op, sa, sb)
+        }
+        FFormula::Member(t, set) => {
+            let st = sort_of_fterm(sig, t)?;
+            let ss = sort_of_fterm(sig, set)?;
+            check_membership(st, ss)
+        }
+        FFormula::Subset(a, b) => {
+            let sa = sort_of_fterm(sig, a)?;
+            let sb = sort_of_fterm(sig, b)?;
+            match (sa, sb) {
+                (Sort::Obj(ObjSort::Set(m)), Sort::Obj(ObjSort::Set(n))) if m == n => Ok(()),
+                _ => Err(TxError::sort(format!(
+                    "subset needs two sets of equal arity, got {sa} and {sb}"
+                ))),
+            }
+        }
+        FFormula::Not(q) => check_fformula(sig, q),
+        FFormula::And(a, b)
+        | FFormula::Or(a, b)
+        | FFormula::Implies(a, b)
+        | FFormula::Iff(a, b) => {
+            check_fformula(sig, a)?;
+            check_fformula(sig, b)
+        }
+        FFormula::Exists(v, q) | FFormula::Forall(v, q) => {
+            if v.sort == Sort::State {
+                return Err(TxError::sort(format!(
+                    "fluent formulas cannot quantify state-sorted {v}"
+                )));
+            }
+            check_fformula(sig, q)
+        }
+        FFormula::UserPred(_, args) => {
+            for a in args {
+                sort_of_fterm(sig, a)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn check_cmp(op: CmpOp, sa: Sort, sb: Sort) -> TxResult<()> {
+    match op {
+        CmpOp::Eq | CmpOp::Ne => {
+            // equality demands compatible sorts (atom coerces to 1-tuple)
+            let compatible = sa == sb
+                || matches!(
+                    (sa, sb),
+                    (Sort::ATOM, Sort::Obj(ObjSort::Tup(1)))
+                        | (Sort::Obj(ObjSort::Tup(1)), Sort::ATOM)
+                );
+            if compatible {
+                Ok(())
+            } else {
+                Err(TxError::sort(format!(
+                    "equality between incompatible sorts {sa} and {sb}"
+                )))
+            }
+        }
+        _ => {
+            if sa == Sort::ATOM && sb == Sort::ATOM {
+                Ok(())
+            } else {
+                Err(TxError::sort(format!(
+                    "order comparison needs atoms, got {sa} and {sb}"
+                )))
+            }
+        }
+    }
+}
+
+fn check_membership(st: Sort, ss: Sort) -> TxResult<()> {
+    match (st, ss) {
+        (Sort::Obj(ObjSort::Tup(m)), Sort::Obj(ObjSort::Set(n))) if m == n => Ok(()),
+        (Sort::ATOM, Sort::Obj(ObjSort::Set(1))) => Ok(()),
+        _ => Err(TxError::sort(format!(
+            "membership of {st} in {ss} is ill-sorted"
+        ))),
+    }
+}
+
+/// Sort of an s-term.
+pub fn sort_of_sterm(sig: &Signature, t: &STerm) -> TxResult<Sort> {
+    match t {
+        STerm::Var(v) => Ok(v.sort),
+        STerm::Nat(_) | STerm::Str(_) => Ok(Sort::ATOM),
+        STerm::EvalObj(w, e) => {
+            expect_state(sig, w)?;
+            let s = sort_of_fterm(sig, e)?;
+            if s == Sort::State {
+                return Err(TxError::sort(
+                    "w:e applies to object-sorted fluents; use w;e for transactions",
+                ));
+            }
+            Ok(s)
+        }
+        STerm::EvalState(w, e) => {
+            expect_state(sig, w)?;
+            let s = sort_of_fterm(sig, e)?;
+            if s != Sort::State {
+                return Err(TxError::sort(format!(
+                    "w;e needs a transaction, got a fluent of sort {s}"
+                )));
+            }
+            Ok(Sort::State)
+        }
+        STerm::Attr(a, inner) => {
+            let (owner, _) = sig.attr(*a)?;
+            let got = sort_of_sterm(sig, inner)?;
+            if got != Sort::tup(owner) {
+                return Err(TxError::sort(format!(
+                    "attribute {a} selects from {owner}-ary tuples, got {got}"
+                )));
+            }
+            Ok(Sort::ATOM)
+        }
+        STerm::Select(inner, i) => match sort_of_sterm(sig, inner)? {
+            Sort::Obj(ObjSort::Tup(n)) if *i >= 1 && *i <= n => Ok(Sort::ATOM),
+            other => Err(TxError::sort(format!(
+                "select({other}, {i}) is ill-sorted"
+            ))),
+        },
+        STerm::TupleCons(parts) => {
+            for p in parts {
+                let s = sort_of_sterm(sig, p)?;
+                if s != Sort::ATOM {
+                    return Err(TxError::sort(format!(
+                        "tuple component of sort {s}, expected atom"
+                    )));
+                }
+            }
+            Ok(Sort::tup(parts.len()))
+        }
+        STerm::App(op, args) => {
+            // mirror the fluent rules over s-sorts
+            let sorts: Vec<Sort> = args
+                .iter()
+                .map(|a| sort_of_sterm(sig, a))
+                .collect::<TxResult<_>>()?;
+            match op {
+                Op::Add | Op::Monus | Op::Mul | Op::Max | Op::Min => {
+                    if sorts.iter().all(|&s| s == Sort::ATOM) {
+                        Ok(Sort::ATOM)
+                    } else {
+                        Err(TxError::sort("arithmetic over non-atoms"))
+                    }
+                }
+                Op::Sum => match sorts[0] {
+                    Sort::Obj(ObjSort::Set(1)) => Ok(Sort::ATOM),
+                    other => Err(TxError::sort(format!("sum over {other}"))),
+                },
+                Op::Size => match sorts[0] {
+                    Sort::Obj(ObjSort::Set(_)) => Ok(Sort::ATOM),
+                    other => Err(TxError::sort(format!("size of {other}"))),
+                },
+                Op::Union | Op::Inter | Op::Diff => match (sorts[0], sorts[1]) {
+                    (Sort::Obj(ObjSort::Set(m)), Sort::Obj(ObjSort::Set(n))) if m == n => {
+                        Ok(Sort::set(m))
+                    }
+                    (a, b) => Err(TxError::sort(format!("{op} of {a} and {b}"))),
+                },
+                Op::Product => match (sorts[0], sorts[1]) {
+                    (Sort::Obj(ObjSort::Set(m)), Sort::Obj(ObjSort::Set(n))) => {
+                        Ok(Sort::set(m + n))
+                    }
+                    (a, b) => Err(TxError::sort(format!("product of {a} and {b}"))),
+                },
+            }
+        }
+        STerm::SetFormer { head, cond, .. } => {
+            check_sformula(sig, cond)?;
+            match sort_of_sterm(sig, head)? {
+                Sort::ATOM => Ok(Sort::set(1)),
+                Sort::Obj(ObjSort::Tup(n)) => Ok(Sort::set(n)),
+                other => Err(TxError::sort(format!(
+                    "set-former head must be a tuple or atom, got {other}"
+                ))),
+            }
+        }
+        STerm::IdOf(inner) => match sort_of_sterm(sig, inner)? {
+            Sort::Obj(ObjSort::Tup(n)) => Ok(Sort::Obj(ObjSort::TupId(n))),
+            Sort::Obj(ObjSort::Set(n)) => Ok(Sort::Obj(ObjSort::SetId(n))),
+            other => Err(TxError::sort(format!("id of {other}"))),
+        },
+        STerm::UserApp(name, args) => {
+            for a in args {
+                sort_of_sterm(sig, a)?;
+            }
+            Err(TxError::sort(format!(
+                "user s-function {name} has no declared signature"
+            )))
+        }
+    }
+}
+
+fn expect_state(sig: &Signature, w: &STerm) -> TxResult<()> {
+    let s = sort_of_sterm(sig, w)?;
+    if s != Sort::State {
+        return Err(TxError::sort(format!(
+            "situational function applied at non-state {s}"
+        )));
+    }
+    Ok(())
+}
+
+/// Check an s-formula.
+pub fn check_sformula(sig: &Signature, f: &SFormula) -> TxResult<()> {
+    match f {
+        SFormula::True | SFormula::False => Ok(()),
+        SFormula::Holds(w, p) => {
+            expect_state(sig, w)?;
+            check_fformula(sig, p)
+        }
+        SFormula::Cmp(op, a, b) => {
+            let sa = sort_of_sterm(sig, a)?;
+            let sb = sort_of_sterm(sig, b)?;
+            // state equality is legal at the s-level (Example 4)
+            if matches!(op, CmpOp::Eq | CmpOp::Ne) && sa == Sort::State && sb == Sort::State
+            {
+                return Ok(());
+            }
+            check_cmp(*op, sa, sb)
+        }
+        SFormula::Member(t, set) => {
+            let st = sort_of_sterm(sig, t)?;
+            let ss = sort_of_sterm(sig, set)?;
+            check_membership(st, ss)
+        }
+        SFormula::Subset(a, b) => {
+            let sa = sort_of_sterm(sig, a)?;
+            let sb = sort_of_sterm(sig, b)?;
+            match (sa, sb) {
+                (Sort::Obj(ObjSort::Set(m)), Sort::Obj(ObjSort::Set(n))) if m == n => Ok(()),
+                _ => Err(TxError::sort(format!(
+                    "subset needs two sets of equal arity, got {sa} and {sb}"
+                ))),
+            }
+        }
+        SFormula::Not(q) => check_sformula(sig, q),
+        SFormula::And(a, b)
+        | SFormula::Or(a, b)
+        | SFormula::Implies(a, b)
+        | SFormula::Iff(a, b) => {
+            check_sformula(sig, a)?;
+            check_sformula(sig, b)
+        }
+        SFormula::Forall(v, q) | SFormula::Exists(v, q) => {
+            let _ = v;
+            check_sformula(sig, q)
+        }
+        SFormula::UserPred(_, args) => {
+            for a in args {
+                sort_of_sterm(sig, a)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Marker so `VarClass` appears in this module's signature discussions.
+#[allow(dead_code)]
+fn _class(_: VarClass) {}
+
+#[cfg(test)]
+use crate::sort::Var;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_fterm, parse_sformula, ParseCtx};
+
+    fn sig() -> Signature {
+        Signature::new()
+            .relation("EMP", &["e-name", "e-dept", "salary", "age", "m-status"])
+            .relation("ALLOC", &["a-emp", "a-proj", "perc"])
+            .relation("PROJ", &["p-name", "t-alloc"])
+    }
+
+    fn ctx() -> ParseCtx {
+        ParseCtx::with_relations(&["EMP", "ALLOC", "PROJ"])
+    }
+
+    #[test]
+    fn wellsorted_transaction_checks() {
+        let e = Var::tup_f("e", 5);
+        let t = parse_fterm(
+            "foreach e: 5tup | e in EMP do modify(e, salary, salary(e) + 1) end",
+            &ctx(),
+            &[e],
+        )
+        .unwrap();
+        assert_eq!(sort_of_fterm(&sig(), &t).unwrap(), Sort::State);
+    }
+
+    #[test]
+    fn arity_mismatch_caught() {
+        // inserting a 2-tuple into the 5-ary EMP
+        let t = parse_fterm("insert(tuple('x', 1), EMP)", &ctx(), &[]).unwrap();
+        assert!(sort_of_fterm(&sig(), &t).is_err());
+        // well-sorted into PROJ
+        let t = parse_fterm("insert(tuple('x', 1), PROJ)", &ctx(), &[]).unwrap();
+        assert!(sort_of_fterm(&sig(), &t).is_ok());
+    }
+
+    #[test]
+    fn attribute_owner_checked() {
+        // perc belongs to ALLOC (3-ary); applying it to an EMP variable fails
+        let e = Var::tup_f("e", 5);
+        let t = parse_fterm("perc(e)", &ctx(), &[e]).unwrap();
+        assert!(sort_of_fterm(&sig(), &t).is_err());
+        let a = Var::tup_f("a", 3);
+        let t = parse_fterm("perc(a)", &ctx(), &[a]).unwrap();
+        assert_eq!(sort_of_fterm(&sig(), &t).unwrap(), Sort::ATOM);
+    }
+
+    #[test]
+    fn modify_index_range_checked() {
+        let e = Var::tup_f("e", 5);
+        let t = parse_fterm("modify(e, 6, 0)", &ctx(), &[e]).unwrap();
+        assert!(sort_of_fterm(&sig(), &t).is_err());
+        let t = parse_fterm("modify(e, 5, 0)", &ctx(), &[e]).unwrap();
+        assert!(sort_of_fterm(&sig(), &t).is_ok());
+    }
+
+    #[test]
+    fn setformer_sorts() {
+        let t = parse_fterm(
+            "sum({ perc(a) | a: 3tup . a in ALLOC })",
+            &ctx(),
+            &[],
+        )
+        .unwrap();
+        assert_eq!(sort_of_fterm(&sig(), &t).unwrap(), Sort::ATOM);
+        // union of mismatched arities rejected
+        let t = parse_fterm("union(EMP, PROJ)", &ctx(), &[]).unwrap();
+        assert!(sort_of_fterm(&sig(), &t).is_err());
+    }
+
+    #[test]
+    fn conditional_branch_sorts_must_agree() {
+        let t = parse_fterm("if true then skip else skip", &ctx(), &[]).unwrap();
+        assert_eq!(sort_of_fterm(&sig(), &t).unwrap(), Sort::State);
+        // branches of different sorts
+        let t = FTerm::cond(FFormula::True, FTerm::Identity, FTerm::nat(3));
+        assert!(sort_of_fterm(&sig(), &t).is_err());
+    }
+
+    #[test]
+    fn builtin_constraints_all_check() {
+        // the paper's own constraints must be well-sorted
+        let srcs = [
+            "forall s: state, e': 5tup . e' in s:EMP ->
+               exists a': 3tup . a' in s:ALLOC & a-emp(a') = e-name(e')",
+            "forall s: state, e': 5tup . e' in s:EMP ->
+               sum({ perc(a') | a': 3tup . a' in s:ALLOC & a-emp(a') = e-name(e') }) <= 100",
+            "forall s: state, t: tx, e: 5tup .
+               (s:e in s:EMP & (s;t):e in (s;t):EMP)
+                 -> salary(s:e) <= salary((s;t):e)",
+            "forall s: state, t1: tx . exists t2: tx . s = (s;t1);t2",
+        ];
+        for src in srcs {
+            let f = parse_sformula(src, &ctx()).unwrap();
+            check_sformula(&sig(), &f).unwrap_or_else(|e| panic!("{src}: {e}"));
+        }
+    }
+
+    #[test]
+    fn sformula_sort_errors_caught() {
+        // comparing a state to an atom
+        let f = parse_sformula("forall s: state . s = 3", &ctx());
+        // parser allows it; sortck must reject
+        if let Ok(f) = f {
+            assert!(check_sformula(&sig(), &f).is_err());
+        }
+        // ordering states
+        let f = parse_sformula(
+            "forall s: state, t: tx . salary(s:EMP) <= 3",
+            &ctx(),
+        );
+        if let Ok(f) = f {
+            assert!(check_sformula(&sig(), &f).is_err());
+        }
+    }
+
+    #[test]
+    fn eval_obj_of_transaction_rejected() {
+        // s:(insert …) — a transaction in object position
+        let f = parse_sformula(
+            "forall s: state . size(s:EMP) = size(s:EMP)",
+            &ctx(),
+        )
+        .unwrap();
+        assert!(check_sformula(&sig(), &f).is_ok());
+        let bad = STerm::EvalObj(
+            Box::new(STerm::var(Var::state("s"))),
+            Box::new(FTerm::Identity),
+        );
+        assert!(sort_of_sterm(&sig(), &bad).is_err());
+    }
+}

@@ -1,0 +1,707 @@
+//! Free variables and capture-avoiding substitution.
+//!
+//! Substitution is the engine of the paper's iteration-fluent semantics
+//! (`foreach x | p do s` is `s[x₁/x] ;; … ;; s[xₙ/x]`), of quantifier
+//! instantiation during model checking, and of the prover's unification
+//! steps. Fluent variables are substituted by f-terms; situational
+//! variables by s-terms. Both substitutions are capture-avoiding: bound
+//! variables are renamed when they would capture a free variable of the
+//! replacement.
+
+use crate::fluent::{FFormula, FTerm};
+use crate::situational::{SFormula, STerm};
+use crate::sort::Var;
+use std::collections::{HashMap, HashSet};
+use txlog_base::Symbol;
+
+/// Collect the free variables of an f-term into `out`.
+pub fn free_vars_fterm(t: &FTerm, out: &mut HashSet<Var>) {
+    match t {
+        FTerm::Var(v) => {
+            out.insert(*v);
+        }
+        FTerm::Nat(_) | FTerm::Str(_) | FTerm::Rel(_) | FTerm::Identity => {}
+        FTerm::Attr(_, t) | FTerm::Select(t, _) | FTerm::IdOf(t) => free_vars_fterm(t, out),
+        FTerm::TupleCons(ts) | FTerm::App(_, ts) | FTerm::UserApp(_, ts) => {
+            for t in ts {
+                free_vars_fterm(t, out);
+            }
+        }
+        FTerm::SetFormer { head, vars, cond } => {
+            let mut inner = HashSet::new();
+            free_vars_fterm(head, &mut inner);
+            free_vars_fformula(cond, &mut inner);
+            for v in vars {
+                inner.remove(v);
+            }
+            out.extend(inner);
+        }
+        FTerm::Seq(a, b) => {
+            free_vars_fterm(a, out);
+            free_vars_fterm(b, out);
+        }
+        FTerm::Cond(p, a, b) => {
+            free_vars_fformula(p, out);
+            free_vars_fterm(a, out);
+            free_vars_fterm(b, out);
+        }
+        FTerm::Foreach(v, p, body) => {
+            let mut inner = HashSet::new();
+            free_vars_fformula(p, &mut inner);
+            free_vars_fterm(body, &mut inner);
+            inner.remove(v);
+            out.extend(inner);
+        }
+        FTerm::Insert(t, _) | FTerm::Delete(t, _) | FTerm::Assign(_, t) => {
+            free_vars_fterm(t, out)
+        }
+        FTerm::Modify(t, _, v) | FTerm::ModifyAttr(t, _, v) => {
+            free_vars_fterm(t, out);
+            free_vars_fterm(v, out);
+        }
+    }
+}
+
+/// Collect the free variables of an f-formula into `out`.
+pub fn free_vars_fformula(p: &FFormula, out: &mut HashSet<Var>) {
+    match p {
+        FFormula::True | FFormula::False => {}
+        FFormula::Cmp(_, a, b) | FFormula::Member(a, b) | FFormula::Subset(a, b) => {
+            free_vars_fterm(a, out);
+            free_vars_fterm(b, out);
+        }
+        FFormula::Not(q) => free_vars_fformula(q, out),
+        FFormula::And(a, b)
+        | FFormula::Or(a, b)
+        | FFormula::Implies(a, b)
+        | FFormula::Iff(a, b) => {
+            free_vars_fformula(a, out);
+            free_vars_fformula(b, out);
+        }
+        FFormula::Exists(v, q) | FFormula::Forall(v, q) => {
+            let mut inner = HashSet::new();
+            free_vars_fformula(q, &mut inner);
+            inner.remove(v);
+            out.extend(inner);
+        }
+        FFormula::UserPred(_, ts) => {
+            for t in ts {
+                free_vars_fterm(t, out);
+            }
+        }
+    }
+}
+
+/// Collect the free variables of an s-term into `out`.
+pub fn free_vars_sterm(t: &STerm, out: &mut HashSet<Var>) {
+    match t {
+        STerm::Var(v) => {
+            out.insert(*v);
+        }
+        STerm::Nat(_) | STerm::Str(_) => {}
+        STerm::EvalObj(w, e) | STerm::EvalState(w, e) => {
+            free_vars_sterm(w, out);
+            free_vars_fterm(e, out);
+        }
+        STerm::Attr(_, t) | STerm::Select(t, _) | STerm::IdOf(t) => free_vars_sterm(t, out),
+        STerm::TupleCons(ts) | STerm::App(_, ts) | STerm::UserApp(_, ts) => {
+            for t in ts {
+                free_vars_sterm(t, out);
+            }
+        }
+        STerm::SetFormer { head, vars, cond } => {
+            let mut inner = HashSet::new();
+            free_vars_sterm(head, &mut inner);
+            free_vars_sformula(cond, &mut inner);
+            for v in vars {
+                inner.remove(v);
+            }
+            out.extend(inner);
+        }
+    }
+}
+
+/// Collect the free variables of an s-formula into `out`.
+pub fn free_vars_sformula(p: &SFormula, out: &mut HashSet<Var>) {
+    match p {
+        SFormula::True | SFormula::False => {}
+        SFormula::Holds(w, q) => {
+            free_vars_sterm(w, out);
+            free_vars_fformula(q, out);
+        }
+        SFormula::Cmp(_, a, b) | SFormula::Member(a, b) | SFormula::Subset(a, b) => {
+            free_vars_sterm(a, out);
+            free_vars_sterm(b, out);
+        }
+        SFormula::Not(q) => free_vars_sformula(q, out),
+        SFormula::And(a, b)
+        | SFormula::Or(a, b)
+        | SFormula::Implies(a, b)
+        | SFormula::Iff(a, b) => {
+            free_vars_sformula(a, out);
+            free_vars_sformula(b, out);
+        }
+        SFormula::Forall(v, q) | SFormula::Exists(v, q) => {
+            let mut inner = HashSet::new();
+            free_vars_sformula(q, &mut inner);
+            inner.remove(v);
+            out.extend(inner);
+        }
+        SFormula::UserPred(_, ts) => {
+            for t in ts {
+                free_vars_sterm(t, out);
+            }
+        }
+    }
+}
+
+/// The free variables of an s-formula.
+pub fn sformula_free_vars(p: &SFormula) -> HashSet<Var> {
+    let mut out = HashSet::new();
+    free_vars_sformula(p, &mut out);
+    out
+}
+
+/// The free variables of an f-term.
+pub fn fterm_free_vars(t: &FTerm) -> HashSet<Var> {
+    let mut out = HashSet::new();
+    free_vars_fterm(t, &mut out);
+    out
+}
+
+/// A substitution mapping fluent variables to f-terms.
+pub type FSubst = HashMap<Var, FTerm>;
+
+/// A substitution mapping situational variables to s-terms.
+pub type SSubst = HashMap<Var, STerm>;
+
+/// Generate a variable not occurring in `avoid`, based on `v`'s name.
+pub fn fresh_var(v: Var, avoid: &HashSet<Var>) -> Var {
+    if !avoid.contains(&v) {
+        return v;
+    }
+    for i in 1.. {
+        let candidate = Var {
+            name: Symbol::new(&format!("{}_{i}", v.name)),
+            ..v
+        };
+        if !avoid.contains(&candidate) {
+            return candidate;
+        }
+    }
+    unreachable!("fresh variable search is unbounded")
+}
+
+fn fsubst_without(sub: &FSubst, v: Var) -> FSubst {
+    let mut s = sub.clone();
+    s.remove(&v);
+    s
+}
+
+fn replacement_fvs(sub: &FSubst) -> HashSet<Var> {
+    let mut out = HashSet::new();
+    for t in sub.values() {
+        free_vars_fterm(t, &mut out);
+    }
+    out
+}
+
+/// Apply a fluent substitution to an f-term (capture-avoiding).
+pub fn subst_fterm(t: &FTerm, sub: &FSubst) -> FTerm {
+    if sub.is_empty() {
+        return t.clone();
+    }
+    match t {
+        FTerm::Var(v) => sub.get(v).cloned().unwrap_or_else(|| t.clone()),
+        FTerm::Nat(_) | FTerm::Str(_) | FTerm::Rel(_) | FTerm::Identity => t.clone(),
+        FTerm::Attr(a, inner) => FTerm::Attr(*a, Box::new(subst_fterm(inner, sub))),
+        FTerm::Select(inner, i) => FTerm::Select(Box::new(subst_fterm(inner, sub)), *i),
+        FTerm::IdOf(inner) => FTerm::IdOf(Box::new(subst_fterm(inner, sub))),
+        FTerm::TupleCons(ts) => {
+            FTerm::TupleCons(ts.iter().map(|t| subst_fterm(t, sub)).collect())
+        }
+        FTerm::App(op, ts) => {
+            FTerm::App(*op, ts.iter().map(|t| subst_fterm(t, sub)).collect())
+        }
+        FTerm::UserApp(f, ts) => {
+            FTerm::UserApp(*f, ts.iter().map(|t| subst_fterm(t, sub)).collect())
+        }
+        FTerm::SetFormer { head, vars, cond } => {
+            let mut sub = sub.clone();
+            for v in vars {
+                sub.remove(v);
+            }
+            let clash = replacement_fvs(&sub);
+            let mut vars = vars.clone();
+            let mut renames = FSubst::new();
+            for v in vars.iter_mut() {
+                if clash.contains(v) {
+                    let mut avoid = clash.clone();
+                    avoid.insert(*v);
+                    let nv = fresh_var(*v, &avoid);
+                    renames.insert(*v, FTerm::Var(nv));
+                    *v = nv;
+                }
+            }
+            let (head2, cond2) = if renames.is_empty() {
+                ((**head).clone(), (**cond).clone())
+            } else {
+                (subst_fterm(head, &renames), subst_fformula(cond, &renames))
+            };
+            FTerm::SetFormer {
+                head: Box::new(subst_fterm(&head2, &sub)),
+                vars,
+                cond: Box::new(subst_fformula(&cond2, &sub)),
+            }
+        }
+        FTerm::Seq(a, b) => FTerm::Seq(
+            Box::new(subst_fterm(a, sub)),
+            Box::new(subst_fterm(b, sub)),
+        ),
+        FTerm::Cond(p, a, b) => FTerm::Cond(
+            Box::new(subst_fformula(p, sub)),
+            Box::new(subst_fterm(a, sub)),
+            Box::new(subst_fterm(b, sub)),
+        ),
+        FTerm::Foreach(v, p, body) => {
+            let sub2 = fsubst_without(sub, *v);
+            let clash = replacement_fvs(&sub2);
+            if clash.contains(v) {
+                let mut avoid = clash.clone();
+                avoid.insert(*v);
+                let nv = fresh_var(*v, &avoid);
+                let mut rename = FSubst::new();
+                rename.insert(*v, FTerm::Var(nv));
+                let p2 = subst_fformula(p, &rename);
+                let body2 = subst_fterm(body, &rename);
+                FTerm::Foreach(
+                    nv,
+                    Box::new(subst_fformula(&p2, &sub2)),
+                    Box::new(subst_fterm(&body2, &sub2)),
+                )
+            } else {
+                FTerm::Foreach(
+                    *v,
+                    Box::new(subst_fformula(p, &sub2)),
+                    Box::new(subst_fterm(body, &sub2)),
+                )
+            }
+        }
+        FTerm::Insert(t, r) => FTerm::Insert(Box::new(subst_fterm(t, sub)), *r),
+        FTerm::Delete(t, r) => FTerm::Delete(Box::new(subst_fterm(t, sub)), *r),
+        FTerm::Modify(t, i, v) => FTerm::Modify(
+            Box::new(subst_fterm(t, sub)),
+            *i,
+            Box::new(subst_fterm(v, sub)),
+        ),
+        FTerm::ModifyAttr(t, a, v) => FTerm::ModifyAttr(
+            Box::new(subst_fterm(t, sub)),
+            *a,
+            Box::new(subst_fterm(v, sub)),
+        ),
+        FTerm::Assign(r, s) => FTerm::Assign(*r, Box::new(subst_fterm(s, sub))),
+    }
+}
+
+/// Apply a fluent substitution to an f-formula (capture-avoiding).
+pub fn subst_fformula(p: &FFormula, sub: &FSubst) -> FFormula {
+    if sub.is_empty() {
+        return p.clone();
+    }
+    match p {
+        FFormula::True | FFormula::False => p.clone(),
+        FFormula::Cmp(op, a, b) => {
+            FFormula::Cmp(*op, subst_fterm(a, sub), subst_fterm(b, sub))
+        }
+        FFormula::Member(a, b) => FFormula::Member(subst_fterm(a, sub), subst_fterm(b, sub)),
+        FFormula::Subset(a, b) => FFormula::Subset(subst_fterm(a, sub), subst_fterm(b, sub)),
+        FFormula::Not(q) => FFormula::Not(Box::new(subst_fformula(q, sub))),
+        FFormula::And(a, b) => FFormula::And(
+            Box::new(subst_fformula(a, sub)),
+            Box::new(subst_fformula(b, sub)),
+        ),
+        FFormula::Or(a, b) => FFormula::Or(
+            Box::new(subst_fformula(a, sub)),
+            Box::new(subst_fformula(b, sub)),
+        ),
+        FFormula::Implies(a, b) => FFormula::Implies(
+            Box::new(subst_fformula(a, sub)),
+            Box::new(subst_fformula(b, sub)),
+        ),
+        FFormula::Iff(a, b) => FFormula::Iff(
+            Box::new(subst_fformula(a, sub)),
+            Box::new(subst_fformula(b, sub)),
+        ),
+        FFormula::Exists(v, q) | FFormula::Forall(v, q) => {
+            let is_exists = matches!(p, FFormula::Exists(..));
+            let sub2 = fsubst_without(sub, *v);
+            let clash = replacement_fvs(&sub2);
+            let (v2, q2) = if clash.contains(v) {
+                let mut avoid = clash.clone();
+                avoid.insert(*v);
+                let nv = fresh_var(*v, &avoid);
+                let mut rename = FSubst::new();
+                rename.insert(*v, FTerm::Var(nv));
+                (nv, subst_fformula(q, &rename))
+            } else {
+                (*v, (**q).clone())
+            };
+            let body = Box::new(subst_fformula(&q2, &sub2));
+            if is_exists {
+                FFormula::Exists(v2, body)
+            } else {
+                FFormula::Forall(v2, body)
+            }
+        }
+        FFormula::UserPred(f, ts) => {
+            FFormula::UserPred(*f, ts.iter().map(|t| subst_fterm(t, sub)).collect())
+        }
+    }
+}
+
+/// Apply a *situational* substitution to an s-term. Fluent subterms are
+/// untouched (they contain no situational variables by construction).
+pub fn subst_sterm(t: &STerm, sub: &SSubst) -> STerm {
+    if sub.is_empty() {
+        return t.clone();
+    }
+    match t {
+        STerm::Var(v) => sub.get(v).cloned().unwrap_or_else(|| t.clone()),
+        STerm::Nat(_) | STerm::Str(_) => t.clone(),
+        STerm::EvalObj(w, e) => STerm::EvalObj(Box::new(subst_sterm(w, sub)), e.clone()),
+        STerm::EvalState(w, e) => STerm::EvalState(Box::new(subst_sterm(w, sub)), e.clone()),
+        STerm::Attr(a, inner) => STerm::Attr(*a, Box::new(subst_sterm(inner, sub))),
+        STerm::Select(inner, i) => STerm::Select(Box::new(subst_sterm(inner, sub)), *i),
+        STerm::IdOf(inner) => STerm::IdOf(Box::new(subst_sterm(inner, sub))),
+        STerm::TupleCons(ts) => {
+            STerm::TupleCons(ts.iter().map(|t| subst_sterm(t, sub)).collect())
+        }
+        STerm::App(op, ts) => STerm::App(*op, ts.iter().map(|t| subst_sterm(t, sub)).collect()),
+        STerm::UserApp(f, ts) => {
+            STerm::UserApp(*f, ts.iter().map(|t| subst_sterm(t, sub)).collect())
+        }
+        STerm::SetFormer { head, vars, cond } => {
+            let mut sub2 = sub.clone();
+            for v in vars {
+                sub2.remove(v);
+            }
+            let mut clash = HashSet::new();
+            for t in sub2.values() {
+                free_vars_sterm(t, &mut clash);
+            }
+            let mut vars = vars.clone();
+            let mut renames = SSubst::new();
+            for v in vars.iter_mut() {
+                if clash.contains(v) {
+                    let mut avoid = clash.clone();
+                    avoid.insert(*v);
+                    let nv = fresh_var(*v, &avoid);
+                    renames.insert(*v, STerm::Var(nv));
+                    *v = nv;
+                }
+            }
+            let (head2, cond2) = if renames.is_empty() {
+                ((**head).clone(), (**cond).clone())
+            } else {
+                (subst_sterm(head, &renames), subst_sformula(cond, &renames))
+            };
+            STerm::SetFormer {
+                head: Box::new(subst_sterm(&head2, &sub2)),
+                vars,
+                cond: Box::new(subst_sformula(&cond2, &sub2)),
+            }
+        }
+    }
+}
+
+/// Apply a situational substitution to an s-formula (capture-avoiding).
+pub fn subst_sformula(p: &SFormula, sub: &SSubst) -> SFormula {
+    if sub.is_empty() {
+        return p.clone();
+    }
+    match p {
+        SFormula::True | SFormula::False => p.clone(),
+        SFormula::Holds(w, q) => SFormula::Holds(subst_sterm(w, sub), q.clone()),
+        SFormula::Cmp(op, a, b) => SFormula::Cmp(*op, subst_sterm(a, sub), subst_sterm(b, sub)),
+        SFormula::Member(a, b) => SFormula::Member(subst_sterm(a, sub), subst_sterm(b, sub)),
+        SFormula::Subset(a, b) => SFormula::Subset(subst_sterm(a, sub), subst_sterm(b, sub)),
+        SFormula::Not(q) => SFormula::Not(Box::new(subst_sformula(q, sub))),
+        SFormula::And(a, b) => SFormula::And(
+            Box::new(subst_sformula(a, sub)),
+            Box::new(subst_sformula(b, sub)),
+        ),
+        SFormula::Or(a, b) => SFormula::Or(
+            Box::new(subst_sformula(a, sub)),
+            Box::new(subst_sformula(b, sub)),
+        ),
+        SFormula::Implies(a, b) => SFormula::Implies(
+            Box::new(subst_sformula(a, sub)),
+            Box::new(subst_sformula(b, sub)),
+        ),
+        SFormula::Iff(a, b) => SFormula::Iff(
+            Box::new(subst_sformula(a, sub)),
+            Box::new(subst_sformula(b, sub)),
+        ),
+        SFormula::Forall(v, q) | SFormula::Exists(v, q) => {
+            let is_forall = matches!(p, SFormula::Forall(..));
+            let mut sub2 = sub.clone();
+            sub2.remove(v);
+            let mut clash = HashSet::new();
+            for t in sub2.values() {
+                free_vars_sterm(t, &mut clash);
+            }
+            let (v2, q2) = if clash.contains(v) {
+                let mut avoid = clash.clone();
+                avoid.insert(*v);
+                let nv = fresh_var(*v, &avoid);
+                let mut rename = SSubst::new();
+                rename.insert(*v, STerm::Var(nv));
+                (nv, subst_sformula(q, &rename))
+            } else {
+                (*v, (**q).clone())
+            };
+            let body = Box::new(subst_sformula(&q2, &sub2));
+            if is_forall {
+                SFormula::Forall(v2, body)
+            } else {
+                SFormula::Exists(v2, body)
+            }
+        }
+        SFormula::UserPred(f, ts) => {
+            SFormula::UserPred(*f, ts.iter().map(|t| subst_sterm(t, sub)).collect())
+        }
+    }
+}
+
+/// Substitute *fluent* variables occurring inside an s-formula's embedded
+/// f-expressions. Needed when instantiating a quantified fluent variable
+/// (e.g. replacing transaction variable `t` by a concrete transaction).
+pub fn subst_fluent_in_sformula(p: &SFormula, sub: &FSubst) -> SFormula {
+    if sub.is_empty() {
+        return p.clone();
+    }
+    match p {
+        SFormula::True | SFormula::False => p.clone(),
+        SFormula::Holds(w, q) => SFormula::Holds(
+            subst_fluent_in_sterm(w, sub),
+            subst_fformula(q, sub),
+        ),
+        SFormula::Cmp(op, a, b) => SFormula::Cmp(
+            *op,
+            subst_fluent_in_sterm(a, sub),
+            subst_fluent_in_sterm(b, sub),
+        ),
+        SFormula::Member(a, b) => SFormula::Member(
+            subst_fluent_in_sterm(a, sub),
+            subst_fluent_in_sterm(b, sub),
+        ),
+        SFormula::Subset(a, b) => SFormula::Subset(
+            subst_fluent_in_sterm(a, sub),
+            subst_fluent_in_sterm(b, sub),
+        ),
+        SFormula::Not(q) => SFormula::Not(Box::new(subst_fluent_in_sformula(q, sub))),
+        SFormula::And(a, b) => SFormula::And(
+            Box::new(subst_fluent_in_sformula(a, sub)),
+            Box::new(subst_fluent_in_sformula(b, sub)),
+        ),
+        SFormula::Or(a, b) => SFormula::Or(
+            Box::new(subst_fluent_in_sformula(a, sub)),
+            Box::new(subst_fluent_in_sformula(b, sub)),
+        ),
+        SFormula::Implies(a, b) => SFormula::Implies(
+            Box::new(subst_fluent_in_sformula(a, sub)),
+            Box::new(subst_fluent_in_sformula(b, sub)),
+        ),
+        SFormula::Iff(a, b) => SFormula::Iff(
+            Box::new(subst_fluent_in_sformula(a, sub)),
+            Box::new(subst_fluent_in_sformula(b, sub)),
+        ),
+        SFormula::Forall(v, q) | SFormula::Exists(v, q) => {
+            let is_forall = matches!(p, SFormula::Forall(..));
+            let mut sub2 = sub.clone();
+            sub2.remove(v);
+            let body = Box::new(subst_fluent_in_sformula(q, &sub2));
+            if is_forall {
+                SFormula::Forall(*v, body)
+            } else {
+                SFormula::Exists(*v, body)
+            }
+        }
+        SFormula::UserPred(f, ts) => SFormula::UserPred(
+            *f,
+            ts.iter().map(|t| subst_fluent_in_sterm(t, sub)).collect(),
+        ),
+    }
+}
+
+/// Substitute fluent variables inside an s-term's embedded f-expressions.
+pub fn subst_fluent_in_sterm(t: &STerm, sub: &FSubst) -> STerm {
+    if sub.is_empty() {
+        return t.clone();
+    }
+    match t {
+        STerm::Var(_) | STerm::Nat(_) | STerm::Str(_) => t.clone(),
+        STerm::EvalObj(w, e) => STerm::EvalObj(
+            Box::new(subst_fluent_in_sterm(w, sub)),
+            Box::new(subst_fterm(e, sub)),
+        ),
+        STerm::EvalState(w, e) => STerm::EvalState(
+            Box::new(subst_fluent_in_sterm(w, sub)),
+            Box::new(subst_fterm(e, sub)),
+        ),
+        STerm::Attr(a, inner) => STerm::Attr(*a, Box::new(subst_fluent_in_sterm(inner, sub))),
+        STerm::Select(inner, i) => {
+            STerm::Select(Box::new(subst_fluent_in_sterm(inner, sub)), *i)
+        }
+        STerm::IdOf(inner) => STerm::IdOf(Box::new(subst_fluent_in_sterm(inner, sub))),
+        STerm::TupleCons(ts) => {
+            STerm::TupleCons(ts.iter().map(|t| subst_fluent_in_sterm(t, sub)).collect())
+        }
+        STerm::App(op, ts) => STerm::App(
+            *op,
+            ts.iter().map(|t| subst_fluent_in_sterm(t, sub)).collect(),
+        ),
+        STerm::UserApp(f, ts) => STerm::UserApp(
+            *f,
+            ts.iter().map(|t| subst_fluent_in_sterm(t, sub)).collect(),
+        ),
+        STerm::SetFormer { head, vars, cond } => {
+            let mut sub2 = sub.clone();
+            for v in vars {
+                sub2.remove(v);
+            }
+            STerm::SetFormer {
+                head: Box::new(subst_fluent_in_sterm(head, &sub2)),
+                vars: vars.clone(),
+                cond: Box::new(subst_fluent_in_sformula(cond, &sub2)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sort::Var;
+
+    fn e5() -> Var {
+        Var::tup_f("e", 5)
+    }
+
+    fn x5() -> Var {
+        Var::tup_f("x", 5)
+    }
+
+    #[test]
+    fn free_vars_of_fterm() {
+        let t = FTerm::attr("salary", FTerm::var(e5())).add(FTerm::nat(100));
+        let fv = fterm_free_vars(&t);
+        assert!(fv.contains(&e5()));
+        assert_eq!(fv.len(), 1);
+    }
+
+    #[test]
+    fn foreach_binds_its_variable() {
+        let t = FTerm::foreach(
+            e5(),
+            FFormula::member(FTerm::var(e5()), FTerm::rel("EMP")),
+            FTerm::delete(FTerm::var(e5()), "EMP"),
+        );
+        assert!(fterm_free_vars(&t).is_empty());
+    }
+
+    #[test]
+    fn substitution_replaces_free_occurrences_only() {
+        let body = FTerm::delete(FTerm::var(e5()), "EMP");
+        let inner = FTerm::foreach(
+            e5(),
+            FFormula::member(FTerm::var(e5()), FTerm::rel("EMP")),
+            body.clone(),
+        );
+        // e is bound inside; substituting e leaves the foreach alone
+        let mut sub = FSubst::new();
+        sub.insert(e5(), FTerm::var(x5()));
+        let replaced = subst_fterm(&inner, &sub);
+        assert_eq!(replaced, inner);
+        // but a free occurrence is replaced
+        let replaced = subst_fterm(&body, &sub);
+        assert_eq!(replaced, FTerm::delete(FTerm::var(x5()), "EMP"));
+    }
+
+    #[test]
+    fn capture_is_avoided_in_foreach() {
+        // foreach x | x in R do insert(tuple(attr(e)), S)
+        // substituting e := x must rename the binder, not capture.
+        let body = FTerm::insert(
+            FTerm::TupleCons(vec![FTerm::attr("a", FTerm::var(e5()))]),
+            "S",
+        );
+        let t = FTerm::foreach(
+            x5(),
+            FFormula::member(FTerm::var(x5()), FTerm::rel("R")),
+            body,
+        );
+        let mut sub = FSubst::new();
+        sub.insert(e5(), FTerm::var(x5()));
+        let out = subst_fterm(&t, &sub);
+        match out {
+            FTerm::Foreach(v, _, body) => {
+                assert_ne!(v, x5(), "binder must be renamed to avoid capture");
+                let fv = fterm_free_vars(&body);
+                assert!(fv.contains(&x5()), "substituted x must remain free");
+            }
+            other => panic!("expected foreach, got {other}"),
+        }
+    }
+
+    #[test]
+    fn situational_substitution_reaches_under_eval() {
+        let s = Var::state("s");
+        let s2 = Var::state("s2");
+        let t = STerm::var(s).eval_obj(FTerm::rel("EMP"));
+        let mut sub = SSubst::new();
+        sub.insert(s, STerm::var(s2));
+        let out = subst_sterm(&t, &sub);
+        assert_eq!(out.to_string(), "s2:EMP");
+    }
+
+    #[test]
+    fn fluent_substitution_inside_sformula() {
+        // Instantiate transaction variable t with a concrete delete.
+        let s = Var::state("s");
+        let t = Var::transaction("t");
+        let f = SFormula::eq(
+            STerm::var(s).eval_state(FTerm::var(t)),
+            STerm::var(s),
+        );
+        let mut sub = FSubst::new();
+        sub.insert(t, FTerm::Identity);
+        let out = subst_fluent_in_sformula(&f, &sub);
+        assert_eq!(out.to_string(), "s;Λ = s");
+    }
+
+    #[test]
+    fn quantifier_shadowing_in_sformula() {
+        let s = Var::state("s");
+        let body = SFormula::forall(
+            s,
+            SFormula::eq(STerm::var(s), STerm::var(s)),
+        );
+        let mut sub = SSubst::new();
+        sub.insert(s, STerm::nat(0));
+        // s is bound: substitution must not reach inside
+        assert_eq!(subst_sformula(&body, &sub), body);
+    }
+
+    #[test]
+    fn fresh_var_avoids_collisions() {
+        let v = e5();
+        let mut avoid = HashSet::new();
+        assert_eq!(fresh_var(v, &avoid), v);
+        avoid.insert(v);
+        let nv = fresh_var(v, &avoid);
+        assert_ne!(nv, v);
+        assert_eq!(nv.sort, v.sort);
+        assert_eq!(nv.class, v.class);
+    }
+}

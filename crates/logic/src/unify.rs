@@ -1,0 +1,257 @@
+//! Many-sorted first-order unification over s-terms.
+//!
+//! Used by the deductive-tableau prover's nonclausal resolution rule:
+//! two rows resolve on subformulas whose atoms unify. Unification binds
+//! **situational variables** to s-terms of the same sort; embedded fluent
+//! expressions are treated as rigid structure except that a fluent
+//! *variable* unifies with an identical fluent variable only (fluent
+//! higher-order unification is deliberately out of scope — the paper's
+//! proofs never need it).
+
+use crate::fluent::FTerm;
+use crate::situational::STerm;
+use crate::sort::{Sort, Var};
+use crate::subst::{subst_sterm, SSubst};
+use std::collections::HashSet;
+
+/// Attempt to unify `a` and `b` under the pre-existing bindings `sub`,
+/// extending `sub` on success. Variables in `frozen` act as constants
+/// (used for universally-quantified variables of the goal side).
+pub fn unify_sterms(a: &STerm, b: &STerm, sub: &mut SSubst, frozen: &HashSet<Var>) -> bool {
+    let a = resolve(a, sub);
+    let b = resolve(b, sub);
+    match (&a, &b) {
+        (STerm::Var(x), STerm::Var(y)) if x == y => true,
+        (STerm::Var(x), t) if !frozen.contains(x) => bind(*x, t, sub),
+        (t, STerm::Var(y)) if !frozen.contains(y) => bind(*y, t, sub),
+        (STerm::Var(_), _) | (_, STerm::Var(_)) => false,
+        (STerm::Nat(m), STerm::Nat(n)) => m == n,
+        (STerm::Str(p), STerm::Str(q)) => p == q,
+        (STerm::EvalObj(w1, e1), STerm::EvalObj(w2, e2))
+        | (STerm::EvalState(w1, e1), STerm::EvalState(w2, e2)) => {
+            fterm_rigid_eq(e1, e2) && unify_sterms(w1, w2, sub, frozen)
+        }
+        (STerm::Attr(a1, t1), STerm::Attr(a2, t2)) => {
+            a1 == a2 && unify_sterms(t1, t2, sub, frozen)
+        }
+        (STerm::Select(t1, i1), STerm::Select(t2, i2)) => {
+            i1 == i2 && unify_sterms(t1, t2, sub, frozen)
+        }
+        (STerm::IdOf(t1), STerm::IdOf(t2)) => unify_sterms(t1, t2, sub, frozen),
+        (STerm::TupleCons(xs), STerm::TupleCons(ys)) => unify_seq(xs, ys, sub, frozen),
+        (STerm::App(o1, xs), STerm::App(o2, ys)) => o1 == o2 && unify_seq(xs, ys, sub, frozen),
+        (STerm::UserApp(f1, xs), STerm::UserApp(f2, ys)) => {
+            f1 == f2 && unify_seq(xs, ys, sub, frozen)
+        }
+        // Set formers unify only when syntactically equal (α-equivalence
+        // would require renaming machinery the prover does not need).
+        (
+            STerm::SetFormer { .. },
+            STerm::SetFormer { .. },
+        ) => a == b,
+        _ => false,
+    }
+}
+
+fn unify_seq(xs: &[STerm], ys: &[STerm], sub: &mut SSubst, frozen: &HashSet<Var>) -> bool {
+    xs.len() == ys.len()
+        && xs
+            .iter()
+            .zip(ys)
+            .all(|(x, y)| unify_sterms(x, y, sub, frozen))
+}
+
+/// Rigid equality on embedded fluent expressions.
+fn fterm_rigid_eq(a: &FTerm, b: &FTerm) -> bool {
+    a == b
+}
+
+/// Walk a term through the current bindings (one level of variable at a
+/// time, applying the substitution fully at variable positions).
+fn resolve(t: &STerm, sub: &SSubst) -> STerm {
+    match t {
+        STerm::Var(v) => match sub.get(v) {
+            Some(bound) => resolve(&bound.clone(), sub),
+            None => t.clone(),
+        },
+        _ => t.clone(),
+    }
+}
+
+fn bind(v: Var, t: &STerm, sub: &mut SSubst) -> bool {
+    if sort_of(t).is_some_and(|s| s != v.sort) {
+        return false;
+    }
+    if occurs(v, t, sub) {
+        return false;
+    }
+    sub.insert(v, t.clone());
+    true
+}
+
+/// Occurs check through the current bindings.
+fn occurs(v: Var, t: &STerm, sub: &SSubst) -> bool {
+    match t {
+        STerm::Var(x) => {
+            if *x == v {
+                return true;
+            }
+            match sub.get(x) {
+                Some(bound) => occurs(v, &bound.clone(), sub),
+                None => false,
+            }
+        }
+        STerm::Nat(_) | STerm::Str(_) => false,
+        STerm::EvalObj(w, _) | STerm::EvalState(w, _) => occurs(v, w, sub),
+        STerm::Attr(_, t) | STerm::Select(t, _) | STerm::IdOf(t) => occurs(v, t, sub),
+        STerm::TupleCons(ts) | STerm::App(_, ts) | STerm::UserApp(_, ts) => {
+            ts.iter().any(|t| occurs(v, t, sub))
+        }
+        STerm::SetFormer { head, cond: _, .. } => occurs(v, head, sub),
+    }
+}
+
+/// Best-effort sort computation for unification's sort discipline. `None`
+/// means "unknown" (schema-dependent), which unifies with anything.
+pub fn sort_of(t: &STerm) -> Option<Sort> {
+    match t {
+        STerm::Var(v) => Some(v.sort),
+        STerm::Nat(_) | STerm::Str(_) => Some(Sort::ATOM),
+        STerm::EvalState(..) => Some(Sort::State),
+        STerm::EvalObj(_, e) => e.sort_hint(),
+        STerm::Attr(..) | STerm::Select(..) => Some(Sort::ATOM),
+        STerm::TupleCons(ts) => Some(Sort::tup(ts.len())),
+        STerm::App(op, _) => {
+            use crate::fluent::Op;
+            match op {
+                Op::Add | Op::Monus | Op::Mul | Op::Max | Op::Min | Op::Sum | Op::Size => {
+                    Some(Sort::ATOM)
+                }
+                _ => None,
+            }
+        }
+        STerm::SetFormer { .. } | STerm::IdOf(_) | STerm::UserApp(..) => None,
+    }
+}
+
+/// Apply the final substitution to a term (full normalization).
+pub fn apply(t: &STerm, sub: &SSubst) -> STerm {
+    subst_sterm(t, sub)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fluent::FTerm;
+
+    fn s() -> Var {
+        Var::state("s")
+    }
+
+    fn w() -> Var {
+        Var::state("w")
+    }
+
+    #[test]
+    fn unify_variable_with_term() {
+        let mut sub = SSubst::new();
+        let frozen = HashSet::new();
+        let lhs = STerm::var(s());
+        let rhs = STerm::var(w()).eval_state(FTerm::Identity);
+        assert!(unify_sterms(&lhs, &rhs, &mut sub, &frozen));
+        assert_eq!(apply(&lhs, &sub).to_string(), "w;Λ");
+    }
+
+    #[test]
+    fn frozen_variables_act_as_constants() {
+        let mut sub = SSubst::new();
+        let mut frozen = HashSet::new();
+        frozen.insert(s());
+        let lhs = STerm::var(s());
+        let rhs = STerm::var(w());
+        // s is frozen but w is not: w binds to s
+        assert!(unify_sterms(&lhs, &rhs, &mut sub, &frozen));
+        assert_eq!(sub.get(&w()), Some(&STerm::var(s())));
+    }
+
+    #[test]
+    fn occurs_check_blocks_cyclic_binding() {
+        let mut sub = SSubst::new();
+        let frozen = HashSet::new();
+        let lhs = STerm::var(s());
+        let rhs = STerm::var(s()).eval_state(FTerm::Identity);
+        assert!(!unify_sterms(&lhs, &rhs, &mut sub, &frozen));
+    }
+
+    #[test]
+    fn sort_discipline_enforced() {
+        let mut sub = SSubst::new();
+        let frozen = HashSet::new();
+        // state variable cannot bind a natural
+        assert!(!unify_sterms(
+            &STerm::var(s()),
+            &STerm::nat(3),
+            &mut sub,
+            &frozen
+        ));
+        // atom variable can
+        let x = Var::atom_s("x");
+        assert!(unify_sterms(
+            &STerm::var(x),
+            &STerm::nat(3),
+            &mut sub,
+            &frozen
+        ));
+    }
+
+    #[test]
+    fn structural_unification_descends() {
+        let mut sub = SSubst::new();
+        let frozen = HashSet::new();
+        let e = Var::tup_s("e", 5);
+        let lhs = STerm::attr("salary", STerm::var(e));
+        let f = Var::tup_s("f", 5);
+        let rhs = STerm::attr("salary", STerm::var(f));
+        assert!(unify_sterms(&lhs, &rhs, &mut sub, &frozen));
+        // mismatched attribute names fail
+        let rhs_bad = STerm::attr("age", STerm::var(f));
+        let mut sub2 = SSubst::new();
+        assert!(!unify_sterms(&lhs, &rhs_bad, &mut sub2, &frozen));
+    }
+
+    #[test]
+    fn rigid_fluents_must_match_exactly() {
+        let mut sub = SSubst::new();
+        let frozen = HashSet::new();
+        let a = STerm::var(s()).eval_obj(FTerm::rel("EMP"));
+        let b = STerm::var(w()).eval_obj(FTerm::rel("EMP"));
+        assert!(unify_sterms(&a, &b, &mut sub, &frozen));
+        let c = STerm::var(w()).eval_obj(FTerm::rel("DEPT"));
+        let mut sub2 = SSubst::new();
+        assert!(!unify_sterms(&a, &c, &mut sub2, &frozen));
+    }
+
+    #[test]
+    fn transitive_binding_resolution() {
+        let mut sub = SSubst::new();
+        let frozen = HashSet::new();
+        let u = Var::state("u");
+        assert!(unify_sterms(
+            &STerm::var(s()),
+            &STerm::var(w()),
+            &mut sub,
+            &frozen
+        ));
+        assert!(unify_sterms(
+            &STerm::var(w()),
+            &STerm::var(u),
+            &mut sub,
+            &frozen
+        ));
+        // all three now co-refer
+        let a = apply(&STerm::var(s()), &sub);
+        let b = apply(&STerm::var(w()), &sub);
+        // both resolve through chains to u (possibly in one step)
+        assert_eq!(apply(&a, &sub), apply(&b, &sub));
+    }
+}

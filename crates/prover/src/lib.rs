@@ -1,0 +1,25 @@
+//! Theorem proving and transaction verification for the transaction
+//! logic.
+//!
+//! Three layers:
+//!
+//! * [`simplify`] — rewriting with the fluent laws and ground arithmetic;
+//! * [`regress()`](regress()) — symbolic regression through transactions using the
+//!   action/frame axioms as directed rules (weakest preconditions);
+//! * [`tableau`] — a Manna–Waldinger deductive tableau (nonclausal
+//!   resolution over rows) for the first-order entailments that remain;
+//! * [`verify`] — the user-facing API: regression → tableau → randomized
+//!   bounded model checking, returning an honest [`Verdict`] (`Proved`,
+//!   `Refuted` with witness, `ModelChecked` with budget, or `Unknown`).
+
+#![warn(missing_docs)]
+
+pub mod regress;
+pub mod simplify;
+pub mod tableau;
+pub mod verify;
+
+pub use regress::{regress, Regressed};
+pub use simplify::{simplify_sformula, simplify_sterm};
+pub use tableau::{entails, entails_with, Limits, Proof, Tableau};
+pub use verify::{instantiate_transaction, verify_preserves, Verdict, VerifyOptions};

@@ -1,0 +1,554 @@
+//! Symbolic regression through transactions.
+//!
+//! The action and frame axioms of Section 2 oriented as rewrite rules:
+//! evaluations at a successor state `w ; prim` are pushed back to
+//! evaluations at `w`, so that "constraint holds after the transaction"
+//! becomes a formula about the state *before* it — the classical
+//! weakest-precondition move the paper's transaction-verification story
+//! relies on.
+//!
+//! Supported primitive steps: `Λ`, `;;`, `if` (as a case split at the
+//! formula level), `insert`, `delete`, `assign`. `modify` is pushed
+//! through when the modified tuple is syntactically the evaluated tuple;
+//! `foreach` has no finite rule and leaves a residue. [`regress`] reports
+//! whether the result is residue-free; callers fall back to bounded model
+//! checking otherwise (see `verify`).
+
+use crate::simplify::{simplify_sformula, simplify_sterm};
+use txlog_base::Symbol;
+use txlog_logic::{CmpOp, FFormula, FTerm, SFormula, STerm};
+
+/// The result of regression.
+#[derive(Clone, Debug)]
+pub struct Regressed {
+    /// The rewritten formula.
+    pub formula: SFormula,
+    /// True iff no `EvalState` over a concrete transaction remains.
+    pub complete: bool,
+}
+
+/// Regress all successor-state evaluations in `f` as far as the rules
+/// allow.
+pub fn regress(f: &SFormula) -> Regressed {
+    // Iterate to a fixpoint (bounded): each pass may expose new redexes
+    // (e.g. after a case split).
+    let mut cur = simplify_sformula(f);
+    for _ in 0..32 {
+        let next = simplify_sformula(&regress_formula(&cur));
+        if next == cur {
+            break;
+        }
+        cur = next;
+    }
+    let complete = !has_concrete_eval_state(&cur);
+    Regressed {
+        formula: cur,
+        complete,
+    }
+}
+
+fn regress_formula(f: &SFormula) -> SFormula {
+    // First, a conditional step anywhere in the formula becomes a case
+    // split on the whole formula.
+    if let Some((w, p, a, b)) = find_cond(f) {
+        let then_f = replace_cond(f, &w, &p, &a, &b, true);
+        let else_f = replace_cond(f, &w, &p, &a, &b, false);
+        let guard = SFormula::Holds(w, p);
+        return guard
+            .clone()
+            .implies(then_f)
+            .and(guard.not().implies(else_f));
+    }
+    map_formula(f)
+}
+
+fn map_formula(f: &SFormula) -> SFormula {
+    match f {
+        SFormula::True | SFormula::False => f.clone(),
+        SFormula::Holds(w, p) => regress_holds(w, p),
+        SFormula::Cmp(op, a, b) => SFormula::Cmp(*op, regress_term(a), regress_term(b)),
+        SFormula::Member(x, set) => regress_member(x, set),
+        SFormula::Subset(a, b) => SFormula::Subset(regress_term(a), regress_term(b)),
+        SFormula::Not(q) => SFormula::Not(Box::new(map_formula(q))),
+        SFormula::And(a, b) => SFormula::And(
+            Box::new(map_formula(a)),
+            Box::new(map_formula(b)),
+        ),
+        SFormula::Or(a, b) => SFormula::Or(
+            Box::new(map_formula(a)),
+            Box::new(map_formula(b)),
+        ),
+        SFormula::Implies(a, b) => SFormula::Implies(
+            Box::new(map_formula(a)),
+            Box::new(map_formula(b)),
+        ),
+        SFormula::Iff(a, b) => SFormula::Iff(
+            Box::new(map_formula(a)),
+            Box::new(map_formula(b)),
+        ),
+        SFormula::Forall(v, q) => SFormula::Forall(*v, Box::new(map_formula(q))),
+        SFormula::Exists(v, q) => SFormula::Exists(*v, Box::new(map_formula(q))),
+        SFormula::UserPred(n, ts) => {
+            SFormula::UserPred(*n, ts.iter().map(regress_term).collect())
+        }
+    }
+}
+
+/// `x ∈ (w;prim):R` — the action/frame rules for membership.
+fn regress_member(x: &STerm, set: &STerm) -> SFormula {
+    let x = regress_term(x);
+    let set = simplify_sterm(set);
+    if let STerm::EvalObj(w, e) = &set {
+        if let STerm::EvalState(w0, step) = &**w {
+            if let FTerm::Rel(r) = &**e {
+                match &**step {
+                    FTerm::Insert(t, r2) => {
+                        let before = STerm::EvalObj(w0.clone(), e.clone());
+                        if r == r2 {
+                            // insert-action + insert-frame (same relation):
+                            // x ∈ R∪{t}  ↔  x ∈ R ∨ x = t
+                            let t_val = STerm::EvalObj(w0.clone(), t.clone());
+                            return SFormula::Member(x.clone(), before)
+                                .or(SFormula::Cmp(CmpOp::Eq, x, t_val));
+                        }
+                        // insert-frame (other relation)
+                        return SFormula::Member(x, before);
+                    }
+                    FTerm::Delete(t, r2) => {
+                        let before = STerm::EvalObj(w0.clone(), e.clone());
+                        if r == r2 {
+                            // delete-action: x ∈ R∖{t} ↔ x ∈ R ∧ x ≠ t
+                            let t_val = STerm::EvalObj(w0.clone(), t.clone());
+                            return SFormula::Member(x.clone(), before)
+                                .and(SFormula::Cmp(CmpOp::Ne, x, t_val));
+                        }
+                        return SFormula::Member(x, before);
+                    }
+                    FTerm::Assign(r2, s_expr) => {
+                        if r == r2 {
+                            // assign-action: membership in the assigned set
+                            let set_before = STerm::EvalObj(w0.clone(), s_expr.clone());
+                            return SFormula::Member(x, set_before);
+                        }
+                        let before = STerm::EvalObj(w0.clone(), e.clone());
+                        return SFormula::Member(x, before);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    SFormula::Member(x, regress_term(&set))
+}
+
+/// `(w;prim) :: p` — regress the inner formula when the step is a pure
+/// membership-preserving frame case; otherwise leave a residue.
+fn regress_holds(w: &STerm, p: &FFormula) -> SFormula {
+    let w = simplify_sterm(w);
+    if let STerm::EvalState(w0, step) = &w {
+        // frame for relations untouched by the step: if p only mentions
+        // relations other than the one the step writes, evaluation
+        // commutes with the step.
+        if let FTerm::Insert(_, r) | FTerm::Delete(_, r) | FTerm::Assign(r, _) = &**step {
+            if !fformula_mentions(p, *r) {
+                return SFormula::Holds((**w0).clone(), p.clone());
+            }
+        }
+    }
+    SFormula::Holds(w, p.clone())
+}
+
+fn regress_term(t: &STerm) -> STerm {
+    let t = simplify_sterm(t);
+    match &t {
+        // attribute of a tuple after a modify of *that* tuple
+        STerm::Attr(attr, inner) => {
+            if let STerm::EvalObj(w, e) = &**inner {
+                if let STerm::EvalState(w0, step) = &**w {
+                    if let FTerm::ModifyAttr(t2, attr2, v) = &**step {
+                        if **t2 == **e {
+                            if attr == attr2 {
+                                // modify-action
+                                return STerm::EvalObj(w0.clone(), v.clone());
+                            }
+                            // modify-frame (same tuple, other attribute)
+                            return STerm::Attr(
+                                *attr,
+                                Box::new(STerm::EvalObj(w0.clone(), e.clone())),
+                            );
+                        }
+                    }
+                    // frame: attribute reads commute with steps that do
+                    // not modify tuples (insert/delete/assign never change
+                    // an existing tuple's attributes — though delete can
+                    // remove the tuple entirely, which the classical
+                    // reading glosses; the verifier cross-checks).
+                    if matches!(
+                        &**step,
+                        FTerm::Insert(..) | FTerm::Assign(..)
+                    ) {
+                        return STerm::Attr(
+                            *attr,
+                            Box::new(STerm::EvalObj(w0.clone(), e.clone())),
+                        );
+                    }
+                }
+            }
+            STerm::Attr(*attr, Box::new(regress_term(inner)))
+        }
+        STerm::EvalObj(w, e) => {
+            STerm::EvalObj(Box::new(regress_term(w)), e.clone())
+        }
+        STerm::App(op, ts) => STerm::App(*op, ts.iter().map(regress_term).collect()),
+        STerm::TupleCons(ts) => STerm::TupleCons(ts.iter().map(regress_term).collect()),
+        STerm::Select(inner, i) => STerm::Select(Box::new(regress_term(inner)), *i),
+        STerm::IdOf(inner) => STerm::IdOf(Box::new(regress_term(inner))),
+        _ => t,
+    }
+}
+
+fn fformula_mentions(p: &FFormula, rel: Symbol) -> bool {
+    fn term(t: &FTerm, rel: Symbol) -> bool {
+        match t {
+            FTerm::Rel(r) => *r == rel,
+            FTerm::Attr(_, t) | FTerm::Select(t, _) | FTerm::IdOf(t) => term(t, rel),
+            FTerm::TupleCons(ts) | FTerm::App(_, ts) | FTerm::UserApp(_, ts) => {
+                ts.iter().any(|t| term(t, rel))
+            }
+            FTerm::SetFormer { head, cond, .. } => {
+                term(head, rel) || fformula_mentions(cond, rel)
+            }
+            _ => false,
+        }
+    }
+    match p {
+        FFormula::True | FFormula::False => false,
+        FFormula::Cmp(_, a, b) | FFormula::Member(a, b) | FFormula::Subset(a, b) => {
+            term(a, rel) || term(b, rel)
+        }
+        FFormula::Not(q) => fformula_mentions(q, rel),
+        FFormula::And(a, b)
+        | FFormula::Or(a, b)
+        | FFormula::Implies(a, b)
+        | FFormula::Iff(a, b) => fformula_mentions(a, rel) || fformula_mentions(b, rel),
+        FFormula::Exists(_, q) | FFormula::Forall(_, q) => fformula_mentions(q, rel),
+        FFormula::UserPred(_, ts) => ts.iter().any(|t| term(t, rel)),
+    }
+}
+
+// ---------------------------------------------------------------------
+// conditional case splits
+// ---------------------------------------------------------------------
+
+type CondParts = (STerm, FFormula, FTerm, FTerm);
+
+/// Find the first `w ; (if p then a else b)` inside the formula.
+fn find_cond(f: &SFormula) -> Option<CondParts> {
+    fn in_term(t: &STerm) -> Option<CondParts> {
+        match t {
+            STerm::EvalState(w, e) => {
+                if let FTerm::Cond(p, a, b) = &**e {
+                    return Some((
+                        (**w).clone(),
+                        (**p).clone(),
+                        (**a).clone(),
+                        (**b).clone(),
+                    ));
+                }
+                in_term(w)
+            }
+            STerm::EvalObj(w, _) => in_term(w),
+            STerm::Attr(_, t) | STerm::Select(t, _) | STerm::IdOf(t) => in_term(t),
+            STerm::TupleCons(ts) | STerm::App(_, ts) | STerm::UserApp(_, ts) => {
+                ts.iter().find_map(in_term)
+            }
+            STerm::SetFormer { head, cond, .. } => {
+                in_term(head).or_else(|| find_cond(cond))
+            }
+            _ => None,
+        }
+    }
+    match f {
+        SFormula::True | SFormula::False => None,
+        SFormula::Holds(w, _) => in_term(w),
+        SFormula::Cmp(_, a, b) | SFormula::Member(a, b) | SFormula::Subset(a, b) => {
+            in_term(a).or_else(|| in_term(b))
+        }
+        SFormula::Not(q) => find_cond(q),
+        SFormula::And(a, b)
+        | SFormula::Or(a, b)
+        | SFormula::Implies(a, b)
+        | SFormula::Iff(a, b) => find_cond(a).or_else(|| find_cond(b)),
+        SFormula::Forall(_, q) | SFormula::Exists(_, q) => find_cond(q),
+        SFormula::UserPred(_, ts) => ts.iter().find_map(in_term),
+    }
+}
+
+/// Replace every occurrence of `w ; (if p then a else b)` by the chosen
+/// branch.
+fn replace_cond(
+    f: &SFormula,
+    w: &STerm,
+    p: &FFormula,
+    a: &FTerm,
+    b: &FTerm,
+    take_then: bool,
+) -> SFormula {
+    let target = STerm::EvalState(
+        Box::new(w.clone()),
+        Box::new(FTerm::Cond(
+            Box::new(p.clone()),
+            Box::new(a.clone()),
+            Box::new(b.clone()),
+        )),
+    );
+    let replacement = STerm::EvalState(
+        Box::new(w.clone()),
+        Box::new(if take_then { a.clone() } else { b.clone() }),
+    );
+    replace_term_in_formula(f, &target, &replacement)
+}
+
+fn replace_term_in_formula(f: &SFormula, from: &STerm, to: &STerm) -> SFormula {
+    let rt = |t: &STerm| replace_term(t, from, to);
+    match f {
+        SFormula::True | SFormula::False => f.clone(),
+        SFormula::Holds(w, p) => SFormula::Holds(rt(w), p.clone()),
+        SFormula::Cmp(op, a, b) => SFormula::Cmp(*op, rt(a), rt(b)),
+        SFormula::Member(a, b) => SFormula::Member(rt(a), rt(b)),
+        SFormula::Subset(a, b) => SFormula::Subset(rt(a), rt(b)),
+        SFormula::Not(q) => SFormula::Not(Box::new(replace_term_in_formula(q, from, to))),
+        SFormula::And(a, b) => SFormula::And(
+            Box::new(replace_term_in_formula(a, from, to)),
+            Box::new(replace_term_in_formula(b, from, to)),
+        ),
+        SFormula::Or(a, b) => SFormula::Or(
+            Box::new(replace_term_in_formula(a, from, to)),
+            Box::new(replace_term_in_formula(b, from, to)),
+        ),
+        SFormula::Implies(a, b) => SFormula::Implies(
+            Box::new(replace_term_in_formula(a, from, to)),
+            Box::new(replace_term_in_formula(b, from, to)),
+        ),
+        SFormula::Iff(a, b) => SFormula::Iff(
+            Box::new(replace_term_in_formula(a, from, to)),
+            Box::new(replace_term_in_formula(b, from, to)),
+        ),
+        SFormula::Forall(v, q) => {
+            SFormula::Forall(*v, Box::new(replace_term_in_formula(q, from, to)))
+        }
+        SFormula::Exists(v, q) => {
+            SFormula::Exists(*v, Box::new(replace_term_in_formula(q, from, to)))
+        }
+        SFormula::UserPred(n, ts) => {
+            SFormula::UserPred(*n, ts.iter().map(rt).collect())
+        }
+    }
+}
+
+fn replace_term(t: &STerm, from: &STerm, to: &STerm) -> STerm {
+    if t == from {
+        return to.clone();
+    }
+    match t {
+        STerm::EvalObj(w, e) => {
+            STerm::EvalObj(Box::new(replace_term(w, from, to)), e.clone())
+        }
+        STerm::EvalState(w, e) => {
+            STerm::EvalState(Box::new(replace_term(w, from, to)), e.clone())
+        }
+        STerm::Attr(a, inner) => STerm::Attr(*a, Box::new(replace_term(inner, from, to))),
+        STerm::Select(inner, i) => {
+            STerm::Select(Box::new(replace_term(inner, from, to)), *i)
+        }
+        STerm::IdOf(inner) => STerm::IdOf(Box::new(replace_term(inner, from, to))),
+        STerm::TupleCons(ts) => {
+            STerm::TupleCons(ts.iter().map(|t| replace_term(t, from, to)).collect())
+        }
+        STerm::App(op, ts) => {
+            STerm::App(*op, ts.iter().map(|t| replace_term(t, from, to)).collect())
+        }
+        STerm::UserApp(n, ts) => {
+            STerm::UserApp(*n, ts.iter().map(|t| replace_term(t, from, to)).collect())
+        }
+        STerm::SetFormer { head, vars, cond } => STerm::SetFormer {
+            head: Box::new(replace_term(head, from, to)),
+            vars: vars.clone(),
+            cond: Box::new(replace_term_in_formula(cond, from, to)),
+        },
+        _ => t.clone(),
+    }
+}
+
+/// Does the formula still contain an evaluation at a successor of a
+/// *concrete* transaction (anything but a transaction variable)?
+pub fn has_concrete_eval_state(f: &SFormula) -> bool {
+    fn in_term(t: &STerm) -> bool {
+        match t {
+            STerm::EvalState(w, e) => {
+                !matches!(&**e, FTerm::Var(_)) || in_term(w)
+            }
+            STerm::EvalObj(w, _) => in_term(w),
+            STerm::Attr(_, t) | STerm::Select(t, _) | STerm::IdOf(t) => in_term(t),
+            STerm::TupleCons(ts) | STerm::App(_, ts) | STerm::UserApp(_, ts) => {
+                ts.iter().any(in_term)
+            }
+            STerm::SetFormer { head, cond, .. } => {
+                in_term(head) || has_concrete_eval_state(cond)
+            }
+            _ => false,
+        }
+    }
+    match f {
+        SFormula::True | SFormula::False => false,
+        SFormula::Holds(w, _) => in_term(w),
+        SFormula::Cmp(_, a, b) | SFormula::Member(a, b) | SFormula::Subset(a, b) => {
+            in_term(a) || in_term(b)
+        }
+        SFormula::Not(q) => has_concrete_eval_state(q),
+        SFormula::And(a, b)
+        | SFormula::Or(a, b)
+        | SFormula::Implies(a, b)
+        | SFormula::Iff(a, b) => has_concrete_eval_state(a) || has_concrete_eval_state(b),
+        SFormula::Forall(_, q) | SFormula::Exists(_, q) => has_concrete_eval_state(q),
+        SFormula::UserPred(_, ts) => ts.iter().any(in_term),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txlog_logic::{parse_sformula_with_params, ParseCtx, Var};
+
+    fn ctx() -> ParseCtx {
+        ParseCtx::with_relations(&["R", "S"])
+    }
+
+    #[test]
+    fn insert_action_regresses_membership() {
+        // x' ∈ (s;insert(tuple(1),R)):R  ⇝  x' ∈ s:R ∨ x' = ⟨1⟩
+        let x = Var::tup_s("x", 1);
+        let s = Var::state("s");
+        let f = parse_sformula_with_params(
+            "x' in (s;insert(tuple(1), R)):R",
+            &ctx(),
+            &[x, s],
+        )
+        .unwrap();
+        let r = regress(&f);
+        assert!(r.complete, "residue: {}", r.formula);
+        let text = r.formula.to_string();
+        assert!(text.contains("x' in s:R"), "got {text}");
+        assert!(text.contains("x' = tuple(1)"), "got {text}");
+    }
+
+    #[test]
+    fn insert_frame_other_relation() {
+        let x = Var::tup_s("x", 1);
+        let s = Var::state("s");
+        let f = parse_sformula_with_params(
+            "x' in (s;insert(tuple(1), R)):S",
+            &ctx(),
+            &[x, s],
+        )
+        .unwrap();
+        let r = regress(&f);
+        assert!(r.complete);
+        assert_eq!(r.formula.to_string(), "x' in s:S");
+    }
+
+    #[test]
+    fn delete_action_regresses() {
+        let x = Var::tup_s("x", 1);
+        let s = Var::state("s");
+        let f = parse_sformula_with_params(
+            "x' in (s;delete(tuple(1), R)):R",
+            &ctx(),
+            &[x, s],
+        )
+        .unwrap();
+        let r = regress(&f);
+        assert!(r.complete);
+        let text = r.formula.to_string();
+        assert!(text.contains("x' in s:R"));
+        assert!(text.contains("!="));
+    }
+
+    #[test]
+    fn sequence_regresses_stepwise() {
+        let x = Var::tup_s("x", 1);
+        let s = Var::state("s");
+        let f = parse_sformula_with_params(
+            "x' in (s;(insert(tuple(1), R) ;; insert(tuple(2), R))):R",
+            &ctx(),
+            &[x, s],
+        )
+        .unwrap();
+        let r = regress(&f);
+        assert!(r.complete, "residue: {}", r.formula);
+        let text = r.formula.to_string();
+        assert!(text.contains("x' in s:R"));
+        assert!(text.contains("tuple(1)"));
+        assert!(text.contains("tuple(2)"));
+    }
+
+    #[test]
+    fn conditional_becomes_case_split() {
+        let x = Var::tup_s("x", 1);
+        let s = Var::state("s");
+        let f = parse_sformula_with_params(
+            "x' in (s;(if tuple(0) in R then insert(tuple(1), R) else skip)):R",
+            &ctx(),
+            &[x, s],
+        )
+        .unwrap();
+        let r = regress(&f);
+        assert!(r.complete, "residue: {}", r.formula);
+        let text = r.formula.to_string();
+        assert!(text.contains("s::("), "case split guard missing: {text}");
+    }
+
+    #[test]
+    fn foreach_leaves_residue() {
+        let x = Var::tup_s("x", 1);
+        let s = Var::state("s");
+        let f = parse_sformula_with_params(
+            "x' in (s;(foreach y: 1tup | y in R do delete(y, R) end)):R",
+            &ctx(),
+            &[x, s],
+        )
+        .unwrap();
+        let r = regress(&f);
+        assert!(!r.complete);
+    }
+
+    #[test]
+    fn modify_action_on_same_tuple() {
+        let s = Var::state("s");
+        let e = Var::tup_f("e", 2);
+        let f = parse_sformula_with_params(
+            "a((s;modify(e, a, 7)):e) = 7",
+            &ParseCtx::with_relations(&["R"]),
+            &[s, e],
+        )
+        .unwrap();
+        let r = regress(&f);
+        assert!(r.complete, "residue: {}", r.formula);
+        assert_eq!(r.formula, SFormula::True, "got {}", r.formula);
+    }
+
+    #[test]
+    fn modify_frame_on_other_attribute() {
+        let s = Var::state("s");
+        let e = Var::tup_f("e", 2);
+        let f = parse_sformula_with_params(
+            "b((s;modify(e, a, 7)):e) = b(s:e)",
+            &ParseCtx::with_relations(&["R"]),
+            &[s, e],
+        )
+        .unwrap();
+        let r = regress(&f);
+        assert!(r.complete, "residue: {}", r.formula);
+        assert_eq!(r.formula, SFormula::True, "got {}", r.formula);
+    }
+}

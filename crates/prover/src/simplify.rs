@@ -1,0 +1,281 @@
+//! Formula simplification shared by the tableau and the regressor.
+//!
+//! Propositional folding, ground arithmetic, and the fluent laws of
+//! Section 2 oriented as rewrite rules:
+//!
+//! * `w ; Λ → w` (identity-fluent),
+//! * `w ; (a ;; b) → (w ; a) ; b` (composition-linkage),
+//! * reflexive equality `x = x → true`.
+//!
+//! Note on partiality: the simplifier works in the *classical* reading
+//! the prover uses — terms denote. `x = x → true` is unsound in the
+//! model checker's negative free logic when `x` fails to denote; the
+//! verification layer therefore cross-checks every symbolic verdict by
+//! model checking (see `verify`).
+
+use txlog_logic::{CmpOp, FTerm, SFormula, STerm};
+
+/// Simplify an s-term (fluent laws + constant folding).
+pub fn simplify_sterm(t: &STerm) -> STerm {
+    match t {
+        STerm::EvalState(w, e) => {
+            let w = simplify_sterm(w);
+            match &**e {
+                // identity-fluent
+                FTerm::Identity => w,
+                // composition-linkage: associate to the left so primitive
+                // steps surface one at a time
+                FTerm::Seq(a, b) => {
+                    let mid = simplify_sterm(&STerm::EvalState(
+                        Box::new(w),
+                        a.clone(),
+                    ));
+                    simplify_sterm(&STerm::EvalState(Box::new(mid), b.clone()))
+                }
+                _ => STerm::EvalState(Box::new(w), e.clone()),
+            }
+        }
+        STerm::EvalObj(w, e) => {
+            // rigid f-terms are state-independent: w : tuple(7, 'x') → ⟨7, 'x'⟩
+            if let Some(s) = rigid_fterm_to_sterm(e) {
+                return s;
+            }
+            STerm::EvalObj(Box::new(simplify_sterm(w)), e.clone())
+        }
+        STerm::Attr(a, inner) => STerm::Attr(*a, Box::new(simplify_sterm(inner))),
+        STerm::Select(inner, i) => STerm::Select(Box::new(simplify_sterm(inner)), *i),
+        STerm::IdOf(inner) => STerm::IdOf(Box::new(simplify_sterm(inner))),
+        STerm::TupleCons(ts) => STerm::TupleCons(ts.iter().map(simplify_sterm).collect()),
+        STerm::App(op, ts) => {
+            let ts: Vec<STerm> = ts.iter().map(simplify_sterm).collect();
+            // ground arithmetic folding
+            use txlog_logic::Op;
+            if let (Op::Add | Op::Monus | Op::Mul, [STerm::Nat(a), STerm::Nat(b)]) =
+                (*op, ts.as_slice())
+            {
+                let v = match op {
+                    Op::Add => a.checked_add(*b),
+                    Op::Monus => Some(a.saturating_sub(*b)),
+                    Op::Mul => a.checked_mul(*b),
+                    _ => None,
+                };
+                if let Some(v) = v {
+                    return STerm::Nat(v);
+                }
+            }
+            STerm::App(*op, ts)
+        }
+        STerm::SetFormer { head, vars, cond } => STerm::SetFormer {
+            head: Box::new(simplify_sterm(head)),
+            vars: vars.clone(),
+            cond: Box::new(simplify_sformula(cond)),
+        },
+        _ => t.clone(),
+    }
+}
+
+/// Convert a *rigid* f-term (no variables, relations, or state-dependent
+/// parts) into the s-term it denotes at every state.
+fn rigid_fterm_to_sterm(e: &FTerm) -> Option<STerm> {
+    match e {
+        FTerm::Nat(n) => Some(STerm::Nat(*n)),
+        FTerm::Str(s) => Some(STerm::Str(*s)),
+        FTerm::TupleCons(ts) => {
+            let parts: Option<Vec<STerm>> = ts.iter().map(rigid_fterm_to_sterm).collect();
+            parts.map(STerm::TupleCons)
+        }
+        FTerm::App(op, ts) => {
+            let parts: Option<Vec<STerm>> = ts.iter().map(rigid_fterm_to_sterm).collect();
+            parts.map(|p| simplify_sterm(&STerm::App(*op, p)))
+        }
+        _ => None,
+    }
+}
+
+/// Does `f` occur as a disjunct of the (possibly nested) or-tree `tree`?
+fn or_contains(tree: &SFormula, f: &SFormula) -> bool {
+    if tree == f {
+        return true;
+    }
+    match tree {
+        SFormula::Or(a, b) => or_contains(a, f) || or_contains(b, f),
+        _ => false,
+    }
+}
+
+/// Does `f` occur as a conjunct of the (possibly nested) and-tree `tree`?
+fn and_contains(tree: &SFormula, f: &SFormula) -> bool {
+    if tree == f {
+        return true;
+    }
+    match tree {
+        SFormula::And(a, b) => and_contains(a, f) || and_contains(b, f),
+        _ => false,
+    }
+}
+
+/// Simplify an s-formula.
+pub fn simplify_sformula(f: &SFormula) -> SFormula {
+    match f {
+        SFormula::True | SFormula::False => f.clone(),
+        SFormula::Holds(w, p) => SFormula::Holds(simplify_sterm(w), p.clone()),
+        SFormula::Cmp(op, a, b) => {
+            let a = simplify_sterm(a);
+            let b = simplify_sterm(b);
+            // ground comparisons
+            if let (STerm::Nat(x), STerm::Nat(y)) = (&a, &b) {
+                let v = match op {
+                    CmpOp::Eq => x == y,
+                    CmpOp::Ne => x != y,
+                    CmpOp::Lt => x < y,
+                    CmpOp::Le => x <= y,
+                    CmpOp::Gt => x > y,
+                    CmpOp::Ge => x >= y,
+                };
+                return if v { SFormula::True } else { SFormula::False };
+            }
+            if let (STerm::Str(x), STerm::Str(y)) = (&a, &b) {
+                let v = match op {
+                    CmpOp::Eq => x == y,
+                    CmpOp::Ne => x != y,
+                    _ => return SFormula::Cmp(*op, a, b),
+                };
+                return if v { SFormula::True } else { SFormula::False };
+            }
+            // reflexivity (classical reading: terms denote)
+            if a == b && *op == CmpOp::Eq {
+                return SFormula::True;
+            }
+            if a == b && *op == CmpOp::Ne {
+                return SFormula::False;
+            }
+            SFormula::Cmp(*op, a, b)
+        }
+        SFormula::Member(a, b) => {
+            SFormula::Member(simplify_sterm(a), simplify_sterm(b))
+        }
+        SFormula::Subset(a, b) => {
+            let a = simplify_sterm(a);
+            let b = simplify_sterm(b);
+            if a == b {
+                return SFormula::True; // X ⊆ X
+            }
+            SFormula::Subset(a, b)
+        }
+        SFormula::Not(q) => match simplify_sformula(q) {
+            SFormula::True => SFormula::False,
+            SFormula::False => SFormula::True,
+            SFormula::Not(inner) => *inner,
+            q => SFormula::Not(Box::new(q)),
+        },
+        SFormula::And(a, b) => match (simplify_sformula(a), simplify_sformula(b)) {
+            (SFormula::False, _) | (_, SFormula::False) => SFormula::False,
+            (SFormula::True, q) | (q, SFormula::True) => q,
+            (p, q) if p == q => p,
+            (p, q) => SFormula::And(Box::new(p), Box::new(q)),
+        },
+        SFormula::Or(a, b) => match (simplify_sformula(a), simplify_sformula(b)) {
+            (SFormula::True, _) | (_, SFormula::True) => SFormula::True,
+            (SFormula::False, q) | (q, SFormula::False) => q,
+            (p, q) if p == q => p,
+            (p, q) => SFormula::Or(Box::new(p), Box::new(q)),
+        },
+        SFormula::Implies(a, b) => match (simplify_sformula(a), simplify_sformula(b)) {
+            (SFormula::False, _) | (_, SFormula::True) => SFormula::True,
+            (SFormula::True, q) => q,
+            (p, SFormula::False) => simplify_sformula(&SFormula::Not(Box::new(p))),
+            (p, q) if p == q => SFormula::True,
+            // subsumption: p → (… ∨ p ∨ …) and (… ∧ q ∧ …) → q
+            (p, q) if or_contains(&q, &p) => SFormula::True,
+            (p, q) if and_contains(&p, &q) => SFormula::True,
+            (p, q) => SFormula::Implies(Box::new(p), Box::new(q)),
+        },
+        SFormula::Iff(a, b) => match (simplify_sformula(a), simplify_sformula(b)) {
+            (SFormula::True, q) | (q, SFormula::True) => q,
+            (SFormula::False, q) | (q, SFormula::False) => {
+                simplify_sformula(&SFormula::Not(Box::new(q)))
+            }
+            (p, q) if p == q => SFormula::True,
+            (p, q) => SFormula::Iff(Box::new(p), Box::new(q)),
+        },
+        SFormula::Forall(v, q) => match simplify_sformula(q) {
+            SFormula::True => SFormula::True,
+            SFormula::False => SFormula::False,
+            q => SFormula::Forall(*v, Box::new(q)),
+        },
+        SFormula::Exists(v, q) => match simplify_sformula(q) {
+            SFormula::True => SFormula::True,
+            SFormula::False => SFormula::False,
+            q => SFormula::Exists(*v, Box::new(q)),
+        },
+        SFormula::UserPred(name, ts) => {
+            SFormula::UserPred(*name, ts.iter().map(simplify_sterm).collect())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txlog_logic::{FFormula, Var};
+
+    #[test]
+    fn identity_fluent_rewrites() {
+        let s = Var::state("s");
+        let t = STerm::var(s).eval_state(FTerm::Identity);
+        assert_eq!(simplify_sterm(&t), STerm::var(s));
+        let f = SFormula::eq(t, STerm::var(s));
+        assert_eq!(simplify_sformula(&f), SFormula::True);
+    }
+
+    #[test]
+    fn composition_associates_left() {
+        let s = Var::state("s");
+        let a = FTerm::insert(FTerm::nat(1), "R");
+        let b = FTerm::insert(FTerm::nat(2), "R");
+        let t = STerm::var(s).eval_state(a.clone().seq(b.clone()));
+        let simplified = simplify_sterm(&t);
+        assert_eq!(
+            simplified,
+            STerm::var(s).eval_state(a).eval_state(b)
+        );
+    }
+
+    #[test]
+    fn ground_arithmetic_folds() {
+        let f = SFormula::lt(
+            STerm::App(txlog_logic::Op::Add, vec![STerm::Nat(2), STerm::Nat(3)]),
+            STerm::Nat(10),
+        );
+        assert_eq!(simplify_sformula(&f), SFormula::True);
+        let f = SFormula::eq(STerm::Str("a".into()), STerm::Str("b".into()));
+        assert_eq!(simplify_sformula(&f), SFormula::False);
+    }
+
+    #[test]
+    fn propositional_folding() {
+        let p = SFormula::member(
+            STerm::var(Var::tup_s("e", 1)),
+            STerm::var(Var::state("s")).eval_obj(FTerm::rel("R")),
+        );
+        let f = SFormula::True.and(p.clone()).or(SFormula::False);
+        assert_eq!(simplify_sformula(&f), p);
+        let f = p.clone().implies(p.clone());
+        assert_eq!(simplify_sformula(&f), SFormula::True);
+        let f = SFormula::forall(Var::state("s"), SFormula::True);
+        assert_eq!(simplify_sformula(&f), SFormula::True);
+    }
+
+    #[test]
+    fn holds_state_simplifies() {
+        let s = Var::state("s");
+        let f = SFormula::Holds(
+            STerm::var(s).eval_state(FTerm::Identity),
+            FFormula::True,
+        );
+        assert_eq!(
+            simplify_sformula(&f),
+            SFormula::Holds(STerm::var(s), FFormula::True)
+        );
+    }
+}

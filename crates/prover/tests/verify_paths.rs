@@ -1,0 +1,205 @@
+//! The verification pipeline's three decision paths, each exercised:
+//! pure regression, regression + tableau (static premises close the
+//! residual obligation), and the model-checking fallback.
+
+use txlog_base::{Atom, TxResult};
+use txlog_engine::Env;
+use txlog_logic::{parse_fterm, parse_sformula, ParseCtx};
+use txlog_prover::{
+    entails, instantiate_transaction, regress, simplify_sformula, verify_preserves,
+    Verdict, VerifyOptions,
+};
+use txlog_relational::{DbState, Schema};
+
+fn schema() -> Schema {
+    Schema::new()
+        .relation("R", &["a"])
+        .expect("schema builds")
+        .relation("S", &["b"])
+        .expect("schema builds")
+}
+
+fn ctx() -> ParseCtx {
+    ParseCtx::with_relations(&["R", "S"])
+}
+
+fn gen(schema: &Schema) -> impl Fn(u64) -> TxResult<DbState> + '_ {
+    move |seed| {
+        let rid = schema.rel_id("R")?;
+        let sid = schema.rel_id("S")?;
+        let db = schema.initial_state();
+        let (db, _) = db.insert_fields(rid, &[Atom::nat(seed % 3)])?;
+        let (db, _) = db.insert_fields(sid, &[Atom::nat(seed % 3)])?;
+        Ok(db)
+    }
+}
+
+/// Path 1 — regression alone: membership growth under insert.
+#[test]
+fn path_regression_alone() {
+    let schema = schema();
+    let constraint = parse_sformula(
+        "forall s: state, t: tx, x': 1tup . x' in s:R -> x' in (s;t):R",
+        &ctx(),
+    )
+    .expect("parses");
+    let tx = parse_fterm("insert(tuple(7), R) ;; insert(tuple(8), R)", &ctx(), &[])
+        .expect("parses");
+    let v = verify_preserves(
+        &schema,
+        &tx,
+        "grow",
+        &Env::new(),
+        &constraint,
+        &[],
+        &gen(&schema),
+        &VerifyOptions::default(),
+    );
+    assert!(
+        matches!(v, Verdict::Proved { method: "regression", .. }),
+        "{v:?}"
+    );
+}
+
+/// Path 2 — regression leaves a residual that the static premises close
+/// via the tableau: after inserting into S, membership in S still covers
+/// R, because statically R ⊆ S (as an implication) and the insert only
+/// grows S.
+#[test]
+fn path_regression_plus_tableau() {
+    let schema = schema();
+    // constraint: R-membership implies *post*-state S-membership
+    let constraint = parse_sformula(
+        "forall s: state, t: tx, x': 1tup . x' in s:R -> x' in (s;t):S",
+        &ctx(),
+    )
+    .expect("parses");
+    // static premise: R ⊆ S pointwise
+    let premise = parse_sformula(
+        "forall s: state, x': 1tup . x' in s:R -> x' in s:S",
+        &ctx(),
+    )
+    .expect("parses");
+    let tx = parse_fterm("insert(tuple(9), S)", &ctx(), &[]).expect("parses");
+
+    // sanity: the regressed sentence is NOT trivially true…
+    let inst = instantiate_transaction(&constraint, &tx).expect("one tx var");
+    let regressed = regress(&inst);
+    assert!(regressed.complete);
+    assert_ne!(
+        simplify_sformula(&regressed.formula),
+        txlog_logic::SFormula::True
+    );
+    // …but follows from the premise:
+    assert!(entails(&[premise.clone()], &regressed.formula).is_ok());
+
+    let v = verify_preserves(
+        &schema,
+        &tx,
+        "pad-s",
+        &Env::new(),
+        &constraint,
+        &[premise],
+        &gen(&schema),
+        &VerifyOptions::default(),
+    );
+    assert!(
+        matches!(v, Verdict::Proved { method: "regression+tableau", steps } if steps >= 1),
+        "{v:?}"
+    );
+}
+
+/// Path 3 — foreach residue forces the model-checking fallback; verdict
+/// is honest about it. (The constraint carries a definedness guard —
+/// `∃u. s;t = u` — because in finite models the last state has no
+/// outgoing arcs and an unguarded `(s;t)`-atom would be vacuously false
+/// there; cf. the same guard on the composition axioms.)
+#[test]
+fn path_model_checked() {
+    let schema = schema();
+    let constraint = parse_sformula(
+        "forall s: state, t: tx, x': 1tup .
+           ((exists u: state . s;t = u) & x' in s:S) -> x' in (s;t):S",
+        &ctx(),
+    )
+    .expect("parses");
+    let tx = parse_fterm(
+        "foreach x: 1tup | x in R do insert(x, S) end",
+        &ctx(),
+        &[],
+    )
+    .expect("parses");
+    let v = verify_preserves(
+        &schema,
+        &tx,
+        "copy-r-into-s",
+        &Env::new(),
+        &constraint,
+        &[],
+        &gen(&schema),
+        &VerifyOptions::default(),
+    );
+    assert!(matches!(v, Verdict::ModelChecked { models } if models > 0), "{v:?}");
+}
+
+/// Refutation wins over everything: a violating transaction is reported
+/// with a witness even when the constraint looks plausible.
+#[test]
+fn path_refuted_with_witness() {
+    let schema = schema();
+    let constraint = parse_sformula(
+        "forall s: state, t: tx, x': 1tup . x' in s:S -> x' in (s;t):S",
+        &ctx(),
+    )
+    .expect("parses");
+    let tx = parse_fterm(
+        "foreach x: 1tup | x in S do delete(x, S) end",
+        &ctx(),
+        &[],
+    )
+    .expect("parses");
+    let v = verify_preserves(
+        &schema,
+        &tx,
+        "clear-s",
+        &Env::new(),
+        &constraint,
+        &[],
+        &gen(&schema),
+        &VerifyOptions::default(),
+    );
+    match v {
+        Verdict::Refuted { witness } => {
+            assert!(witness.contains("clear-s"), "{witness}");
+        }
+        other => panic!("expected refutation, got {other:?}"),
+    }
+}
+
+/// model_check_only skips the symbolic stages even where they would win.
+#[test]
+fn forced_model_check_only() {
+    let schema = schema();
+    let constraint = parse_sformula(
+        "forall s: state, t: tx, x': 1tup .
+           ((exists u: state . s;t = u) & x' in s:R) -> x' in (s;t):R",
+        &ctx(),
+    )
+    .expect("parses");
+    let tx = parse_fterm("insert(tuple(7), R)", &ctx(), &[]).expect("parses");
+    let opts = VerifyOptions {
+        model_check_only: true,
+        ..VerifyOptions::default()
+    };
+    let v = verify_preserves(
+        &schema,
+        &tx,
+        "grow",
+        &Env::new(),
+        &constraint,
+        &[],
+        &gen(&schema),
+        &opts,
+    );
+    assert!(matches!(v, Verdict::ModelChecked { .. }), "{v:?}");
+}

@@ -1,0 +1,378 @@
+//! The database evolution graph.
+//!
+//! Section 1 of the paper depicts database evolution as a directed graph
+//! whose nodes are states and whose arcs are transactions, with three
+//! structural properties: it is **not complete** (not every state reaches
+//! every other), it is a **multi-graph** (several transactions may connect
+//! the same pair of states), and it is **reflexive and transitive** (the
+//! null transaction `Λ` connects every state to itself; the composition of
+//! two transactions is a transaction).
+//!
+//! [`EvolutionGraph`] is a finite such graph. It is the *model* against
+//! which the engine evaluates s-formulas: state-sorted situational
+//! variables range over its nodes, state-sorted fluent variables range
+//! over its arc labels, and `s ; t` is the (unique — transactions are
+//! deterministic) target of the `t`-labelled arc leaving `s`.
+//!
+//! States are deduplicated by content, so executing the same transaction
+//! from the same state twice yields the same node.
+
+use crate::state::DbState;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::fmt;
+use txlog_base::{StateId, Symbol, TxError, TxResult};
+
+/// A transaction label on an arc: the (interned) name of the transaction
+/// that produced the transition.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxLabel(Symbol);
+
+impl TxLabel {
+    /// A label with the given display name.
+    pub fn new(name: &str) -> TxLabel {
+        TxLabel(Symbol::new(name))
+    }
+
+    /// The label of the null transaction `Λ`.
+    pub fn identity() -> TxLabel {
+        TxLabel(Symbol::new("Λ"))
+    }
+
+    /// The label of the sequential composition `self ;; other`. Composition
+    /// with `Λ` is absorbed on either side (the paper's `identity-fluent`
+    /// axiom: `Λ ;; s = s ;; Λ = s`).
+    pub fn compose(self, other: TxLabel) -> TxLabel {
+        let id = TxLabel::identity();
+        if self == id {
+            return other;
+        }
+        if other == id {
+            return self;
+        }
+        TxLabel(Symbol::new(&format!("{} ;; {}", self.0, other.0)))
+    }
+
+    /// The underlying symbol.
+    pub fn symbol(self) -> Symbol {
+        self.0
+    }
+}
+
+impl fmt::Display for TxLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for TxLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TxLabel({})", self.0)
+    }
+}
+
+/// A finite evolution graph: deduplicated states plus labelled arcs.
+#[derive(Clone, Default)]
+pub struct EvolutionGraph {
+    states: Vec<DbState>,
+    digests: HashMap<u64, Vec<StateId>>,
+    /// (src, label) → dst. Determinism: a transaction has one result state.
+    arcs: HashMap<(StateId, TxLabel), StateId>,
+    /// src → outgoing (label, dst), deterministic order.
+    out: HashMap<StateId, BTreeSet<(TxLabel, StateId)>>,
+}
+
+impl EvolutionGraph {
+    /// An empty graph.
+    pub fn new() -> EvolutionGraph {
+        EvolutionGraph::default()
+    }
+
+    /// Add a state, deduplicating by content. Returns its identity.
+    pub fn add_state(&mut self, s: DbState) -> StateId {
+        let digest = s.content_digest();
+        if let Some(candidates) = self.digests.get(&digest) {
+            for &id in candidates {
+                if self.states[id.raw() as usize].content_eq(&s) {
+                    return id;
+                }
+            }
+        }
+        let id = StateId(u32::try_from(self.states.len()).expect("state id overflow"));
+        self.states.push(s);
+        self.digests.entry(digest).or_default().push(id);
+        id
+    }
+
+    /// The state named by `id`.
+    pub fn state(&self, id: StateId) -> &DbState {
+        &self.states[id.raw() as usize]
+    }
+
+    /// All state identities, in creation order.
+    pub fn state_ids(&self) -> impl Iterator<Item = StateId> + '_ {
+        (0..self.states.len()).map(|i| StateId(i as u32))
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of arcs.
+    pub fn arc_count(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Add an arc `src --label--> dst`. Errors if the same (src, label)
+    /// pair already points elsewhere — transactions are deterministic
+    /// programs, so the result state is unique.
+    pub fn add_arc(&mut self, src: StateId, label: TxLabel, dst: StateId) -> TxResult<()> {
+        if let Some(&existing) = self.arcs.get(&(src, label)) {
+            if existing != dst {
+                return Err(TxError::eval(format!(
+                    "non-deterministic arc: {src} --{label}--> both {existing} and {dst}"
+                )));
+            }
+            return Ok(());
+        }
+        self.arcs.insert((src, label), dst);
+        self.out.entry(src).or_default().insert((label, dst));
+        Ok(())
+    }
+
+    /// The target of the `label`-arc from `src`, if any — the denotation
+    /// of `s ; t` in this model.
+    pub fn successor(&self, src: StateId, label: TxLabel) -> Option<StateId> {
+        self.arcs.get(&(src, label)).copied()
+    }
+
+    /// Outgoing (label, dst) pairs of `src`, in deterministic order.
+    pub fn out_arcs(&self, src: StateId) -> impl Iterator<Item = (TxLabel, StateId)> + '_ {
+        self.out.get(&src).into_iter().flatten().copied()
+    }
+
+    /// All arcs as (src, label, dst), in deterministic order.
+    pub fn arcs(&self) -> Vec<(StateId, TxLabel, StateId)> {
+        let mut v: Vec<_> = self
+            .arcs
+            .iter()
+            .map(|(&(s, l), &d)| (s, l, d))
+            .collect();
+        v.sort_by_key(|&(s, l, d)| (s, l.symbol().index(), d));
+        v
+    }
+
+    /// The set of distinct arc labels — the finite domain over which
+    /// state-sorted *fluent* variables range when evaluating s-formulas.
+    pub fn labels(&self) -> Vec<TxLabel> {
+        let mut v: Vec<TxLabel> = self.arcs.keys().map(|&(_, l)| l).collect();
+        v.sort_by_key(|l| l.symbol().index());
+        v.dedup();
+        v
+    }
+
+    /// Add the `Λ` self-loop at every state (reflexivity).
+    pub fn reflexive_close(&mut self) {
+        let id = TxLabel::identity();
+        for s in self.state_ids().collect::<Vec<_>>() {
+            self.add_arc(s, id, s)
+                .expect("identity self-loop is always consistent");
+        }
+    }
+
+    /// Transitive closure on *reachability*: for every path a →…→ c with no
+    /// direct arc, add one composed arc a → c whose label is the
+    /// composition of the path labels. Adding only one witness per (a, c)
+    /// pair keeps closure finite while preserving the property the logic
+    /// needs: `∃t. a;t = c` iff `c` is reachable from `a`.
+    pub fn transitive_close(&mut self) {
+        loop {
+            let mut added = false;
+            let snapshot = self.arcs();
+            for &(a, l1, b) in &snapshot {
+                for (l2, c) in self.out.get(&b).cloned().into_iter().flatten() {
+                    let has_ac = self
+                        .out
+                        .get(&a)
+                        .is_some_and(|s| s.iter().any(|&(_, d)| d == c));
+                    if !has_ac {
+                        self.add_arc(a, l1.compose(l2), c)
+                            .expect("fresh composed label cannot conflict");
+                        added = true;
+                    }
+                }
+            }
+            if !added {
+                break;
+            }
+        }
+    }
+
+    /// True iff `dst` is reachable from `src` by a (possibly empty) arc
+    /// path. Every state reaches itself (the paper's reflexivity), whether
+    /// or not `reflexive_close` has run.
+    pub fn reachable(&self, src: StateId, dst: StateId) -> bool {
+        if src == dst {
+            return true;
+        }
+        let mut seen = vec![false; self.states.len()];
+        let mut queue = VecDeque::from([src]);
+        seen[src.raw() as usize] = true;
+        while let Some(s) = queue.pop_front() {
+            for (_, d) in self.out_arcs(s) {
+                if d == dst {
+                    return true;
+                }
+                if !seen[d.raw() as usize] {
+                    seen[d.raw() as usize] = true;
+                    queue.push_back(d);
+                }
+            }
+        }
+        false
+    }
+}
+
+impl fmt::Debug for EvolutionGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "EvolutionGraph({} states, {} arcs)",
+            self.state_count(),
+            self.arc_count()
+        )?;
+        for (s, l, d) in self.arcs() {
+            writeln!(f, "  {s} --{l}--> {d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txlog_base::{Atom, RelId};
+
+    fn state_with(n: u64) -> DbState {
+        let s = DbState::new().with_relation(RelId(0), 1).unwrap();
+        s.insert_fields(RelId(0), &[Atom::nat(n)]).unwrap().0
+    }
+
+    #[test]
+    fn states_deduplicate_by_content() {
+        let mut g = EvolutionGraph::new();
+        let a = g.add_state(state_with(1));
+        let b = g.add_state(state_with(1));
+        let c = g.add_state(state_with(2));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(g.state_count(), 2);
+    }
+
+    #[test]
+    fn arcs_are_functional_per_label() {
+        let mut g = EvolutionGraph::new();
+        let a = g.add_state(state_with(1));
+        let b = g.add_state(state_with(2));
+        let c = g.add_state(state_with(3));
+        let t = TxLabel::new("hire");
+        g.add_arc(a, t, b).unwrap();
+        // re-adding the same arc is fine
+        g.add_arc(a, t, b).unwrap();
+        // pointing the same (src, label) elsewhere is not
+        assert!(g.add_arc(a, t, c).is_err());
+    }
+
+    #[test]
+    fn successor_lookup() {
+        let mut g = EvolutionGraph::new();
+        let a = g.add_state(state_with(1));
+        let b = g.add_state(state_with(2));
+        let t = TxLabel::new("fire");
+        g.add_arc(a, t, b).unwrap();
+        assert_eq!(g.successor(a, t), Some(b));
+        assert_eq!(g.successor(b, t), None);
+    }
+
+    #[test]
+    fn reflexive_closure_adds_identity_loops() {
+        let mut g = EvolutionGraph::new();
+        let a = g.add_state(state_with(1));
+        let b = g.add_state(state_with(2));
+        g.reflexive_close();
+        assert_eq!(g.successor(a, TxLabel::identity()), Some(a));
+        assert_eq!(g.successor(b, TxLabel::identity()), Some(b));
+    }
+
+    #[test]
+    fn transitive_closure_creates_composed_witness() {
+        let mut g = EvolutionGraph::new();
+        let a = g.add_state(state_with(1));
+        let b = g.add_state(state_with(2));
+        let c = g.add_state(state_with(3));
+        g.add_arc(a, TxLabel::new("t1"), b).unwrap();
+        g.add_arc(b, TxLabel::new("t2"), c).unwrap();
+        g.transitive_close();
+        // some arc a → c now exists
+        assert!(g.out_arcs(a).any(|(_, d)| d == c));
+        let label = g
+            .out_arcs(a)
+            .find(|&(_, d)| d == c)
+            .map(|(l, _)| l)
+            .unwrap();
+        assert_eq!(label.to_string(), "t1 ;; t2");
+    }
+
+    #[test]
+    fn label_composition_respects_identity_axiom() {
+        let t = TxLabel::new("hire");
+        let id = TxLabel::identity();
+        assert_eq!(t.compose(id), t);
+        assert_eq!(id.compose(t), t);
+        assert_eq!(id.compose(id), id);
+    }
+
+    #[test]
+    fn label_composition_is_associative_on_display() {
+        let (a, b, c) = (TxLabel::new("a"), TxLabel::new("b"), TxLabel::new("c"));
+        assert_eq!(a.compose(b).compose(c), a.compose(b.compose(c)));
+    }
+
+    #[test]
+    fn reachability() {
+        let mut g = EvolutionGraph::new();
+        let a = g.add_state(state_with(1));
+        let b = g.add_state(state_with(2));
+        let c = g.add_state(state_with(3));
+        let d = g.add_state(state_with(4));
+        g.add_arc(a, TxLabel::new("x"), b).unwrap();
+        g.add_arc(b, TxLabel::new("y"), c).unwrap();
+        assert!(g.reachable(a, c));
+        assert!(g.reachable(a, a)); // reflexive without closure
+        assert!(!g.reachable(c, a)); // directed
+        assert!(!g.reachable(a, d)); // not complete
+    }
+
+    #[test]
+    fn labels_enumeration_is_deduplicated() {
+        let mut g = EvolutionGraph::new();
+        let a = g.add_state(state_with(1));
+        let b = g.add_state(state_with(2));
+        let t = TxLabel::new("same");
+        g.add_arc(a, t, b).unwrap();
+        g.add_arc(b, t, a).unwrap();
+        assert_eq!(g.labels(), vec![t]);
+    }
+
+    #[test]
+    fn multigraph_allows_parallel_arcs_with_distinct_labels() {
+        // Property (2) of Section 1: more than one transaction may
+        // transform one state into another.
+        let mut g = EvolutionGraph::new();
+        let a = g.add_state(state_with(1));
+        let b = g.add_state(state_with(2));
+        g.add_arc(a, TxLabel::new("raise-by-100"), b).unwrap();
+        g.add_arc(a, TxLabel::new("set-salary-to-600"), b).unwrap();
+        assert_eq!(g.out_arcs(a).count(), 2);
+    }
+}

@@ -1,0 +1,40 @@
+//! Relational substrate for the situational transaction logic.
+//!
+//! The paper (Section 3) views a relational database as a *model* of the
+//! situational transaction theory: a set of computational states, each
+//! assigning values to attributes, tuples, and relations, connected by
+//! transactions into an *evolution graph*. This crate builds exactly that
+//! substrate:
+//!
+//! * [`Tuple`] — an n-ary tuple with a stable [`TupleId`]; identity is the
+//!   value of the paper's `id` function and survives `modify`.
+//! * [`Relation`] — an identified finite set of tuples of one arity.
+//! * [`DbState`] — a persistent (copy-on-write) database state. Cloning is
+//!   O(#relations); updating copies only the touched relation. Many states
+//!   coexist cheaply, which is what situational logic requires: s-formulas
+//!   quantify over states, and fluents may be evaluated at *any* state, not
+//!   just "the current one".
+//! * The four state-changing primitives of Section 2 — `insert_n`,
+//!   `delete_n`, `modify_n`, `assign` — with semantics matching the paper's
+//!   action and frame axioms (see [`state`] module docs).
+//! * [`Schema`] — relation declarations with named attributes.
+//! * [`EvolutionGraph`] — the directed multigraph of states and transaction
+//!   arcs; reflexive (null transaction `Λ`) and transitive (composition
+//!   `;;`) closure are provided, matching the three structural properties
+//!   the paper lists in Section 1.
+//!
+//! [`TupleId`]: txlog_base::TupleId
+
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod relation;
+pub mod schema;
+pub mod state;
+pub mod tuple;
+
+pub use graph::{EvolutionGraph, TxLabel};
+pub use relation::Relation;
+pub use schema::{RelDecl, Schema};
+pub use state::DbState;
+pub use tuple::{Tuple, TupleVal};

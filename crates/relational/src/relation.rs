@@ -1,0 +1,283 @@
+//! Relations: identified finite sets of n-ary tuples.
+//!
+//! A relation is the paper's n-ary set sort equipped with an identifier
+//! (the n-ary set-identifier sort). Tuples are stored in a `BTreeMap`
+//! keyed on [`TupleId`], which gives deterministic iteration order — the
+//! property the engine's `foreach` evaluator relies on when checking
+//! order-independence, and the property that makes every run of every
+//! experiment reproducible.
+
+use crate::tuple::{Tuple, TupleVal};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+use txlog_base::{Atom, RelId, TupleId, TxError, TxResult};
+
+/// An identified finite set of tuples, all of the same arity.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Relation {
+    id: RelId,
+    arity: usize,
+    tuples: BTreeMap<TupleId, Arc<[Atom]>>,
+}
+
+impl Relation {
+    /// An empty relation with the given identity and arity.
+    pub fn empty(id: RelId, arity: usize) -> Relation {
+        Relation {
+            id,
+            arity,
+            tuples: BTreeMap::new(),
+        }
+    }
+
+    /// The relation's identity — the paper's `id(R)`.
+    pub fn id(&self) -> RelId {
+        self.id
+    }
+
+    /// The arity every member tuple must have.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of member tuples — the paper's `size_n`.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True iff the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Insert a tuple with a pre-allocated identity. Errors on arity
+    /// mismatch; re-inserting an existing identity overwrites its fields
+    /// (insertion is idempotent on (id, fields) pairs).
+    pub fn insert(&mut self, id: TupleId, fields: impl Into<Arc<[Atom]>>) -> TxResult<()> {
+        let fields = fields.into();
+        if fields.len() != self.arity {
+            return Err(TxError::sort(format!(
+                "cannot insert {}-ary tuple into {}-ary relation {}",
+                fields.len(),
+                self.arity,
+                self.id
+            )));
+        }
+        self.tuples.insert(id, fields);
+        Ok(())
+    }
+
+    /// Remove the tuple with identity `id`; returns whether it was present.
+    pub fn remove_id(&mut self, id: TupleId) -> bool {
+        self.tuples.remove(&id).is_some()
+    }
+
+    /// Remove every tuple whose fields equal `fields`; returns how many
+    /// were removed. This is `delete_n` applied to an anonymous value.
+    pub fn remove_fields(&mut self, fields: &[Atom]) -> usize {
+        let victims: Vec<TupleId> = self
+            .tuples
+            .iter()
+            .filter(|(_, f)| &***f == fields)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &victims {
+            self.tuples.remove(id);
+        }
+        victims.len()
+    }
+
+    /// Fields of the tuple with identity `id`, if present.
+    pub fn get(&self, id: TupleId) -> Option<&Arc<[Atom]>> {
+        self.tuples.get(&id)
+    }
+
+    /// Replace attribute `i` (1-based) of tuple `id` with `v` — the
+    /// value-level effect of `modify_n`, identity preserved.
+    pub fn modify(&mut self, id: TupleId, i: usize, v: Atom) -> TxResult<()> {
+        if i == 0 || i > self.arity {
+            return Err(TxError::sort(format!(
+                "modify index {i} out of range for {}-ary relation {}",
+                self.arity, self.id
+            )));
+        }
+        let fields = self
+            .tuples
+            .get_mut(&id)
+            .ok_or_else(|| TxError::eval(format!("no tuple {id} in relation {}", self.id)))?;
+        let mut new: Vec<Atom> = fields.to_vec();
+        new[i - 1] = v;
+        *fields = new.into();
+        Ok(())
+    }
+
+    /// True iff a tuple with identity `id` is a member.
+    pub fn contains_id(&self, id: TupleId) -> bool {
+        self.tuples.contains_key(&id)
+    }
+
+    /// True iff some member tuple has exactly these fields.
+    pub fn contains_fields(&self, fields: &[Atom]) -> bool {
+        self.tuples.values().any(|f| &**f == fields)
+    }
+
+    /// Membership of a tuple *value*: an identified value is a member iff
+    /// that identity is present **with those field values** (so a modified
+    /// tuple's old value is no longer a member); an anonymous value is a
+    /// member iff some tuple has those fields.
+    pub fn contains_val(&self, v: &TupleVal) -> bool {
+        match v.id {
+            Some(id) => self.tuples.get(&id).is_some_and(|f| *f == v.fields),
+            None => self.contains_fields(&v.fields),
+        }
+    }
+
+    /// Iterate member tuples in deterministic (identity) order.
+    pub fn iter(&self) -> impl Iterator<Item = Tuple> + '_ {
+        self.tuples
+            .iter()
+            .map(|(&id, f)| Tuple::new(id, Arc::clone(f)))
+    }
+
+    /// Iterate member tuple values in deterministic order.
+    pub fn iter_vals(&self) -> impl Iterator<Item = TupleVal> + '_ {
+        self.tuples
+            .iter()
+            .map(|(&id, f)| TupleVal::identified(id, Arc::clone(f)))
+    }
+
+    /// Subset test **by value** (paper's `⊆_n` is set-theoretic): every
+    /// field vector here occurs in `other`.
+    pub fn subset_by_value(&self, other: &Relation) -> bool {
+        self.tuples.values().all(|f| other.contains_fields(f))
+    }
+
+    /// The multiset of field vectors, sorted — the pure set value of this
+    /// relation, used for value-level equality of `nset`-sorted terms.
+    pub fn value_set(&self) -> Vec<Arc<[Atom]>> {
+        let mut v: Vec<Arc<[Atom]>> = self.tuples.values().cloned().collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{{", self.id)?;
+        for (k, t) in self.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fields(ns: &[u64]) -> Vec<Atom> {
+        ns.iter().map(|&n| Atom::nat(n)).collect()
+    }
+
+    #[test]
+    fn insert_and_membership() {
+        let mut r = Relation::empty(RelId(0), 2);
+        r.insert(TupleId(1), fields(&[10, 20])).unwrap();
+        assert!(r.contains_id(TupleId(1)));
+        assert!(r.contains_fields(&fields(&[10, 20])));
+        assert!(!r.contains_fields(&fields(&[10, 21])));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn arity_enforced() {
+        let mut r = Relation::empty(RelId(0), 2);
+        assert!(r.insert(TupleId(1), fields(&[10])).is_err());
+        assert!(r.insert(TupleId(1), fields(&[1, 2, 3])).is_err());
+    }
+
+    #[test]
+    fn remove_by_id_and_value() {
+        let mut r = Relation::empty(RelId(0), 1);
+        r.insert(TupleId(1), fields(&[5])).unwrap();
+        r.insert(TupleId(2), fields(&[5])).unwrap();
+        r.insert(TupleId(3), fields(&[6])).unwrap();
+        assert!(r.remove_id(TupleId(3)));
+        assert!(!r.remove_id(TupleId(3)));
+        // value deletion removes *all* tuples with those fields
+        assert_eq!(r.remove_fields(&fields(&[5])), 2);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn modify_preserves_identity_and_frame() {
+        let mut r = Relation::empty(RelId(0), 3);
+        r.insert(TupleId(1), fields(&[1, 2, 3])).unwrap();
+        r.insert(TupleId(2), fields(&[4, 5, 6])).unwrap();
+        r.modify(TupleId(1), 2, Atom::nat(99)).unwrap();
+        assert_eq!(&**r.get(TupleId(1)).unwrap(), &fields(&[1, 99, 3])[..]);
+        // frame axiom: the other tuple is untouched
+        assert_eq!(&**r.get(TupleId(2)).unwrap(), &fields(&[4, 5, 6])[..]);
+    }
+
+    #[test]
+    fn modify_missing_tuple_errors() {
+        let mut r = Relation::empty(RelId(0), 1);
+        assert!(r.modify(TupleId(9), 1, Atom::nat(0)).is_err());
+    }
+
+    #[test]
+    fn contains_val_semantics() {
+        let mut r = Relation::empty(RelId(0), 1);
+        r.insert(TupleId(1), fields(&[5])).unwrap();
+        // anonymous: by fields
+        assert!(r.contains_val(&TupleVal::anonymous(fields(&[5]))));
+        // identified with matching fields
+        assert!(r.contains_val(&TupleVal::identified(TupleId(1), fields(&[5]))));
+        // identified, but the stored fields have since diverged
+        assert!(!r.contains_val(&TupleVal::identified(TupleId(1), fields(&[6]))));
+        // identity not present
+        assert!(!r.contains_val(&TupleVal::identified(TupleId(2), fields(&[5]))));
+    }
+
+    #[test]
+    fn iteration_is_deterministic_by_id() {
+        let mut r = Relation::empty(RelId(0), 1);
+        r.insert(TupleId(3), fields(&[30])).unwrap();
+        r.insert(TupleId(1), fields(&[10])).unwrap();
+        r.insert(TupleId(2), fields(&[20])).unwrap();
+        let ids: Vec<TupleId> = r.iter().map(|t| t.id()).collect();
+        assert_eq!(ids, vec![TupleId(1), TupleId(2), TupleId(3)]);
+    }
+
+    #[test]
+    fn subset_by_value_ignores_ids() {
+        let mut a = Relation::empty(RelId(0), 1);
+        let mut b = Relation::empty(RelId(1), 1);
+        a.insert(TupleId(1), fields(&[5])).unwrap();
+        b.insert(TupleId(99), fields(&[5])).unwrap();
+        b.insert(TupleId(98), fields(&[6])).unwrap();
+        assert!(a.subset_by_value(&b));
+        assert!(!b.subset_by_value(&a));
+    }
+
+    #[test]
+    fn value_set_dedups() {
+        let mut r = Relation::empty(RelId(0), 1);
+        r.insert(TupleId(1), fields(&[5])).unwrap();
+        r.insert(TupleId(2), fields(&[5])).unwrap();
+        assert_eq!(r.value_set().len(), 1);
+        assert_eq!(r.len(), 2);
+    }
+}

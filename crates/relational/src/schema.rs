@@ -1,0 +1,220 @@
+//! Relation schemas: named relations with named attributes.
+//!
+//! The paper's schema Σ = (T_L, R, IC) includes a set R of relation
+//! f-constants. [`Schema`] is the catalog realizing R: it maps relation
+//! names to identifiers and arities, and attribute names to 1-based
+//! positions (the paper writes `select_n(t, i)` as `l(t)` where `l` is the
+//! i-th attribute name — our `attr_index` implements that sugar).
+
+use crate::state::DbState;
+use std::collections::HashMap;
+use std::fmt;
+use txlog_base::{RelId, Symbol, TxError, TxResult};
+
+/// Declaration of one relation: name, identity, and attribute names.
+#[derive(Clone, PartialEq, Eq)]
+pub struct RelDecl {
+    /// The relation's name (an f-constant of set sort in the logic).
+    pub name: Symbol,
+    /// The relation's identity.
+    pub id: RelId,
+    /// Attribute names, in position order.
+    pub attrs: Vec<Symbol>,
+}
+
+impl RelDecl {
+    /// The relation's arity.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+}
+
+impl fmt::Display for RelDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A catalog of relation declarations.
+#[derive(Clone, Default)]
+pub struct Schema {
+    decls: Vec<RelDecl>,
+    by_name: HashMap<Symbol, usize>,
+    by_id: HashMap<RelId, usize>,
+}
+
+impl Schema {
+    /// An empty schema.
+    pub fn new() -> Schema {
+        Schema::default()
+    }
+
+    /// Declare a relation with the given attribute names. Identifiers are
+    /// allocated sequentially. Errors on duplicate names or empty
+    /// attribute lists with duplicate attribute names.
+    pub fn relation(mut self, name: &str, attrs: &[&str]) -> TxResult<Schema> {
+        self.add_relation(name, attrs)?;
+        Ok(self)
+    }
+
+    /// Non-consuming form of [`Schema::relation`]; returns the new id.
+    pub fn add_relation(&mut self, name: &str, attrs: &[&str]) -> TxResult<RelId> {
+        let name = Symbol::new(name);
+        if self.by_name.contains_key(&name) {
+            return Err(TxError::schema(format!("duplicate relation {name}")));
+        }
+        let mut seen = HashMap::new();
+        let attrs: Vec<Symbol> = attrs.iter().map(|a| Symbol::new(a)).collect();
+        for (i, a) in attrs.iter().enumerate() {
+            if let Some(prev) = seen.insert(*a, i) {
+                return Err(TxError::schema(format!(
+                    "relation {name}: attribute {a} declared at both positions {} and {}",
+                    prev + 1,
+                    i + 1
+                )));
+            }
+        }
+        let id = RelId(u32::try_from(self.decls.len()).expect("relation id overflow"));
+        let ix = self.decls.len();
+        self.decls.push(RelDecl { name, id, attrs });
+        self.by_name.insert(name, ix);
+        self.by_id.insert(id, ix);
+        Ok(id)
+    }
+
+    /// Look up a declaration by name.
+    pub fn by_name(&self, name: Symbol) -> Option<&RelDecl> {
+        self.by_name.get(&name).map(|&ix| &self.decls[ix])
+    }
+
+    /// Look up a declaration by name, or a schema error.
+    pub fn expect(&self, name: &str) -> TxResult<&RelDecl> {
+        self.by_name(Symbol::new(name))
+            .ok_or_else(|| TxError::schema(format!("unknown relation {name}")))
+    }
+
+    /// Look up a declaration by identity.
+    pub fn by_id(&self, id: RelId) -> Option<&RelDecl> {
+        self.by_id.get(&id).map(|&ix| &self.decls[ix])
+    }
+
+    /// The relation identity for `name`, or a schema error.
+    pub fn rel_id(&self, name: &str) -> TxResult<RelId> {
+        Ok(self.expect(name)?.id)
+    }
+
+    /// 1-based position of attribute `attr` in relation `rel` — the `i` of
+    /// `select_n(t, i)` when the paper writes `attr(t)`.
+    pub fn attr_index(&self, rel: &str, attr: &str) -> TxResult<usize> {
+        let decl = self.expect(rel)?;
+        let attr = Symbol::new(attr);
+        decl.attrs
+            .iter()
+            .position(|&a| a == attr)
+            .map(|p| p + 1)
+            .ok_or_else(|| TxError::schema(format!("relation {rel} has no attribute {attr}")))
+    }
+
+    /// All declarations, in identifier order.
+    pub fn decls(&self) -> &[RelDecl] {
+        &self.decls
+    }
+
+    /// An initial (empty) database state with every declared relation.
+    pub fn initial_state(&self) -> DbState {
+        let mut s = DbState::new();
+        for d in &self.decls {
+            s = s
+                .with_relation(d.id, d.arity())
+                .expect("schema ids are unique by construction");
+        }
+        s
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.decls {
+            writeln!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn employee_schema() -> Schema {
+        Schema::new()
+            .relation("EMP", &["e-name", "e-dept", "salary", "age", "m-status"])
+            .unwrap()
+            .relation("DEPT", &["d-name", "chair", "location"])
+            .unwrap()
+            .relation("PROJ", &["p-name", "t-alloc"])
+            .unwrap()
+    }
+
+    #[test]
+    fn lookup_by_name_and_id() {
+        let s = employee_schema();
+        let emp = s.expect("EMP").unwrap();
+        assert_eq!(emp.arity(), 5);
+        assert_eq!(s.by_id(emp.id).unwrap().name.as_str(), "EMP");
+        assert!(s.expect("NOPE").is_err());
+    }
+
+    #[test]
+    fn attr_index_is_one_based() {
+        let s = employee_schema();
+        assert_eq!(s.attr_index("EMP", "e-name").unwrap(), 1);
+        assert_eq!(s.attr_index("EMP", "salary").unwrap(), 3);
+        assert_eq!(s.attr_index("EMP", "m-status").unwrap(), 5);
+        assert!(s.attr_index("EMP", "nope").is_err());
+        assert!(s.attr_index("NOPE", "salary").is_err());
+    }
+
+    #[test]
+    fn duplicate_relation_rejected() {
+        let s = employee_schema();
+        assert!(s.relation("EMP", &["x"]).is_err());
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        assert!(Schema::new().relation("R", &["a", "b", "a"]).is_err());
+    }
+
+    #[test]
+    fn initial_state_has_all_relations_empty() {
+        let s = employee_schema();
+        let st = s.initial_state();
+        assert_eq!(st.relation_count(), 3);
+        for d in s.decls() {
+            let r = st.relation(d.id).unwrap();
+            assert!(r.is_empty());
+            assert_eq!(r.arity(), d.arity());
+        }
+    }
+
+    #[test]
+    fn dynamic_relation_addition() {
+        let mut s = employee_schema();
+        let id = s.add_relation("FIRE", &["f-name"]).unwrap();
+        assert_eq!(s.rel_id("FIRE").unwrap(), id);
+        assert_eq!(s.decls().len(), 4);
+    }
+}

@@ -1,0 +1,410 @@
+//! Persistent database states and the four state-changing primitives.
+//!
+//! A [`DbState`] is one node of the evolution graph: a finite map from
+//! relation identifiers to relations, plus the tuple-identifier allocator.
+//! States are *values*: cloning is O(#relations) thanks to `Arc` sharing,
+//! and updating a state copies only the touched relation (copy-on-write via
+//! `Arc::make_mut`). This is what lets the logic hold arbitrarily many
+//! states alive simultaneously while programs — which "only have access to
+//! this current state" (Section 2) — thread a single state through.
+//!
+//! The primitives implement the paper's action axioms and, by construction,
+//! its frame axioms:
+//!
+//! * **insert_n(t, R)** — adds tuple `t` to relation `R`; every other
+//!   relation, and every other tuple of `R`, is shared untouched.
+//! * **delete_n(t, R)** — removes `t` from `R` (by identity if the value
+//!   carries one, else by field values).
+//! * **modify_n(t, i, v)** — replaces attribute `i` of the tuple with
+//!   `id(t)` wherever it is stored; the frame axiom `id(t₁) ≠ id(t₂) →
+//!   select(t₁,i)` unchanged holds because only that identity's entry is
+//!   rewritten.
+//! * **assign(R, S)** — makes relation `R` contain exactly the tuples of
+//!   set value `S` (creating `R` if needed); fresh identities are allocated
+//!   for anonymous members.
+
+use crate::relation::Relation;
+use crate::tuple::TupleVal;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+use txlog_base::{Atom, RelId, TupleId, TxError, TxResult};
+
+/// A persistent database state.
+#[derive(Clone)]
+pub struct DbState {
+    rels: BTreeMap<RelId, Arc<Relation>>,
+    next_tuple: u64,
+}
+
+impl DbState {
+    /// The empty state: no relations, tuple allocator at zero.
+    pub fn new() -> DbState {
+        DbState {
+            rels: BTreeMap::new(),
+            next_tuple: 0,
+        }
+    }
+
+    /// Register an empty relation with identity `id` and the given arity.
+    /// Errors if `id` is already present with a different arity.
+    pub fn with_relation(mut self, id: RelId, arity: usize) -> TxResult<DbState> {
+        if let Some(existing) = self.rels.get(&id) {
+            if existing.arity() != arity {
+                return Err(TxError::schema(format!(
+                    "relation {id} already exists with arity {}, not {arity}",
+                    existing.arity()
+                )));
+            }
+            return Ok(self);
+        }
+        self.rels.insert(id, Arc::new(Relation::empty(id, arity)));
+        Ok(self)
+    }
+
+    /// The relation with identity `id`, if present.
+    pub fn relation(&self, id: RelId) -> Option<&Relation> {
+        self.rels.get(&id).map(|r| &**r)
+    }
+
+    /// The relation with identity `id`, or an evaluation error.
+    pub fn expect_relation(&self, id: RelId) -> TxResult<&Relation> {
+        self.relation(id)
+            .ok_or_else(|| TxError::eval(format!("no relation {id} in state")))
+    }
+
+    /// Iterate (identity, relation) pairs in deterministic order.
+    pub fn relations(&self) -> impl Iterator<Item = (RelId, &Relation)> {
+        self.rels.iter().map(|(&id, r)| (id, &**r))
+    }
+
+    /// Number of registered relations.
+    pub fn relation_count(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// Locate the relation holding the tuple with identity `tid`.
+    pub fn find_tuple(&self, tid: TupleId) -> Option<(RelId, TupleVal)> {
+        for (&rid, rel) in &self.rels {
+            if let Some(fields) = rel.get(tid) {
+                return Some((rid, TupleVal::identified(tid, Arc::clone(fields))));
+            }
+        }
+        None
+    }
+
+    /// Allocate a fresh tuple identity. Deterministic within a state
+    /// lineage: identities increase monotonically along any execution.
+    fn fresh_tuple_id(&mut self) -> TupleId {
+        let id = TupleId(self.next_tuple);
+        self.next_tuple += 1;
+        id
+    }
+
+    fn rel_mut(&mut self, id: RelId) -> TxResult<&mut Relation> {
+        self.rels
+            .get_mut(&id)
+            .map(Arc::make_mut)
+            .ok_or_else(|| TxError::eval(format!("no relation {id} in state")))
+    }
+
+    /// The paper's `insert_n(t, R)`. An anonymous tuple value receives a
+    /// fresh identity; an identified value keeps its identity (so
+    /// re-inserting a deleted tuple restores "the same" tuple). Returns
+    /// the successor state and the identity of the inserted tuple.
+    pub fn insert(&self, rel: RelId, t: &TupleVal) -> TxResult<(DbState, TupleId)> {
+        let mut next = self.clone();
+        let id = match t.id {
+            Some(id) => id,
+            None => next.fresh_tuple_id(),
+        };
+        next.rel_mut(rel)?.insert(id, Arc::clone(&t.fields))?;
+        Ok((next, id))
+    }
+
+    /// Insert raw field values (fresh identity) — convenience for builders.
+    pub fn insert_fields(&self, rel: RelId, fields: &[Atom]) -> TxResult<(DbState, TupleId)> {
+        self.insert(rel, &TupleVal::anonymous(fields.to_vec()))
+    }
+
+    /// The paper's `delete_n(t, R)`. Deleting a value that is not a member
+    /// is a no-op (the resulting state equals this one), which is exactly
+    /// what the action axiom `t ∉ delete'(w, …):R` requires.
+    pub fn delete(&self, rel: RelId, t: &TupleVal) -> TxResult<DbState> {
+        let mut next = self.clone();
+        let r = next.rel_mut(rel)?;
+        match t.id {
+            Some(id) => {
+                // Only delete if the identified value is actually the
+                // current value of that tuple; a stale value names nothing.
+                if r.get(id).is_some_and(|f| *f == t.fields) {
+                    r.remove_id(id);
+                }
+            }
+            None => {
+                r.remove_fields(&t.fields);
+            }
+        }
+        Ok(next)
+    }
+
+    /// The paper's `modify_n(t, i, v)` (1-based attribute index). The tuple
+    /// is located by identity anywhere in the state; identity is preserved.
+    pub fn modify(&self, t: &TupleVal, i: usize, v: Atom) -> TxResult<DbState> {
+        let tid = t.id.ok_or_else(|| {
+            TxError::eval("modify requires an identified tuple (anonymous value has no id)")
+        })?;
+        let rid = self
+            .find_tuple(tid)
+            .map(|(rid, _)| rid)
+            .ok_or_else(|| TxError::eval(format!("modify: tuple {tid} not present in state")))?;
+        let mut next = self.clone();
+        next.rel_mut(rid)?.modify(tid, i, v)?;
+        Ok(next)
+    }
+
+    /// The paper's `assign(R, S)`: relation `R` comes to hold exactly the
+    /// member tuples of the set value `S`. `R` is created with the arity of
+    /// `S` if absent. Anonymous members get fresh identities; identified
+    /// members keep theirs.
+    pub fn assign(&self, rel: RelId, arity: usize, members: &[TupleVal]) -> TxResult<DbState> {
+        let mut next = self.clone();
+        for m in members {
+            if m.arity() != arity {
+                return Err(TxError::sort(format!(
+                    "assign: {}-ary member in {arity}-ary set",
+                    m.arity()
+                )));
+            }
+        }
+        let mut fresh = Relation::empty(rel, arity);
+        for m in members {
+            let id = match m.id {
+                Some(id) => id,
+                None => next.fresh_tuple_id(),
+            };
+            fresh.insert(id, Arc::clone(&m.fields))?;
+        }
+        next.rels.insert(rel, Arc::new(fresh));
+        Ok(next)
+    }
+
+    /// Structural equality of contents (relations, tuples, identities);
+    /// the tuple-identifier allocator is *not* part of the content.
+    pub fn content_eq(&self, other: &DbState) -> bool {
+        self.rels.len() == other.rels.len()
+            && self
+                .rels
+                .iter()
+                .zip(other.rels.iter())
+                .all(|((ida, ra), (idb, rb))| ida == idb && ra == rb)
+    }
+
+    /// Value-level equality: same relations with the same *field vectors*,
+    /// ignoring tuple identities. Tuple identity exists for frame
+    /// reasoning; the paper's states are determined by their contents, so
+    /// value equality is the right notion for questions like "did the
+    /// inverse transaction restore the state?" where re-inserted tuples
+    /// necessarily carry fresh identities.
+    pub fn value_eq(&self, other: &DbState) -> bool {
+        self.rels.len() == other.rels.len()
+            && self.rels.iter().zip(other.rels.iter()).all(
+                |((ida, ra), (idb, rb))| {
+                    ida == idb
+                        && ra.arity() == rb.arity()
+                        && ra.value_set() == rb.value_set()
+                },
+            )
+    }
+
+    /// A content digest usable for hash-based deduplication of states in
+    /// the evolution graph. Collisions are resolved by [`content_eq`].
+    ///
+    /// [`content_eq`]: DbState::content_eq
+    pub fn content_digest(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for (rid, rel) in &self.rels {
+            rid.hash(&mut h);
+            rel.arity().hash(&mut h);
+            for t in rel.iter() {
+                t.id().hash(&mut h);
+                t.fields().hash(&mut h);
+            }
+        }
+        h.finish()
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.rels.values().map(|r| r.len()).sum()
+    }
+}
+
+impl Default for DbState {
+    fn default() -> DbState {
+        DbState::new()
+    }
+}
+
+impl PartialEq for DbState {
+    fn eq(&self, other: &DbState) -> bool {
+        self.content_eq(other)
+    }
+}
+
+impl Eq for DbState {}
+
+impl fmt::Display for DbState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "state {{")?;
+        for (_, rel) in self.relations() {
+            writeln!(f, "  {rel}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Debug for DbState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fields(ns: &[u64]) -> Vec<Atom> {
+        ns.iter().map(|&n| Atom::nat(n)).collect()
+    }
+
+    fn base() -> DbState {
+        DbState::new().with_relation(RelId(0), 2).unwrap()
+    }
+
+    #[test]
+    fn insert_is_persistent() {
+        let s0 = base();
+        let (s1, id) = s0.insert_fields(RelId(0), &fields(&[1, 2])).unwrap();
+        // old state untouched
+        assert!(s0.relation(RelId(0)).unwrap().is_empty());
+        assert!(s1.relation(RelId(0)).unwrap().contains_id(id));
+    }
+
+    #[test]
+    fn delete_identified_requires_current_value() {
+        let s0 = base();
+        let (s1, id) = s0.insert_fields(RelId(0), &fields(&[1, 2])).unwrap();
+        let stale = TupleVal::identified(id, fields(&[9, 9]));
+        let s2 = s1.delete(RelId(0), &stale).unwrap();
+        // stale value names nothing: no deletion happened
+        assert!(s2.relation(RelId(0)).unwrap().contains_id(id));
+        let current = TupleVal::identified(id, fields(&[1, 2]));
+        let s3 = s1.delete(RelId(0), &current).unwrap();
+        assert!(!s3.relation(RelId(0)).unwrap().contains_id(id));
+    }
+
+    #[test]
+    fn delete_anonymous_removes_all_value_matches() {
+        let s0 = base();
+        let (s1, _) = s0.insert_fields(RelId(0), &fields(&[1, 2])).unwrap();
+        let (s2, _) = s1.insert_fields(RelId(0), &fields(&[1, 2])).unwrap();
+        let s3 = s2
+            .delete(RelId(0), &TupleVal::anonymous(fields(&[1, 2])))
+            .unwrap();
+        assert!(s3.relation(RelId(0)).unwrap().is_empty());
+        assert_eq!(s2.relation(RelId(0)).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn modify_locates_tuple_by_identity() {
+        let s0 = base();
+        let (s1, id) = s0.insert_fields(RelId(0), &fields(&[1, 2])).unwrap();
+        let val = s1.find_tuple(id).unwrap().1;
+        let s2 = s1.modify(&val, 2, Atom::nat(42)).unwrap();
+        assert_eq!(
+            s2.find_tuple(id).unwrap().1.fields.as_ref(),
+            &fields(&[1, 42])[..]
+        );
+        // frame: s1 unchanged
+        assert_eq!(
+            s1.find_tuple(id).unwrap().1.fields.as_ref(),
+            &fields(&[1, 2])[..]
+        );
+    }
+
+    #[test]
+    fn modify_anonymous_is_an_error() {
+        let s = base();
+        let anon = TupleVal::anonymous(fields(&[1, 2]));
+        assert!(s.modify(&anon, 1, Atom::nat(0)).is_err());
+    }
+
+    #[test]
+    fn assign_creates_relation_with_members() {
+        let s0 = DbState::new();
+        let members = vec![
+            TupleVal::anonymous(fields(&[1])),
+            TupleVal::anonymous(fields(&[2])),
+        ];
+        let s1 = s0.assign(RelId(7), 1, &members).unwrap();
+        let r = s1.relation(RelId(7)).unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(r.contains_fields(&fields(&[1])));
+        assert!(r.contains_fields(&fields(&[2])));
+    }
+
+    #[test]
+    fn assign_replaces_existing_relation() {
+        let s0 = base();
+        let (s1, _) = s0.insert_fields(RelId(0), &fields(&[1, 2])).unwrap();
+        let s2 = s1.assign(RelId(0), 2, &[]).unwrap();
+        assert!(s2.relation(RelId(0)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn assign_checks_member_arity() {
+        let s = DbState::new();
+        let bad = vec![TupleVal::anonymous(fields(&[1, 2]))];
+        assert!(s.assign(RelId(7), 1, &bad).is_err());
+    }
+
+    #[test]
+    fn with_relation_rejects_arity_conflict() {
+        let s = base();
+        assert!(s.clone().with_relation(RelId(0), 2).is_ok());
+        assert!(s.with_relation(RelId(0), 3).is_err());
+    }
+
+    #[test]
+    fn content_eq_ignores_allocator() {
+        let s0 = base();
+        let (s1, id) = s0.insert_fields(RelId(0), &fields(&[1, 2])).unwrap();
+        let val = s1.find_tuple(id).unwrap().1;
+        let s2 = s1.delete(RelId(0), &val).unwrap();
+        // s2 has the same content as s0 although its allocator advanced
+        assert!(s0.content_eq(&s2));
+        assert_eq!(s0.content_digest(), s2.content_digest());
+    }
+
+    #[test]
+    fn fresh_ids_are_distinct_along_a_lineage() {
+        let s0 = base();
+        let (s1, a) = s0.insert_fields(RelId(0), &fields(&[1, 1])).unwrap();
+        let (s2, b) = s1.insert_fields(RelId(0), &fields(&[2, 2])).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(s2.total_tuples(), 2);
+    }
+
+    #[test]
+    fn reinserting_identified_value_restores_same_tuple() {
+        let s0 = base();
+        let (s1, id) = s0.insert_fields(RelId(0), &fields(&[1, 2])).unwrap();
+        let val = s1.find_tuple(id).unwrap().1;
+        let s2 = s1.delete(RelId(0), &val).unwrap();
+        let (s3, id2) = s2.insert(RelId(0), &val).unwrap();
+        assert_eq!(id, id2);
+        assert!(s3.content_eq(&s1));
+    }
+}

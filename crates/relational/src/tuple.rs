@@ -1,0 +1,253 @@
+//! Tuples: identified vectors of attribute values.
+//!
+//! The paper distinguishes a tuple's *identity* (the value of the `id`
+//! function, an element of the n-ary tuple-identifier sort) from its
+//! *value* (the vector of attribute values). `modify_n(t, i, v)` changes
+//! attribute `i` while preserving identity — the frame axiom
+//! (`id(t₁) ≠ id(t₂) → select(t₁, i)` unchanged) is stated in terms of
+//! identifiers, not values. [`Tuple`] therefore pairs a [`TupleId`] with
+//! its fields.
+//!
+//! [`TupleVal`] is the *value-level* view used by the logic's evaluator:
+//! a possibly-anonymous tuple (e.g. one built by the `tuple_n` generator
+//! or a set former, which has no identity yet). Membership tests follow
+//! the paper's set theory: a tuple value is in a relation iff the relation
+//! contains a tuple with those field values; when the value carries an
+//! identity, the identity must match too, so that "the same employee" can
+//! be tracked across states.
+
+use std::fmt;
+use std::sync::Arc;
+use txlog_base::{Atom, TupleId, TxError, TxResult};
+
+/// An identified tuple as stored in a relation.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Tuple {
+    id: TupleId,
+    fields: Arc<[Atom]>,
+}
+
+impl Tuple {
+    /// Create a tuple with the given identity and fields.
+    pub fn new(id: TupleId, fields: impl Into<Arc<[Atom]>>) -> Tuple {
+        Tuple {
+            id,
+            fields: fields.into(),
+        }
+    }
+
+    /// The tuple's identity — the paper's `id(t)`.
+    pub fn id(&self) -> TupleId {
+        self.id
+    }
+
+    /// The attribute values.
+    pub fn fields(&self) -> &[Atom] {
+        &self.fields
+    }
+
+    /// The arity (`n` of the n-ary tuple sort this tuple inhabits).
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// The paper's `select_n(t, i)` with **1-based** `i`, as in the
+    /// `modify` action axiom (`1 ≤ i ≤ n`).
+    pub fn select(&self, i: usize) -> TxResult<Atom> {
+        if i == 0 || i > self.fields.len() {
+            return Err(TxError::sort(format!(
+                "select index {i} out of range for {}-ary tuple",
+                self.fields.len()
+            )));
+        }
+        Ok(self.fields[i - 1])
+    }
+
+    /// A copy of this tuple with attribute `i` (1-based) replaced by `v`
+    /// and the **same identity** — the value-level effect of `modify_n`.
+    pub fn with_field(&self, i: usize, v: Atom) -> TxResult<Tuple> {
+        if i == 0 || i > self.fields.len() {
+            return Err(TxError::sort(format!(
+                "modify index {i} out of range for {}-ary tuple",
+                self.fields.len()
+            )));
+        }
+        let mut fields: Vec<Atom> = self.fields.to_vec();
+        fields[i - 1] = v;
+        Ok(Tuple::new(self.id, fields))
+    }
+
+    /// The value-level view of this tuple (identity retained).
+    pub fn val(&self) -> TupleVal {
+        TupleVal {
+            id: Some(self.id),
+            fields: Arc::clone(&self.fields),
+        }
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}⟨", self.id)?;
+        for (k, a) in self.fields.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A tuple *value*: fields plus an optional identity.
+///
+/// Produced by evaluating tuple-sorted expressions. `tuple_n(v₁,…,vₙ)`
+/// yields an anonymous value (`id == None`); evaluating a tuple variable
+/// bound to a stored tuple yields an identified one.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct TupleVal {
+    /// Identity if this value originates from a stored tuple.
+    pub id: Option<TupleId>,
+    /// The attribute values.
+    pub fields: Arc<[Atom]>,
+}
+
+impl TupleVal {
+    /// An anonymous tuple value (the `tuple_n` generator).
+    pub fn anonymous(fields: impl Into<Arc<[Atom]>>) -> TupleVal {
+        TupleVal {
+            id: None,
+            fields: fields.into(),
+        }
+    }
+
+    /// An identified tuple value.
+    pub fn identified(id: TupleId, fields: impl Into<Arc<[Atom]>>) -> TupleVal {
+        TupleVal {
+            id: Some(id),
+            fields: fields.into(),
+        }
+    }
+
+    /// The arity of this value.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// `select_n` on a value (1-based index).
+    pub fn select(&self, i: usize) -> TxResult<Atom> {
+        if i == 0 || i > self.fields.len() {
+            return Err(TxError::sort(format!(
+                "select index {i} out of range for {}-ary tuple value",
+                self.fields.len()
+            )));
+        }
+        Ok(self.fields[i - 1])
+    }
+
+    /// Value equality ignoring identity — plain set-theoretic tuple
+    /// equality, used by `∪`, `∩`, `−`, `×` and by membership of
+    /// anonymous values.
+    pub fn same_fields(&self, other: &TupleVal) -> bool {
+        self.fields == other.fields
+    }
+}
+
+impl fmt::Display for TupleVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(id) = self.id {
+            write!(f, "{id}")?;
+        }
+        write!(f, "⟨")?;
+        for (k, a) in self.fields.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+impl fmt::Debug for TupleVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(id: u64, fields: &[u64]) -> Tuple {
+        Tuple::new(
+            TupleId(id),
+            fields.iter().map(|&n| Atom::nat(n)).collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn select_is_one_based() {
+        let tup = t(1, &[10, 20, 30]);
+        assert_eq!(tup.select(1).unwrap(), Atom::nat(10));
+        assert_eq!(tup.select(3).unwrap(), Atom::nat(30));
+        assert!(tup.select(0).is_err());
+        assert!(tup.select(4).is_err());
+    }
+
+    #[test]
+    fn with_field_preserves_identity() {
+        let tup = t(7, &[1, 2, 3]);
+        let modified = tup.with_field(2, Atom::nat(99)).unwrap();
+        assert_eq!(modified.id(), tup.id());
+        assert_eq!(modified.select(2).unwrap(), Atom::nat(99));
+        assert_eq!(modified.select(1).unwrap(), Atom::nat(1));
+        // frame: untouched attributes unchanged
+        assert_eq!(modified.select(3).unwrap(), Atom::nat(3));
+    }
+
+    #[test]
+    fn with_field_out_of_range() {
+        let tup = t(7, &[1]);
+        assert!(tup.with_field(0, Atom::nat(0)).is_err());
+        assert!(tup.with_field(2, Atom::nat(0)).is_err());
+    }
+
+    #[test]
+    fn val_carries_identity() {
+        let tup = t(3, &[5]);
+        let v = tup.val();
+        assert_eq!(v.id, Some(TupleId(3)));
+        assert_eq!(v.select(1).unwrap(), Atom::nat(5));
+    }
+
+    #[test]
+    fn anonymous_vs_identified_equality() {
+        let a = TupleVal::anonymous(vec![Atom::nat(1), Atom::nat(2)]);
+        let b = TupleVal::identified(TupleId(9), vec![Atom::nat(1), Atom::nat(2)]);
+        assert!(a.same_fields(&b));
+        assert_ne!(a, b); // full equality includes identity
+    }
+
+    #[test]
+    fn display() {
+        let tup = t(4, &[1, 2]);
+        assert_eq!(tup.to_string(), "t#4⟨1, 2⟩");
+        let v = TupleVal::anonymous(vec![Atom::str("S")]);
+        assert_eq!(v.to_string(), "⟨'S'⟩");
+    }
+
+    #[test]
+    fn zero_ary_tuple_is_legal() {
+        // The paper admits n-ary tuple sorts for every n ≥ 0.
+        let v = TupleVal::anonymous(Vec::<Atom>::new());
+        assert_eq!(v.arity(), 0);
+        assert!(v.select(1).is_err());
+    }
+}

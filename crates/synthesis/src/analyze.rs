@@ -1,0 +1,520 @@
+//! Specification analysis: from a declarative `∀s ∃t. …` sentence to a
+//! list of update **goals**, plus extraction of referential constraints
+//! from the static ICs.
+//!
+//! The supported fragment covers Example 6's shape (and its obvious
+//! generalizations):
+//!
+//! * `¬((s;t):x ∈ (s;t):R)` — a **delete goal**;
+//! * `(s;t):x ∈ (s;t):R` — an **insert goal**;
+//! * `∀ȳ. guard(s, ȳ) → expr(s, ȳ) = attr((s;t):e)` — a **modify goal**
+//!   (set attribute `attr` of every `e` satisfying the guard to the value
+//!   of `expr` in the pre-state).
+//!
+//! Everything inside guards and expressions must be *deflatable*: an
+//! s-expression mentioning only the pre-state `s`, which therefore has a
+//! direct f-expression counterpart evaluated at the current state.
+
+use txlog_base::{Symbol, TxError, TxResult};
+use txlog_logic::{CmpOp, FFormula, FTerm, SFormula, STerm, Sort, Var, VarClass};
+
+/// One update goal extracted from the specification.
+#[derive(Clone, Debug)]
+pub enum Goal {
+    /// The tuple denoted by `tuple` must be absent from `rel` afterwards.
+    Delete {
+        /// Fluent denoting the tuple (usually a parameter variable).
+        tuple: FTerm,
+        /// Target relation.
+        rel: Symbol,
+    },
+    /// The tuple must be present afterwards.
+    Insert {
+        /// Fluent denoting the tuple.
+        tuple: FTerm,
+        /// Target relation.
+        rel: Symbol,
+    },
+    /// Every tuple bound by `var` satisfying `guard` gets `attr := value`.
+    Modify {
+        /// The tuple variable being updated.
+        var: Var,
+        /// Auxiliary bound variables of the guard.
+        aux: Vec<Var>,
+        /// Pre-state guard (deflated).
+        guard: FFormula,
+        /// Attribute to set.
+        attr: Symbol,
+        /// Pre-state value expression (deflated).
+        value: FTerm,
+    },
+}
+
+/// A referential constraint extracted from a static IC:
+/// every `from_rel` tuple must be matched by some `to_rel` tuple with
+/// `from_attr(x) = to_attr(y)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RefIc {
+    /// The referencing relation (whose tuples need a partner).
+    pub from_rel: Symbol,
+    /// Its matching attribute.
+    pub from_attr: Symbol,
+    /// The referenced relation.
+    pub to_rel: Symbol,
+    /// Its matching attribute.
+    pub to_attr: Symbol,
+}
+
+/// Analysis result for one specification.
+#[derive(Clone, Debug)]
+pub struct SpecGoals {
+    /// The pre-state variable (the `s` of `∀s`).
+    pub state_var: Var,
+    /// The transaction variable (the `t` of `∃t`).
+    pub tx_var: Var,
+    /// Extracted goals, in specification order.
+    pub goals: Vec<Goal>,
+}
+
+/// Analyze a specification of the form `∀s ∃t. C₁ ∧ … ∧ Cₙ`.
+pub fn analyze_spec(spec: &SFormula) -> TxResult<SpecGoals> {
+    let SFormula::Forall(s, body) = spec else {
+        return Err(TxError::Synthesis(
+            "specification must start with ∀s over states".into(),
+        ));
+    };
+    if s.sort != Sort::State || s.class != VarClass::Situational {
+        return Err(TxError::Synthesis(
+            "outer quantifier must bind a situational state variable".into(),
+        ));
+    }
+    let SFormula::Exists(t, body) = &**body else {
+        return Err(TxError::Synthesis(
+            "specification must continue with ∃t over transactions".into(),
+        ));
+    };
+    if t.sort != Sort::State || t.class != VarClass::Fluent {
+        return Err(TxError::Synthesis(
+            "inner quantifier must bind a transaction variable".into(),
+        ));
+    }
+    let mut conjuncts = Vec::new();
+    flatten_and(body, &mut conjuncts);
+    let mut goals = Vec::new();
+    for c in conjuncts {
+        goals.push(goal_of(&c, *s, *t)?);
+    }
+    Ok(SpecGoals {
+        state_var: *s,
+        tx_var: *t,
+        goals,
+    })
+}
+
+fn flatten_and(f: &SFormula, out: &mut Vec<SFormula>) {
+    match f {
+        SFormula::And(a, b) => {
+            flatten_and(a, out);
+            flatten_and(b, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+fn goal_of(c: &SFormula, s: Var, t: Var) -> TxResult<Goal> {
+    match c {
+        SFormula::Not(inner) => {
+            if let SFormula::Member(x, set) = &**inner {
+                let (tuple, rel) = post_membership(x, set, s, t)?;
+                return Ok(Goal::Delete { tuple, rel });
+            }
+            Err(TxError::Synthesis(format!(
+                "unsupported negative conjunct: {c}"
+            )))
+        }
+        SFormula::Member(x, set) => {
+            let (tuple, rel) = post_membership(x, set, s, t)?;
+            Ok(Goal::Insert { tuple, rel })
+        }
+        SFormula::Forall(..) => modify_goal(c, s, t),
+        other => Err(TxError::Synthesis(format!(
+            "unsupported conjunct shape: {other}"
+        ))),
+    }
+}
+
+/// Match `(s;t):e ∈ (s;t):R`, returning the fluent `e` and relation `R`.
+fn post_membership(x: &STerm, set: &STerm, s: Var, t: Var) -> TxResult<(FTerm, Symbol)> {
+    let tuple = match x {
+        STerm::EvalObj(w, e) if is_post_state(w, s, t) => (**e).clone(),
+        other => {
+            return Err(TxError::Synthesis(format!(
+                "expected (s;t):e on the member side, found {other}"
+            )))
+        }
+    };
+    let rel = match set {
+        STerm::EvalObj(w, e) if is_post_state(w, s, t) => match &**e {
+            FTerm::Rel(r) => *r,
+            other => {
+                return Err(TxError::Synthesis(format!(
+                    "expected a relation on the set side, found {other}"
+                )))
+            }
+        },
+        other => {
+            return Err(TxError::Synthesis(format!(
+                "expected (s;t):R on the set side, found {other}"
+            )))
+        }
+    };
+    Ok((tuple, rel))
+}
+
+fn is_post_state(w: &STerm, s: Var, t: Var) -> bool {
+    matches!(
+        w,
+        STerm::EvalState(inner, e)
+            if matches!(&**inner, STerm::Var(v) if *v == s)
+            && matches!(&**e, FTerm::Var(v) if *v == t)
+    )
+}
+
+/// Match `∀ȳ. guard → expr = attr((s;t):e)` (equation in either
+/// orientation).
+fn modify_goal(c: &SFormula, s: Var, t: Var) -> TxResult<Goal> {
+    let mut bound = Vec::new();
+    let mut cur = c;
+    while let SFormula::Forall(v, body) = cur {
+        bound.push(*v);
+        cur = body;
+    }
+    let SFormula::Implies(guard, eqn) = cur else {
+        return Err(TxError::Synthesis(format!(
+            "expected guard → equation inside ∀-block, found {cur}"
+        )));
+    };
+    // The consequent may carry an explicit survival presupposition:
+    // `¬((s;t):e ∈ (s;t):R) ∨ equation` — strip it; the update target is
+    // the equation, and deletion (when it happens) is a repair concern.
+    let eqn: &SFormula = match &**eqn {
+        SFormula::Or(a, b) => match (&**a, &**b) {
+            (SFormula::Not(_), eq @ SFormula::Cmp(CmpOp::Eq, ..)) => eq,
+            (eq @ SFormula::Cmp(CmpOp::Eq, ..), SFormula::Not(_)) => eq,
+            _ => eqn,
+        },
+        _ => eqn,
+    };
+    let SFormula::Cmp(CmpOp::Eq, lhs, rhs) = eqn else {
+        return Err(TxError::Synthesis(format!(
+            "expected an equation, found {eqn}"
+        )));
+    };
+    // one side is attr((s;t):e), the other a pre-state expression
+    let (post, pre) = if mentions_post(lhs, s, t) {
+        (lhs, rhs)
+    } else {
+        (rhs, lhs)
+    };
+    let STerm::Attr(attr, inner) = post else {
+        return Err(TxError::Synthesis(format!(
+            "post-state side must be attr((s;t):e), found {post}"
+        )));
+    };
+    let STerm::EvalObj(w, e) = &**inner else {
+        return Err(TxError::Synthesis(format!(
+            "post-state side must evaluate a tuple variable, found {inner}"
+        )));
+    };
+    if !is_post_state(w, s, t) {
+        return Err(TxError::Synthesis(format!(
+            "expected evaluation at s;t, found {w}"
+        )));
+    }
+    let FTerm::Var(evar) = &**e else {
+        return Err(TxError::Synthesis(format!(
+            "expected a tuple variable under (s;t):·, found {e}"
+        )));
+    };
+    let aux: Vec<Var> = bound.iter().copied().filter(|v| v != evar).collect();
+    Ok(Goal::Modify {
+        var: *evar,
+        aux,
+        guard: deflate_formula(guard, s)?,
+        attr: *attr,
+        value: deflate_term(pre, s)?,
+    })
+}
+
+fn mentions_post(t: &STerm, s: Var, t_var: Var) -> bool {
+    match t {
+        STerm::EvalObj(w, _) | STerm::EvalState(w, _) => {
+            is_post_state(w, s, t_var) || mentions_post(w, s, t_var)
+        }
+        STerm::Attr(_, inner) | STerm::Select(inner, _) | STerm::IdOf(inner) => {
+            mentions_post(inner, s, t_var)
+        }
+        STerm::TupleCons(ts) | STerm::App(_, ts) | STerm::UserApp(_, ts) => {
+            ts.iter().any(|t| mentions_post(t, s, t_var))
+        }
+        STerm::SetFormer { head, .. } => mentions_post(head, s, t_var),
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------
+// deflation: s-expressions over the pre-state → f-expressions
+// ---------------------------------------------------------------------
+
+/// Convert an s-term mentioning only state `s` into the f-term it
+/// evaluates (`s : e ⇝ e`).
+pub fn deflate_term(t: &STerm, s: Var) -> TxResult<FTerm> {
+    match t {
+        STerm::EvalObj(w, e) => match &**w {
+            STerm::Var(v) if *v == s => Ok((**e).clone()),
+            other => Err(TxError::Synthesis(format!(
+                "cannot deflate evaluation at {other}"
+            ))),
+        },
+        STerm::Var(v) if v.sort == Sort::ATOM => Ok(FTerm::Var(*v)),
+        STerm::Nat(n) => Ok(FTerm::Nat(*n)),
+        STerm::Str(sym) => Ok(FTerm::Str(*sym)),
+        STerm::Attr(a, inner) => Ok(FTerm::Attr(*a, Box::new(deflate_term(inner, s)?))),
+        STerm::Select(inner, i) => {
+            Ok(FTerm::Select(Box::new(deflate_term(inner, s)?), *i))
+        }
+        STerm::TupleCons(ts) => Ok(FTerm::TupleCons(
+            ts.iter()
+                .map(|t| deflate_term(t, s))
+                .collect::<TxResult<_>>()?,
+        )),
+        STerm::App(op, ts) => Ok(FTerm::App(
+            *op,
+            ts.iter()
+                .map(|t| deflate_term(t, s))
+                .collect::<TxResult<_>>()?,
+        )),
+        STerm::IdOf(inner) => Ok(FTerm::IdOf(Box::new(deflate_term(inner, s)?))),
+        other => Err(TxError::Synthesis(format!(
+            "term outside the deflatable fragment: {other}"
+        ))),
+    }
+}
+
+/// Convert an s-formula mentioning only state `s` into an f-formula.
+pub fn deflate_formula(f: &SFormula, s: Var) -> TxResult<FFormula> {
+    match f {
+        SFormula::True => Ok(FFormula::True),
+        SFormula::False => Ok(FFormula::False),
+        SFormula::Holds(w, p) => match w {
+            STerm::Var(v) if *v == s => Ok(p.clone()),
+            other => Err(TxError::Synthesis(format!(
+                "cannot deflate truth at {other}"
+            ))),
+        },
+        SFormula::Cmp(op, a, b) => Ok(FFormula::Cmp(
+            *op,
+            deflate_term(a, s)?,
+            deflate_term(b, s)?,
+        )),
+        SFormula::Member(a, b) => Ok(FFormula::Member(
+            deflate_term(a, s)?,
+            deflate_term(b, s)?,
+        )),
+        SFormula::Subset(a, b) => Ok(FFormula::Subset(
+            deflate_term(a, s)?,
+            deflate_term(b, s)?,
+        )),
+        SFormula::Not(q) => Ok(FFormula::Not(Box::new(deflate_formula(q, s)?))),
+        SFormula::And(a, b) => Ok(FFormula::And(
+            Box::new(deflate_formula(a, s)?),
+            Box::new(deflate_formula(b, s)?),
+        )),
+        SFormula::Or(a, b) => Ok(FFormula::Or(
+            Box::new(deflate_formula(a, s)?),
+            Box::new(deflate_formula(b, s)?),
+        )),
+        SFormula::Implies(a, b) => Ok(FFormula::Implies(
+            Box::new(deflate_formula(a, s)?),
+            Box::new(deflate_formula(b, s)?),
+        )),
+        SFormula::Iff(a, b) => Ok(FFormula::Iff(
+            Box::new(deflate_formula(a, s)?),
+            Box::new(deflate_formula(b, s)?),
+        )),
+        SFormula::Exists(v, q) => Ok(FFormula::Exists(*v, Box::new(deflate_formula(q, s)?))),
+        SFormula::Forall(v, q) => Ok(FFormula::Forall(*v, Box::new(deflate_formula(q, s)?))),
+        SFormula::UserPred(..) => Err(TxError::Synthesis(
+            "user predicates are outside the deflatable fragment".into(),
+        )),
+    }
+}
+
+// ---------------------------------------------------------------------
+// referential-constraint extraction
+// ---------------------------------------------------------------------
+
+/// Recognize `∀s ∀x'. x' ∈ s:A → ∃y'. y' ∈ s:B ∧ f(x') = g(y')`.
+pub fn extract_ref_ic(ic: &SFormula) -> Option<RefIc> {
+    let (vars, matrix) = ic.strip_foralls();
+    let x = vars
+        .iter()
+        .copied()
+        .find(|v| v.sort != Sort::State && v.class == VarClass::Situational)?;
+    let SFormula::Implies(ante, cons) = matrix else {
+        return None;
+    };
+    let SFormula::Member(mx, mset) = &**ante else {
+        return None;
+    };
+    let STerm::Var(xv) = mx else { return None };
+    if *xv != x {
+        return None;
+    }
+    let from_rel = rel_of(mset)?;
+    let SFormula::Exists(y, body) = &**cons else {
+        return None;
+    };
+    let mut conj = Vec::new();
+    flatten_and(body, &mut conj);
+    let mut to_rel = None;
+    let mut attrs = None;
+    for c in &conj {
+        match c {
+            SFormula::Member(my, myset) => {
+                if matches!(my, STerm::Var(v) if v == y) {
+                    to_rel = rel_of(myset);
+                }
+            }
+            SFormula::Cmp(CmpOp::Eq, a, b) => {
+                let pick = |t: &STerm| -> Option<(Symbol, Var)> {
+                    if let STerm::Attr(name, inner) = t {
+                        if let STerm::Var(v) = &**inner {
+                            return Some((*name, *v));
+                        }
+                    }
+                    None
+                };
+                if let (Some((fa, va)), Some((fb, vb))) = (pick(a), pick(b)) {
+                    if va == x && vb == *y {
+                        attrs = Some((fa, fb));
+                    } else if vb == x && va == *y {
+                        attrs = Some((fb, fa));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    let (from_attr, to_attr) = attrs?;
+    Some(RefIc {
+        from_rel,
+        from_attr,
+        to_rel: to_rel?,
+        to_attr,
+    })
+}
+
+fn rel_of(set: &STerm) -> Option<Symbol> {
+    if let STerm::EvalObj(_, e) = set {
+        if let FTerm::Rel(r) = &**e {
+            return Some(*r);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txlog_logic::{parse_sformula, parse_sformula_with_params, ParseCtx};
+
+    fn ctx() -> ParseCtx {
+        ParseCtx::with_relations(&["EMP", "PROJ", "ALLOC", "E"])
+    }
+
+    #[test]
+    fn extracts_delete_and_modify_goals() {
+        let p = Var::tup_f("p", 2);
+        let v = Var::atom_f("v");
+        let spec = parse_sformula_with_params(
+            "forall s: state . exists t: tx .
+               !(((s;t):p) in ((s;t):PROJ)) &
+               (forall e: 5tup, a: 3tup .
+                  (s:e in s:EMP & s:a in s:ALLOC &
+                   a-proj(s:a) = p-name(s:p) & a-emp(s:a) = e-name(s:e))
+                    -> salary(s:e) - v = salary((s;t):e))",
+            &ctx(),
+            &[p, v],
+        )
+        .unwrap();
+        let analysis = analyze_spec(&spec).unwrap();
+        assert_eq!(analysis.goals.len(), 2);
+        match &analysis.goals[0] {
+            Goal::Delete { tuple, rel } => {
+                assert_eq!(tuple, &FTerm::Var(p));
+                assert_eq!(rel.as_str(), "PROJ");
+            }
+            other => panic!("expected delete goal, got {other:?}"),
+        }
+        match &analysis.goals[1] {
+            Goal::Modify {
+                var,
+                aux,
+                attr,
+                value,
+                ..
+            } => {
+                assert_eq!(var.name.as_str(), "e");
+                assert_eq!(aux.len(), 1);
+                assert_eq!(attr.as_str(), "salary");
+                assert_eq!(value.to_string(), "(salary(e) - v)");
+            }
+            other => panic!("expected modify goal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_non_spec_shapes() {
+        let f = parse_sformula("forall s: state . true", &ctx()).unwrap();
+        assert!(analyze_spec(&f).is_err());
+    }
+
+    #[test]
+    fn extracts_referential_ics() {
+        let ic = parse_sformula(
+            "forall s: state, a': 3tup .
+               a' in s:ALLOC ->
+                 exists p': 2tup . p' in s:PROJ & a-proj(a') = p-name(p')",
+            &ctx(),
+        )
+        .unwrap();
+        let r = extract_ref_ic(&ic).unwrap();
+        assert_eq!(r.from_rel.as_str(), "ALLOC");
+        assert_eq!(r.from_attr.as_str(), "a-proj");
+        assert_eq!(r.to_rel.as_str(), "PROJ");
+        assert_eq!(r.to_attr.as_str(), "p-name");
+    }
+
+    #[test]
+    fn non_referential_ic_is_ignored() {
+        let ic = parse_sformula(
+            "forall s: state, e': 5tup . e' in s:EMP -> salary(e') <= 1000",
+            &ctx(),
+        )
+        .unwrap();
+        assert!(extract_ref_ic(&ic).is_none());
+    }
+
+    #[test]
+    fn deflation_round_trip() {
+        let s = Var::state("s");
+        let e = Var::tup_f("e", 5);
+        let st = STerm::Attr(
+            Symbol::new("salary"),
+            Box::new(STerm::var(s).eval_obj(FTerm::var(e))),
+        );
+        let f = deflate_term(&st, s).unwrap();
+        assert_eq!(f.to_string(), "salary(e)");
+    }
+}

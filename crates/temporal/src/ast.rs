@@ -1,0 +1,170 @@
+//! First-order temporal logic — the comparison formalism of Section 3.
+//!
+//! The paper's five modal operators over state formulas:
+//!
+//! * `□α` — from now on α is always true;
+//! * `○α` — α is true in the next state (on transitive database evolution
+//!   graphs `○α ≡ ◇α`, as the paper notes: the next-state relation and
+//!   the accessibility relation collapse);
+//! * `◇α` — α is eventually true;
+//! * `α U β` — α is true until β is true;
+//! * `α V β` — α precedes β.
+//!
+//! Atoms are fluent formulas (state formulas) evaluated at the current
+//! state; quantification inside atoms is first-order over objects.
+
+use std::fmt;
+use txlog_logic::FFormula;
+
+/// A temporal formula.
+#[derive(Clone, PartialEq, Eq)]
+pub enum TFormula {
+    /// A state formula, evaluated at the current state.
+    Atom(FFormula),
+    /// Negation.
+    Not(Box<TFormula>),
+    /// Conjunction.
+    And(Box<TFormula>, Box<TFormula>),
+    /// Disjunction.
+    Or(Box<TFormula>, Box<TFormula>),
+    /// Implication.
+    Implies(Box<TFormula>, Box<TFormula>),
+    /// `□α`.
+    Always(Box<TFormula>),
+    /// `○α` (≡ `◇α` on transitive evolution graphs).
+    Next(Box<TFormula>),
+    /// `◇α`.
+    Eventually(Box<TFormula>),
+    /// `α U β`.
+    Until(Box<TFormula>, Box<TFormula>),
+    /// `α V β`.
+    Precedes(Box<TFormula>, Box<TFormula>),
+}
+
+impl TFormula {
+    /// Atom helper.
+    pub fn atom(p: FFormula) -> TFormula {
+        TFormula::Atom(p)
+    }
+
+    /// `□` helper.
+    pub fn always(self) -> TFormula {
+        TFormula::Always(Box::new(self))
+    }
+
+    /// `◇` helper.
+    pub fn eventually(self) -> TFormula {
+        TFormula::Eventually(Box::new(self))
+    }
+
+    /// `○` helper.
+    pub fn next(self) -> TFormula {
+        TFormula::Next(Box::new(self))
+    }
+
+    /// `U` helper.
+    pub fn until(self, rhs: TFormula) -> TFormula {
+        TFormula::Until(Box::new(self), Box::new(rhs))
+    }
+
+    /// `V` helper.
+    pub fn precedes(self, rhs: TFormula) -> TFormula {
+        TFormula::Precedes(Box::new(self), Box::new(rhs))
+    }
+
+    /// Negation helper.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> TFormula {
+        TFormula::Not(Box::new(self))
+    }
+
+    /// Conjunction helper.
+    pub fn and(self, rhs: TFormula) -> TFormula {
+        TFormula::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// Disjunction helper.
+    pub fn or(self, rhs: TFormula) -> TFormula {
+        TFormula::Or(Box::new(self), Box::new(rhs))
+    }
+
+    /// Implication helper.
+    pub fn implies(self, rhs: TFormula) -> TFormula {
+        TFormula::Implies(Box::new(self), Box::new(rhs))
+    }
+
+    /// Modal nesting depth — how many transaction quantifiers the δ
+    /// translation will introduce.
+    pub fn modal_depth(&self) -> usize {
+        match self {
+            TFormula::Atom(_) => 0,
+            TFormula::Not(a) => a.modal_depth(),
+            TFormula::And(a, b) | TFormula::Or(a, b) | TFormula::Implies(a, b) => {
+                a.modal_depth().max(b.modal_depth())
+            }
+            TFormula::Always(a) | TFormula::Next(a) | TFormula::Eventually(a) => {
+                a.modal_depth() + 1
+            }
+            TFormula::Until(a, b) | TFormula::Precedes(a, b) => {
+                a.modal_depth().max(b.modal_depth()) + 1
+            }
+        }
+    }
+}
+
+impl fmt::Display for TFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TFormula::Atom(p) => write!(f, "[{p}]"),
+            TFormula::Not(a) => write!(f, "!{a}"),
+            TFormula::And(a, b) => write!(f, "({a} & {b})"),
+            TFormula::Or(a, b) => write!(f, "({a} | {b})"),
+            TFormula::Implies(a, b) => write!(f, "({a} -> {b})"),
+            TFormula::Always(a) => write!(f, "[]{a}"),
+            TFormula::Next(a) => write!(f, "(){a}"),
+            TFormula::Eventually(a) => write!(f, "<>{a}"),
+            TFormula::Until(a, b) => write!(f, "({a} U {b})"),
+            TFormula::Precedes(a, b) => write!(f, "({a} V {b})"),
+        }
+    }
+}
+
+impl fmt::Debug for TFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txlog_logic::{FFormula, FTerm};
+
+    fn p() -> FFormula {
+        FFormula::member(FTerm::TupleCons(vec![FTerm::nat(1)]), FTerm::rel("R"))
+    }
+
+    #[test]
+    fn display() {
+        let f = TFormula::atom(p()).always();
+        assert_eq!(f.to_string(), "[][tuple(1) in R]");
+        let g = TFormula::atom(p()).until(TFormula::atom(p()).not());
+        assert_eq!(g.to_string(), "([tuple(1) in R] U ![tuple(1) in R])");
+    }
+
+    #[test]
+    fn modal_depth() {
+        assert_eq!(TFormula::atom(p()).modal_depth(), 0);
+        assert_eq!(TFormula::atom(p()).always().modal_depth(), 1);
+        assert_eq!(
+            TFormula::atom(p()).eventually().always().modal_depth(),
+            2
+        );
+        assert_eq!(
+            TFormula::atom(p())
+                .until(TFormula::atom(p()).always())
+                .modal_depth(),
+            2
+        );
+    }
+}

@@ -1,0 +1,244 @@
+//! The δ embedding of temporal logic into situational logic.
+//!
+//! Section 3 defines a mapping δ from temporal formulas to situational
+//! formulas such that α is valid at state s in temporal logic iff
+//! δ(s, α) is valid in situational logic:
+//!
+//! ```text
+//! δ(s, α)      = s :: α                      (no temporal operators)
+//! δ(s, □α)     = (∀t) δ(s;t, α)
+//! δ(s, ◇α)     = (∃t) δ(s;t, α)
+//! δ(s, α U β)  = (∀t) (δ(s;t, α) ∨ (∃t₁)(∃t₂)(t = t₁;;t₂ ∧ δ(s;t₁, β)))
+//! δ(s, α V β)  = (∃t) (δ(s;t, α) ∧ (∀t₁)(∀t₂)(t = t₁;;t₂ → δ(s;t₁, ¬β)))
+//! ```
+//!
+//! Two renderings of the paper's equations are adjusted for finite models
+//! with partial transactions:
+//!
+//! * the fluent equation `t = t₁;;t₂` is rendered at the state level as
+//!   `(s;t₁);t₂ = s;t` (on deterministic evolution graphs the two
+//!   readings coincide: a decomposition of `t` is exactly an intermediate
+//!   state on the way to `s;t`);
+//! * each quantifier over transactions is guarded by definedness
+//!   (`∃u. s;t = u`), because the paper assumes transactions are total
+//!   while a finite model records only the transitions that exist.
+//!
+//! This mapping is the constructive half of the paper's expressiveness
+//! claim; the other half — that situational constraints about specific
+//! transactions (the `modify` axioms) have **no** temporal counterpart —
+//! is demonstrated in the experiment suite by exhibiting two models that
+//! agree on all temporal formulas yet disagree on a transaction property.
+
+use crate::ast::TFormula;
+use txlog_logic::{FTerm, SFormula, STerm, Var};
+
+/// Translate δ(s, f) where `s` is the situational state term for "now".
+///
+/// Fresh transaction variables are drawn `t1, t2, …` per translation.
+///
+/// ```
+/// use txlog_temporal::{delta, TFormula};
+/// use txlog_logic::{FFormula, FTerm, STerm, Var};
+///
+/// let open = TFormula::Atom(FFormula::member(
+///     FTerm::TupleCons(vec![FTerm::Nat(1)]),
+///     FTerm::rel("R"),
+/// ));
+/// let s = Var::state("s");
+/// let image = delta(&STerm::var(s), &open.always());
+/// assert!(image.to_string().starts_with("forall δt1: tx ."));
+/// ```
+pub fn delta(s: &STerm, f: &TFormula) -> SFormula {
+    let mut fresh = 0usize;
+    delta_inner(s, f, &mut fresh)
+}
+
+fn fresh_tx(counter: &mut usize) -> Var {
+    *counter += 1;
+    Var::transaction(&format!("δt{counter}"))
+}
+
+fn fresh_state(counter: &mut usize) -> Var {
+    *counter += 1;
+    Var::state(&format!("δu{counter}"))
+}
+
+/// `∃u. w = u` — the state term denotes a recorded state.
+fn defined(w: &STerm, counter: &mut usize) -> SFormula {
+    let u = fresh_state(counter);
+    SFormula::exists(u, SFormula::eq(w.clone(), STerm::var(u)))
+}
+
+fn delta_inner(s: &STerm, f: &TFormula, counter: &mut usize) -> SFormula {
+    match f {
+        TFormula::Atom(p) => SFormula::Holds(s.clone(), p.clone()),
+        TFormula::Not(a) => delta_inner(s, a, counter).not(),
+        TFormula::And(a, b) => {
+            delta_inner(s, a, counter).and(delta_inner(s, b, counter))
+        }
+        TFormula::Or(a, b) => delta_inner(s, a, counter).or(delta_inner(s, b, counter)),
+        TFormula::Implies(a, b) => {
+            delta_inner(s, a, counter).implies(delta_inner(s, b, counter))
+        }
+        TFormula::Always(a) => {
+            let t = fresh_tx(counter);
+            let st = s.clone().eval_state(FTerm::var(t));
+            let body = defined(&st, counter).implies(delta_inner(&st, a, counter));
+            SFormula::forall(t, body)
+        }
+        TFormula::Next(a) | TFormula::Eventually(a) => {
+            // ○α ≡ ◇α on transitive evolution graphs
+            let t = fresh_tx(counter);
+            let st = s.clone().eval_state(FTerm::var(t));
+            let body = defined(&st, counter).and(delta_inner(&st, a, counter));
+            SFormula::exists(t, body)
+        }
+        TFormula::Until(a, b) => {
+            let t = fresh_tx(counter);
+            let st = s.clone().eval_state(FTerm::var(t));
+            let t1 = fresh_tx(counter);
+            let t2 = fresh_tx(counter);
+            let s_t1 = s.clone().eval_state(FTerm::var(t1));
+            let s_t1_t2 = s_t1.clone().eval_state(FTerm::var(t2));
+            let decomposes = SFormula::eq(s_t1_t2, st.clone());
+            let witness = SFormula::exists(
+                t1,
+                SFormula::exists(
+                    t2,
+                    decomposes.and(delta_inner(&s_t1, b, counter)),
+                ),
+            );
+            let body = defined(&st, counter)
+                .implies(delta_inner(&st, a, counter).or(witness));
+            SFormula::forall(t, body)
+        }
+        TFormula::Precedes(a, b) => {
+            let t = fresh_tx(counter);
+            let st = s.clone().eval_state(FTerm::var(t));
+            let t1 = fresh_tx(counter);
+            let t2 = fresh_tx(counter);
+            let s_t1 = s.clone().eval_state(FTerm::var(t1));
+            let s_t1_t2 = s_t1.clone().eval_state(FTerm::var(t2));
+            let decomposes = SFormula::eq(s_t1_t2, st.clone());
+            let no_early_b = SFormula::forall(
+                t1,
+                SFormula::forall(
+                    t2,
+                    decomposes.implies(delta_inner(&s_t1, b, counter).not()),
+                ),
+            );
+            let body = defined(&st, counter)
+                .and(delta_inner(&st, a, counter))
+                .and(no_early_b);
+            SFormula::exists(t, body)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics::holds;
+    use txlog_base::Atom;
+    use txlog_engine::{Binding, Env, Model, ModelBuilder, StateVal, Value};
+    use txlog_logic::{FFormula, FTerm};
+    use txlog_relational::{Schema, TxLabel};
+
+    fn has(n: u64) -> FFormula {
+        FFormula::member(FTerm::TupleCons(vec![FTerm::nat(n)]), FTerm::rel("R"))
+    }
+
+    /// Chain model with R growing along arcs.
+    fn chain(len: usize) -> Model {
+        let schema = Schema::new().relation("R", &["a"]).unwrap();
+        let rid = schema.rel_id("R").unwrap();
+        let mut b = ModelBuilder::new(schema);
+        let mut db = b.schema().initial_state();
+        let mut prev = b.add_state(db.clone());
+        for i in 1..len {
+            db = db.insert_fields(rid, &[Atom::nat(i as u64)]).unwrap().0;
+            let cur = b.add_state(db.clone());
+            b.graph_mut()
+                .add_arc(prev, TxLabel::new(&format!("ins{i}")), cur)
+                .unwrap();
+            prev = cur;
+        }
+        b.graph_mut().reflexive_close();
+        b.graph_mut().transitive_close();
+        b.finish()
+    }
+
+    /// Check temporal and δ-translated verdicts agree for `f` at every
+    /// state of `model`.
+    fn agree(model: &Model, f: &TFormula) {
+        let s = Var::state("s");
+        let translated = delta(&STerm::var(s), f);
+        for node in model.graph.state_ids() {
+            let direct = holds(model, node, f).unwrap();
+            let env = Env::new().bind(
+                s,
+                Binding::Val(Value::State(StateVal::node(
+                    node,
+                    model.graph.state(node).clone(),
+                ))),
+            );
+            let via_delta = model.eval_sformula(&translated, &env).unwrap();
+            assert_eq!(
+                direct, via_delta,
+                "disagreement at {node} on {f}: direct={direct} δ={via_delta}"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_agrees_on_basic_operators() {
+        let model = chain(3);
+        agree(&model, &TFormula::atom(has(1)));
+        agree(&model, &TFormula::atom(has(1)).eventually());
+        agree(&model, &TFormula::atom(has(1)).always());
+        agree(&model, &TFormula::atom(has(2)).next());
+        agree(&model, &TFormula::atom(has(9)).eventually());
+    }
+
+    #[test]
+    fn delta_agrees_on_until_and_precedes() {
+        let model = chain(3);
+        agree(
+            &model,
+            &TFormula::atom(has(2)).not().until(TFormula::atom(has(1))),
+        );
+        agree(
+            &model,
+            &TFormula::atom(has(1)).precedes(TFormula::atom(has(2))),
+        );
+        agree(
+            &model,
+            &TFormula::atom(has(2)).precedes(TFormula::atom(has(1))),
+        );
+    }
+
+    #[test]
+    fn delta_agrees_on_nested_formulas() {
+        let model = chain(4);
+        agree(
+            &model,
+            &TFormula::atom(has(1))
+                .eventually()
+                .and(TFormula::atom(has(3)).eventually())
+                .always(),
+        );
+        agree(
+            &model,
+            &TFormula::atom(has(2)).always().eventually(),
+        );
+    }
+
+    #[test]
+    fn delta_shape_matches_paper() {
+        let s = Var::state("s");
+        let f = TFormula::atom(has(1)).always();
+        let text = delta(&STerm::var(s), &f).to_string();
+        assert!(text.starts_with("forall δt1: tx ."), "got: {text}");
+        assert!(text.contains("s;δt1"));
+    }
+}

@@ -1,0 +1,28 @@
+//! First-order temporal logic and its embedding into the transaction
+//! logic (Section 3 of the paper).
+//!
+//! The paper compares its situational transaction logic against
+//! first-order temporal logic, the dominant formalism for dynamic
+//! database constraints, and shows the transaction logic is *strictly
+//! more expressive*:
+//!
+//! * every temporal formula embeds via the mapping δ ([`delta`]) — this
+//!   crate implements both the temporal semantics ([`holds`]) and the
+//!   embedding, and the test suites verify they agree on finite models;
+//! * properties of *specific transactions* (the `modify` action and frame
+//!   axioms) are not temporal-expressible, because programs are not
+//!   objects of temporal logic — demonstrated in the experiment suite by
+//!   a pair of models that are temporally indistinguishable yet differ on
+//!   a transaction property.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod embed;
+pub mod parser;
+pub mod semantics;
+
+pub use ast::TFormula;
+pub use embed::delta;
+pub use parser::parse_tformula;
+pub use semantics::{holds, holds_env};

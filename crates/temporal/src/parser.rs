@@ -1,0 +1,217 @@
+//! Concrete syntax for temporal formulas.
+//!
+//! Matches the `Display` rendering, so print → parse round-trips:
+//!
+//! ```text
+//! [p]        atom — p is a fluent formula in the logic's syntax
+//! []f        □f (always)
+//! <>f        ◇f (eventually)
+//! ()f        ○f (next)
+//! !f         negation
+//! (a & b)    conjunction        (a | b)   disjunction
+//! (a -> b)   implication
+//! (a U b)    until              (a V b)   precedes
+//! ```
+//!
+//! Binary operators require explicit parentheses (as `Display` emits),
+//! which keeps the grammar unambiguous without a precedence table.
+
+use crate::ast::TFormula;
+use txlog_base::{TxError, TxResult};
+use txlog_logic::{parse_fformula, ParseCtx, Var};
+
+/// Parse a temporal formula. Atom contents (between `[` and `]`) are
+/// parsed as fluent formulas against `ctx` with `params` in scope.
+pub fn parse_tformula(src: &str, ctx: &ParseCtx, params: &[Var]) -> TxResult<TFormula> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut p = Parser {
+        chars,
+        pos: 0,
+        ctx,
+        params,
+    };
+    let f = p.formula()?;
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return Err(TxError::parse(
+            1,
+            p.pos as u32 + 1,
+            "trailing input after temporal formula",
+        ));
+    }
+    Ok(f)
+}
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    ctx: &'a ParseCtx,
+    params: &'a [Var],
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.chars.len() && self.chars[self.pos].is_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek2(&self) -> (Option<char>, Option<char>) {
+        (
+            self.chars.get(self.pos).copied(),
+            self.chars.get(self.pos + 1).copied(),
+        )
+    }
+
+    fn err<T>(&self, msg: &str) -> TxResult<T> {
+        Err(TxError::parse(1, self.pos as u32 + 1, msg))
+    }
+
+    fn formula(&mut self) -> TxResult<TFormula> {
+        self.skip_ws();
+        match self.peek2() {
+            (Some('['), Some(']')) => {
+                self.pos += 2;
+                Ok(self.formula()?.always())
+            }
+            (Some('['), _) => {
+                // atom: consume to the matching ']'
+                self.pos += 1;
+                let start = self.pos;
+                while self.pos < self.chars.len() && self.chars[self.pos] != ']' {
+                    self.pos += 1;
+                }
+                if self.pos >= self.chars.len() {
+                    return self.err("unterminated '[' atom");
+                }
+                let text: String = self.chars[start..self.pos].iter().collect();
+                self.pos += 1; // ']'
+                let p = parse_fformula(&text, self.ctx, self.params)?;
+                Ok(TFormula::Atom(p))
+            }
+            (Some('<'), Some('>')) => {
+                self.pos += 2;
+                Ok(self.formula()?.eventually())
+            }
+            (Some('('), Some(')')) => {
+                self.pos += 2;
+                Ok(self.formula()?.next())
+            }
+            (Some('!'), _) => {
+                self.pos += 1;
+                Ok(self.formula()?.not())
+            }
+            (Some('('), _) => {
+                self.pos += 1;
+                let lhs = self.formula()?;
+                self.skip_ws();
+                let f = match self.peek2() {
+                    (Some('&'), _) => {
+                        self.pos += 1;
+                        lhs.and(self.formula()?)
+                    }
+                    (Some('|'), _) => {
+                        self.pos += 1;
+                        lhs.or(self.formula()?)
+                    }
+                    (Some('-'), Some('>')) => {
+                        self.pos += 2;
+                        lhs.implies(self.formula()?)
+                    }
+                    (Some('U'), _) => {
+                        self.pos += 1;
+                        lhs.until(self.formula()?)
+                    }
+                    (Some('V'), _) => {
+                        self.pos += 1;
+                        lhs.precedes(self.formula()?)
+                    }
+                    _ => return self.err("expected a binary operator (& | -> U V)"),
+                };
+                self.skip_ws();
+                if self.chars.get(self.pos) != Some(&')') {
+                    return self.err("expected ')' closing binary formula");
+                }
+                self.pos += 1;
+                Ok(f)
+            }
+            _ => self.err("expected a temporal formula ('[', '[]', '<>', '()', '!', or '(')"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txlog_logic::{FFormula, FTerm};
+
+    fn ctx() -> ParseCtx {
+        ParseCtx::with_relations(&["R"])
+    }
+
+    fn atom(n: u64) -> TFormula {
+        TFormula::Atom(FFormula::member(
+            FTerm::TupleCons(vec![FTerm::Nat(n)]),
+            FTerm::rel("R"),
+        ))
+    }
+
+    #[test]
+    fn parses_all_operators() {
+        let cases: Vec<(&str, TFormula)> = vec![
+            ("[tuple(1) in R]", atom(1)),
+            ("[][tuple(1) in R]", atom(1).always()),
+            ("<>[tuple(1) in R]", atom(1).eventually()),
+            ("()[tuple(1) in R]", atom(1).next()),
+            ("![tuple(1) in R]", atom(1).not()),
+            ("([tuple(1) in R] & [tuple(2) in R])", atom(1).and(atom(2))),
+            ("([tuple(1) in R] U [tuple(2) in R])", atom(1).until(atom(2))),
+            (
+                "([tuple(1) in R] V [tuple(2) in R])",
+                atom(1).precedes(atom(2)),
+            ),
+            (
+                "([tuple(1) in R] -> <>[tuple(2) in R])",
+                atom(1).implies(atom(2).eventually()),
+            ),
+        ];
+        for (src, want) in cases {
+            let got = parse_tformula(src, &ctx(), &[]).unwrap_or_else(|e| panic!("{src}: {e}"));
+            assert_eq!(got, want, "{src}");
+        }
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let formulas = [
+            atom(1).always(),
+            atom(1).until(atom(2).not()),
+            atom(1).precedes(atom(2)).eventually(),
+            atom(1).and(atom(2)).implies(atom(3).always()),
+            atom(1).not().not(),
+        ];
+        for f in formulas {
+            let printed = f.to_string();
+            let reparsed = parse_tformula(&printed, &ctx(), &[])
+                .unwrap_or_else(|e| panic!("{printed}: {e}"));
+            assert_eq!(reparsed.to_string(), printed);
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        for bad in ["", "[unclosed", "([a in R] ?? [a in R])", "[]", "()[x]"] {
+            assert!(
+                parse_tformula(bad, &ctx(), &[]).is_err(),
+                "{bad:?} should not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn params_reach_the_atom_parser() {
+        let v = Var::atom_f("v");
+        let f = parse_tformula("<>[tuple(v) in R]", &ctx(), &[v]).unwrap();
+        assert!(f.to_string().contains("tuple(v)"));
+    }
+}

@@ -1,0 +1,174 @@
+//! An interactive shell for the transaction logic.
+//!
+//! ```text
+//! cargo run -p txlog-examples --bin repl
+//! ```
+//!
+//! Commands:
+//!
+//! ```text
+//! rel NAME(attr, attr, …)      declare a relation
+//! run  <transaction>           execute an f-term at the current state
+//! eval <f-term>                evaluate a query at the current state
+//! ask  <f-formula>             evaluate a truth-valued fluent (w :: p)
+//! check <s-formula>            model-check over the recorded history
+//! show                         print the current state
+//! history                      print the evolution so far
+//! undo                         drop the last transaction
+//! help | quit
+//! ```
+
+use std::io::{BufRead, Write as _};
+use txlog::prelude::*;
+
+struct Repl {
+    schema: Schema,
+    states: Vec<DbState>,
+    labels: Vec<String>,
+}
+
+impl Repl {
+    fn new() -> Repl {
+        let schema = Schema::new();
+        let states = vec![schema.initial_state()];
+        Repl {
+            schema,
+            states,
+            labels: Vec::new(),
+        }
+    }
+
+    fn ctx(&self) -> ParseCtx {
+        ParseCtx::new(self.schema.decls().iter().map(|d| d.name))
+    }
+
+    fn current(&self) -> &DbState {
+        self.states.last().expect("at least the initial state")
+    }
+
+    fn model(&self) -> TxResult<Model> {
+        let mut b = ModelBuilder::new(self.schema.clone());
+        let mut prev = b.add_state(self.states[0].clone());
+        for (i, s) in self.states.iter().enumerate().skip(1) {
+            let cur = b.add_state(s.clone());
+            if prev != cur {
+                b.graph_mut()
+                    .add_arc(prev, TxLabel::new(&self.labels[i - 1]), cur)?;
+            }
+            prev = cur;
+        }
+        b.graph_mut().transitive_close();
+        Ok(b.finish())
+    }
+
+    fn dispatch(&mut self, line: &str) -> TxResult<String> {
+        let line = line.trim();
+        let (cmd, rest) = match line.split_once(char::is_whitespace) {
+            Some((c, r)) => (c, r.trim()),
+            None => (line, ""),
+        };
+        match cmd {
+            "rel" => {
+                let (name, attrs) = rest
+                    .split_once('(')
+                    .ok_or_else(|| TxError::parse(1, 1, "expected NAME(attr, …)"))?;
+                let attrs: Vec<&str> = attrs
+                    .trim_end_matches(')')
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|a| !a.is_empty())
+                    .collect();
+                self.schema.add_relation(name.trim(), &attrs)?;
+                // rebuild every state with the new relation present
+                let decl = self.schema.expect(name.trim())?;
+                for s in &mut self.states {
+                    *s = s.clone().with_relation(decl.id, decl.arity())?;
+                }
+                Ok(format!("declared {}", decl))
+            }
+            "run" => {
+                let tx = parse_fterm(rest, &self.ctx(), &[])?;
+                let engine = Engine::new(&self.schema);
+                let next = engine.execute(self.current(), &tx, &Env::new())?;
+                self.states.push(next);
+                self.labels.push(rest.to_string());
+                Ok(format!("ok — state {} reached", self.states.len() - 1))
+            }
+            "eval" => {
+                let q = parse_fterm(rest, &self.ctx(), &[])?;
+                let engine = Engine::new(&self.schema);
+                let v = engine.eval_obj(self.current(), &q, &Env::new())?;
+                Ok(format!("{v}"))
+            }
+            "ask" => {
+                let p = parse_fformula(rest, &self.ctx(), &[])?;
+                let engine = Engine::new(&self.schema);
+                let v = engine.eval_truth(self.current(), &p, &Env::new())?;
+                Ok(format!("{v}"))
+            }
+            "check" => {
+                let f = parse_sformula(rest, &self.ctx())?;
+                let model = self.model()?;
+                match model.check_with_witness(&f)? {
+                    Ok(()) => Ok("valid in the recorded history".to_string()),
+                    Err(w) => Ok(format!("FALSIFIED — witness: {w}")),
+                }
+            }
+            "show" => Ok(format!("{}", self.current())),
+            "history" => {
+                let mut out = String::new();
+                out.push_str(&format!("{} states\n", self.states.len()));
+                for (i, l) in self.labels.iter().enumerate() {
+                    out.push_str(&format!("  s{i} --[{l}]--> s{}\n", i + 1));
+                }
+                Ok(out)
+            }
+            "undo" => {
+                if self.states.len() > 1 {
+                    self.states.pop();
+                    self.labels.pop();
+                    Ok("rolled back one transaction".to_string())
+                } else {
+                    Ok("nothing to undo".to_string())
+                }
+            }
+            "help" => Ok(HELP.to_string()),
+            "" => Ok(String::new()),
+            other => Ok(format!("unknown command {other:?} — try 'help'")),
+        }
+    }
+}
+
+const HELP: &str = "\
+commands:
+  rel NAME(attr, …)    declare a relation
+  run  <transaction>   execute, e.g. run insert(tuple('ann', 500), EMP)
+  eval <query>         e.g. eval sum({ salary(e) | e: 2tup . e in EMP })
+  ask  <formula>       e.g. ask exists e: 2tup . e in EMP & salary(e) > 400
+  check <s-formula>    e.g. check forall s: state, e': 2tup . e' in s:EMP -> salary(e') <= 1000
+  show | history | undo | quit";
+
+fn main() {
+    println!("txlog repl — a transaction logic for database specification");
+    println!("type 'help' for commands, 'quit' to exit\n");
+    let mut repl = Repl::new();
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    loop {
+        print!("txlog> ");
+        stdout.flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let line = line.trim();
+        if line == "quit" || line == "exit" {
+            break;
+        }
+        match repl.dispatch(line) {
+            Ok(msg) if msg.is_empty() => {}
+            Ok(msg) => println!("{msg}"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

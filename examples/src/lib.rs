@@ -1,0 +1,2 @@
+//! Placeholder library target; the example binaries live at the package
+//! root (see `Cargo.toml`'s `[[bin]]` entries).

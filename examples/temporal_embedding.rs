@@ -1,0 +1,84 @@
+//! Section 3, live: temporal formulas, their δ images, and agreement of
+//! the two semantics on an evolution graph.
+//!
+//! ```text
+//! cargo run -p txlog-examples --bin temporal_embedding
+//! ```
+
+use txlog::base::Atom;
+use txlog::engine::{Binding, Env, ModelBuilder, StateVal, Value};
+use txlog::logic::{FFormula, FTerm, STerm, Var};
+use txlog::prelude::TxResult;
+use txlog::relational::{Schema, TxLabel};
+use txlog::temporal::{delta, holds, TFormula};
+
+fn main() -> TxResult<()> {
+    // a little evolution graph: a ticketing system whose OPEN relation
+    // shrinks as tickets close
+    let schema = Schema::new().relation("OPEN", &["ticket"])?;
+    let rid = schema.rel_id("OPEN")?;
+    let mut b = ModelBuilder::new(schema);
+    let mut db = b.schema().initial_state();
+    for t in 1..=3u64 {
+        db = db.insert_fields(rid, &[Atom::nat(t)])?.0;
+    }
+    let mut prev = b.add_state(db.clone());
+    let root = prev;
+    for t in 1..=3u64 {
+        let open = db
+            .relation(rid)
+            .expect("OPEN exists")
+            .iter_vals()
+            .find(|x| x.fields[0] == Atom::nat(t))
+            .expect("ticket open");
+        db = db.delete(rid, &open)?;
+        let cur = b.add_state(db.clone());
+        b.graph_mut()
+            .add_arc(prev, TxLabel::new(&format!("close-{t}")), cur)?;
+        prev = cur;
+    }
+    b.graph_mut().reflexive_close();
+    b.graph_mut().transitive_close();
+    let model = b.finish();
+    println!(
+        "evolution graph: {} states, {} arcs (reflexive + transitive)",
+        model.graph.state_count(),
+        model.graph.arc_count()
+    );
+
+    let open = |t: u64| {
+        TFormula::Atom(FFormula::member(
+            FTerm::TupleCons(vec![FTerm::Nat(t)]),
+            FTerm::rel("OPEN"),
+        ))
+    };
+
+    let formulas: Vec<(&str, TFormula)> = vec![
+        ("◇ all-closed", open(1).not().and(open(2).not()).and(open(3).not()).eventually()),
+        ("□ ticket-3-open (fails: it closes)", open(3).always()),
+        ("ticket-1-open U ticket-1-closed", open(1).until(open(1).not())),
+        ("closed-3 precedes closed-1 (order of closing)", open(3).not().precedes(open(1).not())),
+        ("○ ticket-1-closed (≡ ◇ on evolution graphs)", open(1).not().next()),
+    ];
+
+    let s = Var::state("s");
+    println!("\n{:<45} {:>8} {:>8}", "temporal formula", "direct", "via δ");
+    for (name, f) in formulas {
+        let direct = holds(&model, root, &f)?;
+        let image = delta(&STerm::var(s), &f);
+        let env = Env::new().bind(
+            s,
+            Binding::Val(Value::State(StateVal::node(
+                root,
+                model.graph.state(root).clone(),
+            ))),
+        );
+        let via = model.eval_sformula(&image, &env)?;
+        println!("{name:<45} {direct:>8} {via:>8}");
+    }
+
+    // show one full translation, the paper's δ at work
+    let f = open(1).until(open(1).not());
+    println!("\nδ(s, ticket-1-open U ¬ticket-1-open) =\n  {}", delta(&STerm::var(s), &f));
+    Ok(())
+}

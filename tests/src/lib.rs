@@ -1,0 +1,25 @@
+//! Cross-crate integration tests live in `tests/tests/`; this library
+//! target only hosts shared helpers.
+
+use txlog::engine::{Env, Model, ModelBuilder};
+use txlog::logic::FTerm;
+use txlog::relational::DbState;
+use txlog::prelude::TxResult;
+
+/// Build a linear evolution graph by executing `steps` from `initial`,
+/// with reflexive and transitive closure applied.
+pub fn linear_model(
+    schema: txlog::relational::Schema,
+    initial: DbState,
+    steps: &[(&str, FTerm)],
+) -> TxResult<Model> {
+    let env = Env::new();
+    let mut b = ModelBuilder::new(schema);
+    let mut cur = b.add_state(initial);
+    for (label, tx) in steps {
+        cur = b.apply(cur, label, tx, &env)?;
+    }
+    b.reflexive_close();
+    b.transitive_close();
+    Ok(b.finish())
+}

@@ -1,0 +1,180 @@
+//! The situational transaction theory T_L, model-checked.
+//!
+//! Section 2's axioms are rendered as closed s-formulas by
+//! `txlog_logic::axioms`; every relational database is supposed to be a
+//! *model* of T_L (Definition 2). These tests build evolution graphs from
+//! generated databases and workaday transactions and check that each
+//! axiom instance is valid in them — the engine's operational semantics
+//! against the paper's axiomatic one.
+
+use txlog::empdb::transactions as tx;
+use txlog::empdb::{populate, Sizes};
+use txlog::engine::{Env, Model, ModelBuilder};
+use txlog::logic::axioms;
+
+fn employee_model(seed: u64) -> Model {
+    let (schema, db) = populate(Sizes::small(), seed).expect("population generates");
+    let env = Env::new();
+    let mut b = ModelBuilder::new(schema);
+    let s0 = b.add_state(db);
+    let s1 = b
+        .apply(
+            s0,
+            "hire-zed",
+            &tx::hire("zed", "dept-0", 510, 33, "S", "proj-0", 80),
+            &env,
+        )
+        .expect("hire executes");
+    let s2 = b
+        .apply(s1, "raise", &tx::raise_salary("zed", 15), &env)
+        .expect("raise executes");
+    let _s3 = b
+        .apply(s2, "skill", &tx::obtain_skill("zed", 3), &env)
+        .expect("skill executes");
+    b.reflexive_close();
+    b.transitive_close();
+    b.finish()
+}
+
+#[test]
+fn fluent_laws_hold_in_generated_models() {
+    for seed in [1u64, 2, 3] {
+        let model = employee_model(seed);
+        for ax in [
+            axioms::identity_fluent(),
+            axioms::composition_linkage(),
+            axioms::composition_associativity(),
+        ] {
+            assert!(
+                model.check(&ax.formula).expect("axiom evaluates"),
+                "axiom {} fails in model (seed {seed})",
+                ax.name
+            );
+        }
+    }
+}
+
+#[test]
+fn insert_and_delete_axioms_hold() {
+    for seed in [4u64, 5] {
+        let model = employee_model(seed);
+        for (rel, arity) in [("EMP", 5), ("SKILL", 2), ("PROJ", 2)] {
+            for ax in [
+                axioms::insert_action(rel, arity),
+                axioms::delete_action(rel, arity),
+            ] {
+                assert!(
+                    model.check(&ax.formula).expect("axiom evaluates"),
+                    "axiom {} fails (seed {seed})",
+                    ax.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn frame_axioms_hold_across_relations() {
+    let model = employee_model(6);
+    for (rel, arity) in [("EMP", 5), ("SKILL", 2)] {
+        for other in ["DEPT", "PROJ", "ALLOC"] {
+            for ax in [
+                axioms::insert_frame(rel, arity, other),
+                axioms::delete_frame(rel, arity, other),
+            ] {
+                assert!(
+                    model.check(&ax.formula).expect("axiom evaluates"),
+                    "axiom {} fails",
+                    ax.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn modify_action_and_frame_hold() {
+    // the paper's flagship pair, over the salary and age columns of EMP
+    let model = employee_model(7);
+    for i in [3usize, 4] {
+        let ax = axioms::modify_action("EMP", 5, i);
+        assert!(
+            model.check(&ax.formula).expect("axiom evaluates"),
+            "axiom {} fails",
+            ax.name
+        );
+        for j in [3usize, 4] {
+            let ax = axioms::modify_frame("EMP", 5, i, j);
+            assert!(
+                model.check(&ax.formula).expect("axiom evaluates"),
+                "axiom {} fails",
+                ax.name
+            );
+        }
+    }
+}
+
+#[test]
+fn condition_linkage_holds() {
+    use txlog::logic::{FFormula, FTerm};
+    let model = employee_model(8);
+    let p = FFormula::member(
+        FTerm::TupleCons(vec![
+            FTerm::str("zed"),
+            FTerm::str("dept-0"),
+            FTerm::nat(510),
+            FTerm::nat(33),
+            FTerm::str("S"),
+        ]),
+        FTerm::rel("EMP"),
+    );
+    let a = FTerm::insert(FTerm::TupleCons(vec![FTerm::str("zed"), FTerm::nat(9)]), "SKILL");
+    let b = FTerm::Identity;
+    let ax = axioms::condition_linkage(p, a, b);
+    assert!(
+        model.check(&ax.formula).expect("axiom evaluates"),
+        "axiom {} fails",
+        ax.name
+    );
+}
+
+#[test]
+fn whole_theory_is_valid_in_a_small_model() {
+    // the full generated theory over a two-relation schema
+    use txlog::base::Atom;
+    use txlog::relational::Schema;
+    let schema = Schema::new()
+        .relation("R", &["a", "b"])
+        .expect("schema builds")
+        .relation("S", &["c"])
+        .expect("schema builds");
+    let rid = schema.rel_id("R").expect("R exists");
+    let sid = schema.rel_id("S").expect("S exists");
+    let db = schema.initial_state();
+    let (db, _) = db
+        .insert_fields(rid, &[Atom::nat(1), Atom::nat(2)])
+        .expect("insert applies");
+    let (db, _) = db.insert_fields(sid, &[Atom::nat(3)]).expect("insert applies");
+    let mut b = ModelBuilder::new(schema);
+    let s0 = b.add_state(db);
+    let bump = txlog::logic::parse_fterm(
+        "foreach x: 2tup | x in R do modify(x, 2, select(x, 2) + 1) end",
+        &txlog::logic::ParseCtx::with_relations(&["R", "S"]),
+        &[],
+    )
+    .expect("transaction parses");
+    b.apply(s0, "bump", &bump, &Env::new()).expect("bump executes");
+    b.reflexive_close();
+    b.transitive_close();
+    let model = b.finish();
+
+    let theory = axioms::theory(&[("R", 2), ("S", 1)]);
+    assert!(theory.len() > 10, "theory should have many instances");
+    for ax in theory {
+        assert!(
+            model.check(&ax.formula).expect("axiom evaluates"),
+            "axiom {} fails in the small model",
+            ax.name
+        );
+    }
+}

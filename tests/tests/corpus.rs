@@ -1,0 +1,124 @@
+//! Corpus round-trips: every built-in formula and transaction prints in
+//! the concrete syntax and re-parses to an α-equivalent AST (we check
+//! print → parse → print is a fixpoint, which is stability under the
+//! parser/printer pair), and every constraint sort-checks.
+
+use txlog::empdb::constraints as ic;
+use txlog::empdb::parse_ctx;
+use txlog::logic::{
+    check_sformula, parse_sformula, sort_of_fterm, Signature, SFormula, Sort,
+};
+
+fn corpus() -> Vec<(&'static str, SFormula)> {
+    let mut v = ic::example1_all();
+    v.extend([
+        ("ic2-state-pair", ic::ic2_marital_state_pair()),
+        ("ic2-transaction", ic::ic2_marital_transaction()),
+        ("ic3-skill", ic::ic3_skill_retention()),
+        ("ic3-salary-dept", ic::ic3_salary_needs_dept_switch()),
+        ("ic3-salary-ne", ic::ic3_salary_never_same()),
+        ("ic3-dept-ref", ic::ic3_dept_reference_connection()),
+        ("ic3-dept-delete-pre", ic::ic3_dept_delete_precondition()),
+        ("ic3-assoc", ic::ic3_assoc_connection()),
+        ("ic4-never-rehire", ic::ic4_never_rehire()),
+        ("ic4-fire-static", ic::ic4_fire_static()),
+        ("ic4-invertible", ic::ic4_invertible_unless_age()),
+        ("ic4-no-forever", ic::ic4_no_project_forever()),
+    ]);
+    v
+}
+
+fn employee_signature() -> Signature {
+    Signature::new()
+        .relation("EMP", &["e-name", "e-dept", "salary", "age", "m-status"])
+        .relation("DEPT", &["d-name", "chair", "location"])
+        .relation("PROJ", &["p-name", "t-alloc"])
+        .relation("ALLOC", &["a-emp", "a-proj", "perc"])
+        .relation("SKILL", &["s-emp", "s-no"])
+        .relation("E", &["e-key"])
+        .relation("FIRE", &["FIRE-key"])
+}
+
+#[test]
+fn constraints_roundtrip_through_the_parser() {
+    for (name, f) in corpus() {
+        let printed = f.to_string();
+        let reparsed = parse_sformula(&printed, &parse_ctx())
+            .unwrap_or_else(|e| panic!("{name}: printed form fails to parse: {e}\n{printed}"));
+        assert_eq!(
+            reparsed.to_string(),
+            printed,
+            "{name}: print→parse→print not a fixpoint"
+        );
+    }
+}
+
+#[test]
+fn constraints_sort_check() {
+    let sig = employee_signature();
+    for (name, f) in corpus() {
+        check_sformula(&sig, &f).unwrap_or_else(|e| panic!("{name}: ill-sorted: {e}"));
+    }
+}
+
+#[test]
+fn transactions_roundtrip_and_sort_check() {
+    use txlog::empdb::transactions as tx;
+    let sig = employee_signature();
+    let (cancel, p, v) = tx::cancel_project();
+    let all: Vec<(&str, txlog::logic::FTerm, Vec<txlog::logic::Var>)> = vec![
+        ("cancel-project", cancel, vec![p, v]),
+        ("hire", tx::hire("a", "d", 1, 2, "S", "p", 3), vec![]),
+        ("fire", tx::fire("a"), vec![]),
+        ("raise", tx::raise_salary("a", 1), vec![]),
+        ("demote", tx::demote("a", 1, "d"), vec![]),
+        ("marry", tx::marry("a"), vec![]),
+        ("skill", tx::obtain_skill("a", 1), vec![]),
+        ("delete-dept", tx::delete_dept("d"), vec![]),
+    ];
+    for (name, t, params) in all {
+        let printed = t.to_string();
+        let reparsed = txlog::logic::parse_fterm(&printed, &parse_ctx(), &params)
+            .unwrap_or_else(|e| panic!("{name}: printed form fails to parse: {e}\n{printed}"));
+        assert_eq!(
+            reparsed.to_string(),
+            printed,
+            "{name}: print→parse→print not a fixpoint"
+        );
+        assert_eq!(
+            sort_of_fterm(&sig, &t).unwrap_or_else(|e| panic!("{name}: ill-sorted: {e}")),
+            Sort::State,
+            "{name} must be a transaction"
+        );
+    }
+}
+
+#[test]
+fn spec_roundtrips() {
+    let (spec, _, _) = txlog::empdb::spec::cancel_project_spec();
+    let printed = spec.to_string();
+    // the spec has free parameters p, v — provide them on re-parse
+    let p = txlog::logic::Var::tup_f("p", 2);
+    let v = txlog::logic::Var::atom_f("v");
+    let reparsed =
+        txlog::logic::parse_sformula_with_params(&printed, &parse_ctx(), &[p, v])
+            .unwrap_or_else(|e| panic!("spec fails to re-parse: {e}\n{printed}"));
+    assert_eq!(reparsed.to_string(), printed);
+}
+
+#[test]
+fn axioms_roundtrip() {
+    use txlog::logic::axioms;
+    for ax in axioms::theory(&[("EMP", 5), ("SKILL", 2)]) {
+        let printed = ax.formula.to_string();
+        let reparsed = parse_sformula(&printed, &parse_ctx()).unwrap_or_else(|e| {
+            panic!("axiom {} fails to re-parse: {e}\n{printed}", ax.name)
+        });
+        assert_eq!(
+            reparsed.to_string(),
+            printed,
+            "axiom {}: print→parse→print not a fixpoint",
+            ax.name
+        );
+    }
+}

@@ -1,0 +1,215 @@
+//! Property tests for the engine: the linkage axioms as *executable*
+//! properties over random transactions and databases.
+
+use proptest::prelude::*;
+use txlog::base::{Atom, RelId};
+use txlog::engine::{Engine, Env, EvalOptions};
+use txlog::logic::{FFormula, FTerm};
+use txlog::relational::{DbState, Schema};
+
+fn schema() -> Schema {
+    Schema::new()
+        .relation("R", &["a"])
+        .expect("schema builds")
+        .relation("S", &["b", "c"])
+        .expect("schema builds")
+}
+
+fn db_strategy() -> impl Strategy<Value = DbState> {
+    (
+        prop::collection::vec(0u64..10, 0..6),
+        prop::collection::vec((0u64..10, 0u64..10), 0..6),
+    )
+        .prop_map(|(rs, ss)| {
+            let schema = schema();
+            let rid = schema.rel_id("R").expect("R exists");
+            let sid = schema.rel_id("S").expect("S exists");
+            let mut db = schema.initial_state();
+            for n in rs {
+                db = db.insert_fields(rid, &[Atom::nat(n)]).expect("insert").0;
+            }
+            for (b, c) in ss {
+                db = db
+                    .insert_fields(sid, &[Atom::nat(b), Atom::nat(c)])
+                    .expect("insert")
+                    .0;
+            }
+            db
+        })
+}
+
+fn tx_strategy() -> impl Strategy<Value = FTerm> {
+    let step = prop_oneof![
+        Just(FTerm::Identity),
+        (0u64..10).prop_map(|n| FTerm::insert(FTerm::TupleCons(vec![FTerm::Nat(n)]), "R")),
+        (0u64..10).prop_map(|n| FTerm::delete(FTerm::TupleCons(vec![FTerm::Nat(n)]), "R")),
+        (0u64..10, 0u64..10).prop_map(|(b, c)| FTerm::insert(
+            FTerm::TupleCons(vec![FTerm::Nat(b), FTerm::Nat(c)]),
+            "S"
+        )),
+        (0u64..10).prop_map(|n| {
+            // conditional on membership
+            FTerm::cond(
+                FFormula::member(FTerm::TupleCons(vec![FTerm::Nat(n)]), FTerm::rel("R")),
+                FTerm::delete(FTerm::TupleCons(vec![FTerm::Nat(n)]), "R"),
+                FTerm::insert(FTerm::TupleCons(vec![FTerm::Nat(n)]), "R"),
+            )
+        }),
+    ];
+    prop::collection::vec(step, 1..5).prop_map(FTerm::seq_all)
+}
+
+proptest! {
+    /// composition-linkage, executably: running `a ;; b` equals running
+    /// `a` then `b`.
+    #[test]
+    fn seq_equals_stepwise(db in db_strategy(), a in tx_strategy(), b in tx_strategy()) {
+        let schema = schema();
+        let engine = Engine::new(&schema);
+        let env = Env::new();
+        let composed = engine
+            .execute(&db, &a.clone().seq(b.clone()), &env)
+            .expect("composed executes");
+        let mid = engine.execute(&db, &a, &env).expect("first executes");
+        let stepped = engine.execute(&mid, &b, &env).expect("second executes");
+        prop_assert!(composed.content_eq(&stepped));
+    }
+
+    /// identity-fluent, executably: `Λ` leaves the state's content alone,
+    /// on both sides of any transaction.
+    #[test]
+    fn identity_is_neutral(db in db_strategy(), a in tx_strategy()) {
+        let schema = schema();
+        let engine = Engine::new(&schema);
+        let env = Env::new();
+        let plain = engine.execute(&db, &a, &env).expect("executes");
+        let left = engine
+            .execute(&db, &FTerm::Identity.seq(a.clone()), &env)
+            .expect("executes");
+        let right = engine
+            .execute(&db, &a.clone().seq(FTerm::Identity), &env)
+            .expect("executes");
+        prop_assert!(plain.content_eq(&left));
+        prop_assert!(plain.content_eq(&right));
+    }
+
+    /// condition-linkage, executably: `if p then a else b` runs exactly
+    /// the branch selected by `w :: p`.
+    #[test]
+    fn conditional_selects_by_current_truth(
+        db in db_strategy(), n in 0u64..10, a in tx_strategy(), b in tx_strategy()
+    ) {
+        let schema = schema();
+        let engine = Engine::new(&schema);
+        let env = Env::new();
+        let p = FFormula::member(
+            FTerm::TupleCons(vec![FTerm::Nat(n)]),
+            FTerm::rel("R"),
+        );
+        let cond = FTerm::cond(p.clone(), a.clone(), b.clone());
+        let out = engine.execute(&db, &cond, &env).expect("executes");
+        let expected = if engine.eval_truth(&db, &p, &env).expect("evaluates") {
+            engine.execute(&db, &a, &env).expect("executes")
+        } else {
+            engine.execute(&db, &b, &env).expect("executes")
+        };
+        prop_assert!(out.content_eq(&expected));
+    }
+
+    /// Executing a transaction never mutates the input state (persistence).
+    #[test]
+    fn execution_is_persistent(db in db_strategy(), a in tx_strategy()) {
+        let schema = schema();
+        let engine = Engine::new(&schema);
+        let before = db.content_digest();
+        let _ = engine.execute(&db, &a, &Env::new()).expect("executes");
+        prop_assert_eq!(db.content_digest(), before);
+    }
+
+    /// A uniform foreach body is order-independent: the checked mode
+    /// accepts it and agrees with the unchecked mode.
+    #[test]
+    fn uniform_foreach_is_order_independent(db in db_strategy()) {
+        let schema = schema();
+        let ctx = txlog::logic::ParseCtx::with_relations(&["R", "S"]);
+        let tx = txlog::logic::parse_fterm(
+            "foreach x: 1tup | x in R do modify(x, 1, select(x, 1) + 1) end",
+            &ctx,
+            &[],
+        )
+        .expect("parses");
+        let unchecked = Engine::new(&schema)
+            .execute(&db, &tx, &Env::new())
+            .expect("executes");
+        let checked = Engine::with_options(
+            &schema,
+            EvalOptions { check_order_independence: true, ..Default::default() },
+        )
+        .execute(&db, &tx, &Env::new())
+        .expect("order-independent foreach passes the check");
+        prop_assert!(unchecked.content_eq(&checked));
+    }
+
+    /// Negative free logic is coherent: ¬p evaluates to the complement of
+    /// p at every state, for quantifier-free p over possibly-undefined
+    /// terms.
+    #[test]
+    fn negation_is_classical_at_the_top(db in db_strategy(), n in 0u64..10) {
+        let schema = schema();
+        let engine = Engine::new(&schema);
+        let env = Env::new();
+        let p = FFormula::member(
+            FTerm::TupleCons(vec![FTerm::Nat(n)]),
+            FTerm::rel("R"),
+        );
+        let notp = p.clone().not();
+        prop_assert_eq!(
+            engine.eval_truth(&db, &p, &env).expect("evaluates"),
+            !engine.eval_truth(&db, &notp, &env).expect("evaluates")
+        );
+    }
+}
+
+#[test]
+fn order_dependent_foreach_is_rejected() {
+    // bodies that funnel every tuple's value into one accumulator tuple
+    // are order-dependent; the checker must refuse
+    let schema = Schema::new()
+        .relation("Q", &["v"])
+        .expect("schema builds")
+        .relation("ACC", &["total"])
+        .expect("schema builds");
+    let qid = schema.rel_id("Q").expect("Q exists");
+    let aid = schema.rel_id("ACC").expect("ACC exists");
+    let mut db = schema.initial_state();
+    for n in [3u64, 5] {
+        db = db.insert_fields(qid, &[Atom::nat(n)]).expect("insert").0;
+    }
+    db = db.insert_fields(aid, &[Atom::nat(0)]).expect("insert").0;
+    let ctx = txlog::logic::ParseCtx::with_relations(&["Q", "ACC"]);
+    // each iteration *overwrites* the accumulator with its own value: the
+    // final state depends on which tuple came last
+    let tx = txlog::logic::parse_fterm(
+        "foreach x: 1tup | x in Q do
+           foreach acc: 1tup | acc in ACC do
+             modify(acc, 1, select(x, 1))
+           end
+         end",
+        &ctx,
+        &[],
+    )
+    .expect("parses");
+    let engine = Engine::with_options(
+        &schema,
+        EvalOptions {
+            check_order_independence: true,
+            ..Default::default()
+        },
+    );
+    let err = engine.execute(&db, &tx, &Env::new()).unwrap_err();
+    assert!(
+        matches!(err, txlog::base::TxError::OrderDependent(_)),
+        "expected order-dependence rejection, got {err}"
+    );
+    let _ = RelId(0); // keep import used
+}

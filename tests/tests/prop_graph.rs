@@ -1,0 +1,126 @@
+//! Property tests for evolution graphs: closure laws, deduplication,
+//! reachability — the Section 1 structure (reflexive, transitive,
+//! incomplete multigraph) as machine-checked invariants.
+
+use proptest::prelude::*;
+use txlog::base::{Atom, RelId};
+use txlog::relational::{DbState, EvolutionGraph, TxLabel};
+
+fn state_with(ns: &[u64]) -> DbState {
+    let mut db = DbState::new().with_relation(RelId(0), 1).expect("schema ok");
+    for &n in ns {
+        db = db.insert_fields(RelId(0), &[Atom::nat(n)]).expect("insert").0;
+    }
+    db
+}
+
+/// A random graph description: node payloads plus arcs (src, dst) by index.
+fn graph_desc() -> impl Strategy<Value = (Vec<Vec<u64>>, Vec<(usize, usize)>)> {
+    (
+        prop::collection::vec(prop::collection::vec(0u64..6, 0..4), 1..6),
+        prop::collection::vec((0usize..6, 0usize..6), 0..10),
+    )
+}
+
+fn build(
+    payloads: &[Vec<u64>],
+    arcs: &[(usize, usize)],
+) -> (EvolutionGraph, Vec<txlog::base::StateId>) {
+    let mut g = EvolutionGraph::new();
+    let nodes: Vec<_> = payloads.iter().map(|p| g.add_state(state_with(p))).collect();
+    for (i, &(a, b)) in arcs.iter().enumerate() {
+        let src = nodes[a % nodes.len()];
+        let dst = nodes[b % nodes.len()];
+        // a fresh label per arc keeps determinism; duplicates are fine
+        let _ = g.add_arc(src, TxLabel::new(&format!("a{i}")), dst);
+    }
+    (g, nodes)
+}
+
+proptest! {
+    /// After closure, reachability is reflexive and transitive, and
+    /// every reachable pair has a direct witnessing arc.
+    #[test]
+    fn closure_gives_arc_per_reachable_pair((payloads, arcs) in graph_desc()) {
+        let (mut g, _) = build(&payloads, &arcs);
+        let pre_reach: Vec<(u32, u32, bool)> = {
+            let ids: Vec<_> = g.state_ids().collect();
+            let mut out = Vec::new();
+            for &a in &ids {
+                for &b in &ids {
+                    out.push((a.raw(), b.raw(), g.reachable(a, b)));
+                }
+            }
+            out
+        };
+        g.reflexive_close();
+        g.transitive_close();
+        for (a, b, was_reachable) in pre_reach {
+            let a = txlog::base::StateId(a);
+            let b = txlog::base::StateId(b);
+            // closure must not create reachability that wasn't there
+            prop_assert_eq!(g.reachable(a, b), was_reachable || a == b);
+            if was_reachable || a == b {
+                // and must provide a one-arc witness
+                prop_assert!(
+                    g.out_arcs(a).any(|(_, d)| d == b),
+                    "no direct arc {a} → {b} after closure"
+                );
+            }
+        }
+    }
+
+    /// Deduplication: content-equal states map to one node, so the graph
+    /// never holds two nodes with equal digests and equal content.
+    #[test]
+    fn states_are_deduplicated((payloads, _) in graph_desc()) {
+        let mut g = EvolutionGraph::new();
+        for p in &payloads {
+            g.add_state(state_with(p));
+            // adding again must not grow the graph
+            let before = g.state_count();
+            g.add_state(state_with(p));
+            prop_assert_eq!(g.state_count(), before);
+        }
+        let ids: Vec<_> = g.state_ids().collect();
+        for (i, &a) in ids.iter().enumerate() {
+            for &b in &ids[i + 1..] {
+                prop_assert!(!g.state(a).content_eq(g.state(b)));
+            }
+        }
+    }
+
+    /// Labels are deterministic: one (src, label) pair, one target.
+    #[test]
+    fn arcs_stay_functional((payloads, arcs) in graph_desc()) {
+        let (g, _) = build(&payloads, &arcs);
+        for (src, label, dst) in g.arcs() {
+            prop_assert_eq!(g.successor(src, label), Some(dst));
+        }
+    }
+
+    /// Reflexive closure is idempotent; transitive closure is idempotent.
+    #[test]
+    fn closures_are_idempotent((payloads, arcs) in graph_desc()) {
+        let (mut g, _) = build(&payloads, &arcs);
+        g.reflexive_close();
+        g.transitive_close();
+        let arcs1 = g.arc_count();
+        g.reflexive_close();
+        g.transitive_close();
+        prop_assert_eq!(g.arc_count(), arcs1);
+    }
+}
+
+#[test]
+fn incompleteness_is_possible() {
+    // property (1) of Section 1: not every state reaches every other
+    let mut g = EvolutionGraph::new();
+    let a = g.add_state(state_with(&[1]));
+    let b = g.add_state(state_with(&[2]));
+    g.reflexive_close();
+    g.transitive_close();
+    assert!(!g.reachable(a, b));
+    assert!(!g.reachable(b, a));
+    assert!(g.reachable(a, a));
+}

@@ -1,0 +1,192 @@
+//! Property tests for the logic layer: display/parse round-trips,
+//! substitution laws, unification soundness.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use txlog::logic::subst::{
+    fterm_free_vars, subst_fterm, subst_sformula, FSubst, SSubst,
+};
+use txlog::logic::unify::{apply, unify_sterms};
+use txlog::logic::{parse_fterm, FFormula, FTerm, ParseCtx, SFormula, STerm, Var};
+
+fn ctx() -> ParseCtx {
+    ParseCtx::with_relations(&["R", "S"])
+}
+
+fn evar() -> Var {
+    Var::tup_f("e", 2)
+}
+
+/// Random f-terms of object sort over relations R, S and variable `e`.
+fn fterm_strategy() -> impl Strategy<Value = FTerm> {
+    let leaf = prop_oneof![
+        (0u64..50).prop_map(FTerm::Nat),
+        Just(FTerm::str("x")),
+        Just(FTerm::rel("R")),
+        Just(FTerm::rel("S")),
+        Just(FTerm::var(evar())),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| FTerm::App(txlog::logic::Op::Add, vec![a, b])),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| FTerm::App(txlog::logic::Op::Mul, vec![a, b])),
+            inner
+                .clone()
+                .prop_map(|t| FTerm::Attr(txlog::base::Symbol::new("a"), Box::new(t))),
+            prop::collection::vec(inner, 1..3).prop_map(FTerm::TupleCons),
+        ]
+    })
+}
+
+/// Random transactions (state-sorted f-terms).
+fn tx_strategy() -> impl Strategy<Value = FTerm> {
+    let step = prop_oneof![
+        Just(FTerm::Identity),
+        (0u64..9).prop_map(|n| FTerm::insert(FTerm::TupleCons(vec![FTerm::Nat(n)]), "R")),
+        (0u64..9).prop_map(|n| FTerm::delete(FTerm::TupleCons(vec![FTerm::Nat(n)]), "R")),
+        (0u64..9).prop_map(|n| FTerm::insert(FTerm::TupleCons(vec![FTerm::Nat(n)]), "S")),
+    ];
+    prop::collection::vec(step, 1..5).prop_map(FTerm::seq_all)
+}
+
+proptest! {
+    /// display → parse → display is a fixpoint for transactions.
+    #[test]
+    fn transaction_display_parse_roundtrip(tx in tx_strategy()) {
+        let text = tx.to_string();
+        let reparsed = parse_fterm(&text, &ctx(), &[]).expect("display output parses");
+        prop_assert_eq!(reparsed.to_string(), text);
+    }
+
+    /// display → parse → display is a fixpoint for object terms.
+    #[test]
+    fn fterm_display_parse_roundtrip(t in fterm_strategy()) {
+        let text = t.to_string();
+        let reparsed =
+            parse_fterm(&text, &ctx(), &[evar()]).expect("display output parses");
+        prop_assert_eq!(reparsed.to_string(), text);
+    }
+
+    /// Substituting a variable not free in the term is the identity.
+    #[test]
+    fn substitution_of_absent_variable_is_identity(t in fterm_strategy()) {
+        let ghost = Var::tup_f("ghost", 7);
+        let mut sub = FSubst::new();
+        sub.insert(ghost, FTerm::Nat(0));
+        prop_assert_eq!(subst_fterm(&t, &sub), t);
+    }
+
+    /// After substituting e ↦ closed term, e is no longer free.
+    #[test]
+    fn substitution_eliminates_the_variable(t in fterm_strategy()) {
+        let mut sub = FSubst::new();
+        sub.insert(evar(), FTerm::TupleCons(vec![FTerm::Nat(1), FTerm::Nat(2)]));
+        let out = subst_fterm(&t, &sub);
+        prop_assert!(!fterm_free_vars(&out).contains(&evar()));
+    }
+
+    /// Substitution composes: (t[e↦u])[x↦v] = t[e↦u[x↦v]] when x ∉ fv(t).
+    #[test]
+    fn substitution_composition(t in fterm_strategy(), n in 0u64..9) {
+        let x = Var::atom_f("substx");
+        let u = FTerm::TupleCons(vec![FTerm::var(x), FTerm::Nat(0)]);
+        let v = FTerm::Nat(n);
+        let mut s1 = FSubst::new();
+        s1.insert(evar(), u.clone());
+        let mut s2 = FSubst::new();
+        s2.insert(x, v.clone());
+        let lhs = subst_fterm(&subst_fterm(&t, &s1), &s2);
+        let mut s3 = FSubst::new();
+        s3.insert(evar(), subst_fterm(&u, &s2));
+        let rhs = subst_fterm(&t, &s3);
+        prop_assert_eq!(lhs, rhs);
+    }
+}
+
+/// Random ground-ish s-terms for unification tests.
+fn sterm_strategy() -> impl Strategy<Value = STerm> {
+    let leaf = prop_oneof![
+        (0u64..9).prop_map(STerm::Nat),
+        Just(STerm::var(Var::state("w1"))),
+        Just(STerm::var(Var::state("w2"))),
+        Just(STerm::var(Var::tup_s("x", 1))),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|t| STerm::Attr(
+                txlog::base::Symbol::new("a"),
+                Box::new(t)
+            )),
+            prop::collection::vec(inner.clone(), 1..3).prop_map(STerm::TupleCons),
+            inner.prop_map(|t| STerm::EvalObj(
+                Box::new(STerm::var(Var::state("w1"))),
+                Box::new(FTerm::rel("R"))
+            ).add(t)),
+        ]
+    })
+}
+
+proptest! {
+    /// Unification soundness: a successful mgu makes both terms equal.
+    #[test]
+    fn unification_is_sound(a in sterm_strategy(), b in sterm_strategy()) {
+        let mut sub = SSubst::new();
+        let frozen = HashSet::new();
+        if unify_sterms(&a, &b, &mut sub, &frozen) {
+            // apply until fixpoint (bindings may chain)
+            let norm = |t: &STerm| {
+                let mut cur = apply(t, &sub);
+                for _ in 0..8 {
+                    let next = apply(&cur, &sub);
+                    if next == cur { break; }
+                    cur = next;
+                }
+                cur
+            };
+            prop_assert_eq!(norm(&a), norm(&b));
+        }
+    }
+
+    /// Unifying a term with itself succeeds with no new bindings needed.
+    #[test]
+    fn self_unification(a in sterm_strategy()) {
+        let mut sub = SSubst::new();
+        let frozen = HashSet::new();
+        prop_assert!(unify_sterms(&a, &a, &mut sub, &frozen));
+    }
+}
+
+proptest! {
+    /// s-formula substitution respects binders: substituting the bound
+    /// variable is the identity.
+    #[test]
+    fn bound_variables_are_untouchable(n in 0u64..9) {
+        let s = Var::state("s");
+        let f = SFormula::forall(
+            s,
+            SFormula::Holds(STerm::var(s), FFormula::True),
+        );
+        let mut sub = SSubst::new();
+        sub.insert(s, STerm::Nat(n));
+        prop_assert_eq!(subst_sformula(&f, &sub), f);
+    }
+}
+
+#[test]
+fn parse_rejects_garbage() {
+    for bad in [
+        "insert(",
+        "forall . x",
+        "foreach x do end",
+        "s ::: p",
+        "tuple(1) in",
+        "{ x | }",
+    ] {
+        assert!(
+            parse_fterm(bad, &ctx(), &[]).is_err(),
+            "{bad:?} should not parse"
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! Property tests for the relational substrate: set algebra laws,
+//! copy-on-write state discipline, identifier stability.
+
+use proptest::prelude::*;
+use txlog::base::{Atom, RelId, TupleId};
+use txlog::engine::SetVal;
+use txlog::relational::{DbState, TupleVal};
+
+fn atom_strategy() -> impl Strategy<Value = Atom> {
+    prop_oneof![
+        (0u64..20).prop_map(Atom::Nat),
+        (0u8..5).prop_map(|i| Atom::str(&format!("sym{i}"))),
+    ]
+}
+
+fn tuple_strategy(arity: usize) -> impl Strategy<Value = TupleVal> {
+    prop::collection::vec(atom_strategy(), arity).prop_map(TupleVal::anonymous)
+}
+
+fn set_strategy(arity: usize) -> impl Strategy<Value = SetVal> {
+    prop::collection::vec(tuple_strategy(arity), 0..8)
+        .prop_map(move |ms| SetVal::from_members(arity, ms).expect("arity consistent"))
+}
+
+proptest! {
+    #[test]
+    fn union_is_commutative_and_associative(
+        a in set_strategy(2), b in set_strategy(2), c in set_strategy(2)
+    ) {
+        let ab = a.union(&b).unwrap();
+        let ba = b.union(&a).unwrap();
+        prop_assert!(ab.value_eq(&ba));
+        let ab_c = ab.union(&c).unwrap();
+        let a_bc = a.union(&b.union(&c).unwrap()).unwrap();
+        prop_assert!(ab_c.value_eq(&a_bc));
+    }
+
+    #[test]
+    fn inter_distributes_over_union(
+        a in set_strategy(1), b in set_strategy(1), c in set_strategy(1)
+    ) {
+        let lhs = a.inter(&b.union(&c).unwrap()).unwrap();
+        let rhs = a.inter(&b).unwrap().union(&a.inter(&c).unwrap()).unwrap();
+        prop_assert!(lhs.value_eq(&rhs));
+    }
+
+    #[test]
+    fn diff_then_union_recovers_superset(a in set_strategy(1), b in set_strategy(1)) {
+        // (a − b) ∪ (a ∩ b) = a   (by value)
+        let lhs = a.diff(&b).unwrap().union(&a.inter(&b).unwrap()).unwrap();
+        prop_assert!(lhs.value_eq(&a));
+    }
+
+    #[test]
+    fn subset_is_reflexive_and_antisymmetric_up_to_value(
+        a in set_strategy(2), b in set_strategy(2)
+    ) {
+        prop_assert!(a.subset(&a).unwrap());
+        if a.subset(&b).unwrap() && b.subset(&a).unwrap() {
+            prop_assert!(a.value_eq(&b));
+        }
+    }
+
+    #[test]
+    fn product_cardinality(a in set_strategy(1), b in set_strategy(2)) {
+        let p = a.product(&b).unwrap();
+        prop_assert_eq!(p.arity, 3);
+        // with duplicates removed on both sides, |a × b| = |a|·|b| by value
+        prop_assert_eq!(p.value_len(), a.value_len() * b.value_len());
+    }
+
+    #[test]
+    fn sum_of_union_le_sum_of_parts(
+        xs in prop::collection::vec(0u64..20, 0..8),
+        ys in prop::collection::vec(0u64..20, 0..8)
+    ) {
+        // sums are over value-deduplicated members, so union ≤ parts
+        let mk = |ns: Vec<u64>| {
+            SetVal::from_members(
+                1,
+                ns.into_iter()
+                    .map(|n| TupleVal::anonymous(vec![Atom::nat(n)]))
+                    .collect(),
+            )
+            .unwrap()
+        };
+        let a = mk(xs);
+        let b = mk(ys);
+        let u = a.union(&b).unwrap().sum().unwrap().as_nat().unwrap();
+        let parts = a.sum().unwrap().as_nat().unwrap() + b.sum().unwrap().as_nat().unwrap();
+        prop_assert!(u <= parts);
+    }
+}
+
+proptest! {
+    #[test]
+    fn insert_then_delete_is_identity_on_content(
+        fields in prop::collection::vec(atom_strategy(), 2)
+    ) {
+        let db = DbState::new().with_relation(RelId(0), 2).unwrap();
+        let (db2, id) = db.insert_fields(RelId(0), &fields).unwrap();
+        let val = db2.find_tuple(id).unwrap().1;
+        let db3 = db2.delete(RelId(0), &val).unwrap();
+        prop_assert!(db.content_eq(&db3));
+        prop_assert_eq!(db.content_digest(), db3.content_digest());
+    }
+
+    #[test]
+    fn modify_preserves_identity_and_other_fields(
+        fields in prop::collection::vec(atom_strategy(), 3),
+        ix in 1usize..=3,
+        v in atom_strategy()
+    ) {
+        let db = DbState::new().with_relation(RelId(0), 3).unwrap();
+        let (db2, id) = db.insert_fields(RelId(0), &fields).unwrap();
+        let val = db2.find_tuple(id).unwrap().1;
+        let db3 = db2.modify(&val, ix, v).unwrap();
+        let after = db3.find_tuple(id).unwrap().1;
+        prop_assert_eq!(after.id, Some(id));
+        for k in 1..=3 {
+            if k == ix {
+                prop_assert_eq!(after.select(k).unwrap(), v);
+            } else {
+                prop_assert_eq!(after.select(k).unwrap(), fields[k - 1]);
+            }
+        }
+        // the original state is untouched (persistence)
+        prop_assert_eq!(
+            &db2.find_tuple(id).unwrap().1.fields[..],
+            &fields[..]
+        );
+    }
+
+    #[test]
+    fn content_digest_agrees_with_content_eq(
+        xs in prop::collection::vec(prop::collection::vec(atom_strategy(), 2), 0..6)
+    ) {
+        let mut a = DbState::new().with_relation(RelId(0), 2).unwrap();
+        let mut b = DbState::new().with_relation(RelId(0), 2).unwrap();
+        for f in &xs {
+            a = a.insert_fields(RelId(0), f).unwrap().0;
+            b = b.insert_fields(RelId(0), f).unwrap().0;
+        }
+        prop_assert!(a.content_eq(&b));
+        prop_assert_eq!(a.content_digest(), b.content_digest());
+    }
+
+    #[test]
+    fn assign_is_idempotent(
+        ms in prop::collection::vec(prop::collection::vec(atom_strategy(), 2), 0..6)
+    ) {
+        let members: Vec<TupleVal> = ms.into_iter().map(TupleVal::anonymous).collect();
+        let db = DbState::new();
+        let db1 = db.assign(RelId(3), 2, &members).unwrap();
+        // re-assigning the *stored* members keeps identities, so contents
+        // are equal
+        let stored: Vec<TupleVal> = db1.relation(RelId(3)).unwrap().iter_vals().collect();
+        let db2 = db1.assign(RelId(3), 2, &stored).unwrap();
+        prop_assert!(db1.content_eq(&db2));
+    }
+}
+
+#[test]
+fn identified_membership_requires_current_fields() {
+    // non-proptest edge: a stale identified value is not a member
+    let db = DbState::new().with_relation(RelId(0), 1).unwrap();
+    let (db, id) = db.insert_fields(RelId(0), &[Atom::nat(1)]).unwrap();
+    let val = db.find_tuple(id).unwrap().1;
+    let db2 = db.modify(&val, 1, Atom::nat(2)).unwrap();
+    let rel = db2.relation(RelId(0)).unwrap();
+    assert!(!rel.contains_val(&TupleVal::identified(id, vec![Atom::nat(1)])));
+    assert!(rel.contains_val(&TupleVal::identified(id, vec![Atom::nat(2)])));
+    assert!(!rel.contains_val(&TupleVal::identified(TupleId(99), vec![Atom::nat(2)])));
+}

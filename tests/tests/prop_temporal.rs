@@ -1,0 +1,122 @@
+//! Property test for Section 3's δ embedding: on random evolution
+//! graphs, the direct temporal semantics and the model-checked δ image
+//! agree for random formulas over all five operators.
+
+use proptest::prelude::*;
+use txlog::base::Atom;
+use txlog::engine::{Binding, Env, Model, ModelBuilder, StateVal, Value};
+use txlog::logic::{FFormula, FTerm, STerm, Var};
+use txlog::relational::{Schema, TxLabel};
+use txlog::temporal::{delta, holds, TFormula};
+
+/// A random DAG-ish evolution graph described by parent indices.
+fn graph_strategy() -> impl Strategy<Value = Vec<usize>> {
+    // parents[i] ∈ 0..=i for nodes 1..n
+    prop::collection::vec(0usize..100, 1..5)
+}
+
+fn build_model(parents: &[usize], payloads: &[u64]) -> Model {
+    let schema = Schema::new().relation("R", &["a"]).expect("schema builds");
+    let rid = schema.rel_id("R").expect("R exists");
+    let mut b = ModelBuilder::new(schema);
+    let mut dbs = vec![b.schema().initial_state()];
+    let mut nodes = vec![b.add_state(dbs[0].clone())];
+    for (i, &p) in parents.iter().enumerate() {
+        let parent_ix = p % nodes.len();
+        let (db, _) = dbs[parent_ix]
+            .insert_fields(rid, &[Atom::nat(payloads[i % payloads.len()])])
+            .expect("insert applies");
+        let node = b.add_state(db.clone());
+        // the same contents may already exist; only add a fresh arc label
+        b.graph_mut()
+            .add_arc(nodes[parent_ix], TxLabel::new(&format!("g{i}")), node)
+            .ok();
+        dbs.push(db);
+        nodes.push(node);
+    }
+    b.graph_mut().reflexive_close();
+    b.graph_mut().transitive_close();
+    b.finish()
+}
+
+fn formula_strategy() -> impl Strategy<Value = TFormula> {
+    let atom = (1u64..4).prop_map(|n| {
+        TFormula::Atom(FFormula::member(
+            FTerm::TupleCons(vec![FTerm::Nat(n)]),
+            FTerm::rel("R"),
+        ))
+    });
+    atom.prop_recursive(2, 12, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| f.not()),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.clone().prop_map(|f| f.always()),
+            inner.clone().prop_map(|f| f.eventually()),
+            inner.clone().prop_map(|f| f.next()),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.until(b)),
+            (inner.clone(), inner).prop_map(|(a, b)| a.precedes(b)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn delta_agrees_with_direct_semantics(
+        parents in graph_strategy(),
+        payloads in prop::collection::vec(1u64..4, 1..4),
+        f in formula_strategy()
+    ) {
+        let model = build_model(&parents, &payloads);
+        let s = Var::state("s");
+        let image = delta(&STerm::var(s), &f);
+        for node in model.graph.state_ids() {
+            let direct = holds(&model, node, &f).expect("temporal evaluates");
+            let env = Env::new().bind(
+                s,
+                Binding::Val(Value::State(StateVal::node(
+                    node,
+                    model.graph.state(node).clone(),
+                ))),
+            );
+            let via = model.eval_sformula(&image, &env).expect("δ image evaluates");
+            prop_assert_eq!(
+                direct, via,
+                "δ disagreement at {} on {}", node, f
+            );
+        }
+    }
+
+    #[test]
+    fn next_collapses_to_eventually(
+        parents in graph_strategy(),
+        payloads in prop::collection::vec(1u64..4, 1..4),
+        f in formula_strategy()
+    ) {
+        let model = build_model(&parents, &payloads);
+        for node in model.graph.state_ids() {
+            prop_assert_eq!(
+                holds(&model, node, &f.clone().next()).expect("evaluates"),
+                holds(&model, node, &f.clone().eventually()).expect("evaluates")
+            );
+        }
+    }
+
+    /// □ and ◇ are dual through negation.
+    #[test]
+    fn always_eventually_duality(
+        parents in graph_strategy(),
+        payloads in prop::collection::vec(1u64..4, 1..4),
+        f in formula_strategy()
+    ) {
+        let model = build_model(&parents, &payloads);
+        for node in model.graph.state_ids() {
+            let lhs = holds(&model, node, &f.clone().always()).expect("evaluates");
+            let rhs = !holds(&model, node, &f.clone().not().eventually())
+                .expect("evaluates");
+            prop_assert_eq!(lhs, rhs);
+        }
+    }
+}
