@@ -12,6 +12,10 @@
 //! * [`History`] and [`WindowedChecker`] enforce a constraint over a
 //!   linear history with bounded state retention, and
 //!   [`find_window_unsoundness`] refutes windows that are too small;
+//! * [`read_set()`](read_set()) over-approximates the relations a
+//!   constraint's verdict can depend on, and [`IncrementalChecker`]
+//!   uses it (with delta-maintained content fingerprints) to reuse
+//!   verdicts across steps that the constraint cannot observe;
 //! * [`NeverReinsertEncoding`] implements Example 4's FIRE encoding,
 //!   converting an uncheckable dynamic constraint into a static one by
 //!   auditing deletions.
@@ -22,12 +26,16 @@ pub mod assisted;
 pub mod classify;
 pub mod complexity;
 pub mod encoding;
+pub mod incremental;
+pub mod readset;
 pub mod window;
 
 pub use assisted::{certify, AssistStats, AssistedChecker, VerifiedRegistry};
 pub use classify::{classify, state_shape, ConstraintClass, StateShape};
 pub use complexity::{class_cmp, measure_with_class, profile, Complexity, Profile};
 pub use encoding::NeverReinsertEncoding;
+pub use incremental::{IncrementalChecker, IncrementalStats};
+pub use readset::{read_set, ReadSet};
 pub use window::{
     checkability, find_window_unsoundness, Hints, History, HistoryOutcome, Window,
     WindowedChecker,

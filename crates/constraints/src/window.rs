@@ -175,6 +175,12 @@ impl History {
         &self.states
     }
 
+    /// Transaction labels, in step order: `labels()[i]` is the transaction
+    /// that produced `states()[i + 1]`.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
     /// Build a model from the suffix window of the last `k` states (or
     /// fewer, early in the history): the *partial model* a database
     /// system with window `k` maintains.
@@ -218,6 +224,7 @@ impl History {
 }
 
 /// Incremental enforcement of one constraint with a `k`-state window.
+#[derive(Clone)]
 pub struct WindowedChecker {
     constraint: SFormula,
     window: usize,

@@ -65,8 +65,9 @@ pub use txlog_temporal as temporal;
 pub mod prelude {
     pub use txlog_base::{Atom, RelId, StateId, Symbol, TupleId, TxError, TxResult};
     pub use txlog_constraints::{
-        checkability, classify, ConstraintClass, Hints, History, NeverReinsertEncoding,
-        Window, WindowedChecker,
+        checkability, classify, read_set, ConstraintClass, Hints, History,
+        IncrementalChecker, IncrementalStats, NeverReinsertEncoding, ReadSet, Window,
+        WindowedChecker,
     };
     pub use txlog_engine::{
         check_program, Binding, Engine, Env, EvalOptions, Model, ModelBuilder, ProgramKind,
@@ -81,7 +82,8 @@ pub mod prelude {
         VerifyOptions,
     };
     pub use txlog_relational::{
-        DbState, EvolutionGraph, RelDecl, Relation, Schema, Tuple, TupleVal, TxLabel,
+        DbState, Delta, EvolutionGraph, RelDecl, RelDelta, Relation, Schema, Tuple,
+        TupleChange, TupleVal, TxLabel,
     };
     pub use txlog_synthesis::{synthesize, verify_synthesis, Synthesized};
     pub use txlog_temporal::{delta, holds, TFormula};

@@ -30,7 +30,7 @@ use crate::value::{SetVal, Value};
 use std::collections::HashMap;
 use txlog_base::{Atom, Symbol, TxError, TxResult};
 use txlog_logic::{CmpOp, FFormula, FTerm, ObjSort, Op, Sort, Var, VarClass};
-use txlog_relational::{DbState, Schema, TupleVal};
+use txlog_relational::{DbState, Delta, Schema, TupleVal};
 
 /// Evaluation options.
 #[derive(Clone, Copy)]
@@ -489,6 +489,156 @@ impl<'a> Engine<'a> {
                 "object-sorted term used as a transaction: {other}"
             ))),
         }
+    }
+
+    /// Execute a transaction and record the [`Delta`] of the run — the
+    /// extensional content of the arc `w ; e` adds to the evolution
+    /// graph. Mirrors [`execute`] arm for arm: each primitive step uses
+    /// its `*_traced` counterpart on [`DbState`] (O(change) accumulation,
+    /// not O(state) differencing), `;;` composes the step deltas through
+    /// [`Delta::compose`], `if` traces the branch taken, and `foreach`
+    /// composes one delta per iteration. For every program,
+    /// `execute_traced(db, t)` returns the same state as `execute(db, t)`
+    /// together with a delta equal to `db.diff(&result)`.
+    ///
+    /// [`execute`]: Engine::execute
+    pub fn execute_traced(
+        &self,
+        db: &DbState,
+        t: &FTerm,
+        env: &Env,
+    ) -> TxResult<(DbState, Delta)> {
+        match t {
+            FTerm::Identity => Ok((db.clone(), Delta::empty())),
+            FTerm::Seq(a, b) => {
+                let (mid, d1) = self.execute_traced(db, a, env)?;
+                let (end, d2) = self.execute_traced(&mid, b, env)?;
+                Ok((end, d1.compose(&d2)))
+            }
+            FTerm::Cond(p, a, b) => {
+                if self.eval_truth(db, p, env)? {
+                    self.execute_traced(db, a, env)
+                } else {
+                    self.execute_traced(db, b, env)
+                }
+            }
+            FTerm::Foreach(v, p, body) => self.execute_foreach_traced(db, *v, p, body, env),
+            FTerm::Insert(tup, rel) => {
+                let decl = self.rel_decl(*rel)?;
+                let tv = self.eval_obj(db, tup, env)?.into_tuple()?;
+                if tv.arity() != decl.arity() {
+                    return Err(TxError::sort(format!(
+                        "insert of {}-ary tuple into {}-ary relation {rel}",
+                        tv.arity(),
+                        decl.arity()
+                    )));
+                }
+                let (next, _, delta) = db.insert_traced(decl.id, &tv)?;
+                Ok((next, delta))
+            }
+            FTerm::Delete(tup, rel) => {
+                let decl = self.rel_decl(*rel)?;
+                match self.eval_obj_opt(db, tup, env)? {
+                    Some(v) => db.delete_traced(decl.id, &v.into_tuple()?),
+                    None => Ok((db.clone(), Delta::empty())),
+                }
+            }
+            FTerm::Modify(tup, i, val) => {
+                let tv = self.eval_obj(db, tup, env)?.into_tuple()?;
+                let v = self.eval_obj(db, val, env)?.into_atom()?;
+                db.modify_traced(&tv, *i, v)
+            }
+            FTerm::ModifyAttr(tup, attr, val) => {
+                let tv = self.eval_obj(db, tup, env)?.into_tuple()?;
+                let (arity, ix) = self.attr(*attr)?;
+                if tv.arity() != arity {
+                    return Err(TxError::sort(format!(
+                        "attribute {attr} belongs to {arity}-ary tuples, got arity {}",
+                        tv.arity()
+                    )));
+                }
+                let v = self.eval_obj(db, val, env)?.into_atom()?;
+                db.modify_traced(&tv, ix, v)
+            }
+            FTerm::Assign(rel, set) => {
+                let decl = self.rel_decl(*rel)?;
+                let sv = self.eval_obj(db, set, env)?.into_set()?;
+                if sv.arity != decl.arity() {
+                    return Err(TxError::sort(format!(
+                        "assign of {}-ary set to {}-ary relation {rel}",
+                        sv.arity,
+                        decl.arity()
+                    )));
+                }
+                db.assign_traced(decl.id, decl.arity(), sv.members())
+            }
+            FTerm::Var(v) => match env.get(v) {
+                Some(Binding::Program(p)) => {
+                    let p = p.clone();
+                    self.execute_traced(db, &p, env)
+                }
+                Some(Binding::Label(l)) => Err(TxError::not_executable(format!(
+                    "transaction variable {v} is bound to graph label {l}; \
+                     labels are only meaningful during model checking"
+                ))),
+                Some(_) => Err(TxError::sort(format!(
+                    "variable {v} is not bound to a transaction"
+                ))),
+                None => Err(TxError::eval(format!("unbound transaction variable {v}"))),
+            },
+            other => Err(TxError::not_executable(format!(
+                "object-sorted term used as a transaction: {other}"
+            ))),
+        }
+    }
+
+    fn execute_foreach_traced(
+        &self,
+        db: &DbState,
+        v: Var,
+        p: &FFormula,
+        body: &FTerm,
+        env: &Env,
+    ) -> TxResult<(DbState, Delta)> {
+        // Same iteration-linkage discipline as `execute_foreach`: matches
+        // fixed at the initial state, bodies composed sequentially, with
+        // the per-iteration deltas composed alongside. A foreach over an
+        // empty satisfying set composes zero deltas — the Λ delta.
+        let mut matches = Vec::new();
+        for b in self.domain_of(db, v, p)? {
+            let env2 = env.bind(v, b.clone());
+            if self.eval_truth(db, p, &env2)? {
+                matches.push(b);
+            }
+            if matches.len() > self.opts.max_iterations {
+                return Err(TxError::InfiniteDomain(format!(
+                    "foreach over {v} exceeded {} iterations",
+                    self.opts.max_iterations
+                )));
+            }
+        }
+        let mut cur = db.clone();
+        let mut delta = Delta::empty();
+        for b in &matches {
+            let env2 = env.bind(v, b.clone());
+            let (next, d) = self.execute_traced(&cur, body, &env2)?;
+            cur = next;
+            delta = delta.compose(&d);
+        }
+        if self.opts.check_order_independence && matches.len() > 1 {
+            let mut back = db.clone();
+            for b in matches.iter().rev() {
+                let env2 = env.bind(v, b.clone());
+                back = self.execute(&back, body, &env2)?;
+            }
+            if !cur.content_eq(&back) {
+                return Err(TxError::OrderDependent(format!(
+                    "foreach over {v} yields different states under different \
+                     enumeration orders"
+                )));
+            }
+        }
+        Ok((cur, delta))
     }
 
     fn execute_foreach(

@@ -1,0 +1,162 @@
+//! Algebraic laws of traced execution: the delta of a program mirrors the
+//! transaction algebra of Section 2 — `Λ` contributes nothing, `;;`
+//! composes associatively, `foreach` over an empty satisfying set is a
+//! no-op, and inverse steps cancel.
+
+use txlog_base::Atom;
+use txlog_engine::{Engine, Env};
+use txlog_logic::{parse_fterm, FTerm, ParseCtx};
+use txlog_relational::{DbState, Delta, Schema};
+
+fn schema() -> Schema {
+    Schema::new()
+        .relation("EMP", &["e-name", "salary"])
+        .unwrap()
+        .relation("LOG", &["l-name"])
+        .unwrap()
+}
+
+fn ctx() -> ParseCtx {
+    ParseCtx::with_relations(&["EMP", "LOG"])
+}
+
+fn populated(schema: &Schema) -> DbState {
+    let db = schema.initial_state();
+    let emp = schema.rel_id("EMP").unwrap();
+    let (db, _) = db
+        .insert_fields(emp, &[Atom::str("ann"), Atom::nat(500)])
+        .unwrap();
+    let (db, _) = db
+        .insert_fields(emp, &[Atom::str("bob"), Atom::nat(400)])
+        .unwrap();
+    db
+}
+
+fn tx(src: &str) -> FTerm {
+    parse_fterm(src, &ctx(), &[]).unwrap()
+}
+
+/// Traced execution returns the same state as plain execution, and its
+/// delta is exactly the diff of the endpoints.
+fn run_traced(schema: &Schema, db: &DbState, t: &FTerm) -> (DbState, Delta) {
+    let engine = Engine::new(schema);
+    let (end, delta) = engine.execute_traced(db, t, &Env::new()).unwrap();
+    let plain = engine.execute(db, t, &Env::new()).unwrap();
+    assert!(end.content_eq(&plain), "traced and plain execution agree");
+    assert_eq!(delta, db.diff(&end), "accumulated delta equals the diff");
+    (end, delta)
+}
+
+#[test]
+fn identity_yields_the_empty_delta() {
+    let schema = schema();
+    let db = populated(&schema);
+    let (end, delta) = run_traced(&schema, &db, &FTerm::Identity);
+    assert!(delta.is_empty());
+    assert!(end.content_eq(&db));
+}
+
+#[test]
+fn empty_delta_is_a_two_sided_identity() {
+    let schema = schema();
+    let db = populated(&schema);
+    let (_, d) = run_traced(&schema, &db, &tx("insert(tuple('carol', 300), EMP)"));
+    assert_eq!(Delta::empty().compose(&d), d);
+    assert_eq!(d.compose(&Delta::empty()), d);
+}
+
+#[test]
+fn seq_composition_is_associative() {
+    let schema = schema();
+    let db = populated(&schema);
+    let a = tx("insert(tuple('carol', 300), EMP)");
+    let b = tx("foreach e: 2tup | e in EMP do modify(e, salary, salary(e) + 10) end");
+    let c = tx("delete(tuple('carol', 310), EMP)");
+    let engine = Engine::new(&schema);
+    let env = Env::new();
+    let (s1, da) = engine.execute_traced(&db, &a, &env).unwrap();
+    let (s2, db_) = engine.execute_traced(&s1, &b, &env).unwrap();
+    let (s3, dc) = engine.execute_traced(&s2, &c, &env).unwrap();
+    assert_eq!(da.compose(&db_).compose(&dc), da.compose(&db_.compose(&dc)));
+    // and both equal the delta of the whole sequence program
+    let seq = FTerm::seq(FTerm::seq(a, b), c);
+    let (end, dseq) = engine.execute_traced(&db, &seq, &env).unwrap();
+    assert!(end.content_eq(&s3));
+    assert_eq!(dseq, da.compose(&db_).compose(&dc));
+}
+
+#[test]
+fn foreach_over_empty_set_is_a_no_op() {
+    let schema = schema();
+    let db = populated(&schema);
+    let t = tx("foreach e: 2tup | e in EMP & salary(e) > 9999 do delete(e, EMP) end");
+    let (end, delta) = run_traced(&schema, &db, &t);
+    assert!(delta.is_empty());
+    assert!(end.content_eq(&db));
+}
+
+#[test]
+fn insert_then_delete_cancels() {
+    let schema = schema();
+    let db = populated(&schema);
+    let t = tx("insert(tuple('carol', 300), EMP) ;; delete(tuple('carol', 300), EMP)");
+    let (end, delta) = run_traced(&schema, &db, &t);
+    assert!(delta.is_empty(), "net delta of insert;;delete is Λ: {delta}");
+    assert!(end.value_eq(&db));
+}
+
+#[test]
+fn raise_then_cut_back_cancels() {
+    let schema = schema();
+    let db = populated(&schema);
+    let up = tx("foreach e: 2tup | e in EMP do modify(e, salary, salary(e) + 10) end");
+    let down = tx("foreach e: 2tup | e in EMP do modify(e, salary, salary(e) - 10) end");
+    let engine = Engine::new(&schema);
+    let env = Env::new();
+    let (s1, d1) = engine.execute_traced(&db, &up, &env).unwrap();
+    let (s2, d2) = engine.execute_traced(&s1, &down, &env).unwrap();
+    assert!(s2.content_eq(&db));
+    assert!(d1.compose(&d2).is_empty());
+}
+
+#[test]
+fn conditional_traces_the_branch_taken() {
+    let schema = schema();
+    let db = populated(&schema);
+    let t = tx(
+        "if exists e: 2tup . e in EMP & salary(e) > 450
+         then insert(tuple('rich'), LOG)
+         else insert(tuple('poor'), LOG)",
+    );
+    let (_, delta) = run_traced(&schema, &db, &t);
+    let log = schema.rel_id("LOG").unwrap();
+    let rd = delta.rel(log).expect("LOG was touched");
+    assert_eq!(rd.inserted.len(), 1);
+    let inserted: Vec<_> = rd.inserted.values().collect();
+    assert_eq!(inserted[0].as_ref(), &[Atom::str("rich")][..]);
+}
+
+#[test]
+fn foreach_delta_composes_per_iteration() {
+    let schema = schema();
+    let db = populated(&schema);
+    let t = tx("foreach e: 2tup | e in EMP do modify(e, salary, salary(e) + 10) end");
+    let (_, delta) = run_traced(&schema, &db, &t);
+    let emp = schema.rel_id("EMP").unwrap();
+    let rd = delta.rel(emp).expect("EMP was touched");
+    assert_eq!(rd.modified.len(), 2, "one modification per employee");
+    assert!(rd.inserted.is_empty() && rd.deleted.is_empty());
+}
+
+#[test]
+fn assign_traces_creation_and_replacement() {
+    let schema = schema();
+    let db = populated(&schema);
+    // wipe EMP: every previously present tuple is recorded as deleted
+    let t = tx("assign(EMP, {e | e: 2tup . e in EMP & salary(e) > 9999})");
+    let (end, delta) = run_traced(&schema, &db, &t);
+    let emp = schema.rel_id("EMP").unwrap();
+    assert!(end.relation(emp).unwrap().is_empty());
+    let rd = delta.rel(emp).expect("EMP was touched");
+    assert_eq!(rd.deleted.len(), 2);
+}

@@ -91,7 +91,7 @@ fn path_regression_plus_tableau() {
         txlog_logic::SFormula::True
     );
     // …but follows from the premise:
-    assert!(entails(&[premise.clone()], &regressed.formula).is_ok());
+    assert!(entails(std::slice::from_ref(&premise), &regressed.formula).is_ok());
 
     let v = verify_preserves(
         &schema,

@@ -27,12 +27,14 @@
 
 #![warn(missing_docs)]
 
+pub mod delta;
 pub mod graph;
 pub mod relation;
 pub mod schema;
 pub mod state;
 pub mod tuple;
 
+pub use delta::{Delta, RelDelta, TupleChange};
 pub use graph::{EvolutionGraph, TxLabel};
 pub use relation::Relation;
 pub use schema::{RelDecl, Schema};

@@ -34,8 +34,8 @@ use txlog_base::{Atom, RelId, TupleId, TxError, TxResult};
 /// A persistent database state.
 #[derive(Clone)]
 pub struct DbState {
-    rels: BTreeMap<RelId, Arc<Relation>>,
-    next_tuple: u64,
+    pub(crate) rels: BTreeMap<RelId, Arc<Relation>>,
+    pub(crate) next_tuple: u64,
 }
 
 impl DbState {
@@ -102,7 +102,7 @@ impl DbState {
         id
     }
 
-    fn rel_mut(&mut self, id: RelId) -> TxResult<&mut Relation> {
+    pub(crate) fn rel_mut(&mut self, id: RelId) -> TxResult<&mut Relation> {
         self.rels
             .get_mut(&id)
             .map(Arc::make_mut)

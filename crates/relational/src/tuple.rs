@@ -46,6 +46,11 @@ impl Tuple {
         &self.fields
     }
 
+    /// The shared field vector (cheaply cloneable).
+    pub fn fields_arc(&self) -> &Arc<[Atom]> {
+        &self.fields
+    }
+
     /// The arity (`n` of the n-ary tuple sort this tuple inhabits).
     pub fn arity(&self) -> usize {
         self.fields.len()

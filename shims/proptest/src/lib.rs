@@ -1,0 +1,197 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this workspace ships a
+//! small property-testing harness implementing the subset of proptest the
+//! repo uses: the [`Strategy`] trait with `prop_map` / `prop_recursive` /
+//! `boxed`, integer-range and tuple strategies, [`collection::vec`],
+//! [`strategy::Just`] and [`strategy::Union`] (behind `prop_oneof!`), and
+//! the `proptest!` / `prop_assert*` macros with a configurable case count.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **no shrinking** — a failing case reports its seed and case index so
+//!   it can be replayed deterministically, but is not minimized;
+//! * **deterministic seeding** — cases derive from a hash of the test's
+//!   module path and name, so runs are reproducible by construction. Set
+//!   `PROPTEST_CASES` to change the per-property case count.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The `use proptest::prelude::*;` surface.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    /// Alias of the crate root, so `prop::collection::vec` etc. resolve.
+    pub use crate as prop;
+}
+
+/// The body of a `proptest!`-generated test: one run of all cases.
+///
+/// This is an implementation detail of the `proptest!` macro; it lives in
+/// the crate root so the macro can reference it by `$crate` path.
+#[doc(hidden)]
+pub fn __run_cases(
+    config: &test_runner::ProptestConfig,
+    test_name: &str,
+    mut one_case: impl FnMut(&mut test_runner::TestRng) -> Result<(), test_runner::TestCaseError>,
+) {
+    let seed = test_runner::fnv1a(test_name);
+    for case in 0..config.cases {
+        let mut rng = test_runner::TestRng::seeded(
+            seed.wrapping_add((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        );
+        if let Err(e) = one_case(&mut rng) {
+            panic!(
+                "proptest property {test_name:?} failed at case {case}/{}: {}",
+                config.cases, e.0
+            );
+        }
+    }
+}
+
+/// Generate property tests. Mirrors proptest's macro of the same name for
+/// the forms used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))] // optional
+///     /// docs and attributes are carried through
+///     #[test]
+///     fn prop_name(x in 0u64..10, v in prop::collection::vec(0u8..5, 0..4)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $( $(#[$meta:meta])* fn $name:ident
+        ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                $crate::__run_cases(
+                    &__config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |__rng| {
+                        $(let $pat =
+                            $crate::strategy::Strategy::new_value(&($strat), __rng);)+
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Fail the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fail the current property case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let __a = $a;
+        let __b = $b;
+        $crate::prop_assert!(
+            __a == __b,
+            "assertion failed: `{:?}` == `{:?}`",
+            __a,
+            __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let __a = $a;
+        let __b = $b;
+        $crate::prop_assert!(
+            __a == __b,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            __a,
+            __b,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fail the current property case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let __a = $a;
+        let __b = $b;
+        $crate::prop_assert!(
+            __a != __b,
+            "assertion failed: `{:?}` != `{:?}`",
+            __a,
+            __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let __a = $a;
+        let __b = $b;
+        $crate::prop_assert!(
+            __a != __b,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            __a,
+            __b,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Discard the current case when the assumption fails. Without shrinking
+/// machinery a discarded case simply counts as passing.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Choose uniformly between several strategies producing the same value
+/// type. Weighted arms (`w => strat`) are accepted and their weights
+/// honored by repetition-free integer weighting.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
