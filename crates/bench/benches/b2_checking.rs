@@ -10,8 +10,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use txlog::constraints::{History, Window, WindowedChecker};
 use txlog::empdb::constraints::{
-    ic1_alloc_within_100, ic3_salary_needs_dept_switch, ic3_salary_never_same,
-    ic3_skill_retention,
+    ic1_alloc_within_100, ic3_salary_needs_dept_switch, ic3_salary_never_same, ic3_skill_retention,
 };
 use txlog::empdb::transactions::raise_salary;
 use txlog::empdb::{populate, Sizes};
@@ -47,8 +46,7 @@ fn bench_windows(c: &mut Criterion) {
         ("complete", ic3_salary_never_same(), Window::Complete),
     ];
     for (name, constraint, window) in cases {
-        let checker =
-            WindowedChecker::new(constraint, window).expect("window accepted");
+        let checker = WindowedChecker::new(constraint, window).expect("window accepted");
         group.bench_function(BenchmarkId::new("check_now", name), |b| {
             b.iter(|| checker.check_now(&history).expect("evaluates"))
         });
@@ -92,5 +90,10 @@ fn bench_database_growth(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_windows, bench_history_growth, bench_database_growth);
+criterion_group!(
+    benches,
+    bench_windows,
+    bench_history_growth,
+    bench_database_growth
+);
 criterion_main!(benches);

@@ -84,5 +84,10 @@ fn bench_divergent_lineages(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_clone, bench_cow_update, bench_divergent_lineages);
+criterion_group!(
+    benches,
+    bench_clone,
+    bench_cow_update,
+    bench_divergent_lineages
+);
 criterion_main!(benches);

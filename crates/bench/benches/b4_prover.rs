@@ -67,9 +67,7 @@ fn bench_tableau_chains(c: &mut Criterion) {
     for &depth in &[1usize, 2, 3, 4] {
         let (assertions, goal) = implication_chain(depth);
         group.bench_with_input(BenchmarkId::new("chain_depth", depth), &depth, |b, _| {
-            b.iter(|| {
-                entails_with(&assertions, &goal, Limits::default()).expect("chain proves")
-            })
+            b.iter(|| entails_with(&assertions, &goal, Limits::default()).expect("chain proves"))
         });
     }
     group.finish();

@@ -8,8 +8,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use txlog::base::Atom;
 use txlog::empdb::constraints::example1_all;
-use txlog::empdb::spec::cancel_project_spec;
 use txlog::empdb::employee_schema;
+use txlog::empdb::spec::cancel_project_spec;
 use txlog::engine::{Binding, Env, ModelBuilder, StateVal, Value};
 use txlog::logic::{FFormula, FTerm, STerm, Var};
 use txlog::relational::TxLabel;

@@ -38,12 +38,9 @@ fn bench_assisted_vs_windowed(c: &mut Criterion) {
         let mut registry = VerifiedRegistry::new();
         registry.record("raise", "monotone");
         group.bench_with_input(BenchmarkId::new("certified_skip", n), &n, |b, _| {
-            let mut checker = AssistedChecker::new(
-                "monotone",
-                constraint.clone(),
-                Window::States(2),
-            )
-            .expect("window accepted");
+            let mut checker =
+                AssistedChecker::new("monotone", constraint.clone(), Window::States(2))
+                    .expect("window accepted");
             b.iter(|| {
                 checker
                     .check_step(&history, "raise", &registry)
@@ -54,12 +51,9 @@ fn bench_assisted_vs_windowed(c: &mut Criterion) {
         // uncertified path: full windowed model check every step
         let empty = VerifiedRegistry::new();
         group.bench_with_input(BenchmarkId::new("windowed_check", n), &n, |b, _| {
-            let mut checker = AssistedChecker::new(
-                "monotone",
-                constraint.clone(),
-                Window::States(2),
-            )
-            .expect("window accepted");
+            let mut checker =
+                AssistedChecker::new("monotone", constraint.clone(), Window::States(2))
+                    .expect("window accepted");
             b.iter(|| {
                 checker
                     .check_step(&history, "raise", &empty)

@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use txlog_bench::{
-    e1_static, e2_marital, e3_transaction, e4_history, e5_cancel, e6_synthesis,
-    e7_temporal, e8_extensions,
+    e1_static, e2_marital, e3_transaction, e4_history, e5_cancel, e6_synthesis, e7_temporal,
+    e8_extensions,
 };
 
 fn bench_all(c: &mut Criterion) {

@@ -8,9 +8,7 @@
 use crate::{Claim, Report};
 use txlog::constraints::{checkability, classify, ConstraintClass, Hints, Window};
 use txlog::empdb::constraints::example1_all;
-use txlog::empdb::data::{
-    corrupt_dangling_alloc, corrupt_idle_employee, corrupt_overallocate,
-};
+use txlog::empdb::data::{corrupt_dangling_alloc, corrupt_idle_employee, corrupt_overallocate};
 use txlog::empdb::{populate, Sizes};
 use txlog::engine::ModelBuilder;
 use txlog::relational::{DbState, Schema};

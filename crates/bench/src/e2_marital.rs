@@ -13,9 +13,7 @@ use crate::{Claim, Report};
 use txlog::constraints::{
     checkability, classify, ConstraintClass, History, Window, WindowedChecker,
 };
-use txlog::empdb::constraints::{
-    ic2_hints, ic2_marital_state_pair, ic2_marital_transaction,
-};
+use txlog::empdb::constraints::{ic2_hints, ic2_marital_state_pair, ic2_marital_transaction};
 use txlog::empdb::transactions::{annul, birthday, hire, marry};
 use txlog::empdb::{employee_schema, populate, Sizes};
 use txlog::engine::{Env, ModelBuilder};
@@ -64,11 +62,19 @@ pub fn run() -> Report {
         )
         .expect("hire executes");
     // branch 1: marry, then a birthday
-    let b1 = b.apply(s0, "marry-ann", &marry("ann"), &env).expect("marry executes");
-    let _b1 = b.apply(b1, "bday-1", &birthday("ann"), &env).expect("birthday executes");
+    let b1 = b
+        .apply(s0, "marry-ann", &marry("ann"), &env)
+        .expect("marry executes");
+    let _b1 = b
+        .apply(b1, "bday-1", &birthday("ann"), &env)
+        .expect("birthday executes");
     // branch 2: two birthdays, still single
-    let b2 = b.apply(s0, "bday-a", &birthday("ann"), &env).expect("birthday executes");
-    let _b2 = b.apply(b2, "bday-b", &birthday("ann"), &env).expect("birthday executes");
+    let b2 = b
+        .apply(s0, "bday-a", &birthday("ann"), &env)
+        .expect("birthday executes");
+    let _b2 = b
+        .apply(b2, "bday-b", &birthday("ann"), &env)
+        .expect("birthday executes");
     b.transitive_close();
     let model = b.finish();
 
@@ -104,14 +110,14 @@ pub fn run() -> Report {
             &env,
         )
         .expect("hire executes");
-    history.step("marry-ann", &marry("ann"), &env).expect("marry executes");
-    history.step("bday", &birthday("ann"), &env).expect("birthday executes");
     history
-        .step(
-            "annul-and-age",
-            &annul("ann").seq(birthday("ann")),
-            &env,
-        )
+        .step("marry-ann", &marry("ann"), &env)
+        .expect("marry executes");
+    history
+        .step("bday", &birthday("ann"), &env)
+        .expect("birthday executes");
+    history
+        .step("annul-and-age", &annul("ann").seq(birthday("ann")), &env)
         .expect("annul executes");
     let checker = WindowedChecker::new(ic2_marital_transaction(), Window::States(2))
         .expect("window accepted");
@@ -122,9 +128,7 @@ pub fn run() -> Report {
         "violating history, window 2",
         "legal prefix passes; the marital regression is caught with two \
          states of history at the step it happens",
-        format!(
-            "prefix ok = {legal_prefix_ok}, caught = {caught_at_violation}"
-        ),
+        format!("prefix ok = {legal_prefix_ok}, caught = {caught_at_violation}"),
         legal_prefix_ok && caught_at_violation,
     ));
 

@@ -18,13 +18,11 @@
 //!    constraint.
 
 use crate::{Claim, Report};
-use txlog::constraints::{
-    checkability, find_window_unsoundness, History, Window, WindowedChecker,
-};
+use txlog::constraints::{checkability, find_window_unsoundness, History, Window, WindowedChecker};
 use txlog::empdb::constraints::{
     ic1_alloc_references_project, ic3_assoc_connection, ic3_dept_reference_connection,
-    ic3_never_same_hints, ic3_salary_hints, ic3_salary_needs_dept_switch,
-    ic3_salary_never_same, ic3_skill_hints, ic3_skill_retention,
+    ic3_never_same_hints, ic3_salary_hints, ic3_salary_needs_dept_switch, ic3_salary_never_same,
+    ic3_skill_hints, ic3_skill_retention,
 };
 use txlog::empdb::transactions::{
     cut_salary, delete_dept, demote, drop_skill, fire, hire, obtain_skill, raise_salary,
@@ -65,26 +63,36 @@ pub fn run() -> Report {
     // --- skill retention, semantically ---
     let (_, db0) = populate(Sizes::small(), 21).expect("population generates");
     let mut h = History::new(schema.clone(), db0.clone());
-    h.step("hire-ann", &hire("ann", "dept-0", 500, 30, "S", "proj-0", 100), &env)
-        .expect("hire executes");
-    h.step("learn-7", &obtain_skill("ann", 7), &env).expect("skill executes");
+    h.step(
+        "hire-ann",
+        &hire("ann", "dept-0", 500, 30, "S", "proj-0", 100),
+        &env,
+    )
+    .expect("hire executes");
+    h.step("learn-7", &obtain_skill("ann", 7), &env)
+        .expect("skill executes");
     // the raise goes to emp-0, a *permanent* change: firing ann later must
     // not return the database to its initial contents, or state
     // deduplication would close a cycle amounting to an accidental rehire
     // (the paper's window-2 argument assumes employees are never rehired)
-    h.step("raise", &raise_salary("emp-0", 50), &env).expect("raise executes");
+    h.step("raise", &raise_salary("emp-0", 50), &env)
+        .expect("raise executes");
     let checker =
         WindowedChecker::new(ic3_skill_retention(), Window::States(2)).expect("window ok");
     let legal = checker.replay(&h).expect("replay evaluates");
     claims.push(Claim::new(
         "skill retention: legal history",
         "obtaining skills and unrelated updates preserve the constraint",
-        format!("all steps ok = {}", legal.per_step.iter().all(|&b| b) && legal.global),
+        format!(
+            "all steps ok = {}",
+            legal.per_step.iter().all(|&b| b) && legal.global
+        ),
         legal.per_step.iter().all(|&b| b) && legal.global,
     ));
 
     let mut bad = h.clone();
-    bad.step("drop-skill", &drop_skill("ann", 7), &env).expect("drop executes");
+    bad.step("drop-skill", &drop_skill("ann", 7), &env)
+        .expect("drop executes");
     let dropped = checker.replay(&bad).expect("replay evaluates");
     claims.push(Claim::new(
         "skill retention: dropping a skill while employed",
@@ -94,7 +102,9 @@ pub fn run() -> Report {
     ));
 
     let mut fired = h.clone();
-    fired.step("fire-ann", &fire("ann"), &env).expect("fire executes");
+    fired
+        .step("fire-ann", &fire("ann"), &env)
+        .expect("fire executes");
     let fired_out = checker.replay(&fired).expect("replay evaluates");
     claims.push(Claim::new(
         "skill retention: firing deletes skills with the employee",
@@ -114,9 +124,14 @@ pub fn run() -> Report {
     //   s2 (dept-0, 450)
     let (_, db0) = populate(Sizes::small(), 22).expect("population generates");
     let mut h = History::new(schema.clone(), db0);
-    h.step("hire-bob", &hire("bob", "dept-0", 500, 40, "M", "proj-0", 100), &env)
-        .expect("hire executes");
-    h.step("demote", &demote("bob", 100, "dept-1"), &env).expect("demote executes");
+    h.step(
+        "hire-bob",
+        &hire("bob", "dept-0", 500, 40, "M", "proj-0", 100),
+        &env,
+    )
+    .expect("hire executes");
+    h.step("demote", &demote("bob", 100, "dept-1"), &env)
+        .expect("demote executes");
     h.step(
         "raise-and-return",
         &raise_salary("bob", 50).seq(switch_dept("bob", "dept-0")),
@@ -132,8 +147,8 @@ pub fn run() -> Report {
         format!("unsoundness witness found = {}", gap.is_some()),
         gap.is_some(),
     ));
-    let checker3 = WindowedChecker::new(ic3_salary_needs_dept_switch(), Window::States(3))
-        .expect("window ok");
+    let checker3 =
+        WindowedChecker::new(ic3_salary_needs_dept_switch(), Window::States(3)).expect("window ok");
     let out3 = checker3.replay(&h).expect("replay evaluates");
     claims.push(Claim::new(
         "salary/department: window 3 catches it",
@@ -145,9 +160,15 @@ pub fn run() -> Report {
     let (_, db0) = populate(Sizes::small(), 23).expect("population generates");
     let mut legal_h = History::new(schema.clone(), db0);
     legal_h
-        .step("hire-cy", &hire("cy", "dept-0", 500, 40, "M", "proj-0", 100), &env)
+        .step(
+            "hire-cy",
+            &hire("cy", "dept-0", 500, 40, "M", "proj-0", 100),
+            &env,
+        )
         .expect("hire executes");
-    legal_h.step("demote", &demote("cy", 100, "dept-1"), &env).expect("demote executes");
+    legal_h
+        .step("demote", &demote("cy", 100, "dept-1"), &env)
+        .expect("demote executes");
     let legal3 = checker3.replay(&legal_h).expect("replay evaluates");
     claims.push(Claim::new(
         "salary/department: demotion with switch is legal",
@@ -166,15 +187,20 @@ pub fn run() -> Report {
     // so this history contains exactly the one employee it is about)
     let db0 = schema.initial_state();
     let mut h = History::new(schema.clone(), db0);
-    h.step("hire-di", &hire("di", "dept-0", 500, 40, "M", "proj-0", 100), &env)
-        .expect("hire executes");
-    h.step("up-1", &raise_salary("di", 100), &env).expect("raise executes");
-    h.step("up-2", &raise_salary("di", 100), &env).expect("raise executes");
-    h.step("down", &cut_salary("di", 200), &env).expect("cut executes");
-    let w2 = find_window_unsoundness(&ic3_salary_never_same(), 2, &h)
-        .expect("analysis evaluates");
-    let w3 = find_window_unsoundness(&ic3_salary_never_same(), 3, &h)
-        .expect("analysis evaluates");
+    h.step(
+        "hire-di",
+        &hire("di", "dept-0", 500, 40, "M", "proj-0", 100),
+        &env,
+    )
+    .expect("hire executes");
+    h.step("up-1", &raise_salary("di", 100), &env)
+        .expect("raise executes");
+    h.step("up-2", &raise_salary("di", 100), &env)
+        .expect("raise executes");
+    h.step("down", &cut_salary("di", 200), &env)
+        .expect("cut executes");
+    let w2 = find_window_unsoundness(&ic3_salary_never_same(), 2, &h).expect("analysis evaluates");
+    let w3 = find_window_unsoundness(&ic3_salary_never_same(), 3, &h).expect("analysis evaluates");
     let complete = WindowedChecker::new(ic3_salary_never_same(), Window::Complete)
         .expect("window ok")
         .replay(&h)
@@ -197,9 +223,14 @@ pub fn run() -> Report {
     // employees violates; deleting an empty one is fine
     let (_, db0) = populate(Sizes::small(), 25).expect("population generates");
     let mut h = History::new(schema.clone(), db0);
-    h.step("hire-ed", &hire("ed", "dept-0", 500, 40, "M", "proj-0", 100), &env)
-        .expect("hire executes");
-    h.step("del-dept", &delete_dept("dept-0"), &env).expect("delete executes");
+    h.step(
+        "hire-ed",
+        &hire("ed", "dept-0", 500, 40, "M", "proj-0", 100),
+        &env,
+    )
+    .expect("hire executes");
+    h.step("del-dept", &delete_dept("dept-0"), &env)
+        .expect("delete executes");
     let ref_checker = WindowedChecker::new(ic3_dept_reference_connection(), Window::States(2))
         .expect("window ok");
     let out = ref_checker.replay(&h).expect("replay evaluates");
@@ -215,8 +246,12 @@ pub fn run() -> Report {
     // association connection and Example 1's static constraint.
     let (_, db0) = populate(Sizes::small(), 26).expect("population generates");
     let mut h = History::new(schema, db0);
-    h.step("hire-fi", &hire("fi", "dept-0", 500, 40, "M", "proj-1", 100), &env)
-        .expect("hire executes");
+    h.step(
+        "hire-fi",
+        &hire("fi", "dept-0", 500, 40, "M", "proj-1", 100),
+        &env,
+    )
+    .expect("hire executes");
     // delete proj-1 *without* cascading the allocations
     let kill_proj = txlog::logic::parse_fterm(
         "foreach q: 2tup | q in PROJ & p-name(q) = 'proj-1' do delete(q, PROJ) end",
@@ -224,7 +259,8 @@ pub fn run() -> Report {
         &[],
     )
     .expect("transaction parses");
-    h.step("kill-proj-1", &kill_proj, &env).expect("delete executes");
+    h.step("kill-proj-1", &kill_proj, &env)
+        .expect("delete executes");
     let assoc = WindowedChecker::new(ic3_assoc_connection(), Window::States(2))
         .expect("window ok")
         .replay(&h)
@@ -233,8 +269,7 @@ pub fn run() -> Report {
         .expect("window ok")
         .replay(&h)
         .expect("replay evaluates");
-    let both_catch = assoc.per_step.iter().any(|&b| !b)
-        && static_ref.per_step.iter().any(|&b| !b);
+    let both_catch = assoc.per_step.iter().any(|&b| !b) && static_ref.per_step.iter().any(|&b| !b);
     claims.push(Claim::new(
         "association connection ≡ static referential constraint",
         "dangling allocations violate both formulations (the dynamic form \

@@ -11,8 +11,8 @@
 
 use crate::{Claim, Report};
 use txlog::constraints::{
-    checkability, classify, ConstraintClass, History, Hints, NeverReinsertEncoding,
-    Window, WindowedChecker,
+    checkability, classify, ConstraintClass, Hints, History, NeverReinsertEncoding, Window,
+    WindowedChecker,
 };
 use txlog::empdb::constraints::{
     ic4_future_hints, ic4_invertible_unless_age, ic4_never_rehire, ic4_no_project_forever,
@@ -58,8 +58,12 @@ pub fn run() -> Report {
     let schema = employee_schema();
     let (_, db0) = populate(Sizes::small(), 31).expect("population generates");
     let mut h = History::new(schema.clone(), db0);
-    h.step("hire-gil", &hire("gil", "dept-0", 500, 30, "S", "proj-0", 100), &env)
-        .expect("hire executes");
+    h.step(
+        "hire-gil",
+        &hire("gil", "dept-0", 500, 30, "S", "proj-0", 100),
+        &env,
+    )
+    .expect("hire executes");
     // remember gil's identified tuple value, then fire him
     let emp_rel = schema.rel_id("EMP").expect("EMP exists");
     let gil = h
@@ -74,16 +78,13 @@ pub fn run() -> Report {
     // would otherwise close a phantom rehire cycle)
     h.step("busywork-0", &raise_salary("emp-0", 10), &env)
         .expect("raise executes");
-    h.step("fire-gil", &fire("gil"), &env).expect("fire executes");
+    h.step("fire-gil", &fire("gil"), &env)
+        .expect("fire executes");
     // push the firing beyond any bounded window: the rehire only becomes
     // a violation when correlated with states at least this far back
     for i in 1..3 {
-        h.step(
-            &format!("busywork-{i}"),
-            &raise_salary("emp-0", 10),
-            &env,
-        )
-        .expect("raise executes");
+        h.step(&format!("busywork-{i}"), &raise_salary("emp-0", 10), &env)
+            .expect("raise executes");
     }
     // rehire *the same tuple* (identity preserved) — the paper's "hired
     // again"
@@ -101,13 +102,16 @@ pub fn run() -> Report {
     // every bounded window passes…
     let mut windows_pass = true;
     for k in [2usize, 3] {
-        let checker = WindowedChecker::new(ic4_never_rehire(), Window::States(k))
-            .expect("window ok");
+        let checker =
+            WindowedChecker::new(ic4_never_rehire(), Window::States(k)).expect("window ok");
         let out = checker.replay(&h).expect("replay evaluates");
         windows_pass &= out.per_step.iter().all(|&b| b);
     }
     // …while the complete model is violated
-    let full = h.full_model().check(&ic4_never_rehire()).expect("check evaluates");
+    let full = h
+        .full_model()
+        .check(&ic4_never_rehire())
+        .expect("check evaluates");
     claims.push(Claim::new(
         "never-rehire: windows blind, full history sees it",
         "windowed checks pass while the complete history exposes the rehire",
@@ -137,12 +141,16 @@ pub fn run() -> Report {
     // alone — even a *name-based* rehire with a fresh tuple.
     let db0 = schema2.initial_state();
     let mut h2 = History::new(schema2.clone(), db0);
-    h2.step("hire-gil", &hire("gil", "dept-0", 500, 30, "S", "proj-0", 100), &env)
-        .expect("hire executes");
+    h2.step(
+        "hire-gil",
+        &hire("gil", "dept-0", 500, 30, "S", "proj-0", 100),
+        &env,
+    )
+    .expect("hire executes");
     let fire_encoded = enc.rewrite(&fire("gil"));
-    h2.step("fire-gil", &fire_encoded, &env).expect("fire executes");
-    let checker = WindowedChecker::new(static_ic.clone(), Window::States(1))
-        .expect("window ok");
+    h2.step("fire-gil", &fire_encoded, &env)
+        .expect("fire executes");
+    let checker = WindowedChecker::new(static_ic.clone(), Window::States(1)).expect("window ok");
     let before = checker.check_now(&h2).expect("check evaluates");
     h2.step(
         "rehire-gil",

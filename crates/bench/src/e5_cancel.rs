@@ -74,8 +74,10 @@ pub fn run() -> Report {
         .filter(|e| !also_elsewhere.contains(e))
         .collect();
 
-    let engine = Engine::new(&schema);
-    let post = engine.execute(&db, &tx, &env).expect("cancel-project executes");
+    let engine = Engine::new(&schema).unwrap();
+    let post = engine
+        .execute(&db, &tx, &env)
+        .expect("cancel-project executes");
 
     let project_gone = !post
         .relation(proj_rel)
@@ -179,9 +181,7 @@ pub fn run() -> Report {
         b.apply(s0, "cancel-project", &tx, &env).expect("executes");
         let model = b.finish();
         skill_ok &= model.check(&ic3_skill_retention()).expect("evaluates");
-        marital_ok &= model
-            .check(&ic2_marital_transaction())
-            .expect("evaluates");
+        marital_ok &= model.check(&ic2_marital_transaction()).expect("evaluates");
         salary_refuted |= !model
             .check(&ic3_salary_needs_dept_switch())
             .expect("evaluates");
@@ -242,7 +242,10 @@ pub fn run() -> Report {
         "foreach-loops are beyond pure regression; verification falls \
          back to bounded model checking and says so",
         format!("{verdict:?}"),
-        matches!(verdict, Verdict::ModelChecked { .. } | Verdict::Refuted { .. }),
+        matches!(
+            verdict,
+            Verdict::ModelChecked { .. } | Verdict::Refuted { .. }
+        ),
     ));
 
     Report {

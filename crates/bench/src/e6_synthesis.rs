@@ -38,7 +38,10 @@ pub fn run() -> Report {
         format!(
             "derivation records {} repair step(s); program contains cascade \
              and conditional delete = {}",
-            out.derivation.iter().filter(|d| d.contains("repair")).count(),
+            out.derivation
+                .iter()
+                .filter(|d| d.contains("repair"))
+                .count(),
             text.contains("delete(a, ALLOC)") && text.contains("else delete(e, EMP)")
         ),
         out.derivation.iter().any(|d| d.contains("repair"))
@@ -81,12 +84,14 @@ pub fn run() -> Report {
 
     // behavioural equivalence with Example 5's hand-written program
     let (paper_tx, pp, pv) = cancel_project();
-    let engine = Engine::new(&schema);
+    let engine = Engine::new(&schema).unwrap();
     let env_paper = Env::new()
         .bind_tuple(pp, target)
         .bind_atom(pv, Atom::nat(40));
     let post_synth = engine.execute(&db, &out.program, &env).expect("executes");
-    let post_paper = engine.execute(&db, &paper_tx, &env_paper).expect("executes");
+    let post_paper = engine
+        .execute(&db, &paper_tx, &env_paper)
+        .expect("executes");
     let same = post_synth.content_eq(&post_paper);
     claims.push(Claim::new(
         "synthesized ≡ Example 5",

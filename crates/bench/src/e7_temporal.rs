@@ -142,8 +142,8 @@ pub fn run() -> Report {
     // counterpart (the paper's argument for strict expressiveness).
     let dept_pre = txlog::empdb::constraints::ic3_dept_delete_precondition();
     let schema = txlog::empdb::employee_schema();
-    let (_, db) = txlog::empdb::populate(txlog::empdb::Sizes::small(), 71)
-        .expect("population generates");
+    let (_, db) =
+        txlog::empdb::populate(txlog::empdb::Sizes::small(), 71).expect("population generates");
     let mut b = ModelBuilder::new(schema);
     b.add_state(db);
     let verdict = b.finish().check(&dept_pre).expect("evaluates");

@@ -44,8 +44,8 @@ pub fn run() -> Report {
     .expect("transaction parses");
 
     let inverse = invert(&schema, &tx, &db, &env).expect("inverse synthesizes");
-    let restores = verify_inverse(&schema, &tx, &inverse, &db, &env)
-        .expect("verification evaluates");
+    let restores =
+        verify_inverse(&schema, &tx, &inverse, &db, &env).expect("verification evaluates");
     claims.push(Claim::new(
         "inverse synthesized and verified",
         "for foreach-free transactions an inverse exists constructively \
@@ -61,7 +61,7 @@ pub fn run() -> Report {
     // vacuously), and the modify-inverse restores the very same tuples —
     // identity included — closing the cycle exactly.
     let invertibility = txlog::empdb::constraints::ic4_invertible_unless_age();
-    let engine = Engine::new(&schema);
+    let engine = Engine::new(&schema).unwrap();
     let emp_rel = schema.rel_id("EMP").expect("EMP exists");
     let e0 = txlog::logic::Var::tup_f("e0", 5);
     let raise_e0 = txlog::logic::FTerm::modify_attr(
@@ -85,8 +85,8 @@ pub fn run() -> Report {
     bare.transitive_close();
     let without = bare.finish().check(&invertibility).expect("evaluates");
 
-    let mod_inverse = invert(&schema, &raise_e0, &db, &env_mod)
-        .expect("modify inverse synthesizes");
+    let mod_inverse =
+        invert(&schema, &raise_e0, &db, &env_mod).expect("modify inverse synthesizes");
     let closes = engine
         .execute(
             &engine.execute(&db, &raise_e0, &env_mod).expect("executes"),
@@ -165,9 +165,8 @@ pub fn run() -> Report {
         verdict.is_proved(),
     ));
 
-    let mut checker =
-        AssistedChecker::new("never-shrinks", never_shrinks, Window::States(2))
-            .expect("window accepted");
+    let mut checker = AssistedChecker::new("never-shrinks", never_shrinks, Window::States(2))
+        .expect("window accepted");
     let mut history = History::new(schema2.clone(), gen(0).expect("generates"));
     let mut all_ok = true;
     for _ in 0..5 {

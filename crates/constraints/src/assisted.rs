@@ -74,11 +74,7 @@ pub struct AssistedChecker {
 impl AssistedChecker {
     /// Wrap `constraint` (named `name` for registry lookups) with its
     /// fallback window.
-    pub fn new(
-        name: &str,
-        constraint: SFormula,
-        window: Window,
-    ) -> TxResult<AssistedChecker> {
+    pub fn new(name: &str, constraint: SFormula, window: Window) -> TxResult<AssistedChecker> {
         Ok(AssistedChecker {
             name: name.to_string(),
             fallback: WindowedChecker::new(constraint, window)?,
@@ -170,7 +166,9 @@ mod tests {
     use txlog_relational::Schema;
 
     fn schema() -> Schema {
-        Schema::new().relation("EMP", &["e-name", "salary"]).unwrap()
+        Schema::new()
+            .relation("EMP", &["e-name", "salary"])
+            .unwrap()
     }
 
     fn ctx() -> ParseCtx {
@@ -201,8 +199,7 @@ mod tests {
     fn certified_steps_skip_model_checking() {
         let mut registry = VerifiedRegistry::new();
         registry.record("raise", "monotone");
-        let mut checker =
-            AssistedChecker::new("monotone", monotone(), Window::States(2)).unwrap();
+        let mut checker = AssistedChecker::new("monotone", monotone(), Window::States(2)).unwrap();
         let mut history = start();
         let raise = parse_fterm(
             "foreach e: 2tup | e in EMP do modify(e, salary, salary(e) + 10) end",
@@ -226,8 +223,7 @@ mod tests {
     #[test]
     fn uncertified_steps_fall_back_and_catch_violations() {
         let registry = VerifiedRegistry::new(); // nothing certified
-        let mut checker =
-            AssistedChecker::new("monotone", monotone(), Window::States(2)).unwrap();
+        let mut checker = AssistedChecker::new("monotone", monotone(), Window::States(2)).unwrap();
         let mut history = start();
         let cut = parse_fterm(
             "foreach e: 2tup | e in EMP do modify(e, salary, salary(e) - 10) end",
@@ -245,8 +241,7 @@ mod tests {
     fn certificates_are_per_constraint() {
         let mut registry = VerifiedRegistry::new();
         registry.record("raise", "some-other-constraint");
-        let mut checker =
-            AssistedChecker::new("monotone", monotone(), Window::States(2)).unwrap();
+        let mut checker = AssistedChecker::new("monotone", monotone(), Window::States(2)).unwrap();
         let mut history = start();
         let raise = parse_fterm(
             "foreach e: 2tup | e in EMP do modify(e, salary, salary(e) + 10) end",
@@ -263,9 +258,7 @@ mod tests {
     #[test]
     fn not_checkable_guard() {
         assert!(assisted_window_guard(&Window::States(2)).is_ok());
-        assert!(
-            assisted_window_guard(&Window::NotCheckable("future".into())).is_err()
-        );
+        assert!(assisted_window_guard(&Window::NotCheckable("future".into())).is_err());
     }
 
     #[test]

@@ -100,8 +100,7 @@ fn walk_term(t: &STerm, shape: &mut StateShape) {
         }
         STerm::EvalState(w, _) => {
             // the EvalState itself is a transition over w
-            shape.max_transition_depth =
-                shape.max_transition_depth.max(transition_depth(w) + 1);
+            shape.max_transition_depth = shape.max_transition_depth.max(transition_depth(w) + 1);
             walk_term(w, shape);
         }
         STerm::Attr(_, t) | STerm::Select(t, _) | STerm::IdOf(t) => walk_term(t, shape),

@@ -64,19 +64,10 @@ impl NeverReinsertEncoding {
         match t {
             FTerm::Delete(tup, rel) if *rel == self.relation => {
                 let key = FTerm::Attr(self.key_attr, tup.clone());
-                let record = FTerm::Insert(
-                    Box::new(FTerm::TupleCons(vec![key])),
-                    self.audit,
-                );
-                FTerm::Seq(
-                    Box::new(record),
-                    Box::new(FTerm::Delete(tup.clone(), *rel)),
-                )
+                let record = FTerm::Insert(Box::new(FTerm::TupleCons(vec![key])), self.audit);
+                FTerm::Seq(Box::new(record), Box::new(FTerm::Delete(tup.clone(), *rel)))
             }
-            FTerm::Seq(a, b) => FTerm::Seq(
-                Box::new(self.rewrite(a)),
-                Box::new(self.rewrite(b)),
-            ),
+            FTerm::Seq(a, b) => FTerm::Seq(Box::new(self.rewrite(a)), Box::new(self.rewrite(b))),
             FTerm::Cond(p, a, b) => FTerm::Cond(
                 p.clone(),
                 Box::new(self.rewrite(a)),
@@ -125,10 +116,7 @@ impl NeverReinsertEncoding {
         let e = Var::tup_f("e", self.arity);
         let rel = FTerm::Rel(self.relation);
         let at = |w: STerm| -> SFormula {
-            SFormula::member(
-                w.clone().eval_obj(FTerm::var(e)),
-                w.eval_obj(rel.clone()),
-            )
+            SFormula::member(w.clone().eval_obj(FTerm::var(e)), w.eval_obj(rel.clone()))
         };
         let s0 = STerm::var(s);
         let s1 = STerm::var(s).eval_state(FTerm::var(t1));
@@ -192,7 +180,9 @@ mod tests {
         )
         .unwrap();
         let rewritten = enc.rewrite(&fire_ann);
-        assert!(rewritten.to_string().contains("insert(tuple(e-name(e)), FIRE)"));
+        assert!(rewritten
+            .to_string()
+            .contains("insert(tuple(e-name(e)), FIRE)"));
 
         // execute: ann leaves EMP and appears in FIRE
         let db = schema.initial_state();
@@ -200,7 +190,7 @@ mod tests {
         let (db, _) = db
             .insert_fields(emp, &[Atom::str("ann"), Atom::nat(500)])
             .unwrap();
-        let engine = Engine::new(&schema);
+        let engine = Engine::new(&schema).unwrap();
         let db2 = engine.execute(&db, &rewritten, &Env::new()).unwrap();
         assert!(db2.relation(emp).unwrap().is_empty());
         let fire = schema.rel_id("FIRE").unwrap();

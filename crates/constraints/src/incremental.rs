@@ -179,7 +179,7 @@ impl IncrementalChecker {
     /// Execute `tx` at the latest state, record the step, and check.
     pub fn step(&mut self, label: &str, tx: &FTerm, env: &Env) -> TxResult<bool> {
         let (next, delta) = {
-            let engine = Engine::new(self.history.schema());
+            let engine = Engine::new(self.history.schema())?;
             engine.execute_traced(self.history.latest(), tx, env)?
         };
         self.advance(label, next, &delta);
@@ -197,7 +197,8 @@ impl IncrementalChecker {
     fn advance(&mut self, label: &str, state: DbState, delta: &Delta) {
         let next = update_rel_fps(self.rel_fps.last().expect("never empty"), delta);
         self.full_fps.push(combine_fps(&next, None));
-        self.proj_fps.push(combine_fps(&next, self.read_ids.as_ref()));
+        self.proj_fps
+            .push(combine_fps(&next, self.read_ids.as_ref()));
         self.rel_fps.push(next);
         self.history.push_state(label, state);
     }
@@ -228,10 +229,7 @@ impl IncrementalChecker {
         let fulls = &self.full_fps[start..len];
         let mut shape = Vec::with_capacity(fulls.len());
         for (i, f) in fulls.iter().enumerate() {
-            let class = fulls[..i]
-                .iter()
-                .position(|g| g == f)
-                .unwrap_or(i) as u32;
+            let class = fulls[..i].iter().position(|g| g == f).unwrap_or(i) as u32;
             shape.push((class, self.proj_fps[start + i]));
         }
         WindowKey {
@@ -413,9 +411,13 @@ mod tests {
         steps: &[(&str, FTerm)],
     ) -> IncrementalChecker {
         let (schema, db) = start();
-        let mut inc =
-            IncrementalChecker::new(schema.clone(), db.clone(), constraint.clone(), window.clone())
-                .unwrap();
+        let mut inc = IncrementalChecker::new(
+            schema.clone(),
+            db.clone(),
+            constraint.clone(),
+            window.clone(),
+        )
+        .unwrap();
         let full = WindowedChecker::new(constraint.clone(), window).unwrap();
         let mut history = History::new(schema, db);
         let env = Env::new();
@@ -490,9 +492,7 @@ mod tests {
     #[test]
     fn zero_state_window_rejected() {
         let (schema, db) = start();
-        assert!(
-            IncrementalChecker::new(schema, db, SFormula::True, Window::States(0)).is_err()
-        );
+        assert!(IncrementalChecker::new(schema, db, SFormula::True, Window::States(0)).is_err());
     }
 
     #[test]
@@ -511,7 +511,7 @@ mod tests {
         let mut by_push =
             IncrementalChecker::new(schema.clone(), db.clone(), constraint, Window::States(2))
                 .unwrap();
-        let engine = Engine::new(&schema);
+        let engine = Engine::new(&schema).unwrap();
         let env = Env::new();
         let mut cur = db;
         for (label, tx) in [("raise", raise()), ("noise", noise())] {
@@ -530,10 +530,7 @@ mod tests {
         let (db2, _, delta) = db
             .insert_traced(
                 emp,
-                &txlog_relational::TupleVal::anonymous(vec![
-                    Atom::str("bob"),
-                    Atom::nat(300),
-                ]),
+                &txlog_relational::TupleVal::anonymous(vec![Atom::str("bob"), Atom::nat(300)]),
             )
             .unwrap();
         let scanned = state_rel_fps(&db2);

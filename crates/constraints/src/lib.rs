@@ -37,6 +37,5 @@ pub use encoding::NeverReinsertEncoding;
 pub use incremental::{IncrementalChecker, IncrementalStats};
 pub use readset::{read_set, ReadSet};
 pub use window::{
-    checkability, find_window_unsoundness, Hints, History, HistoryOutcome, Window,
-    WindowedChecker,
+    checkability, find_window_unsoundness, Hints, History, HistoryOutcome, Window, WindowedChecker,
 };

@@ -207,15 +207,13 @@ fn walk_squantifier(v: Var, body: &SFormula, universal: bool, acc: &mut Acc) {
         (Sort::State, _) => walk_sformula(body, acc),
         // Situational tuple variables: the model restricts the domain to
         // a membership conjunct's set expression when one exists.
-        (Sort::Obj(ObjSort::Tup(_)), VarClass::Situational) => {
-            match find_smembership(body, v) {
-                Some(set) => {
-                    walk_sterm(set, acc);
-                    walk_sformula(body, acc);
-                }
-                None => acc.poison(),
+        (Sort::Obj(ObjSort::Tup(_)), VarClass::Situational) => match find_smembership(body, v) {
+            Some(set) => {
+                walk_sterm(set, acc);
+                walk_sformula(body, acc);
             }
-        }
+            None => acc.poison(),
+        },
         // Fluent tuple variables range over every tuple identity of their
         // arity in the whole window; only a vacuity guard keeps the
         // out-of-relation part of that domain from mattering.
@@ -273,12 +271,10 @@ fn walk_sterm(t: &STerm, acc: &mut Acc) {
 fn walk_squantifier_domain_only(v: Var, cond: &SFormula, acc: &mut Acc) {
     match (v.sort, v.class) {
         (Sort::State, _) => {}
-        (Sort::Obj(ObjSort::Tup(_)), VarClass::Situational) => {
-            match find_smembership(cond, v) {
-                Some(set) => walk_sterm(set, acc),
-                None => acc.poison(),
-            }
-        }
+        (Sort::Obj(ObjSort::Tup(_)), VarClass::Situational) => match find_smembership(cond, v) {
+            Some(set) => walk_sterm(set, acc),
+            None => acc.poison(),
+        },
         (Sort::Obj(ObjSort::Tup(_)), VarClass::Fluent) => {
             let mut guards = Vec::new();
             if vacuity_guard(cond, v, false, &mut guards) {
@@ -344,10 +340,7 @@ fn vacuity_guard(p: &SFormula, v: Var, need: bool, out: &mut Vec<Symbol>) -> boo
         (SFormula::Member(elem, set), false) => match (elem, set) {
             (STerm::EvalObj(w1, e1), STerm::EvalObj(w2, e2)) => {
                 if let (FTerm::Var(x), FTerm::Rel(r)) = (e1.as_ref(), e2.as_ref()) {
-                    if *x == v
-                        && !sterm_mentions(w1, v)
-                        && !sterm_mentions(w2, v)
-                    {
+                    if *x == v && !sterm_mentions(w1, v) && !sterm_mentions(w2, v) {
                         out.push(*r);
                         return true;
                     }
@@ -407,9 +400,7 @@ fn sformula_mentions(p: &SFormula, v: Var) -> bool {
         | SFormula::Or(a, b)
         | SFormula::Implies(a, b)
         | SFormula::Iff(a, b) => sformula_mentions(a, v) || sformula_mentions(b, v),
-        SFormula::Forall(x, q) | SFormula::Exists(x, q) => {
-            *x == v || sformula_mentions(q, v)
-        }
+        SFormula::Forall(x, q) | SFormula::Exists(x, q) => *x == v || sformula_mentions(q, v),
         SFormula::UserPred(_, ts) => ts.iter().any(|t| sterm_mentions(t, v)),
     }
 }
@@ -444,9 +435,7 @@ fn fformula_mentions(p: &FFormula, v: Var) -> bool {
         | FFormula::Or(a, b)
         | FFormula::Implies(a, b)
         | FFormula::Iff(a, b) => fformula_mentions(a, v) || fformula_mentions(b, v),
-        FFormula::Exists(x, q) | FFormula::Forall(x, q) => {
-            *x == v || fformula_mentions(q, v)
-        }
+        FFormula::Exists(x, q) | FFormula::Forall(x, q) => *x == v || fformula_mentions(q, v),
         FFormula::UserPred(_, ts) => ts.iter().any(|t| fterm_mentions(t, v)),
     }
 }
@@ -470,9 +459,7 @@ fn fterm_mentions(t: &FTerm, v: Var) -> bool {
         FTerm::Cond(p, a, b) => {
             fformula_mentions(p, v) || fterm_mentions(a, v) || fterm_mentions(b, v)
         }
-        FTerm::Foreach(x, p, body) => {
-            *x == v || fformula_mentions(p, v) || fterm_mentions(body, v)
-        }
+        FTerm::Foreach(x, p, body) => *x == v || fformula_mentions(p, v) || fterm_mentions(body, v),
         FTerm::Modify(t, _, val) | FTerm::ModifyAttr(t, _, val) => {
             fterm_mentions(t, v) || fterm_mentions(val, v)
         }
@@ -526,9 +513,7 @@ fn walk_fquantifier(v: Var, body: &FFormula, acc: &mut Acc) {
 fn find_membership_rel(p: &FFormula, v: Var) -> Option<Symbol> {
     match p {
         FFormula::Member(FTerm::Var(x), FTerm::Rel(r)) if *x == v => Some(*r),
-        FFormula::And(a, b) => {
-            find_membership_rel(a, v).or_else(|| find_membership_rel(b, v))
-        }
+        FFormula::And(a, b) => find_membership_rel(a, v).or_else(|| find_membership_rel(b, v)),
         FFormula::Implies(a, _) => find_membership_rel(a, v),
         _ => None,
     }

@@ -137,7 +137,7 @@ impl History {
 
     /// Execute `tx` at the latest state and append the result.
     pub fn step(&mut self, label: &str, tx: &FTerm, env: &Env) -> TxResult<&DbState> {
-        let engine = txlog_engine::Engine::new(&self.schema);
+        let engine = txlog_engine::Engine::new(&self.schema)?;
         let next = engine.execute(self.latest(), tx, env)?;
         self.states.push(next);
         self.labels.push(label.to_string());
@@ -505,10 +505,6 @@ mod tests {
     #[test]
     fn not_checkable_rejected_by_checker() {
         let f = SFormula::True;
-        assert!(WindowedChecker::new(
-            f,
-            Window::NotCheckable("reason".into())
-        )
-        .is_err());
+        assert!(WindowedChecker::new(f, Window::NotCheckable("reason".into())).is_err());
     }
 }

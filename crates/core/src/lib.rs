@@ -34,7 +34,7 @@
 //! let hire = parse_fterm("insert(tuple('ann', 500), EMP)", &ctx, &[]).unwrap();
 //!
 //! // execute it: w ; e
-//! let engine = Engine::new(&schema);
+//! let engine = Engine::new(&schema).unwrap();
 //! let db2 = engine.execute(&db, &hire, &Env::new()).unwrap();
 //! assert_eq!(db2.total_tuples(), 1);
 //!
@@ -65,25 +65,24 @@ pub use txlog_temporal as temporal;
 pub mod prelude {
     pub use txlog_base::{Atom, RelId, StateId, Symbol, TupleId, TxError, TxResult};
     pub use txlog_constraints::{
-        checkability, classify, read_set, ConstraintClass, Hints, History,
-        IncrementalChecker, IncrementalStats, NeverReinsertEncoding, ReadSet, Window,
-        WindowedChecker,
+        checkability, classify, read_set, ConstraintClass, Hints, History, IncrementalChecker,
+        IncrementalStats, NeverReinsertEncoding, ReadSet, Window, WindowedChecker,
     };
     pub use txlog_engine::{
-        check_program, Binding, Engine, Env, EvalOptions, Model, ModelBuilder, ProgramKind,
-        SetVal, StateVal, Value,
+        check_program, Binding, Engine, Env, EvalOptions, Model, ModelBuilder, ProgramKind, SetVal,
+        StateVal, Value,
     };
     pub use txlog_logic::{
-        parse_fformula, parse_fterm, parse_sformula, parse_sformula_with_params, CmpOp,
-        FFormula, FTerm, ObjSort, Op, ParseCtx, SFormula, STerm, Sort, Var, VarClass,
+        parse_fformula, parse_fterm, parse_sformula, parse_sformula_with_params, CmpOp, FFormula,
+        FTerm, ObjSort, Op, ParseCtx, SFormula, STerm, Sort, Var, VarClass,
     };
     pub use txlog_prover::{
         entails, regress, simplify_sformula, verify_preserves, Limits, Tableau, Verdict,
         VerifyOptions,
     };
     pub use txlog_relational::{
-        DbState, Delta, EvolutionGraph, RelDecl, RelDelta, Relation, Schema, Tuple,
-        TupleChange, TupleVal, TxLabel,
+        DbState, Delta, EvolutionGraph, RelDecl, RelDelta, Relation, Schema, Tuple, TupleChange,
+        TupleVal, TxLabel,
     };
     pub use txlog_synthesis::{synthesize, verify_synthesis, Synthesized};
     pub use txlog_temporal::{delta, holds, TFormula};
@@ -100,7 +99,7 @@ mod tests {
         let ctx = txlog_empdb::parse_ctx();
         let hire = txlog_empdb::transactions::hire("zoe", "dept-0", 500, 30, "S", "proj-0", 100);
         let (_, db) = txlog_empdb::populate(txlog_empdb::Sizes::small(), 1).unwrap();
-        let engine = Engine::new(&schema);
+        let engine = Engine::new(&schema).unwrap();
         let db2 = engine.execute(&db, &hire, &Env::new()).unwrap();
 
         let ic = parse_sformula(

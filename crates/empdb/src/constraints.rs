@@ -272,9 +272,7 @@ pub fn ic4_future_hints() -> Hints {
 /// needs. Verdicts are cached per window key, so transactions whose
 /// delta is disjoint from a constraint's read-set (see
 /// [`txlog_constraints::read_set`]) do not pay for rechecking it.
-pub fn example1_incremental(
-    initial: DbState,
-) -> TxResult<Vec<(&'static str, IncrementalChecker)>> {
+pub fn example1_incremental(initial: DbState) -> TxResult<Vec<(&'static str, IncrementalChecker)>> {
     example1_all()
         .into_iter()
         .map(|(name, ic)| {
@@ -325,7 +323,10 @@ mod tests {
             classify(&ic2_marital_transaction()),
             ConstraintClass::Transaction
         );
-        assert_eq!(classify(&ic3_skill_retention()), ConstraintClass::Transaction);
+        assert_eq!(
+            classify(&ic3_skill_retention()),
+            ConstraintClass::Transaction
+        );
         assert_eq!(
             classify(&ic3_salary_needs_dept_switch()),
             ConstraintClass::Transaction

@@ -127,11 +127,7 @@ pub fn populate(sizes: Sizes, seed: u64) -> TxResult<(Schema, DbState)> {
                 rng.gen_range(1..=remaining.max(1))
             };
             remaining -= share.min(remaining);
-            let fields = [
-                Atom::str(&name),
-                Atom::str(&proj_name(p)),
-                Atom::nat(share),
-            ];
+            let fields = [Atom::str(&name), Atom::str(&proj_name(p)), Atom::nat(share)];
             db = db.insert_fields(alloc, &fields)?.0;
             if remaining == 0 {
                 break;
@@ -151,11 +147,7 @@ pub fn populate(sizes: Sizes, seed: u64) -> TxResult<(Schema, DbState)> {
 pub fn corrupt_overallocate(schema: &Schema, db: &DbState) -> TxResult<DbState> {
     let alloc = schema.rel_id("ALLOC")?;
     let name = emp_name(0);
-    let fields = [
-        Atom::str(&name),
-        Atom::str(&proj_name(0)),
-        Atom::nat(200),
-    ];
+    let fields = [Atom::str(&name), Atom::str(&proj_name(0)), Atom::nat(200)];
     Ok(db.insert_fields(alloc, &fields)?.0)
 }
 
@@ -206,7 +198,10 @@ mod tests {
         for seed in [1, 7, 42] {
             let (schema, db) = populate(Sizes::default(), seed).unwrap();
             for (name, ok) in check_all(schema, db) {
-                assert!(ok, "constraint {name} violated by generated data (seed {seed})");
+                assert!(
+                    ok,
+                    "constraint {name} violated by generated data (seed {seed})"
+                );
             }
         }
     }
@@ -217,7 +212,13 @@ mod tests {
 
         let bad = corrupt_overallocate(&schema, &db).unwrap();
         let verdicts = check_all(schema.clone(), bad);
-        assert!(!verdicts.iter().find(|(n, _)| *n == "alloc-within-100").unwrap().1);
+        assert!(
+            !verdicts
+                .iter()
+                .find(|(n, _)| *n == "alloc-within-100")
+                .unwrap()
+                .1
+        );
 
         let bad = corrupt_dangling_alloc(&schema, &db).unwrap();
         let verdicts = check_all(schema.clone(), bad);
@@ -250,10 +251,7 @@ mod tests {
             max_skills: 1,
         };
         let (schema, db) = populate(sizes, 9).unwrap();
-        assert_eq!(
-            db.relation(schema.rel_id("EMP").unwrap()).unwrap().len(),
-            5
-        );
+        assert_eq!(db.relation(schema.rel_id("EMP").unwrap()).unwrap().len(), 5);
         assert_eq!(
             db.relation(schema.rel_id("PROJ").unwrap()).unwrap().len(),
             3

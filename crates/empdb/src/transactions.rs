@@ -53,7 +53,15 @@ pub fn cancel_project() -> (FTerm, Var, Var) {
 
 /// Hire `name` into `dept` with the given salary/age/status, allocated
 /// `perc`% to `proj`.
-pub fn hire(name: &str, dept: &str, salary: u64, age: u64, status: &str, proj: &str, perc: u64) -> FTerm {
+pub fn hire(
+    name: &str,
+    dept: &str,
+    salary: u64,
+    age: u64,
+    status: &str,
+    proj: &str,
+    perc: u64,
+) -> FTerm {
     parse(
         &format!(
             "insert(tuple('{name}', '{dept}', {salary}, {age}, '{status}'), EMP) ;;
@@ -170,10 +178,7 @@ pub fn obtain_skill(name: &str, no: u64) -> FTerm {
 /// Drop a skill — violates Example 3's retention constraint while the
 /// employee remains employed.
 pub fn drop_skill(name: &str, no: u64) -> FTerm {
-    parse(
-        &format!("delete(tuple('{name}', {no}), SKILL)"),
-        &[],
-    )
+    parse(&format!("delete(tuple('{name}', {no}), SKILL)"), &[])
 }
 
 /// Create a project.
@@ -204,9 +209,7 @@ pub fn add_dept(dname: &str, chair: &str, location: &str) -> FTerm {
 /// it to probe the Structural Model constraints).
 pub fn delete_dept(dname: &str) -> FTerm {
     parse(
-        &format!(
-            "foreach d: 3tup | d in DEPT & d-name(d) = '{dname}' do delete(d, DEPT) end"
-        ),
+        &format!("foreach d: 3tup | d in DEPT & d-name(d) = '{dname}' do delete(d, DEPT) end"),
         &[],
     )
 }
@@ -263,10 +266,14 @@ mod tests {
     #[test]
     fn hire_then_fire_round_trips() {
         let schema = employee_schema();
-        let engine = Engine::new(&schema);
+        let engine = Engine::new(&schema).unwrap();
         let db0 = schema.initial_state();
         let db1 = engine
-            .execute(&db0, &hire("ann", "cs", 500, 30, "S", "alpha", 50), &Env::new())
+            .execute(
+                &db0,
+                &hire("ann", "cs", 500, 30, "S", "alpha", 50),
+                &Env::new(),
+            )
             .unwrap();
         let emp = schema.rel_id("EMP").unwrap();
         let alloc = schema.rel_id("ALLOC").unwrap();
@@ -280,10 +287,14 @@ mod tests {
     #[test]
     fn raise_changes_salary_only() {
         let schema = employee_schema();
-        let engine = Engine::new(&schema);
+        let engine = Engine::new(&schema).unwrap();
         let db0 = schema.initial_state();
         let db1 = engine
-            .execute(&db0, &hire("ann", "cs", 500, 30, "S", "alpha", 50), &Env::new())
+            .execute(
+                &db0,
+                &hire("ann", "cs", 500, 30, "S", "alpha", 50),
+                &Env::new(),
+            )
             .unwrap();
         let db2 = engine
             .execute(&db1, &raise_salary("ann", 100), &Env::new())

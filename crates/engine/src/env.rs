@@ -146,7 +146,9 @@ mod tests {
     #[test]
     fn rebinding_shadows() {
         let v = Var::atom_f("v");
-        let env = Env::new().bind_atom(v, Atom::nat(1)).bind_atom(v, Atom::nat(2));
+        let env = Env::new()
+            .bind_atom(v, Atom::nat(1))
+            .bind_atom(v, Atom::nat(2));
         assert!(matches!(
             env.get(&v),
             Some(Binding::FluentAtom(a)) if *a == Atom::nat(2)

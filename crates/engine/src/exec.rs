@@ -29,8 +29,21 @@ use crate::env::{Binding, Env};
 use crate::value::{SetVal, Value};
 use std::collections::HashMap;
 use txlog_base::{Atom, Symbol, TxError, TxResult};
-use txlog_logic::{CmpOp, FFormula, FTerm, ObjSort, Op, Sort, Var, VarClass};
-use txlog_relational::{DbState, Delta, Schema, TupleVal};
+use txlog_logic::plan::{find_membership_rel, GuardMode};
+use txlog_logic::{CmpOp, FFormula, FTerm, ObjSort, Op, Signature, Sort, Var, VarClass};
+use txlog_relational::{DbState, Delta, Relation, Schema, TupleVal};
+
+/// How quantifier, set-former, and `foreach` domains are enumerated.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PlanMode {
+    /// Compile conditions to indexed query plans (membership scans,
+    /// hash-index probes, residual filters). The default.
+    #[default]
+    Indexed,
+    /// Naive nested-loop enumeration over the bounded domains — the
+    /// reference semantics, kept as the differential-testing oracle.
+    Naive,
+}
 
 /// Evaluation options.
 #[derive(Clone, Copy)]
@@ -40,8 +53,12 @@ pub struct EvalOptions {
     /// states differ. Doubles the cost of iterations.
     pub check_order_independence: bool,
     /// Upper bound on the number of iterations a single `foreach` may
-    /// perform — a guard against accidentally unbounded domains.
+    /// perform, and on the number of candidate bindings a single
+    /// quantifier or set-former enumeration may visit — a guard against
+    /// accidentally unbounded domains.
     pub max_iterations: usize,
+    /// Domain-enumeration strategy (indexed plans vs. the naive oracle).
+    pub planner: PlanMode,
 }
 
 impl Default for EvalOptions {
@@ -49,40 +66,57 @@ impl Default for EvalOptions {
         EvalOptions {
             check_order_independence: false,
             max_iterations: 1_000_000,
+            planner: PlanMode::Indexed,
         }
     }
 }
 
 /// The evaluator. Borrow a schema, evaluate many expressions.
 pub struct Engine<'a> {
-    schema: &'a Schema,
-    opts: EvalOptions,
+    pub(crate) schema: &'a Schema,
+    pub(crate) opts: EvalOptions,
     /// attribute name → (relation arity, 1-based index); names must be
     /// globally unique, as the paper's `l(t)` sugar presumes.
-    attrs: HashMap<Symbol, (usize, usize)>,
+    pub(crate) attrs: HashMap<Symbol, (usize, usize)>,
+    /// The schema as a sort-checking signature, reused by the planner
+    /// and for deriving empty set-former arities.
+    pub(crate) sig: Signature,
 }
 
 impl<'a> Engine<'a> {
-    /// Build an engine over a schema with default options.
-    pub fn new(schema: &'a Schema) -> Engine<'a> {
+    /// Build an engine over a schema with default options. Errors if the
+    /// schema violates the global attribute-name uniqueness the paper's
+    /// `l(t)` sugar presumes.
+    pub fn new(schema: &'a Schema) -> TxResult<Engine<'a>> {
         Engine::with_options(schema, EvalOptions::default())
     }
 
-    /// Build an engine with explicit options.
-    pub fn with_options(schema: &'a Schema, opts: EvalOptions) -> Engine<'a> {
+    /// Build an engine with explicit options. Errors on duplicate
+    /// attribute names across relations (see [`Engine::new`]).
+    pub fn with_options(schema: &'a Schema, opts: EvalOptions) -> TxResult<Engine<'a>> {
         let mut attrs = HashMap::new();
+        let mut owners: HashMap<Symbol, Symbol> = HashMap::new();
+        let mut sig = Signature::new();
         for d in schema.decls() {
             for (i, &a) in d.attrs.iter().enumerate() {
-                // Later declarations shadow earlier ones only if the
-                // name repeats; the employee schema has unique names.
-                attrs.entry(a).or_insert((d.arity(), i + 1));
+                if let Some(prev) = owners.insert(a, d.name) {
+                    return Err(TxError::schema(format!(
+                        "attribute {a} is declared by both {prev} and {}; attribute \
+                         names must be globally unique for the l(t) sugar to denote",
+                        d.name
+                    )));
+                }
+                attrs.insert(a, (d.arity(), i + 1));
             }
+            let attr_names: Vec<&str> = d.attrs.iter().map(|a| a.as_str()).collect();
+            sig = sig.relation(d.name.as_str(), &attr_names);
         }
-        Engine {
+        Ok(Engine {
             schema,
             opts,
             attrs,
-        }
+            sig,
+        })
     }
 
     /// The schema this engine evaluates against.
@@ -107,9 +141,10 @@ impl<'a> Engine<'a> {
             FTerm::Nat(n) => Ok(Value::Atom(Atom::Nat(*n))),
             FTerm::Str(s) => Ok(Value::Atom(Atom::Str(*s))),
             FTerm::Rel(name) => {
-                let decl = self.schema.by_name(*name).ok_or_else(|| {
-                    TxError::schema(format!("unknown relation {name}"))
-                })?;
+                let decl = self
+                    .schema
+                    .by_name(*name)
+                    .ok_or_else(|| TxError::schema(format!("unknown relation {name}")))?;
                 match db.relation(decl.id) {
                     Some(rel) => Ok(Value::Set(SetVal::from_relation(rel))),
                     None => Err(TxError::undefined(format!(
@@ -140,14 +175,12 @@ impl<'a> Engine<'a> {
                 Ok(Value::Tuple(TupleVal::anonymous(fields)))
             }
             FTerm::App(op, args) => self.eval_op(db, *op, args, env),
-            FTerm::SetFormer { head, vars, cond } => {
-                self.eval_setformer(db, head, vars, cond, env)
-            }
+            FTerm::SetFormer { head, vars, cond } => self.eval_setformer(db, head, vars, cond, env),
             FTerm::IdOf(inner) => match self.eval_obj(db, inner, env)? {
-                Value::Tuple(t) => t
-                    .id
-                    .map(Value::TupleId)
-                    .ok_or_else(|| TxError::undefined("id of an anonymous tuple")),
+                Value::Tuple(t) => {
+                    t.id.map(Value::TupleId)
+                        .ok_or_else(|| TxError::undefined("id of an anonymous tuple"))
+                }
                 Value::Set(s) => s
                     .rel_id
                     .map(Value::RelId)
@@ -176,9 +209,9 @@ impl<'a> Engine<'a> {
             },
             Some(Binding::FluentAtom(a)) => Ok(Value::Atom(*a)),
             Some(Binding::Val(val)) => Ok(val.clone()),
-            Some(Binding::Label(_)) | Some(Binding::Program(_)) => Err(TxError::sort(
-                format!("transaction variable {v} used in object position"),
-            )),
+            Some(Binding::Label(_)) | Some(Binding::Program(_)) => Err(TxError::sort(format!(
+                "transaction variable {v} used in object position"
+            ))),
             None => Err(TxError::eval(format!("unbound variable {v}"))),
         }
     }
@@ -230,79 +263,88 @@ impl<'a> Engine<'a> {
         env: &Env,
     ) -> TxResult<Value> {
         let mut members = Vec::new();
-        self.enumerate_assignments(db, vars, cond, env, &mut |env| {
+        self.for_each_assignment(db, vars, cond, env, GuardMode::Positive, &mut |env| {
             if self.eval_truth(db, cond, env)? {
                 let v = self.eval_obj(db, head, env)?;
                 members.push(v.into_tuple()?);
             }
-            Ok(())
+            Ok(true)
         })?;
         let arity = match members.first() {
+            // A non-empty comprehension's arity is its members'.
             Some(m) => m.arity(),
-            None => head_arity_hint(head).unwrap_or(1),
+            // An empty one must derive it from the head's *sort* — a
+            // guess would silently type the set wrong.
+            None => match txlog_logic::sort_of_fterm(&self.sig, head) {
+                Ok(Sort::Obj(ObjSort::Atom)) => 1,
+                Ok(Sort::Obj(ObjSort::Tup(n))) => n,
+                Ok(other) => {
+                    return Err(TxError::sort(format!(
+                        "set-former head {head} has sort {other}, not a tuple or atom"
+                    )))
+                }
+                Err(e) => return Err(e),
+            },
         };
         Ok(Value::Set(SetVal::from_members(arity, members)?))
     }
 
-    /// Enumerate all assignments of `vars` over their finite domains,
-    /// calling `visit` for each extension of `env`. Domains are derived
-    /// from the condition where possible (a `x ∈ R` conjunct restricts
-    /// `x` to `R`'s tuples) and fall back to the state's active domain.
-    fn enumerate_assignments(
+    /// The relation a `v ∈ R` conjunct bounds `v` to, resolved and
+    /// arity-checked against `v`'s sort; `None` when the relation is
+    /// absent from the state (an empty domain, not an error). Shared by
+    /// the naive enumerator and the plan interpreter so both report the
+    /// identical schema/sort errors.
+    pub(crate) fn bounding_relation<'d>(
         &self,
-        db: &DbState,
-        vars: &[Var],
-        cond: &FFormula,
-        env: &Env,
-        visit: &mut dyn FnMut(&Env) -> TxResult<()>,
-    ) -> TxResult<()> {
-        match vars.split_first() {
-            None => visit(env),
-            Some((&v, rest)) => {
-                for b in self.domain_of(db, v, cond)? {
-                    let env2 = env.bind(v, b);
-                    self.enumerate_assignments(db, rest, cond, &env2, visit)?;
-                }
-                Ok(())
-            }
+        db: &'d DbState,
+        v: Var,
+        n: usize,
+        rel: Symbol,
+    ) -> TxResult<Option<&'d Relation>> {
+        let decl = self
+            .schema
+            .by_name(rel)
+            .ok_or_else(|| TxError::schema(format!("unknown relation {rel}")))?;
+        if decl.arity() != n {
+            return Err(TxError::sort(format!(
+                "variable {v} has arity {n} but relation {rel} has arity {}",
+                decl.arity()
+            )));
         }
+        Ok(db.relation(decl.id))
     }
 
-    /// The finite domain a bound fluent variable ranges over at `db`.
-    fn domain_of(&self, db: &DbState, v: Var, cond: &FFormula) -> TxResult<Vec<Binding>> {
+    /// The finite domain a bound fluent variable ranges over at `db` —
+    /// the naive (oracle) enumeration, definitional for the bounded
+    /// quantification semantics.
+    pub(crate) fn domain_of(
+        &self,
+        db: &DbState,
+        v: Var,
+        cond: &FFormula,
+    ) -> TxResult<Vec<Binding>> {
         match v.sort {
             Sort::Obj(ObjSort::Tup(n)) => {
                 // Prefer a restricting membership conjunct.
                 if let Some(rel) = find_membership_rel(cond, v) {
-                    let decl = self.schema.by_name(rel).ok_or_else(|| {
-                        TxError::schema(format!("unknown relation {rel}"))
-                    })?;
-                    if decl.arity() != n {
-                        return Err(TxError::sort(format!(
-                            "variable {v} has arity {n} but relation {rel} has arity {}",
-                            decl.arity()
-                        )));
-                    }
-                    return Ok(match db.relation(decl.id) {
+                    return Ok(match self.bounding_relation(db, v, n, rel)? {
                         Some(r) => r.iter_vals().map(Binding::FluentTuple).collect(),
                         None => Vec::new(),
                     });
                 }
                 // Fall back to every arity-n tuple in the state.
-                let mut out = Vec::new();
-                for (_, rel) in db.relations() {
-                    if rel.arity() == n {
-                        out.extend(rel.iter_vals().map(Binding::FluentTuple));
-                    }
-                }
-                Ok(out)
+                Ok(crate::plan::active_tuples(db, n)
+                    .into_iter()
+                    .map(Binding::FluentTuple)
+                    .collect())
             }
             Sort::Obj(ObjSort::Atom) => {
-                let mut atoms = active_atoms(db);
-                collect_fformula_atoms(cond, &mut atoms);
-                atoms.sort();
-                atoms.dedup();
-                Ok(atoms.into_iter().map(Binding::FluentAtom).collect())
+                let mut seed = Vec::new();
+                collect_fformula_atoms(cond, &mut seed);
+                Ok(crate::plan::atom_domain([db], seed)
+                    .into_iter()
+                    .map(Binding::FluentAtom)
+                    .collect())
             }
             other => Err(TxError::sort(format!(
                 "cannot enumerate domain of sort {other} (variable {v})"
@@ -332,9 +374,7 @@ impl<'a> Engine<'a> {
                 let t = self.eval_obj_opt(db, t, env)?;
                 let set = self.eval_obj_opt(db, set, env)?;
                 match (t, set) {
-                    (Some(t), Some(set)) => {
-                        Ok(set.into_set()?.contains(&t.into_tuple()?))
-                    }
+                    (Some(t), Some(set)) => Ok(set.into_set()?.contains(&t.into_tuple()?)),
                     _ => Ok(false),
                 }
             }
@@ -347,37 +387,47 @@ impl<'a> Engine<'a> {
                 }
             }
             FFormula::Not(q) => Ok(!self.eval_truth(db, q, env)?),
-            FFormula::And(a, b) => {
-                Ok(self.eval_truth(db, a, env)? && self.eval_truth(db, b, env)?)
-            }
-            FFormula::Or(a, b) => {
-                Ok(self.eval_truth(db, a, env)? || self.eval_truth(db, b, env)?)
-            }
+            FFormula::And(a, b) => Ok(self.eval_truth(db, a, env)? && self.eval_truth(db, b, env)?),
+            FFormula::Or(a, b) => Ok(self.eval_truth(db, a, env)? || self.eval_truth(db, b, env)?),
             FFormula::Implies(a, b) => {
                 Ok(!self.eval_truth(db, a, env)? || self.eval_truth(db, b, env)?)
             }
-            FFormula::Iff(a, b) => {
-                Ok(self.eval_truth(db, a, env)? == self.eval_truth(db, b, env)?)
-            }
+            FFormula::Iff(a, b) => Ok(self.eval_truth(db, a, env)? == self.eval_truth(db, b, env)?),
             FFormula::Exists(v, body) => {
                 let mut found = false;
-                for b in self.domain_of(db, *v, body)? {
-                    let env2 = env.bind(*v, b);
-                    if self.eval_truth(db, body, &env2)? {
-                        found = true;
-                        break;
-                    }
-                }
+                self.for_each_assignment(
+                    db,
+                    std::slice::from_ref(v),
+                    body,
+                    env,
+                    GuardMode::Positive,
+                    &mut |env2| {
+                        if self.eval_truth(db, body, env2)? {
+                            found = true;
+                            return Ok(false); // witness found: stop
+                        }
+                        Ok(true)
+                    },
+                )?;
                 Ok(found)
             }
             FFormula::Forall(v, body) => {
-                for b in self.domain_of(db, *v, body)? {
-                    let env2 = env.bind(*v, b);
-                    if !self.eval_truth(db, body, &env2)? {
-                        return Ok(false);
-                    }
-                }
-                Ok(true)
+                let mut holds = true;
+                self.for_each_assignment(
+                    db,
+                    std::slice::from_ref(v),
+                    body,
+                    env,
+                    GuardMode::Guarded,
+                    &mut |env2| {
+                        if !self.eval_truth(db, body, env2)? {
+                            holds = false;
+                            return Ok(false); // counterexample: stop
+                        }
+                        Ok(true)
+                    },
+                )?;
+                Ok(holds)
             }
             FFormula::UserPred(name, _) => Err(TxError::eval(format!(
                 "user predicate {name} has no evaluation rule registered"
@@ -386,12 +436,7 @@ impl<'a> Engine<'a> {
     }
 
     /// Evaluate, mapping [`TxError::Undefined`] to `None`.
-    pub fn eval_obj_opt(
-        &self,
-        db: &DbState,
-        t: &FTerm,
-        env: &Env,
-    ) -> TxResult<Option<Value>> {
+    pub fn eval_obj_opt(&self, db: &DbState, t: &FTerm, env: &Env) -> TxResult<Option<Value>> {
         match self.eval_obj(db, t, env) {
             Ok(v) => Ok(Some(v)),
             Err(e) if e.is_undefined() => Ok(None),
@@ -406,108 +451,24 @@ impl<'a> Engine<'a> {
     /// Execute a transaction at a state (`w ; e`), yielding the successor
     /// state. Object-sorted terms are rejected: they are queries, not
     /// transactions (Definition 3).
+    ///
+    /// This is a thin wrapper over [`Engine::execute_traced`] that drops
+    /// the recorded delta: there is exactly one execution path, and it is
+    /// delta-native.
     pub fn execute(&self, db: &DbState, t: &FTerm, env: &Env) -> TxResult<DbState> {
-        match t {
-            FTerm::Identity => Ok(db.clone()),
-            FTerm::Seq(a, b) => {
-                let mid = self.execute(db, a, env)?;
-                self.execute(&mid, b, env)
-            }
-            FTerm::Cond(p, a, b) => {
-                if self.eval_truth(db, p, env)? {
-                    self.execute(db, a, env)
-                } else {
-                    self.execute(db, b, env)
-                }
-            }
-            FTerm::Foreach(v, p, body) => self.execute_foreach(db, *v, p, body, env),
-            FTerm::Insert(tup, rel) => {
-                let decl = self.rel_decl(*rel)?;
-                let tv = self.eval_obj(db, tup, env)?.into_tuple()?;
-                if tv.arity() != decl.arity() {
-                    return Err(TxError::sort(format!(
-                        "insert of {}-ary tuple into {}-ary relation {rel}",
-                        tv.arity(),
-                        decl.arity()
-                    )));
-                }
-                Ok(db.insert(decl.id, &tv)?.0)
-            }
-            FTerm::Delete(tup, rel) => {
-                let decl = self.rel_decl(*rel)?;
-                match self.eval_obj_opt(db, tup, env)? {
-                    Some(v) => db.delete(decl.id, &v.into_tuple()?),
-                    // Deleting a non-denoting tuple is a no-op, matching
-                    // delete of an absent value.
-                    None => Ok(db.clone()),
-                }
-            }
-            FTerm::Modify(tup, i, val) => {
-                let tv = self.eval_obj(db, tup, env)?.into_tuple()?;
-                let v = self.eval_obj(db, val, env)?.into_atom()?;
-                db.modify(&tv, *i, v)
-            }
-            FTerm::ModifyAttr(tup, attr, val) => {
-                let tv = self.eval_obj(db, tup, env)?.into_tuple()?;
-                let (arity, ix) = self.attr(*attr)?;
-                if tv.arity() != arity {
-                    return Err(TxError::sort(format!(
-                        "attribute {attr} belongs to {arity}-ary tuples, got arity {}",
-                        tv.arity()
-                    )));
-                }
-                let v = self.eval_obj(db, val, env)?.into_atom()?;
-                db.modify(&tv, ix, v)
-            }
-            FTerm::Assign(rel, set) => {
-                let decl = self.rel_decl(*rel)?;
-                let sv = self.eval_obj(db, set, env)?.into_set()?;
-                if sv.arity != decl.arity() {
-                    return Err(TxError::sort(format!(
-                        "assign of {}-ary set to {}-ary relation {rel}",
-                        sv.arity,
-                        decl.arity()
-                    )));
-                }
-                db.assign(decl.id, decl.arity(), sv.members())
-            }
-            FTerm::Var(v) => match env.get(v) {
-                Some(Binding::Program(p)) => {
-                    let p = p.clone();
-                    self.execute(db, &p, env)
-                }
-                Some(Binding::Label(l)) => Err(TxError::not_executable(format!(
-                    "transaction variable {v} is bound to graph label {l}; \
-                     labels are only meaningful during model checking"
-                ))),
-                Some(_) => Err(TxError::sort(format!(
-                    "variable {v} is not bound to a transaction"
-                ))),
-                None => Err(TxError::eval(format!("unbound transaction variable {v}"))),
-            },
-            other => Err(TxError::not_executable(format!(
-                "object-sorted term used as a transaction: {other}"
-            ))),
-        }
+        self.execute_traced(db, t, env).map(|(next, _)| next)
     }
 
     /// Execute a transaction and record the [`Delta`] of the run — the
     /// extensional content of the arc `w ; e` adds to the evolution
-    /// graph. Mirrors [`execute`] arm for arm: each primitive step uses
-    /// its `*_traced` counterpart on [`DbState`] (O(change) accumulation,
-    /// not O(state) differencing), `;;` composes the step deltas through
+    /// graph. This is *the* executor (the sole match over state-sorted
+    /// [`FTerm`]s): each primitive step uses its `*_traced` counterpart
+    /// on [`DbState`] (O(change) accumulation, not O(state)
+    /// differencing), `;;` composes the step deltas through
     /// [`Delta::compose`], `if` traces the branch taken, and `foreach`
-    /// composes one delta per iteration. For every program,
-    /// `execute_traced(db, t)` returns the same state as `execute(db, t)`
-    /// together with a delta equal to `db.diff(&result)`.
-    ///
-    /// [`execute`]: Engine::execute
-    pub fn execute_traced(
-        &self,
-        db: &DbState,
-        t: &FTerm,
-        env: &Env,
-    ) -> TxResult<(DbState, Delta)> {
+    /// composes one delta per iteration. The delta always equals
+    /// `db.diff(&result)`; [`Engine::execute`] is a wrapper dropping it.
+    pub fn execute_traced(&self, db: &DbState, t: &FTerm, env: &Env) -> TxResult<(DbState, Delta)> {
         match t {
             FTerm::Identity => Ok((db.clone(), Delta::empty())),
             FTerm::Seq(a, b) => {
@@ -600,23 +561,30 @@ impl<'a> Engine<'a> {
         body: &FTerm,
         env: &Env,
     ) -> TxResult<(DbState, Delta)> {
-        // Same iteration-linkage discipline as `execute_foreach`: matches
-        // fixed at the initial state, bodies composed sequentially, with
-        // the per-iteration deltas composed alongside. A foreach over an
-        // empty satisfying set composes zero deltas — the Λ delta.
-        let mut matches = Vec::new();
-        for b in self.domain_of(db, v, p)? {
-            let env2 = env.bind(v, b.clone());
-            if self.eval_truth(db, p, &env2)? {
-                matches.push(b);
-            }
-            if matches.len() > self.opts.max_iterations {
-                return Err(TxError::InfiniteDomain(format!(
-                    "foreach over {v} exceeded {} iterations",
-                    self.opts.max_iterations
-                )));
-            }
-        }
+        // Iteration-linkage: matches fixed at the initial state, bodies
+        // composed sequentially, with the per-iteration deltas composed
+        // alongside. A foreach over an empty satisfying set composes
+        // zero deltas — the Λ delta.
+        let mut matches: Vec<Binding> = Vec::new();
+        self.for_each_assignment(
+            db,
+            std::slice::from_ref(&v),
+            p,
+            env,
+            GuardMode::Positive,
+            &mut |env2| {
+                if self.eval_truth(db, p, env2)? {
+                    matches.push(env2.get(&v).cloned().expect("step binds its variable"));
+                    if matches.len() > self.opts.max_iterations {
+                        return Err(TxError::InfiniteDomain(format!(
+                            "foreach over {v} exceeded {} iterations",
+                            self.opts.max_iterations
+                        )));
+                    }
+                }
+                Ok(true)
+            },
+        )?;
         let mut cur = db.clone();
         let mut delta = Delta::empty();
         for b in &matches {
@@ -629,7 +597,7 @@ impl<'a> Engine<'a> {
             let mut back = db.clone();
             for b in matches.iter().rev() {
                 let env2 = env.bind(v, b.clone());
-                back = self.execute(&back, body, &env2)?;
+                back = self.execute_traced(&back, body, &env2)?.0;
             }
             if !cur.content_eq(&back) {
                 return Err(TxError::OrderDependent(format!(
@@ -639,51 +607,6 @@ impl<'a> Engine<'a> {
             }
         }
         Ok((cur, delta))
-    }
-
-    fn execute_foreach(
-        &self,
-        db: &DbState,
-        v: Var,
-        p: &FFormula,
-        body: &FTerm,
-        env: &Env,
-    ) -> TxResult<DbState> {
-        // iteration-linkage: the satisfying set is fixed at the initial
-        // state, then the body instances compose sequentially.
-        let mut matches = Vec::new();
-        for b in self.domain_of(db, v, p)? {
-            let env2 = env.bind(v, b.clone());
-            if self.eval_truth(db, p, &env2)? {
-                matches.push(b);
-            }
-            if matches.len() > self.opts.max_iterations {
-                return Err(TxError::InfiniteDomain(format!(
-                    "foreach over {v} exceeded {} iterations",
-                    self.opts.max_iterations
-                )));
-            }
-        }
-        let run = |order: &[Binding]| -> TxResult<DbState> {
-            let mut cur = db.clone();
-            for b in order {
-                let env2 = env.bind(v, b.clone());
-                cur = self.execute(&cur, body, &env2)?;
-            }
-            Ok(cur)
-        };
-        let forward = run(&matches)?;
-        if self.opts.check_order_independence && matches.len() > 1 {
-            let reversed: Vec<Binding> = matches.iter().rev().cloned().collect();
-            let backward = run(&reversed)?;
-            if !forward.content_eq(&backward) {
-                return Err(TxError::OrderDependent(format!(
-                    "foreach over {v} yields different states under different \
-                     enumeration orders"
-                )));
-            }
-        }
-        Ok(forward)
     }
 
     fn rel_decl(&self, name: Symbol) -> TxResult<&txlog_relational::RelDecl> {
@@ -726,24 +649,9 @@ pub fn active_atoms(db: &DbState) -> Vec<Atom> {
     out
 }
 
-/// Find a conjunct `v ∈ R` restricting `v` to relation `R`, looking
-/// through conjunctions (and the left side of implications under
-/// negation-free positions is deliberately *not* searched: only positive
-/// top-level conjuncts soundly restrict the domain).
-fn find_membership_rel(p: &FFormula, v: Var) -> Option<Symbol> {
-    match p {
-        FFormula::Member(FTerm::Var(x), FTerm::Rel(r)) if *x == v => Some(*r),
-        FFormula::And(a, b) => find_membership_rel(a, v).or_else(|| find_membership_rel(b, v)),
-        // `x ∈ R & …  ->  …` in a guard position: the antecedent of an
-        // implication restricts the quantified domain for ∀v (v ∈ R → φ).
-        FFormula::Implies(a, _) => find_membership_rel(a, v),
-        _ => None,
-    }
-}
-
 /// Collect numeric/symbolic constants mentioned in a formula (used to seed
 /// atom-sorted quantifier domains).
-fn collect_fformula_atoms(p: &FFormula, out: &mut Vec<Atom>) {
+pub(crate) fn collect_fformula_atoms(p: &FFormula, out: &mut Vec<Atom>) {
     fn term(t: &FTerm, out: &mut Vec<Atom>) {
         match t {
             FTerm::Nat(n) => out.push(Atom::Nat(*n)),
@@ -784,23 +692,11 @@ fn collect_fformula_atoms(p: &FFormula, out: &mut Vec<Atom>) {
     }
 }
 
-fn head_arity_hint(head: &FTerm) -> Option<usize> {
-    match head.sort_hint() {
-        Some(Sort::Obj(ObjSort::Atom)) => Some(1),
-        Some(Sort::Obj(ObjSort::Tup(n))) => Some(n),
-        _ => None,
-    }
-}
-
 /// Check that an f-term is a well-formed database program over `schema`
 /// with parameters `params` (Definition 3): every free variable is a
 /// parameter, every relation and attribute is declared. Returns whether
 /// the program is a transaction (state sort) or a query.
-pub fn check_program(
-    schema: &Schema,
-    t: &FTerm,
-    params: &[Var],
-) -> TxResult<ProgramKind> {
+pub fn check_program(schema: &Schema, t: &FTerm, params: &[Var]) -> TxResult<ProgramKind> {
     let free = txlog_logic::subst::fterm_free_vars(t);
     for v in &free {
         if !params.contains(v) {
@@ -895,8 +791,6 @@ fn check_formula_names(schema: &Schema, p: &FFormula) -> TxResult<()> {
             check_formula_names(schema, b)
         }
         FFormula::Exists(_, q) | FFormula::Forall(_, q) => check_formula_names(schema, q),
-        FFormula::UserPred(_, ts) => {
-            ts.iter().try_for_each(|t| check_names(schema, t))
-        }
+        FFormula::UserPred(_, ts) => ts.iter().try_for_each(|t| check_names(schema, t)),
     }
 }

@@ -19,10 +19,11 @@
 pub mod env;
 pub mod exec;
 pub mod model;
+pub mod plan;
 pub mod value;
 
 pub use env::{Binding, Env};
-pub use exec::{check_program, Engine, EvalOptions, ProgramKind};
+pub use exec::{check_program, Engine, EvalOptions, PlanMode, ProgramKind};
 pub use model::{Model, ModelBuilder};
 pub use value::{SetVal, StateVal, Value};
 
@@ -60,11 +61,14 @@ mod tests {
     #[test]
     fn execute_insert_and_query() {
         let schema = schema();
-        let engine = Engine::new(&schema);
+        let engine = Engine::new(&schema).unwrap();
         let db = populated(&schema);
         let tx = parse_fterm("insert(tuple('carol', 300), EMP)", &ctx(), &[]).unwrap();
         let db2 = engine.execute(&db, &tx, &Env::new()).unwrap();
-        assert_eq!(db2.relation(schema.rel_id("EMP").unwrap()).unwrap().len(), 3);
+        assert_eq!(
+            db2.relation(schema.rel_id("EMP").unwrap()).unwrap().len(),
+            3
+        );
         // original untouched
         assert_eq!(db.relation(schema.rel_id("EMP").unwrap()).unwrap().len(), 2);
     }
@@ -72,7 +76,7 @@ mod tests {
     #[test]
     fn foreach_gives_everyone_a_raise() {
         let schema = schema();
-        let engine = Engine::new(&schema);
+        let engine = Engine::new(&schema).unwrap();
         let db = populated(&schema);
         let tx = parse_fterm(
             "foreach e: 2tup | e in EMP do modify(e, salary, salary(e) + 10) end",
@@ -94,7 +98,7 @@ mod tests {
     #[test]
     fn conditional_executes_one_branch() {
         let schema = schema();
-        let engine = Engine::new(&schema);
+        let engine = Engine::new(&schema).unwrap();
         let db = populated(&schema);
         let tx = parse_fterm(
             "if exists e: 2tup . e in EMP & salary(e) > 450
@@ -170,11 +174,11 @@ mod tests {
     fn program_check_classifies() {
         let schema = schema();
         let q = FTerm::rel("EMP");
-        assert_eq!(
-            check_program(&schema, &q, &[]).unwrap(),
-            ProgramKind::Query
+        assert_eq!(check_program(&schema, &q, &[]).unwrap(), ProgramKind::Query);
+        let t = FTerm::insert(
+            FTerm::TupleCons(vec![FTerm::str("x"), FTerm::nat(1)]),
+            "EMP",
         );
-        let t = FTerm::insert(FTerm::TupleCons(vec![FTerm::str("x"), FTerm::nat(1)]), "EMP");
         assert_eq!(
             check_program(&schema, &t, &[]).unwrap(),
             ProgramKind::Transaction

@@ -23,7 +23,7 @@
 //! `… → s;t :: φ` is vacuously satisfied at arcs that do not exist.
 
 use crate::env::{Binding, Env};
-use crate::exec::{active_atoms, cmp_values, Engine, EvalOptions};
+use crate::exec::{cmp_values, Engine, EvalOptions};
 use crate::value::{SetVal, StateVal, Value};
 use txlog_base::{Atom, TxError, TxResult};
 use txlog_logic::{FTerm, ObjSort, SFormula, STerm, Sort, Var, VarClass};
@@ -54,7 +54,7 @@ impl Model {
         self
     }
 
-    fn engine(&self) -> Engine<'_> {
+    fn engine(&self) -> TxResult<Engine<'_>> {
         Engine::with_options(&self.schema, self.opts)
     }
 
@@ -71,7 +71,7 @@ impl Model {
             SFormula::Holds(w, p) => match self.eval_sterm_opt(w, env)? {
                 Some(v) => {
                     let sv = v.into_state()?;
-                    self.engine().eval_truth(&sv.db, p, env)
+                    self.engine()?.eval_truth(&sv.db, p, env)
                 }
                 None => Ok(false),
             },
@@ -87,9 +87,7 @@ impl Model {
                 let t = self.eval_sterm_opt(t, env)?;
                 let set = self.eval_sterm_opt(set, env)?;
                 match (t, set) {
-                    (Some(t), Some(set)) => {
-                        Ok(set.into_set()?.contains(&t.into_tuple()?))
-                    }
+                    (Some(t), Some(set)) => Ok(set.into_set()?.contains(&t.into_tuple()?)),
                     _ => Ok(false),
                 }
             }
@@ -102,18 +100,12 @@ impl Model {
                 }
             }
             SFormula::Not(q) => Ok(!self.eval_sformula(q, env)?),
-            SFormula::And(a, b) => {
-                Ok(self.eval_sformula(a, env)? && self.eval_sformula(b, env)?)
-            }
-            SFormula::Or(a, b) => {
-                Ok(self.eval_sformula(a, env)? || self.eval_sformula(b, env)?)
-            }
+            SFormula::And(a, b) => Ok(self.eval_sformula(a, env)? && self.eval_sformula(b, env)?),
+            SFormula::Or(a, b) => Ok(self.eval_sformula(a, env)? || self.eval_sformula(b, env)?),
             SFormula::Implies(a, b) => {
                 Ok(!self.eval_sformula(a, env)? || self.eval_sformula(b, env)?)
             }
-            SFormula::Iff(a, b) => {
-                Ok(self.eval_sformula(a, env)? == self.eval_sformula(b, env)?)
-            }
+            SFormula::Iff(a, b) => Ok(self.eval_sformula(a, env)? == self.eval_sformula(b, env)?),
             SFormula::Forall(v, body) => {
                 for b in self.quantifier_domain(*v, body, env)? {
                     let env2 = env.bind(*v, b);
@@ -189,7 +181,7 @@ impl Model {
             STerm::Str(s) => Ok(Value::Atom(Atom::Str(*s))),
             STerm::EvalObj(w, e) => {
                 let sv = self.eval_sterm(w, env)?.into_state()?;
-                self.engine().eval_obj(&sv.db, e, env)
+                self.engine()?.eval_obj(&sv.db, e, env)
             }
             STerm::EvalState(w, e) => {
                 let sv = self.eval_sterm(w, env)?.into_state()?;
@@ -264,14 +256,28 @@ impl Model {
                     }
                     Ok(())
                 })?;
-                let arity = members.first().map(|m| m.arity()).unwrap_or(1);
+                let arity = match members.first() {
+                    Some(m) => m.arity(),
+                    // An empty comprehension's arity comes from the
+                    // head's sort, never from a guess.
+                    None => match txlog_logic::sort_of_sterm(&self.engine()?.sig, head) {
+                        Ok(Sort::Obj(ObjSort::Atom)) => 1,
+                        Ok(Sort::Obj(ObjSort::Tup(n))) => n,
+                        Ok(other) => {
+                            return Err(TxError::sort(format!(
+                                "set-former head has sort {other}, not a tuple or atom"
+                            )))
+                        }
+                        Err(e) => return Err(e),
+                    },
+                };
                 Ok(Value::Set(SetVal::from_members(arity, members)?))
             }
             STerm::IdOf(inner) => match self.eval_sterm(inner, env)? {
-                Value::Tuple(t) => t
-                    .id
-                    .map(Value::TupleId)
-                    .ok_or_else(|| TxError::undefined("id of an anonymous tuple")),
+                Value::Tuple(t) => {
+                    t.id.map(Value::TupleId)
+                        .ok_or_else(|| TxError::undefined("id of an anonymous tuple"))
+                }
                 Value::Set(s) => s
                     .rel_id
                     .map(Value::RelId)
@@ -303,7 +309,7 @@ impl Model {
                 self.eval_state_fluent(mid, b, env)
             }
             FTerm::Cond(p, a, b) => {
-                if self.engine().eval_truth(&sv.db, p, env)? {
+                if self.engine()?.eval_truth(&sv.db, p, env)? {
                     self.eval_state_fluent(sv, a, env)
                 } else {
                     self.eval_state_fluent(sv, b, env)
@@ -317,9 +323,7 @@ impl Model {
                         ))
                     })?;
                     match self.graph.successor(node, *label) {
-                        Some(dst) => {
-                            Ok(StateVal::node(dst, self.graph.state(dst).clone()))
-                        }
+                        Some(dst) => Ok(StateVal::node(dst, self.graph.state(dst).clone())),
                         None => Err(TxError::undefined(format!(
                             "no {label}-transition from {node}"
                         ))),
@@ -327,7 +331,7 @@ impl Model {
                 }
                 Some(Binding::Program(p)) => {
                     let p = p.clone();
-                    let db = self.engine().execute(&sv.db, &p, env)?;
+                    let db = self.engine()?.execute(&sv.db, &p, env)?;
                     Ok(self.locate(db))
                 }
                 Some(other) => Err(TxError::sort(format!(
@@ -338,7 +342,7 @@ impl Model {
             // A concrete transaction: execute it; re-attach to a node if
             // the resulting contents already exist in the graph.
             concrete => {
-                let db = self.engine().execute(&sv.db, concrete, env)?;
+                let db = self.engine()?.execute(&sv.db, concrete, env)?;
                 Ok(self.locate(db))
             }
         }
@@ -378,12 +382,7 @@ impl Model {
     }
 
     /// The finite domain of a quantified variable.
-    pub fn quantifier_domain(
-        &self,
-        v: Var,
-        body: &SFormula,
-        env: &Env,
-    ) -> TxResult<Vec<Binding>> {
+    pub fn quantifier_domain(&self, v: Var, body: &SFormula, env: &Env) -> TxResult<Vec<Binding>> {
         match (v.sort, v.class) {
             (Sort::State, VarClass::Situational) => Ok(self
                 .graph
@@ -402,22 +401,20 @@ impl Model {
                 .map(Binding::Label)
                 .collect()),
             (Sort::Obj(ObjSort::Tup(n)), VarClass::Fluent) => {
-                // tuple identities of arity n anywhere in the model
+                // tuple identities of arity n anywhere in the model,
+                // enumerated per state by the engine's shared helper
                 let mut out = Vec::new();
                 let mut seen = std::collections::HashSet::new();
                 for id in self.graph.state_ids() {
-                    for (_, rel) in self.graph.state(id).relations() {
-                        if rel.arity() == n {
-                            for tv in rel.iter_vals() {
-                                if let Some(tid) = tv.id {
-                                    if seen.insert(tid) {
-                                        out.push(Binding::FluentTuple(tv));
-                                    }
-                                }
+                    for tv in crate::plan::active_tuples(self.graph.state(id), n) {
+                        if let Some(tid) = tv.id {
+                            if seen.insert(tid) {
+                                out.push(Binding::FluentTuple(tv));
                             }
                         }
                     }
                 }
+                self.domain_budget(v, out.len())?;
                 Ok(out)
             }
             (Sort::Obj(ObjSort::Tup(n)), VarClass::Situational) => {
@@ -434,30 +431,26 @@ impl Model {
                     }
                     return Ok(Vec::new());
                 }
-                // fall back to every arity-n tuple value in any state
+                // fall back to every arity-n tuple value in any state,
+                // via the engine's shared per-state enumeration
                 let mut out = Vec::new();
                 let mut seen = std::collections::HashSet::new();
                 for id in self.graph.state_ids() {
-                    for (_, rel) in self.graph.state(id).relations() {
-                        if rel.arity() == n {
-                            for tv in rel.iter_vals() {
-                                if seen.insert((tv.id, tv.fields.clone())) {
-                                    out.push(Binding::Val(Value::Tuple(tv)));
-                                }
-                            }
+                    for tv in crate::plan::active_tuples(self.graph.state(id), n) {
+                        if seen.insert((tv.id, tv.fields.clone())) {
+                            out.push(Binding::Val(Value::Tuple(tv)));
                         }
                     }
                 }
+                self.domain_budget(v, out.len())?;
                 Ok(out)
             }
             (Sort::ATOM, _) => {
-                let mut atoms = Vec::new();
-                for id in self.graph.state_ids() {
-                    atoms.extend(active_atoms(self.graph.state(id)));
-                }
-                collect_sformula_atoms(body, &mut atoms);
-                atoms.sort();
-                atoms.dedup();
+                let mut seed = Vec::new();
+                collect_sformula_atoms(body, &mut seed);
+                let states = self.graph.state_ids().map(|id| self.graph.state(id));
+                let atoms = crate::plan::atom_domain(states, seed);
+                self.domain_budget(v, atoms.len())?;
                 Ok(atoms
                     .into_iter()
                     .map(|a| match v.class {
@@ -470,6 +463,19 @@ impl Model {
                 "cannot enumerate domain of {class:?} variable {v} of sort {sort}"
             ))),
         }
+    }
+
+    /// The model checker's counterpart of the engine's enumeration
+    /// budget: a quantifier domain larger than `max_iterations` is
+    /// treated as not finitely enumerable.
+    fn domain_budget(&self, v: Var, size: usize) -> TxResult<()> {
+        if size > self.opts.max_iterations {
+            return Err(TxError::InfiniteDomain(format!(
+                "s-formula quantifier domain for {v} exceeded {} bindings",
+                self.opts.max_iterations
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -565,7 +571,7 @@ impl ModelBuilder {
         tx: &FTerm,
         env: &Env,
     ) -> TxResult<txlog_base::StateId> {
-        let engine = Engine::with_options(&self.schema, self.opts);
+        let engine = Engine::with_options(&self.schema, self.opts)?;
         let next = engine.execute(self.graph.state(src), tx, env)?;
         let dst = self.graph.add_state(next);
         self.graph.add_arc(src, TxLabel::new(label), dst)?;

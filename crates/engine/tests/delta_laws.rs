@@ -39,7 +39,7 @@ fn tx(src: &str) -> FTerm {
 /// Traced execution returns the same state as plain execution, and its
 /// delta is exactly the diff of the endpoints.
 fn run_traced(schema: &Schema, db: &DbState, t: &FTerm) -> (DbState, Delta) {
-    let engine = Engine::new(schema);
+    let engine = Engine::new(schema).unwrap();
     let (end, delta) = engine.execute_traced(db, t, &Env::new()).unwrap();
     let plain = engine.execute(db, t, &Env::new()).unwrap();
     assert!(end.content_eq(&plain), "traced and plain execution agree");
@@ -72,7 +72,7 @@ fn seq_composition_is_associative() {
     let a = tx("insert(tuple('carol', 300), EMP)");
     let b = tx("foreach e: 2tup | e in EMP do modify(e, salary, salary(e) + 10) end");
     let c = tx("delete(tuple('carol', 310), EMP)");
-    let engine = Engine::new(&schema);
+    let engine = Engine::new(&schema).unwrap();
     let env = Env::new();
     let (s1, da) = engine.execute_traced(&db, &a, &env).unwrap();
     let (s2, db_) = engine.execute_traced(&s1, &b, &env).unwrap();
@@ -101,7 +101,10 @@ fn insert_then_delete_cancels() {
     let db = populated(&schema);
     let t = tx("insert(tuple('carol', 300), EMP) ;; delete(tuple('carol', 300), EMP)");
     let (end, delta) = run_traced(&schema, &db, &t);
-    assert!(delta.is_empty(), "net delta of insert;;delete is Λ: {delta}");
+    assert!(
+        delta.is_empty(),
+        "net delta of insert;;delete is Λ: {delta}"
+    );
     assert!(end.value_eq(&db));
 }
 
@@ -111,7 +114,7 @@ fn raise_then_cut_back_cancels() {
     let db = populated(&schema);
     let up = tx("foreach e: 2tup | e in EMP do modify(e, salary, salary(e) + 10) end");
     let down = tx("foreach e: 2tup | e in EMP do modify(e, salary, salary(e) - 10) end");
-    let engine = Engine::new(&schema);
+    let engine = Engine::new(&schema).unwrap();
     let env = Env::new();
     let (s1, d1) = engine.execute_traced(&db, &up, &env).unwrap();
     let (s2, d2) = engine.execute_traced(&s1, &down, &env).unwrap();
@@ -123,11 +126,9 @@ fn raise_then_cut_back_cancels() {
 fn conditional_traces_the_branch_taken() {
     let schema = schema();
     let db = populated(&schema);
-    let t = tx(
-        "if exists e: 2tup . e in EMP & salary(e) > 450
+    let t = tx("if exists e: 2tup . e in EMP & salary(e) > 450
          then insert(tuple('rich'), LOG)
-         else insert(tuple('poor'), LOG)",
-    );
+         else insert(tuple('poor'), LOG)");
     let (_, delta) = run_traced(&schema, &db, &t);
     let log = schema.rel_id("LOG").unwrap();
     let rd = delta.rel(log).expect("LOG was touched");

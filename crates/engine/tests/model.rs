@@ -150,10 +150,7 @@ fn env_bindings_thread_through() {
         ))),
     );
     let f = SFormula::member(
-        STerm::var(s).eval_obj(FTerm::TupleCons(vec![
-            FTerm::str("ann"),
-            FTerm::nat(500),
-        ])),
+        STerm::var(s).eval_obj(FTerm::TupleCons(vec![FTerm::str("ann"), FTerm::nat(500)])),
         STerm::var(s).eval_obj(FTerm::rel("EMP")),
     );
     assert!(model.eval_sformula(&f, &env).expect("evaluates"));

@@ -49,10 +49,7 @@ pub fn identity_fluent() -> Axiom {
         name: "identity-fluent".into(),
         formula: SFormula::forall(
             s,
-            SFormula::eq(
-                STerm::var(s).eval_state(FTerm::Identity),
-                STerm::var(s),
-            ),
+            SFormula::eq(STerm::var(s).eval_state(FTerm::Identity), STerm::var(s)),
         ),
     }
 }
@@ -210,11 +207,7 @@ pub fn modify_action(rel: &str, arity: usize, i: usize) -> Axiom {
     let w = Var::state("w");
     let t = Var::tup_f("t", arity);
     let v = Var::atom_f("v");
-    let after = STerm::var(w).eval_state(FTerm::modify(
-        FTerm::var(t),
-        i,
-        FTerm::var(v),
-    ));
+    let after = STerm::var(w).eval_state(FTerm::modify(FTerm::var(t), i, FTerm::var(v)));
     Axiom {
         name: format!("modify-action({rel}, {i})"),
         formula: SFormula::forall_all(
@@ -241,11 +234,7 @@ pub fn modify_frame(rel: &str, arity: usize, i: usize, j: usize) -> Axiom {
     let t1 = Var::tup_f("t1", arity);
     let t2 = Var::tup_f("t2", arity);
     let v = Var::atom_f("v");
-    let after = STerm::var(w).eval_state(FTerm::modify(
-        FTerm::var(t2),
-        j,
-        FTerm::var(v),
-    ));
+    let after = STerm::var(w).eval_state(FTerm::modify(FTerm::var(t2), j, FTerm::var(v)));
     let in_rel = |t: Var| {
         SFormula::member(
             STerm::var(w).eval_obj(FTerm::var(t)),
@@ -265,10 +254,7 @@ pub fn modify_frame(rel: &str, arity: usize, i: usize, j: usize) -> Axiom {
                 .and(distinct)
                 .implies(SFormula::eq(
                     STerm::Select(Box::new(after.eval_obj(FTerm::var(t1))), i),
-                    STerm::Select(
-                        Box::new(STerm::var(w).eval_obj(FTerm::var(t1))),
-                        i,
-                    ),
+                    STerm::Select(Box::new(STerm::var(w).eval_obj(FTerm::var(t1))), i),
                 )),
         ),
     }
@@ -281,10 +267,8 @@ pub fn condition_linkage(p: FFormula, a: FTerm, b: FTerm) -> Axiom {
     let s = Var::state("s");
     let cond_tx = FTerm::cond(p.clone(), a.clone(), b.clone());
     let lhs = STerm::var(s).eval_state(cond_tx);
-    let then_eq = SFormula::Holds(STerm::var(s), p.clone()).implies(SFormula::eq(
-        lhs.clone(),
-        STerm::var(s).eval_state(a),
-    ));
+    let then_eq = SFormula::Holds(STerm::var(s), p.clone())
+        .implies(SFormula::eq(lhs.clone(), STerm::var(s).eval_state(a)));
     let else_eq = SFormula::Holds(STerm::var(s), p)
         .not()
         .implies(SFormula::eq(lhs, STerm::var(s).eval_state(b)));
@@ -365,11 +349,7 @@ mod tests {
 
     #[test]
     fn condition_linkage_is_closed_when_parts_are() {
-        let ax = condition_linkage(
-            FFormula::True,
-            FTerm::Identity,
-            FTerm::Identity,
-        );
+        let ax = condition_linkage(FFormula::True, FTerm::Identity, FTerm::Identity);
         assert!(sformula_free_vars(&ax.formula).is_empty());
     }
 }

@@ -240,9 +240,7 @@ impl FTerm {
 
     /// Compose a sequence of transactions left to right.
     pub fn seq_all(parts: impl IntoIterator<Item = FTerm>) -> FTerm {
-        parts
-            .into_iter()
-            .fold(FTerm::Identity, |acc, t| acc.seq(t))
+        parts.into_iter().fold(FTerm::Identity, |acc, t| acc.seq(t))
     }
 
     /// `if p then self-branch else other` helper.

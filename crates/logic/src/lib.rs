@@ -25,15 +25,19 @@
 pub mod axioms;
 pub mod fluent;
 pub mod parser;
+pub mod plan;
 pub mod ra;
 pub mod situational;
-pub mod sortck;
 pub mod sort;
+pub mod sortck;
 pub mod subst;
 pub mod unify;
 
 pub use fluent::{CmpOp, FFormula, FTerm, Op};
-pub use parser::{parse_fformula, parse_fterm, parse_sformula, parse_sformula_with_params, ParseCtx};
+pub use parser::{
+    parse_fformula, parse_fterm, parse_sformula, parse_sformula_with_params, ParseCtx,
+};
+pub use plan::{DomainSource, GuardMode, PlanStep, QuantPlan};
 pub use situational::{SFormula, STerm};
 pub use sort::{ObjSort, Sort, Var, VarClass};
 pub use sortck::{check_fformula, check_sformula, sort_of_fterm, sort_of_sterm, Signature};

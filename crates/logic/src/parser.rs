@@ -42,7 +42,7 @@ use txlog_base::{Symbol, TxError, TxResult};
 
 #[derive(Clone, PartialEq, Eq, Debug)]
 enum Tok {
-    Ident(String),  // may end with a prime: e'
+    Ident(String), // may end with a prime: e'
     Int(u64),
     Quoted(String), // 'S'
     LParen,
@@ -51,15 +51,15 @@ enum Tok {
     RBrace,
     Comma,
     Dot,
-    Colon,       // :
-    ColonColon,  // ::
-    Semi,        // ;
-    SemiSemi,    // ;;
-    Bar,         // |
-    Amp,         // &
-    Arrow,       // ->
-    DArrow,      // <->
-    Bang,        // !
+    Colon,      // :
+    ColonColon, // ::
+    Semi,       // ;
+    SemiSemi,   // ;;
+    Bar,        // |
+    Amp,        // &
+    Arrow,      // ->
+    DArrow,     // <->
+    Bang,       // !
     Eq,
     Ne,
     Lt,
@@ -175,7 +175,8 @@ fn lex(src: &str) -> TxResult<Vec<SpannedTok>> {
                     while k < chars.len()
                         && (chars[k].is_ascii_alphanumeric()
                             || chars[k] == '_'
-                            || chars[k] == '-' && chars.get(k + 1).is_some_and(|c| c.is_ascii_alphanumeric()))
+                            || chars[k] == '-'
+                                && chars.get(k + 1).is_some_and(|c| c.is_ascii_alphanumeric()))
                     {
                         k += 1;
                     }
@@ -725,8 +726,7 @@ impl<'a> Parser<'a> {
             Tok::Ident(name) => {
                 self.bump();
                 match name.as_str() {
-                    "sum" | "size" | "max" | "min" | "union" | "inter" | "diff"
-                    | "product" => {
+                    "sum" | "size" | "max" | "min" | "union" | "inter" | "diff" | "product" => {
                         let op = match name.as_str() {
                             "sum" => Op::Sum,
                             "size" => Op::Size,
@@ -778,10 +778,7 @@ impl<'a> Parser<'a> {
                         self.expect(Tok::Comma, "','")?;
                         let i = match self.bump() {
                             Tok::Int(n) => n as usize,
-                            other => {
-                                return self
-                                    .err(format!("expected index, found {other:?}"))
-                            }
+                            other => return self.err(format!("expected index, found {other:?}")),
                         };
                         self.expect(Tok::RParen, "')'")?;
                         Ok(STerm::Select(Box::new(t), i))
@@ -1096,8 +1093,7 @@ impl<'a> Parser<'a> {
                         let rel = match self.bump() {
                             Tok::Ident(r) => r,
                             other => {
-                                return self
-                                    .err(format!("expected relation name, found {other:?}"))
+                                return self.err(format!("expected relation name, found {other:?}"))
                             }
                         };
                         self.expect(Tok::RParen, "')'")?;
@@ -1117,17 +1113,11 @@ impl<'a> Parser<'a> {
                         let v = self.parse_fterm()?;
                         self.expect(Tok::RParen, "')'")?;
                         match attr {
-                            Tok::Int(i) => {
-                                Ok(FTerm::Modify(Box::new(t), i as usize, Box::new(v)))
+                            Tok::Int(i) => Ok(FTerm::Modify(Box::new(t), i as usize, Box::new(v))),
+                            Tok::Ident(a) => {
+                                Ok(FTerm::ModifyAttr(Box::new(t), Symbol::new(&a), Box::new(v)))
                             }
-                            Tok::Ident(a) => Ok(FTerm::ModifyAttr(
-                                Box::new(t),
-                                Symbol::new(&a),
-                                Box::new(v),
-                            )),
-                            other => {
-                                self.err(format!("expected attribute, found {other:?}"))
-                            }
+                            other => self.err(format!("expected attribute, found {other:?}")),
                         }
                     }
                     "assign" => {
@@ -1135,8 +1125,7 @@ impl<'a> Parser<'a> {
                         let rel = match self.bump() {
                             Tok::Ident(r) => r,
                             other => {
-                                return self
-                                    .err(format!("expected relation name, found {other:?}"))
+                                return self.err(format!("expected relation name, found {other:?}"))
                             }
                         };
                         self.expect(Tok::Comma, "','")?;
@@ -1144,8 +1133,7 @@ impl<'a> Parser<'a> {
                         self.expect(Tok::RParen, "')'")?;
                         Ok(FTerm::Assign(Symbol::new(&rel), Box::new(set)))
                     }
-                    "sum" | "size" | "max" | "min" | "union" | "inter" | "diff"
-                    | "product" => {
+                    "sum" | "size" | "max" | "min" | "union" | "inter" | "diff" | "product" => {
                         let op = match name.as_str() {
                             "sum" => Op::Sum,
                             "size" => Op::Size,
@@ -1197,10 +1185,7 @@ impl<'a> Parser<'a> {
                         self.expect(Tok::Comma, "','")?;
                         let i = match self.bump() {
                             Tok::Int(n) => n as usize,
-                            other => {
-                                return self
-                                    .err(format!("expected index, found {other:?}"))
-                            }
+                            other => return self.err(format!("expected index, found {other:?}")),
                         };
                         self.expect(Tok::RParen, "')'")?;
                         Ok(FTerm::Select(Box::new(t), i))
@@ -1259,11 +1244,7 @@ pub fn parse_sformula(src: &str, ctx: &ParseCtx) -> TxResult<SFormula> {
 }
 
 /// Parse an s-formula with free parameters already in scope.
-pub fn parse_sformula_with_params(
-    src: &str,
-    ctx: &ParseCtx,
-    params: &[Var],
-) -> TxResult<SFormula> {
+pub fn parse_sformula_with_params(src: &str, ctx: &ParseCtx, params: &[Var]) -> TxResult<SFormula> {
     let mut p = Parser::new(src, ctx)?;
     for v in params {
         p.scope.insert(Parser::scope_key(*v), *v);

@@ -1,0 +1,439 @@
+//! Query plans for bounded-quantifier enumeration.
+//!
+//! The engine's quantifiers, set-formers, and `foreach` all enumerate
+//! finite variable domains derived from the restricting condition
+//! (bounded quantification: a `x ∈ R` conjunct *defines* `x`'s domain).
+//! This module compiles a quantifier prefix plus condition into a
+//! [`QuantPlan`] — a join-ordered sequence of [`PlanStep`]s, one per
+//! bound variable — that an evaluator can interpret instead of a nested
+//! full scan. Plans extend the `ra` vocabulary from whole-relation
+//! operators down to the per-variable enumeration the evaluator runs.
+//!
+//! The compilation is *purely syntactic* (no database access) and layered:
+//!
+//! 1. **Baseline domain** — mirrors the naive evaluator's membership
+//!    search exactly ([`find_membership_rel`]): a restricting `v ∈ R`
+//!    conjunct gives a relation scan; otherwise the variable's sort picks
+//!    the active-domain fallback. This layer *is* the semantics: the
+//!    planner and the naive enumerator must agree on it.
+//! 2. **Index probes** — an equality conjunct `l(v) = k` (or
+//!    `select(v, i) = k`) whose key `k` depends only on already-bound
+//!    variables upgrades the scan to an [`DomainSource::IndexProbe`]:
+//!    a hash-join step instead of a scan-and-filter.
+//! 3. **Residual filters** — remaining narrowing conjuncts become
+//!    per-step [`PlanStep::filters`], letting the evaluator discard a
+//!    binding before recursing into deeper steps. Filters are an
+//!    *enumeration* optimization only: evaluators re-check the full
+//!    condition on surviving assignments, so a filter can only skip
+//!    work, never change a result.
+//!
+//! Which conjuncts may narrow depends on the quantifier's polarity,
+//! captured by [`GuardMode`]: existential-shaped enumerations
+//! (`exists`, set-formers, `foreach`) may use any positive conjunct —
+//! a false conjunct means the binding is not a witness/member/match —
+//! while universal enumerations may only use conjuncts from implication
+//! antecedents — a false antecedent makes the body vacuously true, so
+//! the skipped binding was never a counterexample.
+
+use crate::fluent::{CmpOp, FFormula, FTerm};
+use crate::sort::{Sort, Var};
+use crate::sortck::Signature;
+use crate::subst::free_vars_fformula;
+use std::collections::HashSet;
+use txlog_base::Symbol;
+
+/// Where one plan step's candidate bindings come from.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DomainSource {
+    /// Scan every tuple of the named relation (a `v ∈ R` conjunct
+    /// restricted the domain but no usable equality key was found).
+    Scan(Symbol),
+    /// Probe the relation's per-column secondary index: enumerate only
+    /// the tuples whose 1-based column `col` equals the value of `key`.
+    /// `key` mentions no later-bound plan variable, so the evaluator can
+    /// compute it before enumerating this step.
+    IndexProbe {
+        /// The relation restricting the variable (as in [`DomainSource::Scan`]).
+        rel: Symbol,
+        /// 1-based column the equality conjunct constrains.
+        col: usize,
+        /// The key expression the column must equal.
+        key: FTerm,
+    },
+    /// Active-domain fallback for an unrestricted tuple variable: every
+    /// tuple of the given arity in the state.
+    ActiveTuples(usize),
+    /// Active-domain fallback for an atom variable: every atom occurring
+    /// in the state plus the constants of the condition.
+    Atoms,
+    /// The variable's sort has no finite enumeration — interpreting this
+    /// step reproduces the naive evaluator's sort error.
+    Unenumerable(Sort),
+}
+
+/// One variable of a [`QuantPlan`]: its candidate source and the
+/// narrowing conjuncts decidable once it is bound.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PlanStep {
+    /// The variable this step binds.
+    pub var: Var,
+    /// Where its candidate bindings come from.
+    pub source: DomainSource,
+    /// Narrowing conjuncts whose plan variables are all bound after this
+    /// step; a conjunct that evaluates to `false` lets the evaluator skip
+    /// the binding. Evaluation failures must be tolerated (the binding is
+    /// kept and the full condition decides).
+    pub filters: Vec<FFormula>,
+}
+
+/// A compiled quantifier prefix: `steps` in binding order, preceded by
+/// `prefilters` — narrowing conjuncts mentioning no plan variable at
+/// all, decidable once before any enumeration.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct QuantPlan {
+    /// Conjuncts free of every plan variable; if one is decidably false
+    /// the whole enumeration is empty (existential) or vacuous
+    /// (universal).
+    pub prefilters: Vec<FFormula>,
+    /// One step per bound variable, in binding order.
+    pub steps: Vec<PlanStep>,
+}
+
+/// The polarity discipline deciding which conjuncts may narrow a domain.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GuardMode {
+    /// Existential-shaped enumeration (`exists`, set-former, `foreach`):
+    /// any positive conjunct of the condition may narrow — a binding
+    /// falsifying one is not a witness.
+    Positive,
+    /// Universal enumeration (`forall`): only conjuncts of implication
+    /// antecedents may narrow — a binding falsifying one satisfies the
+    /// body vacuously.
+    Guarded,
+}
+
+/// Find a conjunct `v ∈ R` restricting `v` to relation `R`, looking
+/// through conjunctions (left side first) and implication antecedents.
+/// This search *defines* the bounded-quantification domain: the naive
+/// enumerator and the planner both call it, so they cannot disagree on
+/// which relation bounds a variable.
+pub fn find_membership_rel(p: &FFormula, v: Var) -> Option<Symbol> {
+    match p {
+        FFormula::Member(FTerm::Var(x), FTerm::Rel(r)) if *x == v => Some(*r),
+        FFormula::And(a, b) => find_membership_rel(a, v).or_else(|| find_membership_rel(b, v)),
+        // The antecedent of an implication restricts the quantified
+        // domain (`∀v. v ∈ R → φ` ranges over R).
+        FFormula::Implies(a, _) => find_membership_rel(a, v),
+        _ => None,
+    }
+}
+
+/// Compile the quantifier prefix `vars` bound by `cond` into a plan.
+///
+/// `sig` supplies relation arities and attribute positions (needed to
+/// recognise `l(v) = k` as a column constraint); `mode` fixes the
+/// narrowing polarity. The result depends only on the syntax of `cond`
+/// and the signature, never on a database.
+pub fn plan_quantifiers(
+    sig: &Signature,
+    vars: &[Var],
+    cond: &FFormula,
+    mode: GuardMode,
+) -> QuantPlan {
+    let narrowing = narrowing_conjuncts(cond, mode);
+    let plan_vars: HashSet<Var> = vars.iter().copied().collect();
+
+    // Partition narrowing conjuncts by the *last* plan variable they
+    // mention (in binding order); conjuncts mentioning none are
+    // decidable before enumeration starts.
+    let mut prefilters = Vec::new();
+    let mut per_step: Vec<Vec<&FFormula>> = vec![Vec::new(); vars.len()];
+    for c in &narrowing {
+        let mut fv = HashSet::new();
+        free_vars_fformula(c, &mut fv);
+        match vars.iter().rposition(|v| fv.contains(v)) {
+            Some(i) => per_step[i].push(c),
+            None => prefilters.push((*c).clone()),
+        }
+    }
+
+    let mut steps = Vec::with_capacity(vars.len());
+    for (i, &v) in vars.iter().enumerate() {
+        let mut source = baseline_source(cond, v);
+        let mut probe_conjunct: Option<&FFormula> = None;
+        if let DomainSource::Scan(rel) = source {
+            // Later-bound (and self-) variables cannot key a probe.
+            let unbound: HashSet<Var> = plan_vars
+                .iter()
+                .copied()
+                .filter(|u| vars.iter().position(|w| w == u) >= Some(i))
+                .collect();
+            if let Some((col, key, c)) = find_probe(sig, &narrowing, rel, v, &unbound) {
+                source = DomainSource::IndexProbe { rel, col, key };
+                probe_conjunct = Some(c);
+            }
+        }
+        // A `v ∈ R` conjunct naming the step's own source relation is
+        // tautological on the enumerated candidates — drop it, like the
+        // conjunct a probe already enforces.
+        let bound_rel = match &source {
+            DomainSource::Scan(r) => Some(*r),
+            DomainSource::IndexProbe { rel, .. } => Some(*rel),
+            _ => None,
+        };
+        let filters = per_step[i]
+            .iter()
+            .filter(|c| !probe_conjunct.is_some_and(|p| std::ptr::eq(p, **c)))
+            .filter(|c| {
+                !matches!(c, FFormula::Member(FTerm::Var(x), FTerm::Rel(r))
+                    if *x == v && Some(*r) == bound_rel)
+            })
+            .map(|c| (*c).clone())
+            .collect();
+        steps.push(PlanStep {
+            var: v,
+            source,
+            filters,
+        });
+    }
+    QuantPlan { prefilters, steps }
+}
+
+/// The baseline (semantics-defining) domain source for `v` under `cond`.
+fn baseline_source(cond: &FFormula, v: Var) -> DomainSource {
+    match v.sort {
+        Sort::Obj(crate::sort::ObjSort::Tup(n)) => match find_membership_rel(cond, v) {
+            Some(rel) => DomainSource::Scan(rel),
+            None => DomainSource::ActiveTuples(n),
+        },
+        Sort::Obj(crate::sort::ObjSort::Atom) => DomainSource::Atoms,
+        other => DomainSource::Unenumerable(other),
+    }
+}
+
+/// The conjuncts allowed to narrow enumeration under `mode`, in
+/// syntactic (left-to-right) order.
+fn narrowing_conjuncts(cond: &FFormula, mode: GuardMode) -> Vec<&FFormula> {
+    let mut out = Vec::new();
+    match mode {
+        GuardMode::Positive => and_leaves(cond, &mut out),
+        GuardMode::Guarded => guard_leaves(cond, &mut out),
+    }
+    out
+}
+
+/// Positive top-level conjuncts: the leaves of the `And` spine.
+fn and_leaves<'p>(p: &'p FFormula, out: &mut Vec<&'p FFormula>) {
+    match p {
+        FFormula::And(a, b) => {
+            and_leaves(a, out);
+            and_leaves(b, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// Antecedent conjuncts of an implication chain: for `a → b`, the
+/// positive conjuncts of `a`, then (recursively) of `b`'s antecedents.
+/// A binding falsifying any of them satisfies the whole chain.
+fn guard_leaves<'p>(p: &'p FFormula, out: &mut Vec<&'p FFormula>) {
+    if let FFormula::Implies(a, b) = p {
+        and_leaves(a, out);
+        guard_leaves(b, out);
+    }
+}
+
+/// Search the narrowing conjuncts for an equality keying `v`'s scan of
+/// `rel` by one column: `l(v) = k`, `select(v, i) = k`, or the mirrored
+/// forms, where `k` mentions no unbound plan variable. Returns the
+/// 1-based column, the key, and the conjunct used.
+fn find_probe<'p>(
+    sig: &Signature,
+    narrowing: &[&'p FFormula],
+    rel: Symbol,
+    v: Var,
+    unbound: &HashSet<Var>,
+) -> Option<(usize, FTerm, &'p FFormula)> {
+    let rel_arity = sig.rel_arity(rel).ok()?;
+    for &c in narrowing {
+        let FFormula::Cmp(CmpOp::Eq, lhs, rhs) = c else {
+            continue;
+        };
+        for (side, key) in [(lhs, rhs), (rhs, lhs)] {
+            let Some(col) = column_of(sig, side, v, rel_arity) else {
+                continue;
+            };
+            let mut fv = HashSet::new();
+            crate::subst::free_vars_fterm(key, &mut fv);
+            if fv.is_disjoint(unbound) {
+                return Some((col, key.clone(), c));
+            }
+        }
+    }
+    None
+}
+
+/// If `t` selects one column of `v` — `l(v)` with `l` owned by tuples of
+/// `rel`'s arity, or `select(v, i)` in range — return that column.
+fn column_of(sig: &Signature, t: &FTerm, v: Var, rel_arity: usize) -> Option<usize> {
+    match t {
+        FTerm::Attr(a, inner) if **inner == FTerm::Var(v) => {
+            let (owner, ix) = sig.attr(*a).ok()?;
+            (owner == rel_arity).then_some(ix)
+        }
+        FTerm::Select(inner, i) if **inner == FTerm::Var(v) => {
+            (*i >= 1 && *i <= rel_arity).then_some(*i)
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fluent::{FFormula, FTerm};
+    use crate::sort::Var;
+
+    fn sig() -> Signature {
+        Signature::new()
+            .relation("EMP", &["e-name", "salary"])
+            .relation("ALLOC", &["a-emp", "a-proj"])
+    }
+
+    fn attr(name: &str, v: Var) -> FTerm {
+        FTerm::Attr(Symbol::new(name), Box::new(FTerm::Var(v)))
+    }
+
+    #[test]
+    fn membership_scan_is_baseline() {
+        let v = Var::tup_f("e", 2);
+        let cond = FFormula::Member(FTerm::Var(v), FTerm::rel("EMP"));
+        let plan = plan_quantifiers(&sig(), &[v], &cond, GuardMode::Positive);
+        assert_eq!(plan.steps.len(), 1);
+        assert_eq!(plan.steps[0].source, DomainSource::Scan(Symbol::new("EMP")));
+    }
+
+    #[test]
+    fn equality_on_bound_key_upgrades_to_probe() {
+        // exists a . a ∈ ALLOC & a-emp(a) = e-name(e)   (e bound outside)
+        let a = Var::tup_f("a", 2);
+        let e = Var::tup_f("e", 2);
+        let cond = FFormula::And(
+            Box::new(FFormula::Member(FTerm::Var(a), FTerm::rel("ALLOC"))),
+            Box::new(FFormula::eq(attr("a-emp", a), attr("e-name", e))),
+        );
+        let plan = plan_quantifiers(&sig(), &[a], &cond, GuardMode::Positive);
+        match &plan.steps[0].source {
+            DomainSource::IndexProbe { rel, col, key } => {
+                assert_eq!(*rel, Symbol::new("ALLOC"));
+                assert_eq!(*col, 1);
+                assert_eq!(*key, attr("e-name", e));
+            }
+            other => panic!("expected probe, got {other:?}"),
+        }
+        // the probe conjunct is not duplicated as a filter
+        assert!(plan.steps[0].filters.is_empty());
+    }
+
+    #[test]
+    fn self_keyed_equality_does_not_probe() {
+        // a-emp(a) = a-proj(a): both sides mention the step's own var.
+        let a = Var::tup_f("a", 2);
+        let cond = FFormula::And(
+            Box::new(FFormula::Member(FTerm::Var(a), FTerm::rel("ALLOC"))),
+            Box::new(FFormula::eq(attr("a-emp", a), attr("a-proj", a))),
+        );
+        let plan = plan_quantifiers(&sig(), &[a], &cond, GuardMode::Positive);
+        assert_eq!(
+            plan.steps[0].source,
+            DomainSource::Scan(Symbol::new("ALLOC"))
+        );
+        // …but it is usable as a residual filter on the step
+        assert_eq!(plan.steps[0].filters.len(), 1);
+    }
+
+    #[test]
+    fn later_var_keys_earlier_probe_in_multivar_plan() {
+        // { … | e ∈ EMP & a ∈ ALLOC & a-emp(a) = e-name(e) }
+        let e = Var::tup_f("e", 2);
+        let a = Var::tup_f("a", 2);
+        let cond = FFormula::And(
+            Box::new(FFormula::Member(FTerm::Var(e), FTerm::rel("EMP"))),
+            Box::new(FFormula::And(
+                Box::new(FFormula::Member(FTerm::Var(a), FTerm::rel("ALLOC"))),
+                Box::new(FFormula::eq(attr("a-emp", a), attr("e-name", e))),
+            )),
+        );
+        let plan = plan_quantifiers(&sig(), &[e, a], &cond, GuardMode::Positive);
+        assert_eq!(plan.steps[0].source, DomainSource::Scan(Symbol::new("EMP")));
+        assert!(matches!(
+            plan.steps[1].source,
+            DomainSource::IndexProbe { col: 1, .. }
+        ));
+        // reversed binding order cannot probe (key not yet bound)
+        let plan = plan_quantifiers(&sig(), &[a, e], &cond, GuardMode::Positive);
+        assert_eq!(
+            plan.steps[0].source,
+            DomainSource::Scan(Symbol::new("ALLOC"))
+        );
+    }
+
+    #[test]
+    fn forall_narrows_only_through_antecedents() {
+        let e = Var::tup_f("e", 2);
+        let x = Var::tup_f("x", 2);
+        // forall e . (e ∈ EMP & e-name(e) = e-name(x)) → False
+        let guarded = FFormula::Implies(
+            Box::new(FFormula::And(
+                Box::new(FFormula::Member(FTerm::Var(e), FTerm::rel("EMP"))),
+                Box::new(FFormula::eq(attr("e-name", e), attr("e-name", x))),
+            )),
+            Box::new(FFormula::False),
+        );
+        let plan = plan_quantifiers(&sig(), &[e], &guarded, GuardMode::Guarded);
+        assert!(matches!(
+            plan.steps[0].source,
+            DomainSource::IndexProbe { col: 1, .. }
+        ));
+        // the same conjuncts in positive position must NOT narrow a ∀:
+        // a false conjunct would make the body false, i.e. a
+        // counterexample the plan must still enumerate.
+        let positive = FFormula::And(
+            Box::new(FFormula::Member(FTerm::Var(e), FTerm::rel("EMP"))),
+            Box::new(FFormula::eq(attr("e-name", e), attr("e-name", x))),
+        );
+        let plan = plan_quantifiers(&sig(), &[e], &positive, GuardMode::Guarded);
+        // baseline membership still applies (it defines the domain)…
+        assert_eq!(plan.steps[0].source, DomainSource::Scan(Symbol::new("EMP")));
+        // …but no filters are attached.
+        assert!(plan.steps[0].filters.is_empty());
+        assert!(plan.prefilters.is_empty());
+    }
+
+    #[test]
+    fn unrestricted_sorts_fall_back() {
+        let t = Var::tup_f("t", 3);
+        let a = Var::atom_f("n");
+        let s = Var::transaction("tx");
+        let plan = plan_quantifiers(&sig(), &[t, a, s], &FFormula::True, GuardMode::Positive);
+        assert_eq!(plan.steps[0].source, DomainSource::ActiveTuples(3));
+        assert_eq!(plan.steps[1].source, DomainSource::Atoms);
+        assert_eq!(
+            plan.steps[2].source,
+            DomainSource::Unenumerable(crate::sort::Sort::State)
+        );
+    }
+
+    #[test]
+    fn plan_var_free_conjuncts_become_prefilters() {
+        let e = Var::tup_f("e", 2);
+        let x = Var::tup_f("x", 2);
+        let cond = FFormula::And(
+            Box::new(FFormula::Member(FTerm::Var(e), FTerm::rel("EMP"))),
+            Box::new(FFormula::eq(attr("salary", x), FTerm::Nat(3))),
+        );
+        let plan = plan_quantifiers(&sig(), &[e], &cond, GuardMode::Positive);
+        assert_eq!(plan.prefilters.len(), 1);
+        assert!(plan.steps[0].filters.is_empty());
+    }
+}

@@ -126,9 +126,7 @@ pub fn semijoin(
     FTerm::SetFormer {
         head: Box::new(FTerm::var(x)),
         vars: vec![x],
-        cond: Box::new(
-            FFormula::member(FTerm::var(x), FTerm::rel(left)).and(has_partner),
-        ),
+        cond: Box::new(FFormula::member(FTerm::var(x), FTerm::rel(left)).and(has_partner)),
     }
 }
 

@@ -461,10 +461,7 @@ mod tests {
         let obj = s.clone().eval_obj(FTerm::var(e));
         assert_eq!(obj.to_string(), "s:e");
         // (s;t):e
-        let after = s
-            .clone()
-            .eval_state(FTerm::var(t))
-            .eval_obj(FTerm::var(e));
+        let after = s.clone().eval_state(FTerm::var(t)).eval_obj(FTerm::var(e));
         assert_eq!(after.to_string(), "(s;t):e");
         // s::(p)
         let holds = s.holds(FFormula::member(FTerm::var(e), FTerm::rel("EMP")));

@@ -74,17 +74,15 @@ pub fn sort_of_fterm(sig: &Signature, t: &FTerm) -> TxResult<Sort> {
             expect_sort(sig, inner, Sort::tup(owner), "attribute selection")?;
             Ok(Sort::ATOM)
         }
-        FTerm::Select(inner, i) => {
-            match sort_of_fterm(sig, inner)? {
-                Sort::Obj(ObjSort::Tup(n)) if *i >= 1 && *i <= n => Ok(Sort::ATOM),
-                Sort::Obj(ObjSort::Tup(n)) => Err(TxError::sort(format!(
-                    "select index {i} out of range for {n}-ary tuple"
-                ))),
-                other => Err(TxError::sort(format!(
-                    "select applies to tuples, got {other}"
-                ))),
-            }
-        }
+        FTerm::Select(inner, i) => match sort_of_fterm(sig, inner)? {
+            Sort::Obj(ObjSort::Tup(n)) if *i >= 1 && *i <= n => Ok(Sort::ATOM),
+            Sort::Obj(ObjSort::Tup(n)) => Err(TxError::sort(format!(
+                "select index {i} out of range for {n}-ary tuple"
+            ))),
+            other => Err(TxError::sort(format!(
+                "select applies to tuples, got {other}"
+            ))),
+        },
         FTerm::TupleCons(parts) => {
             for p in parts {
                 expect_sort(sig, p, Sort::ATOM, "tuple component")?;
@@ -106,7 +104,9 @@ pub fn sort_of_fterm(sig: &Signature, t: &FTerm) -> TxResult<Sort> {
         FTerm::IdOf(inner) => match sort_of_fterm(sig, inner)? {
             Sort::Obj(ObjSort::Tup(n)) => Ok(Sort::Obj(ObjSort::TupId(n))),
             Sort::Obj(ObjSort::Set(n)) => Ok(Sort::Obj(ObjSort::SetId(n))),
-            other => Err(TxError::sort(format!("id applies to tuples/sets, got {other}"))),
+            other => Err(TxError::sort(format!(
+                "id applies to tuples/sets, got {other}"
+            ))),
         },
         FTerm::UserApp(name, args) => {
             for a in args {
@@ -134,7 +134,10 @@ pub fn sort_of_fterm(sig: &Signature, t: &FTerm) -> TxResult<Sort> {
             Ok(sa)
         }
         FTerm::Foreach(v, p, body) => {
-            if !matches!(v.sort, Sort::Obj(ObjSort::Tup(_)) | Sort::Obj(ObjSort::Atom)) {
+            if !matches!(
+                v.sort,
+                Sort::Obj(ObjSort::Tup(_)) | Sort::Obj(ObjSort::Atom)
+            ) {
                 return Err(TxError::sort(format!(
                     "foreach binder {v} must range over tuples or atoms"
                 )));
@@ -218,9 +221,7 @@ fn sort_of_op(sig: &Signature, op: Op, args: &[FTerm]) -> TxResult<Sort> {
             let sa = sort_of_fterm(sig, &args[0])?;
             let sb = sort_of_fterm(sig, &args[1])?;
             match (sa, sb) {
-                (Sort::Obj(ObjSort::Set(m)), Sort::Obj(ObjSort::Set(n))) => {
-                    Ok(Sort::set(m + n))
-                }
+                (Sort::Obj(ObjSort::Set(m)), Sort::Obj(ObjSort::Set(n))) => Ok(Sort::set(m + n)),
                 _ => Err(TxError::sort(format!(
                     "product needs two sets, got {sa} and {sb}"
                 ))),
@@ -363,9 +364,7 @@ pub fn sort_of_sterm(sig: &Signature, t: &STerm) -> TxResult<Sort> {
         }
         STerm::Select(inner, i) => match sort_of_sterm(sig, inner)? {
             Sort::Obj(ObjSort::Tup(n)) if *i >= 1 && *i <= n => Ok(Sort::ATOM),
-            other => Err(TxError::sort(format!(
-                "select({other}, {i}) is ill-sorted"
-            ))),
+            other => Err(TxError::sort(format!("select({other}, {i}) is ill-sorted"))),
         },
         STerm::TupleCons(parts) => {
             for p in parts {
@@ -462,8 +461,7 @@ pub fn check_sformula(sig: &Signature, f: &SFormula) -> TxResult<()> {
             let sa = sort_of_sterm(sig, a)?;
             let sb = sort_of_sterm(sig, b)?;
             // state equality is legal at the s-level (Example 4)
-            if matches!(op, CmpOp::Eq | CmpOp::Ne) && sa == Sort::State && sb == Sort::State
-            {
+            if matches!(op, CmpOp::Eq | CmpOp::Ne) && sa == Sort::State && sb == Sort::State {
                 return Ok(());
             }
             check_cmp(*op, sa, sb)
@@ -571,12 +569,7 @@ mod tests {
 
     #[test]
     fn setformer_sorts() {
-        let t = parse_fterm(
-            "sum({ perc(a) | a: 3tup . a in ALLOC })",
-            &ctx(),
-            &[],
-        )
-        .unwrap();
+        let t = parse_fterm("sum({ perc(a) | a: 3tup . a in ALLOC })", &ctx(), &[]).unwrap();
         assert_eq!(sort_of_fterm(&sig(), &t).unwrap(), Sort::ATOM);
         // union of mismatched arities rejected
         let t = parse_fterm("union(EMP, PROJ)", &ctx(), &[]).unwrap();
@@ -620,10 +613,7 @@ mod tests {
             assert!(check_sformula(&sig(), &f).is_err());
         }
         // ordering states
-        let f = parse_sformula(
-            "forall s: state, t: tx . salary(s:EMP) <= 3",
-            &ctx(),
-        );
+        let f = parse_sformula("forall s: state, t: tx . salary(s:EMP) <= 3", &ctx());
         if let Ok(f) = f {
             assert!(check_sformula(&sig(), &f).is_err());
         }
@@ -632,11 +622,7 @@ mod tests {
     #[test]
     fn eval_obj_of_transaction_rejected() {
         // s:(insert …) — a transaction in object position
-        let f = parse_sformula(
-            "forall s: state . size(s:EMP) = size(s:EMP)",
-            &ctx(),
-        )
-        .unwrap();
+        let f = parse_sformula("forall s: state . size(s:EMP) = size(s:EMP)", &ctx()).unwrap();
         assert!(check_sformula(&sig(), &f).is_ok());
         let bad = STerm::EvalObj(
             Box::new(STerm::var(Var::state("s"))),

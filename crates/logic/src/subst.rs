@@ -52,9 +52,7 @@ pub fn free_vars_fterm(t: &FTerm, out: &mut HashSet<Var>) {
             inner.remove(v);
             out.extend(inner);
         }
-        FTerm::Insert(t, _) | FTerm::Delete(t, _) | FTerm::Assign(_, t) => {
-            free_vars_fterm(t, out)
-        }
+        FTerm::Insert(t, _) | FTerm::Delete(t, _) | FTerm::Assign(_, t) => free_vars_fterm(t, out),
         FTerm::Modify(t, _, v) | FTerm::ModifyAttr(t, _, v) => {
             free_vars_fterm(t, out);
             free_vars_fterm(v, out);
@@ -217,12 +215,8 @@ pub fn subst_fterm(t: &FTerm, sub: &FSubst) -> FTerm {
         FTerm::Attr(a, inner) => FTerm::Attr(*a, Box::new(subst_fterm(inner, sub))),
         FTerm::Select(inner, i) => FTerm::Select(Box::new(subst_fterm(inner, sub)), *i),
         FTerm::IdOf(inner) => FTerm::IdOf(Box::new(subst_fterm(inner, sub))),
-        FTerm::TupleCons(ts) => {
-            FTerm::TupleCons(ts.iter().map(|t| subst_fterm(t, sub)).collect())
-        }
-        FTerm::App(op, ts) => {
-            FTerm::App(*op, ts.iter().map(|t| subst_fterm(t, sub)).collect())
-        }
+        FTerm::TupleCons(ts) => FTerm::TupleCons(ts.iter().map(|t| subst_fterm(t, sub)).collect()),
+        FTerm::App(op, ts) => FTerm::App(*op, ts.iter().map(|t| subst_fterm(t, sub)).collect()),
         FTerm::UserApp(f, ts) => {
             FTerm::UserApp(*f, ts.iter().map(|t| subst_fterm(t, sub)).collect())
         }
@@ -254,10 +248,9 @@ pub fn subst_fterm(t: &FTerm, sub: &FSubst) -> FTerm {
                 cond: Box::new(subst_fformula(&cond2, &sub)),
             }
         }
-        FTerm::Seq(a, b) => FTerm::Seq(
-            Box::new(subst_fterm(a, sub)),
-            Box::new(subst_fterm(b, sub)),
-        ),
+        FTerm::Seq(a, b) => {
+            FTerm::Seq(Box::new(subst_fterm(a, sub)), Box::new(subst_fterm(b, sub)))
+        }
         FTerm::Cond(p, a, b) => FTerm::Cond(
             Box::new(subst_fformula(p, sub)),
             Box::new(subst_fterm(a, sub)),
@@ -310,9 +303,7 @@ pub fn subst_fformula(p: &FFormula, sub: &FSubst) -> FFormula {
     }
     match p {
         FFormula::True | FFormula::False => p.clone(),
-        FFormula::Cmp(op, a, b) => {
-            FFormula::Cmp(*op, subst_fterm(a, sub), subst_fterm(b, sub))
-        }
+        FFormula::Cmp(op, a, b) => FFormula::Cmp(*op, subst_fterm(a, sub), subst_fterm(b, sub)),
         FFormula::Member(a, b) => FFormula::Member(subst_fterm(a, sub), subst_fterm(b, sub)),
         FFormula::Subset(a, b) => FFormula::Subset(subst_fterm(a, sub), subst_fterm(b, sub)),
         FFormula::Not(q) => FFormula::Not(Box::new(subst_fformula(q, sub))),
@@ -373,9 +364,7 @@ pub fn subst_sterm(t: &STerm, sub: &SSubst) -> STerm {
         STerm::Attr(a, inner) => STerm::Attr(*a, Box::new(subst_sterm(inner, sub))),
         STerm::Select(inner, i) => STerm::Select(Box::new(subst_sterm(inner, sub)), *i),
         STerm::IdOf(inner) => STerm::IdOf(Box::new(subst_sterm(inner, sub))),
-        STerm::TupleCons(ts) => {
-            STerm::TupleCons(ts.iter().map(|t| subst_sterm(t, sub)).collect())
-        }
+        STerm::TupleCons(ts) => STerm::TupleCons(ts.iter().map(|t| subst_sterm(t, sub)).collect()),
         STerm::App(op, ts) => STerm::App(*op, ts.iter().map(|t| subst_sterm(t, sub)).collect()),
         STerm::UserApp(f, ts) => {
             STerm::UserApp(*f, ts.iter().map(|t| subst_sterm(t, sub)).collect())
@@ -482,23 +471,20 @@ pub fn subst_fluent_in_sformula(p: &SFormula, sub: &FSubst) -> SFormula {
     }
     match p {
         SFormula::True | SFormula::False => p.clone(),
-        SFormula::Holds(w, q) => SFormula::Holds(
-            subst_fluent_in_sterm(w, sub),
-            subst_fformula(q, sub),
-        ),
+        SFormula::Holds(w, q) => {
+            SFormula::Holds(subst_fluent_in_sterm(w, sub), subst_fformula(q, sub))
+        }
         SFormula::Cmp(op, a, b) => SFormula::Cmp(
             *op,
             subst_fluent_in_sterm(a, sub),
             subst_fluent_in_sterm(b, sub),
         ),
-        SFormula::Member(a, b) => SFormula::Member(
-            subst_fluent_in_sterm(a, sub),
-            subst_fluent_in_sterm(b, sub),
-        ),
-        SFormula::Subset(a, b) => SFormula::Subset(
-            subst_fluent_in_sterm(a, sub),
-            subst_fluent_in_sterm(b, sub),
-        ),
+        SFormula::Member(a, b) => {
+            SFormula::Member(subst_fluent_in_sterm(a, sub), subst_fluent_in_sterm(b, sub))
+        }
+        SFormula::Subset(a, b) => {
+            SFormula::Subset(subst_fluent_in_sterm(a, sub), subst_fluent_in_sterm(b, sub))
+        }
         SFormula::Not(q) => SFormula::Not(Box::new(subst_fluent_in_sformula(q, sub))),
         SFormula::And(a, b) => SFormula::And(
             Box::new(subst_fluent_in_sformula(a, sub)),
@@ -550,9 +536,7 @@ pub fn subst_fluent_in_sterm(t: &STerm, sub: &FSubst) -> STerm {
             Box::new(subst_fterm(e, sub)),
         ),
         STerm::Attr(a, inner) => STerm::Attr(*a, Box::new(subst_fluent_in_sterm(inner, sub))),
-        STerm::Select(inner, i) => {
-            STerm::Select(Box::new(subst_fluent_in_sterm(inner, sub)), *i)
-        }
+        STerm::Select(inner, i) => STerm::Select(Box::new(subst_fluent_in_sterm(inner, sub)), *i),
         STerm::IdOf(inner) => STerm::IdOf(Box::new(subst_fluent_in_sterm(inner, sub))),
         STerm::TupleCons(ts) => {
             STerm::TupleCons(ts.iter().map(|t| subst_fluent_in_sterm(t, sub)).collect())
@@ -670,10 +654,7 @@ mod tests {
         // Instantiate transaction variable t with a concrete delete.
         let s = Var::state("s");
         let t = Var::transaction("t");
-        let f = SFormula::eq(
-            STerm::var(s).eval_state(FTerm::var(t)),
-            STerm::var(s),
-        );
+        let f = SFormula::eq(STerm::var(s).eval_state(FTerm::var(t)), STerm::var(s));
         let mut sub = FSubst::new();
         sub.insert(t, FTerm::Identity);
         let out = subst_fluent_in_sformula(&f, &sub);
@@ -683,10 +664,7 @@ mod tests {
     #[test]
     fn quantifier_shadowing_in_sformula() {
         let s = Var::state("s");
-        let body = SFormula::forall(
-            s,
-            SFormula::eq(STerm::var(s), STerm::var(s)),
-        );
+        let body = SFormula::forall(s, SFormula::eq(STerm::var(s), STerm::var(s)));
         let mut sub = SSubst::new();
         sub.insert(s, STerm::nat(0));
         // s is bound: substitution must not reach inside

@@ -31,9 +31,7 @@ pub fn unify_sterms(a: &STerm, b: &STerm, sub: &mut SSubst, frozen: &HashSet<Var
         | (STerm::EvalState(w1, e1), STerm::EvalState(w2, e2)) => {
             fterm_rigid_eq(e1, e2) && unify_sterms(w1, w2, sub, frozen)
         }
-        (STerm::Attr(a1, t1), STerm::Attr(a2, t2)) => {
-            a1 == a2 && unify_sterms(t1, t2, sub, frozen)
-        }
+        (STerm::Attr(a1, t1), STerm::Attr(a2, t2)) => a1 == a2 && unify_sterms(t1, t2, sub, frozen),
         (STerm::Select(t1, i1), STerm::Select(t2, i2)) => {
             i1 == i2 && unify_sterms(t1, t2, sub, frozen)
         }
@@ -45,10 +43,7 @@ pub fn unify_sterms(a: &STerm, b: &STerm, sub: &mut SSubst, frozen: &HashSet<Var
         }
         // Set formers unify only when syntactically equal (α-equivalence
         // would require renaming machinery the prover does not need).
-        (
-            STerm::SetFormer { .. },
-            STerm::SetFormer { .. },
-        ) => a == b,
+        (STerm::SetFormer { .. }, STerm::SetFormer { .. }) => a == b,
         _ => false,
     }
 }

@@ -70,27 +70,15 @@ fn map_formula(f: &SFormula) -> SFormula {
         SFormula::Member(x, set) => regress_member(x, set),
         SFormula::Subset(a, b) => SFormula::Subset(regress_term(a), regress_term(b)),
         SFormula::Not(q) => SFormula::Not(Box::new(map_formula(q))),
-        SFormula::And(a, b) => SFormula::And(
-            Box::new(map_formula(a)),
-            Box::new(map_formula(b)),
-        ),
-        SFormula::Or(a, b) => SFormula::Or(
-            Box::new(map_formula(a)),
-            Box::new(map_formula(b)),
-        ),
-        SFormula::Implies(a, b) => SFormula::Implies(
-            Box::new(map_formula(a)),
-            Box::new(map_formula(b)),
-        ),
-        SFormula::Iff(a, b) => SFormula::Iff(
-            Box::new(map_formula(a)),
-            Box::new(map_formula(b)),
-        ),
+        SFormula::And(a, b) => SFormula::And(Box::new(map_formula(a)), Box::new(map_formula(b))),
+        SFormula::Or(a, b) => SFormula::Or(Box::new(map_formula(a)), Box::new(map_formula(b))),
+        SFormula::Implies(a, b) => {
+            SFormula::Implies(Box::new(map_formula(a)), Box::new(map_formula(b)))
+        }
+        SFormula::Iff(a, b) => SFormula::Iff(Box::new(map_formula(a)), Box::new(map_formula(b))),
         SFormula::Forall(v, q) => SFormula::Forall(*v, Box::new(map_formula(q))),
         SFormula::Exists(v, q) => SFormula::Exists(*v, Box::new(map_formula(q))),
-        SFormula::UserPred(n, ts) => {
-            SFormula::UserPred(*n, ts.iter().map(regress_term).collect())
-        }
+        SFormula::UserPred(n, ts) => SFormula::UserPred(*n, ts.iter().map(regress_term).collect()),
     }
 }
 
@@ -108,8 +96,11 @@ fn regress_member(x: &STerm, set: &STerm) -> SFormula {
                             // insert-action + insert-frame (same relation):
                             // x ∈ R∪{t}  ↔  x ∈ R ∨ x = t
                             let t_val = STerm::EvalObj(w0.clone(), t.clone());
-                            return SFormula::Member(x.clone(), before)
-                                .or(SFormula::Cmp(CmpOp::Eq, x, t_val));
+                            return SFormula::Member(x.clone(), before).or(SFormula::Cmp(
+                                CmpOp::Eq,
+                                x,
+                                t_val,
+                            ));
                         }
                         // insert-frame (other relation)
                         return SFormula::Member(x, before);
@@ -119,8 +110,11 @@ fn regress_member(x: &STerm, set: &STerm) -> SFormula {
                         if r == r2 {
                             // delete-action: x ∈ R∖{t} ↔ x ∈ R ∧ x ≠ t
                             let t_val = STerm::EvalObj(w0.clone(), t.clone());
-                            return SFormula::Member(x.clone(), before)
-                                .and(SFormula::Cmp(CmpOp::Ne, x, t_val));
+                            return SFormula::Member(x.clone(), before).and(SFormula::Cmp(
+                                CmpOp::Ne,
+                                x,
+                                t_val,
+                            ));
                         }
                         return SFormula::Member(x, before);
                     }
@@ -183,22 +177,14 @@ fn regress_term(t: &STerm) -> STerm {
                     // an existing tuple's attributes — though delete can
                     // remove the tuple entirely, which the classical
                     // reading glosses; the verifier cross-checks).
-                    if matches!(
-                        &**step,
-                        FTerm::Insert(..) | FTerm::Assign(..)
-                    ) {
-                        return STerm::Attr(
-                            *attr,
-                            Box::new(STerm::EvalObj(w0.clone(), e.clone())),
-                        );
+                    if matches!(&**step, FTerm::Insert(..) | FTerm::Assign(..)) {
+                        return STerm::Attr(*attr, Box::new(STerm::EvalObj(w0.clone(), e.clone())));
                     }
                 }
             }
             STerm::Attr(*attr, Box::new(regress_term(inner)))
         }
-        STerm::EvalObj(w, e) => {
-            STerm::EvalObj(Box::new(regress_term(w)), e.clone())
-        }
+        STerm::EvalObj(w, e) => STerm::EvalObj(Box::new(regress_term(w)), e.clone()),
         STerm::App(op, ts) => STerm::App(*op, ts.iter().map(regress_term).collect()),
         STerm::TupleCons(ts) => STerm::TupleCons(ts.iter().map(regress_term).collect()),
         STerm::Select(inner, i) => STerm::Select(Box::new(regress_term(inner)), *i),
@@ -215,9 +201,7 @@ fn fformula_mentions(p: &FFormula, rel: Symbol) -> bool {
             FTerm::TupleCons(ts) | FTerm::App(_, ts) | FTerm::UserApp(_, ts) => {
                 ts.iter().any(|t| term(t, rel))
             }
-            FTerm::SetFormer { head, cond, .. } => {
-                term(head, rel) || fformula_mentions(cond, rel)
-            }
+            FTerm::SetFormer { head, cond, .. } => term(head, rel) || fformula_mentions(cond, rel),
             _ => false,
         }
     }
@@ -248,12 +232,7 @@ fn find_cond(f: &SFormula) -> Option<CondParts> {
         match t {
             STerm::EvalState(w, e) => {
                 if let FTerm::Cond(p, a, b) = &**e {
-                    return Some((
-                        (**w).clone(),
-                        (**p).clone(),
-                        (**a).clone(),
-                        (**b).clone(),
-                    ));
+                    return Some(((**w).clone(), (**p).clone(), (**a).clone(), (**b).clone()));
                 }
                 in_term(w)
             }
@@ -262,9 +241,7 @@ fn find_cond(f: &SFormula) -> Option<CondParts> {
             STerm::TupleCons(ts) | STerm::App(_, ts) | STerm::UserApp(_, ts) => {
                 ts.iter().find_map(in_term)
             }
-            STerm::SetFormer { head, cond, .. } => {
-                in_term(head).or_else(|| find_cond(cond))
-            }
+            STerm::SetFormer { head, cond, .. } => in_term(head).or_else(|| find_cond(cond)),
             _ => None,
         }
     }
@@ -340,9 +317,7 @@ fn replace_term_in_formula(f: &SFormula, from: &STerm, to: &STerm) -> SFormula {
         SFormula::Exists(v, q) => {
             SFormula::Exists(*v, Box::new(replace_term_in_formula(q, from, to)))
         }
-        SFormula::UserPred(n, ts) => {
-            SFormula::UserPred(*n, ts.iter().map(rt).collect())
-        }
+        SFormula::UserPred(n, ts) => SFormula::UserPred(*n, ts.iter().map(rt).collect()),
     }
 }
 
@@ -351,16 +326,10 @@ fn replace_term(t: &STerm, from: &STerm, to: &STerm) -> STerm {
         return to.clone();
     }
     match t {
-        STerm::EvalObj(w, e) => {
-            STerm::EvalObj(Box::new(replace_term(w, from, to)), e.clone())
-        }
-        STerm::EvalState(w, e) => {
-            STerm::EvalState(Box::new(replace_term(w, from, to)), e.clone())
-        }
+        STerm::EvalObj(w, e) => STerm::EvalObj(Box::new(replace_term(w, from, to)), e.clone()),
+        STerm::EvalState(w, e) => STerm::EvalState(Box::new(replace_term(w, from, to)), e.clone()),
         STerm::Attr(a, inner) => STerm::Attr(*a, Box::new(replace_term(inner, from, to))),
-        STerm::Select(inner, i) => {
-            STerm::Select(Box::new(replace_term(inner, from, to)), *i)
-        }
+        STerm::Select(inner, i) => STerm::Select(Box::new(replace_term(inner, from, to)), *i),
         STerm::IdOf(inner) => STerm::IdOf(Box::new(replace_term(inner, from, to))),
         STerm::TupleCons(ts) => {
             STerm::TupleCons(ts.iter().map(|t| replace_term(t, from, to)).collect())
@@ -385,17 +354,13 @@ fn replace_term(t: &STerm, from: &STerm, to: &STerm) -> STerm {
 pub fn has_concrete_eval_state(f: &SFormula) -> bool {
     fn in_term(t: &STerm) -> bool {
         match t {
-            STerm::EvalState(w, e) => {
-                !matches!(&**e, FTerm::Var(_)) || in_term(w)
-            }
+            STerm::EvalState(w, e) => !matches!(&**e, FTerm::Var(_)) || in_term(w),
             STerm::EvalObj(w, _) => in_term(w),
             STerm::Attr(_, t) | STerm::Select(t, _) | STerm::IdOf(t) => in_term(t),
             STerm::TupleCons(ts) | STerm::App(_, ts) | STerm::UserApp(_, ts) => {
                 ts.iter().any(in_term)
             }
-            STerm::SetFormer { head, cond, .. } => {
-                in_term(head) || has_concrete_eval_state(cond)
-            }
+            STerm::SetFormer { head, cond, .. } => in_term(head) || has_concrete_eval_state(cond),
             _ => false,
         }
     }
@@ -429,12 +394,8 @@ mod tests {
         // x' ∈ (s;insert(tuple(1),R)):R  ⇝  x' ∈ s:R ∨ x' = ⟨1⟩
         let x = Var::tup_s("x", 1);
         let s = Var::state("s");
-        let f = parse_sformula_with_params(
-            "x' in (s;insert(tuple(1), R)):R",
-            &ctx(),
-            &[x, s],
-        )
-        .unwrap();
+        let f =
+            parse_sformula_with_params("x' in (s;insert(tuple(1), R)):R", &ctx(), &[x, s]).unwrap();
         let r = regress(&f);
         assert!(r.complete, "residue: {}", r.formula);
         let text = r.formula.to_string();
@@ -446,12 +407,8 @@ mod tests {
     fn insert_frame_other_relation() {
         let x = Var::tup_s("x", 1);
         let s = Var::state("s");
-        let f = parse_sformula_with_params(
-            "x' in (s;insert(tuple(1), R)):S",
-            &ctx(),
-            &[x, s],
-        )
-        .unwrap();
+        let f =
+            parse_sformula_with_params("x' in (s;insert(tuple(1), R)):S", &ctx(), &[x, s]).unwrap();
         let r = regress(&f);
         assert!(r.complete);
         assert_eq!(r.formula.to_string(), "x' in s:S");
@@ -461,12 +418,8 @@ mod tests {
     fn delete_action_regresses() {
         let x = Var::tup_s("x", 1);
         let s = Var::state("s");
-        let f = parse_sformula_with_params(
-            "x' in (s;delete(tuple(1), R)):R",
-            &ctx(),
-            &[x, s],
-        )
-        .unwrap();
+        let f =
+            parse_sformula_with_params("x' in (s;delete(tuple(1), R)):R", &ctx(), &[x, s]).unwrap();
         let r = regress(&f);
         assert!(r.complete);
         let text = r.formula.to_string();

@@ -26,10 +26,7 @@ pub fn simplify_sterm(t: &STerm) -> STerm {
                 // composition-linkage: associate to the left so primitive
                 // steps surface one at a time
                 FTerm::Seq(a, b) => {
-                    let mid = simplify_sterm(&STerm::EvalState(
-                        Box::new(w),
-                        a.clone(),
-                    ));
+                    let mid = simplify_sterm(&STerm::EvalState(Box::new(w), a.clone()));
                     simplify_sterm(&STerm::EvalState(Box::new(mid), b.clone()))
                 }
                 _ => STerm::EvalState(Box::new(w), e.clone()),
@@ -151,9 +148,7 @@ pub fn simplify_sformula(f: &SFormula) -> SFormula {
             }
             SFormula::Cmp(*op, a, b)
         }
-        SFormula::Member(a, b) => {
-            SFormula::Member(simplify_sterm(a), simplify_sterm(b))
-        }
+        SFormula::Member(a, b) => SFormula::Member(simplify_sterm(a), simplify_sterm(b)),
         SFormula::Subset(a, b) => {
             let a = simplify_sterm(a);
             let b = simplify_sterm(b);
@@ -235,10 +230,7 @@ mod tests {
         let b = FTerm::insert(FTerm::nat(2), "R");
         let t = STerm::var(s).eval_state(a.clone().seq(b.clone()));
         let simplified = simplify_sterm(&t);
-        assert_eq!(
-            simplified,
-            STerm::var(s).eval_state(a).eval_state(b)
-        );
+        assert_eq!(simplified, STerm::var(s).eval_state(a).eval_state(b));
     }
 
     #[test]
@@ -269,10 +261,7 @@ mod tests {
     #[test]
     fn holds_state_simplifies() {
         let s = Var::state("s");
-        let f = SFormula::Holds(
-            STerm::var(s).eval_state(FTerm::Identity),
-            FFormula::True,
-        );
+        let f = SFormula::Holds(STerm::var(s).eval_state(FTerm::Identity), FFormula::True);
         assert_eq!(
             simplify_sformula(&f),
             SFormula::Holds(STerm::var(s), FFormula::True)

@@ -24,10 +24,10 @@
 
 use crate::simplify::simplify_sformula;
 use std::collections::HashSet;
+use txlog_base::{Symbol, TxError, TxResult};
 use txlog_logic::subst::{subst_sformula, SSubst};
 use txlog_logic::unify::unify_sterms;
 use txlog_logic::{SFormula, STerm, Var, VarClass};
-use txlog_base::{Symbol, TxError, TxResult};
 
 /// A proof found by the tableau.
 #[derive(Clone, Debug)]
@@ -372,7 +372,11 @@ fn subst_atom(p: &SFormula, theta: &SSubst) -> SFormula {
 /// Replace every occurrence of atom `p` in `f` by the truth constant.
 fn replace_atom(f: &SFormula, p: &SFormula, value: bool) -> SFormula {
     if f == p {
-        return if value { SFormula::True } else { SFormula::False };
+        return if value {
+            SFormula::True
+        } else {
+            SFormula::False
+        };
     }
     match f {
         SFormula::Not(q) => SFormula::Not(Box::new(replace_atom(q, p, value))),
@@ -404,11 +408,7 @@ pub fn entails(assertions: &[SFormula], goal: &SFormula) -> TxResult<Proof> {
 }
 
 /// Prove `assertions ⊨ goal` with the given limits.
-pub fn entails_with(
-    assertions: &[SFormula],
-    goal: &SFormula,
-    limits: Limits,
-) -> TxResult<Proof> {
+pub fn entails_with(assertions: &[SFormula], goal: &SFormula, limits: Limits) -> TxResult<Proof> {
     let mut tab = Tableau::new(limits);
     for a in assertions {
         tab.assert(a)?;
@@ -441,11 +441,8 @@ mod tests {
         // ∀w. ⟨1⟩ ∈ w:R   and   ∀w ∀x'. x' ∈ w:R → x' ∈ w:S
         // ⊨ ∀w. ⟨1⟩ ∈ w:S
         let a1 = parse_sformula("forall w: state . tuple(1) in w:R", &ctx()).unwrap();
-        let a2 = parse_sformula(
-            "forall w: state, x': 1tup . x' in w:R -> x' in w:S",
-            &ctx(),
-        )
-        .unwrap();
+        let a2 =
+            parse_sformula("forall w: state, x': 1tup . x' in w:R -> x' in w:S", &ctx()).unwrap();
         let goal = parse_sformula("forall w: state . tuple(1) in w:S", &ctx()).unwrap();
         let proof = entails(&[a1, a2], &goal).unwrap();
         assert!(proof.steps >= 1);
@@ -453,11 +450,8 @@ mod tests {
 
     #[test]
     fn chained_implications() {
-        let a1 = parse_sformula(
-            "forall w: state, x': 1tup . x' in w:R -> x' in w:S",
-            &ctx(),
-        )
-        .unwrap();
+        let a1 =
+            parse_sformula("forall w: state, x': 1tup . x' in w:R -> x' in w:S", &ctx()).unwrap();
         let a2 = parse_sformula(
             "forall w: state, x': 1tup . x' in w:S -> x' in w:EMP",
             &ctx(),
@@ -476,11 +470,7 @@ mod tests {
     fn existential_goal_from_witness() {
         // ∀s. ⟨1⟩ ∈ s:R ⊨ ∀s ∃x'. x' ∈ s:R
         let a = parse_sformula("forall s: state . tuple(1) in s:R", &ctx()).unwrap();
-        let goal = parse_sformula(
-            "forall s: state . exists x': 1tup . x' in s:R",
-            &ctx(),
-        )
-        .unwrap();
+        let goal = parse_sformula("forall s: state . exists x': 1tup . x' in s:R", &ctx()).unwrap();
         let proof = entails(&[a], &goal).unwrap();
         assert!(proof.steps >= 1);
     }
@@ -509,8 +499,7 @@ mod tests {
     #[test]
     fn contradictory_assertions_prove_anything() {
         let a1 = parse_sformula("forall s: state . tuple(1) in s:R", &ctx()).unwrap();
-        let a2 =
-            parse_sformula("forall s: state . !(tuple(1) in s:R)", &ctx()).unwrap();
+        let a2 = parse_sformula("forall s: state . !(tuple(1) in s:R)", &ctx()).unwrap();
         let goal = parse_sformula("forall s: state . tuple(2) in s:S", &ctx()).unwrap();
         let proof = entails(&[a1, a2], &goal);
         assert!(proof.is_ok(), "{proof:?}");
@@ -537,16 +526,10 @@ mod tests {
             &ctx(),
         )
         .unwrap();
-        let prem = parse_sformula(
-            "forall s1: state, s2: state . s1:R subset s2:R",
-            &ctx(),
-        )
-        .unwrap();
-        let goal = parse_sformula(
-            "forall s1: state, s3: state . s1:R subset s3:R",
-            &ctx(),
-        )
-        .unwrap();
+        let prem =
+            parse_sformula("forall s1: state, s2: state . s1:R subset s2:R", &ctx()).unwrap();
+        let goal =
+            parse_sformula("forall s1: state, s3: state . s1:R subset s3:R", &ctx()).unwrap();
         let proof = entails(&[trans, prem], &goal).unwrap();
         assert!(proof.steps >= 1);
     }

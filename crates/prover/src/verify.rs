@@ -24,11 +24,11 @@
 use crate::regress::regress;
 use crate::simplify::simplify_sformula;
 use crate::tableau::{entails_with, Limits};
+use txlog_base::{TxError, TxResult};
 use txlog_engine::{Env, Model, ModelBuilder};
 use txlog_logic::subst::{subst_fluent_in_sformula, FSubst};
 use txlog_logic::{FTerm, SFormula, Sort, Var, VarClass};
 use txlog_relational::{DbState, Schema};
-use txlog_base::{TxError, TxResult};
 
 /// The outcome of a verification attempt.
 #[derive(Clone, Debug)]
@@ -193,9 +193,10 @@ fn model_check(
             let mut b = ModelBuilder::new(schema.clone());
             b.add_state(db.clone());
             let m = b.finish();
-            statics.iter().chain([constraint]).all(|f| {
-                m.check(f).unwrap_or(false)
-            })
+            statics
+                .iter()
+                .chain([constraint])
+                .all(|f| m.check(f).unwrap_or(false))
         };
         if !pre_valid {
             continue;
@@ -215,9 +216,7 @@ fn model_check(
             Ok(true) => checked += 1,
             Ok(false) => {
                 return Verdict::Refuted {
-                    witness: format!(
-                        "seed {seed}: executing {tx_label} violates the constraint"
-                    ),
+                    witness: format!("seed {seed}: executing {tx_label} violates the constraint"),
                 }
             }
             Err(e) => {
@@ -262,14 +261,10 @@ mod tests {
         move |seed| {
             let db = schema.initial_state();
             let emp = schema.rel_id("EMP")?;
-            let (db, _) = db.insert_fields(
-                emp,
-                &[Atom::str("ann"), Atom::nat(400 + (seed % 5) * 50)],
-            )?;
-            let (db, _) = db.insert_fields(
-                emp,
-                &[Atom::str("bob"), Atom::nat(300 + (seed % 3) * 100)],
-            )?;
+            let (db, _) =
+                db.insert_fields(emp, &[Atom::str("ann"), Atom::nat(400 + (seed % 5) * 50)])?;
+            let (db, _) =
+                db.insert_fields(emp, &[Atom::str("bob"), Atom::nat(300 + (seed % 3) * 100)])?;
             Ok(db)
         }
     }
@@ -381,7 +376,10 @@ mod tests {
             &gen_state(&schema),
             &VerifyOptions::default(),
         );
-        assert!(matches!(v, Verdict::ModelChecked { models } if models > 0), "{v:?}");
+        assert!(
+            matches!(v, Verdict::ModelChecked { models } if models > 0),
+            "{v:?}"
+        );
     }
 
     #[test]
@@ -406,9 +404,6 @@ mod tests {
             witness: "x".into()
         }
         .holds());
-        assert!(!Verdict::Unknown {
-            reason: "y".into()
-        }
-        .is_proved());
+        assert!(!Verdict::Unknown { reason: "y".into() }.is_proved());
     }
 }

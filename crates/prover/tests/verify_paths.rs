@@ -6,8 +6,8 @@ use txlog_base::{Atom, TxResult};
 use txlog_engine::Env;
 use txlog_logic::{parse_fterm, parse_sformula, ParseCtx};
 use txlog_prover::{
-    entails, instantiate_transaction, regress, simplify_sformula, verify_preserves,
-    Verdict, VerifyOptions,
+    entails, instantiate_transaction, regress, simplify_sformula, verify_preserves, Verdict,
+    VerifyOptions,
 };
 use txlog_relational::{DbState, Schema};
 
@@ -43,8 +43,8 @@ fn path_regression_alone() {
         &ctx(),
     )
     .expect("parses");
-    let tx = parse_fterm("insert(tuple(7), R) ;; insert(tuple(8), R)", &ctx(), &[])
-        .expect("parses");
+    let tx =
+        parse_fterm("insert(tuple(7), R) ;; insert(tuple(8), R)", &ctx(), &[]).expect("parses");
     let v = verify_preserves(
         &schema,
         &tx,
@@ -56,7 +56,13 @@ fn path_regression_alone() {
         &VerifyOptions::default(),
     );
     assert!(
-        matches!(v, Verdict::Proved { method: "regression", .. }),
+        matches!(
+            v,
+            Verdict::Proved {
+                method: "regression",
+                ..
+            }
+        ),
         "{v:?}"
     );
 }
@@ -75,11 +81,8 @@ fn path_regression_plus_tableau() {
     )
     .expect("parses");
     // static premise: R ⊆ S pointwise
-    let premise = parse_sformula(
-        "forall s: state, x': 1tup . x' in s:R -> x' in s:S",
-        &ctx(),
-    )
-    .expect("parses");
+    let premise = parse_sformula("forall s: state, x': 1tup . x' in s:R -> x' in s:S", &ctx())
+        .expect("parses");
     let tx = parse_fterm("insert(tuple(9), S)", &ctx(), &[]).expect("parses");
 
     // sanity: the regressed sentence is NOT trivially true…
@@ -123,12 +126,8 @@ fn path_model_checked() {
         &ctx(),
     )
     .expect("parses");
-    let tx = parse_fterm(
-        "foreach x: 1tup | x in R do insert(x, S) end",
-        &ctx(),
-        &[],
-    )
-    .expect("parses");
+    let tx =
+        parse_fterm("foreach x: 1tup | x in R do insert(x, S) end", &ctx(), &[]).expect("parses");
     let v = verify_preserves(
         &schema,
         &tx,
@@ -139,7 +138,10 @@ fn path_model_checked() {
         &gen(&schema),
         &VerifyOptions::default(),
     );
-    assert!(matches!(v, Verdict::ModelChecked { models } if models > 0), "{v:?}");
+    assert!(
+        matches!(v, Verdict::ModelChecked { models } if models > 0),
+        "{v:?}"
+    );
 }
 
 /// Refutation wins over everything: a violating transaction is reported
@@ -152,12 +154,8 @@ fn path_refuted_with_witness() {
         &ctx(),
     )
     .expect("parses");
-    let tx = parse_fterm(
-        "foreach x: 1tup | x in S do delete(x, S) end",
-        &ctx(),
-        &[],
-    )
-    .expect("parses");
+    let tx =
+        parse_fterm("foreach x: 1tup | x in S do delete(x, S) end", &ctx(), &[]).expect("parses");
     let v = verify_preserves(
         &schema,
         &tx,

@@ -177,7 +177,10 @@ fn rel_delta_from_effects(
 /// modified were there with their *old* values; its own deletions were
 /// already gone from the intermediate state and so join the drop's
 /// casualties relative to the base.
-fn backmap_drop(first: &RelDelta, drop_deleted: &BTreeMap<TupleId, Arc<[Atom]>>) -> BTreeMap<TupleId, Arc<[Atom]>> {
+fn backmap_drop(
+    first: &RelDelta,
+    drop_deleted: &BTreeMap<TupleId, Arc<[Atom]>>,
+) -> BTreeMap<TupleId, Arc<[Atom]>> {
     let mut out = BTreeMap::new();
     for (&id, f) in drop_deleted {
         if first.inserted.contains_key(&id) {

@@ -153,11 +153,7 @@ impl EvolutionGraph {
 
     /// All arcs as (src, label, dst), in deterministic order.
     pub fn arcs(&self) -> Vec<(StateId, TxLabel, StateId)> {
-        let mut v: Vec<_> = self
-            .arcs
-            .iter()
-            .map(|(&(s, l), &d)| (s, l, d))
-            .collect();
+        let mut v: Vec<_> = self.arcs.iter().map(|(&(s, l), &d)| (s, l, d)).collect();
         v.sort_by_key(|&(s, l, d)| (s, l.symbol().index(), d));
         v
     }

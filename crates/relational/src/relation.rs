@@ -8,18 +8,76 @@
 //! experiment reproducible.
 
 use crate::tuple::{Tuple, TupleVal};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use txlog_base::{Atom, RelId, TupleId, TxError, TxResult};
 
+/// Per-column secondary index: for each 0-based column, a map from atom
+/// value to the sorted identities of the tuples holding that value there.
+///
+/// Built lazily on the first [`Relation::probe`] and maintained
+/// incrementally through the mutation primitives afterwards, so a
+/// relation that is never probed pays nothing. Identity lists stay
+/// sorted, which keeps probe-driven enumeration in the same
+/// deterministic id order as a full scan.
+#[derive(Clone)]
+struct ColIndex {
+    cols: Vec<HashMap<Atom, Vec<TupleId>>>,
+}
+
+impl ColIndex {
+    fn build(arity: usize, tuples: &BTreeMap<TupleId, Arc<[Atom]>>) -> ColIndex {
+        let mut cols: Vec<HashMap<Atom, Vec<TupleId>>> = vec![HashMap::new(); arity];
+        // BTreeMap iteration is id-ascending, so pushed ids stay sorted.
+        for (&id, fields) in tuples {
+            for (c, a) in fields.iter().enumerate() {
+                cols[c].entry(*a).or_default().push(id);
+            }
+        }
+        ColIndex { cols }
+    }
+
+    fn add(&mut self, id: TupleId, fields: &[Atom]) {
+        for (c, a) in fields.iter().enumerate() {
+            let ids = self.cols[c].entry(*a).or_default();
+            if let Err(pos) = ids.binary_search(&id) {
+                ids.insert(pos, id);
+            }
+        }
+    }
+
+    fn drop_entry(&mut self, id: TupleId, fields: &[Atom]) {
+        for (c, a) in fields.iter().enumerate() {
+            if let Some(ids) = self.cols[c].get_mut(a) {
+                if let Ok(pos) = ids.binary_search(&id) {
+                    ids.remove(pos);
+                }
+                if ids.is_empty() {
+                    self.cols[c].remove(a);
+                }
+            }
+        }
+    }
+}
+
 /// An identified finite set of tuples, all of the same arity.
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct Relation {
     id: RelId,
     arity: usize,
     tuples: BTreeMap<TupleId, Arc<[Atom]>>,
+    /// Lazily built per-column index; never part of the relation's value.
+    index: OnceLock<ColIndex>,
 }
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Relation) -> bool {
+        self.id == other.id && self.arity == other.arity && self.tuples == other.tuples
+    }
+}
+
+impl Eq for Relation {}
 
 impl Relation {
     /// An empty relation with the given identity and arity.
@@ -28,6 +86,7 @@ impl Relation {
             id,
             arity,
             tuples: BTreeMap::new(),
+            index: OnceLock::new(),
         }
     }
 
@@ -64,13 +123,27 @@ impl Relation {
                 self.id
             )));
         }
-        self.tuples.insert(id, fields);
+        let old = self.tuples.insert(id, Arc::clone(&fields));
+        if let Some(ix) = self.index.get_mut() {
+            if let Some(old) = old {
+                ix.drop_entry(id, &old);
+            }
+            ix.add(id, &fields);
+        }
         Ok(())
     }
 
     /// Remove the tuple with identity `id`; returns whether it was present.
     pub fn remove_id(&mut self, id: TupleId) -> bool {
-        self.tuples.remove(&id).is_some()
+        match self.tuples.remove(&id) {
+            Some(old) => {
+                if let Some(ix) = self.index.get_mut() {
+                    ix.drop_entry(id, &old);
+                }
+                true
+            }
+            None => false,
+        }
     }
 
     /// Remove every tuple whose fields equal `fields`; returns how many
@@ -82,8 +155,11 @@ impl Relation {
             .filter(|(_, f)| &***f == fields)
             .map(|(&id, _)| id)
             .collect();
-        for id in &victims {
-            self.tuples.remove(id);
+        for &id in &victims {
+            self.tuples.remove(&id);
+            if let Some(ix) = self.index.get_mut() {
+                ix.drop_entry(id, fields);
+            }
         }
         victims.len()
     }
@@ -106,10 +182,36 @@ impl Relation {
             .tuples
             .get_mut(&id)
             .ok_or_else(|| TxError::eval(format!("no tuple {id} in relation {}", self.id)))?;
+        let old = Arc::clone(fields);
         let mut new: Vec<Atom> = fields.to_vec();
         new[i - 1] = v;
-        *fields = new.into();
+        let new: Arc<[Atom]> = new.into();
+        *fields = Arc::clone(&new);
+        if let Some(ix) = self.index.get_mut() {
+            ix.drop_entry(id, &old);
+            ix.add(id, &new);
+        }
         Ok(())
+    }
+
+    /// Identities of the tuples whose column `i` (1-based) equals `key`,
+    /// in ascending id order — the same relative order a full [`iter`]
+    /// scan would visit them in. Builds the per-column secondary index on
+    /// first use; subsequent probes are hash lookups.
+    ///
+    /// Returns an empty slice for an out-of-range column rather than
+    /// erroring: the planner validates columns against the schema, so an
+    /// out-of-range probe here just means "no matches".
+    ///
+    /// [`iter`]: Relation::iter
+    pub fn probe(&self, i: usize, key: &Atom) -> &[TupleId] {
+        if i == 0 || i > self.arity {
+            return &[];
+        }
+        let ix = self
+            .index
+            .get_or_init(|| ColIndex::build(self.arity, &self.tuples));
+        ix.cols[i - 1].get(key).map_or(&[], |ids| ids.as_slice())
     }
 
     /// True iff a tuple with identity `id` is a member.
@@ -270,6 +372,55 @@ mod tests {
         b.insert(TupleId(98), fields(&[6])).unwrap();
         assert!(a.subset_by_value(&b));
         assert!(!b.subset_by_value(&a));
+    }
+
+    #[test]
+    fn probe_finds_matches_in_id_order() {
+        let mut r = Relation::empty(RelId(0), 2);
+        r.insert(TupleId(3), fields(&[7, 1])).unwrap();
+        r.insert(TupleId(1), fields(&[7, 2])).unwrap();
+        r.insert(TupleId(2), fields(&[8, 2])).unwrap();
+        assert_eq!(r.probe(1, &Atom::nat(7)), &[TupleId(1), TupleId(3)]);
+        assert_eq!(r.probe(2, &Atom::nat(2)), &[TupleId(1), TupleId(2)]);
+        assert_eq!(r.probe(1, &Atom::nat(9)), &[] as &[TupleId]);
+        // out-of-range columns are empty, not errors
+        assert_eq!(r.probe(0, &Atom::nat(7)), &[] as &[TupleId]);
+        assert_eq!(r.probe(3, &Atom::nat(7)), &[] as &[TupleId]);
+    }
+
+    #[test]
+    fn probe_tracks_mutations_after_index_build() {
+        let mut r = Relation::empty(RelId(0), 2);
+        r.insert(TupleId(1), fields(&[7, 1])).unwrap();
+        assert_eq!(r.probe(1, &Atom::nat(7)), &[TupleId(1)]); // build index
+        r.insert(TupleId(2), fields(&[7, 2])).unwrap();
+        assert_eq!(r.probe(1, &Atom::nat(7)), &[TupleId(1), TupleId(2)]);
+        // overwriting an identity re-keys its old field values
+        r.insert(TupleId(1), fields(&[9, 1])).unwrap();
+        assert_eq!(r.probe(1, &Atom::nat(7)), &[TupleId(2)]);
+        assert_eq!(r.probe(1, &Atom::nat(9)), &[TupleId(1)]);
+        r.modify(TupleId(2), 1, Atom::nat(9)).unwrap();
+        assert_eq!(r.probe(1, &Atom::nat(9)), &[TupleId(1), TupleId(2)]);
+        assert_eq!(r.probe(1, &Atom::nat(7)), &[] as &[TupleId]);
+        r.remove_id(TupleId(1));
+        assert_eq!(r.probe(1, &Atom::nat(9)), &[TupleId(2)]);
+        r.remove_fields(&fields(&[9, 2]));
+        assert_eq!(r.probe(1, &Atom::nat(9)), &[] as &[TupleId]);
+        // a clone carries the built index and diverges independently
+        let mut c = r.clone();
+        c.insert(TupleId(5), fields(&[4, 4])).unwrap();
+        assert_eq!(c.probe(2, &Atom::nat(4)), &[TupleId(5)]);
+        assert_eq!(r.probe(2, &Atom::nat(4)), &[] as &[TupleId]);
+    }
+
+    #[test]
+    fn equality_ignores_index_state() {
+        let mut a = Relation::empty(RelId(0), 1);
+        let mut b = Relation::empty(RelId(0), 1);
+        a.insert(TupleId(1), fields(&[5])).unwrap();
+        b.insert(TupleId(1), fields(&[5])).unwrap();
+        let _ = a.probe(1, &Atom::nat(5)); // build a's index only
+        assert_eq!(a, b);
     }
 
     #[test]

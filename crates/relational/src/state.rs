@@ -209,13 +209,13 @@ impl DbState {
     /// necessarily carry fresh identities.
     pub fn value_eq(&self, other: &DbState) -> bool {
         self.rels.len() == other.rels.len()
-            && self.rels.iter().zip(other.rels.iter()).all(
-                |((ida, ra), (idb, rb))| {
-                    ida == idb
-                        && ra.arity() == rb.arity()
-                        && ra.value_set() == rb.value_set()
-                },
-            )
+            && self
+                .rels
+                .iter()
+                .zip(other.rels.iter())
+                .all(|((ida, ra), (idb, rb))| {
+                    ida == idb && ra.arity() == rb.arity() && ra.value_set() == rb.value_set()
+                })
     }
 
     /// A content digest usable for hash-based deduplication of states in

@@ -280,9 +280,7 @@ pub fn deflate_term(t: &STerm, s: Var) -> TxResult<FTerm> {
         STerm::Nat(n) => Ok(FTerm::Nat(*n)),
         STerm::Str(sym) => Ok(FTerm::Str(*sym)),
         STerm::Attr(a, inner) => Ok(FTerm::Attr(*a, Box::new(deflate_term(inner, s)?))),
-        STerm::Select(inner, i) => {
-            Ok(FTerm::Select(Box::new(deflate_term(inner, s)?), *i))
-        }
+        STerm::Select(inner, i) => Ok(FTerm::Select(Box::new(deflate_term(inner, s)?), *i)),
         STerm::TupleCons(ts) => Ok(FTerm::TupleCons(
             ts.iter()
                 .map(|t| deflate_term(t, s))
@@ -312,19 +310,9 @@ pub fn deflate_formula(f: &SFormula, s: Var) -> TxResult<FFormula> {
                 "cannot deflate truth at {other}"
             ))),
         },
-        SFormula::Cmp(op, a, b) => Ok(FFormula::Cmp(
-            *op,
-            deflate_term(a, s)?,
-            deflate_term(b, s)?,
-        )),
-        SFormula::Member(a, b) => Ok(FFormula::Member(
-            deflate_term(a, s)?,
-            deflate_term(b, s)?,
-        )),
-        SFormula::Subset(a, b) => Ok(FFormula::Subset(
-            deflate_term(a, s)?,
-            deflate_term(b, s)?,
-        )),
+        SFormula::Cmp(op, a, b) => Ok(FFormula::Cmp(*op, deflate_term(a, s)?, deflate_term(b, s)?)),
+        SFormula::Member(a, b) => Ok(FFormula::Member(deflate_term(a, s)?, deflate_term(b, s)?)),
+        SFormula::Subset(a, b) => Ok(FFormula::Subset(deflate_term(a, s)?, deflate_term(b, s)?)),
         SFormula::Not(q) => Ok(FFormula::Not(Box::new(deflate_formula(q, s)?))),
         SFormula::And(a, b) => Ok(FFormula::And(
             Box::new(deflate_formula(a, s)?),

@@ -33,13 +33,8 @@ use txlog_relational::{DbState, Schema, TupleVal};
 /// Synthesize an inverse of `tx` as executed at `pre` (under `env`).
 /// Errors on `foreach` (unbounded information loss) and on non-executable
 /// shapes.
-pub fn invert(
-    schema: &Schema,
-    tx: &FTerm,
-    pre: &DbState,
-    env: &Env,
-) -> TxResult<FTerm> {
-    let engine = Engine::new(schema);
+pub fn invert(schema: &Schema, tx: &FTerm, pre: &DbState, env: &Env) -> TxResult<FTerm> {
+    let engine = Engine::new(schema)?;
     match tx {
         FTerm::Identity => Ok(FTerm::Identity),
         FTerm::Seq(a, b) => {
@@ -57,9 +52,9 @@ pub fn invert(
         }
         FTerm::Insert(t, rel) => {
             let tv = engine.eval_obj(pre, t, env)?.into_tuple()?;
-            let decl = schema.by_name(*rel).ok_or_else(|| {
-                TxError::schema(format!("unknown relation {rel}"))
-            })?;
+            let decl = schema
+                .by_name(*rel)
+                .ok_or_else(|| TxError::schema(format!("unknown relation {rel}")))?;
             let already = pre
                 .relation(decl.id)
                 .is_some_and(|r| r.contains_fields(&tv.fields));
@@ -75,9 +70,9 @@ pub fn invert(
             match engine.eval_obj_opt(pre, t, env)? {
                 Some(v) => {
                     let tv = v.into_tuple()?;
-                    let decl = schema.by_name(*rel).ok_or_else(|| {
-                        TxError::schema(format!("unknown relation {rel}"))
-                    })?;
+                    let decl = schema
+                        .by_name(*rel)
+                        .ok_or_else(|| TxError::schema(format!("unknown relation {rel}")))?;
                     let present = pre
                         .relation(decl.id)
                         .is_some_and(|r| r.contains_fields(&tv.fields));
@@ -111,9 +106,9 @@ pub fn invert(
             Ok(modify_by_value(rel, tv.arity(), &post_fields, ix, old))
         }
         FTerm::Assign(rel, _) => {
-            let decl = schema.by_name(*rel).ok_or_else(|| {
-                TxError::schema(format!("unknown relation {rel}"))
-            })?;
+            let decl = schema
+                .by_name(*rel)
+                .ok_or_else(|| TxError::schema(format!("unknown relation {rel}")))?;
             let snapshot: SetVal = match pre.relation(decl.id) {
                 Some(r) => SetVal::from_relation(r),
                 None => SetVal::empty(decl.arity()),
@@ -155,10 +150,8 @@ pub fn invert(
 /// old value back into the tuple with the given post-image.
 fn modify_by_value(rel: Symbol, arity: usize, post: &[Atom], i: usize, old: Atom) -> FTerm {
     let x = Var::tup_f("inv-x", arity);
-    let cond = FFormula::member(FTerm::var(x), FTerm::Rel(rel)).and(FFormula::eq(
-        FTerm::var(x),
-        ground_fields(post),
-    ));
+    let cond = FFormula::member(FTerm::var(x), FTerm::Rel(rel))
+        .and(FFormula::eq(FTerm::var(x), ground_fields(post)));
     FTerm::foreach(
         x,
         cond,
@@ -209,9 +202,7 @@ fn locate_attr(
         .iter()
         .position(|&a| a == attr)
         .map(|p| p + 1)
-        .ok_or_else(|| {
-            TxError::schema(format!("relation {rel} has no attribute {attr}"))
-        })?;
+        .ok_or_else(|| TxError::schema(format!("relation {rel} has no attribute {attr}")))?;
     Ok((rel, ix))
 }
 
@@ -224,7 +215,7 @@ pub fn verify_inverse(
     pre: &DbState,
     env: &Env,
 ) -> TxResult<bool> {
-    let engine = Engine::new(schema);
+    let engine = Engine::new(schema)?;
     let mid = engine.execute(pre, tx, env)?;
     let back = engine.execute(&mid, inv, env)?;
     Ok(back.value_eq(pre))
@@ -264,8 +255,8 @@ mod tests {
         let db = pre(&schema);
         let env = Env::new();
         let tx = parse_fterm(src, &ctx(), &[]).unwrap();
-        let inv = invert(&schema, &tx, &db, &env)
-            .unwrap_or_else(|e| panic!("inverting {src}: {e}"));
+        let inv =
+            invert(&schema, &tx, &db, &env).unwrap_or_else(|e| panic!("inverting {src}: {e}"));
         assert!(
             verify_inverse(&schema, &tx, &inv, &db, &env).unwrap(),
             "inverse of {src} does not restore the state (inverse: {inv})"

@@ -93,8 +93,8 @@ fn emit(
                     let key_of_target = FTerm::Attr(r1.to_attr, Box::new(tuple.clone()));
                     // condition selecting the referencing tuples
                     let a = fresh_tuple_var(schema, r1.from_rel, "a")?;
-                    let refers = FFormula::member(FTerm::var(a), FTerm::Rel(r1.from_rel))
-                        .and(FFormula::eq(
+                    let refers =
+                        FFormula::member(FTerm::var(a), FTerm::Rel(r1.from_rel)).and(FFormula::eq(
                             FTerm::Attr(r1.from_attr, Box::new(FTerm::var(a))),
                             key_of_target.clone(),
                         ));
@@ -303,11 +303,11 @@ pub fn verify_synthesis(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use txlog_base::Atom;
     use txlog_empdb::constraints::example1_all;
     use txlog_empdb::spec::cancel_project_spec;
     use txlog_empdb::{employee_schema, populate, Sizes};
     use txlog_engine::Engine;
-    use txlog_base::Atom;
     use txlog_relational::TupleVal;
 
     fn statics() -> Vec<SFormula> {
@@ -352,24 +352,15 @@ mod tests {
         // bind p to an existing project tuple and v to 50
         let proj = schema.rel_id("PROJ").unwrap();
         let target: TupleVal = db.relation(proj).unwrap().iter_vals().next().unwrap();
-        let env = Env::new()
-            .bind_tuple(p, target)
-            .bind_atom(v, Atom::nat(50));
+        let env = Env::new().bind_tuple(p, target).bind_atom(v, Atom::nat(50));
 
         let statics_named: Vec<(&str, SFormula)> = vec![
             ("employee-has-project", statics()[0].clone()),
             ("alloc-references-project", statics()[1].clone()),
             ("alloc-within-100", statics()[2].clone()),
         ];
-        let violations = verify_synthesis(
-            &schema,
-            &spec,
-            &statics_named,
-            &out.program,
-            &env,
-            db,
-        )
-        .unwrap();
+        let violations =
+            verify_synthesis(&schema, &spec, &statics_named, &out.program, &env, db).unwrap();
         assert!(violations.is_empty(), "violations: {violations:?}");
     }
 
@@ -386,7 +377,7 @@ mod tests {
         let proj = schema.rel_id("PROJ").unwrap();
         let target: TupleVal = db.relation(proj).unwrap().iter_vals().next().unwrap();
 
-        let engine = Engine::new(&schema);
+        let engine = Engine::new(&schema).unwrap();
         let env_synth = Env::new()
             .bind_tuple(p, target.clone())
             .bind_atom(v, Atom::nat(25));
@@ -404,7 +395,9 @@ mod tests {
 
     #[test]
     fn rejects_missing_scratch_relation() {
-        let schema = Schema::new().relation("PROJ", &["p-name", "t-alloc"]).unwrap();
+        let schema = Schema::new()
+            .relation("PROJ", &["p-name", "t-alloc"])
+            .unwrap();
         let (spec, _, _) = cancel_project_spec();
         assert!(synthesize(&schema, &spec, &[], "E").is_err());
     }

@@ -156,10 +156,7 @@ mod tests {
     fn modal_depth() {
         assert_eq!(TFormula::atom(p()).modal_depth(), 0);
         assert_eq!(TFormula::atom(p()).always().modal_depth(), 1);
-        assert_eq!(
-            TFormula::atom(p()).eventually().always().modal_depth(),
-            2
-        );
+        assert_eq!(TFormula::atom(p()).eventually().always().modal_depth(), 2);
         assert_eq!(
             TFormula::atom(p())
                 .until(TFormula::atom(p()).always())

@@ -73,13 +73,9 @@ fn delta_inner(s: &STerm, f: &TFormula, counter: &mut usize) -> SFormula {
     match f {
         TFormula::Atom(p) => SFormula::Holds(s.clone(), p.clone()),
         TFormula::Not(a) => delta_inner(s, a, counter).not(),
-        TFormula::And(a, b) => {
-            delta_inner(s, a, counter).and(delta_inner(s, b, counter))
-        }
+        TFormula::And(a, b) => delta_inner(s, a, counter).and(delta_inner(s, b, counter)),
         TFormula::Or(a, b) => delta_inner(s, a, counter).or(delta_inner(s, b, counter)),
-        TFormula::Implies(a, b) => {
-            delta_inner(s, a, counter).implies(delta_inner(s, b, counter))
-        }
+        TFormula::Implies(a, b) => delta_inner(s, a, counter).implies(delta_inner(s, b, counter)),
         TFormula::Always(a) => {
             let t = fresh_tx(counter);
             let st = s.clone().eval_state(FTerm::var(t));
@@ -103,13 +99,9 @@ fn delta_inner(s: &STerm, f: &TFormula, counter: &mut usize) -> SFormula {
             let decomposes = SFormula::eq(s_t1_t2, st.clone());
             let witness = SFormula::exists(
                 t1,
-                SFormula::exists(
-                    t2,
-                    decomposes.and(delta_inner(&s_t1, b, counter)),
-                ),
+                SFormula::exists(t2, decomposes.and(delta_inner(&s_t1, b, counter))),
             );
-            let body = defined(&st, counter)
-                .implies(delta_inner(&st, a, counter).or(witness));
+            let body = defined(&st, counter).implies(delta_inner(&st, a, counter).or(witness));
             SFormula::forall(t, body)
         }
         TFormula::Precedes(a, b) => {
@@ -122,10 +114,7 @@ fn delta_inner(s: &STerm, f: &TFormula, counter: &mut usize) -> SFormula {
             let decomposes = SFormula::eq(s_t1_t2, st.clone());
             let no_early_b = SFormula::forall(
                 t1,
-                SFormula::forall(
-                    t2,
-                    decomposes.implies(delta_inner(&s_t1, b, counter).not()),
-                ),
+                SFormula::forall(t2, decomposes.implies(delta_inner(&s_t1, b, counter).not())),
             );
             let body = defined(&st, counter)
                 .and(delta_inner(&st, a, counter))
@@ -227,10 +216,7 @@ mod tests {
                 .and(TFormula::atom(has(3)).eventually())
                 .always(),
         );
-        agree(
-            &model,
-            &TFormula::atom(has(2)).always().eventually(),
-        );
+        agree(&model, &TFormula::atom(has(2)).always().eventually());
     }
 
     #[test]

@@ -165,7 +165,10 @@ mod tests {
             ("()[tuple(1) in R]", atom(1).next()),
             ("![tuple(1) in R]", atom(1).not()),
             ("([tuple(1) in R] & [tuple(2) in R])", atom(1).and(atom(2))),
-            ("([tuple(1) in R] U [tuple(2) in R])", atom(1).until(atom(2))),
+            (
+                "([tuple(1) in R] U [tuple(2) in R])",
+                atom(1).until(atom(2)),
+            ),
             (
                 "([tuple(1) in R] V [tuple(2) in R])",
                 atom(1).precedes(atom(2)),
@@ -192,8 +195,8 @@ mod tests {
         ];
         for f in formulas {
             let printed = f.to_string();
-            let reparsed = parse_tformula(&printed, &ctx(), &[])
-                .unwrap_or_else(|e| panic!("{printed}: {e}"));
+            let reparsed =
+                parse_tformula(&printed, &ctx(), &[]).unwrap_or_else(|e| panic!("{printed}: {e}"));
             assert_eq!(reparsed.to_string(), printed);
         }
     }

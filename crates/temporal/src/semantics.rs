@@ -23,16 +23,12 @@ pub fn holds(model: &Model, s: StateId, f: &TFormula) -> TxResult<bool> {
 pub fn holds_env(model: &Model, s: StateId, f: &TFormula, env: &Env) -> TxResult<bool> {
     match f {
         TFormula::Atom(p) => {
-            let engine = Engine::new(&model.schema);
+            let engine = Engine::new(&model.schema)?;
             engine.eval_truth(model.graph.state(s), p, env)
         }
         TFormula::Not(a) => Ok(!holds_env(model, s, a, env)?),
-        TFormula::And(a, b) => {
-            Ok(holds_env(model, s, a, env)? && holds_env(model, s, b, env)?)
-        }
-        TFormula::Or(a, b) => {
-            Ok(holds_env(model, s, a, env)? || holds_env(model, s, b, env)?)
-        }
+        TFormula::And(a, b) => Ok(holds_env(model, s, a, env)? && holds_env(model, s, b, env)?),
+        TFormula::Or(a, b) => Ok(holds_env(model, s, a, env)? || holds_env(model, s, b, env)?),
         TFormula::Implies(a, b) => {
             Ok(!holds_env(model, s, a, env)? || holds_env(model, s, b, env)?)
         }
@@ -166,9 +162,7 @@ mod tests {
         let (model, ns) = chain();
         // ¬(2 ∈ R) U (1 ∈ R): along every future, absence-of-2 persists
         // unless 1 has already appeared at an intermediate.
-        let f = TFormula::atom(has(2))
-            .not()
-            .until(TFormula::atom(has(1)));
+        let f = TFormula::atom(has(2)).not().until(TFormula::atom(has(1)));
         assert!(holds(&model, ns[0], &f).unwrap());
         // (2 ∈ R) U (1 ∈ R) at s0: the Λ-arc keeps s0 itself as a future
         // where 2 ∉ R and no intermediate has 1 ∈ R → false.

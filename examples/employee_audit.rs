@@ -78,9 +78,15 @@ fn main() -> TxResult<()> {
     let (schema, db) = populate(Sizes::default(), 2024)?;
     println!(
         "starting database: {} employees, {} projects, {} departments",
-        db.relation(schema.rel_id("EMP")?).map(|r| r.len()).unwrap_or(0),
-        db.relation(schema.rel_id("PROJ")?).map(|r| r.len()).unwrap_or(0),
-        db.relation(schema.rel_id("DEPT")?).map(|r| r.len()).unwrap_or(0),
+        db.relation(schema.rel_id("EMP")?)
+            .map(|r| r.len())
+            .unwrap_or(0),
+        db.relation(schema.rel_id("PROJ")?)
+            .map(|r| r.len())
+            .unwrap_or(0),
+        db.relation(schema.rel_id("DEPT")?)
+            .map(|r| r.len())
+            .unwrap_or(0),
     );
     let mut auditor = Auditor::new(History::new(schema, db))?;
 
@@ -91,7 +97,10 @@ fn main() -> TxResult<()> {
     )?;
     auditor.submit("helen-learns-sql", &tx::obtain_skill("helen", 12))?;
     auditor.submit("raise-helen", &tx::raise_salary("helen", 40))?;
-    auditor.submit("helen-marries", &tx::marry("helen").seq(tx::birthday("helen")))?;
+    auditor.submit(
+        "helen-marries",
+        &tx::marry("helen").seq(tx::birthday("helen")),
+    )?;
     auditor.submit("demote-emp-1", &tx::demote("emp-1", 50, "dept-fresh"))?;
 
     println!("\n-- attempted violations --");

@@ -61,8 +61,12 @@ fn main() -> TxResult<()> {
         db.total_tuples(),
         db.relation_count()
     );
-    let engine = Engine::new(&schema);
-    let db1 = engine.execute(&db, &tx::hire("tour", "dept-0", 510, 31, "S", "proj-0", 60), &env)?;
+    let engine = Engine::new(&schema).unwrap();
+    let db1 = engine.execute(
+        &db,
+        &tx::hire("tour", "dept-0", 510, 31, "S", "proj-0", 60),
+        &env,
+    )?;
     println!(
         "after hire: {} tuples (the old state is untouched: {})",
         db1.total_tuples(),
@@ -134,14 +138,13 @@ fn main() -> TxResult<()> {
     );
 
     heading("§3  Temporal logic embeds via δ");
-    let f = txlog::temporal::parse_tformula(
-        "<>[exists e: 5tup . e in EMP]",
-        &ctx,
-        &[],
-    )?;
+    let f = txlog::temporal::parse_tformula("<>[exists e: 5tup . e in EMP]", &ctx, &[])?;
     let s = txlog::logic::Var::state("s");
     println!("  δ(s, {f}) =");
-    println!("    {}", txlog::temporal::delta(&txlog::logic::STerm::var(s), &f));
+    println!(
+        "    {}",
+        txlog::temporal::delta(&txlog::logic::STerm::var(s), &f)
+    );
 
     println!("\n(tour complete — run `experiments` for the full E1–E8 report)");
     Ok(())

@@ -49,13 +49,17 @@ fn main() -> TxResult<()> {
         .bind_tuple(p, target.clone())
         .bind_atom(v, Atom::nat(30));
 
-    let engine = Engine::new(&schema);
-    let before_emps = db.relation(schema.rel_id("EMP")?).map(|r| r.len()).unwrap_or(0);
+    let engine = Engine::new(&schema).unwrap();
+    let before_emps = db
+        .relation(schema.rel_id("EMP")?)
+        .map(|r| r.len())
+        .unwrap_or(0);
     let post = engine.execute(&db, &out.program, &env)?;
-    let after_emps = post.relation(schema.rel_id("EMP")?).map(|r| r.len()).unwrap_or(0);
-    println!(
-        "employees: {before_emps} → {after_emps} (project-less employees were fired)"
-    );
+    let after_emps = post
+        .relation(schema.rel_id("EMP")?)
+        .map(|r| r.len())
+        .unwrap_or(0);
+    println!("employees: {before_emps} → {after_emps} (project-less employees were fired)");
     println!(
         "project still present? {}",
         post.relation(proj)

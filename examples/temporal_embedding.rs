@@ -54,15 +54,34 @@ fn main() -> TxResult<()> {
     };
 
     let formulas: Vec<(&str, TFormula)> = vec![
-        ("◇ all-closed", open(1).not().and(open(2).not()).and(open(3).not()).eventually()),
+        (
+            "◇ all-closed",
+            open(1)
+                .not()
+                .and(open(2).not())
+                .and(open(3).not())
+                .eventually(),
+        ),
         ("□ ticket-3-open (fails: it closes)", open(3).always()),
-        ("ticket-1-open U ticket-1-closed", open(1).until(open(1).not())),
-        ("closed-3 precedes closed-1 (order of closing)", open(3).not().precedes(open(1).not())),
-        ("○ ticket-1-closed (≡ ◇ on evolution graphs)", open(1).not().next()),
+        (
+            "ticket-1-open U ticket-1-closed",
+            open(1).until(open(1).not()),
+        ),
+        (
+            "closed-3 precedes closed-1 (order of closing)",
+            open(3).not().precedes(open(1).not()),
+        ),
+        (
+            "○ ticket-1-closed (≡ ◇ on evolution graphs)",
+            open(1).not().next(),
+        ),
     ];
 
     let s = Var::state("s");
-    println!("\n{:<45} {:>8} {:>8}", "temporal formula", "direct", "via δ");
+    println!(
+        "\n{:<45} {:>8} {:>8}",
+        "temporal formula", "direct", "via δ"
+    );
     for (name, f) in formulas {
         let direct = holds(&model, root, &f)?;
         let image = delta(&STerm::var(s), &f);
@@ -79,6 +98,9 @@ fn main() -> TxResult<()> {
 
     // show one full translation, the paper's δ at work
     let f = open(1).until(open(1).not());
-    println!("\nδ(s, ticket-1-open U ¬ticket-1-open) =\n  {}", delta(&STerm::var(s), &f));
+    println!(
+        "\nδ(s, ticket-1-open U ¬ticket-1-open) =\n  {}",
+        delta(&STerm::var(s), &f)
+    );
     Ok(())
 }

@@ -328,9 +328,7 @@ mod tests {
         group.sample_size(5);
         group.throughput(Throughput::Elements(1));
         group.bench_function(BenchmarkId::new("noop", 1), |b| b.iter(|| 1 + 1));
-        group.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &n| {
-            b.iter(|| n * n)
-        });
+        group.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &n| b.iter(|| n * n));
         group.finish();
         c.bench_function("top-level", |b| b.iter(|| black_box(2) * 2));
     }

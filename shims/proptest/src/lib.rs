@@ -21,11 +21,13 @@ pub mod test_runner;
 
 /// The `use proptest::prelude::*;` surface.
 pub mod prelude {
-    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
-    pub use crate::test_runner::{ProptestConfig, TestCaseError};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
     /// Alias of the crate root, so `prop::collection::vec` etc. resolve.
     pub use crate as prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// The body of a `proptest!`-generated test: one run of all cases.

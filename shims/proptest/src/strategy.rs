@@ -289,15 +289,12 @@ mod tests {
                 T::Node(a, b) => 1 + size(a) + size(b),
             }
         }
-        let s = (0u8..5).prop_map(T::Leaf).boxed().prop_recursive(
-            3,
-            16,
-            2,
-            |inner| {
-                (inner.clone(), inner)
-                    .prop_map(|(a, b)| T::Node(Box::new(a), Box::new(b)))
-            },
-        );
+        let s = (0u8..5)
+            .prop_map(T::Leaf)
+            .boxed()
+            .prop_recursive(3, 16, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| T::Node(Box::new(a), Box::new(b)))
+            });
         let mut rng = TestRng::seeded(3);
         for _ in 0..200 {
             // depth 3 with binary branching bounds the size

@@ -31,7 +31,10 @@ pub trait Rng: RngCore {
     where
         Self: Sized,
     {
-        debug_assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range");
+        debug_assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
         // 53 high-quality mantissa bits → uniform in [0, 1)
         let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
         unit < p

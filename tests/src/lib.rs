@@ -3,8 +3,8 @@
 
 use txlog::engine::{Env, Model, ModelBuilder};
 use txlog::logic::FTerm;
-use txlog::relational::DbState;
 use txlog::prelude::TxResult;
+use txlog::relational::DbState;
 
 /// Build a linear evolution graph by executing `steps` from `initial`,
 /// with reflexive and transitive closure applied.

@@ -128,7 +128,10 @@ fn condition_linkage_holds() {
         ]),
         FTerm::rel("EMP"),
     );
-    let a = FTerm::insert(FTerm::TupleCons(vec![FTerm::str("zed"), FTerm::nat(9)]), "SKILL");
+    let a = FTerm::insert(
+        FTerm::TupleCons(vec![FTerm::str("zed"), FTerm::nat(9)]),
+        "SKILL",
+    );
     let b = FTerm::Identity;
     let ax = axioms::condition_linkage(p, a, b);
     assert!(
@@ -154,7 +157,9 @@ fn whole_theory_is_valid_in_a_small_model() {
     let (db, _) = db
         .insert_fields(rid, &[Atom::nat(1), Atom::nat(2)])
         .expect("insert applies");
-    let (db, _) = db.insert_fields(sid, &[Atom::nat(3)]).expect("insert applies");
+    let (db, _) = db
+        .insert_fields(sid, &[Atom::nat(3)])
+        .expect("insert applies");
     let mut b = ModelBuilder::new(schema);
     let s0 = b.add_state(db);
     let bump = txlog::logic::parse_fterm(
@@ -163,7 +168,8 @@ fn whole_theory_is_valid_in_a_small_model() {
         &[],
     )
     .expect("transaction parses");
-    b.apply(s0, "bump", &bump, &Env::new()).expect("bump executes");
+    b.apply(s0, "bump", &bump, &Env::new())
+        .expect("bump executes");
     b.reflexive_close();
     b.transitive_close();
     let model = b.finish();

@@ -5,9 +5,7 @@
 
 use txlog::empdb::constraints as ic;
 use txlog::empdb::parse_ctx;
-use txlog::logic::{
-    check_sformula, parse_sformula, sort_of_fterm, Signature, SFormula, Sort,
-};
+use txlog::logic::{check_sformula, parse_sformula, sort_of_fterm, SFormula, Signature, Sort};
 
 fn corpus() -> Vec<(&'static str, SFormula)> {
     let mut v = ic::example1_all();
@@ -100,9 +98,8 @@ fn spec_roundtrips() {
     // the spec has free parameters p, v — provide them on re-parse
     let p = txlog::logic::Var::tup_f("p", 2);
     let v = txlog::logic::Var::atom_f("v");
-    let reparsed =
-        txlog::logic::parse_sformula_with_params(&printed, &parse_ctx(), &[p, v])
-            .unwrap_or_else(|e| panic!("spec fails to re-parse: {e}\n{printed}"));
+    let reparsed = txlog::logic::parse_sformula_with_params(&printed, &parse_ctx(), &[p, v])
+        .unwrap_or_else(|e| panic!("spec fails to re-parse: {e}\n{printed}"));
     assert_eq!(reparsed.to_string(), printed);
 }
 
@@ -111,9 +108,8 @@ fn axioms_roundtrip() {
     use txlog::logic::axioms;
     for ax in axioms::theory(&[("EMP", 5), ("SKILL", 2)]) {
         let printed = ax.formula.to_string();
-        let reparsed = parse_sformula(&printed, &parse_ctx()).unwrap_or_else(|e| {
-            panic!("axiom {} fails to re-parse: {e}\n{printed}", ax.name)
-        });
+        let reparsed = parse_sformula(&printed, &parse_ctx())
+            .unwrap_or_else(|e| panic!("axiom {} fails to re-parse: {e}\n{printed}", ax.name));
         assert_eq!(
             reparsed.to_string(),
             printed,

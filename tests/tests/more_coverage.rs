@@ -50,21 +50,13 @@ fn temporal_atoms_with_environment() {
 #[test]
 fn tableau_resolves_holds_atoms() {
     let ctx = ParseCtx::with_relations(&["R"]);
-    let a1 = parse_sformula(
-        "forall w: state . w::(tuple(1) in R)",
-        &ctx,
-    )
-    .expect("parses");
+    let a1 = parse_sformula("forall w: state . w::(tuple(1) in R)", &ctx).expect("parses");
     let a2 = parse_sformula(
         "forall w: state . w::(tuple(1) in R) -> w::(tuple(2) in R)",
         &ctx,
     )
     .expect("parses");
-    let goal = parse_sformula(
-        "forall w: state . w::(tuple(2) in R)",
-        &ctx,
-    )
-    .expect("parses");
+    let goal = parse_sformula("forall w: state . w::(tuple(2) in R)", &ctx).expect("parses");
     let proof = entails(&[a1, a2], &goal).expect("proof closes");
     assert!(proof.steps >= 1);
 }
@@ -75,15 +67,17 @@ fn tableau_resolves_holds_atoms() {
 fn holds_is_rigid_in_its_formula() {
     let ctx = ParseCtx::with_relations(&["R"]);
     let a = parse_sformula("forall w: state . w::(tuple(1) in R)", &ctx).expect("parses");
-    let goal =
-        parse_sformula("forall w: state . w::(tuple(2) in R)", &ctx).expect("parses");
+    let goal = parse_sformula("forall w: state . w::(tuple(2) in R)", &ctx).expect("parses");
     let mut tab = Tableau::new(Limits {
         max_steps: 100,
         max_rows: 50,
     });
     tab.assert(&a).expect("normalizes");
     tab.goal(&goal).expect("normalizes");
-    assert!(tab.prove().is_err(), "distinct fluent formulas must not unify");
+    assert!(
+        tab.prove().is_err(),
+        "distinct fluent formulas must not unify"
+    );
 }
 
 /// Synthetic histories via `push_state` behave like executed ones.
@@ -123,10 +117,7 @@ fn history_step_with_env_params() {
     let mut h = History::new(schema, db1.clone());
     let x = Var::tup_f("x", 1);
     let tx = FTerm::delete(FTerm::var(x), "R");
-    let env = Env::new().bind_tuple(
-        x,
-        TupleVal::identified(id, vec![Atom::nat(5)]),
-    );
+    let env = Env::new().bind_tuple(x, TupleVal::identified(id, vec![Atom::nat(5)]));
     h.step("drop-x", &tx, &env).expect("step executes");
     assert!(h.latest().relation(rid).expect("R in state").is_empty());
 }

@@ -23,7 +23,10 @@ fn full_lifecycle() {
     // 1. enforcement over a legal evolution
     let mut history = History::new(schema.clone(), db);
     let steps: Vec<(&str, txlog::logic::FTerm)> = vec![
-        ("hire-om", tx::hire("om", "dept-1", 480, 27, "S", "proj-1", 70)),
+        (
+            "hire-om",
+            tx::hire("om", "dept-1", 480, 27, "S", "proj-1", 70),
+        ),
         ("skill", tx::obtain_skill("om", 4)),
         ("raise", tx::raise_salary("om", 60)),
         ("marry", tx::marry("om").seq(tx::birthday("om"))),
@@ -72,8 +75,8 @@ fn full_lifecycle() {
     // 3. synthesized cancel-project keeps the static ICs
     let (spec, p, v) = txlog::empdb::spec::cancel_project_spec();
     let statics: Vec<_> = ic::example1_all().into_iter().map(|(_, f)| f).collect();
-    let synth = txlog::synthesis::synthesize(&schema, &spec, &statics, "E")
-        .expect("synthesis succeeds");
+    let synth =
+        txlog::synthesis::synthesize(&schema, &spec, &statics, "E").expect("synthesis succeeds");
     let proj = schema.rel_id("PROJ").expect("PROJ exists");
     let target: TupleVal = history
         .latest()
@@ -106,15 +109,11 @@ fn complexity_profile_of_the_paper_ic_set() {
     let skill = ic::ic3_skill_retention();
     let marital = ic::ic2_marital_transaction();
     let salary = ic::ic3_salary_needs_dept_switch();
-    let p = profile(
-        e1.iter()
-            .map(|(n, f)| (*n, f, Hints::default()))
-            .chain([
-                ("skill", &skill, ic::ic3_skill_hints()),
-                ("marital", &marital, ic::ic2_hints()),
-                ("salary-dept", &salary, ic::ic3_salary_hints()),
-            ]),
-    );
+    let p = profile(e1.iter().map(|(n, f)| (*n, f, Hints::default())).chain([
+        ("skill", &skill, ic::ic3_skill_hints()),
+        ("marital", &marital, ic::ic2_hints()),
+        ("salary-dept", &salary, ic::ic3_salary_hints()),
+    ]));
     assert_eq!(p.total, Complexity::Bounded(3));
     let widest = p
         .members
@@ -159,14 +158,11 @@ fn section2_nonexecutable_program() {
         txlog::logic::FTerm::attr("salary", txlog::logic::FTerm::var(e))
             .add(txlog::logic::FTerm::nat(100)),
     ));
-    let salary_after = STerm::attr(
-        "salary",
-        future.eval_obj(txlog::logic::FTerm::var(e)),
-    );
+    let salary_after = STerm::attr("salary", future.eval_obj(txlog::logic::FTerm::var(e)));
     // This is a perfectly good s-term for specification…
     assert!(salary_after.to_string().contains(";modify"));
     // …and the executable version runs:
-    let engine = Engine::new(&schema);
+    let engine = Engine::new(&schema).unwrap();
     let db = schema.initial_state();
     let emp = schema.rel_id("EMP").expect("EMP exists");
     let (db, id) = db
@@ -204,8 +200,8 @@ fn fire_encoding_end_to_end() {
         .step("fire", &enc.rewrite(&tx::fire("pat")), &env)
         .expect("fire executes");
     // statically checkable from here on
-    let checker = WindowedChecker::new(enc.static_constraint(), Window::States(1))
-        .expect("window accepted");
+    let checker =
+        WindowedChecker::new(enc.static_constraint(), Window::States(1)).expect("window accepted");
     assert!(checker.check_now(&history).expect("check evaluates"));
     assert_eq!(
         checkability(&enc.static_constraint(), Hints::default()),

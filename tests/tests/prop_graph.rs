@@ -7,9 +7,14 @@ use txlog::base::{Atom, RelId};
 use txlog::relational::{DbState, EvolutionGraph, TxLabel};
 
 fn state_with(ns: &[u64]) -> DbState {
-    let mut db = DbState::new().with_relation(RelId(0), 1).expect("schema ok");
+    let mut db = DbState::new()
+        .with_relation(RelId(0), 1)
+        .expect("schema ok");
     for &n in ns {
-        db = db.insert_fields(RelId(0), &[Atom::nat(n)]).expect("insert").0;
+        db = db
+            .insert_fields(RelId(0), &[Atom::nat(n)])
+            .expect("insert")
+            .0;
     }
     db
 }
@@ -27,7 +32,10 @@ fn build(
     arcs: &[(usize, usize)],
 ) -> (EvolutionGraph, Vec<txlog::base::StateId>) {
     let mut g = EvolutionGraph::new();
-    let nodes: Vec<_> = payloads.iter().map(|p| g.add_state(state_with(p))).collect();
+    let nodes: Vec<_> = payloads
+        .iter()
+        .map(|p| g.add_state(state_with(p)))
+        .collect();
     for (i, &(a, b)) in arcs.iter().enumerate() {
         let src = nodes[a % nodes.len()];
         let dst = nodes[b % nodes.len()];

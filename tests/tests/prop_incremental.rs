@@ -156,7 +156,7 @@ proptest! {
         ).unwrap();
         let full = WindowedChecker::new(constraint, window).unwrap();
         let mut history = History::new(schema.clone(), db.clone());
-        let engine = Engine::new(&schema);
+        let engine = Engine::new(&schema).unwrap();
         let env = Env::new();
         let mut cur = db;
         for (i, &(kind, param)) in steps.iter().enumerate() {

@@ -3,9 +3,7 @@
 
 use proptest::prelude::*;
 use std::collections::HashSet;
-use txlog::logic::subst::{
-    fterm_free_vars, subst_fterm, subst_sformula, FSubst, SSubst,
-};
+use txlog::logic::subst::{fterm_free_vars, subst_fterm, subst_sformula, FSubst, SSubst};
 use txlog::logic::unify::{apply, unify_sterms};
 use txlog::logic::{parse_fterm, FFormula, FTerm, ParseCtx, SFormula, STerm, Var};
 
@@ -115,15 +113,15 @@ fn sterm_strategy() -> impl Strategy<Value = STerm> {
     ];
     leaf.prop_recursive(3, 16, 2, |inner| {
         prop_oneof![
-            inner.clone().prop_map(|t| STerm::Attr(
-                txlog::base::Symbol::new("a"),
-                Box::new(t)
-            )),
+            inner
+                .clone()
+                .prop_map(|t| STerm::Attr(txlog::base::Symbol::new("a"), Box::new(t))),
             prop::collection::vec(inner.clone(), 1..3).prop_map(STerm::TupleCons),
             inner.prop_map(|t| STerm::EvalObj(
                 Box::new(STerm::var(Var::state("w1"))),
                 Box::new(FTerm::rel("R"))
-            ).add(t)),
+            )
+            .add(t)),
         ]
     })
 }
