@@ -15,6 +15,9 @@
 //!   across `modify` is what makes frame reasoning possible.
 //! * [`TxError`] — the error vocabulary for evaluation, parsing,
 //!   classification, proving, and synthesis.
+//! * [`Metrics`] — the engine-wide observability handle (counters,
+//!   histograms-lite, nested timed spans) threaded through the
+//!   evaluator, plan interpreter, and constraint checkers.
 //!
 //! Nothing here knows about terms, formulas, or states; those live in
 //! `txlog-logic` and `txlog-relational`.
@@ -24,9 +27,11 @@
 pub mod atom;
 pub mod error;
 pub mod ids;
+pub mod obs;
 pub mod symbol;
 
 pub use atom::Atom;
 pub use error::{TxError, TxResult};
 pub use ids::{RelId, StateId, TupleId};
+pub use obs::{Counter, Hist, HistValue, Metrics, Snapshot, SpanValue};
 pub use symbol::Symbol;

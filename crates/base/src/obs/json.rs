@@ -1,0 +1,168 @@
+//! A minimal hand-rolled JSON writer.
+//!
+//! The build environment has no package registry, so serde is
+//! unavailable; snapshot and explain output instead go through this
+//! ~100-line writer. It produces compact (no-whitespace) JSON with
+//! correct comma placement and string escaping, which is all the
+//! deterministic-baseline diff and the explain API need.
+
+/// An append-only JSON buffer. Call the structural methods in document
+/// order; commas are inserted automatically. The caller is responsible
+/// for well-formedness (every `begin_*` matched by its `end_*`, every
+/// object member preceded by [`JsonBuf::key`]).
+#[derive(Default)]
+pub struct JsonBuf {
+    out: String,
+    /// One entry per open container: true once it has a first element.
+    has_elem: Vec<bool>,
+    /// True immediately after a key, suppressing the comma before its value.
+    after_key: bool,
+}
+
+impl JsonBuf {
+    /// An empty buffer.
+    pub fn new() -> JsonBuf {
+        JsonBuf::default()
+    }
+
+    fn pre_value(&mut self) {
+        if self.after_key {
+            self.after_key = false;
+            return;
+        }
+        if let Some(has) = self.has_elem.last_mut() {
+            if *has {
+                self.out.push(',');
+            }
+            *has = true;
+        }
+    }
+
+    /// Open an object (`{`).
+    pub fn begin_obj(&mut self) {
+        self.pre_value();
+        self.out.push('{');
+        self.has_elem.push(false);
+    }
+
+    /// Close the innermost object (`}`).
+    pub fn end_obj(&mut self) {
+        self.has_elem.pop();
+        self.out.push('}');
+    }
+
+    /// Open an array (`[`).
+    pub fn begin_arr(&mut self) {
+        self.pre_value();
+        self.out.push('[');
+        self.has_elem.push(false);
+    }
+
+    /// Close the innermost array (`]`).
+    pub fn end_arr(&mut self) {
+        self.has_elem.pop();
+        self.out.push(']');
+    }
+
+    /// Write an object member key; the next call writes its value.
+    pub fn key(&mut self, k: &str) {
+        self.pre_value();
+        self.write_escaped(k);
+        self.out.push(':');
+        self.after_key = true;
+    }
+
+    /// Write a string value.
+    pub fn string(&mut self, s: &str) {
+        self.pre_value();
+        self.write_escaped(s);
+    }
+
+    /// Write an unsigned integer value.
+    pub fn num(&mut self, n: u64) {
+        self.pre_value();
+        self.out.push_str(itoa(n).as_str());
+    }
+
+    /// Write a boolean value.
+    pub fn boolean(&mut self, b: bool) {
+        self.pre_value();
+        self.out.push_str(if b { "true" } else { "false" });
+    }
+
+    /// Consume the buffer and return the JSON text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    fn write_escaped(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+}
+
+fn itoa(n: u64) -> String {
+    n.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commas_and_nesting() {
+        let mut j = JsonBuf::new();
+        j.begin_obj();
+        j.key("a");
+        j.num(1);
+        j.key("b");
+        j.begin_arr();
+        j.num(2);
+        j.string("x");
+        j.begin_obj();
+        j.end_obj();
+        j.end_arr();
+        j.key("c");
+        j.boolean(true);
+        j.end_obj();
+        assert_eq!(j.finish(), r#"{"a":1,"b":[2,"x",{}],"c":true}"#);
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let mut j = JsonBuf::new();
+        j.begin_obj();
+        j.key("quote\"back\\slash");
+        j.string("line\nbreak\ttab\u{1}");
+        j.end_obj();
+        assert_eq!(
+            j.finish(),
+            "{\"quote\\\"back\\\\slash\":\"line\\nbreak\\ttab\\u0001\"}"
+        );
+    }
+
+    #[test]
+    fn empty_containers() {
+        let mut j = JsonBuf::new();
+        j.begin_arr();
+        j.begin_obj();
+        j.end_obj();
+        j.begin_arr();
+        j.end_arr();
+        j.end_arr();
+        assert_eq!(j.finish(), "[{},[]]");
+    }
+}

@@ -19,6 +19,7 @@ use txlog::empdb::transactions::obtain_skill;
 use txlog::empdb::{parse_ctx, populate, Sizes};
 use txlog::engine::Env;
 use txlog::logic::{parse_sformula, SFormula};
+use txlog::prelude::{Counter, Hist};
 
 const SIZES: [usize; 3] = [10, 100, 400];
 
@@ -94,6 +95,16 @@ fn bench_check(c: &mut Criterion) {
                 b.iter(|| inc.check_now().expect("checks"))
             });
             assert!(inc.stats().reused > 0, "cache must be exercised");
+            // the cache behaviour behind the timing gap
+            let m = inc.metrics();
+            eprintln!(
+                "b7_check/{kind}/{n}: reused={} recomputed={} \
+                 fingerprint_compares={} window_states={:?}",
+                m.get(Counter::CacheReused),
+                m.get(Counter::CacheRecomputed),
+                m.get(Counter::FingerprintCompares),
+                m.hist(Hist::WindowStates),
+            );
         }
     }
     group.finish();

@@ -1,0 +1,82 @@
+//! `metrics-snapshot` — the CI metrics-baseline gate.
+//!
+//! Runs the deterministic snapshot workload (E1–E8 plus targeted plan
+//! and cache exercises, see `txlog_bench::snapshot`) and emits the
+//! resulting counters as JSON. Timings are never included: the gate
+//! diffs *work done* (rows scanned, probes taken, cache hits), which is
+//! exact and machine-independent, not wall-clock, which is neither.
+//!
+//! Usage:
+//!
+//! ```text
+//! metrics-snapshot                      print the snapshot JSON to stdout
+//! metrics-snapshot --check PATH         exit 1 unless PATH matches exactly
+//! metrics-snapshot --bless PATH         overwrite PATH with the snapshot
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let current = txlog_bench::snapshot::collect().to_json_pretty(false) + "\n";
+    match args.as_slice() {
+        [] => {
+            print!("{current}");
+            ExitCode::SUCCESS
+        }
+        [flag, path] if flag == "--bless" => match std::fs::write(path, &current) {
+            Ok(()) => {
+                eprintln!("blessed {path}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: cannot write {path}: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        [flag, path] if flag == "--check" => {
+            let baseline = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot read baseline {path}: {e}");
+                    eprintln!("hint: create it with `metrics-snapshot --bless {path}`");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if baseline == current {
+                eprintln!("metrics match {path}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("metrics drift against {path}:");
+            for (b, c) in diff_lines(&baseline, &current) {
+                eprintln!("  - {b}\n  + {c}");
+            }
+            eprintln!(
+                "if the new work profile is intended, re-bless with \
+                 `cargo run --release -p txlog-bench --bin metrics-snapshot \
+                 -- --bless {path}`"
+            );
+            ExitCode::FAILURE
+        }
+        _ => {
+            eprintln!("usage: metrics-snapshot [--check PATH | --bless PATH]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Pair up unequal lines (the JSON is one `"name": value` entry per
+/// line, so a positional line diff names exactly the drifted counters).
+fn diff_lines<'a>(baseline: &'a str, current: &'a str) -> Vec<(&'a str, &'a str)> {
+    let b: Vec<&str> = baseline.lines().collect();
+    let c: Vec<&str> = current.lines().collect();
+    let mut out = Vec::new();
+    for i in 0..b.len().max(c.len()) {
+        let bl = b.get(i).copied().unwrap_or("<missing>");
+        let cl = c.get(i).copied().unwrap_or("<missing>");
+        if bl != cl {
+            out.push((bl, cl));
+        }
+    }
+    out
+}

@@ -110,6 +110,7 @@ pub fn run() -> Report {
     // …while the complete model is violated
     let full = h
         .full_model()
+        .expect("linear history models")
         .check(&ic4_never_rehire())
         .expect("check evaluates");
     claims.push(Claim::new(

@@ -16,6 +16,7 @@ pub mod e5_cancel;
 pub mod e6_synthesis;
 pub mod e7_temporal;
 pub mod e8_extensions;
+pub mod snapshot;
 
 /// One checked claim: the paper's statement and what we measured.
 #[derive(Clone, Debug)]

@@ -1,0 +1,133 @@
+//! Deterministic metrics snapshots for the CI baseline gate.
+//!
+//! [`collect`] installs a process-global metrics registry, runs a fixed,
+//! fully seeded workload — the E1–E8 experiments plus two targeted
+//! exercises of the plan interpreter and the incremental checker — and
+//! returns the accumulated [`Snapshot`]. Everything the workload does is
+//! deterministic (seeded population, `BTreeMap` enumeration order, fixed
+//! catalog serialization order), so the counters-only JSON form of the
+//! snapshot is byte-identical across runs on the same commit. CI diffs
+//! it against `baselines/metrics.json`: a drift means the engine is
+//! doing *different work* than it did at the blessed commit — more
+//! scans, fewer cache hits — which is exactly the class of regression
+//! wall-clock benches are too noisy to gate on.
+
+use txlog::constraints::{IncrementalChecker, Window};
+use txlog::engine::{Engine, Env, EvalOptions, PlanMode};
+use txlog::logic::{parse_fformula, parse_fterm, parse_sformula};
+use txlog::prelude::{Metrics, Snapshot};
+
+/// Run the fixed snapshot workload and return the recorded metrics.
+///
+/// Installs (and on exit uninstalls) the process-global recorder, so
+/// engines created deep inside the experiments report into the same
+/// registry as the explicitly threaded exercises.
+pub fn collect() -> Snapshot {
+    let metrics = Metrics::enabled();
+    metrics.install_global();
+    for report in crate::run_all() {
+        assert!(
+            report.all_agree(),
+            "snapshot workload requires experiments to agree: {}",
+            report.render()
+        );
+    }
+    plan_exercise(&metrics);
+    cache_exercise(&metrics);
+    let snap = metrics.snapshot();
+    Metrics::disabled().install_global();
+    snap
+}
+
+/// The b8 join constraint — "every employee is allocated to some
+/// project" — whose inner existential compiles to an `a-emp` index
+/// probe. Evaluated naively at 100 employees (to exercise the oracle
+/// counters) and indexed at 400 (where probes must dominate scans).
+fn plan_exercise(metrics: &Metrics) {
+    let ctx = txlog::empdb::parse_ctx();
+    let every_emp_allocated = parse_fformula(
+        "forall e: 5tup . e in EMP ->
+           (exists a: 3tup . a in ALLOC & a-emp(a) = e-name(e))",
+        &ctx,
+        &[],
+    )
+    .expect("constraint parses");
+    let raise_dept = parse_fterm(
+        "foreach e: 5tup | e in EMP & e-dept(e) = 'dept-0' do \
+           modify(e, salary, salary(e) + 1) end",
+        &ctx,
+        &[],
+    )
+    .expect("transaction parses");
+    let env = Env::new();
+    for (n, mode) in [(100usize, PlanMode::Naive), (400, PlanMode::Indexed)] {
+        let (schema, db) =
+            txlog::empdb::populate(txlog::empdb::Sizes::scaled(n), 4).expect("population");
+        let engine = Engine::with_options(
+            &schema,
+            EvalOptions {
+                planner: mode,
+                ..Default::default()
+            },
+        )
+        .expect("schema builds")
+        .with_metrics(metrics.clone());
+        assert!(
+            engine
+                .eval_truth(&db, &every_emp_allocated, &env)
+                .expect("evaluates"),
+            "seeded population allocates every employee"
+        );
+        engine.execute(&db, &raise_dept, &env).expect("executes");
+    }
+}
+
+/// A six-step incremental-checking run whose read-set-disjoint noise
+/// steps repeat the window key, so the verdict cache demonstrably fires
+/// (`cache_reused > 0` in the baseline).
+fn cache_exercise(metrics: &Metrics) {
+    use txlog::prelude::Schema;
+    let schema = Schema::new()
+        .relation("WORKERS", &["w-name", "wage"])
+        .expect("relation")
+        .relation("AUDIT", &["a-entry"])
+        .expect("relation");
+    let ctx = txlog::logic::ParseCtx::with_relations(&["WORKERS", "AUDIT"]);
+    let constraint = parse_sformula(
+        "forall s: state, t: tx, e: 2tup .
+           (s:e in s:WORKERS & (s;t):e in (s;t):WORKERS)
+             -> wage(s:e) <= wage((s;t):e)",
+        &ctx,
+    )
+    .expect("constraint parses");
+    let db = schema.initial_state();
+    let workers = schema.rel_id("WORKERS").expect("relation id");
+    let (db, _) = db
+        .insert_fields(
+            workers,
+            &[
+                txlog::prelude::Atom::str("ann"),
+                txlog::prelude::Atom::nat(500),
+            ],
+        )
+        .expect("insert");
+    let mut checker = IncrementalChecker::new(schema, db, constraint, Window::States(2))
+        .expect("checker builds")
+        .with_metrics(metrics.clone());
+    let noise = parse_fterm("insert(tuple('noise'), AUDIT)", &ctx, &[]).expect("parses");
+    let raise = parse_fterm(
+        "foreach e: 2tup | e in WORKERS do modify(e, wage, wage(e) + 100) end",
+        &ctx,
+        &[],
+    )
+    .expect("parses");
+    let env = Env::new();
+    checker.step("raise", &raise, &env).expect("step checks");
+    for _ in 0..5 {
+        checker.step("noise", &noise, &env).expect("step checks");
+    }
+    assert!(
+        checker.stats().reused > 0,
+        "noise steps must hit the verdict cache"
+    );
+}

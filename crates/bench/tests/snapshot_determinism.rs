@@ -1,0 +1,34 @@
+//! The snapshot workload must be deterministic: the committed metrics
+//! baseline is only a usable CI gate if the same commit always produces
+//! the same counters.
+//!
+//! This file deliberately contains a single test. `collect()` installs a
+//! process-global metrics registry, and any concurrently running test
+//! that builds an `Engine` would report into it and perturb the counts;
+//! an integration-test binary with one test has no concurrent neighbors.
+
+#[test]
+fn snapshot_workload_is_deterministic() {
+    let first = txlog_bench::snapshot::collect();
+    let second = txlog_bench::snapshot::collect();
+    assert_eq!(
+        first.to_json(false),
+        second.to_json(false),
+        "two runs of the snapshot workload must produce identical counters"
+    );
+
+    // Sanity of the profile the CI baseline gates on: the indexed pass
+    // of the b8 join constraint must actually take the probe path, and
+    // the cache exercise must actually hit.
+    assert!(first.counter("probe_rows") > 0, "index probes ran");
+    assert!(first.counter("cache_reused") > 0, "verdict cache hit");
+    assert!(
+        first.counter("assignments_emitted")
+            <= first.counter("scan_rows")
+                + first.counter("probe_rows")
+                + first.counter("active_rows")
+                + first.counter("atom_rows")
+                + first.counter("naive_rows"),
+        "every emitted assignment was enumerated from some source"
+    );
+}

@@ -18,6 +18,7 @@
 
 use crate::window::{History, Window, WindowedChecker};
 use std::collections::{HashMap, HashSet};
+use txlog_base::obs::{Counter, Metrics};
 use txlog_base::{TxError, TxResult};
 use txlog_logic::SFormula;
 
@@ -105,6 +106,9 @@ impl AssistedChecker {
     ) -> TxResult<bool> {
         if registry.certified(last_label, &self.name) {
             self.stats.skipped_by_proof += 1;
+            // Also visible in the engine-wide metrics layer (the
+            // matching model-check counter comes from Model::check).
+            Metrics::current().bump(Counter::ProofSkips);
             return Ok(true);
         }
         self.stats.model_checked += 1;

@@ -39,12 +39,19 @@ use crate::readset::{read_set, ReadSet};
 use crate::window::{History, Window, WindowedChecker};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::hash::{Hash, Hasher};
+use txlog_base::obs::{Counter, Hist, Metrics};
 use txlog_base::{RelId, TupleId, TxResult};
 use txlog_engine::{Engine, Env};
 use txlog_logic::{FTerm, SFormula};
 use txlog_relational::{DbState, Delta, Schema};
 
 /// Counters describing how much work the cache saved.
+///
+/// Since the engine-wide observability layer landed, these are a *view*
+/// over the checker's [`Metrics`] registry ([`Counter::CacheReused`] /
+/// [`Counter::CacheRecomputed`]) rather than separately-maintained
+/// fields — the same numbers surface in metrics snapshots and in
+/// [`IncrementalChecker::stats`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct IncrementalStats {
     /// Checks answered from the verdict cache.
@@ -112,7 +119,7 @@ pub struct IncrementalChecker {
     full_fps: Vec<u128>,
     proj_fps: Vec<u128>,
     cache: HashMap<WindowKey, bool>,
-    stats: IncrementalStats,
+    metrics: Metrics,
 }
 
 impl IncrementalChecker {
@@ -142,6 +149,14 @@ impl IncrementalChecker {
         let rel_fps0 = state_rel_fps(&initial);
         let full0 = combine_fps(&rel_fps0, None);
         let proj0 = combine_fps(&rel_fps0, read_ids.as_ref());
+        // Per-instance recording registry (not the process global): the
+        // stats() view must always work, and clones share it so a cloned
+        // checker keeps accumulating into the same counters.
+        let metrics = Metrics::enabled();
+        let read_rels = read_ids
+            .as_ref()
+            .map_or(schema.decls().len(), BTreeSet::len);
+        metrics.observe(Hist::ReadSetRels, read_rels as u64);
         Ok(IncrementalChecker {
             checker,
             window: k,
@@ -152,8 +167,28 @@ impl IncrementalChecker {
             full_fps: vec![full0],
             proj_fps: vec![proj0],
             cache: HashMap::new(),
-            stats: IncrementalStats::default(),
+            metrics,
         })
+    }
+
+    /// Replace the observability sink — e.g. with a process-global
+    /// registry so this checker's cache counters aggregate with engine
+    /// counters in one snapshot. [`IncrementalChecker::stats`] then
+    /// reads (and resets with) that shared registry. The construction-
+    /// time read-set observation is re-recorded into the new sink.
+    pub fn with_metrics(mut self, metrics: Metrics) -> IncrementalChecker {
+        let read_rels = self
+            .read_ids
+            .as_ref()
+            .map_or(self.history.schema().decls().len(), BTreeSet::len);
+        metrics.observe(Hist::ReadSetRels, read_rels as u64);
+        self.metrics = metrics;
+        self
+    }
+
+    /// The observability sink this checker reports into.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// The constraint being enforced.
@@ -171,15 +206,19 @@ impl IncrementalChecker {
         &self.history
     }
 
-    /// Cache-effectiveness counters.
+    /// Cache-effectiveness counters — a view over the checker's metrics
+    /// registry.
     pub fn stats(&self) -> IncrementalStats {
-        self.stats
+        IncrementalStats {
+            reused: self.metrics.get(Counter::CacheReused) as usize,
+            recomputed: self.metrics.get(Counter::CacheRecomputed) as usize,
+        }
     }
 
     /// Execute `tx` at the latest state, record the step, and check.
     pub fn step(&mut self, label: &str, tx: &FTerm, env: &Env) -> TxResult<bool> {
         let (next, delta) = {
-            let engine = Engine::new(self.history.schema())?;
+            let engine = Engine::new(self.history.schema())?.with_metrics(self.metrics.clone());
             engine.execute_traced(self.history.latest(), tx, env)?
         };
         self.advance(label, next, &delta);
@@ -195,6 +234,8 @@ impl IncrementalChecker {
     }
 
     fn advance(&mut self, label: &str, state: DbState, delta: &Delta) {
+        self.metrics
+            .observe(Hist::DeltaTuples, delta.tuple_changes() as u64);
         let next = update_rel_fps(self.rel_fps.last().expect("never empty"), delta);
         self.full_fps.push(combine_fps(&next, None));
         self.proj_fps
@@ -206,19 +247,21 @@ impl IncrementalChecker {
     /// Check the window at the history's current end, reusing a cached
     /// verdict when the window key matches an earlier successful check.
     pub fn check_now(&mut self) -> TxResult<bool> {
+        self.metrics.bump(Counter::ChecksRequested);
+        let _span = self.metrics.span("incremental_check");
         if self.window == usize::MAX {
             // Complete window: the model is the whole growing history;
             // no later window can repeat an earlier key.
-            self.stats.recomputed += 1;
+            self.metrics.bump(Counter::CacheRecomputed);
             return self.checker.check_now(&self.history);
         }
         let key = self.window_key();
         if let Some(&verdict) = self.cache.get(&key) {
-            self.stats.reused += 1;
+            self.metrics.bump(Counter::CacheReused);
             return Ok(verdict);
         }
         let verdict = self.checker.check_now(&self.history)?;
-        self.stats.recomputed += 1;
+        self.metrics.bump(Counter::CacheRecomputed);
         self.cache.insert(key, verdict);
         Ok(verdict)
     }
@@ -227,11 +270,20 @@ impl IncrementalChecker {
         let len = self.history.len();
         let start = len.saturating_sub(self.window.max(1));
         let fulls = &self.full_fps[start..len];
+        self.metrics.observe(Hist::WindowStates, fulls.len() as u64);
         let mut shape = Vec::with_capacity(fulls.len());
+        let mut compares = 0u64;
         for (i, f) in fulls.iter().enumerate() {
-            let class = fulls[..i].iter().position(|g| g == f).unwrap_or(i) as u32;
+            let class = fulls[..i]
+                .iter()
+                .position(|g| {
+                    compares += 1;
+                    g == f
+                })
+                .unwrap_or(i) as u32;
             shape.push((class, self.proj_fps[start + i]));
         }
+        self.metrics.add(Counter::FingerprintCompares, compares);
         WindowKey {
             shape,
             labels: self.history.labels()[start..len - 1].to_vec(),

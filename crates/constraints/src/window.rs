@@ -23,6 +23,7 @@
 //!   small. Soundness of a *claimed* window is thereby refutable.
 
 use crate::classify::{classify, ConstraintClass};
+use txlog_base::obs::{Hist, Metrics};
 use txlog_base::{TxError, TxResult};
 use txlog_engine::{Env, EvalOptions, Model};
 use txlog_logic::{FTerm, SFormula};
@@ -138,7 +139,10 @@ impl History {
     /// Execute `tx` at the latest state and append the result.
     pub fn step(&mut self, label: &str, tx: &FTerm, env: &Env) -> TxResult<&DbState> {
         let engine = txlog_engine::Engine::new(&self.schema)?;
-        let next = engine.execute(self.latest(), tx, env)?;
+        let (next, delta) = engine.execute_traced(self.latest(), tx, env)?;
+        engine
+            .metrics()
+            .observe(Hist::DeltaTuples, delta.tuple_changes() as u64);
         self.states.push(next);
         self.labels.push(label.to_string());
         Ok(self.latest())
@@ -184,17 +188,17 @@ impl History {
     /// Build a model from the suffix window of the last `k` states (or
     /// fewer, early in the history): the *partial model* a database
     /// system with window `k` maintains.
-    pub fn window_model(&self, k: usize) -> Model {
+    pub fn window_model(&self, k: usize) -> TxResult<Model> {
         let start = self.states.len().saturating_sub(k.max(1));
         self.model_of_range(start, self.states.len())
     }
 
     /// Build the complete model of the history.
-    pub fn full_model(&self) -> Model {
+    pub fn full_model(&self) -> TxResult<Model> {
         self.model_of_range(0, self.states.len())
     }
 
-    fn model_of_range(&self, start: usize, end: usize) -> Model {
+    fn model_of_range(&self, start: usize, end: usize) -> TxResult<Model> {
         let mut graph = EvolutionGraph::new();
         let mut prev = None;
         for i in start..end {
@@ -202,9 +206,17 @@ impl History {
             if let Some(prev_id) = prev {
                 if prev_id != id {
                     let label = TxLabel::new(&self.labels[i - 1]);
-                    graph
-                        .add_arc(prev_id, label, id)
-                        .expect("linear history arcs are consistent");
+                    // Content-deduped states can make a repeated label
+                    // lead to two different successors (an up/down cycle
+                    // stepped with the same label twice): that history
+                    // has no deterministic evolution graph, which is a
+                    // reportable property of the input, not a panic.
+                    graph.add_arc(prev_id, label, id).map_err(|e| {
+                        TxError::eval(format!(
+                            "history step {i} ({}) cannot be modeled: {e}",
+                            self.labels[i - 1]
+                        ))
+                    })?;
                 } else {
                     // a no-op step: record the arc as an identity-like
                     // transition under its own label
@@ -219,7 +231,7 @@ impl History {
         // falsify ≠-style constraints (salary(s:e) ≠ salary(s;Λ:e) is
         // never true), which is plainly not the paper's reading.
         graph.transitive_close();
-        Model::new(self.schema.clone(), graph).with_options(EvalOptions::default())
+        Ok(Model::new(self.schema.clone(), graph).with_options(EvalOptions::default()))
     }
 }
 
@@ -264,10 +276,12 @@ impl WindowedChecker {
 
     /// Check the window model at the history's current end.
     pub fn check_now(&self, history: &History) -> TxResult<bool> {
+        let metrics = Metrics::current();
+        let _span = metrics.span("window_check");
         let model = if self.window == usize::MAX {
-            history.full_model()
+            history.full_model()?
         } else {
-            history.window_model(self.window)
+            history.window_model(self.window)?
         };
         model.check(&self.constraint)
     }
@@ -288,7 +302,7 @@ impl WindowedChecker {
             }
             per_step.push(self.check_now(&prefix)?);
         }
-        let global = history.full_model().check(&self.constraint)?;
+        let global = history.full_model()?.check(&self.constraint)?;
         Ok(HistoryOutcome { per_step, global })
     }
 }

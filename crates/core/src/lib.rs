@@ -63,14 +63,15 @@ pub use txlog_temporal as temporal;
 
 /// One-stop imports for typical use.
 pub mod prelude {
+    pub use txlog_base::obs::{Counter, Hist, HistValue, Metrics, Snapshot, SpanValue};
     pub use txlog_base::{Atom, RelId, StateId, Symbol, TupleId, TxError, TxResult};
     pub use txlog_constraints::{
         checkability, classify, read_set, ConstraintClass, Hints, History, IncrementalChecker,
         IncrementalStats, NeverReinsertEncoding, ReadSet, Window, WindowedChecker,
     };
     pub use txlog_engine::{
-        check_program, Binding, Engine, Env, EvalOptions, Model, ModelBuilder, ProgramKind, SetVal,
-        StateVal, Value,
+        check_program, Binding, Engine, Env, EvalOptions, Explain, Model, ModelBuilder,
+        ProgramKind, SetVal, SourceKind, StateVal, Value,
     };
     pub use txlog_logic::{
         parse_fformula, parse_fterm, parse_sformula, parse_sformula_with_params, CmpOp, FFormula,

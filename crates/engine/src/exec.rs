@@ -28,6 +28,7 @@
 use crate::env::{Binding, Env};
 use crate::value::{SetVal, Value};
 use std::collections::HashMap;
+use txlog_base::obs::{Counter, Hist, Metrics};
 use txlog_base::{Atom, Symbol, TxError, TxResult};
 use txlog_logic::plan::{find_membership_rel, GuardMode};
 use txlog_logic::{CmpOp, FFormula, FTerm, ObjSort, Op, Signature, Sort, Var, VarClass};
@@ -81,6 +82,9 @@ pub struct Engine<'a> {
     /// The schema as a sort-checking signature, reused by the planner
     /// and for deriving empty set-former arities.
     pub(crate) sig: Signature,
+    /// Observability sink; disabled (one branch per event) unless a
+    /// recorder was installed globally or threaded in explicitly.
+    pub(crate) metrics: Metrics,
 }
 
 impl<'a> Engine<'a> {
@@ -116,7 +120,21 @@ impl<'a> Engine<'a> {
             opts,
             attrs,
             sig,
+            metrics: Metrics::current(),
         })
+    }
+
+    /// Replace the observability sink. Engines default to the
+    /// process-global recorder (disabled unless one is installed); use
+    /// this to thread a local registry deterministically.
+    pub fn with_metrics(mut self, metrics: Metrics) -> Engine<'a> {
+        self.metrics = metrics;
+        self
+    }
+
+    /// The observability sink this engine reports into.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// The schema this engine evaluates against.
@@ -217,10 +235,22 @@ impl<'a> Engine<'a> {
     }
 
     fn eval_op(&self, db: &DbState, op: Op, args: &[FTerm], env: &Env) -> TxResult<Value> {
+        // Malformed applications (programmatically-built terms with the
+        // wrong argument count) must surface as typed sort errors, not
+        // slice-index panics.
+        let arg = |i: usize| -> TxResult<&FTerm> {
+            args.get(i).ok_or_else(|| {
+                TxError::sort(format!(
+                    "operator {op} applied to {} argument(s); argument {} is missing",
+                    args.len(),
+                    i + 1
+                ))
+            })
+        };
         match op {
             Op::Add | Op::Monus | Op::Mul | Op::Max | Op::Min => {
-                let a = self.eval_obj(db, &args[0], env)?.into_atom()?;
-                let b = self.eval_obj(db, &args[1], env)?.into_atom()?;
+                let a = self.eval_obj(db, arg(0)?, env)?.into_atom()?;
+                let b = self.eval_obj(db, arg(1)?, env)?.into_atom()?;
                 let r = match op {
                     Op::Add => a.add(b)?,
                     Op::Monus => a.monus(b)?,
@@ -232,16 +262,16 @@ impl<'a> Engine<'a> {
                 Ok(Value::Atom(r))
             }
             Op::Sum => {
-                let s = self.eval_obj(db, &args[0], env)?.into_set()?;
+                let s = self.eval_obj(db, arg(0)?, env)?.into_set()?;
                 Ok(Value::Atom(s.sum()?))
             }
             Op::Size => {
-                let s = self.eval_obj(db, &args[0], env)?.into_set()?;
+                let s = self.eval_obj(db, arg(0)?, env)?.into_set()?;
                 Ok(Value::Atom(Atom::Nat(s.len() as u64)))
             }
             Op::Union | Op::Inter | Op::Diff | Op::Product => {
-                let a = self.eval_obj(db, &args[0], env)?.into_set()?;
-                let b = self.eval_obj(db, &args[1], env)?.into_set()?;
+                let a = self.eval_obj(db, arg(0)?, env)?.into_set()?;
+                let b = self.eval_obj(db, arg(1)?, env)?.into_set()?;
                 let r = match op {
                     Op::Union => a.union(&b)?,
                     Op::Inter => a.inter(&b)?,
@@ -469,22 +499,29 @@ impl<'a> Engine<'a> {
     /// composes one delta per iteration. The delta always equals
     /// `db.diff(&result)`; [`Engine::execute`] is a wrapper dropping it.
     pub fn execute_traced(&self, db: &DbState, t: &FTerm, env: &Env) -> TxResult<(DbState, Delta)> {
+        self.metrics.bump(Counter::ExecSteps);
         match t {
             FTerm::Identity => Ok((db.clone(), Delta::empty())),
             FTerm::Seq(a, b) => {
+                self.metrics.bump(Counter::ExecSeq);
                 let (mid, d1) = self.execute_traced(db, a, env)?;
                 let (end, d2) = self.execute_traced(&mid, b, env)?;
                 Ok((end, d1.compose(&d2)))
             }
             FTerm::Cond(p, a, b) => {
+                self.metrics.bump(Counter::ExecCond);
                 if self.eval_truth(db, p, env)? {
                     self.execute_traced(db, a, env)
                 } else {
                     self.execute_traced(db, b, env)
                 }
             }
-            FTerm::Foreach(v, p, body) => self.execute_foreach_traced(db, *v, p, body, env),
+            FTerm::Foreach(v, p, body) => {
+                self.metrics.bump(Counter::ExecForeach);
+                self.execute_foreach_traced(db, *v, p, body, env)
+            }
             FTerm::Insert(tup, rel) => {
+                self.metrics.bump(Counter::ExecInsert);
                 let decl = self.rel_decl(*rel)?;
                 let tv = self.eval_obj(db, tup, env)?.into_tuple()?;
                 if tv.arity() != decl.arity() {
@@ -498,6 +535,7 @@ impl<'a> Engine<'a> {
                 Ok((next, delta))
             }
             FTerm::Delete(tup, rel) => {
+                self.metrics.bump(Counter::ExecDelete);
                 let decl = self.rel_decl(*rel)?;
                 match self.eval_obj_opt(db, tup, env)? {
                     Some(v) => db.delete_traced(decl.id, &v.into_tuple()?),
@@ -505,11 +543,13 @@ impl<'a> Engine<'a> {
                 }
             }
             FTerm::Modify(tup, i, val) => {
+                self.metrics.bump(Counter::ExecModify);
                 let tv = self.eval_obj(db, tup, env)?.into_tuple()?;
                 let v = self.eval_obj(db, val, env)?.into_atom()?;
                 db.modify_traced(&tv, *i, v)
             }
             FTerm::ModifyAttr(tup, attr, val) => {
+                self.metrics.bump(Counter::ExecModify);
                 let tv = self.eval_obj(db, tup, env)?.into_tuple()?;
                 let (arity, ix) = self.attr(*attr)?;
                 if tv.arity() != arity {
@@ -522,6 +562,7 @@ impl<'a> Engine<'a> {
                 db.modify_traced(&tv, ix, v)
             }
             FTerm::Assign(rel, set) => {
+                self.metrics.bump(Counter::ExecAssign);
                 let decl = self.rel_decl(*rel)?;
                 let sv = self.eval_obj(db, set, env)?.into_set()?;
                 if sv.arity != decl.arity() {
@@ -574,7 +615,12 @@ impl<'a> Engine<'a> {
             GuardMode::Positive,
             &mut |env2| {
                 if self.eval_truth(db, p, env2)? {
-                    matches.push(env2.get(&v).cloned().expect("step binds its variable"));
+                    let b = env2.get(&v).cloned().ok_or_else(|| {
+                        TxError::eval(format!(
+                            "foreach variable {v} was not bound by its own enumeration"
+                        ))
+                    })?;
+                    matches.push(b);
                     if matches.len() > self.opts.max_iterations {
                         return Err(TxError::InfiniteDomain(format!(
                             "foreach over {v} exceeded {} iterations",
@@ -585,6 +631,10 @@ impl<'a> Engine<'a> {
                 Ok(true)
             },
         )?;
+        self.metrics
+            .observe(Hist::ForeachMatches, matches.len() as u64);
+        self.metrics
+            .add(Counter::ForeachIterations, matches.len() as u64);
         let mut cur = db.clone();
         let mut delta = Delta::empty();
         for b in &matches {

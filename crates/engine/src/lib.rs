@@ -18,12 +18,14 @@
 
 pub mod env;
 pub mod exec;
+pub mod explain;
 pub mod model;
 pub mod plan;
 pub mod value;
 
 pub use env::{Binding, Env};
 pub use exec::{check_program, Engine, EvalOptions, PlanMode, ProgramKind};
+pub use explain::{Explain, ExplainNode, ExplainStep, SourceKind};
 pub use model::{Model, ModelBuilder};
 pub use value::{SetVal, StateVal, Value};
 

@@ -25,6 +25,7 @@
 use crate::env::{Binding, Env};
 use crate::exec::{cmp_values, Engine, EvalOptions};
 use crate::value::{SetVal, StateVal, Value};
+use txlog_base::obs::{Counter, Metrics};
 use txlog_base::{Atom, TxError, TxResult};
 use txlog_logic::{FTerm, ObjSort, SFormula, STerm, Sort, Var, VarClass};
 use txlog_relational::{DbState, EvolutionGraph, Schema, TupleVal, TxLabel};
@@ -36,6 +37,7 @@ pub struct Model {
     /// The graph of states and transaction arcs.
     pub graph: EvolutionGraph,
     opts: EvalOptions,
+    metrics: Metrics,
 }
 
 impl Model {
@@ -45,6 +47,7 @@ impl Model {
             schema,
             graph,
             opts: EvalOptions::default(),
+            metrics: Metrics::current(),
         }
     }
 
@@ -54,12 +57,20 @@ impl Model {
         self
     }
 
+    /// Set the observability sink (forwarded to the fluent evaluator).
+    pub fn with_metrics(mut self, metrics: Metrics) -> Model {
+        self.metrics = metrics;
+        self
+    }
+
     fn engine(&self) -> TxResult<Engine<'_>> {
-        Engine::with_options(&self.schema, self.opts)
+        Ok(Engine::with_options(&self.schema, self.opts)?.with_metrics(self.metrics.clone()))
     }
 
     /// Decide a closed s-formula in this model.
     pub fn check(&self, f: &SFormula) -> TxResult<bool> {
+        self.metrics.bump(Counter::ModelChecks);
+        let _span = self.metrics.span("model_check");
         self.eval_sformula(f, &Env::new())
     }
 
@@ -212,10 +223,21 @@ impl Model {
             }
             STerm::App(op, args) => {
                 use txlog_logic::Op;
+                // Mirror the fluent evaluator: malformed applications
+                // surface as typed sort errors, not index panics.
+                let arg = |i: usize| -> TxResult<&STerm> {
+                    args.get(i).ok_or_else(|| {
+                        TxError::sort(format!(
+                            "operator {op} applied to {} argument(s); argument {} is missing",
+                            args.len(),
+                            i + 1
+                        ))
+                    })
+                };
                 match op {
                     Op::Add | Op::Monus | Op::Mul | Op::Max | Op::Min => {
-                        let a = self.eval_sterm(&args[0], env)?.into_atom()?;
-                        let b = self.eval_sterm(&args[1], env)?.into_atom()?;
+                        let a = self.eval_sterm(arg(0)?, env)?.into_atom()?;
+                        let b = self.eval_sterm(arg(1)?, env)?.into_atom()?;
                         let r = match op {
                             Op::Add => a.add(b)?,
                             Op::Monus => a.monus(b)?,
@@ -227,16 +249,16 @@ impl Model {
                         Ok(Value::Atom(r))
                     }
                     Op::Sum => {
-                        let s = self.eval_sterm(&args[0], env)?.into_set()?;
+                        let s = self.eval_sterm(arg(0)?, env)?.into_set()?;
                         Ok(Value::Atom(s.sum()?))
                     }
                     Op::Size => {
-                        let s = self.eval_sterm(&args[0], env)?.into_set()?;
+                        let s = self.eval_sterm(arg(0)?, env)?.into_set()?;
                         Ok(Value::Atom(Atom::Nat(s.len() as u64)))
                     }
                     Op::Union | Op::Inter | Op::Diff | Op::Product => {
-                        let a = self.eval_sterm(&args[0], env)?.into_set()?;
-                        let b = self.eval_sterm(&args[1], env)?.into_set()?;
+                        let a = self.eval_sterm(arg(0)?, env)?.into_set()?;
+                        let b = self.eval_sterm(arg(1)?, env)?.into_set()?;
                         let r = match op {
                             Op::Union => a.union(&b)?,
                             Op::Inter => a.inter(&b)?,

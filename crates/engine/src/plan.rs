@@ -1,10 +1,11 @@
 //! Interpreting compiled quantifier plans against database states.
 //!
 //! The planner in `txlog_logic::plan` is purely syntactic; this module
-//! is its runtime half: [`Engine::for_each_assignment`] enumerates the
+//! is its runtime half: `Engine::for_each_assignment` enumerates the
 //! satisfying candidate bindings of a quantifier prefix either naively
-//! (the oracle semantics) or through a compiled [`QuantPlan`] — index
-//! probes, membership scans, and residual filters.
+//! (the oracle semantics) or through a compiled
+//! [`QuantPlan`](txlog_logic::plan::QuantPlan) — index probes,
+//! membership scans, and residual filters.
 //!
 //! Two invariants keep the planned path observationally equivalent to
 //! the naive one wherever the naive one is defined:
@@ -26,6 +27,7 @@
 use crate::env::{Binding, Env};
 use crate::exec::{active_atoms, collect_fformula_atoms, Engine, PlanMode};
 use crate::value::Value;
+use txlog_base::obs::{Counter, Hist};
 use txlog_base::{Atom, TxError, TxResult};
 use txlog_logic::plan::{plan_quantifiers, DomainSource, GuardMode, PlanStep};
 use txlog_logic::{FFormula, Var};
@@ -116,24 +118,37 @@ impl Engine<'_> {
         visit: &mut dyn FnMut(&Env) -> TxResult<bool>,
     ) -> TxResult<()> {
         let mut budget = Budget::new(self.opts.max_iterations);
-        match self.opts.planner {
-            PlanMode::Naive => self
-                .naive_walk(db, vars, cond, env, &mut budget, visit)
-                .map(|_| ()),
+        let out = match self.opts.planner {
+            PlanMode::Naive => {
+                self.metrics.bump(Counter::NaiveSteps);
+                self.naive_walk(db, vars, cond, env, &mut budget, visit)
+                    .map(|_| ())
+            }
             PlanMode::Indexed => {
                 let plan = plan_quantifiers(&self.sig, vars, cond, mode);
+                self.metrics.bump(Counter::PlansCompiled);
+                let mut cut = false;
                 for pf in &plan.prefilters {
                     // A definitely-false plan-variable-free conjunct
                     // empties (∃) or vacuously satisfies (∀) the whole
                     // enumeration; evaluation failures are tolerated.
                     if let Ok(false) = self.eval_truth(db, pf, env) {
-                        return Ok(());
+                        self.metrics.bump(Counter::PrefilterCuts);
+                        cut = true;
+                        break;
                     }
                 }
-                self.plan_walk(db, &plan.steps, cond, env, &mut budget, visit)
-                    .map(|_| ())
+                if cut {
+                    Ok(())
+                } else {
+                    self.plan_walk(db, &plan.steps, cond, env, &mut budget, visit)
+                        .map(|_| ())
+                }
             }
-        }
+        };
+        self.metrics
+            .observe(Hist::EnumBudget, (budget.max - budget.left) as u64);
+        out
     }
 
     /// Naive nested-loop enumeration (the oracle). Returns `false` when
@@ -148,9 +163,12 @@ impl Engine<'_> {
         visit: &mut dyn FnMut(&Env) -> TxResult<bool>,
     ) -> TxResult<bool> {
         let Some((&v, rest)) = vars.split_first() else {
+            self.metrics.bump(Counter::AssignmentsEmitted);
             return visit(env);
         };
-        for b in self.domain_of(db, v, cond)? {
+        let domain = self.domain_of(db, v, cond)?;
+        self.metrics.add(Counter::NaiveRows, domain.len() as u64);
+        for b in domain {
             budget.take(v)?;
             let env2 = env.bind(v, b);
             if !self.naive_walk(db, rest, cond, &env2, budget, visit)? {
@@ -172,6 +190,7 @@ impl Engine<'_> {
         visit: &mut dyn FnMut(&Env) -> TxResult<bool>,
     ) -> TxResult<bool> {
         let Some((step, rest)) = steps.split_first() else {
+            self.metrics.bump(Counter::AssignmentsEmitted);
             return visit(env);
         };
         let v = step.var;
@@ -182,6 +201,7 @@ impl Engine<'_> {
                 // Only a definite false skips; an error leaves the
                 // decision to the full condition.
                 if let Ok(false) = self.eval_truth(db, f, &env2) {
+                    self.metrics.bump(Counter::FilterDrops);
                     continue 'candidates;
                 }
             }
@@ -202,10 +222,16 @@ impl Engine<'_> {
         env: &Env,
     ) -> TxResult<Vec<Binding>> {
         let v = step.var;
+        let m = &self.metrics;
         match &step.source {
             DomainSource::Scan(rel) => {
+                m.bump(Counter::ScanSteps);
                 Ok(match self.bounding_relation(db, v, tup_arity(v), *rel)? {
-                    Some(r) => r.iter_vals().map(Binding::FluentTuple).collect(),
+                    Some(r) => {
+                        let out: Vec<Binding> = r.iter_vals().map(Binding::FluentTuple).collect();
+                        m.add(Counter::ScanRows, out.len() as u64);
+                        out
+                    }
                     None => Vec::new(),
                 })
             }
@@ -216,40 +242,76 @@ impl Engine<'_> {
                 match self.eval_obj(db, key, env) {
                     // A non-denoting key makes the equality conjunct
                     // false at every candidate: empty.
-                    Err(e) if e.is_undefined() => Ok(Vec::new()),
+                    Err(e) if e.is_undefined() => {
+                        m.bump(Counter::ProbeSteps);
+                        Ok(Vec::new())
+                    }
                     // Any other failure: fall back to the full scan and
                     // let the condition surface the error.
-                    Err(_) => Ok(r.iter_vals().map(Binding::FluentTuple).collect()),
+                    Err(_) => {
+                        m.bump(Counter::ProbeFallbackScans);
+                        let out: Vec<Binding> = r.iter_vals().map(Binding::FluentTuple).collect();
+                        m.add(Counter::ScanRows, out.len() as u64);
+                        Ok(out)
+                    }
                     Ok(val) => match atom_key(&val) {
-                        Some(k) => Ok(r
-                            .probe(*col, &k)
-                            .iter()
-                            .map(|&id| {
-                                let fields = r.get(id).expect("probe returns live ids");
-                                Binding::FluentTuple(TupleVal::identified(
+                        Some(k) => {
+                            m.bump(Counter::ProbeSteps);
+                            if !r.index_built() {
+                                m.bump(Counter::IndexBuilds);
+                            }
+                            let ids = r.probe(*col, &k);
+                            let mut out = Vec::with_capacity(ids.len());
+                            for &id in ids.iter() {
+                                // Dead ids in the index would silently
+                                // corrupt results; surface them as a
+                                // typed error naming the relation.
+                                let fields = r.get(id).ok_or_else(|| {
+                                    TxError::eval(format!(
+                                        "index probe on relation {rel} (column {col}) \
+                                         returned dead tuple id {id}"
+                                    ))
+                                })?;
+                                out.push(Binding::FluentTuple(TupleVal::identified(
                                     id,
                                     std::sync::Arc::clone(fields),
-                                ))
-                            })
-                            .collect()),
+                                )));
+                            }
+                            m.add(Counter::ProbeRows, out.len() as u64);
+                            Ok(out)
+                        }
                         // A set/state-valued key cannot equal a column
                         // atom under semantic equality, but scanning is
                         // the conservative choice either way.
-                        None => Ok(r.iter_vals().map(Binding::FluentTuple).collect()),
+                        None => {
+                            m.bump(Counter::ProbeFallbackScans);
+                            let out: Vec<Binding> =
+                                r.iter_vals().map(Binding::FluentTuple).collect();
+                            m.add(Counter::ScanRows, out.len() as u64);
+                            Ok(out)
+                        }
                     },
                 }
             }
-            DomainSource::ActiveTuples(n) => Ok(active_tuples(db, *n)
-                .into_iter()
-                .map(Binding::FluentTuple)
-                .collect()),
+            DomainSource::ActiveTuples(n) => {
+                m.bump(Counter::ActiveSteps);
+                let out: Vec<Binding> = active_tuples(db, *n)
+                    .into_iter()
+                    .map(Binding::FluentTuple)
+                    .collect();
+                m.add(Counter::ActiveRows, out.len() as u64);
+                Ok(out)
+            }
             DomainSource::Atoms => {
+                m.bump(Counter::AtomSteps);
                 let mut seed = Vec::new();
                 collect_fformula_atoms(cond, &mut seed);
-                Ok(atom_domain([db], seed)
+                let out: Vec<Binding> = atom_domain([db], seed)
                     .into_iter()
                     .map(Binding::FluentAtom)
-                    .collect())
+                    .collect();
+                m.add(Counter::AtomRows, out.len() as u64);
+                Ok(out)
             }
             DomainSource::Unenumerable(sort) => Err(TxError::sort(format!(
                 "cannot enumerate domain of sort {sort} (variable {v})"

@@ -214,6 +214,15 @@ impl Relation {
         ix.cols[i - 1].get(key).map_or(&[], |ids| ids.as_slice())
     }
 
+    /// True iff the lazy per-column secondary index has been
+    /// materialized (by a previous [`probe`]). Lets instrumentation
+    /// count lazy index builds without observing them into existence.
+    ///
+    /// [`probe`]: Relation::probe
+    pub fn index_built(&self) -> bool {
+        self.index.get().is_some()
+    }
+
     /// True iff a tuple with identity `id` is a member.
     pub fn contains_id(&self, id: TupleId) -> bool {
         self.tuples.contains_key(&id)

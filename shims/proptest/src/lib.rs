@@ -2,7 +2,7 @@
 //!
 //! The build environment has no registry access, so this workspace ships a
 //! small property-testing harness implementing the subset of proptest the
-//! repo uses: the [`Strategy`] trait with `prop_map` / `prop_recursive` /
+//! repo uses: the [`strategy::Strategy`] trait with `prop_map` / `prop_recursive` /
 //! `boxed`, integer-range and tuple strategies, [`collection::vec`],
 //! [`strategy::Just`] and [`strategy::Union`] (behind `prop_oneof!`), and
 //! the `proptest!` / `prop_assert*` macros with a configurable case count.

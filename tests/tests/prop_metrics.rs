@@ -1,0 +1,237 @@
+//! Property harness for the observability layer.
+//!
+//! Metrics are bookkeeping about work the engine *actually did*, so
+//! they obey conservation laws the implementation cannot fake:
+//!
+//! * every assignment a quantifier plan emits was first enumerated from
+//!   some candidate source (scan, probe, active-domain, atoms, naive
+//!   cross product), so emitted ≤ Σ rows enumerated;
+//! * the incremental checker decides every requested check exactly once
+//!   — by cache hit or by recomputation — so hits + recomputes accounts
+//!   for every successful `check_now`;
+//! * recording is passive: an engine with an enabled registry returns
+//!   bit-identical answers to one with the disabled handle.
+//!
+//! All registries here are per-instance (`Metrics::enabled()` threaded
+//! via `with_metrics`), never the process global, so concurrently
+//! running tests cannot perturb the counts.
+
+use proptest::prelude::*;
+use txlog::base::Atom;
+use txlog::engine::{Engine, Env, EvalOptions, PlanMode};
+use txlog::logic::{parse_fterm, parse_sformula, FFormula, FTerm, ParseCtx, SFormula, Var};
+use txlog::prelude::{Counter, IncrementalChecker, Metrics, Window};
+use txlog::relational::{DbState, Schema};
+
+fn schema() -> Schema {
+    Schema::new()
+        .relation("R", &["a"])
+        .expect("schema builds")
+        .relation("S", &["b", "c"])
+        .expect("schema builds")
+}
+
+fn db_strategy() -> impl Strategy<Value = DbState> {
+    (
+        prop::collection::vec(0u64..6, 0..8),
+        prop::collection::vec((0u64..6, 0u64..6), 0..10),
+    )
+        .prop_map(|(rs, ss)| {
+            let schema = schema();
+            let rid = schema.rel_id("R").expect("R exists");
+            let sid = schema.rel_id("S").expect("S exists");
+            let mut db = schema.initial_state();
+            for n in rs {
+                db = db.insert_fields(rid, &[Atom::nat(n)]).expect("insert").0;
+            }
+            for (b, c) in ss {
+                db = db
+                    .insert_fields(sid, &[Atom::nat(b), Atom::nat(c)])
+                    .expect("insert")
+                    .0;
+            }
+            db
+        })
+}
+
+/// Formulas covering every candidate source the conservation law sums
+/// over: probes, scans, guarded walks, joins, and active-domain
+/// fallbacks.
+fn formula_strategy() -> impl Strategy<Value = FFormula> {
+    let x = Var::tup_f("x", 1);
+    let y = Var::tup_f("y", 2);
+    prop_oneof![
+        (0u64..6).prop_map(move |k| FFormula::exists(
+            y,
+            FFormula::member(FTerm::var(y), FTerm::rel("S"))
+                .and(FFormula::eq(FTerm::attr("b", FTerm::var(y)), FTerm::nat(k))),
+        )),
+        (0u64..6, 0u64..6).prop_map(move |(k, m)| FFormula::forall(
+            y,
+            FFormula::member(FTerm::var(y), FTerm::rel("S"))
+                .and(FFormula::eq(FTerm::attr("b", FTerm::var(y)), FTerm::nat(k)))
+                .implies(FFormula::le(FTerm::attr("c", FTerm::var(y)), FTerm::nat(m))),
+        )),
+        Just(FFormula::forall(
+            x,
+            FFormula::member(FTerm::var(x), FTerm::rel("R")).implies(FFormula::exists(
+                y,
+                FFormula::member(FTerm::var(y), FTerm::rel("S")).and(FFormula::eq(
+                    FTerm::attr("b", FTerm::var(y)),
+                    FTerm::Select(Box::new(FTerm::var(x)), 1),
+                )),
+            )),
+        )),
+        Just(FFormula::exists(
+            y,
+            FFormula::member(FTerm::var(y), FTerm::rel("S")).and(FFormula::eq(
+                FTerm::attr("b", FTerm::var(y)),
+                FTerm::attr("c", FTerm::var(y)),
+            )),
+        )),
+        (0u64..6).prop_map(move |k| FFormula::exists(
+            x,
+            FFormula::eq(FTerm::Select(Box::new(FTerm::var(x)), 1), FTerm::nat(k)),
+        )),
+    ]
+}
+
+fn engine_with(schema: &Schema, planner: PlanMode, metrics: Metrics) -> Engine<'_> {
+    Engine::with_options(
+        schema,
+        EvalOptions {
+            planner,
+            ..Default::default()
+        },
+    )
+    .expect("schema builds")
+    .with_metrics(metrics)
+}
+
+fn enumerated_rows(m: &Metrics) -> u64 {
+    m.get(Counter::ScanRows)
+        + m.get(Counter::ProbeRows)
+        + m.get(Counter::ActiveRows)
+        + m.get(Counter::AtomRows)
+        + m.get(Counter::NaiveRows)
+}
+
+// --- incremental-checker pool, mirroring prop_incremental ---
+
+fn inc_schema() -> Schema {
+    Schema::new()
+        .relation("EMP", &["e-name", "salary"])
+        .expect("schema builds")
+        .relation("LOG", &["l-name"])
+        .expect("schema builds")
+}
+
+fn inc_ctx() -> ParseCtx {
+    ParseCtx::with_relations(&["EMP", "LOG"])
+}
+
+fn transaction(kind: usize, param: u64) -> FTerm {
+    let src = match kind % 4 {
+        0 => format!("insert(tuple('e{}', {}), EMP)", param % 2, param % 6),
+        1 => format!("insert(tuple('n{}'), LOG)", param % 3),
+        2 => "foreach e: 2tup | e in EMP do modify(e, salary, salary(e) + 1) end".to_string(),
+        _ => "foreach l: 1tup | l in LOG do delete(l, LOG) end".to_string(),
+    };
+    parse_fterm(&src, &inc_ctx(), &[]).expect("transaction parses")
+}
+
+/// Constraint pool: index 2 errors whenever LOG is non-empty (`salary`
+/// of a 1-tuple), so the accounting law is also exercised on the
+/// error path.
+fn constraint(idx: usize) -> SFormula {
+    let src = match idx % 3 {
+        0 => "forall s: state, e': 2tup . e' in s:EMP -> salary(e') <= 3",
+        1 => {
+            "forall s: state, t: tx, e: 2tup .
+               (s:e in s:EMP & (s;t):e in (s;t):EMP)
+                 -> salary(s:e) <= salary((s;t):e)"
+        }
+        _ => "forall s: state, l': 1tup . l' in s:LOG -> salary(l') <= 5",
+    };
+    parse_sformula(src, &inc_ctx()).expect("constraint parses")
+}
+
+proptest! {
+    /// Conservation: a plan cannot emit an assignment it never
+    /// enumerated, in either plan mode.
+    #[test]
+    fn emitted_assignments_are_bounded_by_enumerated_rows(
+        db in db_strategy(),
+        p in formula_strategy(),
+        mode_idx in 0usize..2,
+    ) {
+        let schema = schema();
+        let metrics = Metrics::enabled();
+        let mode = if mode_idx == 0 { PlanMode::Indexed } else { PlanMode::Naive };
+        let engine = engine_with(&schema, mode, metrics.clone());
+        let _ = engine.eval_truth(&db, &p, &Env::new());
+        prop_assert!(
+            metrics.get(Counter::AssignmentsEmitted) <= enumerated_rows(&metrics),
+            "emitted {} assignments from only {} enumerated rows ({:?})",
+            metrics.get(Counter::AssignmentsEmitted),
+            enumerated_rows(&metrics),
+            p,
+        );
+    }
+
+    /// Recording is passive: enabled-registry and disabled-handle
+    /// engines agree on every answer, success or error.
+    #[test]
+    fn metrics_do_not_change_answers(db in db_strategy(), p in formula_strategy()) {
+        let schema = schema();
+        let env = Env::new();
+        let metered = engine_with(&schema, PlanMode::Indexed, Metrics::enabled());
+        let bare = engine_with(&schema, PlanMode::Indexed, Metrics::disabled());
+        let a = metered.eval_truth(&db, &p, &env);
+        let b = bare.eval_truth(&db, &p, &env);
+        match (a, b) {
+            (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+            (Err(x), Err(y)) => prop_assert_eq!(x.to_string(), y.to_string()),
+            (a, b) => prop_assert!(false, "metered {a:?} vs bare {b:?}"),
+        }
+    }
+
+    /// Accounting: every successful check was decided exactly once —
+    /// cache hit or recomputation — and failed checks are requested but
+    /// never double-counted as decided.
+    #[test]
+    fn cache_hits_and_recomputes_account_for_every_check(
+        cidx in 0usize..3,
+        wk in 1usize..4,
+        steps in prop::collection::vec((0usize..4, 0u64..12), 1..12),
+    ) {
+        let schema = inc_schema();
+        let db = schema.initial_state();
+        let metrics = Metrics::enabled();
+        let mut inc = IncrementalChecker::new(
+            schema, db, constraint(cidx), Window::States(wk),
+        )
+        .expect("checker builds")
+        .with_metrics(metrics.clone());
+        let env = Env::new();
+        let mut ok_checks = 0u64;
+        for (i, &(kind, param)) in steps.iter().enumerate() {
+            // per-step labels keep the evolution graph functional even
+            // for inserts, which allocate fresh tuple ids
+            if inc.step(&format!("s{i}"), &transaction(kind, param), &env).is_ok() {
+                ok_checks += 1;
+            }
+        }
+        let requested = metrics.get(Counter::ChecksRequested);
+        let decided =
+            metrics.get(Counter::CacheReused) + metrics.get(Counter::CacheRecomputed);
+        prop_assert_eq!(requested, steps.len() as u64, "one check per step");
+        // bounded windows decide exactly the successful checks: a check
+        // that errors is requested but neither reused nor recomputed
+        prop_assert_eq!(decided, ok_checks, "hit + recompute == Ok verdicts");
+        prop_assert!(decided <= requested, "nothing decided twice");
+        let stats = inc.stats();
+        prop_assert_eq!(stats.reused as u64, metrics.get(Counter::CacheReused));
+        prop_assert_eq!(stats.recomputed as u64, metrics.get(Counter::CacheRecomputed));
+    }
+}
