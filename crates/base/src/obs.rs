@@ -120,11 +120,30 @@ pub enum Counter {
     /// Runtime model checks skipped because a proof certificate covered
     /// the (transaction, constraint) pair (assisted checking).
     ProofSkips,
+    /// Commit attempts started by a `Database` session (including
+    /// retries; `attempts == applied + forwarded + conflicts` when every
+    /// commit eventually succeeds).
+    CommitAttempts,
+    /// Commit attempts abandoned because the head moved and the
+    /// transaction's footprint overlapped the concurrent deltas.
+    CommitConflicts,
+    /// Conflicted commits that re-executed against a fresh snapshot.
+    CommitRetries,
+    /// Commits installed by executing directly at the committed head.
+    CommitsApplied,
+    /// Commits installed by forwarding a disjoint delta onto a moved
+    /// head without re-execution.
+    CommitsForwarded,
+    /// Session constraints validated against a candidate commit.
+    CommitValidations,
+    /// Session-constraint validations skipped because the commit's delta
+    /// was disjoint from the constraint's read set.
+    CommitValidationSkips,
 }
 
 impl Counter {
     /// Every counter, in canonical (serialization) order.
-    pub const ALL: [Counter; 31] = [
+    pub const ALL: [Counter; 38] = [
         Counter::PlansCompiled,
         Counter::PrefilterCuts,
         Counter::ScanSteps,
@@ -156,6 +175,13 @@ impl Counter {
         Counter::CacheRecomputed,
         Counter::FingerprintCompares,
         Counter::ProofSkips,
+        Counter::CommitAttempts,
+        Counter::CommitConflicts,
+        Counter::CommitRetries,
+        Counter::CommitsApplied,
+        Counter::CommitsForwarded,
+        Counter::CommitValidations,
+        Counter::CommitValidationSkips,
     ];
 
     /// Stable snake_case name used in snapshots and reports.
@@ -192,6 +218,13 @@ impl Counter {
             Counter::CacheRecomputed => "cache_recomputed",
             Counter::FingerprintCompares => "fingerprint_compares",
             Counter::ProofSkips => "proof_skips",
+            Counter::CommitAttempts => "commit_attempts",
+            Counter::CommitConflicts => "commit_conflicts",
+            Counter::CommitRetries => "commit_retries",
+            Counter::CommitsApplied => "commits_applied",
+            Counter::CommitsForwarded => "commits_forwarded",
+            Counter::CommitValidations => "commit_validations",
+            Counter::CommitValidationSkips => "commit_validation_skips",
         }
     }
 }

@@ -17,7 +17,7 @@ fn bench_primitives(c: &mut Criterion) {
     let mut group = c.benchmark_group("b1_primitives");
     for &n in &[10usize, 100, 1000] {
         let (schema, db) = populate(Sizes::scaled(n), 1).expect("population generates");
-        let engine = Engine::new(&schema).unwrap();
+        let engine = Engine::builder(&schema).build().unwrap();
         let env = Env::new();
         let ctx = txlog::empdb::parse_ctx();
         let insert: FTerm = parse_fterm(
@@ -57,7 +57,7 @@ fn bench_foreach_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("b1_foreach_sweep");
     for &n in &[10usize, 100, 1000] {
         let (schema, db) = populate(Sizes::scaled(n), 2).expect("population generates");
-        let engine = Engine::new(&schema).unwrap();
+        let engine = Engine::builder(&schema).build().unwrap();
         let env = Env::new();
         let ctx = txlog::empdb::parse_ctx();
         let raise_all: FTerm = parse_fterm(
@@ -83,7 +83,7 @@ fn bench_order_independence_check(c: &mut Criterion) {
             check_order_independence: checked,
             ..Default::default()
         };
-        let engine = Engine::with_options(&schema, opts).unwrap();
+        let engine = Engine::builder(&schema).options(opts).build().unwrap();
         let env = Env::new();
         let tx = raise_salary("emp-0", 1);
         group.bench_with_input(

@@ -94,7 +94,10 @@ fn bench_check(c: &mut Criterion) {
             group.bench_function(BenchmarkId::new(format!("{kind}/incremental"), n), |b| {
                 b.iter(|| inc.check_now().expect("checks"))
             });
-            assert!(inc.stats().reused > 0, "cache must be exercised");
+            assert!(
+                inc.metrics().get(Counter::CacheReused) > 0,
+                "cache must be exercised"
+            );
             // the cache behaviour behind the timing gap
             let m = inc.metrics();
             eprintln!(

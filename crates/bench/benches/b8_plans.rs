@@ -53,14 +53,13 @@ fn bench_join_constraint(c: &mut Criterion) {
     for &n in &[10usize, 100, 400] {
         let (schema, db) = populate(Sizes::scaled(n), 4).expect("population generates");
         for mode in [PlanMode::Naive, PlanMode::Indexed] {
-            let engine = Engine::with_options(
-                &schema,
-                EvalOptions {
+            let engine = Engine::builder(&schema)
+                .options(EvalOptions {
                     planner: mode,
                     ..Default::default()
-                },
-            )
-            .expect("schema builds");
+                })
+                .build()
+                .expect("schema builds");
             let env = Env::new();
             // warm the secondary index so steady-state probes are measured
             let _ = engine.eval_truth(&db, &every_emp_allocated, &env);
@@ -78,7 +77,14 @@ fn bench_join_constraint(c: &mut Criterion) {
             );
             // the work profile behind the timing, from one metered pass
             let metrics = Metrics::enabled();
-            let metered = engine.with_metrics(metrics.clone());
+            let metered = Engine::builder(&schema)
+                .options(EvalOptions {
+                    planner: mode,
+                    ..Default::default()
+                })
+                .metrics(metrics.clone())
+                .build()
+                .expect("schema builds");
             let _ = metered.eval_truth(&db, &every_emp_allocated, &env);
             profile(
                 &format!("b8_join_constraint/{}/{n}", mode_name(mode)),
@@ -102,14 +108,13 @@ fn bench_keyed_foreach(c: &mut Criterion) {
     for &n in &[10usize, 100, 400] {
         let (schema, db) = populate(Sizes::scaled(n), 5).expect("population generates");
         for mode in [PlanMode::Naive, PlanMode::Indexed] {
-            let engine = Engine::with_options(
-                &schema,
-                EvalOptions {
+            let engine = Engine::builder(&schema)
+                .options(EvalOptions {
                     planner: mode,
                     ..Default::default()
-                },
-            )
-            .expect("schema builds");
+                })
+                .build()
+                .expect("schema builds");
             let env = Env::new();
             let _ = engine.execute(&db, &raise_dept, &env);
             group.bench_with_input(
@@ -139,15 +144,14 @@ fn bench_metrics_overhead(c: &mut Criterion) {
         ("disabled", Metrics::disabled()),
         ("enabled", Metrics::enabled()),
     ] {
-        let engine = Engine::with_options(
-            &schema,
-            EvalOptions {
+        let engine = Engine::builder(&schema)
+            .options(EvalOptions {
                 planner: PlanMode::Indexed,
                 ..Default::default()
-            },
-        )
-        .expect("schema builds")
-        .with_metrics(metrics);
+            })
+            .metrics(metrics)
+            .build()
+            .expect("schema builds");
         let _ = engine.eval_truth(&db, &every_emp_allocated, &env);
         group.throughput(Throughput::Elements(n as u64));
         group.bench_function(BenchmarkId::new("forall_exists_indexed", label), |b| {

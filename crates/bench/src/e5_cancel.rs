@@ -74,7 +74,7 @@ pub fn run() -> Report {
         .filter(|e| !also_elsewhere.contains(e))
         .collect();
 
-    let engine = Engine::new(&schema).unwrap();
+    let engine = Engine::builder(&schema).build().unwrap();
     let post = engine
         .execute(&db, &tx, &env)
         .expect("cancel-project executes");

@@ -84,7 +84,7 @@ pub fn run() -> Report {
 
     // behavioural equivalence with Example 5's hand-written program
     let (paper_tx, pp, pv) = cancel_project();
-    let engine = Engine::new(&schema).unwrap();
+    let engine = Engine::builder(&schema).build().unwrap();
     let env_paper = Env::new()
         .bind_tuple(pp, target)
         .bind_atom(pv, Atom::nat(40));

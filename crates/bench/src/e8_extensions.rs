@@ -61,7 +61,7 @@ pub fn run() -> Report {
     // vacuously), and the modify-inverse restores the very same tuples —
     // identity included — closing the cycle exactly.
     let invertibility = txlog::empdb::constraints::ic4_invertible_unless_age();
-    let engine = Engine::new(&schema).unwrap();
+    let engine = Engine::builder(&schema).build().unwrap();
     let emp_rel = schema.rel_id("EMP").expect("EMP exists");
     let e0 = txlog::logic::Var::tup_f("e0", 5);
     let raise_e0 = txlog::logic::FTerm::modify_attr(

@@ -1,8 +1,9 @@
 //! Deterministic metrics snapshots for the CI baseline gate.
 //!
 //! [`collect`] installs a process-global metrics registry, runs a fixed,
-//! fully seeded workload — the E1–E8 experiments plus two targeted
-//! exercises of the plan interpreter and the incremental checker — and
+//! fully seeded workload — the E1–E8 experiments plus three targeted
+//! exercises of the plan interpreter, the incremental checker, and the
+//! session commit pipeline — and
 //! returns the accumulated [`Snapshot`]. Everything the workload does is
 //! deterministic (seeded population, `BTreeMap` enumeration order, fixed
 //! catalog serialization order), so the counters-only JSON form of the
@@ -34,6 +35,7 @@ pub fn collect() -> Snapshot {
     }
     plan_exercise(&metrics);
     cache_exercise(&metrics);
+    commit_exercise(&metrics);
     let snap = metrics.snapshot();
     Metrics::disabled().install_global();
     snap
@@ -63,15 +65,14 @@ fn plan_exercise(metrics: &Metrics) {
     for (n, mode) in [(100usize, PlanMode::Naive), (400, PlanMode::Indexed)] {
         let (schema, db) =
             txlog::empdb::populate(txlog::empdb::Sizes::scaled(n), 4).expect("population");
-        let engine = Engine::with_options(
-            &schema,
-            EvalOptions {
+        let engine = Engine::builder(&schema)
+            .options(EvalOptions {
                 planner: mode,
                 ..Default::default()
-            },
-        )
-        .expect("schema builds")
-        .with_metrics(metrics.clone());
+            })
+            .metrics(metrics.clone())
+            .build()
+            .expect("schema builds");
         assert!(
             engine
                 .eval_truth(&db, &every_emp_allocated, &env)
@@ -127,7 +128,82 @@ fn cache_exercise(metrics: &Metrics) {
         checker.step("noise", &noise, &env).expect("step checks");
     }
     assert!(
-        checker.stats().reused > 0,
+        checker.metrics().get(txlog::constraints::counters::REUSED) > 0,
         "noise steps must hit the verdict cache"
     );
+}
+
+/// A single-threaded walk through every branch of the session commit
+/// pipeline, so the commit counters are pinned in the baseline: an
+/// uncontended apply, a stale-but-disjoint delta forward, a conflicted
+/// retry, a `try_commit` conflict, and a constraint validation with one
+/// read-set skip. Deterministic because there is exactly one thread —
+/// the interleaving is the program order.
+fn commit_exercise(metrics: &Metrics) {
+    use txlog::constraints::{Hints, SessionConstraint};
+    use txlog::engine::{CommitError, Database, RetryPolicy};
+    use txlog::prelude::Schema;
+
+    let schema = Schema::new()
+        .relation("STAFF", &["n-name", "pay"])
+        .expect("relation")
+        .relation("NOTES", &["note"])
+        .expect("relation");
+    let ctx = txlog::logic::ParseCtx::with_relations(&["STAFF", "NOTES"]);
+    let cap = parse_sformula(
+        "forall s: state, e': 2tup . e' in s:STAFF -> pay(e') <= 1000",
+        &ctx,
+    )
+    .expect("constraint parses");
+    let staff = |name: &str, pay: u64| {
+        parse_fterm(&format!("insert(tuple('{name}', {pay}), STAFF)"), &ctx, &[]).expect("parses")
+    };
+    let note = parse_fterm("insert(tuple('note'), NOTES)", &ctx, &[]).expect("parses");
+
+    let mut db = Database::new(schema)
+        .expect("database builds")
+        .with_metrics(metrics.clone())
+        .with_retry(RetryPolicy::no_backoff(4));
+    db.add_constraint(Box::new(
+        SessionConstraint::new("pay-cap", cap, Hints::default()).expect("bounded window"),
+    ))
+    .expect("base state satisfies the cap");
+    let env = Env::new();
+
+    // uncontended apply (validated)
+    let mut writer = db.session();
+    writer
+        .commit("hire-ann", &staff("ann", 500), &env)
+        .expect("commits");
+    // stale session, disjoint footprint: forwarded, and the cap check
+    // is skipped because NOTES is outside its read-set
+    let mut stale = db.session();
+    writer
+        .commit("hire-bob", &staff("bob", 600), &env)
+        .expect("commits");
+    let fwd = stale.commit("note", &note, &env).expect("commits");
+    assert!(fwd.forwarded, "disjoint stale commit must forward");
+    // stale session, overlapping footprint: conflict then retried apply
+    let mut contender = db.session();
+    writer
+        .commit("hire-cal", &staff("cal", 700), &env)
+        .expect("commits");
+    let retried = contender
+        .commit("hire-dee", &staff("dee", 800), &env)
+        .expect("commits");
+    assert!(retried.retries > 0, "stale overlapping commit must retry");
+    // single-attempt conflict
+    let mut once = db.session();
+    writer
+        .commit("hire-eli", &staff("eli", 300), &env)
+        .expect("commits");
+    let err = once
+        .try_commit("hire-fay", &staff("fay", 400), &env)
+        .expect_err("stale overlapping try_commit conflicts");
+    assert!(matches!(err, CommitError::Conflict { .. }));
+    // constraint violation: validated, rejected, not installed
+    let err = writer
+        .commit("overpay", &staff("gus", 5000), &env)
+        .expect_err("cap violation rejected");
+    assert!(matches!(err, CommitError::ConstraintViolation { .. }));
 }

@@ -190,7 +190,7 @@ mod tests {
         let (db, _) = db
             .insert_fields(emp, &[Atom::str("ann"), Atom::nat(500)])
             .unwrap();
-        let engine = Engine::new(&schema).unwrap();
+        let engine = Engine::builder(&schema).build().unwrap();
         let db2 = engine.execute(&db, &rewritten, &Env::new()).unwrap();
         assert!(db2.relation(emp).unwrap().is_empty());
         let fire = schema.rel_id("FIRE").unwrap();

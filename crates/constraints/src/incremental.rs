@@ -45,6 +45,20 @@ use txlog_engine::{Engine, Env};
 use txlog_logic::{FTerm, SFormula};
 use txlog_relational::{DbState, Delta, Schema};
 
+/// Stable counter names for the cache-effectiveness metrics, for use
+/// with [`Metrics::get`] / snapshot tooling. These are the one source
+/// of truth since [`IncrementalStats`] was deprecated.
+pub mod counters {
+    use txlog_base::obs::Counter;
+
+    /// Checks answered from the verdict cache ("cache_reused").
+    pub const REUSED: Counter = Counter::CacheReused;
+    /// Checks that built a window model and evaluated ("cache_recomputed").
+    pub const RECOMPUTED: Counter = Counter::CacheRecomputed;
+    /// Checks requested in total ("checks_requested").
+    pub const REQUESTED: Counter = Counter::ChecksRequested;
+}
+
 /// Counters describing how much work the cache saved.
 ///
 /// Since the engine-wide observability layer landed, these are a *view*
@@ -52,6 +66,10 @@ use txlog_relational::{DbState, Delta, Schema};
 /// [`Counter::CacheRecomputed`]) rather than separately-maintained
 /// fields — the same numbers surface in metrics snapshots and in
 /// [`IncrementalChecker::stats`].
+#[deprecated(
+    since = "0.1.0",
+    note = "read the obs counters directly: metrics().get(counters::REUSED) etc."
+)]
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct IncrementalStats {
     /// Checks answered from the verdict cache.
@@ -60,6 +78,7 @@ pub struct IncrementalStats {
     pub recomputed: usize,
 }
 
+#[allow(deprecated)]
 impl IncrementalStats {
     /// Total checks performed.
     pub fn checks(&self) -> usize {
@@ -208,6 +227,11 @@ impl IncrementalChecker {
 
     /// Cache-effectiveness counters — a view over the checker's metrics
     /// registry.
+    #[deprecated(
+        since = "0.1.0",
+        note = "read the obs counters directly: metrics().get(counters::REUSED) etc."
+    )]
+    #[allow(deprecated)]
     pub fn stats(&self) -> IncrementalStats {
         IncrementalStats {
             reused: self.metrics.get(Counter::CacheReused) as usize,
@@ -218,8 +242,11 @@ impl IncrementalChecker {
     /// Execute `tx` at the latest state, record the step, and check.
     pub fn step(&mut self, label: &str, tx: &FTerm, env: &Env) -> TxResult<bool> {
         let (next, delta) = {
-            let engine = Engine::new(self.history.schema())?.with_metrics(self.metrics.clone());
-            engine.execute_traced(self.history.latest(), tx, env)?
+            let engine = Engine::builder(self.history.schema())
+                .metrics(self.metrics.clone())
+                .build()?;
+            let exec = engine.execute_traced(self.history.latest(), tx, env)?;
+            (exec.state, exec.delta)
         };
         self.advance(label, next, &delta);
         self.check_now()
@@ -486,12 +513,18 @@ mod tests {
     fn read_set_disjoint_noise_reuses_verdicts() {
         let steps: Vec<_> = (0..6).map(|_| ("noise", noise())).collect();
         let inc = differential(&monotone_salary(), Window::States(2), &steps);
-        let stats = inc.stats();
+        // the deprecated stats() shim must agree with the counters
+        #[allow(deprecated)]
+        {
+            let stats = inc.stats();
+            assert_eq!(stats.reused as u64, inc.metrics().get(counters::REUSED));
+        }
         // first two windows have fresh shapes; once the window is two
         // noise-steps deep the key repeats every step
+        let reused = inc.metrics().get(counters::REUSED);
         assert!(
-            stats.reused >= 3,
-            "expected cache reuse on noise-only steps, got {stats:?}"
+            reused >= 3,
+            "expected cache reuse on noise-only steps, got {reused}"
         );
     }
 
@@ -505,7 +538,7 @@ mod tests {
         ];
         let inc = differential(&monotone_salary(), Window::States(2), &steps);
         // every window containing a raise has a fresh EMP projection
-        assert!(inc.stats().recomputed >= 3);
+        assert!(inc.metrics().get(counters::RECOMPUTED) >= 3);
     }
 
     #[test]
@@ -518,15 +551,15 @@ mod tests {
         .unwrap();
         let steps = vec![("raise", raise()), ("cut", cut)];
         let inc = differential(&monotone_salary(), Window::States(2), &steps);
-        assert_eq!(inc.stats().reused, 0);
+        assert_eq!(inc.metrics().get(counters::REUSED), 0);
     }
 
     #[test]
     fn complete_window_always_recomputes() {
         let steps: Vec<_> = (0..4).map(|_| ("noise", noise())).collect();
         let inc = differential(&monotone_salary(), Window::Complete, &steps);
-        assert_eq!(inc.stats().reused, 0);
-        assert_eq!(inc.stats().recomputed, 4);
+        assert_eq!(inc.metrics().get(counters::REUSED), 0);
+        assert_eq!(inc.metrics().get(counters::RECOMPUTED), 4);
     }
 
     #[test]
@@ -563,7 +596,7 @@ mod tests {
         let mut by_push =
             IncrementalChecker::new(schema.clone(), db.clone(), constraint, Window::States(2))
                 .unwrap();
-        let engine = Engine::new(&schema).unwrap();
+        let engine = Engine::builder(&schema).build().unwrap();
         let env = Env::new();
         let mut cur = db;
         for (label, tx) in [("raise", raise()), ("noise", noise())] {

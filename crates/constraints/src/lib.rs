@@ -16,6 +16,9 @@
 //!   constraint's verdict can depend on, and [`IncrementalChecker`]
 //!   uses it (with delta-maintained content fingerprints) to reuse
 //!   verdicts across steps that the constraint cannot observe;
+//! * [`SessionConstraint`] packages a constraint (window + read-set)
+//!   for commit-time validation by the concurrent session layer
+//!   ([`txlog_engine::Database`]);
 //! * [`NeverReinsertEncoding`] implements Example 4's FIRE encoding,
 //!   converting an uncheckable dynamic constraint into a static one by
 //!   auditing deletions.
@@ -24,6 +27,7 @@
 
 pub mod assisted;
 pub mod classify;
+pub mod commit;
 pub mod complexity;
 pub mod encoding;
 pub mod incremental;
@@ -32,9 +36,13 @@ pub mod window;
 
 pub use assisted::{certify, AssistStats, AssistedChecker, VerifiedRegistry};
 pub use classify::{classify, state_shape, ConstraintClass, StateShape};
+pub use commit::SessionConstraint;
 pub use complexity::{class_cmp, measure_with_class, profile, Complexity, Profile};
 pub use encoding::NeverReinsertEncoding;
-pub use incremental::{IncrementalChecker, IncrementalStats};
+pub use incremental::counters;
+pub use incremental::IncrementalChecker;
+#[allow(deprecated)]
+pub use incremental::IncrementalStats;
 pub use readset::{read_set, ReadSet};
 pub use window::{
     checkability, find_window_unsoundness, Hints, History, HistoryOutcome, Window, WindowedChecker,

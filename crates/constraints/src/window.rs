@@ -138,8 +138,9 @@ impl History {
 
     /// Execute `tx` at the latest state and append the result.
     pub fn step(&mut self, label: &str, tx: &FTerm, env: &Env) -> TxResult<&DbState> {
-        let engine = txlog_engine::Engine::new(&self.schema)?;
-        let (next, delta) = engine.execute_traced(self.latest(), tx, env)?;
+        let engine = txlog_engine::Engine::builder(&self.schema).build()?;
+        let exec = engine.execute_traced(self.latest(), tx, env)?;
+        let (next, delta) = (exec.state, exec.delta);
         engine
             .metrics()
             .observe(Hist::DeltaTuples, delta.tuple_changes() as u64);

@@ -34,7 +34,7 @@
 //! let hire = parse_fterm("insert(tuple('ann', 500), EMP)", &ctx, &[]).unwrap();
 //!
 //! // execute it: w ; e
-//! let engine = Engine::new(&schema).unwrap();
+//! let engine = Engine::builder(&schema).build().unwrap();
 //! let db2 = engine.execute(&db, &hire, &Env::new()).unwrap();
 //! assert_eq!(db2.total_tuples(), 1);
 //!
@@ -65,13 +65,16 @@ pub use txlog_temporal as temporal;
 pub mod prelude {
     pub use txlog_base::obs::{Counter, Hist, HistValue, Metrics, Snapshot, SpanValue};
     pub use txlog_base::{Atom, RelId, StateId, Symbol, TupleId, TxError, TxResult};
+    #[allow(deprecated)]
+    pub use txlog_constraints::IncrementalStats;
     pub use txlog_constraints::{
         checkability, classify, read_set, ConstraintClass, Hints, History, IncrementalChecker,
-        IncrementalStats, NeverReinsertEncoding, ReadSet, Window, WindowedChecker,
+        NeverReinsertEncoding, ReadSet, SessionConstraint, Window, WindowedChecker,
     };
     pub use txlog_engine::{
-        check_program, Binding, Engine, Env, EvalOptions, Explain, Model, ModelBuilder,
-        ProgramKind, SetVal, SourceKind, StateVal, Value,
+        check_program, Binding, Commit, CommitConstraint, CommitError, Database, Engine,
+        EngineBuilder, Env, EvalOptions, Execution, Explain, Footprint, Model, ModelBuilder,
+        ProgramKind, RetryPolicy, Session, SetVal, SourceKind, StateVal, Value,
     };
     pub use txlog_logic::{
         parse_fformula, parse_fterm, parse_sformula, parse_sformula_with_params, CmpOp, FFormula,
@@ -100,7 +103,7 @@ mod tests {
         let ctx = txlog_empdb::parse_ctx();
         let hire = txlog_empdb::transactions::hire("zoe", "dept-0", 500, 30, "S", "proj-0", 100);
         let (_, db) = txlog_empdb::populate(txlog_empdb::Sizes::small(), 1).unwrap();
-        let engine = Engine::new(&schema).unwrap();
+        let engine = Engine::builder(&schema).build().unwrap();
         let db2 = engine.execute(&db, &hire, &Env::new()).unwrap();
 
         let ic = parse_sformula(

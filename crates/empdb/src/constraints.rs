@@ -7,7 +7,7 @@
 
 use crate::schema::parse_ctx;
 use txlog_base::TxResult;
-use txlog_constraints::{Hints, IncrementalChecker, Window};
+use txlog_constraints::{Hints, IncrementalChecker, SessionConstraint, Window};
 use txlog_logic::{parse_sformula, SFormula};
 use txlog_relational::DbState;
 
@@ -287,6 +287,28 @@ pub fn example1_incremental(initial: DbState) -> TxResult<Vec<(&'static str, Inc
         .collect()
 }
 
+// ---------------------------------------------------------------------
+// Session enforcement
+// ---------------------------------------------------------------------
+
+/// The paper's constraints packaged for commit-time validation by the
+/// concurrent session layer ([`txlog_engine::Database`]): every
+/// Example 1 static constraint (window 1) plus Example 3's skill
+/// retention (window 2, sound by transitivity of `⊆`). Register each
+/// with [`Database::add_constraint`](txlog_engine::Database::add_constraint).
+pub fn session_constraints() -> TxResult<Vec<SessionConstraint>> {
+    let mut out = Vec::new();
+    for (name, ic) in example1_all() {
+        out.push(SessionConstraint::new(name, ic, Hints::default())?);
+    }
+    out.push(SessionConstraint::new(
+        "skill-retention",
+        ic3_skill_retention(),
+        ic3_skill_hints(),
+    )?);
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -394,7 +416,8 @@ mod tests {
                 "{name}: read-set should be precise, got {}",
                 chk.read_set()
             );
-            assert!(chk.stats().reused >= 1, "{name}: {:?}", chk.stats());
+            let reused = chk.metrics().get(txlog_constraints::counters::REUSED);
+            assert!(reused >= 1, "{name}: reused = {reused}");
         }
     }
 }

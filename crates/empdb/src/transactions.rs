@@ -266,7 +266,7 @@ mod tests {
     #[test]
     fn hire_then_fire_round_trips() {
         let schema = employee_schema();
-        let engine = Engine::new(&schema).unwrap();
+        let engine = Engine::builder(&schema).build().unwrap();
         let db0 = schema.initial_state();
         let db1 = engine
             .execute(
@@ -287,7 +287,7 @@ mod tests {
     #[test]
     fn raise_changes_salary_only() {
         let schema = employee_schema();
-        let engine = Engine::new(&schema).unwrap();
+        let engine = Engine::builder(&schema).build().unwrap();
         let db0 = schema.initial_state();
         let db1 = engine
             .execute(

@@ -22,7 +22,7 @@ fn target(
 #[test]
 fn cancelling_a_project_with_no_allocations() {
     let schema = employee_schema();
-    let engine = Engine::new(&schema).unwrap();
+    let engine = Engine::builder(&schema).build().unwrap();
     let (_, db) = populate(Sizes::small(), 201).expect("population generates");
     // add an unreferenced project
     let proj = schema.rel_id("PROJ").expect("PROJ exists");
@@ -51,7 +51,7 @@ fn cancelling_a_project_with_no_allocations() {
 #[test]
 fn cancelling_a_nonexistent_project_is_a_noop_modulo_scratch() {
     let schema = employee_schema();
-    let engine = Engine::new(&schema).unwrap();
+    let engine = Engine::builder(&schema).build().unwrap();
     let (_, db) = populate(Sizes::small(), 202).expect("population generates");
     let (tx, p, v) = cancel_project();
     // a tuple value that names no stored project
@@ -72,7 +72,7 @@ fn cancelling_a_nonexistent_project_is_a_noop_modulo_scratch() {
 fn reduction_larger_than_salary_truncates_at_zero() {
     // monus semantics: naturals have no negatives (Presburger)
     let schema = employee_schema();
-    let engine = Engine::new(&schema).unwrap();
+    let engine = Engine::builder(&schema).build().unwrap();
     let db = schema.initial_state();
     let env0 = Env::new();
     // one employee on two projects, tiny salary
@@ -115,7 +115,7 @@ fn reduction_larger_than_salary_truncates_at_zero() {
 #[test]
 fn double_cancellation_is_idempotent_on_the_database() {
     let schema = employee_schema();
-    let engine = Engine::new(&schema).unwrap();
+    let engine = Engine::builder(&schema).build().unwrap();
     let (_, db) = populate(Sizes::small(), 203).expect("population generates");
     let (tx, p, v) = cancel_project();
     let t = target(&db, &schema, "proj-0").expect("proj-0 exists");
@@ -137,7 +137,7 @@ fn double_cancellation_is_idempotent_on_the_database() {
 #[test]
 fn everyone_on_the_project_only_means_mass_firing() {
     let schema = employee_schema();
-    let engine = Engine::new(&schema).unwrap();
+    let engine = Engine::builder(&schema).build().unwrap();
     let db = schema.initial_state();
     let env0 = Env::new();
     let db = engine

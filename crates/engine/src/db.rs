@@ -1,0 +1,1046 @@
+//! Snapshot-isolated database sessions with optimistic parallel commits.
+//!
+//! The paper's states are immutable values related by transaction arcs,
+//! which is exactly the shape multi-version concurrency wants: a
+//! [`Database`] keeps a single committed *head* [`DbState`] behind a
+//! mutex, readers share `Arc` snapshots of it without any coordination,
+//! and writers go through an optimistic commit pipeline:
+//!
+//! 1. A [`Session`] executes a transaction against its snapshot with
+//!    [`Engine::execute_traced`], producing an [`Execution`] — the
+//!    candidate successor state plus the [`Delta`] of the run.
+//! 2. [`Session::commit`] takes the head lock. If the head is still the
+//!    session's snapshot, the candidate is validated and installed.
+//! 3. If the head moved, the commit is *forwarded* when the
+//!    transaction's static [`Footprint`] (every relation it can read or
+//!    write) is disjoint from the composition of the concurrently
+//!    committed deltas: the recorded delta — with freshly allocated
+//!    tuple identities renumbered from the head's allocator via
+//!    [`Delta::rebase_fresh`] — is applied directly to the head, no
+//!    re-execution needed. Disjointness of the full footprint means the
+//!    transaction would have read the same values and written the same
+//!    changes at the moved head, so the forward is serializable.
+//! 4. Otherwise the commit *conflicts*: the session re-executes against
+//!    a fresh snapshot after a bounded exponential backoff, up to
+//!    [`RetryPolicy::max_retries`] times, then surfaces
+//!    [`CommitError::RetriesExhausted`].
+//!
+//! Constraint validation runs before installation, under the head lock
+//! (commits serialize; readers never block). Each registered
+//! [`CommitConstraint`] is first screened by its read set: a constraint
+//! whose reads are disjoint from the commit's delta kept its verdict by
+//! induction (the head always satisfies every registered constraint), so
+//! only the affected ones are re-checked — fanned out across a
+//! `std::thread::scope` worker pool. A violation aborts the commit with
+//! [`CommitError::ConstraintViolation`] and leaves the head untouched.
+//!
+//! The whole pipeline reports into [`txlog_base::obs`]: commit
+//! attempts/conflicts/retries counters, applied-vs-forwarded outcomes,
+//! validation runs and read-set skips, and a `commit.validate` span.
+
+use crate::env::Env;
+use crate::exec::{Engine, EvalOptions, Execution};
+use std::collections::{BTreeSet, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use txlog_base::obs::{Counter, Metrics};
+use txlog_base::{Symbol, TxError, TxResult};
+use txlog_logic::plan::find_membership_rel;
+use txlog_logic::{FFormula, FTerm, ObjSort, Sort, Var};
+use txlog_relational::{DbState, Delta, Schema};
+
+/// How many recent `(version, delta)` pairs the head retains for
+/// conflict analysis. A session whose snapshot is older than the log can
+/// still commit — it just always takes the conservative conflict path.
+const DELTA_LOG_CAP: usize = 64;
+
+/// An integrity constraint checkable at commit time.
+///
+/// The engine crate cannot name the constraints crate (the dependency
+/// points the other way), so the commit pipeline validates through this
+/// trait; `txlog_constraints::SessionConstraint` is the standard
+/// implementation, wrapping an s-formula with its checkability window
+/// and read set.
+pub trait CommitConstraint: Send + Sync {
+    /// Diagnostic name, used in [`CommitError::ConstraintViolation`].
+    fn name(&self) -> &str;
+
+    /// Number of consecutive states (`>= 1`) a check needs to see: 1 for
+    /// static constraints, 2 for single-transition constraints, etc.
+    fn window_states(&self) -> usize;
+
+    /// Whether a commit with this delta can change the constraint's
+    /// verdict. Sound to over-approximate; returning `false` skips the
+    /// check (the head satisfies every registered constraint by
+    /// induction, so an unaffected verdict carries over).
+    fn affected_by(&self, schema: &Schema, delta: &Delta) -> bool;
+
+    /// Decide the constraint over a window of consecutive states,
+    /// oldest first, where `labels[i]` names the transaction that
+    /// produced `states[i + 1]`. The window holds at most
+    /// [`window_states`](CommitConstraint::window_states) states (fewer
+    /// near the start of history).
+    fn check(&self, schema: &Schema, states: &[DbState], labels: &[&str]) -> TxResult<bool>;
+}
+
+/// The static read/write footprint of a transaction: an
+/// over-approximation of every relation executing it can touch.
+///
+/// `foreach`/quantifier/set-former variables bounded by a membership
+/// conjunct (`x ∈ R ∧ …`) contribute their relation; the write
+/// primitives contribute their target relation, with `modify` resolved
+/// through the enumeration binding of its tuple variable. Anything the
+/// analysis cannot bound — program variables, tuple parameters, atom
+/// quantifiers (whose domain is every atom in the state), user
+/// functions — poisons the footprint to [`Footprint::all`], which
+/// conflicts with every concurrent commit (always sound, never clever).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Footprint(Option<BTreeSet<Symbol>>);
+
+impl Footprint {
+    /// The unbounded footprint: may touch anything.
+    pub fn all() -> Footprint {
+        Footprint(None)
+    }
+
+    /// Analyze a transaction program.
+    pub fn of_program(t: &FTerm) -> Footprint {
+        let mut w = FpWalker {
+            rels: BTreeSet::new(),
+            bound: Vec::new(),
+        };
+        if w.term(t) {
+            Footprint(Some(w.rels))
+        } else {
+            Footprint(None)
+        }
+    }
+
+    /// True iff the analysis could not bound the footprint.
+    pub fn is_all(&self) -> bool {
+        self.0.is_none()
+    }
+
+    /// The bounded relation set, if the analysis produced one.
+    pub fn rels(&self) -> Option<&BTreeSet<Symbol>> {
+        self.0.as_ref()
+    }
+
+    /// Whether this footprint intersects the relations a delta touched.
+    /// Unbounded footprints overlap every non-empty delta; relations the
+    /// schema does not know are treated as overlapping.
+    pub fn overlaps_delta(&self, schema: &Schema, delta: &Delta) -> bool {
+        match &self.0 {
+            None => !delta.is_empty(),
+            Some(rels) => delta
+                .touched()
+                .any(|rid| schema.by_id(rid).map_or(true, |d| rels.contains(&d.name))),
+        }
+    }
+}
+
+struct FpWalker {
+    rels: BTreeSet<Symbol>,
+    /// Enumeration variables currently in scope, newest last, each with
+    /// the relation its membership conjunct bounds it to.
+    bound: Vec<(Var, Symbol)>,
+}
+
+impl FpWalker {
+    fn lookup(&self, v: Var) -> Option<Symbol> {
+        self.bound
+            .iter()
+            .rev()
+            .find(|(b, _)| *b == v)
+            .map(|(_, r)| *r)
+    }
+
+    /// Bind `v` through a membership conjunct of `cond`, recording the
+    /// relation. `None` (poison) for atom variables — their fallback
+    /// domain enumerates every atom in the state — and for tuple
+    /// variables without a bounding conjunct.
+    fn bind_through(&mut self, v: Var, cond: &FFormula) -> Option<()> {
+        match v.sort {
+            Sort::Obj(ObjSort::Tup(_)) => {
+                let rel = find_membership_rel(cond, v)?;
+                self.rels.insert(rel);
+                self.bound.push((v, rel));
+                Some(())
+            }
+            _ => None,
+        }
+    }
+
+    /// Returns false when the footprint cannot be bounded; the caller
+    /// discards everything, so the binding stack need not be unwound on
+    /// that path.
+    fn term(&mut self, t: &FTerm) -> bool {
+        match t {
+            FTerm::Identity | FTerm::Nat(_) | FTerm::Str(_) => true,
+            FTerm::Var(v) => match v.sort {
+                // an atom value comes straight from the environment
+                Sort::Obj(ObjSort::Atom) => true,
+                // a tuple variable re-reads its current fields from the
+                // state: bounded only when we know which relation holds it
+                Sort::Obj(ObjSort::Tup(_)) => self.lookup(*v).is_some(),
+                // program / state / situational variables: opaque
+                _ => false,
+            },
+            FTerm::Rel(r) => {
+                self.rels.insert(*r);
+                true
+            }
+            FTerm::Attr(_, inner) | FTerm::Select(inner, _) | FTerm::IdOf(inner) => {
+                self.term(inner)
+            }
+            FTerm::TupleCons(ts) | FTerm::App(_, ts) => ts.iter().all(|t| self.term(t)),
+            FTerm::UserApp(..) => false,
+            FTerm::SetFormer { head, vars, cond } => {
+                let depth = self.bound.len();
+                for v in vars {
+                    if self.bind_through(*v, cond).is_none() {
+                        return false;
+                    }
+                }
+                let ok = self.formula(cond) && self.term(head);
+                self.bound.truncate(depth);
+                ok
+            }
+            FTerm::Seq(a, b) => self.term(a) && self.term(b),
+            FTerm::Cond(p, a, b) => self.formula(p) && self.term(a) && self.term(b),
+            FTerm::Foreach(v, p, body) => {
+                let depth = self.bound.len();
+                if self.bind_through(*v, p).is_none() {
+                    return false;
+                }
+                let ok = self.formula(p) && self.term(body);
+                self.bound.truncate(depth);
+                ok
+            }
+            FTerm::Insert(tup, rel) | FTerm::Delete(tup, rel) => {
+                self.rels.insert(*rel);
+                self.term(tup)
+            }
+            FTerm::Modify(tup, _, val) | FTerm::ModifyAttr(tup, _, val) => {
+                // the write lands wherever the tuple lives; bounded only
+                // for a tuple variable whose relation the enumeration fixed
+                let target_known = matches!(&**tup, FTerm::Var(v) if self.lookup(*v).is_some());
+                target_known && self.term(val)
+            }
+            FTerm::Assign(rel, set) => {
+                self.rels.insert(*rel);
+                self.term(set)
+            }
+        }
+    }
+
+    fn formula(&mut self, p: &FFormula) -> bool {
+        match p {
+            FFormula::True | FFormula::False => true,
+            FFormula::Cmp(_, a, b) | FFormula::Member(a, b) | FFormula::Subset(a, b) => {
+                self.term(a) && self.term(b)
+            }
+            FFormula::Not(q) => self.formula(q),
+            FFormula::And(a, b)
+            | FFormula::Or(a, b)
+            | FFormula::Implies(a, b)
+            | FFormula::Iff(a, b) => self.formula(a) && self.formula(b),
+            FFormula::Exists(v, body) | FFormula::Forall(v, body) => {
+                let depth = self.bound.len();
+                if self.bind_through(*v, body).is_none() {
+                    return false;
+                }
+                let ok = self.formula(body);
+                self.bound.truncate(depth);
+                ok
+            }
+            FFormula::UserPred(..) => false,
+        }
+    }
+}
+
+/// Retry/backoff policy for optimistic commits.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Re-executions allowed after the first conflicted attempt before
+    /// [`CommitError::RetriesExhausted`].
+    pub max_retries: u32,
+    /// First backoff delay; doubles per retry. Zero disables sleeping
+    /// (useful for deterministic tests).
+    pub backoff_base: Duration,
+    /// Upper bound on a single backoff delay.
+    pub backoff_cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 8,
+            backoff_base: Duration::from_micros(100),
+            backoff_cap: Duration::from_millis(10),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that retries up to `max_retries` times without sleeping.
+    pub fn no_backoff(max_retries: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_retries,
+            backoff_base: Duration::ZERO,
+            backoff_cap: Duration::ZERO,
+        }
+    }
+
+    fn delay(&self, retry: u32) -> Duration {
+        if self.backoff_base.is_zero() {
+            return Duration::ZERO;
+        }
+        let mult = 1u32.checked_shl(retry.min(16)).unwrap_or(u32::MAX);
+        self.backoff_base
+            .checked_mul(mult)
+            .unwrap_or(self.backoff_cap)
+            .min(self.backoff_cap)
+    }
+}
+
+/// Why a commit did not install.
+#[derive(Debug)]
+pub enum CommitError {
+    /// The head moved past the session's snapshot and the transaction's
+    /// footprint overlapped the concurrently committed deltas. Only
+    /// [`Session::try_commit`] surfaces this; [`Session::commit`]
+    /// retries until the policy is exhausted.
+    Conflict {
+        /// The head version the commit raced against.
+        head_version: u64,
+    },
+    /// The candidate state violated a registered constraint. Not
+    /// retried: the transaction itself produces an illegal state.
+    ConstraintViolation {
+        /// Name of the violated constraint.
+        constraint: String,
+    },
+    /// Every attempt permitted by the [`RetryPolicy`] conflicted.
+    RetriesExhausted {
+        /// Total execution attempts made.
+        attempts: u32,
+    },
+    /// The transaction failed to execute, or a constraint check errored.
+    Execution(TxError),
+}
+
+impl fmt::Display for CommitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommitError::Conflict { head_version } => write!(
+                f,
+                "commit conflict: head advanced to version {head_version} with \
+                 overlapping changes"
+            ),
+            CommitError::ConstraintViolation { constraint } => {
+                write!(f, "commit rejected: constraint {constraint} violated")
+            }
+            CommitError::RetriesExhausted { attempts } => {
+                write!(f, "commit gave up after {attempts} conflicted attempts")
+            }
+            CommitError::Execution(e) => write!(f, "commit failed to execute: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CommitError {}
+
+impl From<TxError> for CommitError {
+    fn from(e: TxError) -> CommitError {
+        CommitError::Execution(e)
+    }
+}
+
+/// Receipt for a successfully installed commit.
+#[derive(Clone, Copy, Debug)]
+pub struct Commit {
+    /// The head version this commit produced (versions start at 0 for
+    /// the initial state and increase by 1 per commit).
+    pub version: u64,
+    /// How many conflicted attempts preceded the successful one.
+    pub retries: u32,
+    /// True when the commit installed by forwarding its delta onto a
+    /// moved head instead of re-executing.
+    pub forwarded: bool,
+}
+
+/// The committed head plus the bookkeeping the pipeline needs.
+struct Head {
+    version: u64,
+    state: Arc<DbState>,
+    /// Trailing committed states, oldest first, ending at `state`;
+    /// bounded by the largest constraint window.
+    recent: VecDeque<Arc<DbState>>,
+    /// `labels[i]` names the commit that produced `recent[i + 1]`.
+    labels: VecDeque<String>,
+    /// Recent committed deltas as `(version_after, delta)`, oldest
+    /// first, for composing "what happened since snapshot v".
+    log: VecDeque<(u64, Delta)>,
+}
+
+impl Head {
+    /// Compose the deltas committed after `since`, oldest first, or
+    /// `None` if the log no longer reaches back that far.
+    fn delta_since(&self, since: u64) -> Option<Delta> {
+        let needed = self.version - since;
+        let tail: Vec<&Delta> = self
+            .log
+            .iter()
+            .filter(|(v, _)| *v > since)
+            .map(|(_, d)| d)
+            .collect();
+        if tail.len() as u64 != needed {
+            return None;
+        }
+        let mut out = Delta::empty();
+        for d in tail {
+            out = out.compose(d);
+        }
+        Some(out)
+    }
+
+    fn install(&mut self, label: &str, state: Arc<DbState>, delta: Delta, keep_states: usize) {
+        self.version += 1;
+        self.state = Arc::clone(&state);
+        self.recent.push_back(state);
+        self.labels.push_back(label.to_string());
+        while self.recent.len() > keep_states.max(1) {
+            self.recent.pop_front();
+            self.labels.pop_front();
+        }
+        self.log.push_back((self.version, delta));
+        while self.log.len() > DELTA_LOG_CAP {
+            self.log.pop_front();
+        }
+    }
+}
+
+/// A shared database: one committed head, any number of snapshot
+/// readers, optimistic writers. Share it by reference across
+/// `std::thread::scope` (or wrap it in an `Arc`); it is deliberately
+/// not `Clone` — clones would be independent databases.
+pub struct Database {
+    schema: Schema,
+    opts: EvalOptions,
+    metrics: Metrics,
+    retry: RetryPolicy,
+    constraints: Vec<Box<dyn CommitConstraint>>,
+    /// Largest constraint window, governing how many trailing states the
+    /// head retains.
+    max_window: usize,
+    head: Mutex<Head>,
+}
+
+impl Database {
+    /// A database over `schema`, starting from its initial (empty) state.
+    pub fn new(schema: Schema) -> TxResult<Database> {
+        let initial = schema.initial_state();
+        Database::with_initial(schema, initial)
+    }
+
+    /// A database starting from an explicit state. Validates the schema
+    /// the way [`Engine::builder`] does.
+    pub fn with_initial(schema: Schema, initial: DbState) -> TxResult<Database> {
+        // surface schema problems at construction, not first commit
+        Engine::builder(&schema).build()?;
+        let state = Arc::new(initial);
+        Ok(Database {
+            schema,
+            opts: EvalOptions::default(),
+            metrics: Metrics::current(),
+            retry: RetryPolicy::default(),
+            constraints: Vec::new(),
+            max_window: 1,
+            head: Mutex::new(Head {
+                version: 0,
+                state: Arc::clone(&state),
+                recent: VecDeque::from([state]),
+                labels: VecDeque::new(),
+                log: VecDeque::new(),
+            }),
+        })
+    }
+
+    /// Replace the evaluation options sessions execute with.
+    pub fn with_options(mut self, opts: EvalOptions) -> Database {
+        self.opts = opts;
+        self
+    }
+
+    /// Thread an explicit observability sink (default: the
+    /// process-global recorder).
+    pub fn with_metrics(mut self, metrics: Metrics) -> Database {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Replace the commit retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Database {
+        self.retry = retry;
+        self
+    }
+
+    /// Register a commit-time constraint. The current head must satisfy
+    /// it — that is the induction base that lets later commits skip
+    /// validation of read-set-disjoint constraints — so the constraint
+    /// is checked against the retained history first and rejected if it
+    /// does not hold.
+    pub fn add_constraint(&mut self, c: Box<dyn CommitConstraint>) -> TxResult<()> {
+        let k = c.window_states().max(1);
+        {
+            let head = self.head.lock().expect("db head lock");
+            let take = k.min(head.recent.len());
+            let states: Vec<DbState> = head
+                .recent
+                .iter()
+                .skip(head.recent.len() - take)
+                .map(|s| (**s).clone())
+                .collect();
+            let labels: Vec<&str> = head
+                .labels
+                .iter()
+                .skip(head.labels.len() - (take - 1))
+                .map(String::as_str)
+                .collect();
+            if !c.check(&self.schema, &states, &labels)? {
+                return Err(TxError::eval(format!(
+                    "constraint {} does not hold at the current head; a database \
+                     only accepts constraints its committed state satisfies",
+                    c.name()
+                )));
+            }
+        }
+        self.max_window = self.max_window.max(k);
+        self.constraints.push(c);
+        Ok(())
+    }
+
+    /// The schema this database evolves.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The observability sink the pipeline reports into.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// An engine configured like this database's sessions — the reader
+    /// side: evaluate queries against any [`Database::snapshot`] without
+    /// touching the head lock again.
+    pub fn engine(&self) -> TxResult<Engine<'_>> {
+        Engine::builder(&self.schema)
+            .options(self.opts)
+            .metrics(self.metrics.clone())
+            .build()
+    }
+
+    /// An `Arc` share of the committed head state. Readers hold it as
+    /// long as they like; commits never mutate shared states.
+    pub fn snapshot(&self) -> Arc<DbState> {
+        Arc::clone(&self.head.lock().expect("db head lock").state)
+    }
+
+    /// The committed head version (0 = initial state).
+    pub fn head_version(&self) -> u64 {
+        self.head.lock().expect("db head lock").version
+    }
+
+    /// Open a session pinned to the current head.
+    pub fn session(&self) -> Session<'_> {
+        let head = self.head.lock().expect("db head lock");
+        Session {
+            db: self,
+            base_version: head.version,
+            base: Arc::clone(&head.state),
+        }
+    }
+
+    /// Validate a candidate commit against the registered constraints,
+    /// fanning affected checks across a scoped worker pool. Caller holds
+    /// the head lock.
+    fn validate(
+        &self,
+        head: &Head,
+        candidate: &DbState,
+        delta: &Delta,
+        label: &str,
+    ) -> Result<(), CommitError> {
+        let affected: Vec<&dyn CommitConstraint> = self
+            .constraints
+            .iter()
+            .map(|c| &**c)
+            .filter(|c| {
+                let hit = c.affected_by(&self.schema, delta);
+                if !hit {
+                    self.metrics.bump(Counter::CommitValidationSkips);
+                }
+                hit
+            })
+            .collect();
+        if affected.is_empty() {
+            return Ok(());
+        }
+        let _span = self.metrics.span("commit.validate");
+        self.metrics
+            .add(Counter::CommitValidations, affected.len() as u64);
+        // Build each constraint's window up front: trailing committed
+        // states plus the candidate, with the commit label closing it.
+        let jobs: Vec<(Vec<DbState>, Vec<&str>)> = affected
+            .iter()
+            .map(|c| {
+                let want_prior = c.window_states().max(1) - 1;
+                let take = want_prior.min(head.recent.len());
+                let mut states: Vec<DbState> = head
+                    .recent
+                    .iter()
+                    .skip(head.recent.len() - take)
+                    .map(|s| (**s).clone())
+                    .collect();
+                states.push(candidate.clone());
+                let mut labels: Vec<&str> = if take > 0 {
+                    head.labels
+                        .iter()
+                        .skip(head.labels.len() - (take - 1))
+                        .map(String::as_str)
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                labels.push(label);
+                (states, labels)
+            })
+            .collect();
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(affected.len());
+        let results: Vec<Mutex<Option<TxResult<bool>>>> =
+            affected.iter().map(|_| Mutex::new(None)).collect();
+        if workers <= 1 {
+            for (i, c) in affected.iter().enumerate() {
+                let (states, labels) = &jobs[i];
+                *results[i].lock().expect("validation slot") =
+                    Some(c.check(&self.schema, states, labels));
+            }
+        } else {
+            let cursor = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| loop {
+                        let i = cursor.fetch_add(1, Relaxed);
+                        let Some(c) = affected.get(i) else { break };
+                        let (states, labels) = &jobs[i];
+                        let verdict = c.check(&self.schema, states, labels);
+                        *results[i].lock().expect("validation slot") = Some(verdict);
+                    });
+                }
+            });
+        }
+        // report deterministically: first failure in registration order
+        for (i, c) in affected.iter().enumerate() {
+            let verdict = results[i]
+                .lock()
+                .expect("validation slot")
+                .take()
+                .expect("every validation job ran");
+            match verdict {
+                Ok(true) => {}
+                Ok(false) => {
+                    return Err(CommitError::ConstraintViolation {
+                        constraint: c.name().to_string(),
+                    })
+                }
+                Err(e) => return Err(CommitError::Execution(e)),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A snapshot-pinned view of a [`Database`]: read freely, then commit
+/// optimistically. Cheap to open; hold one per writer.
+pub struct Session<'db> {
+    db: &'db Database,
+    base_version: u64,
+    base: Arc<DbState>,
+}
+
+impl<'db> Session<'db> {
+    /// The snapshot this session reads from and executes against.
+    pub fn state(&self) -> &DbState {
+        &self.base
+    }
+
+    /// An `Arc` share of the snapshot (outlives the session).
+    pub fn snapshot(&self) -> Arc<DbState> {
+        Arc::clone(&self.base)
+    }
+
+    /// The head version the snapshot was taken at.
+    pub fn version(&self) -> u64 {
+        self.base_version
+    }
+
+    /// Re-pin the session to the current committed head.
+    pub fn refresh(&mut self) {
+        let head = self.db.head.lock().expect("db head lock");
+        self.base_version = head.version;
+        self.base = Arc::clone(&head.state);
+    }
+
+    /// Execute a transaction against the snapshot *without* committing —
+    /// a dry run returning the candidate [`Execution`].
+    pub fn execute(&self, tx: &FTerm, env: &Env) -> TxResult<Execution> {
+        self.db.engine()?.execute_traced(&self.base, tx, env)
+    }
+
+    /// Execute and commit, retrying conflicted attempts per the
+    /// database's [`RetryPolicy`]. On success the session is re-pinned
+    /// to the new head.
+    pub fn commit(&mut self, label: &str, tx: &FTerm, env: &Env) -> Result<Commit, CommitError> {
+        self.commit_inner(label, tx, env, true)
+    }
+
+    /// Like [`Session::commit`] but with a single attempt: a conflict
+    /// surfaces as [`CommitError::Conflict`] instead of retrying (the
+    /// session stays on its snapshot so the caller can inspect and
+    /// decide).
+    pub fn try_commit(
+        &mut self,
+        label: &str,
+        tx: &FTerm,
+        env: &Env,
+    ) -> Result<Commit, CommitError> {
+        self.commit_inner(label, tx, env, false)
+    }
+
+    fn commit_inner(
+        &mut self,
+        label: &str,
+        tx: &FTerm,
+        env: &Env,
+        retry: bool,
+    ) -> Result<Commit, CommitError> {
+        let db = self.db;
+        let engine = db.engine()?;
+        let footprint = Footprint::of_program(tx);
+        let mut retries = 0u32;
+        loop {
+            db.metrics.bump(Counter::CommitAttempts);
+            // execute outside the lock, against the pinned snapshot
+            let exec = engine.execute_traced(&self.base, tx, env)?;
+            let mut head = db.head.lock().expect("db head lock");
+            if head.version == self.base_version {
+                // head unmoved: validate and install directly
+                db.validate(&head, &exec.state, &exec.delta, label)?;
+                let state = Arc::new(exec.state);
+                head.install(label, Arc::clone(&state), exec.delta, db.max_window);
+                let version = head.version;
+                db.metrics.bump(Counter::CommitsApplied);
+                drop(head);
+                self.base_version = version;
+                self.base = state;
+                return Ok(Commit {
+                    version,
+                    retries,
+                    forwarded: false,
+                });
+            }
+            // head moved: forward if provably disjoint from what landed
+            if let Some(concurrent) = head.delta_since(self.base_version) {
+                if !footprint.overlaps_delta(&db.schema, &concurrent) {
+                    let rebased = exec
+                        .delta
+                        .rebase_fresh(self.base.next_tuple_id(), head.state.next_tuple_id());
+                    if let Ok(next) = rebased.apply(&head.state) {
+                        db.validate(&head, &next, &rebased, label)?;
+                        let state = Arc::new(next);
+                        head.install(label, Arc::clone(&state), rebased, db.max_window);
+                        let version = head.version;
+                        db.metrics.bump(Counter::CommitsForwarded);
+                        drop(head);
+                        self.base_version = version;
+                        self.base = state;
+                        return Ok(Commit {
+                            version,
+                            retries,
+                            forwarded: true,
+                        });
+                    }
+                }
+            }
+            // conflict: refresh the snapshot and retry (or surface)
+            db.metrics.bump(Counter::CommitConflicts);
+            let head_version = head.version;
+            let fresh = Arc::clone(&head.state);
+            drop(head);
+            if !retry {
+                return Err(CommitError::Conflict { head_version });
+            }
+            if retries >= db.retry.max_retries {
+                return Err(CommitError::RetriesExhausted {
+                    attempts: retries + 1,
+                });
+            }
+            let delay = db.retry.delay(retries);
+            retries += 1;
+            db.metrics.bump(Counter::CommitRetries);
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+            self.base_version = head_version;
+            self.base = fresh;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txlog_logic::{parse_fterm, ParseCtx};
+
+    fn schema() -> Schema {
+        Schema::new()
+            .relation("EMP", &["e-name", "salary"])
+            .unwrap()
+            .relation("LOG", &["l-entry"])
+            .unwrap()
+    }
+
+    fn ctx() -> ParseCtx {
+        ParseCtx::with_relations(&["EMP", "LOG"])
+    }
+
+    fn tx(src: &str) -> FTerm {
+        parse_fterm(src, &ctx(), &[]).unwrap()
+    }
+
+    struct SalaryCap(u64);
+    impl CommitConstraint for SalaryCap {
+        fn name(&self) -> &str {
+            "salary-cap"
+        }
+        fn window_states(&self) -> usize {
+            1
+        }
+        fn affected_by(&self, schema: &Schema, delta: &Delta) -> bool {
+            schema.rel_id("EMP").is_ok_and(|id| delta.touches(id))
+        }
+        fn check(&self, schema: &Schema, states: &[DbState], _: &[&str]) -> TxResult<bool> {
+            let emp = schema.rel_id("EMP")?;
+            let state = states.last().expect("window is non-empty");
+            Ok(state
+                .relation(emp)
+                .map(|r| {
+                    r.iter()
+                        .all(|t| t.fields()[1].as_nat().is_ok_and(|s| s <= self.0))
+                })
+                .unwrap_or(true))
+        }
+    }
+
+    #[test]
+    fn sequential_commits_advance_the_head() {
+        let db = Database::new(schema()).unwrap();
+        let mut s = db.session();
+        let c1 = s
+            .commit(
+                "hire-ann",
+                &tx("insert(tuple('ann', 500), EMP)"),
+                &Env::new(),
+            )
+            .unwrap();
+        assert_eq!(c1.version, 1);
+        assert!(!c1.forwarded);
+        let c2 = s
+            .commit(
+                "hire-bob",
+                &tx("insert(tuple('bob', 400), EMP)"),
+                &Env::new(),
+            )
+            .unwrap();
+        assert_eq!(c2.version, 2);
+        let emp = db.schema().rel_id("EMP").unwrap();
+        assert_eq!(db.snapshot().relation(emp).unwrap().len(), 2);
+        assert_eq!(db.head_version(), 2);
+    }
+
+    #[test]
+    fn snapshots_are_isolated_from_later_commits() {
+        let db = Database::new(schema()).unwrap();
+        let mut s = db.session();
+        s.commit("hire", &tx("insert(tuple('ann', 500), EMP)"), &Env::new())
+            .unwrap();
+        let frozen = db.snapshot();
+        let mut s2 = db.session();
+        s2.commit("hire2", &tx("insert(tuple('bob', 400), EMP)"), &Env::new())
+            .unwrap();
+        let emp = db.schema().rel_id("EMP").unwrap();
+        assert_eq!(frozen.relation(emp).unwrap().len(), 1);
+        assert_eq!(db.snapshot().relation(emp).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn disjoint_commit_forwards_without_retry() {
+        let db = Database::new(schema()).unwrap();
+        // two sessions pinned to the same snapshot
+        let mut a = db.session();
+        let mut b = db.session();
+        a.commit("emp", &tx("insert(tuple('ann', 500), EMP)"), &Env::new())
+            .unwrap();
+        // b's footprint is {LOG}, disjoint from a's {EMP}
+        let c = b
+            .commit("log", &tx("insert(tuple('audit'), LOG)"), &Env::new())
+            .unwrap();
+        assert!(
+            c.forwarded,
+            "disjoint commit should forward, not re-execute"
+        );
+        assert_eq!(c.retries, 0);
+        assert_eq!(c.version, 2);
+        let emp = db.schema().rel_id("EMP").unwrap();
+        let log = db.schema().rel_id("LOG").unwrap();
+        let head = db.snapshot();
+        assert_eq!(head.relation(emp).unwrap().len(), 1);
+        assert_eq!(head.relation(log).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn overlapping_commit_retries_and_serializes() {
+        let db = Database::new(schema()).unwrap();
+        let mut setup = db.session();
+        setup
+            .commit("hire", &tx("insert(tuple('ann', 500), EMP)"), &Env::new())
+            .unwrap();
+        let mut a = db.session();
+        let mut b = db.session();
+        let raise = tx("foreach e: 2tup | e in EMP do modify(e, salary, salary(e) + 10) end");
+        a.commit("raise-a", &raise, &Env::new()).unwrap();
+        let c = b.commit("raise-b", &raise, &Env::new()).unwrap();
+        assert!(!c.forwarded);
+        assert!(c.retries >= 1, "same-relation commit must conflict");
+        // both raises landed: serializable outcome
+        let emp = db.schema().rel_id("EMP").unwrap();
+        let sal = db
+            .snapshot()
+            .relation(emp)
+            .unwrap()
+            .iter()
+            .next()
+            .unwrap()
+            .fields()[1]
+            .as_nat()
+            .unwrap();
+        assert_eq!(sal, 520);
+    }
+
+    #[test]
+    fn try_commit_surfaces_conflict() {
+        let db = Database::new(schema()).unwrap();
+        let mut setup = db.session();
+        setup
+            .commit("hire", &tx("insert(tuple('ann', 500), EMP)"), &Env::new())
+            .unwrap();
+        let mut a = db.session();
+        let mut b = db.session();
+        let raise = tx("foreach e: 2tup | e in EMP do modify(e, salary, salary(e) + 10) end");
+        a.commit("raise-a", &raise, &Env::new()).unwrap();
+        match b.try_commit("raise-b", &raise, &Env::new()) {
+            Err(CommitError::Conflict { head_version }) => assert_eq!(head_version, 2),
+            other => panic!("expected Conflict, got {other:?}"),
+        }
+        // refresh and try again: succeeds
+        b.refresh();
+        b.try_commit("raise-b", &raise, &Env::new()).unwrap();
+    }
+
+    #[test]
+    fn constraint_violation_aborts_without_installing() {
+        let mut db = Database::new(schema()).unwrap();
+        db.add_constraint(Box::new(SalaryCap(1000))).unwrap();
+        let mut s = db.session();
+        let err = s
+            .commit("hire", &tx("insert(tuple('ann', 5000), EMP)"), &Env::new())
+            .unwrap_err();
+        match err {
+            CommitError::ConstraintViolation { constraint } => {
+                assert_eq!(constraint, "salary-cap")
+            }
+            other => panic!("expected ConstraintViolation, got {other:?}"),
+        }
+        assert_eq!(db.head_version(), 0);
+        // a legal commit still goes through
+        s.refresh();
+        s.commit("hire", &tx("insert(tuple('ann', 900), EMP)"), &Env::new())
+            .unwrap();
+        assert_eq!(db.head_version(), 1);
+    }
+
+    #[test]
+    fn add_constraint_rejects_violated_base() {
+        let mut db = Database::new(schema()).unwrap();
+        let mut s = db.session();
+        s.commit("hire", &tx("insert(tuple('ann', 5000), EMP)"), &Env::new())
+            .unwrap();
+        assert!(db.add_constraint(Box::new(SalaryCap(1000))).is_err());
+    }
+
+    #[test]
+    fn footprint_bounds_simple_programs() {
+        let fp = Footprint::of_program(&tx("insert(tuple('ann', 1), EMP)"));
+        let rels: Vec<&str> = fp.rels().unwrap().iter().map(|s| s.as_str()).collect();
+        assert_eq!(rels, ["EMP"]);
+        let fp = Footprint::of_program(&tx(
+            "foreach e: 2tup | e in EMP do modify(e, salary, salary(e) + 1) end",
+        ));
+        let rels: Vec<&str> = fp.rels().unwrap().iter().map(|s| s.as_str()).collect();
+        assert_eq!(rels, ["EMP"]);
+        let fp = Footprint::of_program(&tx("if exists e: 2tup . e in EMP & salary(e) > 100
+             then insert(tuple('rich'), LOG) else insert(tuple('poor'), LOG)"));
+        let rels: Vec<&str> = fp.rels().unwrap().iter().map(|s| s.as_str()).collect();
+        assert_eq!(rels, ["EMP", "LOG"]);
+    }
+
+    #[test]
+    fn footprint_poisons_unbounded_reads() {
+        // a foreach without a membership conjunct enumerates active tuples
+        let unbounded = tx("foreach e: 2tup | salary(e) > 0 do delete(e, EMP) end");
+        assert!(Footprint::of_program(&unbounded).is_all());
+        // an unbounded footprint conflicts with any non-empty delta
+        let s = schema();
+        let emp = s.rel_id("EMP").unwrap();
+        let d0 = s.initial_state();
+        let (_, _, delta) = d0
+            .insert_traced(
+                emp,
+                &txlog_relational::TupleVal::anonymous(vec![
+                    txlog_base::Atom::str("x"),
+                    txlog_base::Atom::nat(1),
+                ]),
+            )
+            .unwrap();
+        assert!(Footprint::all().overlaps_delta(&s, &delta));
+        assert!(!Footprint::all().overlaps_delta(&s, &Delta::empty()));
+    }
+
+    #[test]
+    fn commit_metrics_are_recorded() {
+        let m = Metrics::enabled();
+        let db = Database::new(schema()).unwrap().with_metrics(m.clone());
+        let mut s = db.session();
+        s.commit("hire", &tx("insert(tuple('ann', 500), EMP)"), &Env::new())
+            .unwrap();
+        assert_eq!(m.get(Counter::CommitAttempts), 1);
+        assert_eq!(m.get(Counter::CommitsApplied), 1);
+        assert_eq!(m.get(Counter::CommitConflicts), 0);
+    }
+}

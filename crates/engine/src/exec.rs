@@ -72,6 +72,80 @@ impl Default for EvalOptions {
     }
 }
 
+/// Fluent constructor for [`Engine`] — the one way to configure one.
+///
+/// Obtained from [`Engine::builder`]; finish with
+/// [`build`](EngineBuilder::build), which validates the schema:
+///
+/// ```ignore
+/// let engine = Engine::builder(&schema)
+///     .options(EvalOptions { planner: PlanMode::Indexed, ..Default::default() })
+///     .metrics(metrics.clone())
+///     .build()?;
+/// ```
+#[must_use = "an EngineBuilder does nothing until .build()"]
+pub struct EngineBuilder<'a> {
+    schema: &'a Schema,
+    opts: EvalOptions,
+    metrics: Option<Metrics>,
+}
+
+impl<'a> EngineBuilder<'a> {
+    /// Replace the evaluation options (default: [`EvalOptions::default`]).
+    pub fn options(mut self, opts: EvalOptions) -> EngineBuilder<'a> {
+        self.opts = opts;
+        self
+    }
+
+    /// Thread an explicit observability sink. Engines built without one
+    /// inherit the process-global recorder ([`Metrics::current`]), which
+    /// is disabled unless a binary installs one.
+    pub fn metrics(mut self, metrics: Metrics) -> EngineBuilder<'a> {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Validate the schema and build the engine. Errors if the schema
+    /// violates the global attribute-name uniqueness the paper's `l(t)`
+    /// sugar presumes.
+    pub fn build(self) -> TxResult<Engine<'a>> {
+        let mut attrs = HashMap::new();
+        let mut owners: HashMap<Symbol, Symbol> = HashMap::new();
+        let mut sig = Signature::new();
+        for d in self.schema.decls() {
+            for (i, &a) in d.attrs.iter().enumerate() {
+                if let Some(prev) = owners.insert(a, d.name) {
+                    return Err(TxError::schema(format!(
+                        "attribute {a} is declared by both {prev} and {}; attribute \
+                         names must be globally unique for the l(t) sugar to denote",
+                        d.name
+                    )));
+                }
+                attrs.insert(a, (d.arity(), i + 1));
+            }
+            let attr_names: Vec<&str> = d.attrs.iter().map(|a| a.as_str()).collect();
+            sig = sig.relation(d.name.as_str(), &attr_names);
+        }
+        Ok(Engine {
+            schema: self.schema,
+            opts: self.opts,
+            attrs,
+            sig,
+            metrics: self.metrics.unwrap_or_else(Metrics::current),
+        })
+    }
+}
+
+/// The result of [`Engine::execute_traced`]: the successor state plus
+/// the extensional record of how it differs from the initial state.
+#[derive(Clone, Debug)]
+pub struct Execution {
+    /// The successor state (`w ; e`).
+    pub state: DbState,
+    /// The delta of the run; always equals `initial.diff(&state)`.
+    pub delta: Delta,
+}
+
 /// The evaluator. Borrow a schema, evaluate many expressions.
 pub struct Engine<'a> {
     pub(crate) schema: &'a Schema,
@@ -88,45 +162,37 @@ pub struct Engine<'a> {
 }
 
 impl<'a> Engine<'a> {
-    /// Build an engine over a schema with default options. Errors if the
-    /// schema violates the global attribute-name uniqueness the paper's
-    /// `l(t)` sugar presumes.
-    pub fn new(schema: &'a Schema) -> TxResult<Engine<'a>> {
-        Engine::with_options(schema, EvalOptions::default())
-    }
-
-    /// Build an engine with explicit options. Errors on duplicate
-    /// attribute names across relations (see [`Engine::new`]).
-    pub fn with_options(schema: &'a Schema, opts: EvalOptions) -> TxResult<Engine<'a>> {
-        let mut attrs = HashMap::new();
-        let mut owners: HashMap<Symbol, Symbol> = HashMap::new();
-        let mut sig = Signature::new();
-        for d in schema.decls() {
-            for (i, &a) in d.attrs.iter().enumerate() {
-                if let Some(prev) = owners.insert(a, d.name) {
-                    return Err(TxError::schema(format!(
-                        "attribute {a} is declared by both {prev} and {}; attribute \
-                         names must be globally unique for the l(t) sugar to denote",
-                        d.name
-                    )));
-                }
-                attrs.insert(a, (d.arity(), i + 1));
-            }
-            let attr_names: Vec<&str> = d.attrs.iter().map(|a| a.as_str()).collect();
-            sig = sig.relation(d.name.as_str(), &attr_names);
-        }
-        Ok(Engine {
+    /// Start configuring an engine over a schema. The builder is the
+    /// primary constructor; [`build`](EngineBuilder::build) performs the
+    /// schema validation the deprecated constructors used to.
+    pub fn builder(schema: &'a Schema) -> EngineBuilder<'a> {
+        EngineBuilder {
             schema,
-            opts,
-            attrs,
-            sig,
-            metrics: Metrics::current(),
-        })
+            opts: EvalOptions::default(),
+            metrics: None,
+        }
     }
 
-    /// Replace the observability sink. Engines default to the
-    /// process-global recorder (disabled unless one is installed); use
-    /// this to thread a local registry deterministically.
+    /// Build an engine over a schema with default options.
+    #[deprecated(since = "0.1.0", note = "use Engine::builder(schema).build()")]
+    pub fn new(schema: &'a Schema) -> TxResult<Engine<'a>> {
+        Engine::builder(schema).build()
+    }
+
+    /// Build an engine with explicit options.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Engine::builder(schema).options(opts).build()"
+    )]
+    pub fn with_options(schema: &'a Schema, opts: EvalOptions) -> TxResult<Engine<'a>> {
+        Engine::builder(schema).options(opts).build()
+    }
+
+    /// Replace the observability sink on a built engine.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Engine::builder(schema).metrics(m).build()"
+    )]
     pub fn with_metrics(mut self, metrics: Metrics) -> Engine<'a> {
         self.metrics = metrics;
         self
@@ -486,34 +552,44 @@ impl<'a> Engine<'a> {
     /// the recorded delta: there is exactly one execution path, and it is
     /// delta-native.
     pub fn execute(&self, db: &DbState, t: &FTerm, env: &Env) -> TxResult<DbState> {
-        self.execute_traced(db, t, env).map(|(next, _)| next)
+        self.exec_node(db, t, env).map(|(next, _)| next)
     }
 
     /// Execute a transaction and record the [`Delta`] of the run — the
     /// extensional content of the arc `w ; e` adds to the evolution
-    /// graph. This is *the* executor (the sole match over state-sorted
-    /// [`FTerm`]s): each primitive step uses its `*_traced` counterpart
-    /// on [`DbState`] (O(change) accumulation, not O(state)
+    /// graph. This is **the primary entry point**: the [`Execution`] it
+    /// returns carries both the successor state and the delta that the
+    /// incremental checker and the commit pipeline consume;
+    /// [`Engine::execute`] is the delta-dropping convenience.
+    ///
+    /// Internally there is exactly one executor (the sole match over
+    /// state-sorted [`FTerm`]s): each primitive step uses its `*_traced`
+    /// counterpart on [`DbState`] (O(change) accumulation, not O(state)
     /// differencing), `;;` composes the step deltas through
     /// [`Delta::compose`], `if` traces the branch taken, and `foreach`
     /// composes one delta per iteration. The delta always equals
-    /// `db.diff(&result)`; [`Engine::execute`] is a wrapper dropping it.
-    pub fn execute_traced(&self, db: &DbState, t: &FTerm, env: &Env) -> TxResult<(DbState, Delta)> {
+    /// `db.diff(&execution.state)`.
+    pub fn execute_traced(&self, db: &DbState, t: &FTerm, env: &Env) -> TxResult<Execution> {
+        self.exec_node(db, t, env)
+            .map(|(state, delta)| Execution { state, delta })
+    }
+
+    fn exec_node(&self, db: &DbState, t: &FTerm, env: &Env) -> TxResult<(DbState, Delta)> {
         self.metrics.bump(Counter::ExecSteps);
         match t {
             FTerm::Identity => Ok((db.clone(), Delta::empty())),
             FTerm::Seq(a, b) => {
                 self.metrics.bump(Counter::ExecSeq);
-                let (mid, d1) = self.execute_traced(db, a, env)?;
-                let (end, d2) = self.execute_traced(&mid, b, env)?;
+                let (mid, d1) = self.exec_node(db, a, env)?;
+                let (end, d2) = self.exec_node(&mid, b, env)?;
                 Ok((end, d1.compose(&d2)))
             }
             FTerm::Cond(p, a, b) => {
                 self.metrics.bump(Counter::ExecCond);
                 if self.eval_truth(db, p, env)? {
-                    self.execute_traced(db, a, env)
+                    self.exec_node(db, a, env)
                 } else {
-                    self.execute_traced(db, b, env)
+                    self.exec_node(db, b, env)
                 }
             }
             FTerm::Foreach(v, p, body) => {
@@ -577,7 +653,7 @@ impl<'a> Engine<'a> {
             FTerm::Var(v) => match env.get(v) {
                 Some(Binding::Program(p)) => {
                     let p = p.clone();
-                    self.execute_traced(db, &p, env)
+                    self.exec_node(db, &p, env)
                 }
                 Some(Binding::Label(l)) => Err(TxError::not_executable(format!(
                     "transaction variable {v} is bound to graph label {l}; \
@@ -639,7 +715,7 @@ impl<'a> Engine<'a> {
         let mut delta = Delta::empty();
         for b in &matches {
             let env2 = env.bind(v, b.clone());
-            let (next, d) = self.execute_traced(&cur, body, &env2)?;
+            let (next, d) = self.exec_node(&cur, body, &env2)?;
             cur = next;
             delta = delta.compose(&d);
         }
@@ -647,7 +723,7 @@ impl<'a> Engine<'a> {
             let mut back = db.clone();
             for b in matches.iter().rev() {
                 let env2 = env.bind(v, b.clone());
-                back = self.execute_traced(&back, body, &env2)?.0;
+                back = self.exec_node(&back, body, &env2)?.0;
             }
             if !cur.content_eq(&back) {
                 return Err(TxError::OrderDependent(format!(

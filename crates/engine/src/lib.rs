@@ -1,6 +1,6 @@
 //! Operational semantics for the situational transaction logic.
 //!
-//! Two evaluators:
+//! Two evaluators and a session layer:
 //!
 //! * [`Engine`] ([`exec`]) — the *program* semantics: evaluate f-terms
 //!   (queries) and execute f-terms of state sort (transactions) against a
@@ -11,11 +11,17 @@
 //!   finite model (an evolution graph), with quantifier domains as
 //!   described in the module docs. [`ModelBuilder`] grows a graph by
 //!   executing transactions.
+//! * [`Database`] ([`db`]) — snapshot-isolated concurrent access: readers
+//!   share `Arc` snapshots of an immutable committed head, and
+//!   [`Session`]s commit transactions through an optimistic pipeline
+//!   (execute at snapshot, detect conflicts by delta/footprint
+//!   intersection, forward or retry, validate constraints in parallel).
 //!
 //! [`DbState`]: txlog_relational::DbState
 
 #![warn(missing_docs)]
 
+pub mod db;
 pub mod env;
 pub mod exec;
 pub mod explain;
@@ -23,8 +29,11 @@ pub mod model;
 pub mod plan;
 pub mod value;
 
+pub use db::{Commit, CommitConstraint, CommitError, Database, Footprint, RetryPolicy, Session};
 pub use env::{Binding, Env};
-pub use exec::{check_program, Engine, EvalOptions, PlanMode, ProgramKind};
+pub use exec::{
+    check_program, Engine, EngineBuilder, EvalOptions, Execution, PlanMode, ProgramKind,
+};
 pub use explain::{Explain, ExplainNode, ExplainStep, SourceKind};
 pub use model::{Model, ModelBuilder};
 pub use value::{SetVal, StateVal, Value};
@@ -63,7 +72,7 @@ mod tests {
     #[test]
     fn execute_insert_and_query() {
         let schema = schema();
-        let engine = Engine::new(&schema).unwrap();
+        let engine = Engine::builder(&schema).build().unwrap();
         let db = populated(&schema);
         let tx = parse_fterm("insert(tuple('carol', 300), EMP)", &ctx(), &[]).unwrap();
         let db2 = engine.execute(&db, &tx, &Env::new()).unwrap();
@@ -78,7 +87,7 @@ mod tests {
     #[test]
     fn foreach_gives_everyone_a_raise() {
         let schema = schema();
-        let engine = Engine::new(&schema).unwrap();
+        let engine = Engine::builder(&schema).build().unwrap();
         let db = populated(&schema);
         let tx = parse_fterm(
             "foreach e: 2tup | e in EMP do modify(e, salary, salary(e) + 10) end",
@@ -100,7 +109,7 @@ mod tests {
     #[test]
     fn conditional_executes_one_branch() {
         let schema = schema();
-        let engine = Engine::new(&schema).unwrap();
+        let engine = Engine::builder(&schema).build().unwrap();
         let db = populated(&schema);
         let tx = parse_fterm(
             "if exists e: 2tup . e in EMP & salary(e) > 450

@@ -64,7 +64,10 @@ impl Model {
     }
 
     fn engine(&self) -> TxResult<Engine<'_>> {
-        Ok(Engine::with_options(&self.schema, self.opts)?.with_metrics(self.metrics.clone()))
+        Engine::builder(&self.schema)
+            .options(self.opts)
+            .metrics(self.metrics.clone())
+            .build()
     }
 
     /// Decide a closed s-formula in this model.
@@ -593,7 +596,7 @@ impl ModelBuilder {
         tx: &FTerm,
         env: &Env,
     ) -> TxResult<txlog_base::StateId> {
-        let engine = Engine::with_options(&self.schema, self.opts)?;
+        let engine = Engine::builder(&self.schema).options(self.opts).build()?;
         let next = engine.execute(self.graph.state(src), tx, env)?;
         let dst = self.graph.add_state(next);
         self.graph.add_arc(src, TxLabel::new(label), dst)?;

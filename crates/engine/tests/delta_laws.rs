@@ -39,8 +39,9 @@ fn tx(src: &str) -> FTerm {
 /// Traced execution returns the same state as plain execution, and its
 /// delta is exactly the diff of the endpoints.
 fn run_traced(schema: &Schema, db: &DbState, t: &FTerm) -> (DbState, Delta) {
-    let engine = Engine::new(schema).unwrap();
-    let (end, delta) = engine.execute_traced(db, t, &Env::new()).unwrap();
+    let engine = Engine::builder(schema).build().unwrap();
+    let exec = engine.execute_traced(db, t, &Env::new()).unwrap();
+    let (end, delta) = (exec.state, exec.delta);
     let plain = engine.execute(db, t, &Env::new()).unwrap();
     assert!(end.content_eq(&plain), "traced and plain execution agree");
     assert_eq!(delta, db.diff(&end), "accumulated delta equals the diff");
@@ -72,15 +73,19 @@ fn seq_composition_is_associative() {
     let a = tx("insert(tuple('carol', 300), EMP)");
     let b = tx("foreach e: 2tup | e in EMP do modify(e, salary, salary(e) + 10) end");
     let c = tx("delete(tuple('carol', 310), EMP)");
-    let engine = Engine::new(&schema).unwrap();
+    let engine = Engine::builder(&schema).build().unwrap();
     let env = Env::new();
-    let (s1, da) = engine.execute_traced(&db, &a, &env).unwrap();
-    let (s2, db_) = engine.execute_traced(&s1, &b, &env).unwrap();
-    let (s3, dc) = engine.execute_traced(&s2, &c, &env).unwrap();
+    let e1 = engine.execute_traced(&db, &a, &env).unwrap();
+    let (s1, da) = (e1.state, e1.delta);
+    let e2 = engine.execute_traced(&s1, &b, &env).unwrap();
+    let (s2, db_) = (e2.state, e2.delta);
+    let e3 = engine.execute_traced(&s2, &c, &env).unwrap();
+    let (s3, dc) = (e3.state, e3.delta);
     assert_eq!(da.compose(&db_).compose(&dc), da.compose(&db_.compose(&dc)));
     // and both equal the delta of the whole sequence program
     let seq = FTerm::seq(FTerm::seq(a, b), c);
-    let (end, dseq) = engine.execute_traced(&db, &seq, &env).unwrap();
+    let eseq = engine.execute_traced(&db, &seq, &env).unwrap();
+    let (end, dseq) = (eseq.state, eseq.delta);
     assert!(end.content_eq(&s3));
     assert_eq!(dseq, da.compose(&db_).compose(&dc));
 }
@@ -114,10 +119,12 @@ fn raise_then_cut_back_cancels() {
     let db = populated(&schema);
     let up = tx("foreach e: 2tup | e in EMP do modify(e, salary, salary(e) + 10) end");
     let down = tx("foreach e: 2tup | e in EMP do modify(e, salary, salary(e) - 10) end");
-    let engine = Engine::new(&schema).unwrap();
+    let engine = Engine::builder(&schema).build().unwrap();
     let env = Env::new();
-    let (s1, d1) = engine.execute_traced(&db, &up, &env).unwrap();
-    let (s2, d2) = engine.execute_traced(&s1, &down, &env).unwrap();
+    let e1 = engine.execute_traced(&db, &up, &env).unwrap();
+    let (s1, d1) = (e1.state, e1.delta);
+    let e2 = engine.execute_traced(&s1, &down, &env).unwrap();
+    let (s2, d2) = (e2.state, e2.delta);
     assert!(s2.content_eq(&db));
     assert!(d1.compose(&d2).is_empty());
 }

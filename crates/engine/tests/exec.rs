@@ -34,7 +34,7 @@ fn with_q(ns: &[u64]) -> (Schema, txlog_relational::DbState) {
 #[test]
 fn foreach_enumeration_is_fixed_at_entry() {
     let (schema, db) = with_q(&[1, 2]);
-    let engine = Engine::new(&schema).unwrap();
+    let engine = Engine::builder(&schema).build().unwrap();
     // each iteration inserts a new Q-tuple that would itself satisfy the
     // condition if enumeration were re-evaluated
     let tx = parse_fterm(
@@ -57,7 +57,7 @@ fn foreach_enumeration_is_fixed_at_entry() {
 #[test]
 fn foreach_bodies_compose_sequentially() {
     let (schema, db) = with_q(&[1, 2, 3]);
-    let engine = Engine::new(&schema).unwrap();
+    let engine = Engine::builder(&schema).build().unwrap();
     // each iteration records the current size of OUT, which its
     // predecessors have been growing
     let tx = parse_fterm(
@@ -84,7 +84,7 @@ fn foreach_can_consume_its_domain() {
         check_order_independence: true,
         ..Default::default()
     };
-    let engine = Engine::with_options(&schema, opts).unwrap();
+    let engine = Engine::builder(&schema).options(opts).build().unwrap();
     let tx =
         parse_fterm("foreach x: 1tup | x in Q do delete(x, Q) end", &ctx(), &[]).expect("parses");
     let out = engine.execute(&db, &tx, &Env::new()).expect("executes");
@@ -99,7 +99,7 @@ fn foreach_can_consume_its_domain() {
 #[test]
 fn atom_quantifier_domain() {
     let (schema, db) = with_q(&[4, 9]);
-    let engine = Engine::new(&schema).unwrap();
+    let engine = Engine::builder(&schema).build().unwrap();
     let env = Env::new();
     // ∃v. tuple(v) ∈ Q ∧ v > 5 — needs the active atoms as the domain
     let p = parse_fformula("exists v: atom . tuple(v) in Q & v > 5", &ctx(), &[]).expect("parses");
@@ -114,7 +114,7 @@ fn atom_quantifier_domain() {
 #[test]
 fn query_in_transaction_position_is_rejected() {
     let (schema, db) = with_q(&[1]);
-    let engine = Engine::new(&schema).unwrap();
+    let engine = Engine::builder(&schema).build().unwrap();
     let q = parse_fterm("size(Q)", &ctx(), &[]).expect("parses");
     let err = engine.execute(&db, &q, &Env::new()).unwrap_err();
     assert!(matches!(err, TxError::NotExecutable(_)), "{err}");
@@ -124,7 +124,7 @@ fn query_in_transaction_position_is_rejected() {
 #[test]
 fn arity_mismatch_at_runtime() {
     let (schema, db) = with_q(&[1]);
-    let engine = Engine::new(&schema).unwrap();
+    let engine = Engine::builder(&schema).build().unwrap();
     let tx = parse_fterm("insert(tuple(1, 2), Q)", &ctx(), &[]).expect("parses");
     let err = engine.execute(&db, &tx, &Env::new()).unwrap_err();
     assert!(matches!(err, TxError::Sort(_)), "{err}");
@@ -134,7 +134,7 @@ fn arity_mismatch_at_runtime() {
 #[test]
 fn unknown_relation_at_runtime() {
     let (schema, db) = with_q(&[1]);
-    let engine = Engine::new(&schema).unwrap();
+    let engine = Engine::builder(&schema).build().unwrap();
     let ctx2 = ParseCtx::with_relations(&["Q", "OUT", "GHOST"]);
     let tx = parse_fterm("insert(tuple(1), GHOST)", &ctx2, &[]).expect("parses");
     let err = engine.execute(&db, &tx, &Env::new()).unwrap_err();
@@ -145,7 +145,7 @@ fn unknown_relation_at_runtime() {
 #[test]
 fn setformer_with_two_binders() {
     let (schema, db) = with_q(&[1, 2]);
-    let engine = Engine::new(&schema).unwrap();
+    let engine = Engine::builder(&schema).build().unwrap();
     let q = parse_fterm(
         "{ tuple(select(x, 1), select(y, 1)) | x: 1tup, y: 1tup . x in Q & y in Q }",
         &ctx(),
@@ -171,7 +171,7 @@ fn duplicate_attribute_across_relations_is_rejected() {
         .expect("schema builds")
         .relation("B", &["name", "y"])
         .expect("schema builds");
-    let Err(err) = Engine::new(&schema) else {
+    let Err(err) = Engine::builder(&schema).build() else {
         panic!("duplicate attribute accepted");
     };
     assert!(matches!(err, TxError::Schema(_)), "{err}");
@@ -183,14 +183,13 @@ fn duplicate_attribute_across_relations_is_rejected() {
 #[test]
 fn quantifier_enumeration_respects_budget() {
     let (schema, db) = with_q(&[1, 2, 3, 4, 5]);
-    let engine = Engine::with_options(
-        &schema,
-        EvalOptions {
+    let engine = Engine::builder(&schema)
+        .options(EvalOptions {
             max_iterations: 3,
             ..Default::default()
-        },
-    )
-    .unwrap();
+        })
+        .build()
+        .unwrap();
     let p = parse_fformula("forall x: 1tup . x in Q -> select(x, 1) >= 1", &ctx(), &[])
         .expect("parses");
     let err = engine.eval_truth(&db, &p, &Env::new()).unwrap_err();
@@ -203,7 +202,7 @@ fn quantifier_enumeration_respects_budget() {
 #[test]
 fn empty_setformer_arity_from_head_sort() {
     let (schema, db) = with_q(&[]);
-    let engine = Engine::new(&schema).unwrap();
+    let engine = Engine::builder(&schema).build().unwrap();
     let q = parse_fterm(
         "{ tuple(select(x, 1), select(x, 1)) | x: 1tup . x in Q }",
         &ctx(),

@@ -422,6 +422,69 @@ impl Delta {
         }
         Ok(next)
     }
+
+    /// Remap the *fresh* tuple identities in this delta — those allocated
+    /// by the execution that produced it, i.e. `>= base_next` where
+    /// `base_next` is [`DbState::next_tuple_id`] of the snapshot the
+    /// transaction ran against — onto consecutive identities starting at
+    /// `alloc_from`, preserving their relative order.
+    ///
+    /// This is what lets an optimistic commit pipeline *forward* a delta
+    /// onto a head state that moved since the snapshot: two concurrent
+    /// sessions started from the same snapshot allocate overlapping fresh
+    /// identities, so the second committer's inserts must be renumbered
+    /// from the head's allocator (`alloc_from = head.next_tuple_id()`)
+    /// before [`Delta::apply`]. The ascending remap reproduces exactly
+    /// the identities a sequential re-execution at the head would have
+    /// allocated whenever insertion order is identity order.
+    ///
+    /// In a coherent delta fresh identities can appear only as
+    /// insertions: the composition algebra cancels insert-then-delete
+    /// and fuses insert-then-modify into an insertion, and a fresh
+    /// identity cannot be deleted or modified before being inserted.
+    /// Fresh identities found in `deleted`/`modified` are a caller error
+    /// (debug-asserted) and are left unmapped.
+    pub fn rebase_fresh(&self, base_next: u64, alloc_from: u64) -> Delta {
+        let mut fresh: Vec<TupleId> = self
+            .rels
+            .values()
+            .flat_map(|rd| rd.inserted.keys().copied())
+            .filter(|tid| tid.0 >= base_next)
+            .collect();
+        fresh.sort_unstable();
+        fresh.dedup();
+        if fresh.is_empty() {
+            return self.clone();
+        }
+        let map: BTreeMap<TupleId, TupleId> = fresh
+            .into_iter()
+            .enumerate()
+            .map(|(i, tid)| (tid, TupleId(alloc_from + i as u64)))
+            .collect();
+        let remap = |tid: TupleId| map.get(&tid).copied().unwrap_or(tid);
+        let mut out = Delta::empty();
+        for (&rid, rd) in &self.rels {
+            debug_assert!(
+                rd.deleted
+                    .keys()
+                    .chain(rd.modified.keys())
+                    .all(|t| t.0 < base_next),
+                "coherent delta cannot delete or modify a fresh tuple it never inserted"
+            );
+            let mut nrd = RelDelta::with_arity(rd.arity);
+            nrd.created = rd.created;
+            nrd.dropped = rd.dropped;
+            nrd.inserted = rd
+                .inserted
+                .iter()
+                .map(|(&tid, f)| (remap(tid), Arc::clone(f)))
+                .collect();
+            nrd.deleted = rd.deleted.clone();
+            nrd.modified = rd.modified.clone();
+            out.rels.insert(rid, nrd);
+        }
+        out
+    }
 }
 
 impl fmt::Display for Delta {
@@ -806,6 +869,47 @@ mod tests {
             let rebuilt = d.apply(a).unwrap();
             assert!(rebuilt.content_eq(b), "apply(diff) failed: {d}");
         }
+    }
+
+    #[test]
+    fn rebase_fresh_renumbers_only_new_inserts() {
+        let s0 = base();
+        let (s1, old_id, _) = s0
+            .insert_traced(RelId(0), &TupleVal::anonymous(fields(&[1, 2])))
+            .unwrap();
+        // s1 is the shared snapshot; a session inserts two fresh tuples
+        // and modifies the pre-existing one
+        let base_next = s1.next_tuple_id();
+        let (s2, a, da) = s1
+            .insert_traced(RelId(0), &TupleVal::anonymous(fields(&[3, 4])))
+            .unwrap();
+        let (s3, b, db) = s2
+            .insert_traced(RelId(0), &TupleVal::anonymous(fields(&[5, 6])))
+            .unwrap();
+        let v = s3.find_tuple(old_id).unwrap().1;
+        let (_, dm) = s3.modify_traced(&v, 1, Atom::nat(9)).unwrap();
+        let d = da.compose(&db).compose(&dm);
+        // pretend the head moved and its allocator is at 100
+        let rebased = d.rebase_fresh(base_next, 100);
+        let rd = rebased.rel(RelId(0)).unwrap();
+        assert!(rd.inserted.contains_key(&TupleId(100)));
+        assert!(rd.inserted.contains_key(&TupleId(101)));
+        assert!(!rd.inserted.contains_key(&a) && !rd.inserted.contains_key(&b));
+        // ascending order preserved: a (earlier) maps to 100
+        assert_eq!(rd.inserted[&TupleId(100)].as_ref(), &fields(&[3, 4])[..]);
+        assert_eq!(rd.inserted[&TupleId(101)].as_ref(), &fields(&[5, 6])[..]);
+        // the pre-existing tuple's modification is untouched
+        assert!(rd.modified.contains_key(&old_id));
+        // applying the rebased delta to a moved head works
+        let head = DbState {
+            next_tuple: 100,
+            ..s1.clone()
+        };
+        let next = rebased.apply(&head).unwrap();
+        assert_eq!(next.total_tuples(), 3);
+        assert_eq!(next.next_tuple_id(), 102);
+        // no fresh inserts → clone
+        assert_eq!(dm.rebase_fresh(base_next, 100), dm);
     }
 
     #[test]

@@ -239,7 +239,24 @@ impl DbState {
     pub fn total_tuples(&self) -> usize {
         self.rels.values().map(|r| r.len()).sum()
     }
+
+    /// The next tuple identity this state's allocator would hand out.
+    /// Every identity allocated by an execution starting from this state
+    /// is `>= next_tuple_id()`, which is what lets a commit pipeline
+    /// recognize (and remap) the fresh identities in a transaction's
+    /// delta when forwarding it onto a different head state.
+    pub fn next_tuple_id(&self) -> u64 {
+        self.next_tuple
+    }
 }
+
+// Snapshots are shared across threads by the session layer; `DbState`
+// is a tree of `Arc`s over immutable relations, so this holds by
+// construction — the assertion pins it against regressions.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<DbState>();
+};
 
 impl Default for DbState {
     fn default() -> DbState {

@@ -34,7 +34,7 @@ use txlog_relational::{DbState, Schema, TupleVal};
 /// Errors on `foreach` (unbounded information loss) and on non-executable
 /// shapes.
 pub fn invert(schema: &Schema, tx: &FTerm, pre: &DbState, env: &Env) -> TxResult<FTerm> {
-    let engine = Engine::new(schema)?;
+    let engine = Engine::builder(schema).build()?;
     match tx {
         FTerm::Identity => Ok(FTerm::Identity),
         FTerm::Seq(a, b) => {
@@ -215,7 +215,7 @@ pub fn verify_inverse(
     pre: &DbState,
     env: &Env,
 ) -> TxResult<bool> {
-    let engine = Engine::new(schema)?;
+    let engine = Engine::builder(schema).build()?;
     let mid = engine.execute(pre, tx, env)?;
     let back = engine.execute(&mid, inv, env)?;
     Ok(back.value_eq(pre))

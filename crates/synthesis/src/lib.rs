@@ -377,7 +377,7 @@ mod tests {
         let proj = schema.rel_id("PROJ").unwrap();
         let target: TupleVal = db.relation(proj).unwrap().iter_vals().next().unwrap();
 
-        let engine = Engine::new(&schema).unwrap();
+        let engine = Engine::builder(&schema).build().unwrap();
         let env_synth = Env::new()
             .bind_tuple(p, target.clone())
             .bind_atom(v, Atom::nat(25));

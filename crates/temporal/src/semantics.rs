@@ -23,7 +23,7 @@ pub fn holds(model: &Model, s: StateId, f: &TFormula) -> TxResult<bool> {
 pub fn holds_env(model: &Model, s: StateId, f: &TFormula, env: &Env) -> TxResult<bool> {
     match f {
         TFormula::Atom(p) => {
-            let engine = Engine::new(&model.schema)?;
+            let engine = Engine::builder(&model.schema).build()?;
             engine.eval_truth(model.graph.state(s), p, env)
         }
         TFormula::Not(a) => Ok(!holds_env(model, s, a, env)?),

@@ -23,7 +23,7 @@ fn main() -> TxResult<()> {
 
     let (schema, db) = txlog::empdb::populate(txlog::empdb::Sizes::scaled(400), 4)?;
     let metrics = Metrics::enabled();
-    let engine = Engine::new(&schema)?.with_metrics(metrics.clone());
+    let engine = Engine::builder(&schema).metrics(metrics.clone()).build()?;
 
     println!("=== plan (syntactic, no database touched) ===");
     let plan = engine.explain_formula(&every_emp_allocated);

@@ -61,7 +61,7 @@ fn main() -> TxResult<()> {
         db.total_tuples(),
         db.relation_count()
     );
-    let engine = Engine::new(&schema).unwrap();
+    let engine = Engine::builder(&schema).build().unwrap();
     let db1 = engine.execute(
         &db,
         &tx::hire("tour", "dept-0", 510, 31, "S", "proj-0", 60),

@@ -29,7 +29,7 @@ fn main() -> TxResult<()> {
     println!("transaction: {raise_all}");
 
     // 3. execute: w ; e
-    let engine = Engine::new(&schema).unwrap();
+    let engine = Engine::builder(&schema).build().unwrap();
     let env = Env::new();
     let s0 = schema.initial_state();
     let s1 = engine.execute(&s0, &hire_ann, &env)?;

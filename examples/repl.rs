@@ -88,7 +88,7 @@ impl Repl {
             }
             "run" => {
                 let tx = parse_fterm(rest, &self.ctx(), &[])?;
-                let engine = Engine::new(&self.schema).unwrap();
+                let engine = Engine::builder(&self.schema).build().unwrap();
                 let next = engine.execute(self.current(), &tx, &Env::new())?;
                 self.states.push(next);
                 self.labels.push(rest.to_string());
@@ -96,13 +96,13 @@ impl Repl {
             }
             "eval" => {
                 let q = parse_fterm(rest, &self.ctx(), &[])?;
-                let engine = Engine::new(&self.schema).unwrap();
+                let engine = Engine::builder(&self.schema).build().unwrap();
                 let v = engine.eval_obj(self.current(), &q, &Env::new())?;
                 Ok(format!("{v}"))
             }
             "ask" => {
                 let p = parse_fformula(rest, &self.ctx(), &[])?;
-                let engine = Engine::new(&self.schema).unwrap();
+                let engine = Engine::builder(&self.schema).build().unwrap();
                 let v = engine.eval_truth(self.current(), &p, &Env::new())?;
                 Ok(format!("{v}"))
             }

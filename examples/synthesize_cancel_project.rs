@@ -49,7 +49,7 @@ fn main() -> TxResult<()> {
         .bind_tuple(p, target.clone())
         .bind_atom(v, Atom::nat(30));
 
-    let engine = Engine::new(&schema).unwrap();
+    let engine = Engine::builder(&schema).build().unwrap();
     let before_emps = db
         .relation(schema.rel_id("EMP")?)
         .map(|r| r.len())

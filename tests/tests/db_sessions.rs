@@ -1,0 +1,236 @@
+//! Serializability of the session layer's optimistic commits.
+//!
+//! Three angles:
+//!
+//! * **Fixed interleavings** — 2–3 writers pinned to the *same* base
+//!   snapshot commit in a chosen order; the committed head must be
+//!   `value_eq` to a sequential oracle that replays the same
+//!   transactions in commit order from the same base. Covers both the
+//!   conflicting case (same relation, retried and re-executed) and the
+//!   disjoint case (different relations, delta-forwarded).
+//! * **Property** — any pair of transactions drawn from per-relation
+//!   pools with disjoint footprints commits from a shared stale
+//!   snapshot without a single retry (the forwarding fast path), and
+//!   the head equals the sequential oracle.
+//! * **Threaded stress** — writers hammer one database from real
+//!   threads; every commit lands, head version counts them exactly,
+//!   and replaying the per-version labels sequentially reproduces the
+//!   final state.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::thread;
+use txlog::empdb::transactions::{add_dept, add_project, obtain_skill, raise_salary};
+use txlog::empdb::{populate, Sizes};
+use txlog::engine::{Database, Env};
+use txlog::logic::FTerm;
+use txlog::relational::DbState;
+
+fn database() -> Database {
+    let (schema, db) = populate(Sizes::small(), 2).expect("population generates");
+    Database::with_initial(schema, db).expect("database builds")
+}
+
+/// Replay `txs` in order from `base` through a fresh single-writer
+/// database — the sequential oracle.
+fn oracle(base_db: &Database, base: &DbState, txs: &[&FTerm]) -> DbState {
+    let db = Database::with_initial(base_db.schema().clone(), base.clone())
+        .expect("oracle database builds");
+    let mut session = db.session();
+    let env = Env::new();
+    for (i, tx) in txs.iter().enumerate() {
+        session
+            .commit(&format!("oracle-{i}"), tx, &env)
+            .expect("oracle commit succeeds");
+    }
+    let snap = db.snapshot();
+    (*snap).clone()
+}
+
+/// Two writers on the same relation, both pinned to the pre-commit
+/// snapshot: the second must conflict, retry, and re-execute at the
+/// new head, so neither raise is lost.
+#[test]
+fn conflicting_writers_serialize_like_the_oracle() {
+    let db = database();
+    let base = (*db.snapshot()).clone();
+    let env = Env::new();
+
+    let raise_a = raise_salary("emp-0", 10);
+    let raise_b = raise_salary("emp-0", 7);
+
+    // both sessions pin the same base version before either commits
+    let mut s1 = db.session();
+    let mut s2 = db.session();
+    let c1 = s1.commit("raise-a", &raise_a, &env).expect("first commits");
+    assert_eq!(c1.retries, 0, "uncontended commit needs no retry");
+    let c2 = s2
+        .commit("raise-b", &raise_b, &env)
+        .expect("second commits");
+    assert!(
+        c2.retries > 0 || c2.forwarded,
+        "stale overlapping commit must not pretend the head never moved"
+    );
+
+    let expect = oracle(&db, &base, &[&raise_a, &raise_b]);
+    assert!(
+        db.snapshot().value_eq(&expect),
+        "concurrent result differs from sequential replay"
+    );
+}
+
+/// Three writers: two disjoint (SKILL, PROJ) around one conflicting
+/// (EMP vs EMP) — the disjoint ones forward, the overlapping one
+/// retries, and the head still equals the oracle.
+#[test]
+fn mixed_disjoint_and_conflicting_schedule() {
+    let db = database();
+    let base = (*db.snapshot()).clone();
+    let env = Env::new();
+
+    let t1 = raise_salary("emp-0", 5);
+    let t2 = obtain_skill("emp-1", 900);
+    let t3 = raise_salary("emp-1", 3);
+
+    let mut s1 = db.session();
+    let mut s2 = db.session();
+    let mut s3 = db.session();
+    s1.commit("t1", &t1, &env).expect("t1 commits");
+    let c2 = s2.commit("t2", &t2, &env).expect("t2 commits");
+    assert_eq!(
+        c2.retries, 0,
+        "skill insert is footprint-disjoint from the salary raise"
+    );
+    assert!(
+        c2.forwarded,
+        "stale disjoint commit takes the forwarding path"
+    );
+    s3.commit("t3", &t3, &env).expect("t3 commits");
+
+    let expect = oracle(&db, &base, &[&t1, &t2, &t3]);
+    assert!(db.snapshot().value_eq(&expect), "head != sequential oracle");
+}
+
+/// `try_commit` never retries: the stale overlapping writer surfaces
+/// `Conflict` and the head is untouched by the failed attempt.
+#[test]
+fn try_commit_leaves_head_untouched_on_conflict() {
+    let db = database();
+    let env = Env::new();
+
+    let mut s1 = db.session();
+    let mut s2 = db.session();
+    s1.commit("winner", &raise_salary("emp-0", 10), &env)
+        .expect("commits");
+    let version_after_winner = db.head_version();
+    let err = s2
+        .try_commit("loser", &raise_salary("emp-0", 1), &env)
+        .expect_err("stale overlapping try_commit conflicts");
+    assert!(matches!(
+        err,
+        txlog::engine::CommitError::Conflict { head_version } if head_version == version_after_winner
+    ));
+    assert_eq!(db.head_version(), version_after_winner);
+}
+
+/// Transaction pools per relation, for the disjointness property.
+fn tx_pool(rel: usize, i: usize) -> FTerm {
+    match rel {
+        0 => raise_salary("emp-0", 1 + i as u64),
+        1 => obtain_skill("emp-0", 500 + i as u64),
+        2 => add_project(&format!("proj-p{i}"), 0),
+        _ => add_dept(&format!("dept-p{i}"), "emp-0", "hq"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any two transactions over *different* relations, committed from
+    /// the same stale snapshot, succeed without retry — and the result
+    /// is the sequential composition.
+    #[test]
+    fn disjoint_commits_never_retry(
+        rel_a in 0usize..4,
+        rel_b in 0usize..4,
+        ia in 0usize..8,
+        ib in 0usize..8,
+    ) {
+        prop_assume!(rel_a != rel_b);
+        let db = database();
+        let base = (*db.snapshot()).clone();
+        let env = Env::new();
+        let ta = tx_pool(rel_a, ia);
+        let tb = tx_pool(rel_b, ib);
+
+        let mut s1 = db.session();
+        let mut s2 = db.session();
+        let ca = s1.commit("a", &ta, &env).expect("a commits");
+        let cb = s2.commit("b", &tb, &env).expect("b commits");
+        prop_assert_eq!(ca.retries, 0);
+        prop_assert_eq!(cb.retries, 0, "disjoint footprints must never conflict");
+        prop_assert!(cb.forwarded, "stale disjoint commit forwards");
+
+        let expect = oracle(&db, &base, &[&ta, &tb]);
+        prop_assert!(db.snapshot().value_eq(&expect), "head != oracle");
+    }
+}
+
+/// Real threads, one database: every commit lands exactly once, and
+/// replaying the committed transactions in version order from the base
+/// state reproduces the final head.
+#[test]
+fn threaded_stress_serializes() {
+    const WRITERS: usize = 4;
+    const ROUNDS: usize = 8;
+
+    let db = database();
+    let base = (*db.snapshot()).clone();
+    let base_version = db.head_version();
+    let env = Env::new();
+
+    // version -> transaction, recorded as each commit lands
+    let committed: Mutex<BTreeMap<u64, FTerm>> = Mutex::new(BTreeMap::new());
+    thread::scope(|s| {
+        for w in 0..WRITERS {
+            let committed = &committed;
+            let db = &db;
+            let env = &env;
+            s.spawn(move || {
+                let mut session = db.session();
+                for round in 0..ROUNDS {
+                    // writers 0/1 contend on EMP; writers 2/3 stay disjoint
+                    let tx = match w {
+                        0 => raise_salary("emp-0", 1),
+                        1 => raise_salary("emp-1", 2),
+                        2 => obtain_skill("emp-2", (100 * w + round) as u64),
+                        _ => add_project(&format!("proj-{w}-{round}"), 0),
+                    };
+                    let commit = session
+                        .commit(&format!("w{w}-r{round}"), &tx, env)
+                        .expect("commit lands within the retry budget");
+                    let prev = committed
+                        .lock()
+                        .expect("tally lock")
+                        .insert(commit.version, tx);
+                    assert!(prev.is_none(), "two commits claimed one version");
+                }
+            });
+        }
+    });
+
+    let committed = committed.into_inner().expect("tally lock");
+    assert_eq!(committed.len(), WRITERS * ROUNDS, "every commit landed");
+    assert_eq!(db.head_version(), base_version + committed.len() as u64);
+    let versions: Vec<u64> = committed.keys().copied().collect();
+    let contiguous: Vec<u64> = (base_version + 1..=db.head_version()).collect();
+    assert_eq!(versions, contiguous, "versions are gapless and ordered");
+
+    let in_order: Vec<&FTerm> = committed.values().collect();
+    let expect = oracle(&db, &base, &in_order);
+    assert!(
+        db.snapshot().value_eq(&expect),
+        "threaded result differs from sequential replay in version order"
+    );
+}

@@ -162,7 +162,7 @@ fn section2_nonexecutable_program() {
     // This is a perfectly good s-term for specification…
     assert!(salary_after.to_string().contains(";modify"));
     // …and the executable version runs:
-    let engine = Engine::new(&schema).unwrap();
+    let engine = Engine::builder(&schema).build().unwrap();
     let db = schema.initial_state();
     let emp = schema.rel_id("EMP").expect("EMP exists");
     let (db, id) = db

@@ -65,7 +65,7 @@ proptest! {
     #[test]
     fn seq_equals_stepwise(db in db_strategy(), a in tx_strategy(), b in tx_strategy()) {
         let schema = schema();
-        let engine = Engine::new(&schema).unwrap();
+        let engine = Engine::builder(&schema).build().unwrap();
         let env = Env::new();
         let composed = engine
             .execute(&db, &a.clone().seq(b.clone()), &env)
@@ -80,7 +80,7 @@ proptest! {
     #[test]
     fn identity_is_neutral(db in db_strategy(), a in tx_strategy()) {
         let schema = schema();
-        let engine = Engine::new(&schema).unwrap();
+        let engine = Engine::builder(&schema).build().unwrap();
         let env = Env::new();
         let plain = engine.execute(&db, &a, &env).expect("executes");
         let left = engine
@@ -100,7 +100,7 @@ proptest! {
         db in db_strategy(), n in 0u64..10, a in tx_strategy(), b in tx_strategy()
     ) {
         let schema = schema();
-        let engine = Engine::new(&schema).unwrap();
+        let engine = Engine::builder(&schema).build().unwrap();
         let env = Env::new();
         let p = FFormula::member(
             FTerm::TupleCons(vec![FTerm::Nat(n)]),
@@ -120,7 +120,7 @@ proptest! {
     #[test]
     fn execution_is_persistent(db in db_strategy(), a in tx_strategy()) {
         let schema = schema();
-        let engine = Engine::new(&schema).unwrap();
+        let engine = Engine::builder(&schema).build().unwrap();
         let before = db.content_digest();
         let _ = engine.execute(&db, &a, &Env::new()).expect("executes");
         prop_assert_eq!(db.content_digest(), before);
@@ -138,14 +138,18 @@ proptest! {
             &[],
         )
         .expect("parses");
-        let unchecked = Engine::new(&schema)
+        let unchecked = Engine::builder(&schema)
+            .build()
             .unwrap()
             .execute(&db, &tx, &Env::new())
             .expect("executes");
-        let checked = Engine::with_options(&schema,
-            EvalOptions { check_order_independence: true, ..Default::default() },
-        )
-        .unwrap()
+        let checked = Engine::builder(&schema)
+            .options(EvalOptions {
+                check_order_independence: true,
+                ..Default::default()
+            })
+            .build()
+            .unwrap()
         .execute(&db, &tx, &Env::new())
         .expect("order-independent foreach passes the check");
         prop_assert!(unchecked.content_eq(&checked));
@@ -157,7 +161,7 @@ proptest! {
     #[test]
     fn negation_is_classical_at_the_top(db in db_strategy(), n in 0u64..10) {
         let schema = schema();
-        let engine = Engine::new(&schema).unwrap();
+        let engine = Engine::builder(&schema).build().unwrap();
         let env = Env::new();
         let p = FFormula::member(
             FTerm::TupleCons(vec![FTerm::Nat(n)]),
@@ -200,14 +204,13 @@ fn order_dependent_foreach_is_rejected() {
         &[],
     )
     .expect("parses");
-    let engine = Engine::with_options(
-        &schema,
-        EvalOptions {
+    let engine = Engine::builder(&schema)
+        .options(EvalOptions {
             check_order_independence: true,
             ..Default::default()
-        },
-    )
-    .unwrap();
+        })
+        .build()
+        .unwrap();
     let err = engine.execute(&db, &tx, &Env::new()).unwrap_err();
     assert!(
         matches!(err, txlog::base::TxError::OrderDependent(_)),

@@ -158,14 +158,13 @@ fn tx_strategy() -> impl Strategy<Value = FTerm> {
 }
 
 fn engine_with(schema: &Schema, planner: PlanMode) -> Engine<'_> {
-    Engine::with_options(
-        schema,
-        EvalOptions {
+    Engine::builder(schema)
+        .options(EvalOptions {
             planner,
             ..Default::default()
-        },
-    )
-    .expect("schema has globally unique attributes")
+        })
+        .build()
+        .expect("schema has globally unique attributes")
 }
 
 proptest! {
@@ -228,15 +227,18 @@ proptest! {
     #[test]
     fn execute_is_traced_without_the_delta(db in db_strategy(), tx in tx_strategy()) {
         let schema = schema();
-        let engine = Engine::new(&schema).expect("schema builds");
+        let engine = Engine::builder(&schema).build().expect("schema builds");
         let env = Env::new();
         let plain = engine.execute(&db, &tx, &env);
         let traced = engine.execute_traced(&db, &tx, &env);
         match (plain, traced) {
-            (Ok(s), Ok((t, delta))) => {
-                prop_assert!(s.content_eq(&t), "execute and execute_traced disagree");
-                let replayed = delta.apply(&db).expect("delta replays");
-                prop_assert!(replayed.content_eq(&t), "delta does not reproduce the state");
+            (Ok(s), Ok(exec)) => {
+                prop_assert!(s.content_eq(&exec.state), "execute and execute_traced disagree");
+                let replayed = exec.delta.apply(&db).expect("delta replays");
+                prop_assert!(
+                    replayed.content_eq(&exec.state),
+                    "delta does not reproduce the state"
+                );
             }
             (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
             (a, b) => prop_assert!(false, "one path failed: plain={a:?} traced={b:?}"),

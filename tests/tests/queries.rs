@@ -16,7 +16,7 @@ fn setup() -> (txlog::relational::Schema, txlog::relational::DbState) {
 #[test]
 fn selection_filters_by_predicate() {
     let (schema, db) = setup();
-    let engine = Engine::new(&schema).unwrap();
+    let engine = Engine::builder(&schema).build().unwrap();
     let q = select("EMP", 5, |e| {
         FFormula::lt(FTerm::nat(600), FTerm::attr("salary", FTerm::var(e)))
     });
@@ -39,7 +39,7 @@ fn selection_filters_by_predicate() {
 #[test]
 fn projection_keeps_named_columns() {
     let (schema, db) = setup();
-    let engine = Engine::new(&schema).unwrap();
+    let engine = Engine::builder(&schema).build().unwrap();
     let q = project("EMP", 5, &["e-name", "e-dept"]);
     let out = engine
         .eval_obj(&db, &q, &Env::new())
@@ -61,7 +61,7 @@ fn projection_keeps_named_columns() {
 #[test]
 fn join_pairs_employees_with_allocations() {
     let (schema, db) = setup();
-    let engine = Engine::new(&schema).unwrap();
+    let engine = Engine::builder(&schema).build().unwrap();
     let q = equi_join(
         "EMP",
         5,
@@ -93,7 +93,7 @@ fn join_pairs_employees_with_allocations() {
 #[test]
 fn semijoin_selects_allocated_employees() {
     let (schema, db) = setup();
-    let engine = Engine::new(&schema).unwrap();
+    let engine = Engine::builder(&schema).build().unwrap();
     let q = semijoin("EMP", 5, "ALLOC", 3, "e-name", "a-emp");
     let out = engine
         .eval_obj(&db, &q, &Env::new())
@@ -108,7 +108,7 @@ fn semijoin_selects_allocated_employees() {
 #[test]
 fn count_and_sum_aggregates() {
     let (schema, db) = setup();
-    let engine = Engine::new(&schema).unwrap();
+    let engine = Engine::builder(&schema).build().unwrap();
     let env = Env::new();
     let n = engine
         .eval_obj(&db, &count(FTerm::rel("PROJ")), &env)
@@ -144,7 +144,7 @@ fn count_and_sum_aggregates() {
 fn queries_compose_with_transactions() {
     // run a query, use its answer to drive a transaction, re-query
     let (schema, db) = setup();
-    let engine = Engine::new(&schema).unwrap();
+    let engine = Engine::builder(&schema).build().unwrap();
     let env = Env::new();
     let before = engine
         .eval_obj(&db, &count(FTerm::rel("EMP")), &env)
