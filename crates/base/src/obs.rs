@@ -139,11 +139,24 @@ pub enum Counter {
     /// Session-constraint validations skipped because the commit's delta
     /// was disjoint from the constraint's read set.
     CommitValidationSkips,
+    /// Records (commits and checkpoints) appended to a write-ahead log.
+    WalAppends,
+    /// Bytes appended to a write-ahead log, framing included.
+    WalBytes,
+    /// Synchronous flushes (`fsync`-equivalents) issued to a log store.
+    WalFsyncs,
+    /// Full-state checkpoint records appended to a write-ahead log.
+    WalCheckpoints,
+    /// Committed deltas replayed onto a checkpoint state during recovery.
+    RecoverReplayedDeltas,
+    /// Torn or corrupt tail records dropped (by truncation) during
+    /// recovery.
+    RecoverTruncatedRecords,
 }
 
 impl Counter {
     /// Every counter, in canonical (serialization) order.
-    pub const ALL: [Counter; 38] = [
+    pub const ALL: [Counter; 44] = [
         Counter::PlansCompiled,
         Counter::PrefilterCuts,
         Counter::ScanSteps,
@@ -182,6 +195,12 @@ impl Counter {
         Counter::CommitsForwarded,
         Counter::CommitValidations,
         Counter::CommitValidationSkips,
+        Counter::WalAppends,
+        Counter::WalBytes,
+        Counter::WalFsyncs,
+        Counter::WalCheckpoints,
+        Counter::RecoverReplayedDeltas,
+        Counter::RecoverTruncatedRecords,
     ];
 
     /// Stable snake_case name used in snapshots and reports.
@@ -225,6 +244,12 @@ impl Counter {
             Counter::CommitsForwarded => "commits_forwarded",
             Counter::CommitValidations => "commit_validations",
             Counter::CommitValidationSkips => "commit_validation_skips",
+            Counter::WalAppends => "wal_appends",
+            Counter::WalBytes => "wal_bytes",
+            Counter::WalFsyncs => "wal_fsyncs",
+            Counter::WalCheckpoints => "wal_checkpoints",
+            Counter::RecoverReplayedDeltas => "recover_replayed_deltas",
+            Counter::RecoverTruncatedRecords => "recover_truncated_records",
         }
     }
 }

@@ -46,8 +46,7 @@ use txlog_logic::{FTerm, SFormula};
 use txlog_relational::{DbState, Delta, Schema};
 
 /// Stable counter names for the cache-effectiveness metrics, for use
-/// with [`Metrics::get`] / snapshot tooling. These are the one source
-/// of truth since [`IncrementalStats`] was deprecated.
+/// with [`Metrics::get`] / snapshot tooling.
 pub mod counters {
     use txlog_base::obs::Counter;
 
@@ -57,33 +56,6 @@ pub mod counters {
     pub const RECOMPUTED: Counter = Counter::CacheRecomputed;
     /// Checks requested in total ("checks_requested").
     pub const REQUESTED: Counter = Counter::ChecksRequested;
-}
-
-/// Counters describing how much work the cache saved.
-///
-/// Since the engine-wide observability layer landed, these are a *view*
-/// over the checker's [`Metrics`] registry ([`Counter::CacheReused`] /
-/// [`Counter::CacheRecomputed`]) rather than separately-maintained
-/// fields — the same numbers surface in metrics snapshots and in
-/// [`IncrementalChecker::stats`].
-#[deprecated(
-    since = "0.1.0",
-    note = "read the obs counters directly: metrics().get(counters::REUSED) etc."
-)]
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct IncrementalStats {
-    /// Checks answered from the verdict cache.
-    pub reused: usize,
-    /// Checks that built a window model and evaluated the constraint.
-    pub recomputed: usize,
-}
-
-#[allow(deprecated)]
-impl IncrementalStats {
-    /// Total checks performed.
-    pub fn checks(&self) -> usize {
-        self.reused + self.recomputed
-    }
 }
 
 /// Per-relation content fingerprint: arity plus an XOR of tuple hashes.
@@ -168,9 +140,9 @@ impl IncrementalChecker {
         let rel_fps0 = state_rel_fps(&initial);
         let full0 = combine_fps(&rel_fps0, None);
         let proj0 = combine_fps(&rel_fps0, read_ids.as_ref());
-        // Per-instance recording registry (not the process global): the
-        // stats() view must always work, and clones share it so a cloned
-        // checker keeps accumulating into the same counters.
+        // Per-instance recording registry (not the process global):
+        // clones share it so a cloned checker keeps accumulating into
+        // the same counters.
         let metrics = Metrics::enabled();
         let read_rels = read_ids
             .as_ref()
@@ -192,9 +164,8 @@ impl IncrementalChecker {
 
     /// Replace the observability sink — e.g. with a process-global
     /// registry so this checker's cache counters aggregate with engine
-    /// counters in one snapshot. [`IncrementalChecker::stats`] then
-    /// reads (and resets with) that shared registry. The construction-
-    /// time read-set observation is re-recorded into the new sink.
+    /// counters in one snapshot. The construction-time read-set
+    /// observation is re-recorded into the new sink.
     pub fn with_metrics(mut self, metrics: Metrics) -> IncrementalChecker {
         let read_rels = self
             .read_ids
@@ -223,20 +194,6 @@ impl IncrementalChecker {
     /// The recorded history.
     pub fn history(&self) -> &History {
         &self.history
-    }
-
-    /// Cache-effectiveness counters — a view over the checker's metrics
-    /// registry.
-    #[deprecated(
-        since = "0.1.0",
-        note = "read the obs counters directly: metrics().get(counters::REUSED) etc."
-    )]
-    #[allow(deprecated)]
-    pub fn stats(&self) -> IncrementalStats {
-        IncrementalStats {
-            reused: self.metrics.get(Counter::CacheReused) as usize,
-            recomputed: self.metrics.get(Counter::CacheRecomputed) as usize,
-        }
     }
 
     /// Execute `tx` at the latest state, record the step, and check.
@@ -513,12 +470,6 @@ mod tests {
     fn read_set_disjoint_noise_reuses_verdicts() {
         let steps: Vec<_> = (0..6).map(|_| ("noise", noise())).collect();
         let inc = differential(&monotone_salary(), Window::States(2), &steps);
-        // the deprecated stats() shim must agree with the counters
-        #[allow(deprecated)]
-        {
-            let stats = inc.stats();
-            assert_eq!(stats.reused as u64, inc.metrics().get(counters::REUSED));
-        }
         // first two windows have fresh shapes; once the window is two
         // noise-steps deep the key repeats every step
         let reused = inc.metrics().get(counters::REUSED);

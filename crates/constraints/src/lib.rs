@@ -41,8 +41,6 @@ pub use complexity::{class_cmp, measure_with_class, profile, Complexity, Profile
 pub use encoding::NeverReinsertEncoding;
 pub use incremental::counters;
 pub use incremental::IncrementalChecker;
-#[allow(deprecated)]
-pub use incremental::IncrementalStats;
 pub use readset::{read_set, ReadSet};
 pub use window::{
     checkability, find_window_unsoundness, Hints, History, HistoryOutcome, Window, WindowedChecker,

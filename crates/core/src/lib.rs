@@ -65,16 +65,15 @@ pub use txlog_temporal as temporal;
 pub mod prelude {
     pub use txlog_base::obs::{Counter, Hist, HistValue, Metrics, Snapshot, SpanValue};
     pub use txlog_base::{Atom, RelId, StateId, Symbol, TupleId, TxError, TxResult};
-    #[allow(deprecated)]
-    pub use txlog_constraints::IncrementalStats;
     pub use txlog_constraints::{
         checkability, classify, read_set, ConstraintClass, Hints, History, IncrementalChecker,
         NeverReinsertEncoding, ReadSet, SessionConstraint, Window, WindowedChecker,
     };
     pub use txlog_engine::{
-        check_program, Binding, Commit, CommitConstraint, CommitError, Database, Engine,
-        EngineBuilder, Env, EvalOptions, Execution, Explain, Footprint, Model, ModelBuilder,
-        ProgramKind, RetryPolicy, Session, SetVal, SourceKind, StateVal, Value,
+        check_program, Binding, Commit, CommitConstraint, CommitError, Database, DatabaseBuilder,
+        Durability, Engine, EngineBuilder, Env, EvalOptions, Execution, Explain, FileStore,
+        Footprint, LogStore, MemStore, Model, ModelBuilder, ProgramKind, RecoveryReport,
+        RetryPolicy, Session, SetVal, SourceKind, StateVal, Value, WalError,
     };
     pub use txlog_logic::{
         parse_fformula, parse_fterm, parse_sformula, parse_sformula_with_params, CmpOp, FFormula,
@@ -85,8 +84,8 @@ pub mod prelude {
         VerifyOptions,
     };
     pub use txlog_relational::{
-        DbState, Delta, EvolutionGraph, RelDecl, RelDelta, Relation, Schema, Tuple, TupleChange,
-        TupleVal, TxLabel,
+        CodecError, DbState, Delta, EvolutionGraph, RelDecl, RelDelta, Relation, Schema, Tuple,
+        TupleChange, TupleVal, TxLabel,
     };
     pub use txlog_synthesis::{synthesize, verify_synthesis, Synthesized};
     pub use txlog_temporal::{delta, holds, TFormula};

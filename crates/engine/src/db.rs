@@ -40,8 +40,10 @@
 
 use crate::env::Env;
 use crate::exec::{Engine, EvalOptions, Execution};
+use crate::wal::{self, Durability, FileStore, LogStore, RecoveryReport, Wal, WalError};
 use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -330,6 +332,10 @@ pub enum CommitError {
     },
     /// The transaction failed to execute, or a constraint check errored.
     Execution(TxError),
+    /// The write-ahead log rejected the commit record, so the commit did
+    /// not install: durability is append-*before*-install, and a commit
+    /// that cannot be made durable must not become visible.
+    Durability(WalError),
 }
 
 impl fmt::Display for CommitError {
@@ -347,6 +353,9 @@ impl fmt::Display for CommitError {
                 write!(f, "commit gave up after {attempts} conflicted attempts")
             }
             CommitError::Execution(e) => write!(f, "commit failed to execute: {e}"),
+            CommitError::Durability(e) => {
+                write!(f, "commit could not be made durable: {e}")
+            }
         }
     }
 }
@@ -384,6 +393,10 @@ struct Head {
     /// Recent committed deltas as `(version_after, delta)`, oldest
     /// first, for composing "what happened since snapshot v".
     log: VecDeque<(u64, Delta)>,
+    /// Write-ahead log, when durability is on. Living inside the head
+    /// lock serializes appends with installs: the log's record order is
+    /// exactly commit order.
+    wal: Option<Wal>,
 }
 
 impl Head {
@@ -465,8 +478,38 @@ impl Database {
                 recent: VecDeque::from([state]),
                 labels: VecDeque::new(),
                 log: VecDeque::new(),
+                wal: None,
             }),
         })
+    }
+
+    /// Start configuring a database over `schema` — the way to reach the
+    /// durability options.
+    pub fn builder(schema: Schema) -> DatabaseBuilder {
+        DatabaseBuilder {
+            schema,
+            initial: None,
+            opts: EvalOptions::default(),
+            metrics: None,
+            retry: RetryPolicy::default(),
+            durability: Durability::Off,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Open (or create) a durable database whose write-ahead log lives at
+    /// `path`, with default WAL settings ([`Durability::wal`]). An
+    /// existing log is recovered: any torn tail is truncated back to the
+    /// last valid record, the latest checkpoint is loaded, and the delta
+    /// suffix is replayed. A missing or empty log initializes afresh from
+    /// the schema's initial state.
+    pub fn recover(
+        schema: Schema,
+        path: impl AsRef<Path>,
+    ) -> Result<(Database, RecoveryReport), WalError> {
+        Database::builder(schema)
+            .durability(Durability::wal())
+            .open_path(path)
     }
 
     /// Replace the evaluation options sessions execute with.
@@ -666,6 +709,177 @@ impl Database {
     }
 }
 
+/// Configures a [`Database`]: initial state, evaluation options,
+/// metrics, retry policy, commit constraints, and — the part the plain
+/// constructors cannot reach — [`Durability`].
+///
+/// ```no_run
+/// # use txlog_engine::db::Database;
+/// # use txlog_engine::wal::Durability;
+/// # use txlog_relational::Schema;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let schema = Schema::new().relation("EMP", &["name", "salary"])?;
+/// let (db, report) = Database::builder(schema)
+///     .durability(Durability::Wal { sync_every: 1, checkpoint_every: 256 })
+///     .open_path("emp.wal")?;
+/// assert_eq!(db.head_version(), report.version);
+/// # Ok(())
+/// # }
+/// ```
+pub struct DatabaseBuilder {
+    schema: Schema,
+    initial: Option<DbState>,
+    opts: EvalOptions,
+    metrics: Option<Metrics>,
+    retry: RetryPolicy,
+    durability: Durability,
+    constraints: Vec<Box<dyn CommitConstraint>>,
+}
+
+impl DatabaseBuilder {
+    /// Start from an explicit state instead of the schema's initial
+    /// (empty) one. Ignored when `open_*` recovers state from a
+    /// non-empty log.
+    pub fn initial(mut self, state: DbState) -> DatabaseBuilder {
+        self.initial = Some(state);
+        self
+    }
+
+    /// Evaluation options for sessions.
+    pub fn options(mut self, opts: EvalOptions) -> DatabaseBuilder {
+        self.opts = opts;
+        self
+    }
+
+    /// Observability sink (default: the process-global recorder).
+    pub fn metrics(mut self, metrics: Metrics) -> DatabaseBuilder {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Commit retry policy.
+    pub fn retry(mut self, retry: RetryPolicy) -> DatabaseBuilder {
+        self.retry = retry;
+        self
+    }
+
+    /// Durability policy. [`Durability::Wal`] takes effect through
+    /// [`open_path`](DatabaseBuilder::open_path) /
+    /// [`open_store`](DatabaseBuilder::open_store);
+    /// [`build`](DatabaseBuilder::build) is the in-memory path and
+    /// requires [`Durability::Off`].
+    pub fn durability(mut self, durability: Durability) -> DatabaseBuilder {
+        self.durability = durability;
+        self
+    }
+
+    /// Register a commit-time constraint. Checked against the head at
+    /// construction — including a *recovered* head, which is how
+    /// recovery verifies the log replay still satisfies every
+    /// constraint.
+    pub fn constraint(mut self, c: Box<dyn CommitConstraint>) -> DatabaseBuilder {
+        self.constraints.push(c);
+        self
+    }
+
+    /// Build an in-memory database ([`Durability::Off`] only — opening a
+    /// log needs a store, so WAL durability goes through the `open_*`
+    /// methods).
+    pub fn build(self) -> TxResult<Database> {
+        if self.durability != Durability::Off {
+            return Err(TxError::schema(
+                "DatabaseBuilder::build is the in-memory path; use open_path or \
+                 open_store to attach a write-ahead log",
+            ));
+        }
+        let initial = match self.initial {
+            Some(s) => s,
+            None => self.schema.initial_state(),
+        };
+        let mut db = Database::with_initial(self.schema, initial)?
+            .with_options(self.opts)
+            .with_retry(self.retry);
+        if let Some(m) = self.metrics {
+            db = db.with_metrics(m);
+        }
+        for c in self.constraints {
+            db.add_constraint(c)?;
+        }
+        Ok(db)
+    }
+
+    /// Open against the log file at `path` (created if absent):
+    /// [`open_store`](DatabaseBuilder::open_store) over a [`FileStore`].
+    pub fn open_path(self, path: impl AsRef<Path>) -> Result<(Database, RecoveryReport), WalError> {
+        let store = FileStore::open(path)?;
+        self.open_store(Box::new(store))
+    }
+
+    /// Open against an explicit [`LogStore`]. A non-empty store is
+    /// recovered (torn tail truncated, latest checkpoint loaded, delta
+    /// suffix replayed, constraints re-verified against the recovered
+    /// head); an empty one is initialized with a version-0 checkpoint.
+    /// With [`Durability::Off`] the store is only read — state is
+    /// recovered but later commits are not logged.
+    pub fn open_store(
+        self,
+        mut store: Box<dyn LogStore>,
+    ) -> Result<(Database, RecoveryReport), WalError> {
+        let metrics = self.metrics.clone().unwrap_or_else(Metrics::current);
+        let recovered = {
+            let _span = metrics.span("recover");
+            wal::recover_log(&mut *store, &self.schema, &metrics)?
+        };
+        let (state, version, report) = match recovered {
+            Some(r) => (r.state, r.version, r.report),
+            None => {
+                let state = match &self.initial {
+                    Some(s) => s.clone(),
+                    None => self.schema.initial_state(),
+                };
+                let report = RecoveryReport {
+                    fresh: true,
+                    ..RecoveryReport::default()
+                };
+                (state, 0, report)
+            }
+        };
+        let wal = match self.durability {
+            Durability::Off => None,
+            Durability::Wal {
+                sync_every,
+                checkpoint_every,
+            } => {
+                let mut w = Wal::new(store, sync_every, checkpoint_every, metrics.clone());
+                if report.fresh {
+                    // pin the schema (and the chosen initial state) as
+                    // the log's opening checkpoint
+                    w.log_checkpoint(0, &self.schema, &state)?;
+                    w.sync()?;
+                } else {
+                    w.resume_cadence(report.replayed_deltas);
+                }
+                Some(w)
+            }
+        };
+        let mut db = Database::with_initial(self.schema, state)?
+            .with_options(self.opts)
+            .with_metrics(metrics)
+            .with_retry(self.retry);
+        {
+            let mut head = db.head.lock().expect("db head lock");
+            head.version = version;
+            head.wal = wal;
+        }
+        for c in self.constraints {
+            // add_constraint checks the constraint against the (possibly
+            // recovered) head and rejects a violated base
+            db.add_constraint(c)?;
+        }
+        Ok((db, report))
+    }
+}
+
 /// A snapshot-pinned view of a [`Database`]: read freely, then commit
 /// optimistically. Cheap to open; hold one per writer.
 pub struct Session<'db> {
@@ -740,8 +954,13 @@ impl<'db> Session<'db> {
             let exec = engine.execute_traced(&self.base, tx, env)?;
             let mut head = db.head.lock().expect("db head lock");
             if head.version == self.base_version {
-                // head unmoved: validate and install directly
+                // head unmoved: validate, make durable, install
                 db.validate(&head, &exec.state, &exec.delta, label)?;
+                let h = &mut *head;
+                if let Some(w) = h.wal.as_mut() {
+                    w.log_commit(h.version + 1, label, &exec.delta, &exec.state, &db.schema)
+                        .map_err(CommitError::Durability)?;
+                }
                 let state = Arc::new(exec.state);
                 head.install(label, Arc::clone(&state), exec.delta, db.max_window);
                 let version = head.version;
@@ -763,6 +982,11 @@ impl<'db> Session<'db> {
                         .rebase_fresh(self.base.next_tuple_id(), head.state.next_tuple_id());
                     if let Ok(next) = rebased.apply(&head.state) {
                         db.validate(&head, &next, &rebased, label)?;
+                        let h = &mut *head;
+                        if let Some(w) = h.wal.as_mut() {
+                            w.log_commit(h.version + 1, label, &rebased, &next, &db.schema)
+                                .map_err(CommitError::Durability)?;
+                        }
                         let state = Arc::new(next);
                         head.install(label, Arc::clone(&state), rebased, db.max_window);
                         let version = head.version;
@@ -1030,6 +1254,116 @@ mod tests {
             .unwrap();
         assert!(Footprint::all().overlaps_delta(&s, &delta));
         assert!(!Footprint::all().overlaps_delta(&s, &Delta::empty()));
+    }
+
+    #[test]
+    fn durable_commits_survive_reopen() {
+        use crate::wal::MemStore;
+        let store = MemStore::new();
+        let (db, report) = Database::builder(schema())
+            .durability(Durability::Wal {
+                sync_every: 1,
+                checkpoint_every: 0,
+            })
+            .open_store(Box::new(store.clone()))
+            .unwrap();
+        assert!(report.fresh);
+        let mut s = db.session();
+        s.commit("hire", &tx("insert(tuple('ann', 500), EMP)"), &Env::new())
+            .unwrap();
+        s.commit("hire2", &tx("insert(tuple('bob', 400), EMP)"), &Env::new())
+            .unwrap();
+        let head = db.snapshot();
+        drop(s);
+        drop(db);
+        // reopen from the same log bytes
+        let (db2, report) = Database::builder(schema())
+            .durability(Durability::wal())
+            .open_store(Box::new(MemStore::from_bytes(store.contents())))
+            .unwrap();
+        assert!(!report.fresh);
+        assert_eq!(report.replayed_deltas, 2);
+        assert_eq!(db2.head_version(), 2);
+        let recovered = db2.snapshot();
+        assert!(recovered.content_eq(&head));
+        assert_eq!(recovered.next_tuple_id(), head.next_tuple_id());
+        // and the recovered database keeps committing
+        let mut s2 = db2.session();
+        let c = s2
+            .commit("hire3", &tx("insert(tuple('cyn', 300), EMP)"), &Env::new())
+            .unwrap();
+        assert_eq!(c.version, 3);
+    }
+
+    #[test]
+    fn forwarded_commits_are_logged_too() {
+        use crate::wal::MemStore;
+        let store = MemStore::new();
+        let (db, _) = Database::builder(schema())
+            .durability(Durability::wal())
+            .open_store(Box::new(store.clone()))
+            .unwrap();
+        let mut a = db.session();
+        let mut b = db.session();
+        a.commit("emp", &tx("insert(tuple('ann', 500), EMP)"), &Env::new())
+            .unwrap();
+        let c = b
+            .commit("log", &tx("insert(tuple('audit'), LOG)"), &Env::new())
+            .unwrap();
+        assert!(c.forwarded);
+        let head = db.snapshot();
+        drop(a);
+        drop(b);
+        drop(db);
+        let (db2, report) = Database::builder(schema())
+            .durability(Durability::wal())
+            .open_store(Box::new(MemStore::from_bytes(store.contents())))
+            .unwrap();
+        assert_eq!(report.replayed_deltas, 2);
+        assert_eq!(db2.head_version(), 2);
+        assert!(db2.snapshot().content_eq(&head));
+    }
+
+    #[test]
+    fn recovery_verifies_constraints_against_recovered_head() {
+        use crate::wal::MemStore;
+        let store = MemStore::new();
+        let (db, _) = Database::builder(schema())
+            .durability(Durability::wal())
+            .open_store(Box::new(store.clone()))
+            .unwrap();
+        let mut s = db.session();
+        s.commit("hire", &tx("insert(tuple('ann', 5000), EMP)"), &Env::new())
+            .unwrap();
+        drop(s);
+        drop(db);
+        // a constraint the logged history violates fails the recovery
+        let err = match Database::builder(schema())
+            .durability(Durability::wal())
+            .constraint(Box::new(SalaryCap(1000)))
+            .open_store(Box::new(MemStore::from_bytes(store.contents())))
+        {
+            Err(e) => e,
+            Ok(_) => panic!("recovery should reject a violated constraint"),
+        };
+        assert!(matches!(err, WalError::Engine(_)), "got {err:?}");
+        // one the history satisfies passes
+        let (db2, _) = Database::builder(schema())
+            .durability(Durability::wal())
+            .constraint(Box::new(SalaryCap(10_000)))
+            .open_store(Box::new(MemStore::from_bytes(store.contents())))
+            .unwrap();
+        assert_eq!(db2.head_version(), 1);
+    }
+
+    #[test]
+    fn builder_requires_open_for_wal_durability() {
+        assert!(Database::builder(schema())
+            .durability(Durability::wal())
+            .build()
+            .is_err());
+        let db = Database::builder(schema()).build().unwrap();
+        assert_eq!(db.head_version(), 0);
     }
 
     #[test]

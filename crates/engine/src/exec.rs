@@ -163,39 +163,14 @@ pub struct Engine<'a> {
 
 impl<'a> Engine<'a> {
     /// Start configuring an engine over a schema. The builder is the
-    /// primary constructor; [`build`](EngineBuilder::build) performs the
-    /// schema validation the deprecated constructors used to.
+    /// only constructor; [`build`](EngineBuilder::build) validates the
+    /// schema (globally unique attribute names).
     pub fn builder(schema: &'a Schema) -> EngineBuilder<'a> {
         EngineBuilder {
             schema,
             opts: EvalOptions::default(),
             metrics: None,
         }
-    }
-
-    /// Build an engine over a schema with default options.
-    #[deprecated(since = "0.1.0", note = "use Engine::builder(schema).build()")]
-    pub fn new(schema: &'a Schema) -> TxResult<Engine<'a>> {
-        Engine::builder(schema).build()
-    }
-
-    /// Build an engine with explicit options.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Engine::builder(schema).options(opts).build()"
-    )]
-    pub fn with_options(schema: &'a Schema, opts: EvalOptions) -> TxResult<Engine<'a>> {
-        Engine::builder(schema).options(opts).build()
-    }
-
-    /// Replace the observability sink on a built engine.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Engine::builder(schema).metrics(m).build()"
-    )]
-    pub fn with_metrics(mut self, metrics: Metrics) -> Engine<'a> {
-        self.metrics = metrics;
-        self
     }
 
     /// The observability sink this engine reports into.

@@ -28,8 +28,12 @@ pub mod explain;
 pub mod model;
 pub mod plan;
 pub mod value;
+pub mod wal;
 
-pub use db::{Commit, CommitConstraint, CommitError, Database, Footprint, RetryPolicy, Session};
+pub use db::{
+    Commit, CommitConstraint, CommitError, Database, DatabaseBuilder, Footprint, RetryPolicy,
+    Session,
+};
 pub use env::{Binding, Env};
 pub use exec::{
     check_program, Engine, EngineBuilder, EvalOptions, Execution, PlanMode, ProgramKind,
@@ -37,6 +41,7 @@ pub use exec::{
 pub use explain::{Explain, ExplainNode, ExplainStep, SourceKind};
 pub use model::{Model, ModelBuilder};
 pub use value::{SetVal, StateVal, Value};
+pub use wal::{Durability, FileStore, LogStore, MemStore, RecoveryReport, WalError};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,808 @@
+//! Write-ahead log, checkpoints, and crash recovery.
+//!
+//! The paper's histories are sequences of states related by transaction
+//! arcs, and PR 4's commit pipeline already assigns every committed arc a
+//! gapless version number. Durability is then exactly: persist the arcs.
+//! This module appends every committed [`Delta`] to a length-prefixed,
+//! CRC-32-checksummed log *before* the commit installs, interleaves
+//! periodic full-state checkpoints, and recovers by loading the latest
+//! valid checkpoint and replaying the delta suffix through
+//! [`Delta::apply`] — the same machinery the in-memory pipeline uses.
+//!
+//! ## Record framing
+//!
+//! ```text
+//! record   := len:u32 ‖ crc:u32 ‖ payload           (len = |payload|, LE)
+//! payload  := 0x01 ‖ version:u64 ‖ label:str ‖ next_tuple:u64 ‖ delta
+//!           | 0x02 ‖ version:u64 ‖ schema ‖ state   (checkpoint)
+//! ```
+//!
+//! `crc` covers the payload only; a torn or bit-flipped tail fails the
+//! checksum (or the length bound) and recovery truncates the log back to
+//! the last fully valid record. `next_tuple` snapshots the post-commit
+//! tuple allocator so replay restores it exactly even when a
+//! transaction's net delta cancels an allocation.
+//!
+//! ## Recovery invariant
+//!
+//! Recovery always lands on a *commit-order prefix*: the recovered state
+//! is byte-identical (under `txlog_relational::codec`) to the head some
+//! prefix of the committed history produced, with a gapless version
+//! sequence. The fault-injection tests in `tests/tests/wal_recovery.rs`
+//! assert this for a write kill at every byte offset of the log.
+//!
+//! ## Fault injection
+//!
+//! The log sits behind the [`LogStore`] trait. [`FileStore`] is the real
+//! file-backed implementation; [`MemStore`] is an in-memory store whose
+//! writes can be configured to die (leaving a partial record) at any byte
+//! offset, which is how the crash matrix simulates power loss at every
+//! boundary without touching a filesystem.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use txlog_base::obs::{Counter, Metrics};
+use txlog_base::TxError;
+use txlog_relational::codec::{self, CodecError, Decoder, Encoder};
+use txlog_relational::{DbState, Delta, Schema};
+
+/// Durability policy for a [`Database`](crate::db::Database).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Durability {
+    /// No persistence: the database lives and dies with the process.
+    Off,
+    /// Write-ahead logging: every commit appends its delta before
+    /// installing.
+    Wal {
+        /// Issue a synchronous flush after every `sync_every`-th appended
+        /// record (1 = flush every record; larger values trade the
+        /// durability of the most recent commits for throughput). Values
+        /// of 0 are treated as 1.
+        sync_every: u64,
+        /// Append a full-state checkpoint after every `checkpoint_every`
+        /// commits (0 = never checkpoint after the initial one).
+        checkpoint_every: u64,
+    },
+}
+
+impl Durability {
+    /// WAL with conservative defaults: flush every record, checkpoint
+    /// every 1024 commits.
+    pub fn wal() -> Durability {
+        Durability::Wal {
+            sync_every: 1,
+            checkpoint_every: 1024,
+        }
+    }
+}
+
+/// Why a log operation or a recovery failed.
+#[derive(Debug)]
+pub enum WalError {
+    /// The underlying store failed.
+    Io {
+        /// The store operation that failed.
+        op: &'static str,
+        /// Description of the failure.
+        detail: String,
+    },
+    /// A record payload failed to decode.
+    Codec(CodecError),
+    /// The log's contents contradict the protocol (e.g. a commit record
+    /// before any checkpoint, or a version gap).
+    Corrupt {
+        /// Byte offset of the offending record.
+        offset: u64,
+        /// Description of the contradiction.
+        detail: String,
+    },
+    /// The schema recorded in the log's checkpoint does not match the
+    /// schema the database was opened with.
+    SchemaMismatch {
+        /// Description of the divergence.
+        detail: String,
+    },
+    /// Engine-level validation of the recovered head failed (schema
+    /// validation or a registered constraint).
+    Engine(TxError),
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io { op, detail } => write!(f, "log store {op} failed: {detail}"),
+            WalError::Codec(e) => write!(f, "log record codec error: {e}"),
+            WalError::Corrupt { offset, detail } => {
+                write!(f, "log corrupt at byte {offset}: {detail}")
+            }
+            WalError::SchemaMismatch { detail } => {
+                write!(f, "log schema mismatch: {detail}")
+            }
+            WalError::Engine(e) => write!(f, "recovered head rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<CodecError> for WalError {
+    fn from(e: CodecError) -> WalError {
+        WalError::Codec(e)
+    }
+}
+
+impl From<TxError> for WalError {
+    fn from(e: TxError) -> WalError {
+        WalError::Engine(e)
+    }
+}
+
+/// An append-only byte log the WAL writes through. Implementations must
+/// persist appends in order; `sync` makes everything appended so far
+/// durable. The trait exists so tests can inject failures at exact byte
+/// offsets ([`MemStore`]) while production uses files ([`FileStore`]).
+pub trait LogStore: Send {
+    /// Current length of the log in bytes.
+    fn len(&self) -> Result<u64, WalError>;
+    /// True iff the log holds no bytes.
+    fn is_empty(&self) -> Result<bool, WalError> {
+        Ok(self.len()? == 0)
+    }
+    /// Read the entire log.
+    fn read_all(&mut self) -> Result<Vec<u8>, WalError>;
+    /// Append bytes at the end. A failed append may leave a *prefix* of
+    /// `bytes` in the log (a torn write) — recovery must cope.
+    fn append(&mut self, bytes: &[u8]) -> Result<(), WalError>;
+    /// Make all appended bytes durable.
+    fn sync(&mut self) -> Result<(), WalError>;
+    /// Discard every byte at offset `len` and beyond.
+    fn truncate(&mut self, len: u64) -> Result<(), WalError>;
+}
+
+/// File-backed [`LogStore`].
+pub struct FileStore {
+    file: File,
+}
+
+impl FileStore {
+    /// Open (creating if absent) the log file at `path`.
+    pub fn open(path: impl AsRef<Path>) -> Result<FileStore, WalError> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path.as_ref())
+            .map_err(|e| WalError::Io {
+                op: "open",
+                detail: format!("{}: {e}", path.as_ref().display()),
+            })?;
+        Ok(FileStore { file })
+    }
+}
+
+fn io_err(op: &'static str) -> impl FnOnce(std::io::Error) -> WalError {
+    move |e| WalError::Io {
+        op,
+        detail: e.to_string(),
+    }
+}
+
+impl LogStore for FileStore {
+    fn len(&self) -> Result<u64, WalError> {
+        Ok(self.file.metadata().map_err(io_err("stat"))?.len())
+    }
+
+    fn read_all(&mut self) -> Result<Vec<u8>, WalError> {
+        self.file.seek(SeekFrom::Start(0)).map_err(io_err("seek"))?;
+        let mut buf = Vec::new();
+        self.file.read_to_end(&mut buf).map_err(io_err("read"))?;
+        Ok(buf)
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> Result<(), WalError> {
+        self.file.seek(SeekFrom::End(0)).map_err(io_err("seek"))?;
+        self.file.write_all(bytes).map_err(io_err("append"))
+    }
+
+    fn sync(&mut self) -> Result<(), WalError> {
+        self.file.sync_data().map_err(io_err("sync"))
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<(), WalError> {
+        self.file.set_len(len).map_err(io_err("truncate"))?;
+        self.file.seek(SeekFrom::End(0)).map_err(io_err("seek"))?;
+        Ok(())
+    }
+}
+
+/// In-memory [`LogStore`] with deterministic write-failure injection.
+///
+/// Clones share the same buffer, so a test can keep a handle, hand a
+/// clone to a `Database`, "crash" it, and then inspect or recover from
+/// exactly the bytes that made it to the store.
+#[derive(Clone, Default)]
+pub struct MemStore {
+    buf: Arc<Mutex<Vec<u8>>>,
+    /// Absolute byte offset at which writes die: an append that would
+    /// carry the log past this offset writes only the prefix up to it
+    /// and fails, and every later append fails outright — simulating a
+    /// crash mid-write.
+    fail_at: Option<u64>,
+}
+
+impl MemStore {
+    /// An empty store that never fails.
+    pub fn new() -> MemStore {
+        MemStore::default()
+    }
+
+    /// A store pre-loaded with `bytes` (e.g. a captured log image).
+    pub fn from_bytes(bytes: Vec<u8>) -> MemStore {
+        MemStore {
+            buf: Arc::new(Mutex::new(bytes)),
+            fail_at: None,
+        }
+    }
+
+    /// Configure writes to die at absolute byte offset `offset`.
+    pub fn failing_at(mut self, offset: u64) -> MemStore {
+        self.fail_at = Some(offset);
+        self
+    }
+
+    /// A copy of the store's current contents.
+    pub fn contents(&self) -> Vec<u8> {
+        self.buf.lock().expect("mem store lock").clone()
+    }
+}
+
+impl LogStore for MemStore {
+    fn len(&self) -> Result<u64, WalError> {
+        Ok(self.buf.lock().expect("mem store lock").len() as u64)
+    }
+
+    fn read_all(&mut self) -> Result<Vec<u8>, WalError> {
+        Ok(self.contents())
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> Result<(), WalError> {
+        let mut buf = self.buf.lock().expect("mem store lock");
+        if let Some(fail_at) = self.fail_at {
+            let cur = buf.len() as u64;
+            let end = cur + bytes.len() as u64;
+            if end > fail_at {
+                let keep = fail_at.saturating_sub(cur) as usize;
+                buf.extend_from_slice(&bytes[..keep]);
+                return Err(WalError::Io {
+                    op: "append",
+                    detail: format!("injected write failure at byte {fail_at}"),
+                });
+            }
+        }
+        buf.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<(), WalError> {
+        Ok(())
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<(), WalError> {
+        let mut buf = self.buf.lock().expect("mem store lock");
+        buf.truncate(len as usize);
+        Ok(())
+    }
+}
+
+const TAG_COMMIT: u8 = 1;
+const TAG_CHECKPOINT: u8 = 2;
+const FRAME_HEADER: u64 = 8; // len:u32 ‖ crc:u32
+
+/// The write side: frames records, enforces the sync and checkpoint
+/// cadence, and reports into the `wal_*` counters.
+pub(crate) struct Wal {
+    store: Box<dyn LogStore>,
+    sync_every: u64,
+    checkpoint_every: u64,
+    appends_since_sync: u64,
+    commits_since_checkpoint: u64,
+    metrics: Metrics,
+}
+
+impl Wal {
+    pub(crate) fn new(
+        store: Box<dyn LogStore>,
+        sync_every: u64,
+        checkpoint_every: u64,
+        metrics: Metrics,
+    ) -> Wal {
+        Wal {
+            store,
+            sync_every: sync_every.max(1),
+            checkpoint_every,
+            appends_since_sync: 0,
+            commits_since_checkpoint: 0,
+            metrics,
+        }
+    }
+
+    /// Restore the checkpoint cadence after recovery: `commits` commits
+    /// have been appended since the log's last checkpoint.
+    pub(crate) fn resume_cadence(&mut self, commits: u64) {
+        self.commits_since_checkpoint = commits;
+    }
+
+    fn append_record(&mut self, payload: &[u8]) -> Result<(), WalError> {
+        let before = self.store.len()?;
+        let mut frame = Encoder::new();
+        frame.u32(payload.len() as u32);
+        frame.u32(codec::crc32(payload));
+        let mut bytes = frame.finish();
+        bytes.extend_from_slice(payload);
+        if let Err(e) = self.store.append(&bytes) {
+            // A failed append may have left a torn prefix; pull the log
+            // back to the last record boundary so a later retry does not
+            // bury unreachable garbage mid-log. Best effort: if even the
+            // truncate fails, recovery handles the torn tail.
+            let _ = self.store.truncate(before);
+            return Err(e);
+        }
+        self.metrics.bump(Counter::WalAppends);
+        self.metrics.add(Counter::WalBytes, bytes.len() as u64);
+        self.appends_since_sync += 1;
+        if self.appends_since_sync >= self.sync_every {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn sync(&mut self) -> Result<(), WalError> {
+        self.store.sync()?;
+        self.metrics.bump(Counter::WalFsyncs);
+        self.appends_since_sync = 0;
+        Ok(())
+    }
+
+    /// Append one commit record (and, at the configured cadence, a
+    /// checkpoint of the post-commit state). Called with the head lock
+    /// held, *before* the commit installs.
+    pub(crate) fn log_commit(
+        &mut self,
+        version: u64,
+        label: &str,
+        delta: &Delta,
+        state_after: &DbState,
+        schema: &Schema,
+    ) -> Result<(), WalError> {
+        let mut e = Encoder::new();
+        e.u8(TAG_COMMIT);
+        e.u64(version);
+        e.str(label);
+        e.u64(state_after.next_tuple_id());
+        e.delta(delta);
+        self.append_record(&e.finish())?;
+        self.commits_since_checkpoint += 1;
+        if self.checkpoint_every > 0 && self.commits_since_checkpoint >= self.checkpoint_every {
+            self.log_checkpoint(version, schema, state_after)?;
+        }
+        Ok(())
+    }
+
+    /// Append a full-state checkpoint record.
+    pub(crate) fn log_checkpoint(
+        &mut self,
+        version: u64,
+        schema: &Schema,
+        state: &DbState,
+    ) -> Result<(), WalError> {
+        let mut e = Encoder::new();
+        e.u8(TAG_CHECKPOINT);
+        e.u64(version);
+        e.schema(schema);
+        e.db_state(state);
+        self.append_record(&e.finish())?;
+        self.metrics.bump(Counter::WalCheckpoints);
+        self.commits_since_checkpoint = 0;
+        Ok(())
+    }
+}
+
+/// What log recovery did, surfaced through
+/// [`Database::recover`](crate::db::Database::recover) and the builder's
+/// `open_*` methods.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RecoveryReport {
+    /// The recovered head version.
+    pub version: u64,
+    /// Version of the checkpoint replay started from.
+    pub checkpoint_version: u64,
+    /// Commit deltas replayed on top of the checkpoint.
+    pub replayed_deltas: u64,
+    /// Torn/corrupt tail records dropped by truncation (framing is lost
+    /// past the first invalid record, so this is 0 or 1).
+    pub truncated_records: u64,
+    /// Bytes dropped by truncation.
+    pub truncated_bytes: u64,
+    /// True when the log held no usable records and the database was
+    /// freshly initialized instead.
+    pub fresh: bool,
+}
+
+pub(crate) struct RecoveredLog {
+    pub state: DbState,
+    pub version: u64,
+    pub report: RecoveryReport,
+}
+
+/// One parsed, checksum-valid record.
+enum Record {
+    Commit {
+        version: u64,
+        next_tuple: u64,
+        delta: Delta,
+    },
+    Checkpoint {
+        version: u64,
+        schema: Schema,
+        state: DbState,
+    },
+}
+
+fn decode_record(payload: &[u8]) -> Result<Record, CodecError> {
+    let mut d = Decoder::new(payload);
+    let at = d.offset();
+    match d.u8("record tag")? {
+        TAG_COMMIT => {
+            let version = d.u64("commit version")?;
+            let _label = d.str("commit label")?;
+            let next_tuple = d.u64("commit allocator")?;
+            let delta = d.delta()?;
+            d.finish()?;
+            Ok(Record::Commit {
+                version,
+                next_tuple,
+                delta,
+            })
+        }
+        TAG_CHECKPOINT => {
+            let version = d.u64("checkpoint version")?;
+            let schema = d.schema()?;
+            let state = d.db_state()?;
+            d.finish()?;
+            Ok(Record::Checkpoint {
+                version,
+                schema,
+                state,
+            })
+        }
+        tag => Err(CodecError::BadTag {
+            offset: at,
+            tag,
+            what: "log record",
+        }),
+    }
+}
+
+/// Render a schema's declarations for a mismatch diagnostic.
+fn schema_sig(s: &Schema) -> String {
+    let mut out = String::new();
+    for d in s.decls() {
+        out.push_str(&d.to_string());
+        out.push(' ');
+    }
+    out
+}
+
+/// Scan the log, truncate any torn or corrupt tail back to the last
+/// valid record, and rebuild the state at the surviving head: the latest
+/// checkpoint plus the replayed delta suffix. Returns `None` when no
+/// usable record survives (the caller initializes afresh).
+///
+/// Consistency rules enforced during the scan — a record violating one
+/// ends the valid prefix exactly like a bad checksum:
+///
+/// * the first record must be a checkpoint (the writer always opens a
+///   log with one);
+/// * commit versions are gapless: each must be exactly one past the
+///   previous record's version;
+/// * a mid-log checkpoint must carry the version of the commit before it.
+///
+/// A checkpoint recording a different schema than the one the database
+/// is being opened with is a configuration error, not corruption, and
+/// fails the whole recovery.
+pub(crate) fn recover_log(
+    store: &mut dyn LogStore,
+    schema: &Schema,
+    metrics: &Metrics,
+) -> Result<Option<RecoveredLog>, WalError> {
+    let bytes = store.read_all()?;
+    let total = bytes.len() as u64;
+    let mut pos: u64 = 0;
+    let mut valid_end: u64 = 0;
+    let mut checkpoint: Option<(u64, DbState)> = None;
+    // (version, post-commit allocator, delta) since the last checkpoint
+    let mut suffix: VecDeque<(u64, u64, Delta)> = VecDeque::new();
+    let mut last_version: Option<u64> = None;
+    loop {
+        if total - pos < FRAME_HEADER {
+            break;
+        }
+        let mut d = Decoder::new(&bytes[pos as usize..(pos + FRAME_HEADER) as usize]);
+        let len = match d.u32("record length") {
+            Ok(v) => v as u64,
+            Err(_) => break,
+        };
+        let crc = match d.u32("record checksum") {
+            Ok(v) => v,
+            Err(_) => break,
+        };
+        if len > total - pos - FRAME_HEADER {
+            break; // torn tail: the record never finished writing
+        }
+        let payload = &bytes[(pos + FRAME_HEADER) as usize..(pos + FRAME_HEADER + len) as usize];
+        if codec::crc32(payload) != crc {
+            break; // bit rot or a torn write inside the record
+        }
+        let record = match decode_record(payload) {
+            Ok(r) => r,
+            Err(_) => break,
+        };
+        match record {
+            Record::Commit {
+                version,
+                next_tuple,
+                delta,
+            } => {
+                match last_version {
+                    // a log must open with a checkpoint; a commit first
+                    // means the prefix is unusable from here on
+                    None => break,
+                    Some(prev) if version != prev + 1 => break,
+                    Some(_) => {}
+                }
+                suffix.push_back((version, next_tuple, delta));
+                last_version = Some(version);
+            }
+            Record::Checkpoint {
+                version,
+                schema: logged,
+                state,
+            } => {
+                match last_version {
+                    Some(prev) if version != prev => break,
+                    _ => {}
+                }
+                if logged.decls() != schema.decls() {
+                    return Err(WalError::SchemaMismatch {
+                        detail: format!(
+                            "log checkpoint declares [{}] but the database was opened \
+                             with [{}]",
+                            schema_sig(&logged),
+                            schema_sig(schema)
+                        ),
+                    });
+                }
+                checkpoint = Some((version, state));
+                suffix.clear();
+                last_version = Some(version);
+            }
+        }
+        pos += FRAME_HEADER + len;
+        valid_end = pos;
+    }
+    if valid_end < total {
+        store.truncate(valid_end)?;
+        metrics.bump(Counter::RecoverTruncatedRecords);
+    }
+    let Some((checkpoint_version, mut state)) = checkpoint else {
+        return Ok(None);
+    };
+    let mut version = checkpoint_version;
+    let replayed = suffix.len() as u64;
+    for (v, next_tuple, delta) in suffix {
+        state = delta.apply(&state).map_err(|e| WalError::Corrupt {
+            offset: valid_end,
+            detail: format!("replaying commit {v} failed: {e}"),
+        })?;
+        state.advance_allocator(next_tuple);
+        version = v;
+        metrics.bump(Counter::RecoverReplayedDeltas);
+    }
+    Ok(Some(RecoveredLog {
+        state,
+        version,
+        report: RecoveryReport {
+            version,
+            checkpoint_version,
+            replayed_deltas: replayed,
+            truncated_records: u64::from(valid_end < total),
+            truncated_bytes: total - valid_end,
+            fresh: false,
+        },
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txlog_base::Atom;
+
+    fn schema() -> Schema {
+        Schema::new()
+            .relation("R", &["a", "b"])
+            .expect("schema builds")
+    }
+
+    fn commit_chain(n: u64) -> (Schema, Vec<DbState>, MemStore) {
+        // build a chain of states and log them through a Wal
+        let sch = schema();
+        let rid = sch.rel_id("R").expect("R declared");
+        let store = MemStore::new();
+        let mut wal = Wal::new(Box::new(store.clone()), 1, 0, Metrics::disabled());
+        let mut states = vec![sch.initial_state()];
+        wal.log_checkpoint(0, &sch, &states[0]).expect("checkpoint");
+        for v in 1..=n {
+            let prev = states.last().expect("non-empty").clone();
+            let (next, _) = prev
+                .insert_fields(rid, &[Atom::nat(v), Atom::str("x")])
+                .expect("insert");
+            let delta = prev.diff(&next);
+            wal.log_commit(v, &format!("c{v}"), &delta, &next, &sch)
+                .expect("log commit");
+            states.push(next);
+        }
+        (sch, states, store)
+    }
+
+    #[test]
+    fn recover_replays_full_chain() {
+        let (sch, states, store) = commit_chain(5);
+        let mut s = MemStore::from_bytes(store.contents());
+        let r = recover_log(&mut s, &sch, &Metrics::disabled())
+            .expect("recovery runs")
+            .expect("log non-empty");
+        assert_eq!(r.version, 5);
+        assert_eq!(r.report.replayed_deltas, 5);
+        assert_eq!(r.report.truncated_records, 0);
+        let expected = states.last().expect("non-empty");
+        assert_eq!(
+            codec::encode_db_state(&r.state),
+            codec::encode_db_state(expected)
+        );
+    }
+
+    #[test]
+    fn recover_from_checkpointed_log_skips_replay() {
+        let sch = schema();
+        let rid = sch.rel_id("R").expect("R declared");
+        let store = MemStore::new();
+        // checkpoint every 2 commits
+        let mut wal = Wal::new(Box::new(store.clone()), 1, 2, Metrics::disabled());
+        let mut state = sch.initial_state();
+        wal.log_checkpoint(0, &sch, &state).expect("checkpoint");
+        for v in 1..=5u64 {
+            let (next, _) = state
+                .insert_fields(rid, &[Atom::nat(v), Atom::str("y")])
+                .expect("insert");
+            let delta = state.diff(&next);
+            wal.log_commit(v, "c", &delta, &next, &sch).expect("log");
+            state = next;
+        }
+        let mut s = MemStore::from_bytes(store.contents());
+        let r = recover_log(&mut s, &sch, &Metrics::disabled())
+            .expect("recovery runs")
+            .expect("log non-empty");
+        assert_eq!(r.version, 5);
+        assert_eq!(r.report.checkpoint_version, 4);
+        assert_eq!(r.report.replayed_deltas, 1);
+        assert_eq!(
+            codec::encode_db_state(&r.state),
+            codec::encode_db_state(&state)
+        );
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_to_a_prefix() {
+        let (sch, states, store) = commit_chain(3);
+        let bytes = store.contents();
+        // chop mid-way through the last record
+        let mut s = MemStore::from_bytes(bytes[..bytes.len() - 3].to_vec());
+        let r = recover_log(&mut s, &sch, &Metrics::disabled())
+            .expect("recovery runs")
+            .expect("log non-empty");
+        assert_eq!(r.version, 2);
+        assert_eq!(r.report.truncated_records, 1);
+        assert!(r.report.truncated_bytes > 0);
+        assert_eq!(
+            codec::encode_db_state(&r.state),
+            codec::encode_db_state(&states[2])
+        );
+        // the store was truncated back to the valid prefix: a second
+        // recovery sees a clean log
+        let r2 = recover_log(&mut s, &sch, &Metrics::disabled())
+            .expect("recovery runs")
+            .expect("log non-empty");
+        assert_eq!(r2.version, 2);
+        assert_eq!(r2.report.truncated_records, 0);
+    }
+
+    #[test]
+    fn empty_or_garbage_log_recovers_to_none() {
+        let sch = schema();
+        let mut empty = MemStore::new();
+        assert!(recover_log(&mut empty, &sch, &Metrics::disabled())
+            .expect("recovery runs")
+            .is_none());
+        let mut garbage = MemStore::from_bytes(vec![0xAB; 37]);
+        assert!(recover_log(&mut garbage, &sch, &Metrics::disabled())
+            .expect("recovery runs")
+            .is_none());
+        assert_eq!(garbage.len().expect("len"), 0, "garbage tail truncated");
+    }
+
+    #[test]
+    fn schema_mismatch_is_a_hard_error() {
+        let (_, _, store) = commit_chain(1);
+        let other = Schema::new().relation("S", &["z"]).expect("schema builds");
+        let mut s = MemStore::from_bytes(store.contents());
+        match recover_log(&mut s, &other, &Metrics::disabled()) {
+            Err(WalError::SchemaMismatch { .. }) => {}
+            Err(other) => panic!("expected SchemaMismatch, got {other:?}"),
+            Ok(_) => panic!("expected SchemaMismatch, got a recovered log"),
+        }
+    }
+
+    #[test]
+    fn injected_write_failure_leaves_recoverable_prefix() {
+        let sch = schema();
+        let rid = sch.rel_id("R").expect("R declared");
+        // capture a full run first to learn the record layout
+        let (_, states, full) = commit_chain(4);
+        let full_len = full.contents().len() as u64;
+        // now kill the write stream at every offset and recover
+        for fail_at in 0..=full_len {
+            let store = MemStore::new().failing_at(fail_at);
+            let mut wal = Wal::new(Box::new(store.clone()), 1, 0, Metrics::disabled());
+            let mut state = sch.initial_state();
+            let mut durable = 0u64; // commits acknowledged by the wal
+            if wal.log_checkpoint(0, &sch, &state).is_ok() {
+                for v in 1..=4u64 {
+                    let (next, _) = state
+                        .insert_fields(rid, &[Atom::nat(v), Atom::str("x")])
+                        .expect("insert");
+                    let delta = state.diff(&next);
+                    if wal
+                        .log_commit(v, &format!("c{v}"), &delta, &next, &sch)
+                        .is_err()
+                    {
+                        break;
+                    }
+                    durable = v;
+                    state = next;
+                }
+            }
+            let mut s = MemStore::from_bytes(store.contents());
+            let recovered = recover_log(&mut s, &sch, &Metrics::disabled()).expect("recovery runs");
+            let version = recovered.as_ref().map_or(0, |r| r.version);
+            // every acknowledged commit must be recovered (sync_every=1)
+            assert!(
+                version >= durable,
+                "fail_at={fail_at}: acked {durable} but recovered {version}"
+            );
+            if let Some(r) = recovered {
+                let expected = &states[r.version as usize];
+                assert_eq!(
+                    codec::encode_db_state(&r.state),
+                    codec::encode_db_state(expected),
+                    "fail_at={fail_at}: recovered state is not the version-{} prefix",
+                    r.version
+                );
+            }
+        }
+    }
+}

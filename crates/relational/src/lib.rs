@@ -27,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod delta;
 pub mod graph;
 pub mod relation;
@@ -34,6 +35,7 @@ pub mod schema;
 pub mod state;
 pub mod tuple;
 
+pub use codec::CodecError;
 pub use delta::{Delta, RelDelta, TupleChange};
 pub use graph::{EvolutionGraph, TxLabel};
 pub use relation::Relation;

@@ -15,6 +15,8 @@
 //! show                         print the current state
 //! history                      print the evolution so far
 //! undo                         drop the last transaction
+//! :save <path>                 write schema + state as a checksummed snapshot
+//! :open <path>                 load a snapshot (replaces schema, resets history)
 //! help | quit
 //! ```
 
@@ -132,6 +134,36 @@ impl Repl {
                     Ok("nothing to undo".to_string())
                 }
             }
+            "save" | ":save" => {
+                if rest.is_empty() {
+                    return Err(TxError::eval("usage: :save <path>"));
+                }
+                let bytes = txlog::relational::codec::encode_snapshot(&self.schema, self.current());
+                std::fs::write(rest, &bytes)
+                    .map_err(|e| TxError::eval(format!("cannot write {rest}: {e}")))?;
+                Ok(format!(
+                    "saved state {} ({} bytes) to {rest}",
+                    self.states.len() - 1,
+                    bytes.len()
+                ))
+            }
+            "open" | ":open" => {
+                if rest.is_empty() {
+                    return Err(TxError::eval("usage: :open <path>"));
+                }
+                let bytes = std::fs::read(rest)
+                    .map_err(|e| TxError::eval(format!("cannot read {rest}: {e}")))?;
+                let (schema, state) = txlog::relational::codec::decode_snapshot(&bytes)
+                    .map_err(|e| TxError::eval(format!("not a txlog snapshot: {e}")))?;
+                self.schema = schema;
+                self.states = vec![state];
+                self.labels.clear();
+                Ok(format!(
+                    "opened {rest}: {} relations, {} tuples (history reset)",
+                    self.schema.decls().len(),
+                    self.current().total_tuples()
+                ))
+            }
             "help" => Ok(HELP.to_string()),
             "" => Ok(String::new()),
             other => Ok(format!("unknown command {other:?} — try 'help'")),
@@ -146,6 +178,8 @@ commands:
   eval <query>         e.g. eval sum({ salary(e) | e: 2tup . e in EMP })
   ask  <formula>       e.g. ask exists e: 2tup . e in EMP & salary(e) > 400
   check <s-formula>    e.g. check forall s: state, e': 2tup . e' in s:EMP -> salary(e') <= 1000
+  :save <path>         write schema + current state as a checksummed snapshot
+  :open <path>         load a snapshot (replaces the schema, resets history)
   show | history | undo | quit";
 
 fn main() {

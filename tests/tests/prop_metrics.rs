@@ -229,12 +229,5 @@ proptest! {
         // that errors is requested but neither reused nor recomputed
         prop_assert_eq!(decided, ok_checks, "hit + recompute == Ok verdicts");
         prop_assert!(decided <= requested, "nothing decided twice");
-        // the deprecated stats() view must stay consistent with the counters
-        #[allow(deprecated)]
-        {
-            let stats = inc.stats();
-            prop_assert_eq!(stats.reused as u64, metrics.get(Counter::CacheReused));
-            prop_assert_eq!(stats.recomputed as u64, metrics.get(Counter::CacheRecomputed));
-        }
     }
 }
