@@ -36,8 +36,15 @@
 //! The log sits behind the [`LogStore`] trait. [`FileStore`] is the real
 //! file-backed implementation; [`MemStore`] is an in-memory store whose
 //! writes can be configured to die (leaving a partial record) at any byte
-//! offset, which is how the crash matrix simulates power loss at every
-//! boundary without touching a filesystem.
+//! offset — and whose syncs can be configured to fail past any offset —
+//! which is how the crash matrix simulates power loss and flush failure
+//! at every boundary without touching a filesystem.
+//!
+//! A failure that leaves the log's durable contents in doubt (an fsync
+//! or rollback failure after record bytes went out) *poisons* the
+//! writer: all further appends fail with [`WalError::Poisoned`] until
+//! the database is reopened, so a version that may already be logged is
+//! never reused. See [`Wal`] for the argument.
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -109,6 +116,16 @@ pub enum WalError {
     /// Engine-level validation of the recovered head failed (schema
     /// validation or a registered constraint).
     Engine(TxError),
+    /// A previous failure left the log's durable contents possibly
+    /// ahead of the in-memory head (e.g. a commit record appended but
+    /// its fsync failed), so the writer refuses every further append:
+    /// handing out the same version twice would make recovery truncate
+    /// at the duplicate and drop acknowledged commits. Recover from the
+    /// log (reopen the database) to resume.
+    Poisoned {
+        /// The failure that poisoned the log.
+        detail: String,
+    },
 }
 
 impl fmt::Display for WalError {
@@ -123,6 +140,12 @@ impl fmt::Display for WalError {
                 write!(f, "log schema mismatch: {detail}")
             }
             WalError::Engine(e) => write!(f, "recovered head rejected: {e}"),
+            WalError::Poisoned { detail } => {
+                write!(
+                    f,
+                    "log poisoned by an earlier failure ({detail}); reopen to recover"
+                )
+            }
         }
     }
 }
@@ -171,16 +194,33 @@ pub struct FileStore {
 impl FileStore {
     /// Open (creating if absent) the log file at `path`.
     pub fn open(path: impl AsRef<Path>) -> Result<FileStore, WalError> {
+        let path = path.as_ref();
         let file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(false)
-            .open(path.as_ref())
+            .open(path)
             .map_err(|e| WalError::Io {
                 op: "open",
-                detail: format!("{}: {e}", path.as_ref().display()),
+                detail: format!("{}: {e}", path.display()),
             })?;
+        // The file's directory entry must itself be durable, or a crash
+        // can make a freshly created log — initial checkpoint, early
+        // commits and all — vanish even though every record was fsynced.
+        #[cfg(unix)]
+        {
+            let dir = match path.parent() {
+                Some(p) if !p.as_os_str().is_empty() => p,
+                _ => Path::new("."),
+            };
+            File::open(dir)
+                .and_then(|d| d.sync_all())
+                .map_err(|e| WalError::Io {
+                    op: "sync-dir",
+                    detail: format!("{}: {e}", dir.display()),
+                })?;
+        }
         Ok(FileStore { file })
     }
 }
@@ -233,6 +273,11 @@ pub struct MemStore {
     /// and fails, and every later append fails outright — simulating a
     /// crash mid-write.
     fail_at: Option<u64>,
+    /// Absolute byte offset past which `sync` dies: once the log holds
+    /// more than this many bytes every sync fails (the appended bytes
+    /// stay in the buffer) — simulating a disk that accepts writes but
+    /// can no longer flush them.
+    fail_sync_at: Option<u64>,
 }
 
 impl MemStore {
@@ -246,12 +291,20 @@ impl MemStore {
         MemStore {
             buf: Arc::new(Mutex::new(bytes)),
             fail_at: None,
+            fail_sync_at: None,
         }
     }
 
     /// Configure writes to die at absolute byte offset `offset`.
     pub fn failing_at(mut self, offset: u64) -> MemStore {
         self.fail_at = Some(offset);
+        self
+    }
+
+    /// Configure `sync` to fail once the log holds more than `offset`
+    /// bytes (appends still land in the buffer).
+    pub fn failing_sync_at(mut self, offset: u64) -> MemStore {
+        self.fail_sync_at = Some(offset);
         self
     }
 
@@ -289,6 +342,15 @@ impl LogStore for MemStore {
     }
 
     fn sync(&mut self) -> Result<(), WalError> {
+        if let Some(fail_sync_at) = self.fail_sync_at {
+            let len = self.buf.lock().expect("mem store lock").len() as u64;
+            if len > fail_sync_at {
+                return Err(WalError::Io {
+                    op: "sync",
+                    detail: format!("injected sync failure past byte {fail_sync_at}"),
+                });
+            }
+        }
         Ok(())
     }
 
@@ -305,12 +367,28 @@ const FRAME_HEADER: u64 = 8; // len:u32 ‖ crc:u32
 
 /// The write side: frames records, enforces the sync and checkpoint
 /// cadence, and reports into the `wal_*` counters.
+///
+/// ## Poisoning
+///
+/// A commit is only installed in memory after [`Wal::log_commit`]
+/// returns `Ok`, so on failure the head version is *not* consumed and
+/// the next commit reuses it. That is only sound while the log provably
+/// holds no record for that version. The moment a failure leaves the
+/// log's contents in doubt — an fsync failed after the record was
+/// appended, a torn append could not be rolled back, or the cadence
+/// checkpoint died after the commit record landed — the `Wal` poisons
+/// itself: every later operation returns [`WalError::Poisoned`] until
+/// the database is reopened through recovery. Otherwise a second commit
+/// would append a *duplicate* version, recovery's gapless-version scan
+/// would truncate at the duplicate, and every acknowledged commit after
+/// it would be silently dropped.
 pub(crate) struct Wal {
     store: Box<dyn LogStore>,
     sync_every: u64,
     checkpoint_every: u64,
     appends_since_sync: u64,
     commits_since_checkpoint: u64,
+    poisoned: Option<String>,
     metrics: Metrics,
 }
 
@@ -327,7 +405,23 @@ impl Wal {
             checkpoint_every,
             appends_since_sync: 0,
             commits_since_checkpoint: 0,
+            poisoned: None,
             metrics,
+        }
+    }
+
+    fn check_poisoned(&self) -> Result<(), WalError> {
+        match &self.poisoned {
+            Some(detail) => Err(WalError::Poisoned {
+                detail: detail.clone(),
+            }),
+            None => Ok(()),
+        }
+    }
+
+    fn poison(&mut self, detail: String) {
+        if self.poisoned.is_none() {
+            self.poisoned = Some(detail);
         }
     }
 
@@ -338,7 +432,17 @@ impl Wal {
     }
 
     fn append_record(&mut self, payload: &[u8]) -> Result<(), WalError> {
+        self.check_poisoned()?;
         let before = self.store.len()?;
+        if payload.len() as u64 > u64::from(u32::MAX) {
+            return Err(WalError::Corrupt {
+                offset: before,
+                detail: format!(
+                    "record payload of {} bytes exceeds the u32 frame limit",
+                    payload.len()
+                ),
+            });
+        }
         let mut frame = Encoder::new();
         frame.u32(payload.len() as u32);
         frame.u32(codec::crc32(payload));
@@ -346,10 +450,13 @@ impl Wal {
         bytes.extend_from_slice(payload);
         if let Err(e) = self.store.append(&bytes) {
             // A failed append may have left a torn prefix; pull the log
-            // back to the last record boundary so a later retry does not
-            // bury unreachable garbage mid-log. Best effort: if even the
-            // truncate fails, recovery handles the torn tail.
-            let _ = self.store.truncate(before);
+            // back to the last record boundary so a later record is not
+            // appended after unreachable garbage (which would hide it
+            // from recovery). If even the truncate fails the tail stays
+            // torn, so refuse further appends until recovery cleans it.
+            if self.store.truncate(before).is_err() {
+                self.poison(format!("torn append could not be rolled back: {e}"));
+            }
             return Err(e);
         }
         self.metrics.bump(Counter::WalAppends);
@@ -362,7 +469,15 @@ impl Wal {
     }
 
     pub(crate) fn sync(&mut self) -> Result<(), WalError> {
-        self.store.sync()?;
+        self.check_poisoned()?;
+        if let Err(e) = self.store.sync() {
+            // The appended records may or may not be durable (and after
+            // a failed fsync the kernel may have dropped the dirty
+            // pages, so retrying proves nothing): their versions must
+            // never be reused.
+            self.poison(format!("sync failed with records in flight: {e}"));
+            return Err(e);
+        }
         self.metrics.bump(Counter::WalFsyncs);
         self.appends_since_sync = 0;
         Ok(())
@@ -379,6 +494,7 @@ impl Wal {
         state_after: &DbState,
         schema: &Schema,
     ) -> Result<(), WalError> {
+        self.check_poisoned()?;
         let mut e = Encoder::new();
         e.u8(TAG_COMMIT);
         e.u64(version);
@@ -388,7 +504,14 @@ impl Wal {
         self.append_record(&e.finish())?;
         self.commits_since_checkpoint += 1;
         if self.checkpoint_every > 0 && self.commits_since_checkpoint >= self.checkpoint_every {
-            self.log_checkpoint(version, schema, state_after)?;
+            if let Err(e) = self.log_checkpoint(version, schema, state_after) {
+                // The commit record for `version` is already in the log
+                // (and possibly durable) but the caller will abort the
+                // in-memory commit on this error; refuse further appends
+                // so the version is never handed out twice.
+                self.poison(format!("checkpoint after commit {version} failed: {e}"));
+                return Err(e);
+            }
         }
         Ok(())
     }
@@ -400,6 +523,7 @@ impl Wal {
         schema: &Schema,
         state: &DbState,
     ) -> Result<(), WalError> {
+        self.check_poisoned()?;
         let mut e = Encoder::new();
         e.u8(TAG_CHECKPOINT);
         e.u64(version);
@@ -755,6 +879,94 @@ mod tests {
             Err(other) => panic!("expected SchemaMismatch, got {other:?}"),
             Ok(_) => panic!("expected SchemaMismatch, got a recovered log"),
         }
+    }
+
+    #[test]
+    fn sync_failure_after_commit_append_poisons_the_wal() {
+        let sch = schema();
+        let rid = sch.rel_id("R").expect("R declared");
+        // measure the opening checkpoint so only post-checkpoint syncs die
+        let probe = MemStore::new();
+        let mut w = Wal::new(Box::new(probe.clone()), 1, 0, Metrics::disabled());
+        w.log_checkpoint(0, &sch, &sch.initial_state())
+            .expect("checkpoint");
+        let checkpoint_len = probe.contents().len() as u64;
+
+        let store = MemStore::new().failing_sync_at(checkpoint_len);
+        let mut wal = Wal::new(Box::new(store.clone()), 1, 0, Metrics::disabled());
+        let s0 = sch.initial_state();
+        wal.log_checkpoint(0, &sch, &s0).expect("checkpoint syncs");
+        let (s1, _) = s0
+            .insert_fields(rid, &[Atom::nat(1), Atom::str("x")])
+            .expect("insert");
+        let d1 = s0.diff(&s1);
+        // the append lands, the follow-on sync dies: the record may be
+        // durable, so the commit must fail AND the wal must seal itself
+        match wal.log_commit(1, "c1", &d1, &s1, &sch) {
+            Err(WalError::Io { op: "sync", .. }) => {}
+            other => panic!("expected a sync failure, got {other:?}"),
+        }
+        match wal.log_commit(1, "c1-retry", &d1, &s1, &sch) {
+            Err(WalError::Poisoned { .. }) => {}
+            other => panic!("expected Poisoned, got {other:?}"),
+        }
+        // the logged-but-unacknowledged commit is a valid prefix: no
+        // duplicate version was ever appended after it
+        let mut s = MemStore::from_bytes(store.contents());
+        let r = recover_log(&mut s, &sch, &Metrics::disabled())
+            .expect("recovery runs")
+            .expect("log non-empty");
+        assert_eq!(r.version, 1);
+        assert_eq!(
+            codec::encode_db_state(&r.state),
+            codec::encode_db_state(&s1)
+        );
+    }
+
+    #[test]
+    fn checkpoint_failure_after_commit_poisons_the_wal() {
+        let sch = schema();
+        let rid = sch.rel_id("R").expect("R declared");
+        // measure the layout: opening checkpoint, then one commit record
+        let probe = MemStore::new();
+        let mut w = Wal::new(Box::new(probe.clone()), 1, 0, Metrics::disabled());
+        let s0 = sch.initial_state();
+        w.log_checkpoint(0, &sch, &s0).expect("checkpoint");
+        let (s1, _) = s0
+            .insert_fields(rid, &[Atom::nat(1), Atom::str("x")])
+            .expect("insert");
+        let d1 = s0.diff(&s1);
+        w.log_commit(1, "c1", &d1, &s1, &sch).expect("commit logs");
+        let commit_end = probe.contents().len() as u64;
+
+        // checkpoint after every commit; die a few bytes into the
+        // cadence checkpoint that follows the commit record
+        let store = MemStore::new().failing_at(commit_end + 3);
+        let mut wal = Wal::new(Box::new(store.clone()), 1, 1, Metrics::disabled());
+        wal.log_checkpoint(0, &sch, &s0).expect("checkpoint fits");
+        assert!(
+            wal.log_commit(1, "c1", &d1, &s1, &sch).is_err(),
+            "the cadence checkpoint must fail"
+        );
+        // commit record 1 is already in the log: handing out version 1
+        // again would append a duplicate, so the wal must refuse
+        match wal.log_commit(1, "c1-retry", &d1, &s1, &sch) {
+            Err(WalError::Poisoned { .. }) => {}
+            other => panic!("expected Poisoned, got {other:?}"),
+        }
+        // the surviving log is the checkpoint plus commit 1 (the torn
+        // cadence checkpoint was rolled back), a clean prefix
+        assert_eq!(store.contents().len() as u64, commit_end);
+        let mut s = MemStore::from_bytes(store.contents());
+        let r = recover_log(&mut s, &sch, &Metrics::disabled())
+            .expect("recovery runs")
+            .expect("log non-empty");
+        assert_eq!(r.version, 1);
+        assert_eq!(r.report.truncated_records, 0);
+        assert_eq!(
+            codec::encode_db_state(&r.state),
+            codec::encode_db_state(&s1)
+        );
     }
 
     #[test]

@@ -206,6 +206,118 @@ fn injected_write_failures_keep_acknowledged_commits() {
     }
 }
 
+/// Regression for version reuse after a WAL failure: keep committing
+/// after Durability errors instead of stopping at the first, under both
+/// mid-write and fsync fault injection, with a checkpoint after every
+/// commit so the checkpoint-dies-after-the-commit-record path is hit at
+/// every offset. A failure that may have left the commit record in the
+/// log must poison the WAL (all later commits fail) rather than let the
+/// next commit reuse the version — a duplicate version record would
+/// make recovery truncate at the duplicate and silently drop every
+/// acknowledged commit after it.
+#[test]
+fn commits_after_durability_errors_never_corrupt_the_log() {
+    let cadence = Durability::Wal {
+        sync_every: 1,
+        checkpoint_every: 1,
+    };
+    let (bytes, _) = logged_run(cadence);
+    let env = Env::new();
+    let initial = encode_db_state(&schema().initial_state());
+    for fail_sync in [false, true] {
+        // offsets where recovery surfaced a durable-but-unacknowledged
+        // commit — the sweep must actually exercise that path
+        let mut in_doubt_recovered = 0usize;
+        for fail_at in 0..=bytes.len() as u64 {
+            let what = format!(
+                "{} fault at {fail_at}",
+                if fail_sync { "sync" } else { "append" }
+            );
+            let store = if fail_sync {
+                MemStore::default().failing_sync_at(fail_at)
+            } else {
+                MemStore::default().failing_at(fail_at)
+            };
+            // acked: version → state bytes of every acknowledged commit;
+            // in_doubt: the one commit whose record may sit in the log
+            // even though the session saw it fail
+            let mut acked: Vec<(u64, Vec<u8>)> = Vec::new();
+            let mut in_doubt: Option<(u64, Vec<u8>)> = None;
+            match Database::builder(schema())
+                .durability(cadence)
+                .open_store(Box::new(store.clone()))
+            {
+                Ok((db, _)) => {
+                    let mut session = db.session();
+                    for (label, tx) in workload() {
+                        // dry-run to learn the state this commit would
+                        // install if it went through
+                        let candidate = session
+                            .execute(&tx, &env)
+                            .unwrap_or_else(|e| panic!("{what}: dry run failed: {e}"));
+                        match session.commit(&label, &tx, &env) {
+                            Ok(c) => {
+                                acked.push((c.version, encode_db_state(&db.snapshot())));
+                            }
+                            // once poisoned, no bytes reach the log, so
+                            // the in-doubt record (if any) is unchanged
+                            Err(CommitError::Durability(WalError::Poisoned { .. })) => {}
+                            Err(CommitError::Durability(_)) => {
+                                in_doubt = Some((
+                                    db.head_version() + 1,
+                                    encode_db_state(&candidate.state),
+                                ));
+                            }
+                            Err(e) => panic!("{what}: unexpected commit error: {e}"),
+                        }
+                    }
+                }
+                // the store died while writing/flushing the initial
+                // checkpoint
+                Err(WalError::Io { .. }) => {}
+                Err(e) => panic!("{what}: unexpected open error: {e}"),
+            }
+            let (db, report) = recover(store.contents())
+                .unwrap_or_else(|e| panic!("{what}: recovery failed: {e}"));
+            let v = report.version;
+            let max_acked = acked.last().map_or(0, |(av, _)| *av);
+            assert!(
+                v >= max_acked,
+                "{what}: {max_acked} commits acknowledged but only version {v} recovered"
+            );
+            let recovered = encode_db_state(&db.snapshot());
+            let from_in_doubt = in_doubt.as_ref().filter(|(pv, _)| *pv == v);
+            let expected = acked
+                .iter()
+                .find(|(av, _)| *av == v)
+                .map(|(_, s)| s)
+                .or(from_in_doubt.map(|(_, s)| s));
+            match expected {
+                Some(state) => {
+                    assert!(
+                        recovered == *state,
+                        "{what}: recovered state is not the version-{v} head"
+                    );
+                    if from_in_doubt.is_some() && v > max_acked {
+                        in_doubt_recovered += 1;
+                    }
+                }
+                None => {
+                    assert_eq!(v, 0, "{what}: recovered version {v} was never produced");
+                    assert!(
+                        recovered == initial,
+                        "{what}: version 0 must be the initial state"
+                    );
+                }
+            }
+        }
+        assert!(
+            in_doubt_recovered > 0,
+            "fail_sync={fail_sync}: sweep never exercised a durable-but-unacknowledged commit"
+        );
+    }
+}
+
 /// Checkpoint cadence must not change what recovery returns — only how
 /// much replay it takes to get there.
 #[test]
