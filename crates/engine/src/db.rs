@@ -40,6 +40,7 @@
 
 use crate::env::Env;
 use crate::exec::{Engine, EvalOptions, Execution};
+use crate::sim::{ProtocolBug, StepHook, StepPoint};
 use crate::wal::{self, Durability, FileStore, LogStore, RecoveryReport, Wal, WalError};
 use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
@@ -449,6 +450,10 @@ pub struct Database {
     /// Largest constraint window, governing how many trailing states the
     /// head retains.
     max_window: usize,
+    /// Simulation seam: when installed (model-checking builds only) the
+    /// commit pipeline announces every decision point to it. `None` in
+    /// normal operation, so the whole seam costs one branch per point.
+    hook: Option<Arc<dyn StepHook>>,
     head: Mutex<Head>,
 }
 
@@ -472,6 +477,7 @@ impl Database {
             retry: RetryPolicy::default(),
             constraints: Vec::new(),
             max_window: 1,
+            hook: None,
             head: Mutex::new(Head {
                 version: 0,
                 state: Arc::clone(&state),
@@ -529,6 +535,49 @@ impl Database {
     pub fn with_retry(mut self, retry: RetryPolicy) -> Database {
         self.retry = retry;
         self
+    }
+
+    /// Install a [`StepHook`]: every nondeterministic decision point in
+    /// the commit/WAL pipeline is announced to it, which is how the
+    /// deterministic simulator ([`crate::sim`]) schedules interleavings
+    /// and injects faults. Also threads the hook into the write-ahead
+    /// log, when one is attached. Without a hook the seam is a single
+    /// `Option` branch per point (measured by the `b11_sim` bench).
+    pub fn set_step_hook(&mut self, hook: Arc<dyn StepHook>) {
+        let head = self.head.get_mut().expect("db head lock");
+        if let Some(w) = head.wal.as_mut() {
+            w.set_hook(Arc::clone(&hook));
+        }
+        self.hook = Some(hook);
+    }
+
+    /// Announce a decision point to the installed hook, if any.
+    #[inline]
+    fn step(&self, point: StepPoint) {
+        if let Some(h) = &self.hook {
+            h.on_step(point);
+        }
+    }
+
+    /// Whether the installed hook injects `bug` (model-checker
+    /// self-tests only; always false without a hook).
+    #[inline]
+    fn bug(&self, bug: ProtocolBug) -> bool {
+        match &self.hook {
+            Some(h) => h.injected_bug() == Some(bug),
+            None => false,
+        }
+    }
+
+    /// Announce the exact state a WAL commit record is about to log, so
+    /// a simulator can judge crash images against what actually became
+    /// durable (the *rebased* state on the forwarding path, not the one
+    /// executed at the stale snapshot).
+    #[inline]
+    fn candidate(&self, version: u64, state: &DbState) {
+        if let Some(h) = &self.hook {
+            h.on_candidate(version, state);
+        }
     }
 
     /// Register a commit-time constraint. The current head must satisfy
@@ -599,6 +648,7 @@ impl Database {
 
     /// Open a session pinned to the current head.
     pub fn session(&self) -> Session<'_> {
+        self.step(StepPoint::Pin);
         let head = self.head.lock().expect("db head lock");
         Session {
             db: self,
@@ -632,6 +682,7 @@ impl Database {
         if affected.is_empty() {
             return Ok(());
         }
+        self.step(StepPoint::Validate);
         let _span = self.metrics.span("commit.validate");
         self.metrics
             .add(Counter::CommitValidations, affected.len() as u64);
@@ -662,10 +713,16 @@ impl Database {
                 (states, labels)
             })
             .collect();
-        let workers = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-            .min(affected.len());
+        // under a hook, validate serially: the simulator's schedules
+        // must not depend on worker-pool timing
+        let workers = if self.hook.is_some() {
+            1
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+                .min(affected.len())
+        };
         let results: Vec<Mutex<Option<TxResult<bool>>>> =
             affected.iter().map(|_| Mutex::new(None)).collect();
         if workers <= 1 {
@@ -880,6 +937,43 @@ impl DatabaseBuilder {
     }
 }
 
+/// A dry-run execution paired with the transaction's static footprint:
+/// everything a single commit attempt needs, produced by
+/// [`Session::prepare`] and consumed by [`Session::commit_prepared`].
+///
+/// [`Session::commit`] fuses execute-and-attempt into one call (with
+/// internal retries); this decomposed form exists so the deterministic
+/// simulator ([`crate::sim`]) can schedule the execute step and the
+/// attempt step independently — which is exactly the freedom real
+/// threads have, since execution runs outside the head lock against an
+/// immutable snapshot.
+pub struct Prepared {
+    execution: Execution,
+    footprint: Footprint,
+}
+
+impl Prepared {
+    /// The candidate successor state and delta.
+    pub fn execution(&self) -> &Execution {
+        &self.execution
+    }
+
+    /// The transaction's static footprint.
+    pub fn footprint(&self) -> &Footprint {
+        &self.footprint
+    }
+}
+
+/// Why a single commit attempt did not install — either a retryable
+/// conflict (with the fresh head to re-pin to) or a fatal error.
+enum AttemptError {
+    Conflicted {
+        head_version: u64,
+        fresh: Arc<DbState>,
+    },
+    Fatal(CommitError),
+}
+
 /// A snapshot-pinned view of a [`Database`]: read freely, then commit
 /// optimistically. Cheap to open; hold one per writer.
 pub struct Session<'db> {
@@ -906,6 +1000,7 @@ impl<'db> Session<'db> {
 
     /// Re-pin the session to the current committed head.
     pub fn refresh(&mut self) {
+        self.db.step(StepPoint::Pin);
         let head = self.db.head.lock().expect("db head lock");
         self.base_version = head.version;
         self.base = Arc::clone(&head.state);
@@ -915,6 +1010,46 @@ impl<'db> Session<'db> {
     /// a dry run returning the candidate [`Execution`].
     pub fn execute(&self, tx: &FTerm, env: &Env) -> TxResult<Execution> {
         self.db.engine()?.execute_traced(&self.base, tx, env)
+    }
+
+    /// Execute against the snapshot and package the result with the
+    /// transaction's footprint, ready for [`Session::commit_prepared`].
+    pub fn prepare(&self, tx: &FTerm, env: &Env) -> TxResult<Prepared> {
+        self.db.step(StepPoint::Execute);
+        let execution = self.db.engine()?.execute_traced(&self.base, tx, env)?;
+        Ok(Prepared {
+            execution,
+            footprint: Footprint::of_program(tx),
+        })
+    }
+
+    /// One commit attempt of a prepared execution: no internal retry and
+    /// no re-execution. A moved head with an overlapping footprint
+    /// surfaces as [`CommitError::Conflict`] and leaves the session on
+    /// its snapshot — the caller decides whether to [`refresh`], re-
+    /// [`prepare`] and attempt again, which is how the simulator turns
+    /// the retry loop into individually scheduled steps.
+    ///
+    /// The prepared execution must have been produced against this
+    /// session's current snapshot; attempting a stale one conflicts (or
+    /// forwards, when provably disjoint) exactly as a stale `commit`
+    /// would.
+    ///
+    /// [`refresh`]: Session::refresh
+    /// [`prepare`]: Session::prepare
+    pub fn commit_prepared(
+        &mut self,
+        label: &str,
+        prepared: &Prepared,
+    ) -> Result<Commit, CommitError> {
+        self.db.metrics.bump(Counter::CommitAttempts);
+        match self.attempt(label, prepared.execution.clone(), &prepared.footprint, 0) {
+            Ok(c) => Ok(c),
+            Err(AttemptError::Fatal(e)) => Err(e),
+            Err(AttemptError::Conflicted { head_version, .. }) => {
+                Err(CommitError::Conflict { head_version })
+            }
+        }
     }
 
     /// Execute and commit, retrying conflicted attempts per the
@@ -950,80 +1085,128 @@ impl<'db> Session<'db> {
         let mut retries = 0u32;
         loop {
             db.metrics.bump(Counter::CommitAttempts);
+            db.step(StepPoint::Execute);
             // execute outside the lock, against the pinned snapshot
             let exec = engine.execute_traced(&self.base, tx, env)?;
-            let mut head = db.head.lock().expect("db head lock");
-            if head.version == self.base_version {
-                // head unmoved: validate, make durable, install
-                db.validate(&head, &exec.state, &exec.delta, label)?;
-                let h = &mut *head;
-                if let Some(w) = h.wal.as_mut() {
-                    w.log_commit(h.version + 1, label, &exec.delta, &exec.state, &db.schema)
-                        .map_err(CommitError::Durability)?;
-                }
-                let state = Arc::new(exec.state);
-                head.install(label, Arc::clone(&state), exec.delta, db.max_window);
-                let version = head.version;
-                db.metrics.bump(Counter::CommitsApplied);
-                drop(head);
-                self.base_version = version;
-                self.base = state;
-                return Ok(Commit {
-                    version,
-                    retries,
-                    forwarded: false,
-                });
-            }
-            // head moved: forward if provably disjoint from what landed
-            if let Some(concurrent) = head.delta_since(self.base_version) {
-                if !footprint.overlaps_delta(&db.schema, &concurrent) {
-                    let rebased = exec
-                        .delta
-                        .rebase_fresh(self.base.next_tuple_id(), head.state.next_tuple_id());
-                    if let Ok(next) = rebased.apply(&head.state) {
-                        db.validate(&head, &next, &rebased, label)?;
-                        let h = &mut *head;
-                        if let Some(w) = h.wal.as_mut() {
-                            w.log_commit(h.version + 1, label, &rebased, &next, &db.schema)
-                                .map_err(CommitError::Durability)?;
-                        }
-                        let state = Arc::new(next);
-                        head.install(label, Arc::clone(&state), rebased, db.max_window);
-                        let version = head.version;
-                        db.metrics.bump(Counter::CommitsForwarded);
-                        drop(head);
-                        self.base_version = version;
-                        self.base = state;
-                        return Ok(Commit {
-                            version,
-                            retries,
-                            forwarded: true,
+            match self.attempt(label, exec, &footprint, retries) {
+                Ok(commit) => return Ok(commit),
+                Err(AttemptError::Fatal(e)) => return Err(e),
+                Err(AttemptError::Conflicted {
+                    head_version,
+                    fresh,
+                }) => {
+                    if !retry {
+                        return Err(CommitError::Conflict { head_version });
+                    }
+                    if retries >= db.retry.max_retries {
+                        return Err(CommitError::RetriesExhausted {
+                            attempts: retries + 1,
                         });
+                    }
+                    let delay = db.retry.delay(retries);
+                    retries += 1;
+                    db.metrics.bump(Counter::CommitRetries);
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                    self.base_version = head_version;
+                    self.base = fresh;
+                }
+            }
+        }
+    }
+
+    /// One commit attempt of an executed candidate: take the head lock,
+    /// then install (head unmoved), forward (head moved, footprint
+    /// provably disjoint), or conflict. The atomic section of the
+    /// pipeline — both `commit`'s retry loop and `commit_prepared` end
+    /// here.
+    fn attempt(
+        &mut self,
+        label: &str,
+        exec: Execution,
+        footprint: &Footprint,
+        retries: u32,
+    ) -> Result<Commit, AttemptError> {
+        let db = self.db;
+        db.step(StepPoint::LockAcquire);
+        let mut head = db.head.lock().expect("db head lock");
+        if head.version == self.base_version {
+            // head unmoved: validate, make durable, install
+            db.validate(&head, &exec.state, &exec.delta, label)
+                .map_err(AttemptError::Fatal)?;
+            let h = &mut *head;
+            if let Some(w) = h.wal.as_mut() {
+                db.candidate(h.version + 1, &exec.state);
+                if let Err(e) =
+                    w.log_commit(h.version + 1, label, &exec.delta, &exec.state, &db.schema)
+                {
+                    if !db.bug(ProtocolBug::AckUndurableCommits) {
+                        return Err(AttemptError::Fatal(CommitError::Durability(e)));
                     }
                 }
             }
-            // conflict: refresh the snapshot and retry (or surface)
-            db.metrics.bump(Counter::CommitConflicts);
-            let head_version = head.version;
-            let fresh = Arc::clone(&head.state);
+            db.step(StepPoint::Install);
+            let state = Arc::new(exec.state);
+            head.install(label, Arc::clone(&state), exec.delta, db.max_window);
+            let version = head.version;
+            db.metrics.bump(Counter::CommitsApplied);
             drop(head);
-            if !retry {
-                return Err(CommitError::Conflict { head_version });
-            }
-            if retries >= db.retry.max_retries {
-                return Err(CommitError::RetriesExhausted {
-                    attempts: retries + 1,
-                });
-            }
-            let delay = db.retry.delay(retries);
-            retries += 1;
-            db.metrics.bump(Counter::CommitRetries);
-            if !delay.is_zero() {
-                std::thread::sleep(delay);
-            }
-            self.base_version = head_version;
-            self.base = fresh;
+            self.base_version = version;
+            self.base = state;
+            return Ok(Commit {
+                version,
+                retries,
+                forwarded: false,
+            });
         }
+        // head moved: forward if provably disjoint from what landed
+        if let Some(concurrent) = head.delta_since(self.base_version) {
+            let disjoint = !footprint.overlaps_delta(&db.schema, &concurrent)
+                || db.bug(ProtocolBug::ValidateAgainstSnapshot);
+            if disjoint {
+                let rebased = exec
+                    .delta
+                    .rebase_fresh(self.base.next_tuple_id(), head.state.next_tuple_id());
+                if let Ok(next) = rebased.apply(&head.state) {
+                    db.validate(&head, &next, &rebased, label)
+                        .map_err(AttemptError::Fatal)?;
+                    let h = &mut *head;
+                    if let Some(w) = h.wal.as_mut() {
+                        db.candidate(h.version + 1, &next);
+                        if let Err(e) =
+                            w.log_commit(h.version + 1, label, &rebased, &next, &db.schema)
+                        {
+                            if !db.bug(ProtocolBug::AckUndurableCommits) {
+                                return Err(AttemptError::Fatal(CommitError::Durability(e)));
+                            }
+                        }
+                    }
+                    db.step(StepPoint::Install);
+                    let state = Arc::new(next);
+                    head.install(label, Arc::clone(&state), rebased, db.max_window);
+                    let version = head.version;
+                    db.metrics.bump(Counter::CommitsForwarded);
+                    drop(head);
+                    self.base_version = version;
+                    self.base = state;
+                    return Ok(Commit {
+                        version,
+                        retries,
+                        forwarded: true,
+                    });
+                }
+            }
+        }
+        // conflict: surface the fresh head so the caller can re-pin
+        db.metrics.bump(Counter::CommitConflicts);
+        let head_version = head.version;
+        let fresh = Arc::clone(&head.state);
+        drop(head);
+        Err(AttemptError::Conflicted {
+            head_version,
+            fresh,
+        })
     }
 }
 

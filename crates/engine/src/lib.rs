@@ -27,12 +27,13 @@ pub mod exec;
 pub mod explain;
 pub mod model;
 pub mod plan;
+pub mod sim;
 pub mod value;
 pub mod wal;
 
 pub use db::{
-    Commit, CommitConstraint, CommitError, Database, DatabaseBuilder, Footprint, RetryPolicy,
-    Session,
+    Commit, CommitConstraint, CommitError, Database, DatabaseBuilder, Footprint, Prepared,
+    RetryPolicy, Session,
 };
 pub use env::{Binding, Env};
 pub use exec::{

@@ -44,8 +44,9 @@
 //! or rollback failure after record bytes went out) *poisons* the
 //! writer: all further appends fail with [`WalError::Poisoned`] until
 //! the database is reopened, so a version that may already be logged is
-//! never reused. See [`Wal`] for the argument.
+//! never reused. See `Wal` for the argument.
 
+use crate::sim::{RecordKind, SimEvent, StepAction, StepHook, StepPoint};
 use std::collections::VecDeque;
 use std::fmt;
 use std::fs::{File, OpenOptions};
@@ -390,6 +391,10 @@ pub(crate) struct Wal {
     commits_since_checkpoint: u64,
     poisoned: Option<String>,
     metrics: Metrics,
+    /// Simulation seam (see [`crate::db::Database::set_step_hook`]):
+    /// append/fsync become schedulable, failable steps. `None` in normal
+    /// operation — one branch per store operation.
+    hook: Option<Arc<dyn StepHook>>,
 }
 
 impl Wal {
@@ -407,7 +412,12 @@ impl Wal {
             commits_since_checkpoint: 0,
             poisoned: None,
             metrics,
+            hook: None,
         }
+    }
+
+    pub(crate) fn set_hook(&mut self, hook: Arc<dyn StepHook>) {
+        self.hook = Some(hook);
     }
 
     fn check_poisoned(&self) -> Result<(), WalError> {
@@ -422,6 +432,9 @@ impl Wal {
     fn poison(&mut self, detail: String) {
         if self.poisoned.is_none() {
             self.poisoned = Some(detail);
+            if let Some(h) = &self.hook {
+                h.on_event(SimEvent::WalPoisoned);
+            }
         }
     }
 
@@ -431,8 +444,19 @@ impl Wal {
         self.commits_since_checkpoint = commits;
     }
 
-    fn append_record(&mut self, payload: &[u8]) -> Result<(), WalError> {
+    fn append_record(&mut self, payload: &[u8], kind: RecordKind) -> Result<(), WalError> {
         self.check_poisoned()?;
+        if let Some(h) = &self.hook {
+            if h.on_step(StepPoint::WalAppend(kind)) == StepAction::FailIo {
+                // a clean injected failure: no bytes reached the store,
+                // so nothing to roll back and no reason to poison — the
+                // version is provably unlogged and may be reused
+                return Err(WalError::Io {
+                    op: "append",
+                    detail: "injected append failure (schedule)".to_string(),
+                });
+            }
+        }
         let before = self.store.len()?;
         if payload.len() as u64 > u64::from(u32::MAX) {
             return Err(WalError::Corrupt {
@@ -461,6 +485,9 @@ impl Wal {
         }
         self.metrics.bump(Counter::WalAppends);
         self.metrics.add(Counter::WalBytes, bytes.len() as u64);
+        if let Some(h) = &self.hook {
+            h.on_event(SimEvent::WalAppended(kind));
+        }
         self.appends_since_sync += 1;
         if self.appends_since_sync >= self.sync_every {
             self.sync()?;
@@ -470,7 +497,19 @@ impl Wal {
 
     pub(crate) fn sync(&mut self) -> Result<(), WalError> {
         self.check_poisoned()?;
-        if let Err(e) = self.store.sync() {
+        let injected = self
+            .hook
+            .as_ref()
+            .is_some_and(|h| h.on_step(StepPoint::WalFsync) == StepAction::FailIo);
+        let synced = if injected {
+            Err(WalError::Io {
+                op: "sync",
+                detail: "injected sync failure (schedule)".to_string(),
+            })
+        } else {
+            self.store.sync()
+        };
+        if let Err(e) = synced {
             // The appended records may or may not be durable (and after
             // a failed fsync the kernel may have dropped the dirty
             // pages, so retrying proves nothing): their versions must
@@ -480,6 +519,9 @@ impl Wal {
         }
         self.metrics.bump(Counter::WalFsyncs);
         self.appends_since_sync = 0;
+        if let Some(h) = &self.hook {
+            h.on_event(SimEvent::WalSynced);
+        }
         Ok(())
     }
 
@@ -501,7 +543,7 @@ impl Wal {
         e.str(label);
         e.u64(state_after.next_tuple_id());
         e.delta(delta);
-        self.append_record(&e.finish())?;
+        self.append_record(&e.finish(), RecordKind::Commit)?;
         self.commits_since_checkpoint += 1;
         if self.checkpoint_every > 0 && self.commits_since_checkpoint >= self.checkpoint_every {
             if let Err(e) = self.log_checkpoint(version, schema, state_after) {
@@ -529,7 +571,7 @@ impl Wal {
         e.u64(version);
         e.schema(schema);
         e.db_state(state);
-        self.append_record(&e.finish())?;
+        self.append_record(&e.finish(), RecordKind::Checkpoint)?;
         self.metrics.bump(Counter::WalCheckpoints);
         self.commits_since_checkpoint = 0;
         Ok(())

@@ -559,6 +559,17 @@ pub fn encode_db_state(s: &DbState) -> Vec<u8> {
     e.finish()
 }
 
+/// A process-independent 64-bit fingerprint of a [`DbState`]: the CRC-32
+/// of its canonical encoding combined with the encoded length. Collisions
+/// are possible but stable — two runs of any process fingerprint a state
+/// identically — which is what the model checker's schedule-dedup keys
+/// and pinned-corpus assertions need (`content_digest` hashes in-process
+/// only and makes no cross-version promise).
+pub fn fingerprint_db_state(s: &DbState) -> u64 {
+    let bytes = encode_db_state(s);
+    (u64::from(crc32(&bytes)) << 32) | (bytes.len() as u64 & 0xFFFF_FFFF)
+}
+
 /// Decode a standalone [`DbState`], requiring full consumption.
 pub fn decode_db_state(bytes: &[u8]) -> Result<DbState, CodecError> {
     let mut d = Decoder::new(bytes);

@@ -2,12 +2,12 @@
 //!
 //! Three angles:
 //!
-//! * **Fixed interleavings** — 2–3 writers pinned to the *same* base
-//!   snapshot commit in a chosen order; the committed head must be
-//!   `value_eq` to a sequential oracle that replays the same
-//!   transactions in commit order from the same base. Covers both the
-//!   conflicting case (same relation, retried and re-executed) and the
-//!   disjoint case (different relations, delta-forwarded).
+//! * **Explorer-driven interleavings** — the workloads that used to be
+//!   pinned to one hand-written schedule (conflicting writers, mixed
+//!   disjoint-and-conflicting) now run under the `sim` explorer, which
+//!   enumerates *every* interleaving exhaustively and judges each
+//!   against the serializability, snapshot-consistency, and durability
+//!   oracles.
 //! * **Property** — any pair of transactions drawn from per-relation
 //!   pools with disjoint footprints commits from a shared stale
 //!   snapshot without a single retry (the forwarding fast path), and
@@ -23,6 +23,7 @@ use std::sync::Mutex;
 use std::thread;
 use txlog::empdb::transactions::{add_dept, add_project, obtain_skill, raise_salary};
 use txlog::empdb::{populate, Sizes};
+use txlog::engine::sim::{explore_exhaustive, ExploreOptions, SimConfig};
 use txlog::engine::{Database, Env};
 use txlog::logic::FTerm;
 use txlog::relational::DbState;
@@ -30,6 +31,16 @@ use txlog::relational::DbState;
 fn database() -> Database {
     let (schema, db) = populate(Sizes::small(), 2).expect("population generates");
     Database::with_initial(schema, db).expect("database builds")
+}
+
+/// The populated empdb workload as a simulation config.
+fn sim_config(sessions: &[(&str, Vec<FTerm>)]) -> SimConfig {
+    let (schema, db) = populate(Sizes::small(), 2).expect("population generates");
+    let mut cfg = SimConfig::new(schema).initial(db);
+    for (name, txs) in sessions {
+        cfg = cfg.session(name, txs.clone());
+    }
+    cfg
 }
 
 /// Replay `txs` in order from `base` through a fresh single-writer
@@ -48,68 +59,70 @@ fn oracle(base_db: &Database, base: &DbState, txs: &[&FTerm]) -> DbState {
     (*snap).clone()
 }
 
-/// Two writers on the same relation, both pinned to the pre-commit
-/// snapshot: the second must conflict, retry, and re-execute at the
-/// new head, so neither raise is lost.
+/// Two writers raising the same employee's salary — formerly one
+/// hand-written interleaving, now *every* interleaving: under each
+/// schedule both raises land (or one aborts cleanly after exhausting
+/// retries) and the head serializes like the sequential oracle.
 #[test]
-fn conflicting_writers_serialize_like_the_oracle() {
-    let db = database();
-    let base = (*db.snapshot()).clone();
-    let env = Env::new();
-
-    let raise_a = raise_salary("emp-0", 10);
-    let raise_b = raise_salary("emp-0", 7);
-
-    // both sessions pin the same base version before either commits
-    let mut s1 = db.session();
-    let mut s2 = db.session();
-    let c1 = s1.commit("raise-a", &raise_a, &env).expect("first commits");
-    assert_eq!(c1.retries, 0, "uncontended commit needs no retry");
-    let c2 = s2
-        .commit("raise-b", &raise_b, &env)
-        .expect("second commits");
+fn conflicting_writers_serialize_under_every_schedule() {
+    let cfg = sim_config(&[
+        ("raise-a", vec![raise_salary("emp-0", 10)]),
+        ("raise-b", vec![raise_salary("emp-0", 7)]),
+    ]);
+    let report = explore_exhaustive(&cfg, &ExploreOptions::default()).expect("runs complete");
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(!report.truncated);
     assert!(
-        c2.retries > 0 || c2.forwarded,
-        "stale overlapping commit must not pretend the head never moved"
-    );
-
-    let expect = oracle(&db, &base, &[&raise_a, &raise_b]);
-    assert!(
-        db.snapshot().value_eq(&expect),
-        "concurrent result differs from sequential replay"
+        report.schedules >= 10,
+        "two contended sessions have many interleavings, got {}",
+        report.schedules
     );
 }
 
-/// Three writers: two disjoint (SKILL, PROJ) around one conflicting
-/// (EMP vs EMP) — the disjoint ones forward, the overlapping one
-/// retries, and the head still equals the oracle.
+/// Three writers: two disjoint (SKILL vs EMP footprints) around one
+/// conflicting (EMP vs EMP) — formerly one pinned schedule, now the
+/// whole interleaving space. Every schedule must both serialize and,
+/// in at least one interleaving, take the forwarding fast path.
 #[test]
-fn mixed_disjoint_and_conflicting_schedule() {
-    let db = database();
-    let base = (*db.snapshot()).clone();
-    let env = Env::new();
-
-    let t1 = raise_salary("emp-0", 5);
-    let t2 = obtain_skill("emp-1", 900);
-    let t3 = raise_salary("emp-1", 3);
-
-    let mut s1 = db.session();
-    let mut s2 = db.session();
-    let mut s3 = db.session();
-    s1.commit("t1", &t1, &env).expect("t1 commits");
-    let c2 = s2.commit("t2", &t2, &env).expect("t2 commits");
-    assert_eq!(
-        c2.retries, 0,
-        "skill insert is footprint-disjoint from the salary raise"
-    );
+fn mixed_disjoint_and_conflicting_under_every_schedule() {
+    let cfg = sim_config(&[
+        ("t1", vec![raise_salary("emp-0", 5)]),
+        ("t2", vec![obtain_skill("emp-1", 900)]),
+        ("t3", vec![raise_salary("emp-1", 3)]),
+    ]);
+    let report = explore_exhaustive(&cfg, &ExploreOptions::default()).expect("runs complete");
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(!report.truncated);
     assert!(
-        c2.forwarded,
-        "stale disjoint commit takes the forwarding path"
+        report.stats.forwarded_commits > 0,
+        "some schedule pins the disjoint writer before the head moves"
     );
-    s3.commit("t3", &t3, &env).expect("t3 commits");
+}
 
-    let expect = oracle(&db, &base, &[&t1, &t2, &t3]);
-    assert!(db.snapshot().value_eq(&expect), "head != sequential oracle");
+/// Two sessions, two commits each, contention on one employee plus a
+/// disjoint second commit — the deepest workload the exhaustive
+/// explorer covers over the full empdb state.
+#[test]
+fn two_commit_scripts_serialize_under_every_schedule() {
+    let cfg = sim_config(&[
+        (
+            "a",
+            vec![raise_salary("emp-0", 10), obtain_skill("emp-2", 700)],
+        ),
+        (
+            "b",
+            vec![raise_salary("emp-0", 7), obtain_skill("emp-3", 800)],
+        ),
+    ])
+    .max_attempts(2);
+    let opts = ExploreOptions {
+        dedup: true,
+        ..ExploreOptions::default()
+    };
+    let report = explore_exhaustive(&cfg, &opts).expect("runs complete");
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(!report.truncated);
+    assert!(report.pruned > 0, "dedup must collapse identical prefixes");
 }
 
 /// `try_commit` never retries: the stale overlapping writer surfaces

@@ -412,3 +412,109 @@ fn recovery_then_new_commits_then_recovery_again() {
         "the post-recovery commit is durable too"
     );
 }
+
+/// Fails the `nth` commit fsync it sees (1-based), cleanly, once.
+struct FailNthFsync(std::sync::atomic::AtomicU32, u32);
+
+impl txlog::engine::sim::StepHook for FailNthFsync {
+    fn on_step(&self, point: txlog::engine::sim::StepPoint) -> txlog::engine::sim::StepAction {
+        use std::sync::atomic::Ordering;
+        if point == txlog::engine::sim::StepPoint::WalFsync
+            && self.0.fetch_add(1, Ordering::SeqCst) + 1 == self.1
+        {
+            return txlog::engine::sim::StepAction::FailIo;
+        }
+        txlog::engine::sim::StepAction::Proceed
+    }
+}
+
+/// The poisoned-log agreement check: a crash *between* append success
+/// and fsync failure leaves the commit record on disk but the commit
+/// unacknowledged. `recover_log` must return that
+/// durable-but-unacknowledged commit — and the explorer's durability
+/// oracle must accept exactly that verdict for the same history. One
+/// scenario, judged by both sides.
+#[test]
+fn crash_between_append_and_fsync_recovers_the_unacked_commit() {
+    use txlog::engine::sim::{check_oracles, run_with_schedule, SimConfig, SimDurability};
+
+    let hire = parse_fterm("insert(tuple('ann', 500), STAFF)", &ctx(), &[]).expect("parses");
+    let raise = parse_fterm(
+        "foreach e: 2tup | e in STAFF do modify(e, pay, pay(e) + 10) end",
+        &ctx(),
+        &[],
+    )
+    .expect("parses");
+
+    // --- side 1: the live database with a failing second commit fsync
+    let store = MemStore::default();
+    let (mut db, _) = Database::builder(schema())
+        .durability(Durability::Wal {
+            sync_every: 1,
+            checkpoint_every: 0,
+        })
+        .open_store(Box::new(store.clone()))
+        .expect("fresh log opens");
+    // installed after open, so only *commit* fsyncs count: the second
+    // one — the raise — fails after its record was appended
+    db.set_step_hook(std::sync::Arc::new(FailNthFsync(
+        std::sync::atomic::AtomicU32::new(0),
+        2,
+    )));
+    let env = Env::new();
+    let mut session = db.session();
+    session
+        .commit("hire", &hire, &env)
+        .expect("first commit lands");
+    let err = session
+        .commit("raise", &raise, &env)
+        .expect_err("second commit's fsync fails after the append");
+    assert!(matches!(err, CommitError::Durability(WalError::Io { .. })));
+    assert_eq!(db.head_version(), 1, "the raise was never acknowledged");
+
+    // what the raise *would* have installed, from an undamaged replay
+    let oracle_db = Database::builder(schema())
+        .build()
+        .expect("oracle database builds");
+    let mut oracle_session = oracle_db.session();
+    oracle_session.commit("hire", &hire, &env).expect("hire");
+    oracle_session.commit("raise", &raise, &env).expect("raise");
+    let unacked_state = encode_db_state(&oracle_db.snapshot());
+
+    // recover_log's verdict on the crash image
+    let (recovered, report) = recover(store.contents()).expect("poisoned log recovers");
+    assert_eq!(
+        report.version, 2,
+        "recovery returns the durable-but-unacked commit, not the acked prefix"
+    );
+    assert!(
+        encode_db_state(&recovered.snapshot()) == unacked_state,
+        "the recovered head is the unacknowledged raise's state"
+    );
+
+    // --- side 2: the explorer's durability oracle on the same history.
+    // One session, two commits; schedule choices are the two fault
+    // decisions: none for the hire, fail-fsync for the raise.
+    let cfg = SimConfig::new(schema())
+        .session("w", vec![hire, raise])
+        .durability(SimDurability::Wal {
+            sync_every: 1,
+            checkpoint_every: 0,
+            explore_faults: true,
+        });
+    let out = run_with_schedule(&cfg, &[0, 2]).expect("sim runs");
+    let (version, state) = out.in_doubt.as_ref().expect("the raise is in doubt");
+    assert_eq!(
+        *version, 2,
+        "both sides place the unacked commit at version 2"
+    );
+    assert!(
+        encode_db_state(state) == unacked_state,
+        "the sim's in-doubt state is the same unacked raise"
+    );
+    assert_eq!(
+        check_oracles(&cfg, &out),
+        None,
+        "the durability oracle accepts recover_log's verdict on every crash image"
+    );
+}
