@@ -147,6 +147,8 @@ pub enum Counter {
     WalFsyncs,
     /// Full-state checkpoint records appended to a write-ahead log.
     WalCheckpoints,
+    /// Batches the group-commit log writer flushed (one fsync each).
+    WalGroupBatches,
     /// Committed deltas replayed onto a checkpoint state during recovery.
     RecoverReplayedDeltas,
     /// Torn or corrupt tail records dropped (by truncation) during
@@ -156,7 +158,7 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in canonical (serialization) order.
-    pub const ALL: [Counter; 44] = [
+    pub const ALL: [Counter; 45] = [
         Counter::PlansCompiled,
         Counter::PrefilterCuts,
         Counter::ScanSteps,
@@ -199,6 +201,7 @@ impl Counter {
         Counter::WalBytes,
         Counter::WalFsyncs,
         Counter::WalCheckpoints,
+        Counter::WalGroupBatches,
         Counter::RecoverReplayedDeltas,
         Counter::RecoverTruncatedRecords,
     ];
@@ -248,6 +251,7 @@ impl Counter {
             Counter::WalBytes => "wal_bytes",
             Counter::WalFsyncs => "wal_fsyncs",
             Counter::WalCheckpoints => "wal_checkpoints",
+            Counter::WalGroupBatches => "wal_group_batches",
             Counter::RecoverReplayedDeltas => "recover_replayed_deltas",
             Counter::RecoverTruncatedRecords => "recover_truncated_records",
         }
@@ -270,16 +274,20 @@ pub enum Hist {
     ReadSetRels,
     /// States participating in each window-key computation.
     WindowStates,
+    /// Commit records per group-commit batch (one observation per
+    /// flushed batch).
+    WalGroupBatchSize,
 }
 
 impl Hist {
     /// Every histogram, in canonical (serialization) order.
-    pub const ALL: [Hist; 5] = [
+    pub const ALL: [Hist; 6] = [
         Hist::DeltaTuples,
         Hist::EnumBudget,
         Hist::ForeachMatches,
         Hist::ReadSetRels,
         Hist::WindowStates,
+        Hist::WalGroupBatchSize,
     ];
 
     /// Stable snake_case name used in snapshots and reports.
@@ -290,6 +298,7 @@ impl Hist {
             Hist::ForeachMatches => "foreach_matches",
             Hist::ReadSetRels => "read_set_rels",
             Hist::WindowStates => "window_states",
+            Hist::WalGroupBatchSize => "wal_group_batch_size",
         }
     }
 }

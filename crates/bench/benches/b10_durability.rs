@@ -4,9 +4,12 @@
 //! Three questions, quantified:
 //!
 //! * **Commit overhead** — throughput of the same insert workload with
-//!   durability off, with a WAL fsyncing every commit (the safe
-//!   default), and with group-style syncing every 64 commits. The gap
-//!   between the last two is the price of the fsync, not of the log.
+//!   durability off, with a WAL batch cap of 1 (one fsync per commit),
+//!   and with a cap of 64. A *single* sequential committer always
+//!   drains as a batch of one — acknowledgment waits on the group
+//!   fsync either way — so the last two should be close; the batching
+//!   win needs concurrent committers and is measured in
+//!   `b12_group_commit`. The gap to `off` is the price of the log.
 //! * **Recovery cost** — time to recover a database from logs of
 //!   growing length, with and without periodic checkpoints. Checkpoints
 //!   should make recovery nearly flat in history length, because replay

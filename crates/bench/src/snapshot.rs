@@ -37,6 +37,7 @@ pub fn collect() -> Snapshot {
     cache_exercise(&metrics);
     commit_exercise(&metrics);
     wal_exercise(&metrics);
+    group_commit_exercise(&metrics);
     let snap = metrics.snapshot();
     Metrics::disabled().install_global();
     snap
@@ -257,4 +258,63 @@ fn wal_exercise(metrics: &Metrics) {
     assert_eq!(report.version, 6, "torn tail lands on the previous commit");
     assert_eq!(report.truncated_records, 1, "exactly the torn record drops");
     assert_eq!(db.snapshot().total_tuples(), 6, "six entries survive");
+}
+
+/// Three prepared submissions from one session against a *manual* log
+/// writer, pumped as a single batch: pins the group-commit counters in
+/// the baseline — exactly one batch whose recorded size is 3 — on top
+/// of the per-commit batches the single-threaded exercises above
+/// produce. Deterministic because the manual writer only runs when
+/// pumped, so the batch boundary is the program order.
+fn group_commit_exercise(metrics: &Metrics) {
+    use txlog::engine::{Database, Durability, MemStore};
+    use txlog::prelude::{Counter, Hist, Schema};
+
+    let schema = Schema::new()
+        .relation("QUEUE", &["q-entry", "q-n"])
+        .expect("relation");
+    let ctx = txlog::logic::ParseCtx::with_relations(&["QUEUE"]);
+    let env = Env::new();
+    let entry = |n: u64| {
+        parse_fterm(&format!("insert(tuple('q-{n}', {n}), QUEUE)"), &ctx, &[]).expect("parses")
+    };
+
+    let batches_before = metrics.get(Counter::WalGroupBatches);
+    let (db, report) = Database::builder(schema)
+        .metrics(metrics.clone())
+        .durability(Durability::Wal {
+            sync_every: 8,
+            checkpoint_every: 0,
+        })
+        .manual_log_writer()
+        .open_store(Box::new(MemStore::default()))
+        .expect("opens a fresh log");
+    assert!(report.fresh, "empty store initialises a fresh log");
+    let mut session = db.session();
+    let mut tickets = Vec::new();
+    for n in 1..=3u64 {
+        let prepared = session.prepare(&entry(n), &env).expect("prepares");
+        let (_, ticket) = session
+            .submit_prepared(&format!("queue-{n}"), &prepared)
+            .expect("submission installs");
+        tickets.push(ticket);
+    }
+    assert!(
+        tickets.iter().all(|t| !t.is_complete()),
+        "a manual writer acknowledges nothing before the pump"
+    );
+    db.pump_log_writer();
+    for ticket in tickets {
+        ticket.wait().expect("the batch acknowledges");
+    }
+    assert_eq!(
+        metrics.get(Counter::WalGroupBatches),
+        batches_before + 1,
+        "three queued commits drain as one batch"
+    );
+    assert_eq!(
+        metrics.hist(Hist::WalGroupBatchSize).max,
+        3,
+        "the batch size histogram records the full batch"
+    );
 }

@@ -34,12 +34,24 @@
 //! `std::thread::scope` worker pool. A violation aborts the commit with
 //! [`CommitError::ConstraintViolation`] and leaves the head untouched.
 //!
+//! Durable databases commit through the *group-commit* stage (the
+//! crate-private `group` module): the head lock section only validates, encodes the
+//! commit record, enqueues it into a bounded submission queue, and
+//! installs; a dedicated log-writer thread batches queued records, issues
+//! one fsync per batch, and acknowledges every commit in the batch
+//! together. [`Session::commit`] blocks on that acknowledgment (so no
+//! fsync runs under the head lock, and concurrent sessions share
+//! flushes); [`Session::submit_prepared`] returns the [`CommitTicket`]
+//! unawaited for callers that pipeline their own commits.
+//!
 //! The whole pipeline reports into [`txlog_base::obs`]: commit
 //! attempts/conflicts/retries counters, applied-vs-forwarded outcomes,
-//! validation runs and read-set skips, and a `commit.validate` span.
+//! validation runs and read-set skips, a `commit.validate` span, and a
+//! `commit.log_wait` span covering the wait for group ack.
 
 use crate::env::Env;
 use crate::exec::{Engine, EvalOptions, Execution};
+use crate::group::{GroupCommitter, Slot, SubmitError, WriterOp};
 use crate::sim::{ProtocolBug, StepHook, StepPoint};
 use crate::wal::{self, Durability, FileStore, LogStore, RecoveryReport, Wal, WalError};
 use std::collections::{BTreeSet, VecDeque};
@@ -47,6 +59,7 @@ use std::fmt;
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
 use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
 use std::time::Duration;
 use txlog_base::obs::{Counter, Metrics};
 use txlog_base::{Symbol, TxError, TxResult};
@@ -58,6 +71,12 @@ use txlog_relational::{DbState, Delta, Schema};
 /// conflict analysis. A session whose snapshot is older than the log can
 /// still commit — it just always takes the conservative conflict path.
 const DELTA_LOG_CAP: usize = 64;
+
+/// Default bound on the group-commit submission queue
+/// ([`DatabaseBuilder::log_queue_cap`]). Deep enough that overload only
+/// fires when the log writer is genuinely stalled, shallow enough that
+/// memory stays bounded when it is.
+const DEFAULT_LOG_QUEUE_CAP: usize = 1024;
 
 /// An integrity constraint checkable at commit time.
 ///
@@ -333,9 +352,20 @@ pub enum CommitError {
     },
     /// The transaction failed to execute, or a constraint check errored.
     Execution(TxError),
-    /// The write-ahead log rejected the commit record, so the commit did
-    /// not install: durability is append-*before*-install, and a commit
-    /// that cannot be made durable must not become visible.
+    /// The group-commit submission queue is full: the log writer is not
+    /// keeping up with the commit rate. The commit did *not* install (the
+    /// queue is checked before a version is consumed) and is not retried
+    /// automatically — backpressure is the caller's decision.
+    Overload {
+        /// The configured queue capacity ([`DatabaseBuilder::log_queue_cap`]).
+        capacity: usize,
+    },
+    /// The write-ahead log could not persist the commit record. If the
+    /// error surfaced at submit time (a poisoned log), the commit did not
+    /// install. If it surfaced from the [`CommitTicket`] wait, the commit
+    /// *did* install — it is visible in memory but unacknowledged, the
+    /// log is poisoned, and crash recovery may or may not retain it;
+    /// reopen the database to resume committing.
     Durability(WalError),
 }
 
@@ -354,6 +384,10 @@ impl fmt::Display for CommitError {
                 write!(f, "commit gave up after {attempts} conflicted attempts")
             }
             CommitError::Execution(e) => write!(f, "commit failed to execute: {e}"),
+            CommitError::Overload { capacity } => write!(
+                f,
+                "commit rejected: the log submission queue is full ({capacity} pending)"
+            ),
             CommitError::Durability(e) => {
                 write!(f, "commit could not be made durable: {e}")
             }
@@ -382,6 +416,64 @@ pub struct Commit {
     pub forwarded: bool,
 }
 
+/// Handle on a commit's durability acknowledgment.
+///
+/// A durable commit *installs* (becomes visible to new snapshots) under
+/// the head lock, but is only *acknowledged* once the log writer has
+/// fsynced the batch containing its record. The ticket is that
+/// acknowledgment: [`CommitTicket::wait`] blocks until the batch
+/// flushes (what [`Session::commit`] does internally);
+/// [`Session::submit_prepared`] hands the ticket to the caller instead,
+/// so a pipeline of commits can overlap their waits. Without durability
+/// the ticket is born complete.
+pub struct CommitTicket {
+    /// `None` when durability is off: nothing to wait for.
+    slot: Option<Arc<Slot>>,
+    metrics: Metrics,
+}
+
+impl CommitTicket {
+    /// Block until the log writer acknowledges (or fails) the commit.
+    /// An `Err` means the commit is installed in memory but its record
+    /// never became durable and the log is poisoned — see
+    /// [`CommitError::Durability`].
+    pub fn wait(&self) -> Result<(), CommitError> {
+        match &self.slot {
+            None => Ok(()),
+            Some(slot) => {
+                let _span = self.metrics.span("commit.log_wait");
+                slot.wait()
+                    .map_err(|e| CommitError::Durability(e.into_wal()))
+            }
+        }
+    }
+
+    /// The acknowledgment if it already happened (non-blocking).
+    pub fn try_result(&self) -> Option<Result<(), CommitError>> {
+        match &self.slot {
+            None => Some(Ok(())),
+            Some(slot) => slot
+                .try_result()
+                .map(|r| r.map_err(|e| CommitError::Durability(e.into_wal()))),
+        }
+    }
+
+    /// True once the log writer has decided this commit's fate (always
+    /// true without durability).
+    pub fn is_complete(&self) -> bool {
+        self.try_result().is_some()
+    }
+}
+
+/// Map a submission rejection (which happens before the commit consumes
+/// a version) onto the public error type.
+fn submit_error(e: SubmitError) -> CommitError {
+    match e {
+        SubmitError::Overload { capacity } => CommitError::Overload { capacity },
+        SubmitError::Poisoned { detail } => CommitError::Durability(WalError::Poisoned { detail }),
+    }
+}
+
 /// The committed head plus the bookkeeping the pipeline needs.
 struct Head {
     version: u64,
@@ -394,10 +486,6 @@ struct Head {
     /// Recent committed deltas as `(version_after, delta)`, oldest
     /// first, for composing "what happened since snapshot v".
     log: VecDeque<(u64, Delta)>,
-    /// Write-ahead log, when durability is on. Living inside the head
-    /// lock serializes appends with installs: the log's record order is
-    /// exactly commit order.
-    wal: Option<Wal>,
 }
 
 impl Head {
@@ -454,7 +542,34 @@ pub struct Database {
     /// commit pipeline announces every decision point to it. `None` in
     /// normal operation, so the whole seam costs one branch per point.
     hook: Option<Arc<dyn StepHook>>,
+    /// The group-commit stage, when durability is on. Submissions happen
+    /// under the head lock (so the queue order is exactly commit order);
+    /// draining, batching, and fsync happen off it.
+    committer: Option<Arc<GroupCommitter>>,
+    /// The dedicated log-writer thread, absent in
+    /// [`DatabaseBuilder::manual_log_writer`] mode (the deterministic
+    /// simulator pumps the committer itself).
+    writer_thread: Option<JoinHandle<()>>,
     head: Mutex<Head>,
+}
+
+impl Drop for Database {
+    fn drop(&mut self) {
+        if let Some(c) = &self.committer {
+            c.shutdown();
+            match self.writer_thread.take() {
+                // the writer drains everything before honoring shutdown,
+                // so joining it flushes all pending commits
+                Some(t) => drop(t.join()),
+                None => {
+                    // manual mode: drain what we can, then make sure no
+                    // ticket waits forever
+                    c.pump_all();
+                    c.fail_pending("database closed");
+                }
+            }
+        }
+    }
 }
 
 impl Database {
@@ -478,13 +593,14 @@ impl Database {
             constraints: Vec::new(),
             max_window: 1,
             hook: None,
+            committer: None,
+            writer_thread: None,
             head: Mutex::new(Head {
                 version: 0,
                 state: Arc::clone(&state),
                 recent: VecDeque::from([state]),
                 labels: VecDeque::new(),
                 log: VecDeque::new(),
-                wal: None,
             }),
         })
     }
@@ -500,6 +616,8 @@ impl Database {
             retry: RetryPolicy::default(),
             durability: Durability::Off,
             constraints: Vec::new(),
+            queue_cap: DEFAULT_LOG_QUEUE_CAP,
+            manual_writer: false,
         }
     }
 
@@ -544,9 +662,8 @@ impl Database {
     /// log, when one is attached. Without a hook the seam is a single
     /// `Option` branch per point (measured by the `b11_sim` bench).
     pub fn set_step_hook(&mut self, hook: Arc<dyn StepHook>) {
-        let head = self.head.get_mut().expect("db head lock");
-        if let Some(w) = head.wal.as_mut() {
-            w.set_hook(Arc::clone(&hook));
+        if let Some(c) = &self.committer {
+            c.set_hook(Arc::clone(&hook));
         }
         self.hook = Some(hook);
     }
@@ -569,15 +686,35 @@ impl Database {
         }
     }
 
-    /// Announce the exact state a WAL commit record is about to log, so
-    /// a simulator can judge crash images against what actually became
-    /// durable (the *rebased* state on the forwarding path, not the one
-    /// executed at the stale snapshot).
-    #[inline]
-    fn candidate(&self, version: u64, state: &DbState) {
-        if let Some(h) = &self.hook {
-            h.on_candidate(version, state);
+    /// Drain the group-commit queue to the log: run the log writer's
+    /// micro-steps until it goes idle (every queued commit appended,
+    /// fsynced, and acknowledged). A no-op without durability or with an
+    /// already-idle writer. Only needed in
+    /// [`DatabaseBuilder::manual_log_writer`] mode — with the dedicated
+    /// writer thread the draining happens continuously.
+    pub fn pump_log_writer(&self) {
+        if let Some(c) = &self.committer {
+            c.pump_all();
         }
+    }
+
+    /// The group-commit stage, for the deterministic simulator (which
+    /// schedules the log writer as an actor via
+    /// [`GroupCommitter::next_op`] / [`GroupCommitter::micro_step`]).
+    pub(crate) fn group_committer(&self) -> Option<&Arc<GroupCommitter>> {
+        self.committer.as_ref()
+    }
+
+    /// The log writer's next store operation, if it has work
+    /// (simulation seam).
+    pub(crate) fn writer_next_op(&self) -> Option<WriterOp> {
+        self.committer.as_ref().and_then(|c| c.next_op())
+    }
+
+    /// Perform one log-writer micro-step (simulation seam). Returns
+    /// false when the writer was idle.
+    pub(crate) fn writer_micro_step(&self) -> bool {
+        self.committer.as_ref().is_some_and(|c| c.micro_step())
     }
 
     /// Register a commit-time constraint. The current head must satisfy
@@ -791,6 +928,8 @@ pub struct DatabaseBuilder {
     retry: RetryPolicy,
     durability: Durability,
     constraints: Vec<Box<dyn CommitConstraint>>,
+    queue_cap: usize,
+    manual_writer: bool,
 }
 
 impl DatabaseBuilder {
@@ -836,6 +975,26 @@ impl DatabaseBuilder {
     /// constraint.
     pub fn constraint(mut self, c: Box<dyn CommitConstraint>) -> DatabaseBuilder {
         self.constraints.push(c);
+        self
+    }
+
+    /// Bound on the group-commit submission queue: commits beyond it
+    /// fail with [`CommitError::Overload`] instead of growing memory
+    /// while the log writer is stalled. Values of 0 are treated as 1.
+    pub fn log_queue_cap(mut self, cap: usize) -> DatabaseBuilder {
+        self.queue_cap = cap.max(1);
+        self
+    }
+
+    /// Do not spawn the dedicated log-writer thread: the caller drives
+    /// the committer explicitly through
+    /// [`Database::pump_log_writer`] (or, in the deterministic
+    /// simulator, one micro-step at a time). A [`CommitTicket`] only
+    /// resolves after the writer is pumped, so blocking commit calls
+    /// ([`Session::commit`] and friends) would deadlock — use
+    /// [`Session::submit_prepared`] in this mode.
+    pub fn manual_log_writer(mut self) -> DatabaseBuilder {
+        self.manual_writer = true;
         self
     }
 
@@ -907,26 +1066,47 @@ impl DatabaseBuilder {
                 sync_every,
                 checkpoint_every,
             } => {
-                let mut w = Wal::new(store, sync_every, checkpoint_every, metrics.clone());
+                let mut w = Wal::new(store, metrics.clone());
                 if report.fresh {
                     // pin the schema (and the chosen initial state) as
                     // the log's opening checkpoint
                     w.log_checkpoint(0, &self.schema, &state)?;
                     w.sync()?;
-                } else {
-                    w.resume_cadence(report.replayed_deltas);
                 }
-                Some(w)
+                Some((w, sync_every, checkpoint_every))
             }
         };
-        let mut db = Database::with_initial(self.schema, state)?
+        let mut db = Database::with_initial(self.schema.clone(), state)?
             .with_options(self.opts)
-            .with_metrics(metrics)
+            .with_metrics(metrics.clone())
             .with_retry(self.retry);
-        {
-            let mut head = db.head.lock().expect("db head lock");
-            head.version = version;
-            head.wal = wal;
+        db.head.lock().expect("db head lock").version = version;
+        if let Some((w, sync_every, checkpoint_every)) = wal {
+            let committer = Arc::new(GroupCommitter::new(
+                w,
+                self.schema,
+                sync_every,
+                checkpoint_every,
+                self.queue_cap,
+                // resume the checkpoint cadence where the log left off,
+                // and let the next cadence checkpoint snapshot the
+                // recovered head
+                report.replayed_deltas,
+                Some((version, db.snapshot())),
+                metrics,
+            ));
+            if !self.manual_writer {
+                let c = Arc::clone(&committer);
+                let thread = std::thread::Builder::new()
+                    .name("txlog-wal-writer".to_string())
+                    .spawn(move || c.run())
+                    .map_err(|e| WalError::Io {
+                        op: "spawn",
+                        detail: format!("could not spawn the log-writer thread: {e}"),
+                    })?;
+                db.writer_thread = Some(thread);
+            }
+            db.committer = Some(committer);
         }
         for c in self.constraints {
             // add_constraint checks the constraint against the (possibly
@@ -1042,9 +1222,26 @@ impl<'db> Session<'db> {
         label: &str,
         prepared: &Prepared,
     ) -> Result<Commit, CommitError> {
+        let (commit, ticket) = self.submit_prepared(label, prepared)?;
+        ticket.wait()?;
+        Ok(commit)
+    }
+
+    /// Like [`Session::commit_prepared`] but *without* waiting for the
+    /// group fsync: on success the commit is installed (the session is
+    /// re-pinned to it) and the returned [`CommitTicket`] resolves once
+    /// the log writer acknowledges its batch. Submitting several commits
+    /// before waiting on their tickets is how a single session fills a
+    /// batch; with [`DatabaseBuilder::manual_log_writer`] this is the
+    /// only commit call that cannot deadlock.
+    pub fn submit_prepared(
+        &mut self,
+        label: &str,
+        prepared: &Prepared,
+    ) -> Result<(Commit, CommitTicket), CommitError> {
         self.db.metrics.bump(Counter::CommitAttempts);
         match self.attempt(label, prepared.execution.clone(), &prepared.footprint, 0) {
-            Ok(c) => Ok(c),
+            Ok(r) => Ok(r),
             Err(AttemptError::Fatal(e)) => Err(e),
             Err(AttemptError::Conflicted { head_version, .. }) => {
                 Err(CommitError::Conflict { head_version })
@@ -1089,7 +1286,13 @@ impl<'db> Session<'db> {
             // execute outside the lock, against the pinned snapshot
             let exec = engine.execute_traced(&self.base, tx, env)?;
             match self.attempt(label, exec, &footprint, retries) {
-                Ok(commit) => return Ok(commit),
+                Ok((commit, ticket)) => {
+                    // block for the group ack outside the head lock; a
+                    // durability failure here is fatal (the commit is
+                    // installed but unacknowledged, the log poisoned)
+                    ticket.wait()?;
+                    return Ok(commit);
+                }
                 Err(AttemptError::Fatal(e)) => return Err(e),
                 Err(AttemptError::Conflicted {
                     head_version,
@@ -1121,44 +1324,54 @@ impl<'db> Session<'db> {
     /// provably disjoint), or conflict. The atomic section of the
     /// pipeline — both `commit`'s retry loop and `commit_prepared` end
     /// here.
+    ///
+    /// With durability on, the head lock section only validates, encodes
+    /// the commit record, enqueues it to the group committer, and
+    /// installs; the append and fsync run on the log-writer thread and
+    /// the returned [`CommitTicket`] resolves when the batch flushes.
     fn attempt(
         &mut self,
         label: &str,
         exec: Execution,
         footprint: &Footprint,
         retries: u32,
-    ) -> Result<Commit, AttemptError> {
+    ) -> Result<(Commit, CommitTicket), AttemptError> {
         let db = self.db;
         db.step(StepPoint::LockAcquire);
         let mut head = db.head.lock().expect("db head lock");
         if head.version == self.base_version {
-            // head unmoved: validate, make durable, install
+            // head unmoved: validate, enqueue the record, install
             db.validate(&head, &exec.state, &exec.delta, label)
                 .map_err(AttemptError::Fatal)?;
-            let h = &mut *head;
-            if let Some(w) = h.wal.as_mut() {
-                db.candidate(h.version + 1, &exec.state);
-                if let Err(e) =
-                    w.log_commit(h.version + 1, label, &exec.delta, &exec.state, &db.schema)
-                {
-                    if !db.bug(ProtocolBug::AckUndurableCommits) {
-                        return Err(AttemptError::Fatal(CommitError::Durability(e)));
+            let version = head.version + 1;
+            let state = Arc::new(exec.state);
+            let slot = match &db.committer {
+                Some(c) => {
+                    let payload = Wal::encode_commit(version, label, &exec.delta, &state);
+                    match c.submit(version, payload, Arc::clone(&state)) {
+                        Ok(slot) => Some(slot),
+                        Err(e) => return Err(AttemptError::Fatal(submit_error(e))),
                     }
                 }
-            }
+                None => None,
+            };
             db.step(StepPoint::Install);
-            let state = Arc::new(exec.state);
             head.install(label, Arc::clone(&state), exec.delta, db.max_window);
-            let version = head.version;
             db.metrics.bump(Counter::CommitsApplied);
             drop(head);
             self.base_version = version;
             self.base = state;
-            return Ok(Commit {
-                version,
-                retries,
-                forwarded: false,
-            });
+            return Ok((
+                Commit {
+                    version,
+                    retries,
+                    forwarded: false,
+                },
+                CommitTicket {
+                    slot,
+                    metrics: db.metrics.clone(),
+                },
+            ));
         }
         // head moved: forward if provably disjoint from what landed
         if let Some(concurrent) = head.delta_since(self.base_version) {
@@ -1171,30 +1384,37 @@ impl<'db> Session<'db> {
                 if let Ok(next) = rebased.apply(&head.state) {
                     db.validate(&head, &next, &rebased, label)
                         .map_err(AttemptError::Fatal)?;
-                    let h = &mut *head;
-                    if let Some(w) = h.wal.as_mut() {
-                        db.candidate(h.version + 1, &next);
-                        if let Err(e) =
-                            w.log_commit(h.version + 1, label, &rebased, &next, &db.schema)
-                        {
-                            if !db.bug(ProtocolBug::AckUndurableCommits) {
-                                return Err(AttemptError::Fatal(CommitError::Durability(e)));
+                    let version = head.version + 1;
+                    let state = Arc::new(next);
+                    let slot = match &db.committer {
+                        Some(c) => {
+                            // log the *rebased* state: that is what the
+                            // head becomes
+                            let payload = Wal::encode_commit(version, label, &rebased, &state);
+                            match c.submit(version, payload, Arc::clone(&state)) {
+                                Ok(slot) => Some(slot),
+                                Err(e) => return Err(AttemptError::Fatal(submit_error(e))),
                             }
                         }
-                    }
+                        None => None,
+                    };
                     db.step(StepPoint::Install);
-                    let state = Arc::new(next);
                     head.install(label, Arc::clone(&state), rebased, db.max_window);
-                    let version = head.version;
                     db.metrics.bump(Counter::CommitsForwarded);
                     drop(head);
                     self.base_version = version;
                     self.base = state;
-                    return Ok(Commit {
-                        version,
-                        retries,
-                        forwarded: true,
-                    });
+                    return Ok((
+                        Commit {
+                            version,
+                            retries,
+                            forwarded: true,
+                        },
+                        CommitTicket {
+                            slot,
+                            metrics: db.metrics.clone(),
+                        },
+                    ));
                 }
             }
         }
@@ -1559,5 +1779,150 @@ mod tests {
         assert_eq!(m.get(Counter::CommitAttempts), 1);
         assert_eq!(m.get(Counter::CommitsApplied), 1);
         assert_eq!(m.get(Counter::CommitConflicts), 0);
+    }
+
+    #[test]
+    fn manual_writer_acks_the_whole_batch_after_one_fsync() {
+        use crate::wal::MemStore;
+        use txlog_base::obs::Hist;
+        let store = MemStore::new();
+        let m = Metrics::enabled();
+        let (db, _) = Database::builder(schema())
+            .metrics(m.clone())
+            .manual_log_writer()
+            .durability(Durability::Wal {
+                sync_every: 8,
+                checkpoint_every: 0,
+            })
+            .open_store(Box::new(store.clone()))
+            .unwrap();
+        let env = Env::new();
+        let mut s = db.session();
+        let mut tickets = Vec::new();
+        for (label, src) in [
+            ("a", "insert(tuple('ann', 500), EMP)"),
+            ("b", "insert(tuple('bob', 400), EMP)"),
+            ("c", "insert(tuple('cyn', 300), EMP)"),
+        ] {
+            let p = s.prepare(&tx(src), &env).unwrap();
+            let (_, t) = s.submit_prepared(label, &p).unwrap();
+            tickets.push(t);
+        }
+        assert_eq!(db.head_version(), 3, "all three install before any fsync");
+        assert!(
+            tickets.iter().all(|t| !t.is_complete()),
+            "no ack may precede the group fsync"
+        );
+        db.pump_log_writer();
+        for t in &tickets {
+            assert!(matches!(t.try_result(), Some(Ok(()))));
+        }
+        assert_eq!(m.get(Counter::WalGroupBatches), 1, "one batch, one fsync");
+        assert_eq!(m.hist(Hist::WalGroupBatchSize).max, 3);
+        assert_eq!(
+            store.durable_len(),
+            store.contents().len(),
+            "the batch is durable after the pump"
+        );
+    }
+
+    /// A `LogStore` whose `sync` blocks until the gate opens — a
+    /// stand-in for a device with a stalled fsync.
+    #[derive(Clone)]
+    struct GatedStore {
+        inner: crate::wal::MemStore,
+        gate: Arc<(Mutex<bool>, std::sync::Condvar)>,
+    }
+
+    impl GatedStore {
+        fn open_gate(&self) {
+            let (lock, cv) = &*self.gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+
+        fn close_gate(&self) {
+            *self.gate.0.lock().unwrap() = false;
+        }
+    }
+
+    impl LogStore for GatedStore {
+        fn len(&self) -> Result<u64, WalError> {
+            self.inner.len()
+        }
+        fn read_all(&mut self) -> Result<Vec<u8>, WalError> {
+            self.inner.read_all()
+        }
+        fn append(&mut self, bytes: &[u8]) -> Result<(), WalError> {
+            self.inner.append(bytes)
+        }
+        fn sync(&mut self) -> Result<(), WalError> {
+            let (lock, cv) = &*self.gate;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+            drop(open);
+            self.inner.sync()
+        }
+        fn truncate(&mut self, len: u64) -> Result<(), WalError> {
+            self.inner.truncate(len)
+        }
+    }
+
+    #[test]
+    fn slow_log_store_surfaces_overload_instead_of_deadlock() {
+        use crate::wal::MemStore;
+        let store = GatedStore {
+            inner: MemStore::new(),
+            gate: Arc::new((Mutex::new(true), std::sync::Condvar::new())),
+        };
+        let (db, _) = Database::builder(schema())
+            .log_queue_cap(2)
+            .durability(Durability::Wal {
+                sync_every: 1,
+                checkpoint_every: 0,
+            })
+            .open_store(Box::new(store.clone()))
+            .unwrap();
+        // the open-time checkpoint synced through the open gate; stall
+        // every fsync from here on
+        store.close_gate();
+        let env = Env::new();
+        let mut s = db.session();
+        let mut tickets = Vec::new();
+        let mut overloaded = false;
+        // with the writer stalled at most 1 (in flight) + 2 (queued)
+        // submissions are accepted; the next one must be rejected with
+        // Overload rather than blocking
+        for i in 0..4 {
+            let p = s
+                .prepare(&tx(&format!("insert(tuple('e{i}', {i}), EMP)")), &env)
+                .unwrap();
+            match s.submit_prepared(&format!("hire-{i}"), &p) {
+                Ok((_, t)) => tickets.push(t),
+                Err(CommitError::Overload { capacity }) => {
+                    assert_eq!(capacity, 2);
+                    overloaded = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected submit error: {e:?}"),
+            }
+        }
+        assert!(
+            overloaded,
+            "a stalled writer must surface backpressure within queue_cap + 1 submissions"
+        );
+        assert!(
+            tickets.len() >= 2,
+            "the queue accepts up to its capacity before overloading"
+        );
+        // backpressure is transient: release the device and every
+        // accepted commit acks durably
+        store.open_gate();
+        for t in &tickets {
+            t.wait().unwrap();
+        }
+        assert_eq!(db.head_version(), tickets.len() as u64);
     }
 }

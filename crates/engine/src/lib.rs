@@ -25,6 +25,7 @@ pub mod db;
 pub mod env;
 pub mod exec;
 pub mod explain;
+mod group;
 pub mod model;
 pub mod plan;
 pub mod sim;
@@ -32,8 +33,8 @@ pub mod value;
 pub mod wal;
 
 pub use db::{
-    Commit, CommitConstraint, CommitError, Database, DatabaseBuilder, Footprint, Prepared,
-    RetryPolicy, Session,
+    Commit, CommitConstraint, CommitError, CommitTicket, Database, DatabaseBuilder, Footprint,
+    Prepared, RetryPolicy, Session,
 };
 pub use env::{Binding, Env};
 pub use exec::{

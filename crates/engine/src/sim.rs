@@ -6,9 +6,9 @@
 //! never *search* the space. This module turns every nondeterministic
 //! decision the real system makes — which session runs next, whether a
 //! WAL append or fsync fails — into a numbered step chosen by an
-//! injected [`Chooser`], runs N scripted sessions against a real
-//! [`Database`] over a [`MemStore`], and checks each execution against
-//! three oracles:
+//! injected [`Chooser`], runs N scripted sessions *and the group-commit
+//! log writer* against a real [`Database`] over a [`MemStore`], and
+//! checks each execution against three oracles:
 //!
 //! 1. **Serializability** — the final head must be `value_eq` to a
 //!    sequential replay of the committed transactions, in commit-version
@@ -17,23 +17,32 @@
 //!    exactly the committed state of its version, and versions are
 //!    gapless.
 //! 3. **Durability** — after *every* step the store's bytes are treated
-//!    as a crash image: the WAL's `recover_log` must recover a
-//!    commit-order prefix of the acknowledged commits (or the single
-//!    durable-but-unacknowledged in-doubt commit that poisoned the
-//!    log), byte-identical to the state the live run committed at that
+//!    as two crash images (the fsynced prefix, i.e. what a power loss
+//!    keeps, and the full bytes, i.e. unsynced data that happened to
+//!    survive): the WAL's `recover_log` must recover some commit-order
+//!    prefix covering at least every *acknowledged* commit and at most
+//!    every *installed* one — the versions in between are the in-doubt
+//!    set a mid-batch crash legitimately truncates anywhere —
+//!    byte-identical to the state the live run installed at that
 //!    version.
 //!
 //! ## Why single-threaded steps cover the real interleavings
 //!
 //! Execution runs outside the head lock against an immutable `Arc`
-//! snapshot, and the whole attempt (validate → WAL append → install) is
-//! one atomic section under the head lock. The observable behavior of
-//! any real multi-threaded run is therefore determined by the order of
-//! three kinds of events per session — snapshot pinning, execution
-//! against the pinned snapshot, and the atomic attempt — which is
-//! exactly the space a single-threaded scheduler choosing between
-//! per-session macro-steps enumerates. No real threads are needed, so
-//! every run is perfectly reproducible from its choice sequence.
+//! snapshot, and a commit's head-side work (validate → enqueue →
+//! install) is one atomic section under the head lock. The group-commit
+//! log writer runs behind its own pump lock and touches the store one
+//! operation at a time (append a record, fsync a batch, append a
+//! checkpoint). The observable behavior of any real multi-threaded run
+//! is therefore determined by the order of per-session macro-steps
+//! (snapshot pinning, execution, the atomic submit, observing the ack)
+//! interleaved with per-operation writer micro-steps — exactly the
+//! space a single-threaded scheduler choosing between actors
+//! enumerates. The writer is actor index `sessions.len()`, enabled
+//! whenever it has an operation pending; a session blocked on its
+//! commit ticket is enabled only once the writer has decided its fate.
+//! No real threads are needed, so every run is perfectly reproducible
+//! from its choice sequence.
 //!
 //! ## Schedules, seeds, and replay
 //!
@@ -46,8 +55,9 @@
 //! schedule, and a greedily minimized schedule; replay either with
 //! [`run_seeded`] / [`run_with_schedule`].
 
-use crate::db::{CommitError, Database, Prepared, Session};
+use crate::db::{CommitError, CommitTicket, Database, Prepared, Session};
 use crate::env::Env;
+use crate::group::WriterOp;
 use crate::wal::{recover_log, Durability, MemStore, WalError};
 use std::collections::HashSet;
 use std::fmt;
@@ -109,6 +119,9 @@ pub enum SimEvent {
     WalAppended(RecordKind),
     /// The store flushed successfully.
     WalSynced,
+    /// The group committer acknowledged every commit up to and including
+    /// this version (their batch is durable and the waiters are filled).
+    Acked(u64),
     /// The WAL poisoned itself (durable contents in doubt).
     WalPoisoned,
 }
@@ -123,9 +136,11 @@ pub enum ProtocolBug {
     /// are forwarded as if disjoint — the classic lost update. Caught by
     /// the serializability oracle.
     ValidateAgainstSnapshot,
-    /// Install a commit even when its WAL append failed — acknowledged
-    /// durability without a durable record. Caught by the durability
-    /// oracle.
+    /// Acknowledge a commit at install time, before the group fsync
+    /// makes its batch durable — the exact ack-undurable window the
+    /// staged pipeline exists to close. The simulator models it by
+    /// skipping the await-ack phase and counting the commit as acked
+    /// the moment it installs. Caught by the durability oracle.
     AckUndurableCommits,
 }
 
@@ -140,11 +155,6 @@ pub trait StepHook: Send + Sync {
 
     /// Report an outcome (default: ignored).
     fn on_event(&self, _event: SimEvent) {}
-
-    /// Announce the exact state a WAL commit record is about to make
-    /// durable — on the forwarding path this is the *rebased* state,
-    /// not the one executed at the stale snapshot (default: ignored).
-    fn on_candidate(&self, _version: u64, _state: &DbState) {}
 
     /// The protocol bug this hook injects, if any (default: none).
     fn injected_bug(&self) -> Option<ProtocolBug> {
@@ -173,14 +183,14 @@ pub enum SimDurability {
     /// WAL over a [`MemStore`]; every step's store bytes are checked as
     /// a crash image.
     Wal {
-        /// Flush after every `sync_every`-th record (see
+        /// Maximum commits the log writer batches per fsync (see
         /// [`Durability::Wal`]).
         sync_every: u64,
         /// Checkpoint cadence (see [`Durability::Wal`]).
         checkpoint_every: u64,
-        /// Make WAL append/fsync failures *schedulable*: before each
-        /// attempt with a fault budget remaining, the schedule chooses
-        /// none / fail-append / fail-fsync (at most one fault per run).
+        /// Make WAL append/fsync failures *schedulable*: at each writer
+        /// append/fsync micro-step with fault budget remaining, the
+        /// schedule chooses proceed / fail (at most one fault per run).
         explore_faults: bool,
     },
 }
@@ -375,7 +385,10 @@ pub enum AbortKind {
     Execution,
     /// A commit constraint rejected the candidate.
     Constraint,
-    /// The WAL rejected the commit record.
+    /// The submission queue was full (backpressure).
+    Overload,
+    /// The log writer failed the commit's batch; the commit installed
+    /// but was never acknowledged.
     Durability,
     /// The WAL was poisoned by an earlier failure.
     Poisoned,
@@ -399,9 +412,10 @@ pub enum TraceEvent {
         /// The outcome.
         event: SimEvent,
     },
-    /// The schedule armed a WAL fault for `session`'s next attempt.
+    /// The schedule armed a WAL fault for the log writer's next store
+    /// operation.
     FaultArmed {
-        /// Index of the session being sabotaged.
+        /// Actor index of the log writer (`sessions.len()`).
         session: usize,
         /// The armed fault.
         fault: FaultKind,
@@ -458,13 +472,22 @@ pub struct AbortedTx {
 /// bookkeeping needed to judge what recovery must reproduce.
 #[derive(Clone, Debug)]
 pub struct CrashImage {
-    /// The store's full contents at this step.
+    /// The store's full contents at this step (fsynced prefix plus any
+    /// appended-but-unsynced tail).
     pub bytes: Vec<u8>,
-    /// Commits acknowledged when the image was taken.
+    /// Length of the fsynced prefix of `bytes` — what a power loss at
+    /// this step is guaranteed to keep.
+    pub synced_len: usize,
+    /// Commits acknowledged (group fsync completed) when the image was
+    /// taken.
     pub acked: u64,
-    /// Version of the in-doubt (durable-but-unacknowledged) commit, if
-    /// one exists.
-    pub in_doubt_version: Option<u64>,
+    /// Commits installed at the head when the image was taken; versions
+    /// in `acked+1 ..= installed` are the in-doubt set this image may
+    /// truncate anywhere within.
+    pub installed: u64,
+    /// The version the fsynced prefix recovers to (computed by the
+    /// durability oracle; 0 when nothing recovers).
+    pub durable_version: u64,
 }
 
 /// Where a prefix run stopped.
@@ -487,7 +510,10 @@ pub struct SimOutcome {
     pub decisions: Vec<(usize, usize)>,
     /// The deterministic event trace.
     pub trace: Vec<TraceEvent>,
-    /// Committed transactions in version order.
+    /// Committed (installed) transactions in version order. A commit
+    /// whose *acknowledgment* failed (its batch was poisoned after
+    /// install) appears both here and in `aborted` — it is part of the
+    /// serializable history even though its session saw an error.
     pub committed: Vec<CommittedTx>,
     /// Aborted transactions.
     pub aborted: Vec<AbortedTx>,
@@ -495,11 +521,18 @@ pub struct SimOutcome {
     pub base: DbState,
     /// The final head state.
     pub final_state: DbState,
-    /// `states[v]` is the committed state at version `v` (0 = base).
+    /// `states[v]` is the installed state at version `v` (0 = base).
     pub states: Vec<DbState>,
-    /// The single durable-but-unacknowledged commit, if a WAL failure
-    /// produced one.
-    pub in_doubt: Option<(u64, DbState)>,
+    /// Versions installed but never acknowledged when the run ended
+    /// (`acked+1 ..= installed`) — the multi-commit in-doubt set a
+    /// crash may or may not have made durable.
+    pub in_doubt: Vec<u64>,
+    /// Commits acknowledged (durably fsynced) when the run ended.
+    pub acked: u64,
+    /// Largest installed-minus-acked gap observed at any step — how
+    /// many commits were simultaneously past the head but awaiting the
+    /// group fsync.
+    pub max_unacked_installed: u64,
     /// Crash images, one per step (durable runs only).
     pub images: Vec<CrashImage>,
     /// A violation found *during* the run (snapshot-consistency or
@@ -580,8 +613,7 @@ impl fmt::Display for Violation {
 struct HookShared {
     current: usize,
     fault: Option<FaultKind>,
-    commit_appended: bool,
-    candidate: Option<(u64, DbState)>,
+    acked_through: u64,
     poisoned: bool,
     trace: Vec<TraceEvent>,
 }
@@ -601,8 +633,7 @@ impl SimHook {
             shared: Mutex::new(HookShared {
                 current: 0,
                 fault: None,
-                commit_appended: false,
-                candidate: None,
+                acked_through: 0,
                 poisoned: false,
                 trace: Vec::new(),
             }),
@@ -623,28 +654,10 @@ impl SimHook {
         });
     }
 
-    /// Clear an armed-but-unconsumed fault; true if one was pending.
-    fn disarm(&self) -> bool {
-        self.shared
-            .lock()
-            .expect("sim hook lock")
-            .fault
-            .take()
-            .is_some()
-    }
-
-    fn begin_attempt(&self) {
-        let mut s = self.shared.lock().expect("sim hook lock");
-        s.commit_appended = false;
-        s.candidate = None;
-    }
-
-    fn commit_appended(&self) -> bool {
-        self.shared.lock().expect("sim hook lock").commit_appended
-    }
-
-    fn take_candidate(&self) -> Option<(u64, DbState)> {
-        self.shared.lock().expect("sim hook lock").candidate.take()
+    /// Highest version the group committer has acknowledged (every
+    /// version ≤ it is durably fsynced and its waiter filled).
+    fn acked_through(&self) -> u64 {
+        self.shared.lock().expect("sim hook lock").acked_through
     }
 
     fn poisoned(&self) -> bool {
@@ -684,7 +697,7 @@ impl StepHook for SimHook {
     fn on_event(&self, event: SimEvent) {
         let mut s = self.shared.lock().expect("sim hook lock");
         match event {
-            SimEvent::WalAppended(RecordKind::Commit) => s.commit_appended = true,
+            SimEvent::Acked(v) => s.acked_through = s.acked_through.max(v),
             SimEvent::WalPoisoned => s.poisoned = true,
             _ => {}
         }
@@ -693,10 +706,6 @@ impl StepHook for SimHook {
             session: current,
             event,
         });
-    }
-
-    fn on_candidate(&self, version: u64, state: &DbState) {
-        self.shared.lock().expect("sim hook lock").candidate = Some((version, state.clone()));
     }
 
     fn injected_bug(&self) -> Option<ProtocolBug> {
@@ -712,7 +721,8 @@ impl StepHook for SimHook {
 enum Phase {
     Pin,
     Prepare,
-    Attempt,
+    Submit,
+    AwaitAck,
     Done,
 }
 
@@ -722,6 +732,7 @@ struct Runner<'db> {
     phase: Phase,
     attempts: u32,
     prepared: Option<Prepared>,
+    ticket: Option<CommitTicket>,
 }
 
 impl Runner<'_> {
@@ -729,6 +740,7 @@ impl Runner<'_> {
         self.tx += 1;
         self.attempts = 0;
         self.prepared = None;
+        self.ticket = None;
         self.phase = if self.tx >= script_len {
             Phase::Done
         } else {
@@ -756,6 +768,7 @@ fn build_db(cfg: &SimConfig) -> TxResult<(Database, Option<MemStore>)> {
             let store = MemStore::new();
             let mut b = Database::builder(cfg.schema.clone())
                 .metrics(Metrics::disabled())
+                .manual_log_writer()
                 .durability(Durability::Wal {
                     sync_every,
                     checkpoint_every,
@@ -780,13 +793,9 @@ pub fn run_schedule(cfg: &SimConfig, chooser: &mut dyn Chooser) -> TxResult<SimO
     db.set_step_hook(Arc::<SimHook>::clone(&hook));
     let db = db;
     let env = Env::new();
-    let (sync_every, explore_faults) = match cfg.durability {
-        SimDurability::Wal {
-            sync_every,
-            explore_faults,
-            ..
-        } => (sync_every.max(1), explore_faults),
-        SimDurability::Off => (1, false),
+    let explore_faults = match cfg.durability {
+        SimDurability::Wal { explore_faults, .. } => explore_faults,
+        SimDurability::Off => false,
     };
     let base = (*db.snapshot()).clone();
     let mut out = SimOutcome {
@@ -798,7 +807,9 @@ pub fn run_schedule(cfg: &SimConfig, chooser: &mut dyn Chooser) -> TxResult<SimO
         base: base.clone(),
         final_state: base.clone(),
         states: vec![base],
-        in_doubt: None,
+        in_doubt: Vec::new(),
+        acked: 0,
+        max_unacked_installed: 0,
         images: Vec::new(),
         violation: None,
         halted: None,
@@ -817,17 +828,24 @@ pub fn run_schedule(cfg: &SimConfig, chooser: &mut dyn Chooser) -> TxResult<SimO
             },
             attempts: 0,
             prepared: None,
+            ticket: None,
         })
         .collect();
+    // the log writer is the extra actor after the sessions
+    let writer = cfg.sessions.len();
+    // AckUndurableCommits claims commits acked the moment they install
+    let mut claimed_acked: u64 = 0;
     let mut fault_budget: u32 = u32::from(store.is_some() && explore_faults);
     let mut steps: usize = 0;
     loop {
-        // a poisoned WAL fails every further commit: abort the remainder
-        // rather than exploring schedules of guaranteed-failing attempts
+        // a poisoned WAL fails every further submission: abort the
+        // not-yet-submitted remainder rather than exploring schedules of
+        // guaranteed-failing attempts. Runners awaiting an ack are left
+        // alone — they consume their (failed) tickets normally.
         if hook.poisoned() && !out.poisoned {
             out.poisoned = true;
             for (i, r) in runners.iter_mut().enumerate() {
-                if r.phase != Phase::Done {
+                if matches!(r.phase, Phase::Pin | Phase::Prepare | Phase::Submit) {
                     let reason = AbortKind::Poisoned;
                     out.aborted.push(AbortedTx {
                         session: i,
@@ -843,12 +861,22 @@ pub fn run_schedule(cfg: &SimConfig, chooser: &mut dyn Chooser) -> TxResult<SimO
                 }
             }
         }
-        let enabled: Vec<usize> = runners
+        // enabled actors: the sessions (a runner awaiting its ack only
+        // once the writer has decided its commit's fate), plus the log
+        // writer whenever it has a store operation pending
+        let mut enabled: Vec<usize> = runners
             .iter()
             .enumerate()
-            .filter(|(_, r)| r.phase != Phase::Done)
+            .filter(|(_, r)| match r.phase {
+                Phase::Done => false,
+                Phase::AwaitAck => r.ticket.as_ref().is_some_and(CommitTicket::is_complete),
+                _ => true,
+            })
             .map(|(i, _)| i)
             .collect();
+        if db.writer_next_op().is_some() {
+            enabled.push(writer);
+        }
         if enabled.is_empty() {
             break;
         }
@@ -859,62 +887,82 @@ pub fn run_schedule(cfg: &SimConfig, chooser: &mut dyn Chooser) -> TxResult<SimO
                 cfg.max_steps
             )));
         }
-        // decision 1: which enabled session advances
+        // decision 1: which enabled actor advances
         let picked = match decide(chooser, &mut out, enabled.len()) {
             Some(k) => enabled[k],
             None => {
                 out.halted = Some(HaltInfo {
                     alternatives: enabled.len(),
-                    state_key: state_key(&db, &runners, &out, &store, fault_budget, None),
+                    state_key: state_key(
+                        &db,
+                        &runners,
+                        &out,
+                        &store,
+                        fault_budget,
+                        None,
+                        effective_acked(&hook, claimed_acked),
+                    ),
                 });
                 break;
             }
         };
         hook.set_current(picked);
-        // decision 2: arm a WAL fault for this attempt?
-        if runners[picked].phase == Phase::Attempt && fault_budget > 0 {
-            match decide(chooser, &mut out, 3) {
-                Some(0) => {}
-                Some(1) => {
-                    hook.arm(FaultKind::Append);
-                    fault_budget -= 1;
-                }
-                Some(2) => {
-                    hook.arm(FaultKind::Fsync);
-                    fault_budget -= 1;
-                }
-                Some(_) => unreachable!("decide clamps to the alternative count"),
-                None => {
-                    out.halted = Some(HaltInfo {
-                        alternatives: 3,
-                        state_key: state_key(
-                            &db,
-                            &runners,
-                            &out,
-                            &store,
-                            fault_budget,
-                            Some(picked),
-                        ),
-                    });
-                    break;
+        if picked == writer {
+            // decision 2: fail the writer's next store operation? (only
+            // commit appends and batch fsyncs are faultable; checkpoint
+            // appends fail only via `LogStore` errors, not the schedule)
+            if fault_budget > 0 {
+                let fault = match db.writer_next_op() {
+                    Some(WriterOp::Append) => Some(FaultKind::Append),
+                    Some(WriterOp::Sync) => Some(FaultKind::Fsync),
+                    _ => None,
+                };
+                if let Some(fault) = fault {
+                    match decide(chooser, &mut out, 2) {
+                        Some(0) => {}
+                        Some(1) => {
+                            hook.arm(fault);
+                            fault_budget -= 1;
+                        }
+                        Some(_) => unreachable!("decide clamps to the alternative count"),
+                        None => {
+                            out.halted = Some(HaltInfo {
+                                alternatives: 2,
+                                state_key: state_key(
+                                    &db,
+                                    &runners,
+                                    &out,
+                                    &store,
+                                    fault_budget,
+                                    Some(writer),
+                                    effective_acked(&hook, claimed_acked),
+                                ),
+                            });
+                            break;
+                        }
+                    }
                 }
             }
+            db.writer_micro_step();
+        } else {
+            advance(
+                cfg,
+                &db,
+                &env,
+                &mut runners,
+                picked,
+                &mut out,
+                &hook,
+                &mut claimed_acked,
+            )?;
         }
-        hook.begin_attempt();
-        advance(cfg, &db, &env, &mut runners, picked, &mut out, &hook)?;
-        if hook.disarm() {
-            // the attempt never reached the faultable operation: refund
-            fault_budget += 1;
-        }
+        let installed = db.head_version();
+        let acked = effective_acked(&hook, claimed_acked);
+        out.max_unacked_installed = out
+            .max_unacked_installed
+            .max(installed.saturating_sub(acked));
         if let Some(st) = &store {
-            let bytes = st.contents();
-            record_image_violation(cfg, &mut out, &bytes, sync_every);
-            let acked = out.committed.len() as u64;
-            out.images.push(CrashImage {
-                bytes,
-                acked,
-                in_doubt_version: out.in_doubt.as_ref().map(|(v, _)| *v),
-            });
+            record_image(cfg, &mut out, st, acked, installed);
         }
         if out.violation.is_some() {
             break;
@@ -922,8 +970,18 @@ pub fn run_schedule(cfg: &SimConfig, chooser: &mut dyn Chooser) -> TxResult<SimO
     }
     out.final_state = (*db.snapshot()).clone();
     out.poisoned = out.poisoned || hook.poisoned();
+    out.acked = effective_acked(&hook, claimed_acked);
+    out.in_doubt = (out.acked + 1..=db.head_version()).collect();
     out.trace = hook.take_trace();
     Ok(out)
+}
+
+/// The highest version the run claims acknowledged: what the group
+/// committer actually acked or — under
+/// [`ProtocolBug::AckUndurableCommits`] — what the buggy protocol
+/// claimed at install time.
+fn effective_acked(hook: &SimHook, claimed: u64) -> u64 {
+    hook.acked_through().max(claimed)
 }
 
 /// Consult the chooser at a decision point with `n` alternatives,
@@ -944,6 +1002,7 @@ fn decide(chooser: &mut dyn Chooser, out: &mut SimOutcome, n: usize) -> Option<u
 }
 
 /// Advance one session by one macro-step.
+#[allow(clippy::too_many_arguments)]
 fn advance<'db>(
     cfg: &SimConfig,
     db: &'db Database,
@@ -952,6 +1011,7 @@ fn advance<'db>(
     i: usize,
     out: &mut SimOutcome,
     hook: &SimHook,
+    claimed_acked: &mut u64,
 ) -> TxResult<()> {
     let script = &cfg.sessions[i];
     let r = &mut runners[i];
@@ -984,20 +1044,22 @@ fn advance<'db>(
             match sess.prepare(&script.txs[r.tx], env) {
                 Ok(p) => {
                     r.prepared = Some(p);
-                    r.phase = Phase::Attempt;
+                    r.phase = Phase::Submit;
                 }
                 Err(_) => {
                     abort(r, i, AbortKind::Execution, script.txs.len(), out, hook);
                 }
             }
         }
-        Phase::Attempt => {
+        Phase::Submit => {
             r.attempts += 1;
             let label = format!("{}-t{}", script.name, r.tx);
-            let prepared = r.prepared.take().expect("prepare precedes attempt");
-            let sess = r.session.as_mut().expect("pin precedes attempt");
-            match sess.commit_prepared(&label, &prepared) {
-                Ok(c) => {
+            let prepared = r.prepared.take().expect("prepare precedes submit");
+            let sess = r.session.as_mut().expect("pin precedes submit");
+            match sess.submit_prepared(&label, &prepared) {
+                Ok((c, ticket)) => {
+                    // installed: the commit is part of the history from
+                    // here on, whatever its acknowledgment brings
                     let state = (*db.snapshot()).clone();
                     if c.version != out.states.len() as u64 {
                         out.violation.get_or_insert(Violation::VersionGap {
@@ -1019,7 +1081,31 @@ fn advance<'db>(
                         label,
                         forwarded: c.forwarded,
                     });
-                    r.next_tx(script.txs.len());
+                    if hook.injected_bug() == Some(ProtocolBug::AckUndurableCommits) {
+                        // buggy protocol: acknowledge at install, before
+                        // the group fsync — skip the await-ack phase
+                        *claimed_acked = c.version;
+                        r.next_tx(script.txs.len());
+                    } else if ticket.is_complete() {
+                        // already acknowledged (no WAL configured, so
+                        // nothing is pending): consume the result here
+                        // instead of spending a schedule step on an
+                        // await-ack phase that could never interleave
+                        // with anything
+                        match ticket.try_result() {
+                            Some(Ok(())) => r.next_tx(script.txs.len()),
+                            Some(Err(CommitError::Durability(WalError::Poisoned { .. }))) => {
+                                abort(r, i, AbortKind::Poisoned, script.txs.len(), out, hook);
+                            }
+                            Some(Err(_)) => {
+                                abort(r, i, AbortKind::Durability, script.txs.len(), out, hook);
+                            }
+                            None => unreachable!("complete tickets carry a result"),
+                        }
+                    } else {
+                        r.ticket = Some(ticket);
+                        r.phase = Phase::AwaitAck;
+                    }
                 }
                 Err(CommitError::Conflict { .. }) => {
                     if r.attempts >= cfg.max_attempts {
@@ -1041,25 +1127,39 @@ fn advance<'db>(
                 Err(CommitError::Execution(_)) => {
                     abort(r, i, AbortKind::Execution, script.txs.len(), out, hook);
                 }
+                Err(CommitError::Overload { .. }) => {
+                    abort(r, i, AbortKind::Overload, script.txs.len(), out, hook);
+                }
                 Err(CommitError::Durability(WalError::Poisoned { .. })) => {
                     abort(r, i, AbortKind::Poisoned, script.txs.len(), out, hook);
                 }
                 Err(CommitError::Durability(_)) => {
-                    if hook.commit_appended() {
-                        // the record landed before the failure: the
-                        // commit is durable-but-unacknowledged, and the
-                        // WAL has poisoned itself so no other version
-                        // can join it; the hook captured the exact
-                        // state the record carries (the rebased one on
-                        // the forwarding path)
-                        out.in_doubt = hook.take_candidate();
-                    }
+                    // submission was rejected before a version was
+                    // consumed: nothing installed, nothing in doubt
                     abort(r, i, AbortKind::Durability, script.txs.len(), out, hook);
                 }
                 Err(CommitError::RetriesExhausted { .. }) => {
-                    // commit_prepared never retries internally
+                    // submit_prepared never retries internally
                     unreachable!("single attempts do not exhaust retries")
                 }
+            }
+        }
+        Phase::AwaitAck => {
+            let ticket = r.ticket.take().expect("submit precedes await-ack");
+            match ticket.try_result() {
+                Some(Ok(())) => r.next_tx(script.txs.len()),
+                Some(Err(CommitError::Durability(WalError::Poisoned { .. }))) => {
+                    // the commit installed but its batch failed: the
+                    // session sees an error (recorded in `aborted`)
+                    // while the commit itself stays in `committed` —
+                    // durable-or-not is exactly what the in-doubt set
+                    // and the crash images track
+                    abort(r, i, AbortKind::Poisoned, script.txs.len(), out, hook);
+                }
+                Some(Err(_)) => {
+                    abort(r, i, AbortKind::Durability, script.txs.len(), out, hook);
+                }
+                None => unreachable!("await-ack runners are scheduled only once complete"),
             }
         }
         Phase::Done => unreachable!("done sessions are never scheduled"),
@@ -1088,54 +1188,97 @@ fn abort(
     r.next_tx(script_len);
 }
 
-/// Run the durability oracle over a fresh crash image, recording the
-/// first violation in `out`.
-fn record_image_violation(cfg: &SimConfig, out: &mut SimOutcome, bytes: &[u8], sync_every: u64) {
-    if out.violation.is_some() {
-        return;
-    }
+/// Capture a crash image and run the durability oracle over it,
+/// recording the first violation in `out`. Two byte images are judged:
+/// the fsynced prefix (what a power loss keeps) and the full contents
+/// (unsynced appends that happened to survive); both must recover to a
+/// version `v` with `acked ≤ v ≤ installed`, byte-identical to the
+/// state the run installed at `v`.
+fn record_image(
+    cfg: &SimConfig,
+    out: &mut SimOutcome,
+    store: &MemStore,
+    acked: u64,
+    installed: u64,
+) {
     let image = out.images.len();
-    let acked = out.committed.len() as u64;
+    let bytes = store.contents();
+    let synced_len = store.durable_len();
+    let mut durable_version = 0;
+    if out.violation.is_none() {
+        let detail = check_crash_bytes(
+            cfg,
+            out,
+            &bytes[..synced_len],
+            acked,
+            installed,
+            Some(&mut durable_version),
+        )
+        .or_else(|| check_crash_bytes(cfg, out, &bytes, acked, installed, None));
+        if let Some(detail) = detail {
+            out.violation = Some(Violation::Durability { image, detail });
+        }
+    }
+    out.images.push(CrashImage {
+        bytes,
+        synced_len,
+        acked,
+        installed,
+        durable_version,
+    });
+}
+
+/// Judge one candidate crash image; `None` means recovery lands where
+/// it must. `durable_version` (when given) receives the recovered
+/// version for the image's bookkeeping.
+fn check_crash_bytes(
+    cfg: &SimConfig,
+    out: &SimOutcome,
+    bytes: &[u8],
+    acked: u64,
+    installed: u64,
+    durable_version: Option<&mut u64>,
+) -> Option<String> {
     let mut store = MemStore::from_bytes(bytes.to_vec());
-    let detail = match recover_log(&mut store, &cfg.schema, &Metrics::disabled()) {
+    match recover_log(&mut store, &cfg.schema, &Metrics::disabled()) {
         Err(e) => Some(format!("recovery failed: {e}")),
-        Ok(None) => (acked > 0).then(|| format!("recovered nothing but {acked} commits acked")),
+        Ok(None) => {
+            if let Some(dv) = durable_version {
+                *dv = 0;
+            }
+            (acked > 0).then(|| format!("recovered nothing but {acked} commits acked"))
+        }
         Ok(Some(r)) => {
-            if sync_every <= 1 && r.version < acked {
+            if let Some(dv) = durable_version {
+                *dv = r.version;
+            }
+            if r.version < acked {
                 Some(format!(
-                    "recovered version {} but {} commits were acked (every ack synced)",
-                    r.version, acked
+                    "recovered version {} but {acked} commits were acked (acks follow the fsync)",
+                    r.version
+                ))
+            } else if r.version > installed {
+                Some(format!(
+                    "recovered version {} but only {installed} commits were installed",
+                    r.version
+                ))
+            } else if encode_db_state(&r.state) != encode_db_state(&out.states[r.version as usize])
+            {
+                Some(format!(
+                    "recovered state at version {} differs from the installed one",
+                    r.version
                 ))
             } else {
-                let expected = if (r.version as usize) < out.states.len() {
-                    Some(&out.states[r.version as usize])
-                } else if let Some((v, s)) = &out.in_doubt {
-                    (*v == r.version).then_some(s)
-                } else {
-                    None
-                };
-                match expected {
-                    None => Some(format!(
-                        "recovered version {} which was neither acked nor in doubt",
-                        r.version
-                    )),
-                    Some(s) if encode_db_state(s) != encode_db_state(&r.state) => Some(format!(
-                        "recovered state at version {} differs from the committed one",
-                        r.version
-                    )),
-                    Some(_) => None,
-                }
+                None
             }
         }
-    };
-    if let Some(detail) = detail {
-        out.violation = Some(Violation::Durability { image, detail });
     }
 }
 
 /// Hash the complete simulation state: two prefixes with equal keys have
 /// identical futures *and* identical future oracle verdicts (past
 /// images were already checked incrementally), so one subtree suffices.
+#[allow(clippy::too_many_arguments)]
 fn state_key(
     db: &Database,
     runners: &[Runner<'_>],
@@ -1143,6 +1286,7 @@ fn state_key(
     store: &Option<MemStore>,
     fault_budget: u32,
     pending_fault_for: Option<usize>,
+    acked: u64,
 ) -> u64 {
     let mut h = std::collections::hash_map::DefaultHasher::new();
     for r in runners {
@@ -1154,6 +1298,7 @@ fn state_key(
             None => u64::MAX.hash(&mut h),
         }
         r.prepared.is_some().hash(&mut h);
+        r.ticket.is_some().hash(&mut h);
     }
     let head = db.snapshot();
     db.head_version().hash(&mut h);
@@ -1161,15 +1306,18 @@ fn state_key(
     head.next_tuple_id().hash(&mut h);
     if let Some(st) = store {
         crc32(&st.contents()).hash(&mut h);
+        st.durable_len().hash(&mut h);
     }
+    if let Some(c) = db.group_committer() {
+        let mut fp = String::new();
+        c.fingerprint(&mut fp);
+        fp.hash(&mut h);
+    }
+    acked.hash(&mut h);
     fault_budget.hash(&mut h);
     out.poisoned.hash(&mut h);
     for c in &out.committed {
         (c.version, c.session, c.tx, c.forwarded).hash(&mut h);
-    }
-    if let Some((v, s)) = &out.in_doubt {
-        v.hash(&mut h);
-        fingerprint_db_state(s).hash(&mut h);
     }
     pending_fault_for.hash(&mut h);
     h.finish()
@@ -1295,8 +1443,12 @@ pub struct ExploreStats {
     pub aborted_retries: u64,
     /// Runs that ended with a poisoned WAL.
     pub poisoned_runs: u64,
-    /// Runs in which at least one commit was durable but unacknowledged.
+    /// Runs that ended with at least one installed-but-unacknowledged
+    /// commit.
     pub in_doubt_runs: u64,
+    /// Largest installed-minus-acked window observed at any step of any
+    /// run — evidence the exploration covered multi-commit batches.
+    pub max_unacked_installed: u64,
 }
 
 /// What an exploration covered and found.
@@ -1359,7 +1511,11 @@ fn tally(report: &mut ExploreReport, out: &SimOutcome) {
         .filter(|a| a.reason == AbortKind::RetriesExhausted)
         .count() as u64;
     report.stats.poisoned_runs += u64::from(out.poisoned);
-    report.stats.in_doubt_runs += u64::from(out.in_doubt.is_some());
+    report.stats.in_doubt_runs += u64::from(!out.in_doubt.is_empty());
+    report.stats.max_unacked_installed = report
+        .stats
+        .max_unacked_installed
+        .max(out.max_unacked_installed);
 }
 
 fn fail(cfg: &SimConfig, report: &mut ExploreReport, out: &SimOutcome, seed: Option<u64>) {
@@ -1606,15 +1762,44 @@ mod tests {
             checkpoint_every: 1,
             explore_faults: true,
         });
-        let report = explore_exhaustive(&cfg, &ExploreOptions::default()).unwrap();
+        // the writer actor deepens the schedule tree; dedup keeps the
+        // exhaustive sweep tractable without losing coverage
+        let opts = ExploreOptions {
+            dedup: true,
+            ..ExploreOptions::default()
+        };
+        let report = explore_exhaustive(&cfg, &opts).unwrap();
         assert!(report.failure.is_none(), "{:?}", report.failure);
         assert!(
             report.stats.poisoned_runs > 0,
-            "fsync faults must have poisoned some runs"
+            "faults must have poisoned some runs"
         );
         assert!(
             report.stats.in_doubt_runs > 0,
-            "some runs must have left a durable-but-unacked commit"
+            "some runs must have left an installed-but-unacked commit"
+        );
+    }
+
+    #[test]
+    fn group_commit_batches_multiple_unacked_commits() {
+        // with a batch of up to 2 and the writer schedulable, some
+        // interleaving must hold two installed commits past the head
+        // before the single group fsync acks them together
+        let cfg = conflicting_cfg().durability(SimDurability::Wal {
+            sync_every: 2,
+            checkpoint_every: 0,
+            explore_faults: false,
+        });
+        let opts = ExploreOptions {
+            dedup: true,
+            ..ExploreOptions::default()
+        };
+        let report = explore_exhaustive(&cfg, &opts).unwrap();
+        assert!(report.failure.is_none(), "{:?}", report.failure);
+        assert!(
+            report.stats.max_unacked_installed >= 2,
+            "some schedule must batch two unacked commits, saw {}",
+            report.stats.max_unacked_installed
         );
     }
 

@@ -63,13 +63,15 @@ use txlog_relational::{DbState, Delta, Schema};
 pub enum Durability {
     /// No persistence: the database lives and dies with the process.
     Off,
-    /// Write-ahead logging: every commit appends its delta before
-    /// installing.
+    /// Write-ahead logging through the group-commit log writer: every
+    /// commit enqueues its record and is acknowledged only after the
+    /// batch containing it has been fsynced.
     Wal {
-        /// Issue a synchronous flush after every `sync_every`-th appended
-        /// record (1 = flush every record; larger values trade the
-        /// durability of the most recent commits for throughput). Values
-        /// of 0 are treated as 1.
+        /// Maximum commit records the log writer drains into one batch
+        /// (one fsync per batch). 1 = fsync per commit; larger values
+        /// let concurrent sessions share a flush. Unlike the old fsync
+        /// *cadence* of the same name, no commit is ever acknowledged
+        /// before its batch is durable. Values of 0 are treated as 1.
         sync_every: u64,
         /// Append a full-state checkpoint after every `checkpoint_every`
         /// commits (0 = never checkpoint after the initial one).
@@ -261,14 +263,27 @@ impl LogStore for FileStore {
     }
 }
 
+/// Buffer plus durability watermark shared by every [`MemStore`] clone.
+#[derive(Default)]
+struct MemInner {
+    buf: Vec<u8>,
+    /// Bytes made durable by the last successful `sync`. A simulated
+    /// power loss keeps only `buf[..synced]`; the tail past it was
+    /// accepted but never flushed.
+    synced: usize,
+}
+
 /// In-memory [`LogStore`] with deterministic write-failure injection.
 ///
 /// Clones share the same buffer, so a test can keep a handle, hand a
 /// clone to a `Database`, "crash" it, and then inspect or recover from
-/// exactly the bytes that made it to the store.
+/// exactly the bytes that made it to the store. The store also tracks a
+/// *durability watermark* — how many bytes the last successful `sync`
+/// covered — so a crash simulator can distinguish the power-loss image
+/// ([`MemStore::durable_contents`]) from the full buffer.
 #[derive(Clone, Default)]
 pub struct MemStore {
-    buf: Arc<Mutex<Vec<u8>>>,
+    inner: Arc<Mutex<MemInner>>,
     /// Absolute byte offset at which writes die: an append that would
     /// carry the log past this offset writes only the prefix up to it
     /// and fails, and every later append fails outright — simulating a
@@ -287,10 +302,12 @@ impl MemStore {
         MemStore::default()
     }
 
-    /// A store pre-loaded with `bytes` (e.g. a captured log image).
+    /// A store pre-loaded with `bytes` (e.g. a captured log image),
+    /// treated as already durable.
     pub fn from_bytes(bytes: Vec<u8>) -> MemStore {
+        let synced = bytes.len();
         MemStore {
-            buf: Arc::new(Mutex::new(bytes)),
+            inner: Arc::new(Mutex::new(MemInner { buf: bytes, synced })),
             fail_at: None,
             fail_sync_at: None,
         }
@@ -311,13 +328,26 @@ impl MemStore {
 
     /// A copy of the store's current contents.
     pub fn contents(&self) -> Vec<u8> {
-        self.buf.lock().expect("mem store lock").clone()
+        self.inner.lock().expect("mem store lock").buf.clone()
+    }
+
+    /// Bytes covered by the last successful `sync` — the power-loss
+    /// crash image: everything after the watermark was accepted into
+    /// the buffer but never made durable.
+    pub fn durable_contents(&self) -> Vec<u8> {
+        let inner = self.inner.lock().expect("mem store lock");
+        inner.buf[..inner.synced].to_vec()
+    }
+
+    /// Length of [`MemStore::durable_contents`].
+    pub fn durable_len(&self) -> usize {
+        self.inner.lock().expect("mem store lock").synced
     }
 }
 
 impl LogStore for MemStore {
     fn len(&self) -> Result<u64, WalError> {
-        Ok(self.buf.lock().expect("mem store lock").len() as u64)
+        Ok(self.inner.lock().expect("mem store lock").buf.len() as u64)
     }
 
     fn read_all(&mut self) -> Result<Vec<u8>, WalError> {
@@ -325,39 +355,41 @@ impl LogStore for MemStore {
     }
 
     fn append(&mut self, bytes: &[u8]) -> Result<(), WalError> {
-        let mut buf = self.buf.lock().expect("mem store lock");
+        let mut inner = self.inner.lock().expect("mem store lock");
         if let Some(fail_at) = self.fail_at {
-            let cur = buf.len() as u64;
+            let cur = inner.buf.len() as u64;
             let end = cur + bytes.len() as u64;
             if end > fail_at {
                 let keep = fail_at.saturating_sub(cur) as usize;
-                buf.extend_from_slice(&bytes[..keep]);
+                inner.buf.extend_from_slice(&bytes[..keep]);
                 return Err(WalError::Io {
                     op: "append",
                     detail: format!("injected write failure at byte {fail_at}"),
                 });
             }
         }
-        buf.extend_from_slice(bytes);
+        inner.buf.extend_from_slice(bytes);
         Ok(())
     }
 
     fn sync(&mut self) -> Result<(), WalError> {
+        let mut inner = self.inner.lock().expect("mem store lock");
         if let Some(fail_sync_at) = self.fail_sync_at {
-            let len = self.buf.lock().expect("mem store lock").len() as u64;
-            if len > fail_sync_at {
+            if inner.buf.len() as u64 > fail_sync_at {
                 return Err(WalError::Io {
                     op: "sync",
                     detail: format!("injected sync failure past byte {fail_sync_at}"),
                 });
             }
         }
+        inner.synced = inner.buf.len();
         Ok(())
     }
 
     fn truncate(&mut self, len: u64) -> Result<(), WalError> {
-        let mut buf = self.buf.lock().expect("mem store lock");
-        buf.truncate(len as usize);
+        let mut inner = self.inner.lock().expect("mem store lock");
+        inner.buf.truncate(len as usize);
+        inner.synced = inner.synced.min(inner.buf.len());
         Ok(())
     }
 }
@@ -366,29 +398,28 @@ const TAG_COMMIT: u8 = 1;
 const TAG_CHECKPOINT: u8 = 2;
 const FRAME_HEADER: u64 = 8; // len:u32 ‖ crc:u32
 
-/// The write side: frames records, enforces the sync and checkpoint
-/// cadence, and reports into the `wal_*` counters.
+/// The write side: frames records and reports into the `wal_*`
+/// counters. Sync and checkpoint *cadence* live one layer up, in the
+/// group-commit log writer (`group::GroupCommitter`): the `Wal`
+/// only knows how to append a record, flush, and poison itself.
 ///
 /// ## Poisoning
 ///
-/// A commit is only installed in memory after [`Wal::log_commit`]
-/// returns `Ok`, so on failure the head version is *not* consumed and
-/// the next commit reuses it. That is only sound while the log provably
-/// holds no record for that version. The moment a failure leaves the
-/// log's contents in doubt — an fsync failed after the record was
-/// appended, a torn append could not be rolled back, or the cadence
-/// checkpoint died after the commit record landed — the `Wal` poisons
-/// itself: every later operation returns [`WalError::Poisoned`] until
-/// the database is reopened through recovery. Otherwise a second commit
-/// would append a *duplicate* version, recovery's gapless-version scan
-/// would truncate at the duplicate, and every acknowledged commit after
-/// it would be silently dropped.
+/// Under group commit a version is consumed when the commit *installs*,
+/// before its record is written; the record is appended afterwards by
+/// the log-writer thread. A failure while writing therefore always
+/// leaves a gap or a record in doubt — a clean append failure means the
+/// installed version will never reach the log, a failed fsync means the
+/// appended records may or may not be durable, a torn append could not
+/// be rolled back. In every such case the `Wal` poisons itself (here
+/// for its own failures, or via [`Wal::poison_external`] for failures
+/// the committer detects): every later operation returns
+/// [`WalError::Poisoned`] until the database is reopened through
+/// recovery. Otherwise the log would grow a version gap or a duplicate,
+/// recovery's gapless-version scan would truncate there, and every
+/// acknowledged commit after it would be silently dropped.
 pub(crate) struct Wal {
     store: Box<dyn LogStore>,
-    sync_every: u64,
-    checkpoint_every: u64,
-    appends_since_sync: u64,
-    commits_since_checkpoint: u64,
     poisoned: Option<String>,
     metrics: Metrics,
     /// Simulation seam (see [`crate::db::Database::set_step_hook`]):
@@ -398,18 +429,9 @@ pub(crate) struct Wal {
 }
 
 impl Wal {
-    pub(crate) fn new(
-        store: Box<dyn LogStore>,
-        sync_every: u64,
-        checkpoint_every: u64,
-        metrics: Metrics,
-    ) -> Wal {
+    pub(crate) fn new(store: Box<dyn LogStore>, metrics: Metrics) -> Wal {
         Wal {
             store,
-            sync_every: sync_every.max(1),
-            checkpoint_every,
-            appends_since_sync: 0,
-            commits_since_checkpoint: 0,
             poisoned: None,
             metrics,
             hook: None,
@@ -418,6 +440,10 @@ impl Wal {
 
     pub(crate) fn set_hook(&mut self, hook: Arc<dyn StepHook>) {
         self.hook = Some(hook);
+    }
+
+    pub(crate) fn is_poisoned(&self) -> bool {
+        self.poisoned.is_some()
     }
 
     fn check_poisoned(&self) -> Result<(), WalError> {
@@ -438,13 +464,19 @@ impl Wal {
         }
     }
 
-    /// Restore the checkpoint cadence after recovery: `commits` commits
-    /// have been appended since the log's last checkpoint.
-    pub(crate) fn resume_cadence(&mut self, commits: u64) {
-        self.commits_since_checkpoint = commits;
+    /// Poison on behalf of the group committer, for failures the `Wal`
+    /// itself reports cleanly but that leave an *installed* version
+    /// unloggable (e.g. a clean append failure after the commit already
+    /// took its version under the head lock).
+    pub(crate) fn poison_external(&mut self, detail: String) {
+        self.poison(detail);
     }
 
-    fn append_record(&mut self, payload: &[u8], kind: RecordKind) -> Result<(), WalError> {
+    pub(crate) fn append_record(
+        &mut self,
+        payload: &[u8],
+        kind: RecordKind,
+    ) -> Result<(), WalError> {
         self.check_poisoned()?;
         if let Some(h) = &self.hook {
             if h.on_step(StepPoint::WalAppend(kind)) == StepAction::FailIo {
@@ -488,10 +520,6 @@ impl Wal {
         if let Some(h) = &self.hook {
             h.on_event(SimEvent::WalAppended(kind));
         }
-        self.appends_since_sync += 1;
-        if self.appends_since_sync >= self.sync_every {
-            self.sync()?;
-        }
         Ok(())
     }
 
@@ -518,47 +546,45 @@ impl Wal {
             return Err(e);
         }
         self.metrics.bump(Counter::WalFsyncs);
-        self.appends_since_sync = 0;
         if let Some(h) = &self.hook {
             h.on_event(SimEvent::WalSynced);
         }
         Ok(())
     }
 
-    /// Append one commit record (and, at the configured cadence, a
-    /// checkpoint of the post-commit state). Called with the head lock
-    /// held, *before* the commit installs.
-    pub(crate) fn log_commit(
-        &mut self,
+    /// Encode one commit record's payload. Called under the head lock at
+    /// submit time, so the log-writer thread only ever moves bytes.
+    pub(crate) fn encode_commit(
         version: u64,
         label: &str,
         delta: &Delta,
         state_after: &DbState,
-        schema: &Schema,
-    ) -> Result<(), WalError> {
-        self.check_poisoned()?;
+    ) -> Vec<u8> {
         let mut e = Encoder::new();
         e.u8(TAG_COMMIT);
         e.u64(version);
         e.str(label);
         e.u64(state_after.next_tuple_id());
         e.delta(delta);
-        self.append_record(&e.finish(), RecordKind::Commit)?;
-        self.commits_since_checkpoint += 1;
-        if self.checkpoint_every > 0 && self.commits_since_checkpoint >= self.checkpoint_every {
-            if let Err(e) = self.log_checkpoint(version, schema, state_after) {
-                // The commit record for `version` is already in the log
-                // (and possibly durable) but the caller will abort the
-                // in-memory commit on this error; refuse further appends
-                // so the version is never handed out twice.
-                self.poison(format!("checkpoint after commit {version} failed: {e}"));
-                return Err(e);
-            }
-        }
-        Ok(())
+        e.finish()
     }
 
-    /// Append a full-state checkpoint record.
+    /// Append one commit record (no fsync — the caller decides when the
+    /// batch flushes). The group committer appends pre-encoded payloads
+    /// directly; this convenience wrapper serves the tests.
+    #[cfg(test)]
+    pub(crate) fn log_commit(
+        &mut self,
+        version: u64,
+        label: &str,
+        delta: &Delta,
+        state_after: &DbState,
+    ) -> Result<(), WalError> {
+        let payload = Wal::encode_commit(version, label, delta, state_after);
+        self.append_record(&payload, RecordKind::Commit)
+    }
+
+    /// Append a full-state checkpoint record (no fsync).
     pub(crate) fn log_checkpoint(
         &mut self,
         version: u64,
@@ -573,7 +599,6 @@ impl Wal {
         e.db_state(state);
         self.append_record(&e.finish(), RecordKind::Checkpoint)?;
         self.metrics.bump(Counter::WalCheckpoints);
-        self.commits_since_checkpoint = 0;
         Ok(())
     }
 }
@@ -805,21 +830,24 @@ mod tests {
     }
 
     fn commit_chain(n: u64) -> (Schema, Vec<DbState>, MemStore) {
-        // build a chain of states and log them through a Wal
+        // build a chain of states and log them through a Wal, flushing
+        // after every record the way a sync_every=1 committer would
         let sch = schema();
         let rid = sch.rel_id("R").expect("R declared");
         let store = MemStore::new();
-        let mut wal = Wal::new(Box::new(store.clone()), 1, 0, Metrics::disabled());
+        let mut wal = Wal::new(Box::new(store.clone()), Metrics::disabled());
         let mut states = vec![sch.initial_state()];
         wal.log_checkpoint(0, &sch, &states[0]).expect("checkpoint");
+        wal.sync().expect("checkpoint syncs");
         for v in 1..=n {
             let prev = states.last().expect("non-empty").clone();
             let (next, _) = prev
                 .insert_fields(rid, &[Atom::nat(v), Atom::str("x")])
                 .expect("insert");
             let delta = prev.diff(&next);
-            wal.log_commit(v, &format!("c{v}"), &delta, &next, &sch)
+            wal.log_commit(v, &format!("c{v}"), &delta, &next)
                 .expect("log commit");
+            wal.sync().expect("commit syncs");
             states.push(next);
         }
         (sch, states, store)
@@ -847,8 +875,7 @@ mod tests {
         let sch = schema();
         let rid = sch.rel_id("R").expect("R declared");
         let store = MemStore::new();
-        // checkpoint every 2 commits
-        let mut wal = Wal::new(Box::new(store.clone()), 1, 2, Metrics::disabled());
+        let mut wal = Wal::new(Box::new(store.clone()), Metrics::disabled());
         let mut state = sch.initial_state();
         wal.log_checkpoint(0, &sch, &state).expect("checkpoint");
         for v in 1..=5u64 {
@@ -856,9 +883,14 @@ mod tests {
                 .insert_fields(rid, &[Atom::nat(v), Atom::str("y")])
                 .expect("insert");
             let delta = state.diff(&next);
-            wal.log_commit(v, "c", &delta, &next, &sch).expect("log");
+            wal.log_commit(v, "c", &delta, &next).expect("log");
             state = next;
+            // checkpoint every 2 commits, as the committer's cadence would
+            if v % 2 == 0 {
+                wal.log_checkpoint(v, &sch, &state).expect("checkpoint");
+            }
         }
+        wal.sync().expect("sync");
         let mut s = MemStore::from_bytes(store.contents());
         let r = recover_log(&mut s, &sch, &Metrics::disabled())
             .expect("recovery runs")
@@ -929,26 +961,29 @@ mod tests {
         let rid = sch.rel_id("R").expect("R declared");
         // measure the opening checkpoint so only post-checkpoint syncs die
         let probe = MemStore::new();
-        let mut w = Wal::new(Box::new(probe.clone()), 1, 0, Metrics::disabled());
+        let mut w = Wal::new(Box::new(probe.clone()), Metrics::disabled());
         w.log_checkpoint(0, &sch, &sch.initial_state())
             .expect("checkpoint");
         let checkpoint_len = probe.contents().len() as u64;
 
         let store = MemStore::new().failing_sync_at(checkpoint_len);
-        let mut wal = Wal::new(Box::new(store.clone()), 1, 0, Metrics::disabled());
+        let mut wal = Wal::new(Box::new(store.clone()), Metrics::disabled());
         let s0 = sch.initial_state();
-        wal.log_checkpoint(0, &sch, &s0).expect("checkpoint syncs");
+        wal.log_checkpoint(0, &sch, &s0)
+            .expect("checkpoint appends");
+        wal.sync().expect("checkpoint syncs");
         let (s1, _) = s0
             .insert_fields(rid, &[Atom::nat(1), Atom::str("x")])
             .expect("insert");
         let d1 = s0.diff(&s1);
-        // the append lands, the follow-on sync dies: the record may be
-        // durable, so the commit must fail AND the wal must seal itself
-        match wal.log_commit(1, "c1", &d1, &s1, &sch) {
+        // the append lands, the batch sync dies: the record may be
+        // durable, so the flush must fail AND the wal must seal itself
+        wal.log_commit(1, "c1", &d1, &s1).expect("append lands");
+        match wal.sync() {
             Err(WalError::Io { op: "sync", .. }) => {}
             other => panic!("expected a sync failure, got {other:?}"),
         }
-        match wal.log_commit(1, "c1-retry", &d1, &s1, &sch) {
+        match wal.log_commit(1, "c1-retry", &d1, &s1) {
             Err(WalError::Poisoned { .. }) => {}
             other => panic!("expected Poisoned, got {other:?}"),
         }
@@ -966,38 +1001,42 @@ mod tests {
     }
 
     #[test]
-    fn checkpoint_failure_after_commit_poisons_the_wal() {
+    fn torn_checkpoint_append_rolls_back_to_a_clean_prefix() {
         let sch = schema();
         let rid = sch.rel_id("R").expect("R declared");
         // measure the layout: opening checkpoint, then one commit record
         let probe = MemStore::new();
-        let mut w = Wal::new(Box::new(probe.clone()), 1, 0, Metrics::disabled());
+        let mut w = Wal::new(Box::new(probe.clone()), Metrics::disabled());
         let s0 = sch.initial_state();
         w.log_checkpoint(0, &sch, &s0).expect("checkpoint");
         let (s1, _) = s0
             .insert_fields(rid, &[Atom::nat(1), Atom::str("x")])
             .expect("insert");
         let d1 = s0.diff(&s1);
-        w.log_commit(1, "c1", &d1, &s1, &sch).expect("commit logs");
+        w.log_commit(1, "c1", &d1, &s1).expect("commit logs");
         let commit_end = probe.contents().len() as u64;
 
-        // checkpoint after every commit; die a few bytes into the
-        // cadence checkpoint that follows the commit record
+        // die a few bytes into the checkpoint that follows the commit
         let store = MemStore::new().failing_at(commit_end + 3);
-        let mut wal = Wal::new(Box::new(store.clone()), 1, 1, Metrics::disabled());
+        let mut wal = Wal::new(Box::new(store.clone()), Metrics::disabled());
         wal.log_checkpoint(0, &sch, &s0).expect("checkpoint fits");
+        wal.log_commit(1, "c1", &d1, &s1).expect("commit fits");
         assert!(
-            wal.log_commit(1, "c1", &d1, &s1, &sch).is_err(),
-            "the cadence checkpoint must fail"
+            wal.log_checkpoint(1, &sch, &s1).is_err(),
+            "the checkpoint append must fail"
         );
-        // commit record 1 is already in the log: handing out version 1
-        // again would append a duplicate, so the wal must refuse
-        match wal.log_commit(1, "c1-retry", &d1, &s1, &sch) {
+        // the torn prefix was rolled back, so the wal itself is not
+        // poisoned — whether the *installed* commit the checkpoint was
+        // covering survives is the committer's call (it poisons via
+        // poison_external when a failed append strands a version)
+        assert!(!wal.is_poisoned());
+        wal.poison_external("checkpoint after commit 1 failed".to_string());
+        match wal.log_commit(2, "c2", &d1, &s1) {
             Err(WalError::Poisoned { .. }) => {}
             other => panic!("expected Poisoned, got {other:?}"),
         }
         // the surviving log is the checkpoint plus commit 1 (the torn
-        // cadence checkpoint was rolled back), a clean prefix
+        // checkpoint was rolled back), a clean prefix
         assert_eq!(store.contents().len() as u64, commit_end);
         let mut s = MemStore::from_bytes(store.contents());
         let r = recover_log(&mut s, &sch, &Metrics::disabled())
@@ -1012,6 +1051,19 @@ mod tests {
     }
 
     #[test]
+    fn mem_store_sync_watermark_tracks_durable_prefix() {
+        let mut store = MemStore::new();
+        store.append(b"abc").expect("append");
+        assert_eq!(store.durable_len(), 0, "unsynced bytes are not durable");
+        store.sync().expect("sync");
+        assert_eq!(store.durable_len(), 3);
+        store.append(b"defg").expect("append");
+        assert_eq!(store.durable_contents(), b"abc".to_vec());
+        store.truncate(2).expect("truncate");
+        assert_eq!(store.durable_len(), 2, "truncate clamps the watermark");
+    }
+
+    #[test]
     fn injected_write_failure_leaves_recoverable_prefix() {
         let sch = schema();
         let rid = sch.rel_id("R").expect("R declared");
@@ -1021,18 +1073,17 @@ mod tests {
         // now kill the write stream at every offset and recover
         for fail_at in 0..=full_len {
             let store = MemStore::new().failing_at(fail_at);
-            let mut wal = Wal::new(Box::new(store.clone()), 1, 0, Metrics::disabled());
+            let mut wal = Wal::new(Box::new(store.clone()), Metrics::disabled());
             let mut state = sch.initial_state();
-            let mut durable = 0u64; // commits acknowledged by the wal
-            if wal.log_checkpoint(0, &sch, &state).is_ok() {
+            let mut durable = 0u64; // commits acknowledged after their sync
+            if wal.log_checkpoint(0, &sch, &state).is_ok() && wal.sync().is_ok() {
                 for v in 1..=4u64 {
                     let (next, _) = state
                         .insert_fields(rid, &[Atom::nat(v), Atom::str("x")])
                         .expect("insert");
                     let delta = state.diff(&next);
-                    if wal
-                        .log_commit(v, &format!("c{v}"), &delta, &next, &sch)
-                        .is_err()
+                    if wal.log_commit(v, &format!("c{v}"), &delta, &next).is_err()
+                        || wal.sync().is_err()
                     {
                         break;
                     }

@@ -128,9 +128,10 @@ impl StepHook for FailNthFsync {
 
 /// A session holding a stale snapshot attempts a forwarded rebase after
 /// another writer's fsync failure poisoned the WAL: the rebase aborts
-/// with `Poisoned` (fatal, no retry), the head stays at the last
-/// installed version, and recovery returns the durable-but-unacked
-/// commit that poisoned the log — nothing the aborted rebase touched.
+/// with `Poisoned` (fatal, no retry). The commit whose fsync failed
+/// *did* install (installation precedes the append under group commit)
+/// but was never acknowledged; recovery returns it — nothing the
+/// aborted rebase touched.
 #[test]
 fn rebase_attempt_after_poisoned_wal_aborts_cleanly() {
     let s = schema();
@@ -164,7 +165,11 @@ fn rebase_attempt_after_poisoned_wal_aborts_cleanly() {
         matches!(err, CommitError::Durability(WalError::Io { .. })),
         "the failing fsync surfaces as an I/O durability error, got {err:?}"
     );
-    assert_eq!(db.head_version(), 1, "the failed commit never installs");
+    assert_eq!(
+        db.head_version(),
+        2,
+        "the unacknowledged commit installed before its batch failed"
+    );
 
     // the stale session's footprint (LOG) is disjoint from the raises
     // (EMP), so this would forward — but the WAL is poisoned
@@ -175,7 +180,7 @@ fn rebase_attempt_after_poisoned_wal_aborts_cleanly() {
         matches!(err, CommitError::Durability(WalError::Poisoned { .. })),
         "poisoning is fatal and not retried, got {err:?}"
     );
-    assert_eq!(db.head_version(), 1, "the aborted rebase never installs");
+    assert_eq!(db.head_version(), 2, "the aborted rebase never installs");
 
     // recovery sees the durable-but-unacked second raise, not the memo
     let (recovered, _) = Database::builder(s)

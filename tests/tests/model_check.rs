@@ -1,12 +1,14 @@
 //! Model checking the commit/WAL state machine.
 //!
 //! Drives `txlog::engine::sim`: every nondeterministic decision of the
-//! commit pipeline (which session runs next, whether a WAL append or
-//! fsync fails) becomes a numbered choice, and the explorer enumerates
-//! schedules exhaustively for small workloads and pseudo-randomly
-//! (seeded, replayable) for larger ones. Three oracles judge every
-//! execution: serializability, snapshot consistency, and durability of
-//! every per-step crash image.
+//! commit pipeline (which session or the group-commit log writer runs
+//! next, whether a WAL append or fsync fails) becomes a numbered
+//! choice, and the explorer enumerates schedules exhaustively for
+//! small workloads and pseudo-randomly (seeded, replayable) for larger
+//! ones. Three oracles judge every execution: serializability,
+//! snapshot consistency, and durability of every per-step crash image
+//! — including images taken mid-batch, with several installed commits
+//! awaiting a single fsync.
 //!
 //! Reproducing a failure: a failing run prints its seed and schedule;
 //! `run_seeded(&cfg, seed)` or `run_with_schedule(&cfg, &schedule)`
@@ -185,7 +187,13 @@ fn exhaustive_durable_with_faults_passes_durability_oracle() {
         checkpoint_every: 1,
         explore_faults: true,
     });
-    let report = explore_exhaustive(&cfg, &ExploreOptions::default()).expect("runs complete");
+    // the schedulable log-writer actor deepens the tree; dedup keeps
+    // the sweep tractable without losing any distinct state
+    let opts = ExploreOptions {
+        dedup: true,
+        ..ExploreOptions::default()
+    };
+    let report = explore_exhaustive(&cfg, &opts).expect("runs complete");
     println!(
         "exhaustive durable: {} schedules, {} poisoned runs, {} in-doubt runs",
         report.schedules, report.stats.poisoned_runs, report.stats.in_doubt_runs
@@ -326,4 +334,115 @@ fn injected_undurable_ack_caught_by_durability_oracle() {
     let report = explore_exhaustive(&cfg, &ExploreOptions::default()).expect("runs complete");
     let failure = report.failure.expect("the undurable ack must be caught");
     assert!(failure.violation.contains("durability"), "{failure}");
+}
+
+/// Acceptance for the group-commit pipeline: exhaustive exploration
+/// with `sync_every: 2` (batches of up to two commits behind one
+/// fsync) and schedulable writer faults. Some schedule must install
+/// both commits before the writer's fsync — a multi-commit in-doubt
+/// batch — and every per-step crash image of every schedule must still
+/// recover to an acceptable prefix.
+#[test]
+fn group_commit_exhaustive_passes_all_oracles() {
+    let cfg = conflicting_2x1().durability(SimDurability::Wal {
+        sync_every: 2,
+        checkpoint_every: 0,
+        explore_faults: true,
+    });
+    // the writer actor deepens the schedule tree; dedup keeps the
+    // exhaustive sweep tractable without losing any distinct state
+    let opts = ExploreOptions {
+        dedup: true,
+        ..ExploreOptions::default()
+    };
+    let report = explore_exhaustive(&cfg, &opts).expect("runs complete");
+    println!(
+        "exhaustive group commit: {} schedules, max {} unacked installs, \
+         {} poisoned runs, {} in-doubt runs",
+        report.schedules,
+        report.stats.max_unacked_installed,
+        report.stats.poisoned_runs,
+        report.stats.in_doubt_runs
+    );
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(!report.truncated, "exploration must finish the whole tree");
+    assert!(
+        report.stats.max_unacked_installed >= 2,
+        "some schedule must batch two installed commits behind one fsync, \
+         got {}",
+        report.stats.max_unacked_installed
+    );
+    assert!(
+        report.stats.poisoned_runs > 0,
+        "some schedule must fail a batch fsync and poison the WAL"
+    );
+    assert!(
+        report.stats.in_doubt_runs > 0,
+        "some schedule must end with installed-but-unacknowledged commits"
+    );
+}
+
+/// Group commit under the big seeded batch: the 2×2 contended workload
+/// with batches of up to three commits and schedulable faults, for
+/// `MODEL_CHECK_SCHEDULES` seeds (CI runs 10k).
+#[test]
+fn group_commit_seeded_batch_passes_all_oracles() {
+    let count: u64 = std::env::var("MODEL_CHECK_SCHEDULES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000);
+    let cfg = conflicting_2x2()
+        .max_attempts(3)
+        .durability(SimDurability::Wal {
+            sync_every: 3,
+            checkpoint_every: 2,
+            explore_faults: true,
+        });
+    let report = explore_random(&cfg, 0xBA7C11ED, count).expect("runs complete");
+    println!(
+        "group-commit random batch: {} schedules, max depth {}, \
+         max {} unacked installs, {} poisoned",
+        report.schedules,
+        report.max_depth,
+        report.stats.max_unacked_installed,
+        report.stats.poisoned_runs
+    );
+    assert!(
+        report.failure.is_none(),
+        "failing seed: {:?}",
+        report.failure
+    );
+    assert_eq!(report.schedules, count);
+    assert!(
+        report.stats.max_unacked_installed >= 2,
+        "seeded exploration must reach a multi-commit in-doubt batch"
+    );
+}
+
+/// The undurable-ack bug under group commit: with batches of two, an
+/// acknowledgment that skips the batch fsync leaves *several* commits
+/// claimed-durable but absent from the log, and the crash-image oracle
+/// still catches it.
+#[test]
+fn group_commit_undurable_ack_caught_by_durability_oracle() {
+    let cfg = conflicting_2x1()
+        .durability(SimDurability::Wal {
+            sync_every: 2,
+            checkpoint_every: 0,
+            explore_faults: true,
+        })
+        .bug(ProtocolBug::AckUndurableCommits);
+    let opts = ExploreOptions {
+        dedup: true,
+        ..ExploreOptions::default()
+    };
+    let report = explore_exhaustive(&cfg, &opts).expect("runs complete");
+    let failure = report.failure.expect("the undurable ack must be caught");
+    assert!(failure.violation.contains("durability"), "{failure}");
+    // the printed schedule reproduces the violation deterministically
+    let out = run_with_schedule(&cfg, &failure.schedule).expect("replay completes");
+    assert!(
+        check_oracles(&cfg, &out).is_some(),
+        "the reported schedule replays to the same violation"
+    );
 }

@@ -4,19 +4,21 @@
 //! The explorer found these; each seed (or explicit schedule) below is
 //! recorded together with the path it exercises — delta forwarding,
 //! retry exhaustion, WAL poisoning, the durable-but-unacknowledged
-//! in-doubt commit — and every replay re-judges the run against all
-//! three oracles. Because a seeded run is a pure function of the
-//! configuration and the seed, these stay byte-for-byte stable until
-//! the commit protocol itself changes behavior, which is exactly when
-//! they should speak up.
+//! in-doubt commit, and the group-commit batch-boundary crash images
+//! (none / some / all of a multi-commit batch durable) — and every
+//! replay re-judges the run against all three oracles. Because a
+//! seeded run is a pure function of the configuration and the seed,
+//! these stay byte-for-byte stable until the commit protocol itself
+//! changes behavior, which is exactly when they should speak up.
 //!
 //! To re-discover seeds after an intentional protocol change:
 //! `cargo test -p txlog-integration --test sim_corpus -- --ignored --nocapture`
 
 use txlog::engine::sim::{
-    check_oracles, run_seeded, run_with_schedule, AbortKind, ProtocolBug, SimConfig, SimDurability,
-    SimOutcome,
+    check_oracles, run_seeded, run_with_schedule, AbortKind, CrashImage, ProtocolBug, SimConfig,
+    SimDurability, SimOutcome,
 };
+use txlog::engine::{Database, MemStore};
 use txlog::logic::{parse_fterm, FTerm, ParseCtx};
 use txlog::prelude::{Atom, Schema};
 use txlog::relational::DbState;
@@ -42,35 +44,59 @@ fn base(schema: &Schema) -> DbState {
     s
 }
 
+fn sessions(cfg: SimConfig) -> SimConfig {
+    cfg.session(
+        "a",
+        vec![
+            tx("foreach e: 2tup | e in EMP do modify(e, salary, salary(e) + 10) end"),
+            tx("foreach e: 2tup | e in EMP do modify(e, salary, salary(e) + 100) end"),
+        ],
+    )
+    .session("b", vec![tx("insert(tuple('apollo', 9), PROJ)")])
+    .session(
+        "c",
+        vec![tx(
+            "foreach e: 2tup | e in EMP do modify(e, salary, salary(e) + 7) end",
+        )],
+    )
+    .max_attempts(2)
+}
+
 /// The corpus workload: one two-commit contender (`a`), one disjoint
 /// writer (`b`, reaches the forwarding path), one single-commit
 /// contender (`c`, can exhaust its two attempts against `a`'s two
-/// commits), over a fault-scheduled WAL.
+/// commits), over a fault-scheduled WAL that syncs every commit.
 fn corpus_cfg() -> SimConfig {
     let s = schema();
     let b = base(&s);
-    SimConfig::new(s)
-        .initial(b)
-        .session(
-            "a",
-            vec![
-                tx("foreach e: 2tup | e in EMP do modify(e, salary, salary(e) + 10) end"),
-                tx("foreach e: 2tup | e in EMP do modify(e, salary, salary(e) + 100) end"),
-            ],
-        )
-        .session("b", vec![tx("insert(tuple('apollo', 9), PROJ)")])
-        .session(
-            "c",
-            vec![tx(
-                "foreach e: 2tup | e in EMP do modify(e, salary, salary(e) + 7) end",
-            )],
-        )
-        .max_attempts(2)
-        .durability(SimDurability::Wal {
-            sync_every: 1,
-            checkpoint_every: 1,
-            explore_faults: true,
-        })
+    sessions(SimConfig::new(s).initial(b)).durability(SimDurability::Wal {
+        sync_every: 1,
+        checkpoint_every: 1,
+        explore_faults: true,
+    })
+}
+
+/// The same sessions under group commit: batches of up to three
+/// commits behind a single fsync, so schedules exist where several
+/// installed commits share one batch — and one batch failure.
+fn batch_cfg() -> SimConfig {
+    let s = schema();
+    let b = base(&s);
+    sessions(SimConfig::new(s).initial(b)).durability(SimDurability::Wal {
+        sync_every: 3,
+        checkpoint_every: 0,
+        explore_faults: true,
+    })
+}
+
+/// Version the *full* crash image (synced prefix plus appended-but-
+/// unsynced bytes) recovers to — the optimistic end of the in-doubt
+/// range, against which the batch predicates below are judged.
+fn recovered_version(img: &CrashImage) -> u64 {
+    let (_, report) = Database::builder(schema())
+        .open_store(Box::new(MemStore::from_bytes(img.bytes.clone())))
+        .expect("crash image recovers");
+    report.version
 }
 
 // ---------------------------------------------------------------------------
@@ -81,19 +107,31 @@ fn corpus_cfg() -> SimConfig {
 const SEED_FORWARDED: u64 = 3;
 /// A schedule where session `c` conflicts on both attempts and aborts
 /// with retries exhausted.
-const SEED_RETRY_EXHAUSTED: u64 = 10;
-/// A schedule with an injected fsync failure: the WAL poisons itself
-/// and every later commit aborts.
+const SEED_RETRY_EXHAUSTED: u64 = 83;
+/// A schedule with an injected fault: the WAL poisons itself and every
+/// later submission aborts.
 const SEED_POISONED: u64 = 1;
-/// A schedule that crashes between append success and fsync failure,
-/// leaving one durable-but-unacknowledged commit.
-const SEED_IN_DOUBT: u64 = 5;
+/// A schedule ending with an installed-but-unacknowledged commit: its
+/// batch failed after install, so it is in doubt — present in the
+/// history, absent from the acknowledged prefix.
+const SEED_IN_DOUBT: u64 = 2;
+/// Group commit: a crash image with two-plus commits installed and
+/// *none* of their records in the log — the writer had not yet run.
+const SEED_BATCH_NONE_DURABLE: u64 = 4;
+/// Group commit: a crash image taken mid-batch-append — a strict,
+/// non-empty prefix of the batch's records is in the log.
+const SEED_BATCH_SOME_DURABLE: u64 = 6;
+/// Group commit: a crash image with the whole multi-commit batch
+/// appended but the group fsync still pending.
+const SEED_BATCH_ALL_DURABLE: u64 = 10;
+/// Group commit: a failed batch leaves two-plus commits in doubt at
+/// the end of the run.
+const SEED_BATCH_MULTI_IN_DOUBT: u64 = 3;
 
-fn replay(seed: u64) -> SimOutcome {
-    let cfg = corpus_cfg();
-    let out = run_seeded(&cfg, seed).expect("corpus run completes");
+fn replay(cfg: &SimConfig, seed: u64) -> SimOutcome {
+    let out = run_seeded(cfg, seed).expect("corpus run completes");
     assert_eq!(
-        check_oracles(&cfg, &out),
+        check_oracles(cfg, &out),
         None,
         "corpus seed {seed} must stay clean"
     );
@@ -102,7 +140,7 @@ fn replay(seed: u64) -> SimOutcome {
 
 #[test]
 fn pinned_forwarding_schedule() {
-    let out = replay(SEED_FORWARDED);
+    let out = replay(&corpus_cfg(), SEED_FORWARDED);
     assert!(
         out.committed.iter().any(|c| c.forwarded),
         "seed {SEED_FORWARDED} no longer exercises delta forwarding"
@@ -111,7 +149,7 @@ fn pinned_forwarding_schedule() {
 
 #[test]
 fn pinned_retry_exhaustion_schedule() {
-    let out = replay(SEED_RETRY_EXHAUSTED);
+    let out = replay(&corpus_cfg(), SEED_RETRY_EXHAUSTED);
     assert!(
         out.aborted
             .iter()
@@ -122,7 +160,7 @@ fn pinned_retry_exhaustion_schedule() {
 
 #[test]
 fn pinned_poisoning_schedule() {
-    let out = replay(SEED_POISONED);
+    let out = replay(&corpus_cfg(), SEED_POISONED);
     assert!(
         out.poisoned,
         "seed {SEED_POISONED} no longer poisons the WAL"
@@ -137,15 +175,72 @@ fn pinned_poisoning_schedule() {
 
 #[test]
 fn pinned_in_doubt_schedule() {
-    let out = replay(SEED_IN_DOUBT);
-    let (version, _) = out
+    let out = replay(&corpus_cfg(), SEED_IN_DOUBT);
+    let &first = out
         .in_doubt
-        .as_ref()
+        .first()
         .expect("seed no longer leaves an in-doubt commit");
     assert_eq!(
-        *version,
-        out.committed.len() as u64 + 1,
-        "the in-doubt commit sits one past the acked head"
+        first,
+        out.acked + 1,
+        "the in-doubt range starts right past the acknowledged prefix"
+    );
+    assert!(
+        out.committed.iter().any(|c| c.version == first),
+        "an in-doubt commit installed, so it appears in the committed history"
+    );
+}
+
+#[test]
+fn pinned_batch_none_durable_schedule() {
+    let out = replay(&batch_cfg(), SEED_BATCH_NONE_DURABLE);
+    assert!(
+        out.images
+            .iter()
+            .any(|img| img.installed - img.acked >= 2 && recovered_version(img) == img.acked),
+        "seed {SEED_BATCH_NONE_DURABLE} no longer shows a crash image \
+         with a whole batch installed but nothing appended"
+    );
+}
+
+#[test]
+fn pinned_batch_some_durable_schedule() {
+    let out = replay(&batch_cfg(), SEED_BATCH_SOME_DURABLE);
+    assert!(
+        out.images.iter().any(|img| {
+            let v = recovered_version(img);
+            img.acked < v && v < img.installed
+        }),
+        "seed {SEED_BATCH_SOME_DURABLE} no longer shows a crash image \
+         cut mid-way through a batch's appends"
+    );
+}
+
+#[test]
+fn pinned_batch_all_durable_schedule() {
+    let out = replay(&batch_cfg(), SEED_BATCH_ALL_DURABLE);
+    assert!(
+        out.images.iter().any(|img| {
+            img.installed - img.acked >= 2 && recovered_version(img) == img.installed
+        }),
+        "seed {SEED_BATCH_ALL_DURABLE} no longer shows a crash image \
+         with a whole multi-commit batch appended before its fsync"
+    );
+}
+
+#[test]
+fn pinned_batch_multi_in_doubt_schedule() {
+    let out = replay(&batch_cfg(), SEED_BATCH_MULTI_IN_DOUBT);
+    assert!(
+        out.in_doubt.len() >= 2,
+        "seed {SEED_BATCH_MULTI_IN_DOUBT} no longer ends with a \
+         multi-commit in-doubt batch, got {:?}",
+        out.in_doubt
+    );
+    assert_eq!(
+        out.in_doubt,
+        (out.acked + 1..=out.acked + out.in_doubt.len() as u64).collect::<Vec<_>>(),
+        "the in-doubt set is the contiguous range past the acked prefix"
     );
 }
 
@@ -177,7 +272,7 @@ fn pinned_lost_update_schedule_still_caught() {
 }
 
 /// Regeneration tool: scans seeds for each interesting predicate and
-/// prints the first hit. Run with `--ignored --nocapture` after an
+/// prints the first hits. Run with `--ignored --nocapture` after an
 /// intentional protocol change, then update the constants above.
 #[test]
 #[ignore = "discovery tool, not a regression test"]
@@ -209,7 +304,7 @@ fn discover_interesting_seeds() {
         if poisoned.len() < 4 && out.poisoned {
             poisoned.push(seed);
         }
-        if in_doubt.len() < 4 && out.in_doubt.is_some() {
+        if in_doubt.len() < 4 && !out.in_doubt.is_empty() {
             in_doubt.push(seed);
         }
         if forwarded.len() >= 4
@@ -224,4 +319,56 @@ fn discover_interesting_seeds() {
     println!("SEED_RETRY_EXHAUSTED candidates: {retry_exhausted:?}");
     println!("SEED_POISONED candidates: {poisoned:?}");
     println!("SEED_IN_DOUBT candidates: {in_doubt:?}");
+
+    let cfg = batch_cfg();
+    let mut none_durable = Vec::new();
+    let mut some_durable = Vec::new();
+    let mut all_durable = Vec::new();
+    let mut multi_in_doubt = Vec::new();
+    for seed in 0u64..10_000 {
+        let out = run_seeded(&cfg, seed).expect("run completes");
+        if let Some(v) = check_oracles(&cfg, &out) {
+            panic!(
+                "batch seed {seed} violates an oracle — fix that first: {v} (schedule {:?})",
+                out.schedule
+            );
+        }
+        if none_durable.len() < 4
+            && out
+                .images
+                .iter()
+                .any(|img| img.installed - img.acked >= 2 && recovered_version(img) == img.acked)
+        {
+            none_durable.push(seed);
+        }
+        if some_durable.len() < 4
+            && out.images.iter().any(|img| {
+                let v = recovered_version(img);
+                img.acked < v && v < img.installed
+            })
+        {
+            some_durable.push(seed);
+        }
+        if all_durable.len() < 4
+            && out.images.iter().any(|img| {
+                img.installed - img.acked >= 2 && recovered_version(img) == img.installed
+            })
+        {
+            all_durable.push(seed);
+        }
+        if multi_in_doubt.len() < 4 && out.in_doubt.len() >= 2 {
+            multi_in_doubt.push(seed);
+        }
+        if none_durable.len() >= 4
+            && some_durable.len() >= 4
+            && all_durable.len() >= 4
+            && multi_in_doubt.len() >= 4
+        {
+            break;
+        }
+    }
+    println!("SEED_BATCH_NONE_DURABLE candidates: {none_durable:?}");
+    println!("SEED_BATCH_SOME_DURABLE candidates: {some_durable:?}");
+    println!("SEED_BATCH_ALL_DURABLE candidates: {all_durable:?}");
+    println!("SEED_BATCH_MULTI_IN_DOUBT candidates: {multi_in_doubt:?}");
 }

@@ -209,12 +209,12 @@ fn injected_write_failures_keep_acknowledged_commits() {
 /// Regression for version reuse after a WAL failure: keep committing
 /// after Durability errors instead of stopping at the first, under both
 /// mid-write and fsync fault injection, with a checkpoint after every
-/// commit so the checkpoint-dies-after-the-commit-record path is hit at
-/// every offset. A failure that may have left the commit record in the
-/// log must poison the WAL (all later commits fail) rather than let the
-/// next commit reuse the version — a duplicate version record would
-/// make recovery truncate at the duplicate and silently drop every
-/// acknowledged commit after it.
+/// commit so checkpoint records interleave with commit records and
+/// faults land on them too. A failure that may have left a commit
+/// record in the log must poison the WAL (all later submissions fail)
+/// rather than let the next commit reuse the version — a duplicate
+/// version record would make recovery truncate at the duplicate and
+/// silently drop every acknowledged commit after it.
 #[test]
 fn commits_after_durability_errors_never_corrupt_the_log() {
     let cadence = Durability::Wal {
@@ -239,8 +239,9 @@ fn commits_after_durability_errors_never_corrupt_the_log() {
                 MemStore::default().failing_at(fail_at)
             };
             // acked: version → state bytes of every acknowledged commit;
-            // in_doubt: the one commit whose record may sit in the log
-            // even though the session saw it fail
+            // in_doubt: the one commit that installed but whose batch
+            // failed, so its record may sit in the log even though the
+            // session saw an error
             let mut acked: Vec<(u64, Vec<u8>)> = Vec::new();
             let mut in_doubt: Option<(u64, Vec<u8>)> = None;
             match Database::builder(schema())
@@ -250,23 +251,21 @@ fn commits_after_durability_errors_never_corrupt_the_log() {
                 Ok((db, _)) => {
                     let mut session = db.session();
                     for (label, tx) in workload() {
-                        // dry-run to learn the state this commit would
-                        // install if it went through
-                        let candidate = session
-                            .execute(&tx, &env)
-                            .unwrap_or_else(|e| panic!("{what}: dry run failed: {e}"));
                         match session.commit(&label, &tx, &env) {
                             Ok(c) => {
                                 acked.push((c.version, encode_db_state(&db.snapshot())));
                             }
-                            // once poisoned, no bytes reach the log, so
+                            // a poisoned submission never consumed a
+                            // version, and no bytes reach the log, so
                             // the in-doubt record (if any) is unchanged
                             Err(CommitError::Durability(WalError::Poisoned { .. })) => {}
                             Err(CommitError::Durability(_)) => {
-                                in_doubt = Some((
-                                    db.head_version() + 1,
-                                    encode_db_state(&candidate.state),
-                                ));
+                                // a non-poisoned durability error is a
+                                // failed *acknowledgment*: the commit
+                                // installed first, so the head is its
+                                // state
+                                in_doubt =
+                                    Some((db.head_version(), encode_db_state(&db.snapshot())));
                             }
                             Err(e) => panic!("{what}: unexpected commit error: {e}"),
                         }
@@ -311,10 +310,20 @@ fn commits_after_durability_errors_never_corrupt_the_log() {
                 }
             }
         }
-        assert!(
-            in_doubt_recovered > 0,
-            "fail_sync={fail_sync}: sweep never exercised a durable-but-unacknowledged commit"
-        );
+        if fail_sync {
+            assert!(
+                in_doubt_recovered > 0,
+                "sync-fault sweep never exercised a durable-but-unacknowledged commit"
+            );
+        } else {
+            // a failed commit append rolls back its bytes and a failed
+            // checkpoint append is skipped outright, so an append fault
+            // never leaves an unacknowledged record for recovery to find
+            assert_eq!(
+                in_doubt_recovered, 0,
+                "append faults must not leave durable-but-unacknowledged records"
+            );
+        }
     }
 }
 
@@ -428,6 +437,63 @@ impl txlog::engine::sim::StepHook for FailNthFsync {
     }
 }
 
+/// Group commit appends a whole batch before issuing its single fsync,
+/// so a crash can land at any byte of the batched append: none, some,
+/// or all of the in-doubt records durable. Install four commits into
+/// one batch under a manual writer, pump it, then sweep every cut of
+/// the resulting bytes: each cut must recover a commit-order prefix,
+/// and the sweep must produce crash images at every batch depth —
+/// versions 0 through 4 — not just the empty-or-full extremes.
+#[test]
+fn batch_crash_at_every_byte_offset_recovers_a_prefix() {
+    let store = MemStore::default();
+    let (db, report) = Database::builder(schema())
+        .durability(Durability::Wal {
+            sync_every: 4,
+            checkpoint_every: 0,
+        })
+        .manual_log_writer()
+        .open_store(Box::new(store.clone()))
+        .expect("fresh log opens");
+    assert!(report.fresh);
+    let env = Env::new();
+    let mut oracle = vec![encode_db_state(&db.snapshot())];
+    let mut session = db.session();
+    let mut tickets = Vec::new();
+    for (label, tx) in workload().into_iter().take(4) {
+        let prepared = session.prepare(&tx, &env).expect("transaction prepares");
+        let (_, ticket) = session
+            .submit_prepared(&label, &prepared)
+            .expect("submission installs");
+        oracle.push(encode_db_state(&db.snapshot()));
+        tickets.push(ticket);
+    }
+    assert_eq!(db.head_version(), 4, "all four installed before any fsync");
+    assert!(
+        tickets.iter().all(|t| !t.is_complete()),
+        "nothing is acknowledged until the batch is pumped"
+    );
+    db.pump_log_writer();
+    for t in tickets {
+        t.wait()
+            .expect("the whole batch acknowledges after its one fsync");
+    }
+
+    let bytes = store.contents();
+    let mut seen = std::collections::BTreeSet::new();
+    for cut in 0..=bytes.len() {
+        let (rec, report) = recover(bytes[..cut].to_vec())
+            .unwrap_or_else(|e| panic!("batch cut at {cut}: recovery failed: {e}"));
+        assert_is_prefix(&rec, &report, &oracle, &format!("batch cut at {cut}"));
+        seen.insert(report.version);
+    }
+    assert_eq!(
+        seen.into_iter().collect::<Vec<_>>(),
+        vec![0, 1, 2, 3, 4],
+        "the sweep saw crash images with none, some, and all of the batch durable"
+    );
+}
+
 /// The poisoned-log agreement check: a crash *between* append success
 /// and fsync failure leaves the commit record on disk but the commit
 /// unacknowledged. `recover_log` must return that
@@ -436,7 +502,7 @@ impl txlog::engine::sim::StepHook for FailNthFsync {
 /// scenario, judged by both sides.
 #[test]
 fn crash_between_append_and_fsync_recovers_the_unacked_commit() {
-    use txlog::engine::sim::{check_oracles, run_with_schedule, SimConfig, SimDurability};
+    use txlog::engine::sim::{check_oracles, run_seeded, SimConfig, SimDurability};
 
     let hire = parse_fterm("insert(tuple('ann', 500), STAFF)", &ctx(), &[]).expect("parses");
     let raise = parse_fterm(
@@ -470,7 +536,11 @@ fn crash_between_append_and_fsync_recovers_the_unacked_commit() {
         .commit("raise", &raise, &env)
         .expect_err("second commit's fsync fails after the append");
     assert!(matches!(err, CommitError::Durability(WalError::Io { .. })));
-    assert_eq!(db.head_version(), 1, "the raise was never acknowledged");
+    assert_eq!(
+        db.head_version(),
+        2,
+        "the raise installed before its batch fsync failed — it is in doubt, not gone"
+    );
 
     // what the raise *would* have installed, from an undamaged replay
     let oracle_db = Database::builder(schema())
@@ -493,8 +563,10 @@ fn crash_between_append_and_fsync_recovers_the_unacked_commit() {
     );
 
     // --- side 2: the explorer's durability oracle on the same history.
-    // One session, two commits; schedule choices are the two fault
-    // decisions: none for the hire, fail-fsync for the raise.
+    // One session, two commits; search the seeded schedules for the run
+    // where the raise's record was appended but its batch fsync failed:
+    // commit 1 acked, commit 2 installed-but-unacked, and the full
+    // store bytes (append landed) recover version 2.
     let cfg = SimConfig::new(schema())
         .session("w", vec![hire, raise])
         .durability(SimDurability::Wal {
@@ -502,14 +574,19 @@ fn crash_between_append_and_fsync_recovers_the_unacked_commit() {
             checkpoint_every: 0,
             explore_faults: true,
         });
-    let out = run_with_schedule(&cfg, &[0, 2]).expect("sim runs");
-    let (version, state) = out.in_doubt.as_ref().expect("the raise is in doubt");
-    assert_eq!(
-        *version, 2,
-        "both sides place the unacked commit at version 2"
-    );
+    let out = (0..1000)
+        .filter_map(|seed| run_seeded(&cfg, seed).ok())
+        .find(|out| {
+            let durable = out
+                .images
+                .last()
+                .and_then(|img| recover(img.bytes.clone()).ok())
+                .map(|(_, r)| r.version);
+            out.acked == 1 && out.in_doubt == [2] && durable == Some(2)
+        })
+        .expect("some seed fails the raise's fsync after its append");
     assert!(
-        encode_db_state(state) == unacked_state,
+        encode_db_state(&out.states[2]) == unacked_state,
         "the sim's in-doubt state is the same unacked raise"
     );
     assert_eq!(
