@@ -154,11 +154,27 @@ pub enum Counter {
     /// Torn or corrupt tail records dropped (by truncation) during
     /// recovery.
     RecoverTruncatedRecords,
+    /// Connections the wire-protocol server admitted into service.
+    ServerConnsAccepted,
+    /// Connections the server turned away at admission (the active set
+    /// or the hand-off queue was full).
+    ServerConnsRejected,
+    /// Request frames the server decoded off client connections.
+    ServerFramesIn,
+    /// Response frames the server wrote to client connections
+    /// (including rejection and goodbye frames).
+    ServerFramesOut,
+    /// Frames or payloads the server could not decode (bad checksum,
+    /// truncated frame, unknown message tag).
+    ServerDecodeErrors,
+    /// Requests the server rejected with a wire `Overload` error (the
+    /// commit pipeline's log submission queue was full).
+    ServerOverloads,
 }
 
 impl Counter {
     /// Every counter, in canonical (serialization) order.
-    pub const ALL: [Counter; 45] = [
+    pub const ALL: [Counter; 51] = [
         Counter::PlansCompiled,
         Counter::PrefilterCuts,
         Counter::ScanSteps,
@@ -204,6 +220,12 @@ impl Counter {
         Counter::WalGroupBatches,
         Counter::RecoverReplayedDeltas,
         Counter::RecoverTruncatedRecords,
+        Counter::ServerConnsAccepted,
+        Counter::ServerConnsRejected,
+        Counter::ServerFramesIn,
+        Counter::ServerFramesOut,
+        Counter::ServerDecodeErrors,
+        Counter::ServerOverloads,
     ];
 
     /// Stable snake_case name used in snapshots and reports.
@@ -254,6 +276,12 @@ impl Counter {
             Counter::WalGroupBatches => "wal_group_batches",
             Counter::RecoverReplayedDeltas => "recover_replayed_deltas",
             Counter::RecoverTruncatedRecords => "recover_truncated_records",
+            Counter::ServerConnsAccepted => "srv_conns_accepted",
+            Counter::ServerConnsRejected => "srv_conns_rejected",
+            Counter::ServerFramesIn => "srv_frames_in",
+            Counter::ServerFramesOut => "srv_frames_out",
+            Counter::ServerDecodeErrors => "srv_decode_errors",
+            Counter::ServerOverloads => "srv_overloads",
         }
     }
 }

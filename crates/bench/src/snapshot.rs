@@ -38,6 +38,7 @@ pub fn collect() -> Snapshot {
     commit_exercise(&metrics);
     wal_exercise(&metrics);
     group_commit_exercise(&metrics);
+    server_exercise(&metrics);
     let snap = metrics.snapshot();
     Metrics::disabled().install_global();
     snap
@@ -317,4 +318,108 @@ fn group_commit_exercise(metrics: &Metrics) {
         3,
         "the batch size histogram records the full batch"
     );
+}
+
+/// A scripted loopback conversation with the wire-protocol server,
+/// pinning the server counters in the baseline: one accepted
+/// connection runs a fixed request sequence (autocommit, query, ask,
+/// and a staged begin/execute/commit block), a second connection is
+/// deterministically refused by the connection cap of 1, and one
+/// deliberately corrupt frame exercises the decode-error path.
+/// Deterministic because admission happens on the accept thread before
+/// the handshake completes, so by the time client 1 holds its Welcome
+/// the cap is provably occupied, and all frame counts follow from the
+/// script.
+fn server_exercise(metrics: &Metrics) {
+    use std::sync::Arc;
+    use std::time::Duration;
+    use txlog::engine::Database;
+    use txlog::prelude::{ClientError, Counter, ErrorCode, Schema, Server, ServerConfig};
+    use txlog::server::frame::{encode_frame, FRAME_HEADER_LEN};
+
+    let before = |c: Counter| metrics.get(c);
+    let base = [
+        before(Counter::ServerConnsAccepted),
+        before(Counter::ServerConnsRejected),
+        before(Counter::ServerFramesIn),
+        before(Counter::ServerFramesOut),
+        before(Counter::ServerDecodeErrors),
+        before(Counter::ServerOverloads),
+    ];
+
+    let schema = Schema::new()
+        .relation("CREW", &["c-name", "c-rank"])
+        .expect("relation");
+    let db = Database::builder(schema)
+        .metrics(metrics.clone())
+        .build()
+        .expect("database builds");
+    let cfg = ServerConfig {
+        max_connections: 1,
+        accept_queue: 1,
+        workers: 2,
+        idle_timeout: Duration::from_secs(10),
+        read_timeout: Duration::from_secs(10),
+        server_name: "snapshot".to_string(),
+        ..ServerConfig::default()
+    };
+    let server =
+        Server::bind_with(Arc::new(db), "127.0.0.1:0", cfg).expect("binds a loopback port");
+    let addr = server.local_addr();
+
+    let mut one = txlog::prelude::Client::connect(addr, "snapshot-1").expect("first client");
+    assert_eq!(one.server_info().relations, vec!["CREW".to_string()]);
+
+    // The cap is 1 and client 1 holds it: client 2 must be refused.
+    let refused = txlog::prelude::Client::connect(addr, "snapshot-2")
+        .expect_err("the connection cap refuses a second client");
+    match refused {
+        ClientError::Server(e) => assert_eq!(e.code, ErrorCode::TooManyConnections),
+        other => panic!("expected a typed rejection, got {other}"),
+    }
+
+    // The fixed request script: an autocommit, two reads, and a staged
+    // two-statement transaction block.
+    let c = one
+        .execute("enlist", "insert(tuple('ada', 1), CREW)")
+        .expect("autocommit installs");
+    assert_eq!(c.version, 1);
+    let crew = one.query("CREW").expect("query evaluates");
+    assert!(
+        crew.contains("ada"),
+        "query result renders the tuple: {crew}"
+    );
+    assert!(one
+        .ask("exists e: 2tup . e in CREW & c-rank(e) = 1")
+        .expect("formula evaluates"));
+    one.begin().expect("block opens");
+    one.execute("staged", "insert(tuple('bea', 2), CREW)")
+        .expect("statement stages");
+    let c = one.commit("enlist-2").expect("block commits");
+    assert_eq!(c.version, 2);
+
+    // One corrupt frame: flip a payload bit so the CRC fails. The
+    // server reports a typed decode error and drops the connection.
+    let mut bad = encode_frame(b"not a message", u32::MAX).expect("frame fits");
+    bad[FRAME_HEADER_LEN] ^= 0x01;
+    one.send_raw(&bad).expect("bytes leave");
+    match one.read_response() {
+        Ok(txlog::server::Response::Error(e)) => assert_eq!(e.code, ErrorCode::Decode),
+        other => panic!("expected a decode error, got {other:?}"),
+    }
+    drop(one);
+
+    server.shutdown();
+    server.join();
+
+    let delta = |c: Counter, b: u64| metrics.get(c) - b;
+    assert_eq!(delta(Counter::ServerConnsAccepted, base[0]), 1);
+    assert_eq!(delta(Counter::ServerConnsRejected, base[1]), 1);
+    // Hello + 6 scripted requests; the corrupt frame is counted as a
+    // decode error, not an inbound frame.
+    assert_eq!(delta(Counter::ServerFramesIn, base[2]), 7);
+    // Welcome + 6 replies + the rejection + the decode-error farewell.
+    assert_eq!(delta(Counter::ServerFramesOut, base[3]), 9);
+    assert_eq!(delta(Counter::ServerDecodeErrors, base[4]), 1);
+    assert_eq!(delta(Counter::ServerOverloads, base[5]), 0);
 }

@@ -19,6 +19,7 @@
 //! | [`prover`] | `txlog-prover` | regression, deductive tableau, transaction verification |
 //! | [`synthesis`] | `txlog-synthesis` | declarative specs → procedural transactions |
 //! | [`empdb`] | `txlog-empdb` | the paper's employee database, constraints, transactions |
+//! | [`server`] | `txlog-server` | wire-protocol server and client over `std::net` |
 //!
 //! ## Quickstart
 //!
@@ -58,6 +59,7 @@ pub use txlog_engine as engine;
 pub use txlog_logic as logic;
 pub use txlog_prover as prover;
 pub use txlog_relational as relational;
+pub use txlog_server as server;
 pub use txlog_synthesis as synthesis;
 pub use txlog_temporal as temporal;
 
@@ -86,6 +88,9 @@ pub mod prelude {
     pub use txlog_relational::{
         CodecError, DbState, Delta, EvolutionGraph, RelDecl, RelDelta, Relation, Schema, Tuple,
         TupleChange, TupleVal, TxLabel,
+    };
+    pub use txlog_server::{
+        Client, ClientError, ErrorCode, RemoteCommit, Server, ServerConfig, ServerInfo, WireError,
     };
     pub use txlog_synthesis::{synthesize, verify_synthesis, Synthesized};
     pub use txlog_temporal::{delta, holds, TFormula};

@@ -395,7 +395,25 @@ impl fmt::Display for CommitError {
     }
 }
 
-impl std::error::Error for CommitError {}
+impl std::error::Error for CommitError {
+    /// The wrapped cause, for the variants that carry one: walking the
+    /// chain from a [`CommitError::Durability`] reaches the
+    /// [`WalError`], and from there any [`CodecError`] or engine error
+    /// underneath — which is what lets a wire-protocol front end map
+    /// commit failures to typed errors without string matching.
+    ///
+    /// [`CodecError`]: txlog_relational::codec::CodecError
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CommitError::Execution(e) => Some(e),
+            CommitError::Durability(e) => Some(e),
+            CommitError::Conflict { .. }
+            | CommitError::ConstraintViolation { .. }
+            | CommitError::RetriesExhausted { .. }
+            | CommitError::Overload { .. } => None,
+        }
+    }
+}
 
 impl From<TxError> for CommitError {
     fn from(e: TxError) -> CommitError {
@@ -1924,5 +1942,41 @@ mod tests {
             t.wait().unwrap();
         }
         assert_eq!(db.head_version(), tickets.len() as u64);
+    }
+
+    /// Every `CommitError` variant either exposes its wrapped cause
+    /// through `Error::source()` or is itself the root cause — the
+    /// contract a wire-protocol front end relies on to map commit
+    /// failures losslessly.
+    #[test]
+    fn commit_error_source_chain_per_variant() {
+        use std::error::Error as _;
+        let conflict = CommitError::Conflict { head_version: 7 };
+        assert!(conflict.source().is_none());
+        let violated = CommitError::ConstraintViolation {
+            constraint: "cap".to_string(),
+        };
+        assert!(violated.source().is_none());
+        let exhausted = CommitError::RetriesExhausted { attempts: 9 };
+        assert!(exhausted.source().is_none());
+        let overload = CommitError::Overload { capacity: 4 };
+        assert!(overload.source().is_none());
+        let execution = CommitError::Execution(TxError::eval("boom"));
+        let src = execution.source().expect("Execution chains its TxError");
+        assert!(src.downcast_ref::<TxError>().is_some());
+        let durability = CommitError::Durability(WalError::Poisoned {
+            detail: "fsync died".to_string(),
+        });
+        let src = durability.source().expect("Durability chains its WalError");
+        assert!(src.downcast_ref::<WalError>().is_some());
+        // the chain continues through the WAL layer down to the codec
+        let nested = CommitError::Durability(WalError::Codec(
+            txlog_relational::codec::CodecError::BadMagic,
+        ));
+        let wal = nested.source().expect("WalError level");
+        let codec = wal.source().expect("CodecError level");
+        assert!(codec
+            .downcast_ref::<txlog_relational::codec::CodecError>()
+            .is_some());
     }
 }

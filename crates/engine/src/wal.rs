@@ -153,7 +153,22 @@ impl fmt::Display for WalError {
     }
 }
 
-impl std::error::Error for WalError {}
+impl std::error::Error for WalError {
+    /// The wrapped cause: a [`CodecError`] under [`WalError::Codec`], a
+    /// [`TxError`] under [`WalError::Engine`]. The message-only variants
+    /// (`Io`, `Corrupt`, `SchemaMismatch`, `Poisoned`) are themselves
+    /// the root cause.
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WalError::Codec(e) => Some(e),
+            WalError::Engine(e) => Some(e),
+            WalError::Io { .. }
+            | WalError::Corrupt { .. }
+            | WalError::SchemaMismatch { .. }
+            | WalError::Poisoned { .. } => None,
+        }
+    }
+}
 
 impl From<CodecError> for WalError {
     fn from(e: CodecError) -> WalError {
@@ -1109,5 +1124,36 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Every `WalError` variant either exposes its wrapped cause through
+    /// `Error::source()` or is itself the root cause.
+    #[test]
+    fn wal_error_source_chain_per_variant() {
+        use std::error::Error as _;
+        let io = WalError::Io {
+            op: "append",
+            detail: "disk full".to_string(),
+        };
+        assert!(io.source().is_none());
+        let corrupt = WalError::Corrupt {
+            offset: 12,
+            detail: "version gap".to_string(),
+        };
+        assert!(corrupt.source().is_none());
+        let mismatch = WalError::SchemaMismatch {
+            detail: "arity".to_string(),
+        };
+        assert!(mismatch.source().is_none());
+        let poisoned = WalError::Poisoned {
+            detail: "torn append".to_string(),
+        };
+        assert!(poisoned.source().is_none());
+        let codec = WalError::Codec(CodecError::BadMagic);
+        let src = codec.source().expect("Codec chains its CodecError");
+        assert!(src.downcast_ref::<CodecError>().is_some());
+        let engine = WalError::Engine(TxError::eval("constraint rejected"));
+        let src = engine.source().expect("Engine chains its TxError");
+        assert!(src.downcast_ref::<TxError>().is_some());
     }
 }

@@ -1,0 +1,141 @@
+//! `txlog-serve` — stand up a database and serve it.
+//!
+//! ```text
+//! txlog-serve [ADDR] [--rel NAME(attr,…)]… [--snapshot FILE] [--wal FILE]
+//! ```
+//!
+//! * `ADDR` — listen address (default `127.0.0.1:7878`).
+//! * `--rel NAME(attr,…)` — declare a relation (repeatable).
+//! * `--snapshot FILE` — load schema + state from a checksummed
+//!   snapshot (as written by the REPL's `:save`).
+//! * `--wal FILE` — attach a write-ahead log; recovers from it if it
+//!   exists, so restarting the server resumes where it left off.
+//!
+//! The process runs until a client sends `Shutdown` (`:quit-server`
+//! in the REPL) or the listener thread exits.
+
+use std::sync::Arc;
+use txlog_base::obs::Metrics;
+use txlog_engine::{Database, Durability};
+use txlog_relational::{codec, Schema};
+use txlog_server::Server;
+
+struct Args {
+    addr: String,
+    rels: Vec<String>,
+    snapshot: Option<String>,
+    wal: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".to_string(),
+        rels: Vec::new(),
+        snapshot: None,
+        wal: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--rel" => args.rels.push(it.next().ok_or("--rel needs NAME(attr,…)")?),
+            "--snapshot" => args.snapshot = Some(it.next().ok_or("--snapshot needs a path")?),
+            "--wal" => args.wal = Some(it.next().ok_or("--wal needs a path")?),
+            "--help" | "-h" => {
+                return Err("usage: txlog-serve [ADDR] [--rel NAME(attr,…)]… \
+                            [--snapshot FILE] [--wal FILE]"
+                    .to_string())
+            }
+            other if !other.starts_with('-') => args.addr = other.to_string(),
+            other => return Err(format!("unknown flag {other:?}; try --help")),
+        }
+    }
+    Ok(args)
+}
+
+fn declare(schema: Schema, spec: &str) -> Result<Schema, String> {
+    let (name, attrs) = spec
+        .split_once('(')
+        .ok_or_else(|| format!("--rel {spec:?}: expected NAME(attr,…)"))?;
+    let attrs: Vec<&str> = attrs
+        .trim_end_matches(')')
+        .split(',')
+        .map(str::trim)
+        .filter(|a| !a.is_empty())
+        .collect();
+    schema
+        .relation(name.trim(), &attrs)
+        .map_err(|e| format!("--rel {spec:?}: {e}"))
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    let (schema, initial) = match &args.snapshot {
+        Some(path) => {
+            let bytes = std::fs::read(path).unwrap_or_else(|e| {
+                eprintln!("cannot read snapshot {path}: {e}");
+                std::process::exit(1);
+            });
+            let (schema, state) = codec::decode_snapshot(&bytes).unwrap_or_else(|e| {
+                eprintln!("{path} is not a txlog snapshot: {e}");
+                std::process::exit(1);
+            });
+            (schema, Some(state))
+        }
+        None => {
+            let mut schema = Schema::new();
+            for spec in &args.rels {
+                schema = declare(schema, spec).unwrap_or_else(|msg| {
+                    eprintln!("{msg}");
+                    std::process::exit(2);
+                });
+            }
+            (schema, None)
+        }
+    };
+
+    let mut builder = Database::builder(schema).metrics(Metrics::enabled());
+    if let Some(state) = initial {
+        builder = builder.initial(state);
+    }
+    let db = match &args.wal {
+        Some(path) => {
+            let (db, report) = builder
+                .durability(Durability::Wal {
+                    sync_every: 8,
+                    checkpoint_every: 1024,
+                })
+                .open_path(path)
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot open write-ahead log {path}: {e}");
+                    std::process::exit(1);
+                });
+            eprintln!("wal {path}: recovered to version {}", report.version);
+            db
+        }
+        None => builder.build().unwrap_or_else(|e| {
+            eprintln!("cannot build database: {e}");
+            std::process::exit(1);
+        }),
+    };
+
+    let db = Arc::new(db);
+    let server = Server::bind(Arc::clone(&db), &args.addr).unwrap_or_else(|e| {
+        eprintln!("cannot bind {}: {e}", args.addr);
+        std::process::exit(1);
+    });
+    eprintln!(
+        "txlog-serve listening on {} ({} relations, head version {})",
+        server.local_addr(),
+        db.schema().decls().len(),
+        db.head_version()
+    );
+    server.join();
+    eprintln!("txlog-serve: drained, goodbye");
+}

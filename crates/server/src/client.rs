@@ -1,0 +1,304 @@
+//! A blocking client for the wire protocol.
+//!
+//! [`Client::connect`] performs the handshake and returns a handle
+//! whose methods map one-to-one onto [`Request`] variants, each
+//! blocking until the matching [`Response`] arrives. Server-reported
+//! failures surface as [`ClientError::Server`] carrying the typed
+//! [`WireError`], so callers can distinguish a constraint violation
+//! from an overload without parsing strings.
+
+use std::io::{self, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use txlog_relational::codec::CodecError;
+
+use crate::frame::{
+    read_frame_blocking, write_frame, FrameError, ReadOutcome, DEFAULT_MAX_FRAME_LEN,
+};
+use crate::proto::{Request, Response, WireError, PROTOCOL_VERSION};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed.
+    Io(io::Error),
+    /// The server's bytes were not a valid frame.
+    Frame(FrameError),
+    /// The frame's payload was not a valid response message.
+    Decode(CodecError),
+    /// The server answered with a typed error.
+    Server(WireError),
+    /// The server answered with a response this call did not expect.
+    Protocol(String),
+    /// The server closed the connection.
+    Disconnected,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Frame(e) => write!(f, "bad frame from server: {e}"),
+            ClientError::Decode(e) => write!(f, "bad response payload: {e}"),
+            ClientError::Server(e) => write!(f, "server refused: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Frame(e) => Some(e),
+            ClientError::Decode(e) => Some(e),
+            ClientError::Server(e) => Some(e),
+            ClientError::Protocol(_) | ClientError::Disconnected => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// What the server said about itself in the handshake.
+#[derive(Clone, Debug)]
+pub struct ServerInfo {
+    /// The protocol version the server speaks.
+    pub protocol: u32,
+    /// The server's configured name.
+    pub server: String,
+    /// The committed head version at connection time.
+    pub head_version: u64,
+    /// The schema's relation names.
+    pub relations: Vec<String>,
+}
+
+/// A commit acknowledgment, mirroring the engine's `Commit`.
+#[derive(Clone, Copy, Debug)]
+pub struct RemoteCommit {
+    /// The head version the commit produced.
+    pub version: u64,
+    /// Conflicted attempts before the successful one.
+    pub retries: u32,
+    /// Whether the commit installed by delta-forwarding.
+    pub forwarded: bool,
+}
+
+/// A connected, handshaken client.
+pub struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    max_frame_len: u32,
+    info: ServerInfo,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("server", &self.info.server)
+            .field("head_version", &self.info.head_version)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Client {
+    /// Connect, send the handshake, and wait for the welcome.
+    pub fn connect(addr: impl ToSocketAddrs, client_name: &str) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let mut client = Client {
+            stream,
+            buf: Vec::new(),
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            info: ServerInfo {
+                protocol: 0,
+                server: String::new(),
+                head_version: 0,
+                relations: Vec::new(),
+            },
+        };
+        let resp = client.roundtrip(&Request::Hello {
+            protocol: PROTOCOL_VERSION,
+            client: client_name.to_string(),
+        })?;
+        match resp {
+            Response::Welcome {
+                protocol,
+                server,
+                head_version,
+                relations,
+            } => {
+                client.info = ServerInfo {
+                    protocol,
+                    server,
+                    head_version,
+                    relations,
+                };
+                Ok(client)
+            }
+            other => Err(unexpected("Welcome", &other)),
+        }
+    }
+
+    /// What the server reported in the handshake.
+    pub fn server_info(&self) -> &ServerInfo {
+        &self.info
+    }
+
+    /// Send one request and read one response.
+    pub fn roundtrip(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &req.encode(), self.max_frame_len)?;
+        self.read_response()
+    }
+
+    /// Read the next response without sending anything — for draining
+    /// replies to pipelined requests sent with [`Client::send_raw`].
+    pub fn read_response(&mut self) -> Result<Response, ClientError> {
+        match read_frame_blocking(&mut self.stream, &mut self.buf, self.max_frame_len)? {
+            ReadOutcome::Frame(payload) => Response::decode(&payload).map_err(ClientError::Decode),
+            ReadOutcome::Disconnected => Err(ClientError::Disconnected),
+            ReadOutcome::Corrupt(e) => Err(ClientError::Frame(e)),
+            ReadOutcome::IdleTimeout | ReadOutcome::Stalled => {
+                Err(ClientError::Protocol("blocking read timed out".to_string()))
+            }
+        }
+    }
+
+    /// Write raw bytes to the socket — the escape hatch the tests use
+    /// to pipeline several frames in one write or to send deliberately
+    /// corrupt ones.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), ClientError> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    /// Execute a transaction program. Outside a transaction block this
+    /// commits; inside one it stages (and the result is the staged
+    /// statement count, surfaced here as a zero-version commit).
+    pub fn execute(&mut self, label: &str, program: &str) -> Result<RemoteCommit, ClientError> {
+        let resp = self.roundtrip(&Request::Execute {
+            label: label.to_string(),
+            program: program.to_string(),
+        })?;
+        match resp {
+            Response::Executed {
+                version,
+                retries,
+                forwarded,
+            } => Ok(RemoteCommit {
+                version,
+                retries,
+                forwarded,
+            }),
+            Response::Staged { .. } => Ok(RemoteCommit {
+                version: 0,
+                retries: 0,
+                forwarded: false,
+            }),
+            other => Err(unexpected("Executed or Staged", &other)),
+        }
+    }
+
+    /// Evaluate an object-valued query; returns the rendered value.
+    pub fn query(&mut self, expr: &str) -> Result<String, ClientError> {
+        match self.roundtrip(&Request::Query {
+            expr: expr.to_string(),
+        })? {
+            Response::Value { text } => Ok(text),
+            other => Err(unexpected("Value", &other)),
+        }
+    }
+
+    /// Evaluate a truth-valued formula.
+    pub fn ask(&mut self, formula: &str) -> Result<bool, ClientError> {
+        match self.roundtrip(&Request::Ask {
+            formula: formula.to_string(),
+        })? {
+            Response::Truth { value } => Ok(value),
+            other => Err(unexpected("Truth", &other)),
+        }
+    }
+
+    /// Render the evaluator's plan for a formula or program.
+    pub fn explain(&mut self, target: &str, program: bool) -> Result<String, ClientError> {
+        match self.roundtrip(&Request::Explain {
+            target: target.to_string(),
+            program,
+        })? {
+            Response::Explained { text } => Ok(text),
+            other => Err(unexpected("Explained", &other)),
+        }
+    }
+
+    /// Open a multi-request transaction block.
+    pub fn begin(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Begin)? {
+            Response::Begun => Ok(()),
+            other => Err(unexpected("Begun", &other)),
+        }
+    }
+
+    /// Commit the open transaction block.
+    pub fn commit(&mut self, label: &str) -> Result<RemoteCommit, ClientError> {
+        match self.roundtrip(&Request::Commit {
+            label: label.to_string(),
+        })? {
+            Response::Committed {
+                version,
+                retries,
+                forwarded,
+            } => Ok(RemoteCommit {
+                version,
+                retries,
+                forwarded,
+            }),
+            other => Err(unexpected("Committed", &other)),
+        }
+    }
+
+    /// Abort the open transaction block; returns how many staged
+    /// statements were discarded.
+    pub fn abort(&mut self) -> Result<u32, ClientError> {
+        match self.roundtrip(&Request::Abort)? {
+            Response::Aborted { discarded } => Ok(discarded),
+            other => Err(unexpected("Aborted", &other)),
+        }
+    }
+
+    /// Render the connection's current view of the database.
+    pub fn show_state(&mut self) -> Result<String, ClientError> {
+        match self.roundtrip(&Request::ShowState)? {
+            Response::State { text } => Ok(text),
+            other => Err(unexpected("State", &other)),
+        }
+    }
+
+    /// The server's metrics snapshot as JSON.
+    pub fn metrics_json(&mut self) -> Result<String, ClientError> {
+        match self.roundtrip(&Request::Metrics)? {
+            Response::Metrics { json } => Ok(json),
+            other => Err(unexpected("Metrics", &other)),
+        }
+    }
+
+    /// Ask the server to drain and shut down.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected("ShuttingDown", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ClientError {
+    match got {
+        Response::Error(e) => ClientError::Server(e.clone()),
+        other => ClientError::Protocol(format!("expected {wanted}, got {other:?}")),
+    }
+}

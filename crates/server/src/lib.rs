@@ -1,0 +1,51 @@
+//! # txlog-server — the database, served over the network
+//!
+//! A concurrent wire-protocol server (and matching blocking client)
+//! over [`std::net`], exposing a shared
+//! [`Database`](txlog_engine::Database) — sessions, optimistic
+//! commits, constraints, durability and all — to remote clients.
+//!
+//! Three layers, bottom up:
+//!
+//! * [`frame`] — the self-delimiting, CRC-checked wire frame
+//!   (`len ‖ crc ‖ payload`), with timeout-aware readers. The same
+//!   framing discipline the write-ahead log uses on disk.
+//! * [`proto`] — typed [`Request`]/[`Response`] messages and the
+//!   [`WireError`] vocabulary, encoded with the workspace's canonical
+//!   codec. Decoding is total: any bytes produce a message or a typed
+//!   error, never a panic.
+//! * [`server`] / [`client`] — a thread-pool server with admission
+//!   control, backpressure, and graceful drain; a blocking client
+//!   whose methods map one-to-one onto requests.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use txlog_engine::{Database, Env};
+//! use txlog_relational::Schema;
+//! use txlog_server::{Client, Server};
+//!
+//! let schema = Schema::new().relation("EMP", &["e-name", "salary"]).unwrap();
+//! let db = Arc::new(Database::builder(schema).build().unwrap());
+//! let server = Server::bind(db, "127.0.0.1:0").unwrap();
+//!
+//! let mut client = Client::connect(server.local_addr(), "quickstart").unwrap();
+//! client.execute("hire", "insert(tuple('ann', 500), EMP)").unwrap();
+//! assert!(client.ask("exists e: 2tup . e in EMP").unwrap());
+//!
+//! server.shutdown();
+//! server.join();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod frame;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, ClientError, RemoteCommit, ServerInfo};
+pub use frame::{FrameError, DEFAULT_MAX_FRAME_LEN};
+pub use proto::{ErrorCode, Request, Response, WireError, PROTOCOL_VERSION};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,674 @@
+//! The concurrent server: a thread pool over [`std::net::TcpListener`].
+//!
+//! One accept thread does **admission control** — it refuses new
+//! connections (with a typed wire error, not a silent close) when the
+//! active-connection cap is hit or the bounded hand-off queue is full —
+//! and a fixed pool of worker threads each own one connection at a
+//! time. Every connection gets its own [`Session`] over the shared
+//! [`Database`], so the commit pipeline's snapshot isolation, conflict
+//! detection, and group-commit batching apply to network clients
+//! exactly as they do to in-process ones.
+//!
+//! **Backpressure** has three layers, each with its own typed error:
+//! the accept queue ([`ErrorCode::Overload`] at admission), the
+//! connection cap ([`ErrorCode::TooManyConnections`]), and the commit
+//! pipeline's own log-submission queue (`CommitError::Overload`,
+//! forwarded losslessly as [`ErrorCode::Overload`] with the queue
+//! capacity in the detail field).
+//!
+//! **Graceful drain**: [`Server::shutdown`] (or a wire
+//! [`Request::Shutdown`]) stops admission and asks every worker to
+//! finish. A request already read — including one whose commit is
+//! waiting on the log writer — completes and its response is written;
+//! idle connections get a [`Response::Goodbye`] at the next tick; then
+//! [`Server::join`] returns.
+
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use txlog_base::obs::{Counter, Metrics};
+use txlog_engine::db::{CommitError, Database, Session};
+use txlog_engine::Env;
+use txlog_logic::{parse_fformula, parse_fterm, FTerm, ParseCtx};
+use txlog_relational::{DbState, Schema};
+
+use crate::frame::{read_frame_timeout, write_frame, ReadOutcome, DEFAULT_MAX_FRAME_LEN};
+use crate::proto::{ErrorCode, Request, Response, WireError, PROTOCOL_VERSION};
+
+/// Tunables for [`Server::bind_with`]. [`Default`] is sized for tests
+/// and small deployments; every knob exists so the end-to-end tests
+/// can force each backpressure path deterministically.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Connections allowed to be active (queued or being served) at
+    /// once; the accept thread refuses the rest with
+    /// [`ErrorCode::TooManyConnections`].
+    pub max_connections: usize,
+    /// Capacity of the bounded accept→worker hand-off queue; when it
+    /// is full the accept thread refuses with [`ErrorCode::Overload`].
+    pub accept_queue: usize,
+    /// Worker threads, each serving one connection at a time.
+    pub workers: usize,
+    /// How long a connection may sit between requests before the
+    /// server closes it with a [`Response::Goodbye`].
+    pub idle_timeout: Duration,
+    /// How long a started frame may take to finish arriving.
+    pub read_timeout: Duration,
+    /// Bound on a single frame's payload.
+    pub max_frame_len: u32,
+    /// Name reported in the [`Response::Welcome`] handshake.
+    pub server_name: String,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            max_connections: 64,
+            accept_queue: 16,
+            workers: 8,
+            idle_timeout: Duration::from_secs(60),
+            read_timeout: Duration::from_secs(10),
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            server_name: "txlog".to_string(),
+        }
+    }
+}
+
+/// State shared by the accept thread, the workers, and the [`Server`]
+/// handle.
+struct Shared {
+    db: Arc<Database>,
+    cfg: ServerConfig,
+    /// Connections admitted and not yet finished (queued or served).
+    active: AtomicUsize,
+    /// Set once; every loop in the server polls it.
+    stop: AtomicBool,
+    /// The bound address, used to self-connect and wake the blocking
+    /// `accept` when shutdown is requested from outside.
+    addr: SocketAddr,
+}
+
+impl Shared {
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    fn metrics(&self) -> &Metrics {
+        self.db.metrics()
+    }
+
+    /// Flip the stop flag and wake the accept thread. Idempotent.
+    fn trigger_shutdown(&self) {
+        if self.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // The accept thread blocks in accept(); a throwaway local
+        // connection wakes it so it can observe the flag and exit.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+    }
+}
+
+/// A running server. Dropping it shuts down and joins every thread;
+/// call [`Server::shutdown`] + [`Server::join`] to do the same
+/// explicitly.
+pub struct Server {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind with default [`ServerConfig`]. Pass port 0 to let the OS
+    /// pick; read the result back with [`Server::local_addr`].
+    pub fn bind(db: Arc<Database>, addr: impl ToSocketAddrs) -> io::Result<Server> {
+        Server::bind_with(db, addr, ServerConfig::default())
+    }
+
+    /// Bind a listener and start the accept thread and worker pool.
+    pub fn bind_with(
+        db: Arc<Database>,
+        addr: impl ToSocketAddrs,
+        cfg: ServerConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            db,
+            cfg,
+            active: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            addr: local,
+        });
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(shared.cfg.accept_queue.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let mut workers = Vec::with_capacity(shared.cfg.workers.max(1));
+        for i in 0..shared.cfg.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            let rx = Arc::clone(&rx);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("txlog-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &rx))?,
+            );
+        }
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("txlog-accept".to_string())
+                .spawn(move || accept_loop(&shared, &listener, &tx))?
+        };
+        Ok(Server {
+            shared,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The database this server fronts.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.shared.db
+    }
+
+    /// Begin a graceful drain: stop admitting, let in-flight requests
+    /// finish, close idle connections with a goodbye. Returns
+    /// immediately; [`Server::join`] waits for the drain to complete.
+    pub fn shutdown(&self) {
+        self.shared.trigger_shutdown();
+    }
+
+    /// Wait until every worker and the accept thread have exited.
+    pub fn join(mut self) {
+        self.join_inner();
+    }
+
+    fn join_inner(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shared.trigger_shutdown();
+        self.join_inner();
+    }
+}
+
+/// Best-effort: write one response frame and forget the connection.
+/// Used on the admission path, where blocking the accept thread on a
+/// slow peer would stall every other client.
+fn send_and_close(shared: &Shared, mut stream: TcpStream, resp: &Response) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    if write_frame(&mut stream, &resp.encode(), shared.cfg.max_frame_len).is_ok() {
+        shared.metrics().bump(Counter::ServerFramesOut);
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &SyncSender<TcpStream>) {
+    for conn in listener.incoming() {
+        if shared.stopping() {
+            break;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        if shared.active.load(Ordering::Acquire) >= shared.cfg.max_connections {
+            shared.metrics().bump(Counter::ServerConnsRejected);
+            let err = WireError::new(
+                ErrorCode::TooManyConnections,
+                "connection cap reached; try again later",
+            )
+            .with_detail(shared.cfg.max_connections as u64);
+            send_and_close(shared, stream, &Response::Error(err));
+            continue;
+        }
+        match tx.try_send(stream) {
+            Ok(()) => {
+                shared.active.fetch_add(1, Ordering::AcqRel);
+                shared.metrics().bump(Counter::ServerConnsAccepted);
+            }
+            Err(TrySendError::Full(stream)) => {
+                shared.metrics().bump(Counter::ServerConnsRejected);
+                shared.metrics().bump(Counter::ServerOverloads);
+                let err =
+                    WireError::new(ErrorCode::Overload, "accept queue full; back off and retry")
+                        .with_detail(shared.cfg.accept_queue as u64);
+                send_and_close(shared, stream, &Response::Error(err));
+            }
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+    // Dropping `tx` (by returning) ends every worker's recv loop.
+}
+
+/// Decrements the active-connection count however the handler exits.
+struct ActiveGuard<'a>(&'a AtomicUsize);
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
+    loop {
+        // Take the lock only to receive; holding it during handling
+        // would serialize the whole pool onto one connection.
+        let stream = match rx.lock() {
+            Ok(guard) => match guard.recv() {
+                Ok(s) => s,
+                Err(_) => return,
+            },
+            Err(_) => return,
+        };
+        let _guard = ActiveGuard(&shared.active);
+        if shared.stopping() {
+            // Admitted before the drain began, picked up after: refuse
+            // rather than start a session that would be cut short.
+            send_and_close(
+                shared,
+                stream,
+                &Response::Error(WireError::new(
+                    ErrorCode::Unavailable,
+                    "server is shutting down",
+                )),
+            );
+            continue;
+        }
+        handle_conn(shared, stream);
+    }
+}
+
+/// Everything one connection owns: its session (snapshot + commit
+/// pipeline access), its residual receive buffer, and the staged
+/// transaction opened by `Begin`, if any.
+struct Conn<'a> {
+    session: Session<'a>,
+    ctx: ParseCtx,
+    staged: Option<Staged>,
+}
+
+/// A multi-request transaction in progress: the statements staged so
+/// far and the state they produce, used to answer queries inside the
+/// block before anything commits.
+struct Staged {
+    parts: Vec<FTerm>,
+    preview: DbState,
+}
+
+fn handle_conn(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let mut stream = stream;
+    let mut buf: Vec<u8> = Vec::new();
+    let metrics = shared.metrics().clone();
+    let send = |stream: &mut TcpStream, resp: &Response| -> io::Result<()> {
+        write_frame(stream, &resp.encode(), shared.cfg.max_frame_len)?;
+        metrics.bump(Counter::ServerFramesOut);
+        Ok(())
+    };
+
+    // ---- handshake: the first frame must be a matching Hello ----
+    let payload = match read_one(shared, &stream, &mut buf, &metrics) {
+        Some(p) => p,
+        None => return,
+    };
+    match Request::decode(&payload) {
+        Ok(Request::Hello { protocol, .. }) if protocol == PROTOCOL_VERSION => {
+            let relations = shared
+                .db
+                .schema()
+                .decls()
+                .iter()
+                .map(|d| d.name.to_string())
+                .collect();
+            let welcome = Response::Welcome {
+                protocol: PROTOCOL_VERSION,
+                server: shared.cfg.server_name.clone(),
+                head_version: shared.db.head_version(),
+                relations,
+            };
+            if send(&mut stream, &welcome).is_err() {
+                return;
+            }
+        }
+        Ok(Request::Hello { protocol, .. }) => {
+            let err = WireError::new(
+                ErrorCode::Protocol,
+                format!("server speaks protocol {PROTOCOL_VERSION}, client sent {protocol}"),
+            )
+            .with_detail(u64::from(PROTOCOL_VERSION));
+            let _ = send(&mut stream, &Response::Error(err));
+            return;
+        }
+        Ok(_) => {
+            let err = WireError::new(ErrorCode::Protocol, "expected Hello as the first request");
+            let _ = send(&mut stream, &Response::Error(err));
+            return;
+        }
+        Err(e) => {
+            metrics.bump(Counter::ServerDecodeErrors);
+            let err = WireError::new(ErrorCode::Decode, e.to_string());
+            let _ = send(&mut stream, &Response::Error(err));
+            return;
+        }
+    }
+
+    let mut conn = Conn {
+        session: shared.db.session(),
+        ctx: ParseCtx::new(shared.db.schema().decls().iter().map(|d| d.name)),
+        staged: None,
+    };
+
+    // ---- request loop ----
+    loop {
+        let payload = match read_one(shared, &stream, &mut buf, &metrics) {
+            Some(p) => p,
+            None => return,
+        };
+        let _span = metrics.span("server.request");
+        let resp = match Request::decode(&payload) {
+            Ok(req) => handle_request(shared, &mut conn, req),
+            Err(e) => {
+                metrics.bump(Counter::ServerDecodeErrors);
+                // The frame checksum held, so the stream is still in
+                // sync: report and keep the connection.
+                Response::Error(WireError::new(ErrorCode::Decode, e.to_string()))
+            }
+        };
+        if send(&mut stream, &resp).is_err() {
+            return;
+        }
+    }
+}
+
+/// Read one frame for the connection loop, translating every
+/// non-frame outcome into the right farewell. `None` means the
+/// connection is finished (the farewell, if any, has been written).
+fn read_one(
+    shared: &Shared,
+    stream: &TcpStream,
+    buf: &mut Vec<u8>,
+    metrics: &Metrics,
+) -> Option<Vec<u8>> {
+    let outcome = read_frame_timeout(
+        stream,
+        buf,
+        shared.cfg.idle_timeout,
+        shared.cfg.read_timeout,
+        shared.cfg.max_frame_len,
+        &|| shared.stopping(),
+    );
+    let farewell = |resp: Response| {
+        let mut s = stream;
+        let _ = s.set_write_timeout(Some(Duration::from_secs(1)));
+        if write_frame(&mut s, &resp.encode(), shared.cfg.max_frame_len).is_ok() {
+            metrics.bump(Counter::ServerFramesOut);
+        }
+        let _ = s.flush();
+    };
+    match outcome {
+        Ok(ReadOutcome::Frame(p)) => {
+            metrics.bump(Counter::ServerFramesIn);
+            Some(p)
+        }
+        Ok(ReadOutcome::Disconnected) => None,
+        Ok(ReadOutcome::IdleTimeout) => {
+            let reason = if shared.stopping() {
+                "server shutting down"
+            } else {
+                "idle timeout"
+            };
+            farewell(Response::Goodbye {
+                reason: reason.to_string(),
+            });
+            None
+        }
+        Ok(ReadOutcome::Stalled) => {
+            farewell(Response::Error(WireError::new(
+                ErrorCode::Protocol,
+                "request frame stalled mid-read",
+            )));
+            None
+        }
+        Ok(ReadOutcome::Corrupt(e)) => {
+            // A bad length or checksum means framing is lost; nothing
+            // after this point on the stream can be trusted.
+            metrics.bump(Counter::ServerDecodeErrors);
+            farewell(Response::Error(WireError::new(
+                ErrorCode::Decode,
+                e.to_string(),
+            )));
+            None
+        }
+        Err(_) => None,
+    }
+}
+
+fn handle_request(shared: &Shared, conn: &mut Conn<'_>, req: Request) -> Response {
+    match req {
+        Request::Hello { .. } => Response::Error(WireError::new(
+            ErrorCode::Protocol,
+            "handshake already complete",
+        )),
+        Request::Execute { label, program } => answer(do_execute(shared, conn, &label, &program)),
+        Request::Query { expr } => answer(query_value(shared, conn, &expr)),
+        Request::Ask { formula } => answer(query_truth(shared, conn, &formula)),
+        Request::Explain { target, program } => answer(explain(shared, conn, &target, program)),
+        Request::Begin => {
+            if conn.staged.is_some() {
+                return Response::Error(WireError::new(
+                    ErrorCode::BadState,
+                    "a transaction is already open",
+                ));
+            }
+            conn.session.refresh();
+            conn.staged = Some(Staged {
+                parts: Vec::new(),
+                preview: conn.session.state().clone(),
+            });
+            Response::Begun
+        }
+        Request::Commit { label } => match conn.staged.take() {
+            None => Response::Error(WireError::new(
+                ErrorCode::BadState,
+                "no transaction is open",
+            )),
+            Some(staged) => {
+                let composed = compose(staged.parts.clone());
+                match conn.session.commit(&label, &composed, &Env::new()) {
+                    Ok(c) => Response::Committed {
+                        version: c.version,
+                        retries: c.retries,
+                        forwarded: c.forwarded,
+                    },
+                    Err(e) => {
+                        if matches!(e, CommitError::Overload { .. }) {
+                            shared.metrics().bump(Counter::ServerOverloads);
+                        }
+                        // Keep the staged work so the client can abort
+                        // explicitly or retry the commit.
+                        conn.staged = Some(staged);
+                        Response::Error(WireError::from_commit(&e))
+                    }
+                }
+            }
+        },
+        Request::Abort => match conn.staged.take() {
+            None => Response::Error(WireError::new(
+                ErrorCode::BadState,
+                "no transaction is open",
+            )),
+            Some(staged) => Response::Aborted {
+                discarded: u32::try_from(staged.parts.len()).unwrap_or(u32::MAX),
+            },
+        },
+        Request::ShowState => {
+            let schema = shared.db.schema();
+            let text = with_view(conn, |state| render_state(schema, state));
+            Response::State { text }
+        }
+        Request::Metrics => Response::Metrics {
+            json: shared.metrics().snapshot().to_json(false),
+        },
+        Request::Shutdown => {
+            shared.trigger_shutdown();
+            // The reply goes out now; the connection closes at the
+            // next read boundary (read_one sees the stop flag), after
+            // any already-pipelined requests have been answered.
+            Response::ShuttingDown
+        }
+    }
+}
+
+fn answer(r: Result<Response, WireError>) -> Response {
+    match r {
+        Ok(resp) => resp,
+        Err(e) => Response::Error(e),
+    }
+}
+
+/// Fold staged statements into one transaction: `Λ` for an empty
+/// block, otherwise left-nested sequential composition.
+fn compose(parts: Vec<FTerm>) -> FTerm {
+    let mut it = parts.into_iter();
+    let Some(first) = it.next() else {
+        return FTerm::Identity;
+    };
+    it.fold(first, |acc, next| FTerm::Seq(Box::new(acc), Box::new(next)))
+}
+
+fn parse_err(e: txlog_base::TxError) -> WireError {
+    WireError::new(ErrorCode::Parse, e.to_string())
+}
+
+fn exec_err(e: txlog_base::TxError) -> WireError {
+    WireError::new(ErrorCode::Execution, e.to_string())
+}
+
+fn do_execute(
+    shared: &Shared,
+    conn: &mut Conn<'_>,
+    label: &str,
+    program: &str,
+) -> Result<Response, WireError> {
+    let tx = parse_fterm(program, &conn.ctx, &[]).map_err(parse_err)?;
+    match &mut conn.staged {
+        Some(staged) => {
+            // Inside a Begin block: run against the preview so the
+            // client sees its own writes, but commit nothing yet.
+            let engine = shared.db.engine().map_err(exec_err)?;
+            let next = engine
+                .execute(&staged.preview, &tx, &Env::new())
+                .map_err(exec_err)?;
+            staged.preview = next;
+            staged.parts.push(tx);
+            Ok(Response::Staged {
+                statements: u32::try_from(staged.parts.len()).unwrap_or(u32::MAX),
+            })
+        }
+        None => {
+            conn.session.refresh();
+            match conn.session.commit(label, &tx, &Env::new()) {
+                Ok(c) => Ok(Response::Executed {
+                    version: c.version,
+                    retries: c.retries,
+                    forwarded: c.forwarded,
+                }),
+                Err(e) => {
+                    if matches!(e, CommitError::Overload { .. }) {
+                        shared.metrics().bump(Counter::ServerOverloads);
+                    }
+                    Err(WireError::from_commit(&e))
+                }
+            }
+        }
+    }
+}
+
+/// The state a read-only request sees: the staged preview inside a
+/// transaction block, the freshly refreshed head outside one.
+fn with_view<T>(conn: &mut Conn<'_>, f: impl FnOnce(&DbState) -> T) -> T {
+    match &conn.staged {
+        Some(s) => f(&s.preview),
+        None => {
+            conn.session.refresh();
+            f(conn.session.state())
+        }
+    }
+}
+
+/// Render a state with the schema's relation names instead of raw
+/// relation identities, so `show` over the wire reads like the schema
+/// the client was welcomed with.
+fn render_state(schema: &Schema, state: &DbState) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("state {\n");
+    for d in schema.decls() {
+        let _ = write!(out, "  {}{{", d.name);
+        if let Some(rel) = state.relation(d.id) {
+            for (k, t) in rel.iter().enumerate() {
+                if k > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{t}");
+            }
+        }
+        out.push_str("}\n");
+    }
+    out.push('}');
+    out
+}
+
+fn query_value(shared: &Shared, conn: &mut Conn<'_>, expr: &str) -> Result<Response, WireError> {
+    let q = parse_fterm(expr, &conn.ctx, &[]).map_err(parse_err)?;
+    let engine = shared.db.engine().map_err(exec_err)?;
+    with_view(conn, |state| {
+        let v = engine.eval_obj(state, &q, &Env::new()).map_err(exec_err)?;
+        Ok(Response::Value {
+            text: format!("{v}"),
+        })
+    })
+}
+
+fn query_truth(shared: &Shared, conn: &mut Conn<'_>, formula: &str) -> Result<Response, WireError> {
+    let p = parse_fformula(formula, &conn.ctx, &[]).map_err(parse_err)?;
+    let engine = shared.db.engine().map_err(exec_err)?;
+    with_view(conn, |state| {
+        let value = engine
+            .eval_truth(state, &p, &Env::new())
+            .map_err(exec_err)?;
+        Ok(Response::Truth { value })
+    })
+}
+
+fn explain(
+    shared: &Shared,
+    conn: &mut Conn<'_>,
+    target: &str,
+    program: bool,
+) -> Result<Response, WireError> {
+    let engine = shared.db.engine().map_err(exec_err)?;
+    let text = if program {
+        let t = parse_fterm(target, &conn.ctx, &[]).map_err(parse_err)?;
+        engine.explain_program(&t).render()
+    } else {
+        let f = parse_fformula(target, &conn.ctx, &[]).map_err(parse_err)?;
+        engine.explain_formula(&f).render()
+    };
+    Ok(Response::Explained { text })
+}

@@ -17,6 +17,9 @@
 //! undo                         drop the last transaction
 //! :save <path>                 write schema + state as a checksummed snapshot
 //! :open <path>                 load a snapshot (replaces schema, resets history)
+//! :connect <addr>              attach to a txlog-serve instance; run/eval/ask/
+//!                              show (and begin/commit/abort) go over the wire
+//! :disconnect                  return to local mode
 //! help | quit
 //! ```
 
@@ -27,6 +30,9 @@ struct Repl {
     schema: Schema,
     states: Vec<DbState>,
     labels: Vec<String>,
+    /// When set, state-changing and query commands are forwarded to a
+    /// server instead of the local engine.
+    remote: Option<Client>,
 }
 
 impl Repl {
@@ -37,6 +43,7 @@ impl Repl {
             schema,
             states,
             labels: Vec::new(),
+            remote: None,
         }
     }
 
@@ -63,13 +70,88 @@ impl Repl {
         Ok(b.finish())
     }
 
+    /// Forward a command to the connected server. Returns `None` for
+    /// commands that stay local even while connected.
+    fn dispatch_remote(&mut self, cmd: &str, rest: &str) -> Option<TxResult<String>> {
+        let wire = |e: ClientError| TxError::eval(format!("{e}"));
+        let client = self.remote.as_mut()?;
+        let out = match cmd {
+            "run" => client.execute("repl", rest).map_err(wire).map(|c| {
+                // inside a transaction block the server stages instead
+                // of committing, and the client reports version 0
+                if c.version == 0 {
+                    "staged in the open transaction block".to_string()
+                } else {
+                    format!(
+                        "ok — committed as version {} ({} retries{})",
+                        c.version,
+                        c.retries,
+                        if c.forwarded { ", forwarded" } else { "" }
+                    )
+                }
+            }),
+            "eval" => client.query(rest).map_err(wire),
+            "ask" => client.ask(rest).map_err(wire).map(|v| format!("{v}")),
+            "show" => client.show_state().map_err(wire),
+            "explain" => client.explain(rest, false).map_err(wire),
+            "begin" => client.begin().map_err(wire).map(|()| "begun".to_string()),
+            "commit" => client
+                .commit(rest)
+                .map_err(wire)
+                .map(|c| format!("committed as version {} ({} retries)", c.version, c.retries)),
+            "abort" => client
+                .abort()
+                .map_err(wire)
+                .map(|n| format!("aborted; {n} staged statements discarded")),
+            ":metrics" => client.metrics_json().map_err(wire),
+            ":quit-server" => {
+                let r = client
+                    .shutdown_server()
+                    .map_err(wire)
+                    .map(|()| "server is draining".to_string());
+                self.remote = None;
+                r
+            }
+            ":disconnect" => {
+                self.remote = None;
+                Ok("back to local mode".to_string())
+            }
+            // history/undo/check/rel/:save/:open manipulate the local
+            // evolution history, which a remote server does not expose.
+            "history" | "undo" | "check" | "rel" | "save" | ":save" | "open" | ":open" => {
+                Ok(format!("{cmd} is local-only; :disconnect first"))
+            }
+            _ => return None,
+        };
+        Some(out)
+    }
+
     fn dispatch(&mut self, line: &str) -> TxResult<String> {
         let line = line.trim();
         let (cmd, rest) = match line.split_once(char::is_whitespace) {
             Some((c, r)) => (c, r.trim()),
             None => (line, ""),
         };
+        if cmd == ":connect" {
+            if rest.is_empty() {
+                return Err(TxError::eval("usage: :connect <addr>"));
+            }
+            let client = Client::connect(rest, "repl")
+                .map_err(|e| TxError::eval(format!("cannot connect to {rest}: {e}")))?;
+            let info = client.server_info().clone();
+            self.remote = Some(client);
+            return Ok(format!(
+                "connected to {} ({rest}): head version {}, relations [{}]",
+                info.server,
+                info.head_version,
+                info.relations.join(", ")
+            ));
+        }
+        if let Some(out) = self.dispatch_remote(cmd, rest) {
+            return out;
+        }
         match cmd {
+            ":disconnect" => Ok("not connected".to_string()),
             "rel" => {
                 let (name, attrs) = rest
                     .split_once('(')
@@ -180,6 +262,11 @@ commands:
   check <s-formula>    e.g. check forall s: state, e': 2tup . e' in s:EMP -> salary(e') <= 1000
   :save <path>         write schema + current state as a checksummed snapshot
   :open <path>         load a snapshot (replaces the schema, resets history)
+  :connect <addr>      attach to a txlog-serve instance (run/eval/ask/show go
+                       over the wire; begin/commit/abort stage transactions)
+  :disconnect          return to local mode
+  :metrics             (connected) the server's metrics snapshot as JSON
+  :quit-server         (connected) ask the server to drain and shut down
   show | history | undo | quit";
 
 fn main() {

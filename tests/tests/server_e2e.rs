@@ -1,0 +1,433 @@
+//! End-to-end tests for the wire-protocol server, over real loopback
+//! sockets: handshake discipline, execute/query round-trips, typed
+//! wire errors for constraint violations and admission-control
+//! rejections, staged transaction blocks, and graceful drain — a
+//! shutdown must answer every request already on the wire (including
+//! a commit paused inside constraint validation) before the server
+//! exits.
+//!
+//! The CI `server` job runs exactly this file with
+//! `RUST_TEST_THREADS=8`, so these tests are written to tolerate
+//! running concurrently: every server binds port 0 and no test uses a
+//! fixed address.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use txlog::engine::{CommitConstraint, Database};
+use txlog::prelude::*;
+use txlog::server::frame::{encode_frame, FRAME_HEADER_LEN};
+use txlog::server::{Request, Response, PROTOCOL_VERSION};
+
+fn crew_db() -> Arc<Database> {
+    let schema = Schema::new()
+        .relation("CREW", &["c-name", "c-rank"])
+        .expect("relation declares");
+    Arc::new(
+        Database::builder(schema)
+            .metrics(Metrics::enabled())
+            .build()
+            .expect("database builds"),
+    )
+}
+
+fn serve(db: Arc<Database>, cfg: ServerConfig) -> Server {
+    Server::bind_with(db, "127.0.0.1:0", cfg).expect("binds a loopback port")
+}
+
+fn quick_cfg() -> ServerConfig {
+    ServerConfig {
+        idle_timeout: Duration::from_secs(20),
+        read_timeout: Duration::from_secs(5),
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn handshake_then_execute_and_query_round_trip() {
+    let server = serve(crew_db(), quick_cfg());
+    let mut client = Client::connect(server.local_addr(), "e2e").expect("connects");
+    assert_eq!(client.server_info().protocol, PROTOCOL_VERSION);
+    assert_eq!(client.server_info().relations, vec!["CREW".to_string()]);
+    assert_eq!(client.server_info().head_version, 0);
+
+    let c = client
+        .execute("enlist", "insert(tuple('ada', 1), CREW)")
+        .expect("autocommit installs");
+    assert_eq!(c.version, 1);
+    assert!(client
+        .ask("exists e: 2tup . e in CREW & c-name(e) = 'ada'")
+        .expect("formula evaluates"));
+    let rendered = client.query("CREW").expect("query evaluates");
+    assert!(rendered.contains("ada"), "tuple renders: {rendered}");
+    let plan = client
+        .explain("exists e: 2tup . e in CREW", false)
+        .expect("explain renders");
+    assert!(!plan.is_empty());
+    let state = client.show_state().expect("state renders");
+    assert!(state.contains("CREW"), "state names the relation: {state}");
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn version_mismatch_is_a_typed_protocol_error() {
+    let server = serve(crew_db(), quick_cfg());
+    let mut stream = std::net::TcpStream::connect(server.local_addr()).expect("connects");
+    let hello = Request::Hello {
+        protocol: PROTOCOL_VERSION + 7,
+        client: "from the future".to_string(),
+    };
+    txlog::server::frame::write_frame(&mut stream, &hello.encode(), u32::MAX).expect("writes");
+    let mut buf = Vec::new();
+    match txlog::server::frame::read_frame_blocking(&mut stream, &mut buf, u32::MAX).expect("reads")
+    {
+        txlog::server::frame::ReadOutcome::Frame(payload) => {
+            match Response::decode(&payload).expect("decodes") {
+                Response::Error(e) => {
+                    assert_eq!(e.code, ErrorCode::Protocol);
+                    assert_eq!(e.detail, u64::from(PROTOCOL_VERSION));
+                }
+                other => panic!("expected a protocol error, got {other:?}"),
+            }
+        }
+        other => panic!("expected a frame, got {other:?}"),
+    }
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn constraint_violation_arrives_as_a_typed_wire_error() {
+    let schema = Schema::new()
+        .relation("STAFF", &["s-name", "pay"])
+        .expect("relation declares");
+    let ctx = ParseCtx::with_relations(&["STAFF"]);
+    let cap = parse_sformula(
+        "forall s: state, e': 2tup . e' in s:STAFF -> pay(e') <= 1000",
+        &ctx,
+    )
+    .expect("constraint parses");
+    let mut db = Database::builder(schema).build().expect("database builds");
+    db.add_constraint(Box::new(
+        txlog::constraints::SessionConstraint::new(
+            "pay-cap",
+            cap,
+            txlog::constraints::Hints::default(),
+        )
+        .expect("bounded window"),
+    ))
+    .expect("initial state satisfies the cap");
+
+    let server = serve(Arc::new(db), quick_cfg());
+    let mut client = Client::connect(server.local_addr(), "e2e").expect("connects");
+    let err = client
+        .execute("overpay", "insert(tuple('gus', 5000), STAFF)")
+        .expect_err("the cap rejects this commit");
+    match err {
+        ClientError::Server(e) => {
+            assert_eq!(e.code, ErrorCode::ConstraintViolation);
+            assert_eq!(e.message, "pay-cap", "the constraint name travels whole");
+        }
+        other => panic!("expected a typed server error, got {other}"),
+    }
+    // the connection survives a refused commit
+    let c = client
+        .execute("fair", "insert(tuple('ann', 500), STAFF)")
+        .expect("a compliant commit still installs");
+    assert_eq!(c.version, 1);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn staged_transaction_blocks_commit_atomically_and_abort_discards() {
+    let server = serve(crew_db(), quick_cfg());
+    let addr = server.local_addr();
+    let mut one = Client::connect(addr, "staging").expect("connects");
+    let mut other = Client::connect(addr, "observer").expect("connects");
+
+    one.begin().expect("block opens");
+    one.execute("a", "insert(tuple('ada', 1), CREW)")
+        .expect("stages");
+    one.execute("b", "insert(tuple('bea', 2), CREW)")
+        .expect("stages");
+    // the stager sees its own writes; the observer sees nothing yet
+    assert!(one
+        .ask("exists e: 2tup . e in CREW & c-name(e) = 'ada'")
+        .expect("evaluates"));
+    assert!(!other.ask("exists e: 2tup . e in CREW").expect("evaluates"));
+    let c = one.commit("both").expect("block commits");
+    assert_eq!(c.version, 1, "two staged statements are one commit");
+    assert!(other
+        .ask("exists e: 2tup . e in CREW & c-name(e) = 'bea'")
+        .expect("evaluates"));
+
+    // an aborted block leaves no trace
+    one.begin().expect("block reopens");
+    one.execute("c", "insert(tuple('cyd', 3), CREW)")
+        .expect("stages");
+    assert_eq!(one.abort().expect("aborts"), 1);
+    assert!(!other
+        .ask("exists e: 2tup . e in CREW & c-name(e) = 'cyd'")
+        .expect("evaluates"));
+
+    // block bookkeeping errors are BadState, not disconnects
+    match one.commit("nothing-open").expect_err("no block is open") {
+        ClientError::Server(e) => assert_eq!(e.code, ErrorCode::BadState),
+        other => panic!("expected BadState, got {other}"),
+    }
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn connection_cap_rejects_with_too_many_connections() {
+    let cfg = ServerConfig {
+        max_connections: 1,
+        ..quick_cfg()
+    };
+    let server = serve(crew_db(), cfg);
+    let addr = server.local_addr();
+    let _held = Client::connect(addr, "holder").expect("first connects");
+    match Client::connect(addr, "rejected").expect_err("cap refuses the second") {
+        ClientError::Server(e) => {
+            assert_eq!(e.code, ErrorCode::TooManyConnections);
+            assert_eq!(e.detail, 1, "the cap travels in the detail field");
+        }
+        other => panic!("expected a typed rejection, got {other}"),
+    }
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn overload_rejection_under_a_tiny_accept_queue() {
+    // One worker, a one-slot queue, and a generous connection cap: the
+    // worker is parked on the first connection, the queue holds the
+    // second, and every further connection must be refused with the
+    // typed Overload error until capacity frees up.
+    let cfg = ServerConfig {
+        max_connections: 64,
+        accept_queue: 1,
+        workers: 1,
+        ..quick_cfg()
+    };
+    let server = serve(crew_db(), cfg);
+    let addr = server.local_addr();
+    let _served = Client::connect(addr, "served").expect("first connects");
+    // the second is admitted into the queue; its handshake will not be
+    // answered while the lone worker is busy, so connect raw
+    let _queued = std::net::TcpStream::connect(addr).expect("second connects");
+    std::thread::sleep(Duration::from_millis(100));
+
+    let mut saw_overload = false;
+    for _ in 0..10 {
+        match Client::connect(addr, "flood") {
+            Err(ClientError::Server(e)) if e.code == ErrorCode::Overload => {
+                assert_eq!(e.detail, 1, "the queue capacity travels in the detail");
+                saw_overload = true;
+                break;
+            }
+            Err(ClientError::Server(e)) => panic!("unexpected rejection {e}"),
+            // a race with the queue draining is possible but the queue
+            // cannot drain while the only worker is held — keep trying
+            _ => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    assert!(
+        saw_overload,
+        "a full accept queue must refuse with Overload"
+    );
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn graceful_shutdown_answers_pipelined_requests_before_goodbye() {
+    let server = serve(crew_db(), quick_cfg());
+    let mut client = Client::connect(server.local_addr(), "pipeline").expect("connects");
+
+    // One write carrying two frames: an Execute and a Shutdown. The
+    // drain contract says both must be answered before the connection
+    // closes.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(
+        &encode_frame(
+            &Request::Execute {
+                label: "last-commit".to_string(),
+                program: "insert(tuple('zoe', 9), CREW)".to_string(),
+            }
+            .encode(),
+            u32::MAX,
+        )
+        .expect("frame fits"),
+    );
+    bytes.extend_from_slice(
+        &encode_frame(&Request::Shutdown.encode(), u32::MAX).expect("frame fits"),
+    );
+    client.send_raw(&bytes).expect("both frames leave");
+
+    match client.read_response().expect("first reply") {
+        Response::Executed { version, .. } => assert_eq!(version, 1),
+        other => panic!("expected Executed, got {other:?}"),
+    }
+    match client.read_response().expect("second reply") {
+        Response::ShuttingDown => {}
+        other => panic!("expected ShuttingDown, got {other:?}"),
+    }
+    // then the server says goodbye and the socket closes
+    match client.read_response() {
+        Ok(Response::Goodbye { .. }) | Err(ClientError::Disconnected) => {}
+        other => panic!("expected Goodbye or a clean close, got {other:?}"),
+    }
+    server.join();
+
+    // nothing was lost: a fresh server over the same database sees the
+    // drained commit... the database is gone with the server here, so
+    // assert via a new bind on a new database being independent — the
+    // real persistence story is the WAL, covered in wal tests.
+}
+
+#[test]
+fn shutdown_drains_an_in_flight_commit_and_farewells_idle_peers() {
+    // A commit constraint that parks mid-validation until released: the
+    // shutdown arrives while the commit is in flight, and the commit
+    // must still complete and be acknowledged. The gate is only armed
+    // after registration — `add_constraint` validates the initial
+    // state synchronously on this thread, and parking there would be a
+    // self-deadlock.
+    struct Gate {
+        armed: AtomicBool,
+        entered: AtomicBool,
+        release: AtomicBool,
+    }
+    struct SlowCheck(Arc<Gate>);
+    impl CommitConstraint for SlowCheck {
+        fn name(&self) -> &str {
+            "slow-check"
+        }
+        fn window_states(&self) -> usize {
+            1
+        }
+        fn affected_by(&self, _schema: &Schema, _delta: &Delta) -> bool {
+            true
+        }
+        fn check(&self, _schema: &Schema, _states: &[DbState], _labels: &[&str]) -> TxResult<bool> {
+            if !self.0.armed.load(Ordering::Acquire) {
+                return Ok(true);
+            }
+            self.0.entered.store(true, Ordering::Release);
+            while !self.0.release.load(Ordering::Acquire) {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Ok(true)
+        }
+    }
+
+    let gate = Arc::new(Gate {
+        armed: AtomicBool::new(false),
+        entered: AtomicBool::new(false),
+        release: AtomicBool::new(false),
+    });
+    let schema = Schema::new()
+        .relation("CREW", &["c-name", "c-rank"])
+        .expect("relation declares");
+    let mut db = Database::builder(schema).build().expect("database builds");
+    db.add_constraint(Box::new(SlowCheck(Arc::clone(&gate))))
+        .expect("initial state passes");
+    gate.armed.store(true, Ordering::Release);
+    let server = serve(Arc::new(db), quick_cfg());
+    let addr = server.local_addr();
+
+    let mut idle = Client::connect(addr, "idle").expect("idle peer connects");
+    let committer = std::thread::spawn(move || {
+        let mut c = Client::connect(addr, "committer").expect("connects");
+        c.execute("slow", "insert(tuple('ada', 1), CREW)")
+            .expect("the in-flight commit completes despite the drain")
+    });
+
+    // wait until the commit is provably inside constraint validation,
+    // then start the drain, then release the constraint
+    while !gate.entered.load(Ordering::Acquire) {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    server.shutdown();
+    std::thread::sleep(Duration::from_millis(50));
+    gate.release.store(true, Ordering::Release);
+
+    let commit = committer.join().expect("committer thread joins");
+    assert_eq!(commit.version, 1, "the drained commit installed");
+
+    // the idle peer is dismissed with a goodbye (or a clean close)
+    match idle.read_response() {
+        Ok(Response::Goodbye { reason }) => {
+            assert!(reason.contains("shutting down"), "reason: {reason}")
+        }
+        Err(ClientError::Disconnected) => {}
+        other => panic!("expected Goodbye, got {other:?}"),
+    }
+    server.join();
+}
+
+#[test]
+fn corrupt_frames_get_a_typed_decode_error_then_disconnect() {
+    let server = serve(crew_db(), quick_cfg());
+    let mut client = Client::connect(server.local_addr(), "corrupt").expect("connects");
+    let mut bad = encode_frame(b"garbage payload", u32::MAX).expect("frame fits");
+    bad[FRAME_HEADER_LEN + 2] ^= 0x80;
+    client.send_raw(&bad).expect("bytes leave");
+    match client.read_response().expect("the server answers first") {
+        Response::Error(e) => assert_eq!(e.code, ErrorCode::Decode),
+        other => panic!("expected a decode error, got {other:?}"),
+    }
+    // framing is lost, so the server hangs up
+    match client.read_response() {
+        Err(ClientError::Disconnected) => {}
+        other => panic!("expected a disconnect, got {other:?}"),
+    }
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn concurrent_clients_commit_disjoint_relations_without_protocol_errors() {
+    let mut schema = Schema::new();
+    for r in 0..4 {
+        schema = schema
+            .relation(&format!("R{r}"), &[&format!("k{r}"), &format!("v{r}")])
+            .expect("relation declares");
+    }
+    let db = Arc::new(
+        Database::builder(schema)
+            .metrics(Metrics::enabled())
+            .build()
+            .expect("database builds"),
+    );
+    let server = serve(Arc::clone(&db), quick_cfg());
+    let addr = server.local_addr();
+
+    let handles: Vec<_> = (0..4)
+        .map(|r| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr, &format!("worker-{r}")).expect("connects");
+                for i in 0..10u64 {
+                    c.execute(
+                        &format!("r{r}-{i}"),
+                        &format!("insert(tuple('t-{i}', {i}), R{r})"),
+                    )
+                    .expect("disjoint commits never conflict away");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread joins");
+    }
+    assert_eq!(db.head_version(), 40, "all forty commits installed");
+    assert_eq!(db.snapshot().total_tuples(), 40);
+    server.shutdown();
+    server.join();
+}
