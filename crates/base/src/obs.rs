@@ -170,11 +170,27 @@ pub enum Counter {
     /// Requests the server rejected with a wire `Overload` error (the
     /// commit pipeline's log submission queue was full).
     ServerOverloads,
+    /// Serializable commits aborted because a concurrently committed
+    /// delta intersected the session's accumulated read footprint (or
+    /// the bounded delta log was too short to certify it clean).
+    CommitSerializationFailures,
+    /// Sessions opened at `IsolationLevel::ReadCommitted` (after any
+    /// escalation).
+    SessionsReadCommitted,
+    /// Sessions opened at `IsolationLevel::Snapshot` (after any
+    /// escalation).
+    SessionsSnapshot,
+    /// Sessions opened at `IsolationLevel::Serializable`.
+    SessionsSerializable,
+    /// Read-committed session requests escalated to Snapshot because
+    /// the database carries multi-state (window ≥ 2) constraints that
+    /// statement-boundary re-pinning would break.
+    SessionsEscalated,
 }
 
 impl Counter {
     /// Every counter, in canonical (serialization) order.
-    pub const ALL: [Counter; 51] = [
+    pub const ALL: [Counter; 56] = [
         Counter::PlansCompiled,
         Counter::PrefilterCuts,
         Counter::ScanSteps,
@@ -226,6 +242,11 @@ impl Counter {
         Counter::ServerFramesOut,
         Counter::ServerDecodeErrors,
         Counter::ServerOverloads,
+        Counter::CommitSerializationFailures,
+        Counter::SessionsReadCommitted,
+        Counter::SessionsSnapshot,
+        Counter::SessionsSerializable,
+        Counter::SessionsEscalated,
     ];
 
     /// Stable snake_case name used in snapshots and reports.
@@ -282,6 +303,11 @@ impl Counter {
             Counter::ServerFramesOut => "srv_frames_out",
             Counter::ServerDecodeErrors => "srv_decode_errors",
             Counter::ServerOverloads => "srv_overloads",
+            Counter::CommitSerializationFailures => "commit_serialization_failures",
+            Counter::SessionsReadCommitted => "sessions_read_committed",
+            Counter::SessionsSnapshot => "sessions_snapshot",
+            Counter::SessionsSerializable => "sessions_serializable",
+            Counter::SessionsEscalated => "sessions_escalated",
         }
     }
 }

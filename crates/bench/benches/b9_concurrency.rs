@@ -222,10 +222,15 @@ fn report_commit_pipeline(_c: &mut Criterion) {
 
     // four writers contending on one relation: conflicts expected, but
     // every increment must survive serialization
-    let db = database(50).with_retry(txlog::engine::RetryPolicy {
-        max_retries: 64,
-        ..Default::default()
-    });
+    let (schema, initial) = populate(Sizes::scaled(50), 2).expect("population generates");
+    let db = Database::builder(schema)
+        .initial(initial)
+        .default_retry(txlog::engine::RetryPolicy {
+            max_retries: 64,
+            ..Default::default()
+        })
+        .build()
+        .expect("database builds");
     let tally = run_writers(&db, WRITERS, ROUNDS, |w, _| {
         raise_salary(&format!("emp-{w}"), 1)
     });

@@ -36,6 +36,7 @@ pub fn collect() -> Snapshot {
     plan_exercise(&metrics);
     cache_exercise(&metrics);
     commit_exercise(&metrics);
+    isolation_exercise(&metrics);
     wal_exercise(&metrics);
     group_commit_exercise(&metrics);
     server_exercise(&metrics);
@@ -163,10 +164,11 @@ fn commit_exercise(metrics: &Metrics) {
     };
     let note = parse_fterm("insert(tuple('note'), NOTES)", &ctx, &[]).expect("parses");
 
-    let mut db = Database::new(schema)
-        .expect("database builds")
-        .with_metrics(metrics.clone())
-        .with_retry(RetryPolicy::no_backoff(4));
+    let mut db = Database::builder(schema)
+        .metrics(metrics.clone())
+        .default_retry(RetryPolicy::no_backoff(4))
+        .build()
+        .expect("database builds");
     db.add_constraint(Box::new(
         SessionConstraint::new("pay-cap", cap, Hints::default()).expect("bounded window"),
     ))
@@ -209,6 +211,92 @@ fn commit_exercise(metrics: &Metrics) {
         .commit("overpay", &staff("gus", 5000), &env)
         .expect_err("cap violation rejected");
     assert!(matches!(err, CommitError::ConstraintViolation { .. }));
+}
+
+/// A single-threaded walk through the isolation-level machinery, so the
+/// per-level session counters and `commit_serialization_failures` are
+/// pinned non-zero in the baseline: one session opened at each level, a
+/// read-committed statement-boundary re-pin observing a concurrent
+/// commit, a serializable session whose read-set certification fails,
+/// and a read-committed request escalated to snapshot by a window-2
+/// constraint. Deterministic because there is exactly one thread.
+fn isolation_exercise(metrics: &Metrics) {
+    use txlog::constraints::{Hints, SessionConstraint};
+    use txlog::engine::{CommitError, Database, IsolationLevel, SessionOptions};
+    use txlog::prelude::Schema;
+
+    let schema = Schema::new()
+        .relation("STOCK", &["s-item", "s-count"])
+        .expect("relation");
+    let ctx = txlog::logic::ParseCtx::with_relations(&["STOCK"]);
+    let env = Env::new();
+    let item = |name: &str, n: u64| {
+        parse_fterm(&format!("insert(tuple('{name}', {n}), STOCK)"), &ctx, &[]).expect("parses")
+    };
+    let any_stock = parse_fformula("exists e: 2tup . e in STOCK", &ctx, &[]).expect("parses");
+
+    let db = Database::builder(schema)
+        .metrics(metrics.clone())
+        .build()
+        .expect("database builds");
+
+    // one session per level pins the per-level open counters
+    let mut rc = db.session_with(SessionOptions::read_committed());
+    let mut si = db.session_with(SessionOptions::snapshot());
+    let mut ssi = db.session_with(SessionOptions::serializable());
+    let mut writer = db.session();
+    writer
+        .commit("seed", &item("bolt", 10), &env)
+        .expect("commits");
+
+    // read committed re-pins at the statement boundary and sees the
+    // concurrent commit; snapshot stays on its pinned (empty) state
+    assert!(rc.ask(&any_stock, &env).expect("asks"));
+    assert!(!si.ask(&any_stock, &env).expect("asks"));
+
+    // serializable certifies the read set: a concurrent commit that
+    // touches an observed relation aborts the session's own commit
+    ssi.refresh();
+    let _ = ssi.ask(&any_stock, &env).expect("asks");
+    writer
+        .commit("more", &item("nut", 5), &env)
+        .expect("commits");
+    let err = ssi
+        .commit("memo", &item("memo", 1), &env)
+        .expect_err("read-set certification fails");
+    assert!(matches!(err, CommitError::SerializationFailure { .. }));
+
+    // a window-2 constraint escalates a read-committed request
+    let schema = Schema::new()
+        .relation("WORKERS", &["w-name", "wage"])
+        .expect("relation");
+    let ctx = txlog::logic::ParseCtx::with_relations(&["WORKERS"]);
+    let mono = parse_sformula(
+        "forall s: state, t: tx, e: 2tup .
+           (s:e in s:WORKERS & (s;t):e in (s;t):WORKERS)
+             -> wage(s:e) <= wage((s;t):e)",
+        &ctx,
+    )
+    .expect("constraint parses");
+    let mut windowed = Database::builder(schema)
+        .metrics(metrics.clone())
+        .build()
+        .expect("database builds");
+    let transitive = Hints {
+        step_relation_transitive: true,
+        ..Hints::default()
+    };
+    windowed
+        .add_constraint(Box::new(
+            SessionConstraint::new("wage-mono", mono, transitive).expect("bounded window"),
+        ))
+        .expect("initial state satisfies the constraint");
+    let escalated = windowed.session_with(SessionOptions::read_committed());
+    assert_eq!(
+        escalated.isolation(),
+        IsolationLevel::Snapshot,
+        "a transition constraint forces statement-stable snapshots"
+    );
 }
 
 /// A durable commit run plus a torn-tail recovery, pinning the WAL and

@@ -99,6 +99,28 @@ impl SessionConstraint {
     pub fn read_set(&self) -> &ReadSet {
         &self.readset
     }
+
+    /// The weakest [`IsolationLevel`] at which sessions can soundly run
+    /// while this constraint is registered.
+    ///
+    /// A window-1 (static) constraint judges only the candidate state,
+    /// so even read-committed's statement-boundary re-pinning cannot
+    /// change its verdict. A window of two or more states judges a
+    /// *transition*, which requires the pre-state the session was
+    /// pinned to when the transaction executed — exactly what
+    /// read-committed gives up. [`Database::session_with`] enforces
+    /// this by escalating read-committed requests to snapshot whenever
+    /// such a constraint is registered.
+    ///
+    /// [`IsolationLevel`]: txlog_engine::IsolationLevel
+    /// [`Database::session_with`]: txlog_engine::Database::session_with
+    pub fn min_isolation(&self) -> txlog_engine::IsolationLevel {
+        if self.window >= 2 {
+            txlog_engine::IsolationLevel::Snapshot
+        } else {
+            txlog_engine::IsolationLevel::ReadCommitted
+        }
+    }
 }
 
 impl CommitConstraint for SessionConstraint {
@@ -153,6 +175,11 @@ mod tests {
         .unwrap();
         let c = SessionConstraint::new("cap", cap, Hints::default()).unwrap();
         assert_eq!(c.window_states(), 1);
+        assert_eq!(
+            c.min_isolation(),
+            txlog_engine::IsolationLevel::ReadCommitted,
+            "a static constraint is safe under statement-level snapshots"
+        );
     }
 
     #[test]
@@ -172,6 +199,11 @@ mod tests {
         };
         let c = SessionConstraint::new("mono", mono, transitive).unwrap();
         assert_eq!(c.window_states(), 2);
+        assert_eq!(
+            c.min_isolation(),
+            txlog_engine::IsolationLevel::Snapshot,
+            "a transition constraint needs a stable pre-state"
+        );
     }
 
     #[test]

@@ -74,8 +74,9 @@ pub mod prelude {
     pub use txlog_engine::{
         check_program, Binding, Commit, CommitConstraint, CommitError, Database, DatabaseBuilder,
         Durability, Engine, EngineBuilder, Env, EvalOptions, Execution, Explain, FileStore,
-        Footprint, LogStore, MemStore, Model, ModelBuilder, ProgramKind, RecoveryReport,
-        RetryPolicy, Session, SetVal, SourceKind, StateVal, Value, WalError,
+        Footprint, IsolationLevel, LogStore, MemStore, Model, ModelBuilder, ProgramKind,
+        RecoveryReport, RetryPolicy, Session, SessionOptions, SetVal, SourceKind, StateVal, Value,
+        WalError,
     };
     pub use txlog_logic::{
         parse_fformula, parse_fterm, parse_sformula, parse_sformula_with_params, CmpOp, FFormula,

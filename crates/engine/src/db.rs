@@ -108,63 +108,180 @@ pub trait CommitConstraint: Send + Sync {
 }
 
 /// The static read/write footprint of a transaction: an
-/// over-approximation of every relation executing it can touch.
+/// over-approximation of every relation executing it can touch, split
+/// into the relations it may *read* and those it may *write*.
 ///
 /// `foreach`/quantifier/set-former variables bounded by a membership
-/// conjunct (`x ∈ R ∧ …`) contribute their relation; the write
-/// primitives contribute their target relation, with `modify` resolved
-/// through the enumeration binding of its tuple variable. Anything the
-/// analysis cannot bound — program variables, tuple parameters, atom
-/// quantifiers (whose domain is every atom in the state), user
-/// functions — poisons the footprint to [`Footprint::all`], which
-/// conflicts with every concurrent commit (always sound, never clever).
+/// conjunct (`x ∈ R ∧ …`) contribute their relation to the read set;
+/// the write primitives contribute their target relation to the write
+/// set, with `modify` resolved through the enumeration binding of its
+/// tuple variable. Anything the analysis cannot bound — program
+/// variables, tuple parameters, atom quantifiers (whose domain is every
+/// atom in the state), user functions — poisons the footprint to
+/// [`Footprint::all`], which conflicts with every concurrent commit
+/// (always sound, never clever).
+///
+/// The read/write split is what the [`IsolationLevel`] spectrum prices:
+/// snapshot sessions validate the *union* against concurrent deltas,
+/// read-committed sessions only their write set, and serializable
+/// sessions additionally certify the session's accumulated statement
+/// reads at commit time.
 #[derive(Clone, PartialEq, Eq, Debug)]
-pub struct Footprint(Option<BTreeSet<Symbol>>);
+pub struct Footprint {
+    /// Relations the program may read; `None` when unbounded.
+    reads: Option<BTreeSet<Symbol>>,
+    /// Relations the program may write; `None` when unbounded.
+    writes: Option<BTreeSet<Symbol>>,
+}
+
+/// Whether a (possibly unbounded) relation set intersects the relations
+/// a delta touched. Unbounded sets overlap every non-empty delta;
+/// relations the schema does not know are treated as overlapping.
+fn set_overlaps_delta(set: &Option<BTreeSet<Symbol>>, schema: &Schema, delta: &Delta) -> bool {
+    match set {
+        None => !delta.is_empty(),
+        Some(rels) => delta
+            .touched()
+            .any(|rid| schema.by_id(rid).map_or(true, |d| rels.contains(&d.name))),
+    }
+}
 
 impl Footprint {
-    /// The unbounded footprint: may touch anything.
+    /// The unbounded footprint: may read and write anything.
     pub fn all() -> Footprint {
-        Footprint(None)
+        Footprint {
+            reads: None,
+            writes: None,
+        }
+    }
+
+    /// The empty footprint: provably touches nothing. The identity of
+    /// [`Footprint::merge`], used as the seed of a session's accumulated
+    /// read set.
+    pub fn empty() -> Footprint {
+        Footprint {
+            reads: Some(BTreeSet::new()),
+            writes: Some(BTreeSet::new()),
+        }
     }
 
     /// Analyze a transaction program.
     pub fn of_program(t: &FTerm) -> Footprint {
         let mut w = FpWalker {
-            rels: BTreeSet::new(),
+            reads: BTreeSet::new(),
+            writes: BTreeSet::new(),
             bound: Vec::new(),
         };
         if w.term(t) {
-            Footprint(Some(w.rels))
+            Footprint {
+                reads: Some(w.reads),
+                writes: Some(w.writes),
+            }
         } else {
-            Footprint(None)
+            Footprint::all()
+        }
+    }
+
+    /// Analyze a truth-valued formula: everything it touches is a read.
+    pub fn of_formula(p: &FFormula) -> Footprint {
+        let mut w = FpWalker {
+            reads: BTreeSet::new(),
+            writes: BTreeSet::new(),
+            bound: Vec::new(),
+        };
+        if w.formula(p) {
+            Footprint {
+                reads: Some(w.reads),
+                writes: Some(w.writes),
+            }
+        } else {
+            Footprint::all()
         }
     }
 
     /// True iff the analysis could not bound the footprint.
     pub fn is_all(&self) -> bool {
-        self.0.is_none()
+        self.reads.is_none() || self.writes.is_none()
     }
 
-    /// The bounded relation set, if the analysis produced one.
-    pub fn rels(&self) -> Option<&BTreeSet<Symbol>> {
-        self.0.as_ref()
+    /// The bounded read set, if the analysis produced one.
+    pub fn reads(&self) -> Option<&BTreeSet<Symbol>> {
+        self.reads.as_ref()
     }
 
-    /// Whether this footprint intersects the relations a delta touched.
-    /// Unbounded footprints overlap every non-empty delta; relations the
-    /// schema does not know are treated as overlapping.
-    pub fn overlaps_delta(&self, schema: &Schema, delta: &Delta) -> bool {
-        match &self.0 {
-            None => !delta.is_empty(),
-            Some(rels) => delta
-                .touched()
-                .any(|rid| schema.by_id(rid).map_or(true, |d| rels.contains(&d.name))),
+    /// The bounded write set, if the analysis produced one.
+    pub fn writes(&self) -> Option<&BTreeSet<Symbol>> {
+        self.writes.as_ref()
+    }
+
+    /// The bounded relation set — the union of reads and writes — if
+    /// the analysis produced one.
+    pub fn rels(&self) -> Option<BTreeSet<Symbol>> {
+        match (&self.reads, &self.writes) {
+            (Some(r), Some(w)) => Some(r.union(w).copied().collect()),
+            _ => None,
         }
+    }
+
+    /// Everything this footprint touches, demoted to reads — how a
+    /// dry-run execution is accounted: nothing was written, but the
+    /// caller observed state derived from every relation the program
+    /// touched (a written relation's candidate content reveals its prior
+    /// content too).
+    pub fn as_reads(&self) -> Footprint {
+        Footprint {
+            reads: self.rels(),
+            writes: Some(BTreeSet::new()),
+        }
+    }
+
+    /// True when the read set is non-empty (or unbounded) — i.e. there
+    /// is something to certify.
+    pub fn has_reads(&self) -> bool {
+        self.reads.as_ref().map_or(true, |r| !r.is_empty())
+    }
+
+    /// Union `other` into this footprint; poison is absorbing.
+    pub fn merge(&mut self, other: &Footprint) {
+        self.reads = match (self.reads.take(), &other.reads) {
+            (Some(mut mine), Some(theirs)) => {
+                mine.extend(theirs.iter().copied());
+                Some(mine)
+            }
+            _ => None,
+        };
+        self.writes = match (self.writes.take(), &other.writes) {
+            (Some(mut mine), Some(theirs)) => {
+                mine.extend(theirs.iter().copied());
+                Some(mine)
+            }
+            _ => None,
+        };
+    }
+
+    /// Whether the full footprint (reads ∪ writes) intersects the
+    /// relations a delta touched — the snapshot-isolation conflict test.
+    pub fn overlaps_delta(&self, schema: &Schema, delta: &Delta) -> bool {
+        set_overlaps_delta(&self.reads, schema, delta)
+            || set_overlaps_delta(&self.writes, schema, delta)
+    }
+
+    /// Whether the write set intersects the relations a delta touched —
+    /// the read-committed (first-committer-wins) conflict test.
+    pub fn writes_overlap_delta(&self, schema: &Schema, delta: &Delta) -> bool {
+        set_overlaps_delta(&self.writes, schema, delta)
+    }
+
+    /// Whether the read set intersects the relations a delta touched —
+    /// the serializable read-certification test.
+    pub fn reads_overlap_delta(&self, schema: &Schema, delta: &Delta) -> bool {
+        set_overlaps_delta(&self.reads, schema, delta)
     }
 }
 
 struct FpWalker {
-    rels: BTreeSet<Symbol>,
+    reads: BTreeSet<Symbol>,
+    writes: BTreeSet<Symbol>,
     /// Enumeration variables currently in scope, newest last, each with
     /// the relation its membership conjunct bounds it to.
     bound: Vec<(Var, Symbol)>,
@@ -187,7 +304,7 @@ impl FpWalker {
         match v.sort {
             Sort::Obj(ObjSort::Tup(_)) => {
                 let rel = find_membership_rel(cond, v)?;
-                self.rels.insert(rel);
+                self.reads.insert(rel);
                 self.bound.push((v, rel));
                 Some(())
             }
@@ -211,7 +328,7 @@ impl FpWalker {
                 _ => false,
             },
             FTerm::Rel(r) => {
-                self.rels.insert(*r);
+                self.reads.insert(*r);
                 true
             }
             FTerm::Attr(_, inner) | FTerm::Select(inner, _) | FTerm::IdOf(inner) => {
@@ -242,17 +359,25 @@ impl FpWalker {
                 ok
             }
             FTerm::Insert(tup, rel) | FTerm::Delete(tup, rel) => {
-                self.rels.insert(*rel);
+                self.writes.insert(*rel);
                 self.term(tup)
             }
             FTerm::Modify(tup, _, val) | FTerm::ModifyAttr(tup, _, val) => {
                 // the write lands wherever the tuple lives; bounded only
                 // for a tuple variable whose relation the enumeration fixed
-                let target_known = matches!(&**tup, FTerm::Var(v) if self.lookup(*v).is_some());
-                target_known && self.term(val)
+                match &**tup {
+                    FTerm::Var(v) => match self.lookup(*v) {
+                        Some(rel) => {
+                            self.writes.insert(rel);
+                            self.term(val)
+                        }
+                        None => false,
+                    },
+                    _ => false,
+                }
             }
             FTerm::Assign(rel, set) => {
-                self.rels.insert(*rel);
+                self.writes.insert(*rel);
                 self.term(set)
             }
         }
@@ -328,6 +453,142 @@ impl RetryPolicy {
     }
 }
 
+/// The concurrency contract a [`Session`] runs under — which anomalies
+/// the session tolerates in exchange for cheaper commits.
+///
+/// * [`ReadCommitted`](IsolationLevel::ReadCommitted) re-pins the head
+///   snapshot at every statement boundary ([`Session::execute`],
+///   [`Session::prepare`], [`Session::ask`], and each commit call), and
+///   conflicts only on *write-write* overlap with concurrently
+///   committed deltas (first committer wins). Non-repeatable reads
+///   between statements are permitted; lost updates are not.
+/// * [`Snapshot`](IsolationLevel::Snapshot) — the default — keeps the
+///   session pinned to one snapshot and conflicts when the *full*
+///   program footprint (reads ∪ writes) overlaps concurrent deltas.
+///   Statements always see one consistent state; write skew across
+///   statement-level reads is permitted.
+/// * [`Serializable`](IsolationLevel::Serializable) extends snapshot
+///   validation with SSI-style read certification: the session
+///   accumulates the read footprint of every statement it runs, and a
+///   commit aborts with [`CommitError::SerializationFailure`] when any
+///   concurrently committed delta intersects that read set. Stale reads
+///   cannot be repaired by re-execution, so the failure is fatal rather
+///   than retried — callers restart the whole transaction.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub enum IsolationLevel {
+    /// Statement-level snapshots, write-write conflict detection only.
+    ReadCommitted,
+    /// One snapshot per transaction, full-footprint conflict detection.
+    #[default]
+    Snapshot,
+    /// Snapshot plus commit-time certification of accumulated reads.
+    Serializable,
+}
+
+impl IsolationLevel {
+    /// Every level, weakest first.
+    pub const ALL: [IsolationLevel; 3] = [
+        IsolationLevel::ReadCommitted,
+        IsolationLevel::Snapshot,
+        IsolationLevel::Serializable,
+    ];
+
+    /// Stable kebab-case name, used on the wire and in the REPL.
+    pub fn name(self) -> &'static str {
+        match self {
+            IsolationLevel::ReadCommitted => "read-committed",
+            IsolationLevel::Snapshot => "snapshot",
+            IsolationLevel::Serializable => "serializable",
+        }
+    }
+
+    /// Parse a level name as typed in a REPL (`read-committed`,
+    /// `snapshot`, `serializable`, plus the usual abbreviations).
+    pub fn parse(s: &str) -> Option<IsolationLevel> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "read-committed" | "read_committed" | "readcommitted" | "rc" => {
+                Some(IsolationLevel::ReadCommitted)
+            }
+            "snapshot" | "si" => Some(IsolationLevel::Snapshot),
+            "serializable" | "ssi" => Some(IsolationLevel::Serializable),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for IsolationLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-session configuration, consumed by [`Database::session_with`].
+///
+/// ```
+/// # use txlog_engine::db::{Database, IsolationLevel, RetryPolicy, SessionOptions};
+/// # use txlog_relational::Schema;
+/// # let schema = Schema::new().relation("EMP", &["name"]).unwrap();
+/// # let db = Database::new(schema).unwrap();
+/// let session = db.session_with(
+///     SessionOptions::serializable()
+///         .retry(RetryPolicy::no_backoff(4))
+///         .label_prefix("etl/"),
+/// );
+/// assert_eq!(session.isolation(), IsolationLevel::Serializable);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SessionOptions {
+    /// The session's isolation level.
+    pub isolation: IsolationLevel,
+    /// The session's retry policy; `None` inherits the database-wide
+    /// default ([`DatabaseBuilder::default_retry`]).
+    pub retry: Option<RetryPolicy>,
+    /// Prepended verbatim to every commit label this session produces —
+    /// a namespace for the history's transaction arcs.
+    pub label_prefix: Option<String>,
+}
+
+impl SessionOptions {
+    /// Default options: snapshot isolation, database-default retries.
+    pub fn new() -> SessionOptions {
+        SessionOptions::default()
+    }
+
+    /// Options at [`IsolationLevel::ReadCommitted`].
+    pub fn read_committed() -> SessionOptions {
+        SessionOptions::new().isolation(IsolationLevel::ReadCommitted)
+    }
+
+    /// Options at [`IsolationLevel::Snapshot`].
+    pub fn snapshot() -> SessionOptions {
+        SessionOptions::new().isolation(IsolationLevel::Snapshot)
+    }
+
+    /// Options at [`IsolationLevel::Serializable`].
+    pub fn serializable() -> SessionOptions {
+        SessionOptions::new().isolation(IsolationLevel::Serializable)
+    }
+
+    /// Set the isolation level.
+    pub fn isolation(mut self, level: IsolationLevel) -> SessionOptions {
+        self.isolation = level;
+        self
+    }
+
+    /// Set a session-specific retry policy (overrides the database
+    /// default).
+    pub fn retry(mut self, retry: RetryPolicy) -> SessionOptions {
+        self.retry = Some(retry);
+        self
+    }
+
+    /// Set the commit-label prefix.
+    pub fn label_prefix(mut self, prefix: impl Into<String>) -> SessionOptions {
+        self.label_prefix = Some(prefix.into());
+        self
+    }
+}
+
 /// Why a commit did not install.
 #[derive(Debug)]
 pub enum CommitError {
@@ -349,6 +610,17 @@ pub enum CommitError {
     RetriesExhausted {
         /// Total execution attempts made.
         attempts: u32,
+    },
+    /// A [`Serializable`](IsolationLevel::Serializable) session's
+    /// accumulated read set intersected a concurrently committed delta
+    /// (or the head's delta log no longer reached back far enough to
+    /// prove it did not). Stale reads cannot be repaired by
+    /// re-executing the commit, so this is fatal — restart the whole
+    /// transaction, reads included, from a fresh session or after
+    /// [`Session::refresh`].
+    SerializationFailure {
+        /// The head version the certification ran against.
+        head_version: u64,
     },
     /// The transaction failed to execute, or a constraint check errored.
     Execution(TxError),
@@ -383,6 +655,11 @@ impl fmt::Display for CommitError {
             CommitError::RetriesExhausted { attempts } => {
                 write!(f, "commit gave up after {attempts} conflicted attempts")
             }
+            CommitError::SerializationFailure { head_version } => write!(
+                f,
+                "commit aborted: a delta committed before version {head_version} \
+                 intersects this serializable session's reads"
+            ),
             CommitError::Execution(e) => write!(f, "commit failed to execute: {e}"),
             CommitError::Overload { capacity } => write!(
                 f,
@@ -410,6 +687,7 @@ impl std::error::Error for CommitError {
             CommitError::Conflict { .. }
             | CommitError::ConstraintViolation { .. }
             | CommitError::RetriesExhausted { .. }
+            | CommitError::SerializationFailure { .. }
             | CommitError::Overload { .. } => None,
         }
     }
@@ -551,7 +829,12 @@ pub struct Database {
     schema: Schema,
     opts: EvalOptions,
     metrics: Metrics,
+    /// Default retry policy for sessions that do not set their own
+    /// ([`SessionOptions::retry`]).
     retry: RetryPolicy,
+    /// Isolation level [`Database::session`] opens at
+    /// ([`DatabaseBuilder::default_isolation`]).
+    default_isolation: IsolationLevel,
     constraints: Vec<Box<dyn CommitConstraint>>,
     /// Largest constraint window, governing how many trailing states the
     /// head retains.
@@ -608,6 +891,7 @@ impl Database {
             opts: EvalOptions::default(),
             metrics: Metrics::current(),
             retry: RetryPolicy::default(),
+            default_isolation: IsolationLevel::default(),
             constraints: Vec::new(),
             max_window: 1,
             hook: None,
@@ -632,6 +916,7 @@ impl Database {
             opts: EvalOptions::default(),
             metrics: None,
             retry: RetryPolicy::default(),
+            default_isolation: IsolationLevel::default(),
             durability: Durability::Off,
             constraints: Vec::new(),
             queue_cap: DEFAULT_LOG_QUEUE_CAP,
@@ -667,7 +952,12 @@ impl Database {
         self
     }
 
-    /// Replace the commit retry policy.
+    /// Replace the database-wide default commit retry policy.
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure retries per session via `SessionOptions::retry`, or \
+                the database-wide default via `DatabaseBuilder::default_retry`"
+    )]
     pub fn with_retry(mut self, retry: RetryPolicy) -> Database {
         self.retry = retry;
         self
@@ -801,14 +1091,48 @@ impl Database {
         self.head.lock().expect("db head lock").version
     }
 
-    /// Open a session pinned to the current head.
+    /// The isolation level [`Database::session`] opens at.
+    pub fn default_isolation(&self) -> IsolationLevel {
+        self.default_isolation
+    }
+
+    /// Open a session at the database's default isolation level
+    /// ([`DatabaseBuilder::default_isolation`]; snapshot unless
+    /// configured otherwise), pinned to the current head.
     pub fn session(&self) -> Session<'_> {
+        self.session_with(SessionOptions::new().isolation(self.default_isolation))
+    }
+
+    /// Open a session with explicit [`SessionOptions`], pinned to the
+    /// current head.
+    ///
+    /// A [`ReadCommitted`](IsolationLevel::ReadCommitted) request is
+    /// *escalated* to [`Snapshot`](IsolationLevel::Snapshot) when the
+    /// database carries any registered constraint with a checkability
+    /// window of two or more states: transition constraints are judged
+    /// against a stable pre-state, and statement-boundary re-pinning is
+    /// exactly what makes the pre-state unstable. The escalation is
+    /// observable as the `sessions_escalated` counter.
+    pub fn session_with(&self, opts: SessionOptions) -> Session<'_> {
+        let mut opts = opts;
+        if opts.isolation == IsolationLevel::ReadCommitted && self.max_window >= 2 {
+            opts.isolation = IsolationLevel::Snapshot;
+            self.metrics.bump(Counter::SessionsEscalated);
+        }
+        self.metrics.bump(match opts.isolation {
+            IsolationLevel::ReadCommitted => Counter::SessionsReadCommitted,
+            IsolationLevel::Snapshot => Counter::SessionsSnapshot,
+            IsolationLevel::Serializable => Counter::SessionsSerializable,
+        });
         self.step(StepPoint::Pin);
         let head = self.head.lock().expect("db head lock");
         Session {
             db: self,
             base_version: head.version,
             base: Arc::clone(&head.state),
+            reads_since: head.version,
+            read_fp: Footprint::empty(),
+            opts,
         }
     }
 
@@ -944,6 +1268,7 @@ pub struct DatabaseBuilder {
     opts: EvalOptions,
     metrics: Option<Metrics>,
     retry: RetryPolicy,
+    default_isolation: IsolationLevel,
     durability: Durability,
     constraints: Vec<Box<dyn CommitConstraint>>,
     queue_cap: usize,
@@ -972,8 +1297,27 @@ impl DatabaseBuilder {
     }
 
     /// Commit retry policy.
-    pub fn retry(mut self, retry: RetryPolicy) -> DatabaseBuilder {
+    #[deprecated(
+        since = "0.1.0",
+        note = "renamed to `DatabaseBuilder::default_retry` (sessions can \
+                override it via `SessionOptions::retry`)"
+    )]
+    pub fn retry(self, retry: RetryPolicy) -> DatabaseBuilder {
+        self.default_retry(retry)
+    }
+
+    /// Default commit retry policy for sessions that do not set their
+    /// own ([`SessionOptions::retry`]).
+    pub fn default_retry(mut self, retry: RetryPolicy) -> DatabaseBuilder {
         self.retry = retry;
+        self
+    }
+
+    /// Isolation level [`Database::session`] opens at (default:
+    /// [`IsolationLevel::Snapshot`]). Sessions opened through
+    /// [`Database::session_with`] choose their own level explicitly.
+    pub fn default_isolation(mut self, level: IsolationLevel) -> DatabaseBuilder {
+        self.default_isolation = level;
         self
     }
 
@@ -1030,9 +1374,9 @@ impl DatabaseBuilder {
             Some(s) => s,
             None => self.schema.initial_state(),
         };
-        let mut db = Database::with_initial(self.schema, initial)?
-            .with_options(self.opts)
-            .with_retry(self.retry);
+        let mut db = Database::with_initial(self.schema, initial)?.with_options(self.opts);
+        db.retry = self.retry;
+        db.default_isolation = self.default_isolation;
         if let Some(m) = self.metrics {
             db = db.with_metrics(m);
         }
@@ -1096,8 +1440,9 @@ impl DatabaseBuilder {
         };
         let mut db = Database::with_initial(self.schema.clone(), state)?
             .with_options(self.opts)
-            .with_metrics(metrics.clone())
-            .with_retry(self.retry);
+            .with_metrics(metrics.clone());
+        db.retry = self.retry;
+        db.default_isolation = self.default_isolation;
         db.head.lock().expect("db head lock").version = version;
         if let Some((w, sync_every, checkpoint_every)) = wal {
             let committer = Arc::new(GroupCommitter::new(
@@ -1174,10 +1519,26 @@ enum AttemptError {
 
 /// A snapshot-pinned view of a [`Database`]: read freely, then commit
 /// optimistically. Cheap to open; hold one per writer.
+///
+/// The session's [`IsolationLevel`] (fixed at open by
+/// [`Database::session_with`]) governs what "pinned" means: snapshot
+/// and serializable sessions keep one snapshot until a commit or
+/// [`refresh`](Session::refresh) moves it; read-committed sessions
+/// re-pin to the head at every statement boundary. Serializable
+/// sessions additionally accumulate the static read footprint of every
+/// statement and certify it at commit time.
 pub struct Session<'db> {
     db: &'db Database,
     base_version: u64,
     base: Arc<DbState>,
+    /// The head version the accumulated read set is valid from: reads
+    /// taken since this version are certified against everything
+    /// committed after it (Serializable only).
+    reads_since: u64,
+    /// Union of the read footprints of every statement this session ran
+    /// since `reads_since` (Serializable only; stays empty elsewhere).
+    read_fp: Footprint,
+    opts: SessionOptions,
 }
 
 impl<'db> Session<'db> {
@@ -1196,28 +1557,84 @@ impl<'db> Session<'db> {
         self.base_version
     }
 
-    /// Re-pin the session to the current committed head.
+    /// The isolation level this session runs under (after any
+    /// constraint-window escalation — see [`Database::session_with`]).
+    pub fn isolation(&self) -> IsolationLevel {
+        self.opts.isolation
+    }
+
+    /// Re-pin the session to the current committed head. Also discards
+    /// the accumulated read set of a serializable session — the reads
+    /// are re-taken against the fresh snapshot.
     pub fn refresh(&mut self) {
         self.db.step(StepPoint::Pin);
         let head = self.db.head.lock().expect("db head lock");
         self.base_version = head.version;
         self.base = Arc::clone(&head.state);
+        drop(head);
+        self.reads_since = self.base_version;
+        self.read_fp = Footprint::empty();
     }
 
-    /// Execute a transaction against the snapshot *without* committing —
-    /// a dry run returning the candidate [`Execution`].
-    pub fn execute(&self, tx: &FTerm, env: &Env) -> TxResult<Execution> {
+    /// A statement boundary: read-committed sessions re-pin to the
+    /// current head here; everyone else keeps their snapshot.
+    fn pin_statement(&mut self) {
+        if self.opts.isolation == IsolationLevel::ReadCommitted {
+            self.refresh();
+        }
+    }
+
+    /// Record a statement's read footprint for commit-time
+    /// certification (serializable sessions only).
+    fn record_reads(&mut self, fp: &Footprint) {
+        if self.opts.isolation == IsolationLevel::Serializable {
+            self.read_fp.merge(fp);
+        }
+    }
+
+    /// The commit label with the session's configured prefix applied.
+    fn full_label<'a>(&self, label: &'a str) -> std::borrow::Cow<'a, str> {
+        match &self.opts.label_prefix {
+            Some(p) => std::borrow::Cow::Owned(format!("{p}{label}")),
+            None => std::borrow::Cow::Borrowed(label),
+        }
+    }
+
+    /// Execute a transaction against the session's view *without*
+    /// committing — a dry run returning the candidate [`Execution`].
+    /// A statement boundary: read-committed sessions re-pin first;
+    /// serializable sessions record the program's whole footprint as
+    /// reads (the caller observes state derived from everything the
+    /// program touched).
+    pub fn execute(&mut self, tx: &FTerm, env: &Env) -> TxResult<Execution> {
+        self.pin_statement();
+        self.record_reads(&Footprint::of_program(tx).as_reads());
         self.db.engine()?.execute_traced(&self.base, tx, env)
     }
 
-    /// Execute against the snapshot and package the result with the
-    /// transaction's footprint, ready for [`Session::commit_prepared`].
-    pub fn prepare(&self, tx: &FTerm, env: &Env) -> TxResult<Prepared> {
+    /// Evaluate a truth-valued formula against the session's view — a
+    /// statement boundary, like [`Session::execute`], with the
+    /// formula's footprint recorded as reads under
+    /// [`IsolationLevel::Serializable`].
+    pub fn ask(&mut self, p: &FFormula, env: &Env) -> TxResult<bool> {
+        self.pin_statement();
+        self.record_reads(&Footprint::of_formula(p));
+        self.db.engine()?.eval_truth(&self.base, p, env)
+    }
+
+    /// Execute against the session's view and package the result with
+    /// the transaction's footprint, ready for
+    /// [`Session::commit_prepared`]. A statement boundary, like
+    /// [`Session::execute`].
+    pub fn prepare(&mut self, tx: &FTerm, env: &Env) -> TxResult<Prepared> {
+        self.pin_statement();
+        let footprint = Footprint::of_program(tx);
+        self.record_reads(&footprint.as_reads());
         self.db.step(StepPoint::Execute);
         let execution = self.db.engine()?.execute_traced(&self.base, tx, env)?;
         Ok(Prepared {
             execution,
-            footprint: Footprint::of_program(tx),
+            footprint,
         })
     }
 
@@ -1258,7 +1675,8 @@ impl<'db> Session<'db> {
         prepared: &Prepared,
     ) -> Result<(Commit, CommitTicket), CommitError> {
         self.db.metrics.bump(Counter::CommitAttempts);
-        match self.attempt(label, prepared.execution.clone(), &prepared.footprint, 0) {
+        let label = self.full_label(label).into_owned();
+        match self.attempt(&label, prepared.execution.clone(), &prepared.footprint, 0) {
             Ok(r) => Ok(r),
             Err(AttemptError::Fatal(e)) => Err(e),
             Err(AttemptError::Conflicted { head_version, .. }) => {
@@ -1296,14 +1714,18 @@ impl<'db> Session<'db> {
     ) -> Result<Commit, CommitError> {
         let db = self.db;
         let engine = db.engine()?;
+        let label = self.full_label(label).into_owned();
+        // a commit is itself a statement boundary for read-committed
+        self.pin_statement();
         let footprint = Footprint::of_program(tx);
+        let policy = self.opts.retry.unwrap_or(db.retry);
         let mut retries = 0u32;
         loop {
             db.metrics.bump(Counter::CommitAttempts);
             db.step(StepPoint::Execute);
             // execute outside the lock, against the pinned snapshot
             let exec = engine.execute_traced(&self.base, tx, env)?;
-            match self.attempt(label, exec, &footprint, retries) {
+            match self.attempt(&label, exec, &footprint, retries) {
                 Ok((commit, ticket)) => {
                     // block for the group ack outside the head lock; a
                     // durability failure here is fatal (the commit is
@@ -1319,12 +1741,12 @@ impl<'db> Session<'db> {
                     if !retry {
                         return Err(CommitError::Conflict { head_version });
                     }
-                    if retries >= db.retry.max_retries {
+                    if retries >= policy.max_retries {
                         return Err(CommitError::RetriesExhausted {
                             attempts: retries + 1,
                         });
                     }
-                    let delay = db.retry.delay(retries);
+                    let delay = policy.delay(retries);
                     retries += 1;
                     db.metrics.bump(Counter::CommitRetries);
                     if !delay.is_zero() {
@@ -1357,6 +1779,31 @@ impl<'db> Session<'db> {
         let db = self.db;
         db.step(StepPoint::LockAcquire);
         let mut head = db.head.lock().expect("db head lock");
+        // SSI-style certification: a serializable session's accumulated
+        // statement reads must not intersect anything committed since
+        // they were taken. `reads_since` can trail `base_version` (a
+        // conflict re-pin moves the snapshot but cannot re-take reads
+        // the caller already observed), so this triggers even when the
+        // head looks unmoved from the snapshot's point of view. A
+        // too-short delta log cannot prove the reads unharmed, so it
+        // fails the certification too.
+        if self.opts.isolation == IsolationLevel::Serializable
+            && self.read_fp.has_reads()
+            && head.version > self.reads_since
+        {
+            let clean = match head.delta_since(self.reads_since) {
+                Some(concurrent) => !self.read_fp.reads_overlap_delta(&db.schema, &concurrent),
+                None => false,
+            };
+            if !clean {
+                let head_version = head.version;
+                drop(head);
+                db.metrics.bump(Counter::CommitSerializationFailures);
+                return Err(AttemptError::Fatal(CommitError::SerializationFailure {
+                    head_version,
+                }));
+            }
+        }
         if head.version == self.base_version {
             // head unmoved: validate, enqueue the record, install
             db.validate(&head, &exec.state, &exec.delta, label)
@@ -1379,6 +1826,8 @@ impl<'db> Session<'db> {
             drop(head);
             self.base_version = version;
             self.base = state;
+            self.reads_since = version;
+            self.read_fp = Footprint::empty();
             return Ok((
                 Commit {
                     version,
@@ -1391,10 +1840,17 @@ impl<'db> Session<'db> {
                 },
             ));
         }
-        // head moved: forward if provably disjoint from what landed
+        // head moved: forward if provably disjoint from what landed.
+        // Read-committed only demands first-committer-wins on write-write
+        // overlap; snapshot and serializable require the whole program
+        // footprint (reads included) to be untouched.
         if let Some(concurrent) = head.delta_since(self.base_version) {
-            let disjoint = !footprint.overlaps_delta(&db.schema, &concurrent)
-                || db.bug(ProtocolBug::ValidateAgainstSnapshot);
+            let disjoint = match self.opts.isolation {
+                IsolationLevel::ReadCommitted => {
+                    !footprint.writes_overlap_delta(&db.schema, &concurrent)
+                }
+                _ => !footprint.overlaps_delta(&db.schema, &concurrent),
+            } || db.bug(ProtocolBug::ValidateAgainstSnapshot);
             if disjoint {
                 let rebased = exec
                     .delta
@@ -1422,6 +1878,8 @@ impl<'db> Session<'db> {
                     drop(head);
                     self.base_version = version;
                     self.base = state;
+                    self.reads_since = version;
+                    self.read_fp = Footprint::empty();
                     return Ok((
                         Commit {
                             version,
@@ -1959,6 +2417,8 @@ mod tests {
         assert!(violated.source().is_none());
         let exhausted = CommitError::RetriesExhausted { attempts: 9 };
         assert!(exhausted.source().is_none());
+        let serialization = CommitError::SerializationFailure { head_version: 3 };
+        assert!(serialization.source().is_none());
         let overload = CommitError::Overload { capacity: 4 };
         assert!(overload.source().is_none());
         let execution = CommitError::Execution(TxError::eval("boom"));
@@ -1978,5 +2438,226 @@ mod tests {
         assert!(codec
             .downcast_ref::<txlog_relational::codec::CodecError>()
             .is_some());
+    }
+
+    #[test]
+    fn read_committed_repins_at_statement_boundaries() {
+        let db = Database::new(schema()).unwrap();
+        let mut rc = db.session_with(SessionOptions::read_committed());
+        let mut si = db.session_with(SessionOptions::snapshot());
+        let mut writer = db.session();
+        writer
+            .commit("hire", &tx("insert(tuple('ann', 500), EMP)"), &Env::new())
+            .unwrap();
+        let p = txlog_logic::parse_fformula("exists e: 2tup . e in EMP", &ctx(), &[]).unwrap();
+        assert!(
+            rc.ask(&p, &Env::new()).unwrap(),
+            "read committed re-pins at the statement boundary"
+        );
+        assert!(
+            !si.ask(&p, &Env::new()).unwrap(),
+            "snapshot keeps its pinned (empty) state"
+        );
+    }
+
+    #[test]
+    fn serializable_certifies_the_read_set() {
+        let m = Metrics::enabled();
+        let db = Database::new(schema()).unwrap().with_metrics(m.clone());
+        let mut ssi = db.session_with(SessionOptions::serializable());
+        let mut writer = db.session();
+        let p = txlog_logic::parse_fformula("exists e: 2tup . e in EMP", &ctx(), &[]).unwrap();
+        // the read is taken, then EMP moves under it
+        assert!(!ssi.ask(&p, &Env::new()).unwrap());
+        writer
+            .commit("hire", &tx("insert(tuple('ann', 500), EMP)"), &Env::new())
+            .unwrap();
+        // the commit's own footprint (LOG) is disjoint — a snapshot
+        // session would forward — but the *read* of EMP is stale
+        let err = ssi
+            .commit("memo", &tx("insert(tuple('audit'), LOG)"), &Env::new())
+            .expect_err("read-set certification must fail");
+        assert!(
+            matches!(err, CommitError::SerializationFailure { head_version: 1 }),
+            "got {err:?}"
+        );
+        assert_eq!(m.get(Counter::CommitSerializationFailures), 1);
+
+        // the same dance under snapshot isolation forwards cleanly
+        let mut si = db.session_with(SessionOptions::snapshot());
+        assert!(si.ask(&p, &Env::new()).unwrap());
+        writer
+            .commit("hire2", &tx("insert(tuple('bob', 400), EMP)"), &Env::new())
+            .unwrap();
+        let c = si
+            .commit("memo2", &tx("insert(tuple('audit-2'), LOG)"), &Env::new())
+            .expect("snapshot isolation ignores read-write conflicts");
+        assert!(c.forwarded);
+    }
+
+    #[test]
+    fn serializable_reads_reset_after_commit_and_refresh() {
+        let db = Database::new(schema()).unwrap();
+        let mut ssi = db.session_with(SessionOptions::serializable());
+        let mut writer = db.session();
+        let p = txlog_logic::parse_fformula("exists e: 2tup . e in EMP", &ctx(), &[]).unwrap();
+        assert!(!ssi.ask(&p, &Env::new()).unwrap());
+        writer
+            .commit("hire", &tx("insert(tuple('ann', 500), EMP)"), &Env::new())
+            .unwrap();
+        // refresh discards the stale read set; the next commit is clean
+        ssi.refresh();
+        ssi.commit("memo", &tx("insert(tuple('audit'), LOG)"), &Env::new())
+            .expect("refreshed reads certify");
+        // a successful commit also resets the reads: observing EMP
+        // *after* the writer moved it poisons nothing
+        assert!(ssi.ask(&p, &Env::new()).unwrap());
+        ssi.commit("memo2", &tx("insert(tuple('audit-2'), LOG)"), &Env::new())
+            .expect("reads taken at the current head certify");
+    }
+
+    #[test]
+    fn read_committed_forwards_on_write_write_disjointness_alone() {
+        let db = Database::new(schema()).unwrap();
+        let mut setup = db.session();
+        setup
+            .commit("hire", &tx("insert(tuple('ann', 500), EMP)"), &Env::new())
+            .unwrap();
+        // reads EMP, writes LOG — under snapshot the footprint overlaps
+        // any EMP delta; under read committed only the writes matter
+        let audit = tx("foreach e: 2tup | e in EMP do insert(tuple('seen'), LOG) end");
+        let raise = tx("foreach e: 2tup | e in EMP do modify(e, salary, salary(e) + 10) end");
+
+        let mut rc = db.session_with(SessionOptions::read_committed());
+        let prepared = rc.prepare(&audit, &Env::new()).unwrap();
+        setup.commit("raise", &raise, &Env::new()).unwrap();
+        let c = rc
+            .commit_prepared("audit", &prepared)
+            .expect("write-write disjoint commit forwards under read committed");
+        assert!(c.forwarded, "read committed ignores the stale EMP read");
+
+        let mut si = db.session_with(SessionOptions::snapshot());
+        let prepared = si.prepare(&audit, &Env::new()).unwrap();
+        setup.commit("raise-2", &raise, &Env::new()).unwrap();
+        let err = si
+            .commit_prepared("audit-2", &prepared)
+            .expect_err("the same stale read conflicts under snapshot");
+        assert!(matches!(err, CommitError::Conflict { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn session_retry_policy_overrides_the_database_default() {
+        let db = Database::new(schema()).unwrap();
+        let mut setup = db.session();
+        setup
+            .commit("hire", &tx("insert(tuple('ann', 500), EMP)"), &Env::new())
+            .unwrap();
+        let raise = tx("foreach e: 2tup | e in EMP do modify(e, salary, salary(e) + 10) end");
+        // a zero-retry session gives up on the first conflict even
+        // though the database default would have retried
+        let mut stubborn = db.session_with(SessionOptions::new().retry(RetryPolicy::no_backoff(0)));
+        setup.commit("raise-a", &raise, &Env::new()).unwrap();
+        let err = stubborn
+            .commit("raise-b", &raise, &Env::new())
+            .expect_err("zero retries exhausts on the first conflict");
+        assert!(
+            matches!(err, CommitError::RetriesExhausted { attempts: 1 }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn windowed_constraint_escalates_read_committed() {
+        struct TwoStateNoop;
+        impl CommitConstraint for TwoStateNoop {
+            fn name(&self) -> &str {
+                "two-state-noop"
+            }
+            fn window_states(&self) -> usize {
+                2
+            }
+            fn affected_by(&self, _: &Schema, _: &Delta) -> bool {
+                false
+            }
+            fn check(&self, _: &Schema, _: &[DbState], _: &[&str]) -> TxResult<bool> {
+                Ok(true)
+            }
+        }
+        let m = Metrics::enabled();
+        let mut db = Database::new(schema()).unwrap().with_metrics(m.clone());
+        db.add_constraint(Box::new(TwoStateNoop)).unwrap();
+        let s = db.session_with(SessionOptions::read_committed());
+        assert_eq!(
+            s.isolation(),
+            IsolationLevel::Snapshot,
+            "a window-2 constraint needs a statement-stable pre-state"
+        );
+        assert_eq!(m.get(Counter::SessionsEscalated), 1);
+        assert_eq!(m.get(Counter::SessionsSnapshot), 1);
+        assert_eq!(m.get(Counter::SessionsReadCommitted), 0);
+    }
+
+    #[test]
+    fn label_prefix_applies_to_commit_labels() {
+        use std::sync::Mutex;
+        #[derive(Default)]
+        struct LabelSpy(Mutex<Vec<String>>);
+        impl CommitConstraint for &'static LabelSpy {
+            fn name(&self) -> &str {
+                "label-spy"
+            }
+            fn window_states(&self) -> usize {
+                1
+            }
+            fn affected_by(&self, _: &Schema, _: &Delta) -> bool {
+                true
+            }
+            fn check(&self, _: &Schema, _: &[DbState], labels: &[&str]) -> TxResult<bool> {
+                let mut seen = self.0.lock().unwrap();
+                seen.extend(labels.iter().map(|l| l.to_string()));
+                Ok(true)
+            }
+        }
+        static SPY: LabelSpy = LabelSpy(Mutex::new(Vec::new()));
+        let mut db = Database::new(schema()).unwrap();
+        db.add_constraint(Box::new(&SPY)).unwrap();
+        let mut s = db.session_with(SessionOptions::new().label_prefix("job-7/"));
+        s.commit("hire", &tx("insert(tuple('ann', 500), EMP)"), &Env::new())
+            .unwrap();
+        assert!(
+            SPY.0.lock().unwrap().iter().any(|l| l == "job-7/hire"),
+            "the configured prefix lands on the validated label"
+        );
+    }
+
+    #[test]
+    fn deprecated_entry_points_still_work() {
+        #![allow(deprecated)]
+        let db = Database::new(schema())
+            .unwrap()
+            .with_retry(RetryPolicy::no_backoff(7));
+        assert_eq!(db.retry.max_retries, 7);
+        let db = Database::builder(schema())
+            .retry(RetryPolicy::no_backoff(3))
+            .build()
+            .unwrap();
+        assert_eq!(db.retry.max_retries, 3);
+    }
+
+    #[test]
+    fn isolation_level_parsing_and_names() {
+        for level in IsolationLevel::ALL {
+            assert_eq!(IsolationLevel::parse(level.name()), Some(level));
+        }
+        assert_eq!(
+            IsolationLevel::parse("rc"),
+            Some(IsolationLevel::ReadCommitted)
+        );
+        assert_eq!(IsolationLevel::parse("si"), Some(IsolationLevel::Snapshot));
+        assert_eq!(
+            IsolationLevel::parse("SSI"),
+            Some(IsolationLevel::Serializable)
+        );
+        assert_eq!(IsolationLevel::parse("chaos"), None);
     }
 }

@@ -34,7 +34,7 @@ pub mod wal;
 
 pub use db::{
     Commit, CommitConstraint, CommitError, CommitTicket, Database, DatabaseBuilder, Footprint,
-    Prepared, RetryPolicy, Session,
+    IsolationLevel, Prepared, RetryPolicy, Session, SessionOptions,
 };
 pub use env::{Binding, Env};
 pub use exec::{

@@ -55,17 +55,19 @@
 //! schedule, and a greedily minimized schedule; replay either with
 //! [`run_seeded`] / [`run_with_schedule`].
 
-use crate::db::{CommitError, CommitTicket, Database, Prepared, Session};
+use crate::db::{
+    CommitError, CommitTicket, Database, IsolationLevel, Prepared, Session, SessionOptions,
+};
 use crate::env::Env;
 use crate::group::WriterOp;
 use crate::wal::{recover_log, Durability, MemStore, WalError};
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex};
 use txlog_base::obs::Metrics;
 use txlog_base::{TxError, TxResult};
-use txlog_logic::FTerm;
+use txlog_logic::{FFormula, FTerm};
 use txlog_relational::codec::{crc32, encode_db_state, fingerprint_db_state};
 use txlog_relational::{DbState, Schema};
 
@@ -166,13 +168,39 @@ pub trait StepHook: Send + Sync {
 // Configuration
 // ---------------------------------------------------------------------------
 
-/// One scripted session: transactions committed in program order.
+/// One scripted step of a simulated session.
+#[derive(Clone, Debug)]
+pub enum SimStep {
+    /// Commit a transaction (pin a fresh snapshot, prepare, submit).
+    Tx(FTerm),
+    /// Read `guard` on the transaction's snapshot, then commit `tx`
+    /// only if the guard held — the read-then-write shape that
+    /// distinguishes snapshot isolation (the guard's reads are *not*
+    /// in the committed program's footprint, so write-skew can slip
+    /// through) from serializable (the session's accumulated reads are
+    /// certified at commit).
+    Guarded {
+        /// Truth-valued formula evaluated on the pinned snapshot.
+        guard: FFormula,
+        /// Committed only when the guard evaluated to true.
+        tx: FTerm,
+    },
+    /// Evaluate a formula through the session *without* committing
+    /// anything. Under read-committed the session re-pins to the head
+    /// first, so two `Read`s of the same formula can disagree — the
+    /// non-repeatable-read anomaly the explorer counts.
+    Read(FFormula),
+}
+
+/// One scripted session: steps executed in program order.
 #[derive(Clone, Debug)]
 pub struct SessionScript {
     /// Diagnostic name, used in commit labels.
     pub name: String,
-    /// The transactions, committed one after the other.
-    pub txs: Vec<FTerm>,
+    /// Isolation level the session opens with.
+    pub isolation: IsolationLevel,
+    /// The steps, executed one after the other.
+    pub steps: Vec<SimStep>,
 }
 
 /// Durability of the simulated database.
@@ -238,11 +266,28 @@ impl SimConfig {
         self
     }
 
-    /// Add a scripted session.
-    pub fn session(mut self, name: &str, txs: Vec<FTerm>) -> SimConfig {
+    /// Add a scripted session of plain transactions at the default
+    /// (snapshot) isolation level.
+    pub fn session(self, name: &str, txs: Vec<FTerm>) -> SimConfig {
+        self.session_at(
+            name,
+            IsolationLevel::Snapshot,
+            txs.into_iter().map(SimStep::Tx).collect(),
+        )
+    }
+
+    /// Add a scripted session of arbitrary [`SimStep`]s at an explicit
+    /// isolation level.
+    pub fn session_at(
+        mut self,
+        name: &str,
+        isolation: IsolationLevel,
+        steps: Vec<SimStep>,
+    ) -> SimConfig {
         self.sessions.push(SessionScript {
             name: name.to_string(),
-            txs,
+            isolation,
+            steps,
         });
         self
     }
@@ -392,6 +437,10 @@ pub enum AbortKind {
     Durability,
     /// The WAL was poisoned by an earlier failure.
     Poisoned,
+    /// A serializable session's read-set certification failed at
+    /// commit: something committed after its reads were taken
+    /// intersected them.
+    Serialization,
 }
 
 /// One entry of a run's event trace (deterministic: replaying a
@@ -439,6 +488,23 @@ pub enum TraceEvent {
         tx: usize,
         /// Why.
         reason: AbortKind,
+    },
+    /// A [`SimStep::Read`] observed a truth value through its session.
+    Read {
+        /// Session index.
+        session: usize,
+        /// Step index within the session's script.
+        tx: usize,
+        /// The observed truth value.
+        value: bool,
+    },
+    /// A [`SimStep::Guarded`] step's guard was false on the pinned
+    /// snapshot: the step completed without committing its transaction.
+    GuardSkipped {
+        /// Session index.
+        session: usize,
+        /// Step index within the session's script.
+        tx: usize,
     },
 }
 
@@ -544,6 +610,11 @@ pub struct SimOutcome {
     pub halted: Option<HaltInfo>,
     /// Whether the WAL ended the run poisoned.
     pub poisoned: bool,
+    /// Times a [`SimStep::Read`] re-observed a formula its session had
+    /// already read (with no intervening own commit) and saw a
+    /// *different* truth value — the non-repeatable-read anomaly,
+    /// reachable only under [`IsolationLevel::ReadCommitted`].
+    pub nonrepeatable: u64,
 }
 
 /// An oracle violation — the model checker found a bug (or was asked to
@@ -720,6 +791,7 @@ impl StepHook for SimHook {
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum Phase {
     Pin,
+    Guard,
     Prepare,
     Submit,
     AwaitAck,
@@ -733,6 +805,9 @@ struct Runner<'db> {
     attempts: u32,
     prepared: Option<Prepared>,
     ticket: Option<CommitTicket>,
+    /// Truth values this session observed per formula (rendered), since
+    /// its last own commit — the non-repeatable-read detector's memory.
+    obs: BTreeMap<String, bool>,
 }
 
 impl Runner<'_> {
@@ -814,6 +889,7 @@ pub fn run_schedule(cfg: &SimConfig, chooser: &mut dyn Chooser) -> TxResult<SimO
         violation: None,
         halted: None,
         poisoned: false,
+        nonrepeatable: 0,
     };
     let mut runners: Vec<Runner<'_>> = cfg
         .sessions
@@ -821,7 +897,7 @@ pub fn run_schedule(cfg: &SimConfig, chooser: &mut dyn Chooser) -> TxResult<SimO
         .map(|s| Runner {
             session: None,
             tx: 0,
-            phase: if s.txs.is_empty() {
+            phase: if s.steps.is_empty() {
                 Phase::Done
             } else {
                 Phase::Pin
@@ -829,6 +905,7 @@ pub fn run_schedule(cfg: &SimConfig, chooser: &mut dyn Chooser) -> TxResult<SimO
             attempts: 0,
             prepared: None,
             ticket: None,
+            obs: BTreeMap::new(),
         })
         .collect();
     // the log writer is the extra actor after the sessions
@@ -1015,11 +1092,45 @@ fn advance<'db>(
 ) -> TxResult<()> {
     let script = &cfg.sessions[i];
     let r = &mut runners[i];
+    // a standalone Read is one macro-step: it commits nothing, so the
+    // pin/prepare/submit machinery below never applies to it. The
+    // session is *not* refreshed — only read-committed sessions re-pin
+    // (inside `Session::ask`), which is exactly what makes the
+    // non-repeatable-read anomaly level-dependent.
+    if let SimStep::Read(p) = &script.steps[r.tx] {
+        if r.session.is_none() {
+            r.session = Some(db.session_with(SessionOptions::new().isolation(script.isolation)));
+        }
+        let sess = r.session.as_mut().expect("session just opened");
+        match sess.ask(p, env) {
+            Ok(value) => {
+                let key = format!("{p:?}");
+                if let Some(prev) = r.obs.insert(key, value) {
+                    if prev != value {
+                        out.nonrepeatable += 1;
+                    }
+                }
+                hook.note(TraceEvent::Read {
+                    session: i,
+                    tx: r.tx,
+                    value,
+                });
+                r.next_tx(script.steps.len());
+            }
+            Err(_) => {
+                abort(r, i, AbortKind::Execution, script.steps.len(), out, hook);
+            }
+        }
+        return Ok(());
+    }
     match r.phase {
         Phase::Pin => {
             match r.session.as_mut() {
                 Some(s) => s.refresh(),
-                None => r.session = Some(db.session()),
+                None => {
+                    r.session =
+                        Some(db.session_with(SessionOptions::new().isolation(script.isolation)));
+                }
             }
             let sess = r.session.as_ref().expect("session just pinned");
             let v = sess.version();
@@ -1037,17 +1148,44 @@ fn advance<'db>(
                         version: v,
                     });
             }
-            r.phase = Phase::Prepare;
+            r.phase = match &script.steps[r.tx] {
+                SimStep::Guarded { .. } => Phase::Guard,
+                _ => Phase::Prepare,
+            };
+        }
+        Phase::Guard => {
+            let SimStep::Guarded { guard, .. } = &script.steps[r.tx] else {
+                unreachable!("only guarded steps enter the guard phase")
+            };
+            let sess = r.session.as_mut().expect("pin precedes guard");
+            match sess.ask(guard, env) {
+                Ok(true) => r.phase = Phase::Prepare,
+                Ok(false) => {
+                    hook.note(TraceEvent::GuardSkipped {
+                        session: i,
+                        tx: r.tx,
+                    });
+                    r.next_tx(script.steps.len());
+                }
+                Err(_) => {
+                    abort(r, i, AbortKind::Execution, script.steps.len(), out, hook);
+                }
+            }
         }
         Phase::Prepare => {
-            let sess = r.session.as_ref().expect("pin precedes prepare");
-            match sess.prepare(&script.txs[r.tx], env) {
+            let tx = match &script.steps[r.tx] {
+                SimStep::Tx(t) => t,
+                SimStep::Guarded { tx, .. } => tx,
+                SimStep::Read(_) => unreachable!("reads are handled above"),
+            };
+            let sess = r.session.as_mut().expect("pin precedes prepare");
+            match sess.prepare(tx, env) {
                 Ok(p) => {
                     r.prepared = Some(p);
                     r.phase = Phase::Submit;
                 }
                 Err(_) => {
-                    abort(r, i, AbortKind::Execution, script.txs.len(), out, hook);
+                    abort(r, i, AbortKind::Execution, script.steps.len(), out, hook);
                 }
             }
         }
@@ -1081,11 +1219,14 @@ fn advance<'db>(
                         label,
                         forwarded: c.forwarded,
                     });
+                    // an own commit resets the non-repeatable-read
+                    // memory: later reads legitimately see a new state
+                    r.obs.clear();
                     if hook.injected_bug() == Some(ProtocolBug::AckUndurableCommits) {
                         // buggy protocol: acknowledge at install, before
                         // the group fsync — skip the await-ack phase
                         *claimed_acked = c.version;
-                        r.next_tx(script.txs.len());
+                        r.next_tx(script.steps.len());
                     } else if ticket.is_complete() {
                         // already acknowledged (no WAL configured, so
                         // nothing is pending): consume the result here
@@ -1093,12 +1234,12 @@ fn advance<'db>(
                         // await-ack phase that could never interleave
                         // with anything
                         match ticket.try_result() {
-                            Some(Ok(())) => r.next_tx(script.txs.len()),
+                            Some(Ok(())) => r.next_tx(script.steps.len()),
                             Some(Err(CommitError::Durability(WalError::Poisoned { .. }))) => {
-                                abort(r, i, AbortKind::Poisoned, script.txs.len(), out, hook);
+                                abort(r, i, AbortKind::Poisoned, script.steps.len(), out, hook);
                             }
                             Some(Err(_)) => {
-                                abort(r, i, AbortKind::Durability, script.txs.len(), out, hook);
+                                abort(r, i, AbortKind::Durability, script.steps.len(), out, hook);
                             }
                             None => unreachable!("complete tickets carry a result"),
                         }
@@ -1113,7 +1254,7 @@ fn advance<'db>(
                             r,
                             i,
                             AbortKind::RetriesExhausted,
-                            script.txs.len(),
+                            script.steps.len(),
                             out,
                             hook,
                         );
@@ -1122,21 +1263,33 @@ fn advance<'db>(
                     }
                 }
                 Err(CommitError::ConstraintViolation { .. }) => {
-                    abort(r, i, AbortKind::Constraint, script.txs.len(), out, hook);
+                    abort(r, i, AbortKind::Constraint, script.steps.len(), out, hook);
                 }
                 Err(CommitError::Execution(_)) => {
-                    abort(r, i, AbortKind::Execution, script.txs.len(), out, hook);
+                    abort(r, i, AbortKind::Execution, script.steps.len(), out, hook);
                 }
                 Err(CommitError::Overload { .. }) => {
-                    abort(r, i, AbortKind::Overload, script.txs.len(), out, hook);
+                    abort(r, i, AbortKind::Overload, script.steps.len(), out, hook);
                 }
                 Err(CommitError::Durability(WalError::Poisoned { .. })) => {
-                    abort(r, i, AbortKind::Poisoned, script.txs.len(), out, hook);
+                    abort(r, i, AbortKind::Poisoned, script.steps.len(), out, hook);
                 }
                 Err(CommitError::Durability(_)) => {
                     // submission was rejected before a version was
                     // consumed: nothing installed, nothing in doubt
-                    abort(r, i, AbortKind::Durability, script.txs.len(), out, hook);
+                    abort(r, i, AbortKind::Durability, script.steps.len(), out, hook);
+                }
+                Err(CommitError::SerializationFailure { .. }) => {
+                    // stale reads cannot be re-taken by re-executing:
+                    // the whole transaction aborts (no internal retry)
+                    abort(
+                        r,
+                        i,
+                        AbortKind::Serialization,
+                        script.steps.len(),
+                        out,
+                        hook,
+                    );
                 }
                 Err(CommitError::RetriesExhausted { .. }) => {
                     // submit_prepared never retries internally
@@ -1147,17 +1300,17 @@ fn advance<'db>(
         Phase::AwaitAck => {
             let ticket = r.ticket.take().expect("submit precedes await-ack");
             match ticket.try_result() {
-                Some(Ok(())) => r.next_tx(script.txs.len()),
+                Some(Ok(())) => r.next_tx(script.steps.len()),
                 Some(Err(CommitError::Durability(WalError::Poisoned { .. }))) => {
                     // the commit installed but its batch failed: the
                     // session sees an error (recorded in `aborted`)
                     // while the commit itself stays in `committed` —
                     // durable-or-not is exactly what the in-doubt set
                     // and the crash images track
-                    abort(r, i, AbortKind::Poisoned, script.txs.len(), out, hook);
+                    abort(r, i, AbortKind::Poisoned, script.steps.len(), out, hook);
                 }
                 Some(Err(_)) => {
-                    abort(r, i, AbortKind::Durability, script.txs.len(), out, hook);
+                    abort(r, i, AbortKind::Durability, script.steps.len(), out, hook);
                 }
                 None => unreachable!("await-ack runners are scheduled only once complete"),
             }
@@ -1299,7 +1452,16 @@ fn state_key(
         }
         r.prepared.is_some().hash(&mut h);
         r.ticket.is_some().hash(&mut h);
+        // the observation memory feeds the non-repeatable-read count:
+        // two states that differ only here still have different futures
+        // for the explorer's anomaly stats
+        r.obs.len().hash(&mut h);
+        for (k, v) in &r.obs {
+            k.hash(&mut h);
+            v.hash(&mut h);
+        }
     }
+    out.nonrepeatable.hash(&mut h);
     let head = db.snapshot();
     db.head_version().hash(&mut h);
     fingerprint_db_state(&head).hash(&mut h);
@@ -1392,6 +1554,13 @@ fn permutations_match(
 /// Replay the committed transactions in `order` through a fresh
 /// single-writer database from the base state; true when the replay
 /// runs to completion and lands `value_eq` to the final head.
+///
+/// Guards are honored: a committed [`SimStep::Guarded`] transaction
+/// only ran because its guard held on the session's snapshot, so a
+/// serial order in which the guard is *false* at that position cannot
+/// explain the commit — the order fails. This is what makes write-skew
+/// visible to the oracle: two guarded transactions that each falsify
+/// the other's guard admit no serial order at all.
 fn replay_matches(cfg: &SimConfig, out: &SimOutcome, order: &[usize]) -> bool {
     let Ok(db) = Database::with_initial(cfg.schema.clone(), out.base.clone()) else {
         return false;
@@ -1401,7 +1570,16 @@ fn replay_matches(cfg: &SimConfig, out: &SimOutcome, order: &[usize]) -> bool {
     let env = Env::new();
     for &idx in order {
         let c = &out.committed[idx];
-        let tx = &cfg.sessions[c.session].txs[c.tx];
+        let tx = match &cfg.sessions[c.session].steps[c.tx] {
+            SimStep::Tx(t) => t,
+            SimStep::Guarded { guard, tx } => {
+                if !matches!(sess.ask(guard, &env), Ok(true)) {
+                    return false;
+                }
+                tx
+            }
+            SimStep::Read(_) => unreachable!("reads never commit"),
+        };
         if sess.commit(&c.label, tx, &env).is_err() {
             return false;
         }
@@ -1449,6 +1627,12 @@ pub struct ExploreStats {
     /// Largest installed-minus-acked window observed at any step of any
     /// run — evidence the exploration covered multi-commit batches.
     pub max_unacked_installed: u64,
+    /// Runs in which some session re-read a formula and saw a different
+    /// truth value with no intervening own commit (non-repeatable
+    /// read). Must stay 0 unless a session runs read-committed.
+    pub nonrepeatable_runs: u64,
+    /// Transactions aborted by serializable read-set certification.
+    pub serialization_aborts: u64,
 }
 
 /// What an exploration covered and found.
@@ -1512,6 +1696,12 @@ fn tally(report: &mut ExploreReport, out: &SimOutcome) {
         .count() as u64;
     report.stats.poisoned_runs += u64::from(out.poisoned);
     report.stats.in_doubt_runs += u64::from(!out.in_doubt.is_empty());
+    report.stats.nonrepeatable_runs += u64::from(out.nonrepeatable > 0);
+    report.stats.serialization_aborts += out
+        .aborted
+        .iter()
+        .filter(|a| a.reason == AbortKind::Serialization)
+        .count() as u64;
     report.stats.max_unacked_installed = report
         .stats
         .max_unacked_installed

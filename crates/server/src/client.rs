@@ -16,6 +16,7 @@ use crate::frame::{
     read_frame_blocking, write_frame, FrameError, ReadOutcome, DEFAULT_MAX_FRAME_LEN,
 };
 use crate::proto::{Request, Response, WireError, PROTOCOL_VERSION};
+use txlog_engine::db::IsolationLevel;
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -236,9 +237,17 @@ impl Client {
         }
     }
 
-    /// Open a multi-request transaction block.
+    /// Open a multi-request transaction block at the server's default
+    /// isolation level.
     pub fn begin(&mut self) -> Result<(), ClientError> {
-        match self.roundtrip(&Request::Begin)? {
+        self.begin_at(None)
+    }
+
+    /// Open a multi-request transaction block, optionally requesting an
+    /// isolation level for its session (`None` keeps the server's
+    /// default).
+    pub fn begin_at(&mut self, isolation: Option<IsolationLevel>) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Begin { isolation })? {
             Response::Begun => Ok(()),
             other => Err(unexpected("Begun", &other)),
         }

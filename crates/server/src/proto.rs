@@ -15,13 +15,39 @@
 //! payload (head version raced against, attempts spent, queue capacity)
 //! rides in [`WireError::detail`].
 
-use txlog_engine::db::CommitError;
+use txlog_engine::db::{CommitError, IsolationLevel};
 use txlog_relational::codec::{CodecError, Decoder, Encoder};
 
-/// The protocol version this build speaks. A [`Request::Hello`] with a
-/// different version is refused with [`ErrorCode::Protocol`] — the
-/// handshake is how both sides find out before any state changes hands.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// The protocol version this build speaks. Version 2 added the
+/// optional isolation field on [`Request::Begin`] and the
+/// [`ErrorCode::SerializationFailure`] code; both are strict extensions,
+/// so the server still serves [`MIN_PROTOCOL_VERSION`] clients (their
+/// `Begin` frames simply carry no level and default to Snapshot). A
+/// [`Request::Hello`] outside the supported range is refused with
+/// [`ErrorCode::Protocol`] — the handshake is how both sides find out
+/// before any state changes hands.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// The oldest protocol version the server still accepts.
+pub const MIN_PROTOCOL_VERSION: u32 = 1;
+
+/// Wire encoding of an isolation level (one byte, stable).
+fn isolation_to_u8(level: IsolationLevel) -> u8 {
+    match level {
+        IsolationLevel::ReadCommitted => 0,
+        IsolationLevel::Snapshot => 1,
+        IsolationLevel::Serializable => 2,
+    }
+}
+
+fn isolation_from_u8(b: u8) -> Option<IsolationLevel> {
+    Some(match b {
+        0 => IsolationLevel::ReadCommitted,
+        1 => IsolationLevel::Snapshot,
+        2 => IsolationLevel::Serializable,
+        _ => return None,
+    })
+}
 
 // Request tags.
 const REQ_HELLO: u8 = 0;
@@ -90,7 +116,12 @@ pub enum Request {
     },
     /// Open a multi-request transaction: subsequent `Execute`s stage
     /// instead of committing, until `Commit` or `Abort`.
-    Begin,
+    Begin {
+        /// Isolation level for the block's session. `None` (and every
+        /// protocol-v1 frame, which has no field to carry one) means
+        /// the server's default — Snapshot.
+        isolation: Option<IsolationLevel>,
+    },
     /// Commit the staged statements as one transaction.
     Commit {
         /// Commit label for the composed transaction.
@@ -221,6 +252,10 @@ pub enum ErrorCode {
     /// The request contradicts the session state (e.g. `Commit`
     /// without `Begin`).
     BadState = 11,
+    /// A serializable commit's read-set certification failed; `detail`
+    /// is the head version whose concurrent deltas intersected the
+    /// session's reads. The transaction must be re-run from scratch.
+    SerializationFailure = 12,
 }
 
 impl ErrorCode {
@@ -240,6 +275,7 @@ impl ErrorCode {
             9 => ErrorCode::Durability,
             10 => ErrorCode::Unavailable,
             11 => ErrorCode::BadState,
+            12 => ErrorCode::SerializationFailure,
             _ => return None,
         })
     }
@@ -259,6 +295,7 @@ impl ErrorCode {
             ErrorCode::Durability => "durability",
             ErrorCode::Unavailable => "unavailable",
             ErrorCode::BadState => "bad-state",
+            ErrorCode::SerializationFailure => "serialization-failure",
         }
     }
 }
@@ -317,6 +354,10 @@ impl WireError {
             }
             CommitError::Durability(inner) => {
                 WireError::new(ErrorCode::Durability, inner.to_string())
+            }
+            CommitError::SerializationFailure { head_version } => {
+                WireError::new(ErrorCode::SerializationFailure, e.to_string())
+                    .with_detail(*head_version)
             }
         }
     }
@@ -382,7 +423,14 @@ impl Request {
                 e.str(target);
                 e.u8(u8::from(*program));
             }
-            Request::Begin => e.u8(REQ_BEGIN),
+            Request::Begin { isolation } => {
+                e.u8(REQ_BEGIN);
+                // v1 compatibility: the field is trailing and optional —
+                // a bare tag is a Begin at the server default
+                if let Some(level) = isolation {
+                    e.u8(isolation_to_u8(*level));
+                }
+            }
             Request::Commit { label } => {
                 e.u8(REQ_COMMIT);
                 e.str(label);
@@ -419,7 +467,18 @@ impl Request {
                 target: d.str("explain target")?.to_string(),
                 program: dec_bool(&mut d, "explain kind")?,
             },
-            REQ_BEGIN => Request::Begin,
+            REQ_BEGIN => Request::Begin {
+                isolation: if d.is_empty() {
+                    None
+                } else {
+                    let b = d.u8("begin isolation")?;
+                    Some(isolation_from_u8(b).ok_or(CodecError::BadTag {
+                        offset: 1,
+                        tag: b,
+                        what: "begin isolation",
+                    })?)
+                },
+            },
             REQ_COMMIT => Request::Commit {
                 label: d.str("commit label")?.to_string(),
             },
@@ -621,7 +680,13 @@ mod tests {
                 target: "forall e: 2tup . e in EMP -> salary(e) > 0".to_string(),
                 program: false,
             },
-            Request::Begin,
+            Request::Begin { isolation: None },
+            Request::Begin {
+                isolation: Some(IsolationLevel::Serializable),
+            },
+            Request::Begin {
+                isolation: Some(IsolationLevel::ReadCommitted),
+            },
             Request::Commit {
                 label: "batch".to_string(),
             },
@@ -714,12 +779,47 @@ mod tests {
 
     #[test]
     fn trailing_bytes_are_rejected() {
-        let mut bytes = Request::Begin.encode();
+        let mut bytes = Request::Abort.encode();
         bytes.push(0);
         assert!(matches!(
             Request::decode(&bytes),
             Err(CodecError::Trailing { .. })
         ));
+        // Begin takes at most one trailing isolation byte, never two
+        let mut bytes = Request::Begin {
+            isolation: Some(IsolationLevel::Snapshot),
+        }
+        .encode();
+        bytes.push(0);
+        assert!(matches!(
+            Request::decode(&bytes),
+            Err(CodecError::Trailing { .. })
+        ));
+    }
+
+    /// A protocol-v1 `Begin` is a bare tag; it must decode as "no
+    /// level requested" so old clients keep their snapshot sessions.
+    #[test]
+    fn v1_begin_decodes_without_isolation() {
+        assert_eq!(
+            Request::decode(&[REQ_BEGIN]).expect("bare begin decodes"),
+            Request::Begin { isolation: None }
+        );
+        // and an unknown level byte is a typed decode error
+        assert!(matches!(
+            Request::decode(&[REQ_BEGIN, 9]),
+            Err(CodecError::BadTag { .. })
+        ));
+    }
+
+    #[test]
+    fn isolation_levels_round_trip_on_the_wire() {
+        for level in IsolationLevel::ALL {
+            let req = Request::Begin {
+                isolation: Some(level),
+            };
+            assert_eq!(Request::decode(&req.encode()).expect("decodes"), req);
+        }
     }
 
     /// Every `CommitError` variant maps to a distinct wire code and
@@ -754,7 +854,12 @@ mod tests {
         assert_eq!(durability.code, ErrorCode::Durability);
         assert!(durability.message.contains("fsync failed"));
 
-        // distinctness: six variants, six codes
+        let serialization =
+            WireError::from_commit(&CommitError::SerializationFailure { head_version: 17 });
+        assert_eq!(serialization.code, ErrorCode::SerializationFailure);
+        assert_eq!(serialization.detail, 17);
+
+        // distinctness: seven variants, seven codes
         let codes = [
             conflict.code,
             violated.code,
@@ -762,6 +867,7 @@ mod tests {
             execution.code,
             overload.code,
             durability.code,
+            serialization.code,
         ];
         for (i, a) in codes.iter().enumerate() {
             for b in codes.iter().skip(i + 1) {
@@ -770,7 +876,13 @@ mod tests {
         }
         // and each survives an encode/decode round trip
         for err in [
-            conflict, violated, exhausted, execution, overload, durability,
+            conflict,
+            violated,
+            exhausted,
+            execution,
+            overload,
+            durability,
+            serialization,
         ] {
             let resp = Response::Error(err.clone());
             match Response::decode(&resp.encode()).expect("decodes") {

@@ -32,13 +32,15 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use txlog_base::obs::{Counter, Metrics};
-use txlog_engine::db::{CommitError, Database, Session};
+use txlog_engine::db::{CommitError, Database, Session, SessionOptions};
 use txlog_engine::Env;
 use txlog_logic::{parse_fformula, parse_fterm, FTerm, ParseCtx};
 use txlog_relational::{DbState, Schema};
 
 use crate::frame::{read_frame_timeout, write_frame, ReadOutcome, DEFAULT_MAX_FRAME_LEN};
-use crate::proto::{ErrorCode, Request, Response, WireError, PROTOCOL_VERSION};
+use crate::proto::{
+    ErrorCode, Request, Response, WireError, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+};
 
 /// Tunables for [`Server::bind_with`]. [`Default`] is sized for tests
 /// and small deployments; every knob exists so the end-to-end tests
@@ -328,7 +330,9 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
         None => return,
     };
     match Request::decode(&payload) {
-        Ok(Request::Hello { protocol, .. }) if protocol == PROTOCOL_VERSION => {
+        Ok(Request::Hello { protocol, .. })
+            if (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&protocol) =>
+        {
             let relations = shared
                 .db
                 .schema()
@@ -349,7 +353,10 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
         Ok(Request::Hello { protocol, .. }) => {
             let err = WireError::new(
                 ErrorCode::Protocol,
-                format!("server speaks protocol {PROTOCOL_VERSION}, client sent {protocol}"),
+                format!(
+                    "server speaks protocols {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION}, \
+                     client sent {protocol}"
+                ),
             )
             .with_detail(u64::from(PROTOCOL_VERSION));
             let _ = send(&mut stream, &Response::Error(err));
@@ -459,7 +466,7 @@ fn read_one(
     }
 }
 
-fn handle_request(shared: &Shared, conn: &mut Conn<'_>, req: Request) -> Response {
+fn handle_request<'a>(shared: &'a Shared, conn: &mut Conn<'a>, req: Request) -> Response {
     match req {
         Request::Hello { .. } => Response::Error(WireError::new(
             ErrorCode::Protocol,
@@ -469,14 +476,25 @@ fn handle_request(shared: &Shared, conn: &mut Conn<'_>, req: Request) -> Respons
         Request::Query { expr } => answer(query_value(shared, conn, &expr)),
         Request::Ask { formula } => answer(query_truth(shared, conn, &formula)),
         Request::Explain { target, program } => answer(explain(shared, conn, &target, program)),
-        Request::Begin => {
+        Request::Begin { isolation } => {
             if conn.staged.is_some() {
                 return Response::Error(WireError::new(
                     ErrorCode::BadState,
                     "a transaction is already open",
                 ));
             }
-            conn.session.refresh();
+            // a requested level re-opens the connection's session at
+            // that level (sessions fix their level at open); absent —
+            // including every protocol-v1 Begin — the session keeps
+            // whatever it runs at, the server default
+            match isolation {
+                Some(level) if level != conn.session.isolation() => {
+                    conn.session = shared
+                        .db
+                        .session_with(SessionOptions::new().isolation(level));
+                }
+                _ => conn.session.refresh(),
+            }
             conn.staged = Some(Staged {
                 parts: Vec::new(),
                 preview: conn.session.state().clone(),

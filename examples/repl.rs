@@ -18,7 +18,9 @@
 //! :save <path>                 write schema + state as a checksummed snapshot
 //! :open <path>                 load a snapshot (replaces schema, resets history)
 //! :connect <addr>              attach to a txlog-serve instance; run/eval/ask/
-//!                              show (and begin/commit/abort) go over the wire
+//!                              show go over the wire, as do transaction blocks
+//!                              (:begin [read-committed|snapshot|serializable],
+//!                              :commit, :abort)
 //! :disconnect                  return to local mode
 //! help | quit
 //! ```
@@ -94,12 +96,29 @@ impl Repl {
             "ask" => client.ask(rest).map_err(wire).map(|v| format!("{v}")),
             "show" => client.show_state().map_err(wire),
             "explain" => client.explain(rest, false).map_err(wire),
-            "begin" => client.begin().map_err(wire).map(|()| "begun".to_string()),
-            "commit" => client
+            "begin" | ":begin" => {
+                let level = match rest {
+                    "" => Ok(None),
+                    name => IsolationLevel::parse(name).map(Some).ok_or_else(|| {
+                        TxError::eval(format!(
+                            "unknown isolation level {name:?} — try read-committed, \
+                             snapshot, or serializable"
+                        ))
+                    }),
+                };
+                match level {
+                    Ok(level) => client.begin_at(level).map_err(wire).map(|()| match level {
+                        Some(l) => format!("begun ({l})"),
+                        None => "begun".to_string(),
+                    }),
+                    Err(e) => Err(e),
+                }
+            }
+            "commit" | ":commit" => client
                 .commit(rest)
                 .map_err(wire)
                 .map(|c| format!("committed as version {} ({} retries)", c.version, c.retries)),
-            "abort" => client
+            "abort" | ":abort" => client
                 .abort()
                 .map_err(wire)
                 .map(|n| format!("aborted; {n} staged statements discarded")),
@@ -264,6 +283,8 @@ commands:
   :open <path>         load a snapshot (replaces the schema, resets history)
   :connect <addr>      attach to a txlog-serve instance (run/eval/ask/show go
                        over the wire; begin/commit/abort stage transactions)
+  :begin [level]       (connected) open a transaction block, optionally at an
+                       isolation level: read-committed | snapshot | serializable
   :disconnect          return to local mode
   :metrics             (connected) the server's metrics snapshot as JSON
   :quit-server         (connected) ask the server to drain and shut down

@@ -1,0 +1,333 @@
+//! The isolation-level anomaly matrix, decided by the explorer.
+//!
+//! One workload per classic anomaly, each run under every
+//! [`IsolationLevel`], with the simulation explorer enumerating the
+//! full interleaving space and the serializability oracle judging each
+//! schedule:
+//!
+//! | anomaly              | read committed | snapshot | serializable |
+//! |----------------------|----------------|----------|--------------|
+//! | lost update          | impossible     | impossible | impossible |
+//! | write skew           | **reachable**  | **reachable** | impossible |
+//! | non-repeatable read  | **reachable**  | impossible | impossible |
+//!
+//! "Reachable" is demonstrated by an explorer-found witness schedule;
+//! "impossible" by exhaustive refutation over the same workload. The
+//! write-skew workload is the textbook on-call rota: two doctors, each
+//! session checks *the other* doctor is still on call (a guard read
+//! outside its transaction's static footprint) before taking its own
+//! doctor off. Snapshot isolation forwards both deletes — their write
+//! footprints are disjoint — and the rota empties, which no serial
+//! order explains. Serializable certifies the guard reads at commit
+//! and aborts one side with a serialization failure.
+
+use txlog::engine::sim::{
+    check_oracles, explore_exhaustive, run_seeded, AbortKind, ExploreOptions, ExploreReport,
+    SimConfig, SimStep,
+};
+use txlog::engine::IsolationLevel;
+use txlog::logic::{parse_fformula, parse_fterm, FFormula, FTerm, ParseCtx};
+use txlog::prelude::{Atom, Schema};
+
+fn schema() -> Schema {
+    Schema::new()
+        .relation("DOCA", &["da-name"])
+        .expect("DOCA declares")
+        .relation("DOCB", &["db-name"])
+        .expect("DOCB declares")
+        .relation("ACCT", &["a-name", "a-bal"])
+        .expect("ACCT declares")
+}
+
+fn ctx() -> ParseCtx {
+    ParseCtx::with_relations(&["DOCA", "DOCB", "ACCT"])
+}
+
+fn tx(src: &str) -> FTerm {
+    parse_fterm(src, &ctx(), &[]).expect("transaction parses")
+}
+
+fn formula(src: &str) -> FFormula {
+    parse_fformula(src, &ctx(), &[]).expect("formula parses")
+}
+
+fn explore(cfg: &SimConfig) -> ExploreReport {
+    let opts = ExploreOptions {
+        dedup: true,
+        ..ExploreOptions::default()
+    };
+    explore_exhaustive(cfg, &opts).expect("exploration completes")
+}
+
+// ---------------------------------------------------------------------------
+// Write skew: the on-call rota
+// ---------------------------------------------------------------------------
+
+/// Both doctors on call; each session may only sign its doctor off
+/// while the *other* doctor is still on.
+fn write_skew_cfg(level: IsolationLevel) -> SimConfig {
+    let s = schema();
+    let doca = s.rel_id("DOCA").expect("DOCA exists");
+    let docb = s.rel_id("DOCB").expect("DOCB exists");
+    let (initial, _) = s
+        .initial_state()
+        .insert_fields(doca, &[Atom::str("ann")])
+        .expect("ann goes on call");
+    let (initial, _) = initial
+        .insert_fields(docb, &[Atom::str("bob")])
+        .expect("bob goes on call");
+    SimConfig::new(s)
+        .initial(initial)
+        .session_at(
+            "sign-off-ann",
+            level,
+            vec![SimStep::Guarded {
+                guard: formula("exists d: 1tup . d in DOCB"),
+                tx: tx("foreach d: 1tup | d in DOCA do delete(d, DOCA) end"),
+            }],
+        )
+        .session_at(
+            "sign-off-bob",
+            level,
+            vec![SimStep::Guarded {
+                guard: formula("exists d: 1tup . d in DOCA"),
+                tx: tx("foreach d: 1tup | d in DOCB do delete(d, DOCB) end"),
+            }],
+        )
+}
+
+/// Under snapshot isolation the explorer *finds* write skew: some
+/// interleaving commits both sign-offs (their write footprints are
+/// disjoint, so the stale one forwards) and no serial order explains
+/// the empty rota — the guard of whichever delete replays second is
+/// false.
+#[test]
+fn write_skew_is_reachable_under_snapshot() {
+    let report = explore(&write_skew_cfg(IsolationLevel::Snapshot));
+    let failure = report
+        .failure
+        .expect("snapshot isolation must admit the write-skew schedule");
+    assert!(
+        failure.violation.contains("not serializable"),
+        "the witness is a serializability violation, got: {}",
+        failure.violation
+    );
+}
+
+/// Read committed is no stronger: the same workload skews there too.
+#[test]
+fn write_skew_is_reachable_under_read_committed() {
+    let report = explore(&write_skew_cfg(IsolationLevel::ReadCommitted));
+    let failure = report
+        .failure
+        .expect("read committed must admit the write-skew schedule");
+    assert!(
+        failure.violation.contains("not serializable"),
+        "the witness is a serializability violation, got: {}",
+        failure.violation
+    );
+}
+
+/// Under serializable the *same* workload is exhaustively clean: every
+/// interleaving either skips a guard or aborts one side with a
+/// serialization failure, and the certification demonstrably fired.
+#[test]
+fn write_skew_is_refuted_exhaustively_under_serializable() {
+    let report = explore(&write_skew_cfg(IsolationLevel::Serializable));
+    assert!(
+        report.failure.is_none(),
+        "serializable must refute write skew: {:?}",
+        report.failure
+    );
+    assert!(!report.truncated, "the refutation must be exhaustive");
+    assert!(
+        report.stats.serialization_aborts > 0,
+        "some schedule must abort on read-set certification"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Non-repeatable reads: one reader, one writer
+// ---------------------------------------------------------------------------
+
+/// A reader asking the same question twice around a concurrent commit.
+fn reader_writer_cfg(level: IsolationLevel) -> SimConfig {
+    let on_call = || formula("exists d: 1tup . d in DOCA");
+    SimConfig::new(schema())
+        .session_at(
+            "reader",
+            level,
+            vec![SimStep::Read(on_call()), SimStep::Read(on_call())],
+        )
+        .session_at(
+            "writer",
+            IsolationLevel::Snapshot,
+            vec![SimStep::Tx(tx("insert(tuple('ann'), DOCA)"))],
+        )
+}
+
+/// Statement-boundary re-pinning makes the two reads disagree in some
+/// interleaving under read committed — and in none under snapshot or
+/// serializable, whose sessions keep one snapshot.
+#[test]
+fn nonrepeatable_reads_happen_only_under_read_committed() {
+    for level in IsolationLevel::ALL {
+        let report = explore(&reader_writer_cfg(level));
+        assert!(
+            report.failure.is_none(),
+            "reads commit nothing, so every schedule serializes: {:?}",
+            report.failure
+        );
+        assert!(!report.truncated);
+        if level == IsolationLevel::ReadCommitted {
+            assert!(
+                report.stats.nonrepeatable_runs > 0,
+                "read committed must reach a non-repeatable read"
+            );
+        } else {
+            assert_eq!(
+                report.stats.nonrepeatable_runs, 0,
+                "{level} pins one snapshot; reads must repeat"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lost update: two blind increments
+// ---------------------------------------------------------------------------
+
+/// Two sessions increment the same balance without reading it first.
+fn lost_update_cfg(level: IsolationLevel) -> SimConfig {
+    let s = schema();
+    let acct = s.rel_id("ACCT").expect("ACCT exists");
+    let (initial, _) = s
+        .initial_state()
+        .insert_fields(acct, &[Atom::str("ann"), Atom::nat(100)])
+        .expect("account opens");
+    let deposit = |n: u64| {
+        tx(&format!(
+            "foreach a: 2tup | a in ACCT do modify(a, a-bal, a-bal(a) + {n}) end"
+        ))
+    };
+    SimConfig::new(s)
+        .initial(initial)
+        .session_at("deposit-10", level, vec![SimStep::Tx(deposit(10))])
+        .session_at("deposit-7", level, vec![SimStep::Tx(deposit(7))])
+}
+
+/// First-committer-wins on write-write overlap holds at *every* level
+/// — even read committed — so no interleaving loses an update: every
+/// schedule's final balance replays serially.
+#[test]
+fn lost_update_is_impossible_at_every_level() {
+    for level in IsolationLevel::ALL {
+        let report = explore(&lost_update_cfg(level));
+        assert!(
+            report.failure.is_none(),
+            "{level} lost an update: {:?}",
+            report.failure
+        );
+        assert!(!report.truncated);
+        assert!(report.schedules > 1, "contention has many interleavings");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pinned witness seeds (discovered by `discover_witness_seeds` below)
+// ---------------------------------------------------------------------------
+
+/// A seeded schedule that commits both sign-offs under snapshot
+/// isolation — the write-skew witness, replayable forever.
+const SEED_WRITE_SKEW_SNAPSHOT: u64 = 0;
+/// A seeded schedule where the reader's two read-committed reads
+/// disagree — the non-repeatable-read witness.
+const SEED_NONREPEATABLE_RC: u64 = 2;
+/// A seeded schedule where serializable certification aborts a
+/// sign-off — the refutation mechanism, caught in the act.
+const SEED_SERIALIZATION_ABORT: u64 = 0;
+
+#[test]
+fn pinned_write_skew_witness_schedule() {
+    let cfg = write_skew_cfg(IsolationLevel::Snapshot);
+    let out = run_seeded(&cfg, SEED_WRITE_SKEW_SNAPSHOT).expect("witness runs");
+    assert_eq!(out.committed.len(), 2, "both sign-offs must commit");
+    let violation = check_oracles(&cfg, &out)
+        .expect("seed no longer reaches write skew under snapshot isolation");
+    assert!(violation.to_string().contains("not serializable"));
+}
+
+#[test]
+fn pinned_nonrepeatable_read_witness_schedule() {
+    let cfg = reader_writer_cfg(IsolationLevel::ReadCommitted);
+    let out = run_seeded(&cfg, SEED_NONREPEATABLE_RC).expect("witness runs");
+    assert_eq!(check_oracles(&cfg, &out), None, "reads break nothing");
+    assert!(
+        out.nonrepeatable > 0,
+        "seed no longer re-reads across the writer's commit"
+    );
+}
+
+#[test]
+fn pinned_serialization_abort_schedule() {
+    let cfg = write_skew_cfg(IsolationLevel::Serializable);
+    let out = run_seeded(&cfg, SEED_SERIALIZATION_ABORT).expect("witness runs");
+    assert_eq!(check_oracles(&cfg, &out), None, "serializable stays clean");
+    assert!(
+        out.aborted
+            .iter()
+            .any(|a| a.reason == AbortKind::Serialization),
+        "seed no longer exercises read-set certification, got {:?}",
+        out.aborted
+    );
+}
+
+/// Regeneration tool, like `sim_corpus`'s: scans seeds for each witness
+/// predicate. Run with `--ignored --nocapture` after an intentional
+/// protocol change, then update the constants above.
+#[test]
+#[ignore = "discovery tool, not a regression test"]
+fn discover_witness_seeds() {
+    let skew = write_skew_cfg(IsolationLevel::Snapshot);
+    let mut skew_seeds = Vec::new();
+    for seed in 0u64..10_000 {
+        let out = run_seeded(&skew, seed).expect("run completes");
+        if out.committed.len() == 2 && check_oracles(&skew, &out).is_some() {
+            skew_seeds.push(seed);
+            if skew_seeds.len() >= 4 {
+                break;
+            }
+        }
+    }
+    println!("SEED_WRITE_SKEW_SNAPSHOT candidates: {skew_seeds:?}");
+
+    let rc = reader_writer_cfg(IsolationLevel::ReadCommitted);
+    let mut rc_seeds = Vec::new();
+    for seed in 0u64..10_000 {
+        let out = run_seeded(&rc, seed).expect("run completes");
+        if out.nonrepeatable > 0 {
+            rc_seeds.push(seed);
+            if rc_seeds.len() >= 4 {
+                break;
+            }
+        }
+    }
+    println!("SEED_NONREPEATABLE_RC candidates: {rc_seeds:?}");
+
+    let ssi = write_skew_cfg(IsolationLevel::Serializable);
+    let mut abort_seeds = Vec::new();
+    for seed in 0u64..10_000 {
+        let out = run_seeded(&ssi, seed).expect("run completes");
+        if out
+            .aborted
+            .iter()
+            .any(|a| a.reason == AbortKind::Serialization)
+        {
+            abort_seeds.push(seed);
+            if abort_seeds.len() >= 4 {
+                break;
+            }
+        }
+    }
+    println!("SEED_SERIALIZATION_ABORT candidates: {abort_seeds:?}");
+}

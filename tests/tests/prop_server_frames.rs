@@ -25,7 +25,7 @@ fn request_pool() -> Vec<Request> {
         Request::Ask {
             formula: "exists e: 2tup . e in EMP".to_string(),
         },
-        Request::Begin,
+        Request::Begin { isolation: None },
         Request::Commit {
             label: "l".to_string(),
         },
