@@ -186,11 +186,24 @@ pub enum Counter {
     /// the database carries multi-state (window ≥ 2) constraints that
     /// statement-boundary re-pinning would break.
     SessionsEscalated,
+    /// Event patterns registered (materializing or subscription-only).
+    EvtPatterns,
+    /// Automaton node visits across all pattern advances.
+    EvtSteps,
+    /// Pattern matches produced by the event dispatch stage.
+    EvtMatches,
+    /// Tuples installed into materialized event relations.
+    EvtMaterialized,
+    /// Notifications delivered to subscribers (in-process callbacks
+    /// count one per match delivered).
+    EvtNotificationsSent,
+    /// Notifications dropped because a subscriber's queue overflowed.
+    EvtNotificationsDropped,
 }
 
 impl Counter {
     /// Every counter, in canonical (serialization) order.
-    pub const ALL: [Counter; 56] = [
+    pub const ALL: [Counter; 62] = [
         Counter::PlansCompiled,
         Counter::PrefilterCuts,
         Counter::ScanSteps,
@@ -247,6 +260,12 @@ impl Counter {
         Counter::SessionsSnapshot,
         Counter::SessionsSerializable,
         Counter::SessionsEscalated,
+        Counter::EvtPatterns,
+        Counter::EvtSteps,
+        Counter::EvtMatches,
+        Counter::EvtMaterialized,
+        Counter::EvtNotificationsSent,
+        Counter::EvtNotificationsDropped,
     ];
 
     /// Stable snake_case name used in snapshots and reports.
@@ -308,6 +327,12 @@ impl Counter {
             Counter::SessionsSnapshot => "sessions_snapshot",
             Counter::SessionsSerializable => "sessions_serializable",
             Counter::SessionsEscalated => "sessions_escalated",
+            Counter::EvtPatterns => "evt_patterns",
+            Counter::EvtSteps => "evt_steps",
+            Counter::EvtMatches => "evt_matches",
+            Counter::EvtMaterialized => "evt_materialized",
+            Counter::EvtNotificationsSent => "evt_notifications_sent",
+            Counter::EvtNotificationsDropped => "evt_notifications_dropped",
         }
     }
 }

@@ -40,6 +40,7 @@ pub fn collect() -> Snapshot {
     wal_exercise(&metrics);
     group_commit_exercise(&metrics);
     server_exercise(&metrics);
+    events_exercise(&metrics);
     let snap = metrics.snapshot();
     Metrics::disabled().install_global();
     snap
@@ -510,4 +511,105 @@ fn server_exercise(metrics: &Metrics) {
     assert_eq!(delta(Counter::ServerFramesOut, base[3]), 9);
     assert_eq!(delta(Counter::ServerDecodeErrors, base[4]), 1);
     assert_eq!(delta(Counter::ServerOverloads, base[5]), 0);
+}
+
+/// A fixed walk through the reactive-event subsystem, pinning the
+/// `evt_*` counters and the `events.dispatch` span in the baseline:
+/// one materialized history pattern plus one in-process subscription
+/// run over a five-commit script chosen so that every counter moves
+/// for a script-determined reason — three arrivals notify, two
+/// departures fire the history pattern, and the second departure of
+/// the same tuple is absorbed by the insert-if-absent
+/// materialization (so `evt_materialized` pins the dedup, not just
+/// the install).
+fn events_exercise(metrics: &Metrics) {
+    use std::sync::{Arc, Mutex};
+    use txlog::engine::Database;
+    use txlog::prelude::{Atom, Counter, ParseCtx, Pattern, PatternDef, Schema, Symbol};
+
+    let before = |c: Counter| metrics.get(c);
+    let base = [
+        before(Counter::EvtPatterns),
+        before(Counter::EvtSteps),
+        before(Counter::EvtMatches),
+        before(Counter::EvtMaterialized),
+        before(Counter::EvtNotificationsSent),
+        before(Counter::EvtNotificationsDropped),
+    ];
+
+    let schema = Schema::new()
+        .relation("GATE", &["g-name", "g-level"])
+        .expect("relation");
+    let departures = Pattern::parse("delete(GATE, N, _)").expect("pattern parses");
+    let db = Database::builder(schema)
+        .metrics(metrics.clone())
+        .event_pattern(PatternDef::materialized(
+            "departures",
+            departures,
+            "DEPARTED",
+            &["N"],
+        ))
+        .expect("pattern registers")
+        .build()
+        .expect("database builds");
+
+    let seen: Arc<Mutex<Vec<(u64, Atom)>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&seen);
+    let arrivals = Pattern::parse("insert(GATE, N, L)").expect("pattern parses");
+    let sub = db
+        .subscribe_pattern(
+            "arrivals",
+            &arrivals,
+            Arc::new(move |n| {
+                let who = n.binding[&Symbol::new("N")];
+                sink.lock().expect("sink lock").push((n.version, who));
+            }),
+        )
+        .expect("subscription registers");
+
+    // The script: ada and bev arrive, ada departs (fires the history
+    // pattern), ada returns, ada departs again (same history row —
+    // the materialization dedups it).
+    let ctx = ParseCtx::with_relations(&["GATE"]);
+    let env = Env::new();
+    let mut session = db.session();
+    for (label, program) in [
+        ("arrive-ada", "insert(tuple('ada', 1), GATE)"),
+        ("arrive-bev", "insert(tuple('bev', 2), GATE)"),
+        ("depart-ada", "delete(tuple('ada', 1), GATE)"),
+        ("return-ada", "insert(tuple('ada', 1), GATE)"),
+        ("redepart-ada", "delete(tuple('ada', 1), GATE)"),
+    ] {
+        let t = parse_fterm(program, &ctx, &[]).expect("script parses");
+        session.refresh();
+        session.commit(label, &t, &env).expect("script commits");
+    }
+    assert!(db.unsubscribe(sub), "the live subscription unregisters");
+
+    // Three arrivals, in commit-version order; ada's departure at v3
+    // installs the DEPARTED row as system commit v4, so the return
+    // lands at v5.
+    assert_eq!(
+        *seen.lock().expect("sink lock"),
+        vec![
+            (1, Atom::str("ada")),
+            (2, Atom::str("bev")),
+            (5, Atom::str("ada")),
+        ],
+        "every arrival notifies exactly once, in version order"
+    );
+
+    let delta = |c: Counter, b: u64| metrics.get(c) - b;
+    // The materialized pattern plus the subscription.
+    assert_eq!(delta(Counter::EvtPatterns, base[0]), 2);
+    assert!(
+        delta(Counter::EvtSteps, base[1]) > 0,
+        "dispatch does automaton work"
+    );
+    // Three arrival matches and two departure matches.
+    assert_eq!(delta(Counter::EvtMatches, base[2]), 5);
+    // Two departure matches, one installed row: the dedup is pinned.
+    assert_eq!(delta(Counter::EvtMaterialized, base[3]), 1);
+    assert_eq!(delta(Counter::EvtNotificationsSent, base[4]), 3);
+    assert_eq!(delta(Counter::EvtNotificationsDropped, base[5]), 0);
 }

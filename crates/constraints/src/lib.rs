@@ -21,7 +21,10 @@
 //!   ([`txlog_engine::Database`]);
 //! * [`NeverReinsertEncoding`] implements Example 4's FIRE encoding,
 //!   converting an uncheckable dynamic constraint into a static one by
-//!   auditing deletions.
+//!   auditing deletions;
+//! * [`ReactiveEncoding`] compiles the same history constraint to an
+//!   event pattern whose matches the engine materializes automatically
+//!   from the commit stream — no transaction rewriting.
 
 #![warn(missing_docs)]
 
@@ -31,6 +34,7 @@ pub mod commit;
 pub mod complexity;
 pub mod encoding;
 pub mod incremental;
+pub mod reactive;
 pub mod readset;
 pub mod window;
 
@@ -41,6 +45,7 @@ pub use complexity::{class_cmp, measure_with_class, profile, Complexity, Profile
 pub use encoding::NeverReinsertEncoding;
 pub use incremental::counters;
 pub use incremental::IncrementalChecker;
+pub use reactive::ReactiveEncoding;
 pub use readset::{read_set, ReadSet};
 pub use window::{
     checkability, find_window_unsoundness, Hints, History, HistoryOutcome, Window, WindowedChecker,

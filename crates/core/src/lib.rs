@@ -14,6 +14,7 @@
 //! | [`relational`] | `txlog-relational` | tuples, relations, persistent states, evolution graphs |
 //! | [`logic`] | `txlog-logic` | sorts, f-/s-expressions, axioms, parser |
 //! | [`engine`] | `txlog-engine` | fluent evaluator (`w:e`, `w::p`, `w;e`) and finite-model checker |
+//! | [`events`] | `txlog-events` | complex-event patterns and incremental automata over commit deltas |
 //! | [`constraints`] | `txlog-constraints` | classification, checkability windows, history encoding |
 //! | [`temporal`] | `txlog-temporal` | first-order temporal logic and the δ embedding |
 //! | [`prover`] | `txlog-prover` | regression, deductive tableau, transaction verification |
@@ -56,6 +57,7 @@ pub use txlog_base as base;
 pub use txlog_constraints as constraints;
 pub use txlog_empdb as empdb;
 pub use txlog_engine as engine;
+pub use txlog_events as events;
 pub use txlog_logic as logic;
 pub use txlog_prover as prover;
 pub use txlog_relational as relational;
@@ -69,15 +71,17 @@ pub mod prelude {
     pub use txlog_base::{Atom, RelId, StateId, Symbol, TupleId, TxError, TxResult};
     pub use txlog_constraints::{
         checkability, classify, read_set, ConstraintClass, Hints, History, IncrementalChecker,
-        NeverReinsertEncoding, ReadSet, SessionConstraint, Window, WindowedChecker,
+        NeverReinsertEncoding, ReactiveEncoding, ReadSet, SessionConstraint, Window,
+        WindowedChecker,
     };
     pub use txlog_engine::{
         check_program, Binding, Commit, CommitConstraint, CommitError, Database, DatabaseBuilder,
-        Durability, Engine, EngineBuilder, Env, EvalOptions, Execution, Explain, FileStore,
-        Footprint, IsolationLevel, LogStore, MemStore, Model, ModelBuilder, ProgramKind,
-        RecoveryReport, RetryPolicy, Session, SessionOptions, SetVal, SourceKind, StateVal, Value,
-        WalError,
+        Durability, Engine, EngineBuilder, Env, EvalOptions, EventCallback, EventNotification,
+        Execution, Explain, FileStore, Footprint, IsolationLevel, LogStore, MemStore, Model,
+        ModelBuilder, ProgramKind, RecoveryReport, RetryPolicy, Session, SessionOptions, SetVal,
+        SourceKind, StateVal, SubId, Value, WalError,
     };
+    pub use txlog_events::{EventKind, Materialize, PTerm, Pattern, PatternDef, PatternError};
     pub use txlog_logic::{
         parse_fformula, parse_fterm, parse_sformula, parse_sformula_with_params, CmpOp, FFormula,
         FTerm, ObjSort, Op, ParseCtx, SFormula, STerm, Sort, Var, VarClass,
@@ -91,7 +95,8 @@ pub mod prelude {
         TupleChange, TupleVal, TxLabel,
     };
     pub use txlog_server::{
-        Client, ClientError, ErrorCode, RemoteCommit, Server, ServerConfig, ServerInfo, WireError,
+        Client, ClientError, ErrorCode, Notification, NotificationEvent, RemoteCommit, Server,
+        ServerConfig, ServerInfo, WireError,
     };
     pub use txlog_synthesis::{synthesize, verify_synthesis, Synthesized};
     pub use txlog_temporal::{delta, holds, TFormula};

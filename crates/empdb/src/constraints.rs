@@ -5,9 +5,10 @@
 //! checkability claim. Where the SIGMOD scan is ambiguous (OCR noise) the
 //! formalization choice is documented inline.
 
-use crate::schema::parse_ctx;
+use crate::schema::{employee_schema, parse_ctx};
 use txlog_base::TxResult;
-use txlog_constraints::{Hints, IncrementalChecker, SessionConstraint, Window};
+use txlog_constraints::{Hints, IncrementalChecker, ReactiveEncoding, SessionConstraint, Window};
+use txlog_events::PatternDef;
 use txlog_logic::{parse_sformula, SFormula};
 use txlog_relational::DbState;
 
@@ -232,6 +233,36 @@ pub fn ic4_fire_static() -> SFormula {
     )
 }
 
+// ---------------------------------------------------------------------
+// Example 4, reactive: the FIRE encoding without transaction rewriting
+// ---------------------------------------------------------------------
+
+/// The reactive form of Example 4's encoding: `EMP` deletions compiled
+/// to an event pattern whose matches the engine materializes (keyed on
+/// `e-name`) into the system relation `FIRED`. Unlike the manual
+/// [`NeverReinsertEncoding`](txlog_constraints::NeverReinsertEncoding)
+/// path, [`fire`](crate::transactions::fire) needs no audit bookkeeping
+/// and no rewriting — the commit stream maintains the history relation.
+pub fn fired_encoding() -> ReactiveEncoding {
+    ReactiveEncoding::define(&employee_schema(), "EMP", "e-name", "FIRED")
+        .expect("EMP/e-name are declared by the static schema")
+}
+
+/// The `fired` pattern registration for
+/// [`DatabaseBuilder::event_pattern`](txlog_engine::DatabaseBuilder::event_pattern):
+/// `delete(EMP, FIRED-key, _, _, _, _)` materialized into `FIRED`.
+pub fn fired_pattern() -> PatternDef {
+    fired_encoding().pattern_def()
+}
+
+/// The never-rehire constraint over the auto-maintained relation
+/// (window 1, static), packaged for commit-time validation. Register it
+/// together with [`fired_pattern`]; see
+/// [`ic4_never_rehire`] for the dynamic original.
+pub fn ic4_fired_session() -> TxResult<SessionConstraint> {
+    fired_encoding().session_constraint("never-rehire")
+}
+
 /// Example 4: every transaction is invertible unless it modifies the age
 /// of an employee. Not checkable: each check would require *proving the
 /// existence* of an inverse transaction.
@@ -394,6 +425,57 @@ mod tests {
             checkability(&ic4_fire_static(), Hints::default()),
             Window::States(1)
         );
+    }
+
+    #[test]
+    fn reactive_fired_relation_enforces_never_rehire() {
+        use crate::transactions::{fire, hire, rehire};
+        use txlog_engine::{CommitError, Database, Env};
+
+        let mut db = Database::builder(crate::schema::employee_schema())
+            .event_pattern(fired_pattern())
+            .unwrap()
+            .build()
+            .unwrap();
+        db.add_constraint(Box::new(ic4_fired_session().unwrap()))
+            .unwrap();
+        let mut s = db.session();
+        s.commit(
+            "hire",
+            &hire("ann", "cs", 500, 30, "S", "alpha", 50),
+            &Env::new(),
+        )
+        .unwrap();
+        // the paper's fire(): plain deletes, no audit bookkeeping
+        s.commit("fire", &fire("ann"), &Env::new()).unwrap();
+        let fired = db.schema().rel_id("FIRED").unwrap();
+        assert!(db
+            .snapshot()
+            .relation(fired)
+            .unwrap()
+            .contains_fields(&[txlog_base::Atom::str("ann")]));
+        // rehiring ann violates the substituted static constraint
+        s.refresh();
+        let err = s
+            .commit(
+                "rehire",
+                &rehire("ann", "cs", 500, 30, "alpha", 50),
+                &Env::new(),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(&err, CommitError::ConstraintViolation { constraint }
+                     if constraint == "never-rehire"),
+            "{err}"
+        );
+        // a different employee hires fine
+        s.refresh();
+        s.commit(
+            "hire2",
+            &hire("bob", "cs", 400, 25, "S", "alpha", 25),
+            &Env::new(),
+        )
+        .unwrap();
     }
 
     #[test]

@@ -36,10 +36,13 @@ pub fn employee_schema() -> Schema {
 }
 
 /// A parse context knowing every employee-database relation (including
-/// `FIRE`, which only exists after the encoding is installed; mentioning
-/// it in constraints is harmless otherwise).
+/// `FIRE`, which only exists after the manual encoding is installed,
+/// and `FIRED`, the event-maintained system relation; mentioning either
+/// in constraints is harmless otherwise).
 pub fn parse_ctx() -> ParseCtx {
-    ParseCtx::with_relations(&["EMP", "DEPT", "PROJ", "ALLOC", "SKILL", "E", "FIRE"])
+    ParseCtx::with_relations(&[
+        "EMP", "DEPT", "PROJ", "ALLOC", "SKILL", "E", "FIRE", "FIRED",
+    ])
 }
 
 #[cfg(test)]

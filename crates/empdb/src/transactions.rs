@@ -73,6 +73,15 @@ pub fn hire(
 
 /// Fire `name`: remove allocations, skills, and the employee tuple (the
 /// paper's Example 3 note: skills are deleted along with the employee).
+///
+/// Deliberately contains *no* audit bookkeeping. Under the manual FIRE
+/// encoding this transaction had to be pushed through
+/// [`NeverReinsertEncoding::rewrite`](txlog_constraints::NeverReinsertEncoding::rewrite)
+/// before execution; with the reactive encoding
+/// ([`fired_pattern`](crate::constraints::fired_pattern)) the engine's
+/// event dispatch maintains the `FIRED` history relation from the
+/// commit stream, so the transaction runs exactly as the paper writes
+/// it.
 pub fn fire(name: &str) -> FTerm {
     parse(
         &format!(

@@ -50,6 +50,7 @@
 //! `commit.log_wait` span covering the wait for group ack.
 
 use crate::env::Env;
+use crate::events::{EventCallback, EventHub, SubId};
 use crate::exec::{Engine, EvalOptions, Execution};
 use crate::group::{GroupCommitter, Slot, SubmitError, WriterOp};
 use crate::sim::{ProtocolBug, StepHook, StepPoint};
@@ -62,7 +63,8 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 use txlog_base::obs::{Counter, Metrics};
-use txlog_base::{Symbol, TxError, TxResult};
+use txlog_base::{Atom, RelId, Symbol, TxError, TxResult};
+use txlog_events::{Pattern, PatternDef};
 use txlog_logic::plan::find_membership_rel;
 use txlog_logic::{FFormula, FTerm, ObjSort, Sort, Var};
 use txlog_relational::{DbState, Delta, Schema};
@@ -851,6 +853,10 @@ pub struct Database {
     /// [`DatabaseBuilder::manual_log_writer`] mode (the deterministic
     /// simulator pumps the committer itself).
     writer_thread: Option<JoinHandle<()>>,
+    /// The reactive-event stage: committed deltas are enqueued under
+    /// the head lock and dispatched through the registered automata
+    /// after it is released (see [`crate::events`]).
+    events: EventHub,
     head: Mutex<Head>,
 }
 
@@ -897,6 +903,7 @@ impl Database {
             hook: None,
             committer: None,
             writer_thread: None,
+            events: EventHub::new(),
             head: Mutex::new(Head {
                 version: 0,
                 state: Arc::clone(&state),
@@ -919,6 +926,7 @@ impl Database {
             default_isolation: IsolationLevel::default(),
             durability: Durability::Off,
             constraints: Vec::new(),
+            event_defs: Vec::new(),
             queue_cap: DEFAULT_LOG_QUEUE_CAP,
             manual_writer: false,
         }
@@ -1004,6 +1012,98 @@ impl Database {
         if let Some(c) = &self.committer {
             c.pump_all();
         }
+    }
+
+    /// Register a live event subscription: `pattern` is compiled into
+    /// an incremental automaton advanced on every subsequent commit,
+    /// and `callback` is invoked once per new match, in commit order,
+    /// on the committing thread. The automaton is primed over the
+    /// hub's retained history *silently*: matches completing at or
+    /// after the subscription are delivered, matches wholly in the
+    /// past are not. Patterns that should survive restarts or
+    /// materialize into relations are registered at build time instead
+    /// ([`DatabaseBuilder::event_pattern`]).
+    pub fn subscribe_pattern(
+        &self,
+        name: &str,
+        pattern: &Pattern,
+        callback: EventCallback,
+    ) -> TxResult<SubId> {
+        // The hub records history only while it has registrations; the
+        // head's recent delta log fills the gap for a first subscriber.
+        let primer: Vec<(u64, Delta)> = {
+            let head = self.head.lock().expect("db head lock");
+            head.log.iter().cloned().collect()
+        };
+        self.events.subscribe(
+            name,
+            pattern,
+            &self.schema,
+            callback,
+            &self.metrics,
+            &primer,
+        )
+    }
+
+    /// Drop a live subscription. Returns false for an unknown (or
+    /// already-removed) id.
+    pub fn unsubscribe(&self, id: SubId) -> bool {
+        self.events.unsubscribe(id)
+    }
+
+    /// Drain the event hub: advance every automaton over the newly
+    /// committed deltas, install materializations, invoke subscribers.
+    /// Called by the commit pipeline after releasing the head lock, and
+    /// by the recovery replay in `open_store`.
+    fn dispatch_events(&self) {
+        if !self.events.is_active() {
+            return;
+        }
+        self.events.drain(&self.metrics, &mut |name, rel, rows| {
+            self.install_system_rows(name, rel, rows)
+        });
+    }
+
+    /// Install a pattern's new matches as tuples of its system
+    /// relation: an engine-internal commit that skips constraint
+    /// validation and the event hub (no feedback loops), inserts
+    /// if-absent (so recovery replay is idempotent), and is WAL-logged
+    /// like any other commit. Rows already present consume no version.
+    fn install_system_rows(&self, name: &str, rel: RelId, rows: Vec<Vec<Atom>>) {
+        let mut head = self.head.lock().expect("db head lock");
+        let mut state = (*head.state).clone();
+        let mut inserted = 0u64;
+        for row in rows {
+            let exists = state
+                .relation(rel)
+                .is_some_and(|r| r.iter().any(|t| t.fields() == row.as_slice()));
+            if exists {
+                continue;
+            }
+            if let Ok((next, _)) = state.insert_fields(rel, &row) {
+                state = next;
+                inserted += 1;
+            }
+        }
+        if inserted == 0 {
+            return;
+        }
+        let label = format!("events/{name}");
+        let delta = head.state.diff(&state);
+        let version = head.version + 1;
+        let state = Arc::new(state);
+        if let Some(c) = &self.committer {
+            let payload = Wal::encode_commit(version, &label, &delta, &state);
+            if c.submit(version, payload, Arc::clone(&state)).is_err() {
+                // Poisoned or overloaded log: skip the install rather
+                // than let memory diverge from what recovery can
+                // reconstruct — the match re-fires from the replayed
+                // WAL suffix on reopen.
+                return;
+            }
+        }
+        self.metrics.add(Counter::EvtMaterialized, inserted);
+        head.install(&label, Arc::clone(&state), delta, self.max_window);
     }
 
     /// The group-commit stage, for the deterministic simulator (which
@@ -1271,8 +1371,21 @@ pub struct DatabaseBuilder {
     default_isolation: IsolationLevel,
     durability: Durability,
     constraints: Vec<Box<dyn CommitConstraint>>,
+    event_defs: Vec<PatternDef>,
     queue_cap: usize,
     manual_writer: bool,
+}
+
+/// Extend `state` with (empty) instances of any schema relations it
+/// lacks — an explicit [`DatabaseBuilder::initial`] state predates the
+/// system relations that [`DatabaseBuilder::event_pattern`] declares.
+fn ensure_schema_relations(schema: &Schema, mut state: DbState) -> TxResult<DbState> {
+    for d in schema.decls() {
+        if state.relation(d.id).is_none() {
+            state = state.with_relation(d.id, d.arity())?;
+        }
+    }
+    Ok(state)
 }
 
 impl DatabaseBuilder {
@@ -1340,6 +1453,40 @@ impl DatabaseBuilder {
         self
     }
 
+    /// Register an event pattern. A materializing definition
+    /// ([`PatternDef::materialized`]) declares its target relation here
+    /// — as a *system* relation, before any log is opened, which is what
+    /// lets WAL recovery compare schemas and replay the dispatcher's own
+    /// commits. Patterns must not watch system relations (a
+    /// materialization feeding an automaton would loop), and
+    /// materialization columns must be variables every match certainly
+    /// binds ([`Pattern::certain_vars`]).
+    pub fn event_pattern(mut self, def: PatternDef) -> TxResult<DatabaseBuilder> {
+        if self.event_defs.iter().any(|d| d.name == def.name) {
+            return Err(TxError::schema(format!(
+                "event pattern {} is already registered",
+                def.name
+            )));
+        }
+        if let Some(m) = &def.materialize {
+            let certain = def.pattern.certain_vars();
+            for c in &m.columns {
+                if !certain.contains(&Symbol::new(c)) {
+                    return Err(TxError::schema(format!(
+                        "event pattern {}: materialization column {c} is not \
+                         certainly bound by the pattern",
+                        def.name
+                    )));
+                }
+            }
+            let attrs: Vec<&str> = m.columns.iter().map(String::as_str).collect();
+            self.schema.add_system_relation(&m.relation, &attrs)?;
+        }
+        crate::events::check_def(&def, &self.schema)?;
+        self.event_defs.push(def);
+        Ok(self)
+    }
+
     /// Bound on the group-commit submission queue: commits beyond it
     /// fail with [`CommitError::Overload`] instead of growing memory
     /// while the log writer is stalled. Values of 0 are treated as 1.
@@ -1371,7 +1518,7 @@ impl DatabaseBuilder {
             ));
         }
         let initial = match self.initial {
-            Some(s) => s,
+            Some(s) => ensure_schema_relations(&self.schema, s)?,
             None => self.schema.initial_state(),
         };
         let mut db = Database::with_initial(self.schema, initial)?.with_options(self.opts);
@@ -1379,6 +1526,9 @@ impl DatabaseBuilder {
         db.default_isolation = self.default_isolation;
         if let Some(m) = self.metrics {
             db = db.with_metrics(m);
+        }
+        for def in &self.event_defs {
+            db.events.register_def(def, &db.schema, &db.metrics)?;
         }
         for c in self.constraints {
             db.add_constraint(c)?;
@@ -1408,18 +1558,18 @@ impl DatabaseBuilder {
             let _span = metrics.span("recover");
             wal::recover_log(&mut *store, &self.schema, &metrics)?
         };
-        let (state, version, report) = match recovered {
-            Some(r) => (r.state, r.version, r.report),
+        let (state, version, report, replayed) = match recovered {
+            Some(r) => (r.state, r.version, r.report, r.replayed),
             None => {
                 let state = match &self.initial {
-                    Some(s) => s.clone(),
+                    Some(s) => ensure_schema_relations(&self.schema, s.clone())?,
                     None => self.schema.initial_state(),
                 };
                 let report = RecoveryReport {
                     fresh: true,
                     ..RecoveryReport::default()
                 };
-                (state, 0, report)
+                (state, 0, report, Vec::new())
             }
         };
         let wal = match self.durability {
@@ -1470,6 +1620,21 @@ impl DatabaseBuilder {
                 db.writer_thread = Some(thread);
             }
             db.committer = Some(committer);
+        }
+        for def in &self.event_defs {
+            db.events.register_def(def, &db.schema, &db.metrics)?;
+        }
+        if !replayed.is_empty() {
+            if db.events.is_active() {
+                // Replay the recovered commit suffix through the
+                // automata: rebuilds their join state and re-fires any
+                // match whose materialization the crash lost
+                // (insert-if-absent makes the replay idempotent).
+                db.events.seed_replay(replayed);
+                db.dispatch_events();
+            } else {
+                db.events.seed_history(replayed);
+            }
         }
         for c in self.constraints {
             // add_constraint checks the constraint against the (possibly
@@ -1820,10 +1985,16 @@ impl<'db> Session<'db> {
                 }
                 None => None,
             };
+            let evt = db.events.is_active().then(|| exec.delta.clone());
             db.step(StepPoint::Install);
             head.install(label, Arc::clone(&state), exec.delta, db.max_window);
             db.metrics.bump(Counter::CommitsApplied);
+            if let Some(d) = evt {
+                // enqueue under the head lock: queue order = commit order
+                db.events.enqueue(version, d);
+            }
             drop(head);
+            db.dispatch_events();
             self.base_version = version;
             self.base = state;
             self.reads_since = version;
@@ -1872,10 +2043,15 @@ impl<'db> Session<'db> {
                         }
                         None => None,
                     };
+                    let evt = db.events.is_active().then(|| rebased.clone());
                     db.step(StepPoint::Install);
                     head.install(label, Arc::clone(&state), rebased, db.max_window);
                     db.metrics.bump(Counter::CommitsForwarded);
+                    if let Some(d) = evt {
+                        db.events.enqueue(version, d);
+                    }
                     drop(head);
+                    db.dispatch_events();
                     self.base_version = version;
                     self.base = state;
                     self.reads_since = version;
@@ -2086,6 +2262,195 @@ mod tests {
         s.commit("hire", &tx("insert(tuple('ann', 900), EMP)"), &Env::new())
             .unwrap();
         assert_eq!(db.head_version(), 1);
+    }
+
+    #[test]
+    fn materialized_event_pattern_maintains_history_relation() {
+        let db = Database::builder(schema())
+            .event_pattern(PatternDef::materialized(
+                "fired",
+                Pattern::parse("delete(EMP, N, _)").unwrap(),
+                "FIRED",
+                &["N"],
+            ))
+            .unwrap()
+            .build()
+            .unwrap();
+        assert!(db.schema().expect("FIRED").unwrap().system);
+        let fired = db.schema().rel_id("FIRED").unwrap();
+        let mut s = db.session();
+        s.commit("hire", &tx("insert(tuple('ann', 500), EMP)"), &Env::new())
+            .unwrap();
+        assert!(db.snapshot().relation(fired).unwrap().is_empty());
+        s.commit("fire", &tx("delete(tuple('ann', 500), EMP)"), &Env::new())
+            .unwrap();
+        // the dispatch ran synchronously: the system commit is already
+        // installed when the user commit returns
+        let head = db.snapshot();
+        assert!(head
+            .relation(fired)
+            .unwrap()
+            .contains_fields(&[Atom::str("ann")]));
+        assert_eq!(db.head_version(), 3, "materialization consumed a version");
+        // re-firing the same name does not duplicate the history row
+        s.refresh();
+        s.commit("rehire", &tx("insert(tuple('ann', 700), EMP)"), &Env::new())
+            .unwrap();
+        s.commit("refire", &tx("delete(tuple('ann', 700), EMP)"), &Env::new())
+            .unwrap();
+        assert_eq!(db.snapshot().relation(fired).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn subscriptions_deliver_matches_in_commit_order() {
+        let db = Database::new(schema()).unwrap();
+        let seen: Arc<Mutex<Vec<(u64, String)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let p = Pattern::parse("insert(EMP, N, _)").unwrap();
+        let id = db
+            .subscribe_pattern(
+                "hires",
+                &p,
+                Arc::new(move |n: &crate::events::EventNotification| {
+                    let name = n.binding.values().next().unwrap();
+                    sink.lock().unwrap().push((n.version, name.to_string()));
+                }),
+            )
+            .unwrap();
+        // duplicate names are rejected
+        assert!(db.subscribe_pattern("hires", &p, Arc::new(|_| {})).is_err());
+        let mut s = db.session();
+        s.commit("h1", &tx("insert(tuple('ann', 500), EMP)"), &Env::new())
+            .unwrap();
+        s.commit("h2", &tx("insert(tuple('bob', 400), EMP)"), &Env::new())
+            .unwrap();
+        assert_eq!(
+            *seen.lock().unwrap(),
+            vec![(1, "'ann'".to_string()), (2, "'bob'".to_string())]
+        );
+        assert!(db.unsubscribe(id));
+        assert!(!db.unsubscribe(id));
+        s.commit("h3", &tx("insert(tuple('cyd', 300), EMP)"), &Env::new())
+            .unwrap();
+        assert_eq!(seen.lock().unwrap().len(), 2, "unsubscribed");
+    }
+
+    #[test]
+    fn late_subscription_primes_silently_over_history() {
+        let db = Database::new(schema()).unwrap();
+        let mut s = db.session();
+        s.commit("fire", &tx("insert(tuple('ann'), LOG)"), &Env::new())
+            .unwrap();
+        let seen: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        // seq whose left half is already in the past at subscription time
+        let p = Pattern::parse("seq(insert(LOG, N), insert(EMP, N, _))").unwrap();
+        db.subscribe_pattern(
+            "seq",
+            &p,
+            Arc::new(move |n: &crate::events::EventNotification| {
+                sink.lock().unwrap().push(n.version);
+            }),
+        )
+        .unwrap();
+        // completes the seq: left primed from history, right live
+        s.commit("hire", &tx("insert(tuple('ann', 500), EMP)"), &Env::new())
+            .unwrap();
+        assert_eq!(*seen.lock().unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn event_pattern_registration_is_validated() {
+        // unknown relation
+        assert!(Database::builder(schema())
+            .event_pattern(PatternDef::named(
+                "p",
+                Pattern::parse("insert(NOPE, X)").unwrap()
+            ))
+            .is_err());
+        // materialization column not certainly bound (Or binds S on one
+        // branch only)
+        assert!(Database::builder(schema())
+            .event_pattern(PatternDef::materialized(
+                "p",
+                Pattern::parse("or(insert(EMP, N, S), delete(EMP, N, _))").unwrap(),
+                "OUT",
+                &["N", "S"],
+            ))
+            .is_err());
+        // patterns over system relations are rejected
+        let b = Database::builder(schema())
+            .event_pattern(PatternDef::materialized(
+                "fired",
+                Pattern::parse("delete(EMP, N, _)").unwrap(),
+                "FIRED",
+                &["N"],
+            ))
+            .unwrap();
+        assert!(b
+            .event_pattern(PatternDef::named(
+                "loop",
+                Pattern::parse("insert(FIRED, N)").unwrap()
+            ))
+            .is_err());
+    }
+
+    #[test]
+    fn materialized_relations_recover_with_the_log() {
+        use crate::wal::MemStore;
+        let def = || {
+            PatternDef::materialized(
+                "fired",
+                Pattern::parse("delete(EMP, N, _)").unwrap(),
+                "FIRED",
+                &["N"],
+            )
+        };
+        let store = MemStore::new();
+        {
+            let (db, _) = Database::builder(schema())
+                .event_pattern(def())
+                .unwrap()
+                .durability(Durability::Wal {
+                    sync_every: 1,
+                    checkpoint_every: 1024,
+                })
+                .open_store(Box::new(store.clone()))
+                .unwrap();
+            let mut s = db.session();
+            s.commit("hire", &tx("insert(tuple('ann', 500), EMP)"), &Env::new())
+                .unwrap();
+            s.commit("fire", &tx("delete(tuple('ann', 500), EMP)"), &Env::new())
+                .unwrap();
+            let fired = db.schema().rel_id("FIRED").unwrap();
+            assert_eq!(db.snapshot().relation(fired).unwrap().len(), 1);
+        }
+        // reopen from the logged bytes: the system commit replays (or
+        // re-fires idempotently) and the history relation survives
+        let (db, report) = Database::builder(schema())
+            .event_pattern(def())
+            .unwrap()
+            .durability(Durability::Wal {
+                sync_every: 1,
+                checkpoint_every: 1024,
+            })
+            .open_store(Box::new(MemStore::from_bytes(store.contents())))
+            .unwrap();
+        assert!(!report.fresh);
+        let fired = db.schema().rel_id("FIRED").unwrap();
+        assert!(db
+            .snapshot()
+            .relation(fired)
+            .unwrap()
+            .contains_fields(&[Atom::str("ann")]));
+        // and the automaton state was rebuilt: a fresh fire of a new
+        // name still materializes
+        let mut s = db.session();
+        s.commit("hire2", &tx("insert(tuple('bob', 400), EMP)"), &Env::new())
+            .unwrap();
+        s.commit("fire2", &tx("delete(tuple('bob', 400), EMP)"), &Env::new())
+            .unwrap();
+        assert_eq!(db.snapshot().relation(fired).unwrap().len(), 2);
     }
 
     #[test]

@@ -1,0 +1,385 @@
+//! The reactive-event hub: complex-event automata over the commit
+//! stream.
+//!
+//! Every committed [`Delta`] is enqueued (under the head lock, so queue
+//! order is exactly commit order) and dispatched (outside it, on the
+//! committing thread) through the registered [`Automaton`]s. A match
+//! drives two effects:
+//!
+//! * **Materialization** — patterns registered with
+//!   [`PatternDef::materialized`] install their matches as tuples of a
+//!   system-maintained relation, via a validation-skipping system
+//!   commit (see `Database::install_system_rows`). Inserts are
+//!   if-absent, so re-firing after crash recovery is idempotent —
+//!   delivery into history relations is *at-least-once*.
+//! * **Notification** — in-process subscribers registered with
+//!   `Database::subscribe_pattern` get a callback per match, in commit
+//!   order. The wire protocol's `Subscribe` rides on this.
+//!
+//! Dispatch is serialized by a `try_lock`ed mutex: whichever committing
+//! thread wins drains the whole queue, so a thread returning from
+//! `commit` has always seen its own commit dispatched (sequential
+//! workflows observe materialized relations immediately), and automata
+//! advance strictly in version order.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+
+use txlog_base::obs::{Counter, Metrics};
+use txlog_base::{Atom, RelId, Symbol, TxError, TxResult};
+use txlog_events::{Automaton, Binding};
+use txlog_relational::{Delta, Schema};
+
+pub use txlog_events::{EventKind, Materialize, PTerm, Pattern, PatternDef, PatternError};
+
+/// Bound on the retained dispatched-delta history. The history seeds
+/// the automaton of a pattern subscribed mid-stream (so joins may reach
+/// back to retained commits) and comes pre-seeded from WAL recovery's
+/// replayed suffix.
+const HISTORY_CAP: usize = 8192;
+
+/// Handle on one live subscription, returned by
+/// `Database::subscribe_pattern` and consumed by
+/// `Database::unsubscribe`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SubId(u64);
+
+/// One delivered match: which pattern fired, at which committed
+/// version, with which variable binding.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EventNotification {
+    /// The pattern's registry name.
+    pub name: String,
+    /// The version of the commit that completed the match.
+    pub version: u64,
+    /// The match's variable binding.
+    pub binding: Binding,
+}
+
+/// A subscriber callback. Invoked on the committing thread with no
+/// engine locks held; keep it short (enqueue and return) — a slow
+/// callback delays the committer that happens to be draining.
+pub type EventCallback = Arc<dyn Fn(&EventNotification) + Send + Sync>;
+
+/// The system-commit hook [`EventHub::drain`] hands each pattern's new
+/// rows to: `(pattern name, history relation, rows)`.
+pub(crate) type MaterializeFn<'a> = dyn FnMut(&str, RelId, Vec<Vec<Atom>>) + 'a;
+
+/// A materialization, resolved against the schema.
+struct MatSpec {
+    rel: RelId,
+    columns: Vec<Symbol>,
+}
+
+struct Registration {
+    name: String,
+    automaton: Automaton,
+    materialize: Option<MatSpec>,
+    subscribers: Vec<(SubId, EventCallback)>,
+}
+
+struct HubInner {
+    regs: Vec<Registration>,
+    queue: VecDeque<(u64, Delta)>,
+    history: VecDeque<(u64, Delta)>,
+    next_sub: u64,
+}
+
+/// The engine's event-dispatch stage. One per [`crate::Database`].
+pub(crate) struct EventHub {
+    /// True iff any registration exists — checked before cloning a
+    /// delta under the head lock, so databases without patterns pay
+    /// one atomic load per commit.
+    active: AtomicBool,
+    inner: Mutex<HubInner>,
+    /// Serializes dispatch. Only ever `try_lock`ed: a committer that
+    /// loses the race leaves its queue entry for the current drainer.
+    dispatch: Mutex<()>,
+}
+
+/// What one queue item resolved to, computed under the inner lock and
+/// effected outside it.
+struct Effects {
+    mats: Vec<(String, RelId, Vec<Vec<Atom>>)>,
+    notes: Vec<(EventCallback, EventNotification)>,
+}
+
+/// Reject patterns over system relations: a materialization feeding an
+/// automaton would loop, and system relations are engine-written in the
+/// first place.
+fn reject_system_rels(pattern: &Pattern, schema: &Schema) -> TxResult<()> {
+    for rel in pattern.rels() {
+        if schema.by_name(rel).is_some_and(|d| d.system) {
+            return Err(TxError::schema(format!(
+                "event patterns cannot watch system relation {rel} \
+                 (system relations are themselves event-maintained)"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Validate a definition against a schema without registering it — the
+/// builder's early error path.
+pub(crate) fn check_def(def: &PatternDef, schema: &Schema) -> TxResult<()> {
+    reject_system_rels(&def.pattern, schema)?;
+    Automaton::compile(&def.pattern, schema)
+        .map_err(|e| TxError::schema(format!("event pattern {}: {e}", def.name)))?;
+    Ok(())
+}
+
+impl EventHub {
+    pub(crate) fn new() -> EventHub {
+        EventHub {
+            active: AtomicBool::new(false),
+            inner: Mutex::new(HubInner {
+                regs: Vec::new(),
+                queue: VecDeque::new(),
+                history: VecDeque::new(),
+                next_sub: 0,
+            }),
+            dispatch: Mutex::new(()),
+        }
+    }
+
+    pub(crate) fn is_active(&self) -> bool {
+        self.active.load(Relaxed)
+    }
+
+    /// Pre-seed the dispatch queue with WAL recovery's replayed commit
+    /// suffix, so a subsequent drain replays it through every automaton
+    /// (and re-materializes any match the crash lost).
+    pub(crate) fn seed_replay(&self, replayed: Vec<(u64, Delta)>) {
+        let mut inner = self.inner.lock().expect("event hub lock");
+        inner.queue.extend(replayed);
+    }
+
+    /// Record a recovered suffix as already-dispatched history — the
+    /// no-registrations variant of [`EventHub::seed_replay`], so a later
+    /// live subscription can still prime over it.
+    pub(crate) fn seed_history(&self, replayed: Vec<(u64, Delta)>) {
+        let mut inner = self.inner.lock().expect("event hub lock");
+        inner.history.extend(replayed);
+        while inner.history.len() > HISTORY_CAP {
+            inner.history.pop_front();
+        }
+    }
+
+    /// Register a build-time pattern definition. The schema already
+    /// declares the materialized relation (the builder added it).
+    pub(crate) fn register_def(
+        &self,
+        def: &PatternDef,
+        schema: &Schema,
+        metrics: &Metrics,
+    ) -> TxResult<()> {
+        reject_system_rels(&def.pattern, schema)?;
+        let automaton = Automaton::compile(&def.pattern, schema)
+            .map_err(|e| TxError::schema(format!("event pattern {}: {e}", def.name)))?;
+        let materialize = match &def.materialize {
+            None => None,
+            Some(m) => {
+                let certain = def.pattern.certain_vars();
+                let mut columns = Vec::with_capacity(m.columns.len());
+                for c in &m.columns {
+                    let v = Symbol::new(c);
+                    if !certain.contains(&v) {
+                        return Err(TxError::schema(format!(
+                            "event pattern {}: materialization column {c} is not \
+                             certainly bound by the pattern",
+                            def.name
+                        )));
+                    }
+                    columns.push(v);
+                }
+                Some(MatSpec {
+                    rel: schema.rel_id(&m.relation)?,
+                    columns,
+                })
+            }
+        };
+        let mut inner = self.inner.lock().expect("event hub lock");
+        if inner.regs.iter().any(|r| r.name == def.name) {
+            return Err(TxError::schema(format!(
+                "event pattern {} is already registered",
+                def.name
+            )));
+        }
+        inner.regs.push(Registration {
+            name: def.name.clone(),
+            automaton,
+            materialize,
+            subscribers: Vec::new(),
+        });
+        drop(inner);
+        self.active.store(true, Relaxed);
+        metrics.bump(Counter::EvtPatterns);
+        Ok(())
+    }
+
+    /// Register a live, subscription-only pattern. The fresh automaton
+    /// is primed over the retained history *silently* (no
+    /// notifications): matches completing at or after the subscription
+    /// are delivered, matches wholly in the past are not. `primer`
+    /// supplements the hub's own history (which only accumulates while
+    /// some registration exists) with deltas the caller retained — the
+    /// head's recent delta log; overlapping versions are advanced once,
+    /// and versions still queued for dispatch are left to the dispatcher
+    /// (they advance this automaton like any other).
+    pub(crate) fn subscribe(
+        &self,
+        name: &str,
+        pattern: &Pattern,
+        schema: &Schema,
+        callback: EventCallback,
+        metrics: &Metrics,
+        primer: &[(u64, Delta)],
+    ) -> TxResult<SubId> {
+        reject_system_rels(pattern, schema)?;
+        let mut automaton = Automaton::compile(pattern, schema)
+            .map_err(|e| TxError::schema(format!("event pattern {name}: {e}")))?;
+        let mut inner = self.inner.lock().expect("event hub lock");
+        if inner.regs.iter().any(|r| r.name == name) {
+            return Err(TxError::schema(format!(
+                "event pattern {name} is already registered"
+            )));
+        }
+        let queued_from = inner.queue.front().map_or(u64::MAX, |(v, _)| *v);
+        {
+            let mut by_version: std::collections::BTreeMap<u64, &Delta> =
+                inner.history.iter().map(|(v, d)| (*v, d)).collect();
+            for (v, d) in primer {
+                by_version.entry(*v).or_insert(d);
+            }
+            for (v, delta) in by_version {
+                if v >= queued_from {
+                    break;
+                }
+                let _ = automaton.advance(delta);
+            }
+        }
+        let id = SubId(inner.next_sub);
+        inner.next_sub += 1;
+        inner.regs.push(Registration {
+            name: name.to_string(),
+            automaton,
+            materialize: None,
+            subscribers: vec![(id, callback)],
+        });
+        drop(inner);
+        self.active.store(true, Relaxed);
+        metrics.bump(Counter::EvtPatterns);
+        Ok(id)
+    }
+
+    /// Drop a subscription; the registration goes with it when nothing
+    /// else (a materialization, another subscriber) holds it. Returns
+    /// false for an unknown (or already-removed) id.
+    pub(crate) fn unsubscribe(&self, id: SubId) -> bool {
+        let mut inner = self.inner.lock().expect("event hub lock");
+        let mut found = false;
+        for reg in &mut inner.regs {
+            reg.subscribers.retain(|(s, _)| {
+                if *s == id {
+                    found = true;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        inner
+            .regs
+            .retain(|r| r.materialize.is_some() || !r.subscribers.is_empty());
+        if inner.regs.is_empty() {
+            self.active.store(false, Relaxed);
+        }
+        found
+    }
+
+    /// Enqueue a committed delta. Caller holds the head lock — that is
+    /// what makes queue order commit order.
+    pub(crate) fn enqueue(&self, version: u64, delta: Delta) {
+        let mut inner = self.inner.lock().expect("event hub lock");
+        inner.queue.push_back((version, delta));
+    }
+
+    /// Drain the queue through every automaton. `materialize` performs
+    /// the system commit for one pattern's new rows (it takes the head
+    /// lock; no hub lock is held around the call). Non-blocking when
+    /// another thread is already draining — the current drainer picks
+    /// the entry up.
+    pub(crate) fn drain(&self, metrics: &Metrics, materialize: &mut MaterializeFn<'_>) {
+        loop {
+            let Ok(guard) = self.dispatch.try_lock() else {
+                return;
+            };
+            loop {
+                let item = {
+                    let mut inner = self.inner.lock().expect("event hub lock");
+                    inner.queue.pop_front()
+                };
+                let Some((version, delta)) = item else { break };
+                let effects = self.advance_all(version, delta, metrics);
+                for (name, rel, rows) in effects.mats {
+                    materialize(&name, rel, rows);
+                }
+                for (cb, note) in effects.notes {
+                    metrics.bump(Counter::EvtNotificationsSent);
+                    cb(&note);
+                }
+            }
+            drop(guard);
+            // A commit that raced our unlock may have enqueued after we
+            // saw an empty queue; loop once more rather than strand it.
+            if self.inner.lock().expect("event hub lock").queue.is_empty() {
+                return;
+            }
+        }
+    }
+
+    /// Advance every automaton by one delta (under the inner lock) and
+    /// collect the effects to apply outside it.
+    fn advance_all(&self, version: u64, delta: Delta, metrics: &Metrics) -> Effects {
+        let _span = metrics.span("events.dispatch");
+        let mut effects = Effects {
+            mats: Vec::new(),
+            notes: Vec::new(),
+        };
+        let mut inner = self.inner.lock().expect("event hub lock");
+        for reg in &mut inner.regs {
+            let fired = reg.automaton.advance(&delta);
+            metrics.add(Counter::EvtSteps, fired.steps);
+            if fired.matches.is_empty() {
+                continue;
+            }
+            metrics.add(Counter::EvtMatches, fired.matches.len() as u64);
+            if let Some(m) = &reg.materialize {
+                let rows: Vec<Vec<Atom>> = fired
+                    .matches
+                    .iter()
+                    .map(|b| m.columns.iter().map(|c| b[c]).collect())
+                    .collect();
+                effects.mats.push((reg.name.clone(), m.rel, rows));
+            }
+            for (_, cb) in &reg.subscribers {
+                for binding in &fired.matches {
+                    effects.notes.push((
+                        Arc::clone(cb),
+                        EventNotification {
+                            name: reg.name.clone(),
+                            version,
+                            binding: binding.clone(),
+                        },
+                    ));
+                }
+            }
+        }
+        inner.history.push_back((version, delta));
+        while inner.history.len() > HISTORY_CAP {
+            inner.history.pop_front();
+        }
+        effects
+    }
+}

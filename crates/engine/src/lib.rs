@@ -23,6 +23,7 @@
 
 pub mod db;
 pub mod env;
+pub mod events;
 pub mod exec;
 pub mod explain;
 mod group;
@@ -37,6 +38,7 @@ pub use db::{
     IsolationLevel, Prepared, RetryPolicy, Session, SessionOptions,
 };
 pub use env::{Binding, Env};
+pub use events::{EventCallback, EventNotification, SubId};
 pub use exec::{
     check_program, Engine, EngineBuilder, EvalOptions, Execution, PlanMode, ProgramKind,
 };

@@ -643,6 +643,11 @@ pub(crate) struct RecoveredLog {
     pub state: DbState,
     pub version: u64,
     pub report: RecoveryReport,
+    /// The replayed commit suffix (version, delta) in commit order —
+    /// everything since the checkpoint replay started from. The event
+    /// dispatcher replays these through registered automata so pattern
+    /// state survives recovery.
+    pub replayed: Vec<(u64, Delta)>,
 }
 
 /// One parsed, checksum-valid record.
@@ -810,6 +815,7 @@ pub(crate) fn recover_log(
     };
     let mut version = checkpoint_version;
     let replayed = suffix.len() as u64;
+    let mut replayed_deltas = Vec::with_capacity(suffix.len());
     for (v, next_tuple, delta) in suffix {
         state = delta.apply(&state).map_err(|e| WalError::Corrupt {
             offset: valid_end,
@@ -818,10 +824,12 @@ pub(crate) fn recover_log(
         state.advance_allocator(next_tuple);
         version = v;
         metrics.bump(Counter::RecoverReplayedDeltas);
+        replayed_deltas.push((v, delta));
     }
     Ok(Some(RecoveredLog {
         state,
         version,
+        replayed: replayed_deltas,
         report: RecoveryReport {
             version,
             checkpoint_version,

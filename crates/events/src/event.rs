@@ -1,0 +1,119 @@
+//! Primitive change events extracted from committed deltas, and the
+//! variable bindings pattern matches carry.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use txlog_base::{Atom, RelId, Symbol};
+use txlog_relational::Delta;
+
+use crate::pattern::EventKind;
+
+/// A pattern match's variable assignment. `BTreeMap` keeps iteration
+/// deterministic, which the dispatch order and wire encoding rely on.
+pub type Binding = BTreeMap<Symbol, Atom>;
+
+/// One primitive change inside a committed delta.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Event {
+    /// Insert or delete.
+    pub kind: EventKind,
+    /// The relation the tuple changed in.
+    pub rel: RelId,
+    /// The tuple's field values (for a modify, the old value is a
+    /// delete event and the new value an insert event).
+    pub fields: Arc<[Atom]>,
+}
+
+/// The primitive events of a committed delta, in deterministic order
+/// (relations by id, then deletes before inserts, tuples by id). A
+/// modify contributes a delete of the old value and an insert of the
+/// new one — the same decomposition the paper's action axioms use.
+pub fn events_of_delta(delta: &Delta) -> Vec<Event> {
+    let mut out = Vec::new();
+    for (rel, rd) in delta.rels() {
+        for fields in rd.deleted.values() {
+            out.push(Event {
+                kind: EventKind::Delete,
+                rel,
+                fields: fields.clone(),
+            });
+        }
+        for change in rd.modified.values() {
+            out.push(Event {
+                kind: EventKind::Delete,
+                rel,
+                fields: change.old.clone(),
+            });
+        }
+        for fields in rd.inserted.values() {
+            out.push(Event {
+                kind: EventKind::Insert,
+                rel,
+                fields: fields.clone(),
+            });
+        }
+        for change in rd.modified.values() {
+            out.push(Event {
+                kind: EventKind::Insert,
+                rel,
+                fields: change.new.clone(),
+            });
+        }
+    }
+    out
+}
+
+/// Merge two bindings if they agree on every shared variable, `None`
+/// if they clash.
+pub fn merge_bindings(a: &Binding, b: &Binding) -> Option<Binding> {
+    let mut out = a.clone();
+    for (var, val) in b {
+        match out.get(var) {
+            Some(existing) if existing != val => return None,
+            _ => {
+                out.insert(*var, *val);
+            }
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txlog_relational::{Schema, TupleVal};
+
+    #[test]
+    fn modify_decomposes_into_delete_then_insert() {
+        let schema = Schema::new().relation("R", &["a"]).unwrap();
+        let rel = schema.rel_id("R").unwrap();
+        let s0 = schema.initial_state();
+        let (s1, id) = s0.insert_fields(rel, &[Atom::nat(1)]).unwrap();
+        let s2 = s1
+            .modify(
+                &TupleVal::identified(id, vec![Atom::nat(1)]),
+                1,
+                Atom::nat(2),
+            )
+            .unwrap();
+        let delta = s1.diff(&s2);
+        let events = events_of_delta(&delta);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, EventKind::Delete);
+        assert_eq!(events[0].fields.as_ref(), &[Atom::nat(1)]);
+        assert_eq!(events[1].kind, EventKind::Insert);
+        assert_eq!(events[1].fields.as_ref(), &[Atom::nat(2)]);
+    }
+
+    #[test]
+    fn merge_rejects_clashes_and_unions_otherwise() {
+        let x = Symbol::new("X");
+        let y = Symbol::new("Y");
+        let a: Binding = [(x, Atom::nat(1))].into_iter().collect();
+        let b: Binding = [(x, Atom::nat(1)), (y, Atom::nat(2))].into_iter().collect();
+        let c: Binding = [(x, Atom::nat(9))].into_iter().collect();
+        assert_eq!(merge_bindings(&a, &b).unwrap().len(), 2);
+        assert!(merge_bindings(&a, &c).is_none());
+    }
+}

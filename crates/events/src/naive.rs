@@ -1,0 +1,185 @@
+//! The executable specification: full-history re-evaluation.
+//!
+//! [`naive_matches`] recomputes a pattern's complete match set from
+//! the recorded commit history every time it is called — O(history²)
+//! and proud of it. It exists so the differential property tests can
+//! pin [`crate::Automaton`]'s incremental answers against an
+//! implementation simple enough to read as the semantics:
+//!
+//! * a primitive matches at every version whose delta carries a
+//!   unifying event;
+//! * `or` is union; `and` pairs compatible matches at the later of the
+//!   two versions; `seq` additionally requires the left strictly
+//!   earlier and takes the right's version;
+//! * `without` keeps a left match at `v` iff no compatible right match
+//!   exists at any version ≤ `v`.
+
+use std::collections::BTreeSet;
+
+use txlog_relational::{Delta, Schema};
+
+use crate::event::{events_of_delta, merge_bindings, Binding};
+use crate::pattern::{Pattern, PatternError, Prim};
+
+/// A pattern's complete match set over a recorded history of
+/// `(version, delta)` pairs (which need not start at version 1 — the
+/// versions only need to be strictly increasing).
+pub fn naive_matches(
+    pattern: &Pattern,
+    schema: &Schema,
+    history: &[(u64, Delta)],
+) -> Result<BTreeSet<(u64, Binding)>, PatternError> {
+    check(pattern, schema)?;
+    Ok(eval(pattern, schema, history))
+}
+
+/// Surface the same compile errors the automaton would.
+fn check(pattern: &Pattern, schema: &Schema) -> Result<(), PatternError> {
+    match pattern {
+        Pattern::Prim(p) => {
+            let decl = schema
+                .by_name(p.rel)
+                .ok_or_else(|| PatternError::UnknownRelation(p.rel.as_str().to_string()))?;
+            if decl.arity() != p.terms.len() {
+                return Err(PatternError::Arity {
+                    rel: p.rel.as_str().to_string(),
+                    expected: decl.arity(),
+                    got: p.terms.len(),
+                });
+            }
+            Ok(())
+        }
+        Pattern::Seq(a, b) | Pattern::And(a, b) | Pattern::Or(a, b) | Pattern::Without(a, b) => {
+            check(a, schema)?;
+            check(b, schema)
+        }
+    }
+}
+
+fn eval(pattern: &Pattern, schema: &Schema, history: &[(u64, Delta)]) -> BTreeSet<(u64, Binding)> {
+    match pattern {
+        Pattern::Prim(p) => prim_matches(p, schema, history),
+        Pattern::Or(a, b) => {
+            let mut out = eval(a, schema, history);
+            out.extend(eval(b, schema, history));
+            out
+        }
+        Pattern::And(a, b) => {
+            let ma = eval(a, schema, history);
+            let mb = eval(b, schema, history);
+            let mut out = BTreeSet::new();
+            for (va, ba) in &ma {
+                for (vb, bb) in &mb {
+                    if let Some(m) = merge_bindings(ba, bb) {
+                        out.insert(((*va).max(*vb), m));
+                    }
+                }
+            }
+            out
+        }
+        Pattern::Seq(a, b) => {
+            let ma = eval(a, schema, history);
+            let mb = eval(b, schema, history);
+            let mut out = BTreeSet::new();
+            for (va, ba) in &ma {
+                for (vb, bb) in &mb {
+                    if va < vb {
+                        if let Some(m) = merge_bindings(ba, bb) {
+                            out.insert((*vb, m));
+                        }
+                    }
+                }
+            }
+            out
+        }
+        Pattern::Without(a, b) => {
+            let ma = eval(a, schema, history);
+            let mb = eval(b, schema, history);
+            ma.into_iter()
+                .filter(|(va, ba)| {
+                    !mb.iter()
+                        .any(|(vb, bb)| vb <= va && merge_bindings(ba, bb).is_some())
+                })
+                .collect()
+        }
+    }
+}
+
+fn prim_matches(p: &Prim, schema: &Schema, history: &[(u64, Delta)]) -> BTreeSet<(u64, Binding)> {
+    let Some(decl) = schema.by_name(p.rel) else {
+        return BTreeSet::new();
+    };
+    let mut out = BTreeSet::new();
+    for (version, delta) in history {
+        for event in events_of_delta(delta) {
+            if event.kind == p.kind && event.rel == decl.id && event.fields.len() == p.terms.len() {
+                if let Some(binding) = crate::automaton::unify(&p.terms, &event) {
+                    out.insert((*version, binding));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txlog_base::Atom;
+    use txlog_relational::DbState;
+
+    fn schema() -> Schema {
+        Schema::new().relation("EMP", &["name", "sal"]).unwrap()
+    }
+
+    fn history(s: &Schema) -> Vec<(u64, Delta)> {
+        let rid = s.rel_id("EMP").unwrap();
+        let mut out = Vec::new();
+        let mut state = s.initial_state();
+        let push = |state: &mut DbState, next: DbState, v: u64, out: &mut Vec<(u64, Delta)>| {
+            out.push((v, state.diff(&next)));
+            *state = next;
+        };
+        let (s1, _) = state
+            .insert_fields(rid, &[Atom::str("ann"), Atom::nat(500)])
+            .unwrap();
+        push(&mut state, s1, 1, &mut out);
+        let s2 = state
+            .delete(
+                rid,
+                &txlog_relational::TupleVal::anonymous(vec![Atom::str("ann"), Atom::nat(500)]),
+            )
+            .unwrap();
+        push(&mut state, s2, 2, &mut out);
+        let (s3, _) = state
+            .insert_fields(rid, &[Atom::str("ann"), Atom::nat(700)])
+            .unwrap();
+        push(&mut state, s3, 3, &mut out);
+        out
+    }
+
+    #[test]
+    fn seq_is_strictly_ordered_in_the_specification_too() {
+        let s = schema();
+        let h = history(&s);
+        let p = Pattern::parse("seq(delete(EMP, N, _), insert(EMP, N, _))").unwrap();
+        let matches = naive_matches(&p, &s, &h).unwrap();
+        assert_eq!(matches.len(), 1);
+        let (v, binding) = matches.into_iter().next().unwrap();
+        assert_eq!(v, 3);
+        assert_eq!(
+            binding.into_iter().collect::<Vec<_>>(),
+            vec![(txlog_base::Symbol::new("N"), Atom::str("ann"))]
+        );
+    }
+
+    #[test]
+    fn compile_errors_match_the_automaton() {
+        let s = schema();
+        let p = Pattern::parse("insert(EMP, X)").unwrap();
+        assert!(matches!(
+            naive_matches(&p, &s, &[]),
+            Err(PatternError::Arity { .. })
+        ));
+    }
+}

@@ -298,6 +298,7 @@ impl Encoder {
             for a in &d.attrs {
                 self.str(a.as_str());
             }
+            self.u8(u8::from(d.system));
         }
     }
 }
@@ -522,12 +523,17 @@ impl<'a> Decoder<'a> {
             for _ in 0..attr_count {
                 attrs.push(self.str("attribute name")?.to_owned());
             }
+            let system = self.u8("system flag")? != 0;
             let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
-            s.add_relation(&name, &attr_refs)
-                .map_err(|e| CodecError::Invalid {
-                    offset: at,
-                    what: e.to_string(),
-                })?;
+            let added = if system {
+                s.add_system_relation(&name, &attr_refs)
+            } else {
+                s.add_relation(&name, &attr_refs)
+            };
+            added.map_err(|e| CodecError::Invalid {
+                offset: at,
+                what: e.to_string(),
+            })?;
         }
         Ok(s)
     }

@@ -20,6 +20,10 @@ pub struct RelDecl {
     pub id: RelId,
     /// Attribute names, in position order.
     pub attrs: Vec<Symbol>,
+    /// True for relations the engine maintains itself (materialized
+    /// event-pattern matches). User transactions may read them like
+    /// any other relation; only the event dispatcher writes them.
+    pub system: bool,
 }
 
 impl RelDecl {
@@ -31,6 +35,9 @@ impl RelDecl {
 
 impl fmt::Display for RelDecl {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.system {
+            write!(f, "system ")?;
+        }
         write!(f, "{}(", self.name)?;
         for (i, a) in self.attrs.iter().enumerate() {
             if i > 0 {
@@ -64,8 +71,23 @@ impl Schema {
         Ok(self)
     }
 
+    /// Declare a system-maintained relation (see [`RelDecl::system`]).
+    pub fn system_relation(mut self, name: &str, attrs: &[&str]) -> TxResult<Schema> {
+        self.add_system_relation(name, attrs)?;
+        Ok(self)
+    }
+
     /// Non-consuming form of [`Schema::relation`]; returns the new id.
     pub fn add_relation(&mut self, name: &str, attrs: &[&str]) -> TxResult<RelId> {
+        self.add_decl(name, attrs, false)
+    }
+
+    /// Non-consuming form of [`Schema::system_relation`].
+    pub fn add_system_relation(&mut self, name: &str, attrs: &[&str]) -> TxResult<RelId> {
+        self.add_decl(name, attrs, true)
+    }
+
+    fn add_decl(&mut self, name: &str, attrs: &[&str], system: bool) -> TxResult<RelId> {
         let name = Symbol::new(name);
         if self.by_name.contains_key(&name) {
             return Err(TxError::schema(format!("duplicate relation {name}")));
@@ -83,7 +105,12 @@ impl Schema {
         }
         let id = RelId(u32::try_from(self.decls.len()).expect("relation id overflow"));
         let ix = self.decls.len();
-        self.decls.push(RelDecl { name, id, attrs });
+        self.decls.push(RelDecl {
+            name,
+            id,
+            attrs,
+            system,
+        });
         self.by_name.insert(name, ix);
         self.by_id.insert(id, ix);
         Ok(id)
@@ -208,6 +235,17 @@ mod tests {
             assert!(r.is_empty());
             assert_eq!(r.arity(), d.arity());
         }
+    }
+
+    #[test]
+    fn system_relations_are_flagged_and_rendered() {
+        let s = employee_schema()
+            .system_relation("FIRED", &["f-name"])
+            .unwrap();
+        let decl = s.expect("FIRED").unwrap();
+        assert!(decl.system);
+        assert!(!s.expect("EMP").unwrap().system);
+        assert_eq!(decl.to_string(), "system FIRED(f-name)");
     }
 
     #[test]

@@ -7,15 +7,19 @@
 //! [`WireError`], so callers can distinguish a constraint violation
 //! from an overload without parsing strings.
 
+use std::collections::VecDeque;
 use std::io::{self, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
+use txlog_base::Atom;
 use txlog_relational::codec::CodecError;
 
 use crate::frame::{
-    read_frame_blocking, write_frame, FrameError, ReadOutcome, DEFAULT_MAX_FRAME_LEN,
+    read_frame_blocking, read_frame_timeout, write_frame, FrameError, ReadOutcome,
+    DEFAULT_MAX_FRAME_LEN,
 };
-use crate::proto::{Request, Response, WireError, PROTOCOL_VERSION};
+use crate::proto::{ErrorCode, Request, Response, WireError, PROTOCOL_VERSION};
 use txlog_engine::db::IsolationLevel;
 
 /// Why a client call failed.
@@ -90,12 +94,43 @@ pub struct RemoteCommit {
     pub forwarded: bool,
 }
 
+/// One event match pushed by the server (protocol v3).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Notification {
+    /// The subscription name given at [`Client::subscribe`] time.
+    pub name: String,
+    /// The commit version the match completed at. Per subscription,
+    /// notifications arrive in non-decreasing version order.
+    pub version: u64,
+    /// The match's variable binding, sorted by variable name.
+    pub binding: Vec<(String, Atom)>,
+}
+
+/// What [`Client::next_notification`] yields.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NotificationEvent {
+    /// An event match.
+    Match(Notification),
+    /// The named subscription overflowed the server's per-connection
+    /// queue and was dropped; its queued matches were discarded. The
+    /// client must re-subscribe to resume.
+    Overflow {
+        /// The dropped subscription's name.
+        name: String,
+        /// The server's queue capacity (the bound that was hit).
+        capacity: u64,
+    },
+}
+
 /// A connected, handshaken client.
 pub struct Client {
     stream: TcpStream,
     buf: Vec<u8>,
     max_frame_len: u32,
     info: ServerInfo,
+    /// Server-pushed frames that arrived while waiting for a reply;
+    /// drained by [`Client::next_notification`].
+    pending: VecDeque<NotificationEvent>,
 }
 
 impl std::fmt::Debug for Client {
@@ -122,6 +157,7 @@ impl Client {
                 head_version: 0,
                 relations: Vec::new(),
             },
+            pending: VecDeque::new(),
         };
         let resp = client.roundtrip(&Request::Hello {
             protocol: PROTOCOL_VERSION,
@@ -157,16 +193,56 @@ impl Client {
         self.read_response()
     }
 
-    /// Read the next response without sending anything — for draining
+    /// Read the next *reply* without sending anything — for draining
     /// replies to pipelined requests sent with [`Client::send_raw`].
+    /// Server-pushed notification frames encountered on the way are
+    /// stashed for [`Client::next_notification`], never returned here.
     pub fn read_response(&mut self) -> Result<Response, ClientError> {
-        match read_frame_blocking(&mut self.stream, &mut self.buf, self.max_frame_len)? {
-            ReadOutcome::Frame(payload) => Response::decode(&payload).map_err(ClientError::Decode),
-            ReadOutcome::Disconnected => Err(ClientError::Disconnected),
-            ReadOutcome::Corrupt(e) => Err(ClientError::Frame(e)),
-            ReadOutcome::IdleTimeout | ReadOutcome::Stalled => {
-                Err(ClientError::Protocol("blocking read timed out".to_string()))
+        loop {
+            let resp =
+                match read_frame_blocking(&mut self.stream, &mut self.buf, self.max_frame_len)? {
+                    ReadOutcome::Frame(payload) => {
+                        Response::decode(&payload).map_err(ClientError::Decode)?
+                    }
+                    ReadOutcome::Disconnected => return Err(ClientError::Disconnected),
+                    ReadOutcome::Corrupt(e) => return Err(ClientError::Frame(e)),
+                    ReadOutcome::IdleTimeout | ReadOutcome::Stalled | ReadOutcome::Wake => {
+                        return Err(ClientError::Protocol("blocking read timed out".to_string()))
+                    }
+                };
+            match self.stash(resp) {
+                Some(reply) => return Ok(reply),
+                None => continue,
             }
+        }
+    }
+
+    /// Stash a pushed frame; return replies untouched.
+    fn stash(&mut self, resp: Response) -> Option<Response> {
+        match resp {
+            Response::Notification {
+                name,
+                version,
+                binding,
+            } => {
+                self.pending
+                    .push_back(NotificationEvent::Match(Notification {
+                        name,
+                        version,
+                        binding,
+                    }));
+                None
+            }
+            Response::Error(e) if e.code == ErrorCode::SubscriptionOverflow => {
+                // The overflow frame names the subscription in its
+                // message and carries the queue bound in the detail.
+                self.pending.push_back(NotificationEvent::Overflow {
+                    name: e.message,
+                    capacity: e.detail,
+                });
+                None
+            }
+            other => Some(other),
         }
     }
 
@@ -301,6 +377,73 @@ impl Client {
         match self.roundtrip(&Request::Shutdown)? {
             Response::ShuttingDown => Ok(()),
             other => Err(unexpected("ShuttingDown", &other)),
+        }
+    }
+
+    /// Register an event-pattern subscription (protocol v3). Matches
+    /// from every later commit arrive as pushed frames; collect them
+    /// with [`Client::next_notification`].
+    pub fn subscribe(&mut self, name: &str, pattern: &str) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Subscribe {
+            name: name.to_string(),
+            pattern: pattern.to_string(),
+        })? {
+            Response::Subscribed { .. } => Ok(()),
+            other => Err(unexpected("Subscribed", &other)),
+        }
+    }
+
+    /// Drop a subscription by name. Matches already pushed (or already
+    /// queued server-side) may still arrive afterwards.
+    pub fn unsubscribe(&mut self, name: &str) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Unsubscribe {
+            name: name.to_string(),
+        })? {
+            Response::Unsubscribed { .. } => Ok(()),
+            other => Err(unexpected("Unsubscribed", &other)),
+        }
+    }
+
+    /// The next pushed notification event: one already stashed while
+    /// reading replies, or one read off the socket within `timeout`.
+    /// `Ok(None)` means the timeout elapsed with nothing pushed.
+    pub fn next_notification(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<Option<NotificationEvent>, ClientError> {
+        loop {
+            if let Some(ev) = self.pending.pop_front() {
+                return Ok(Some(ev));
+            }
+            let outcome = read_frame_timeout(
+                &self.stream,
+                &mut self.buf,
+                timeout,
+                timeout,
+                self.max_frame_len,
+                &|| false,
+                &|| false,
+            )
+            .map_err(ClientError::Io)?;
+            let resp = match outcome {
+                ReadOutcome::Frame(payload) => {
+                    Response::decode(&payload).map_err(ClientError::Decode)?
+                }
+                ReadOutcome::IdleTimeout | ReadOutcome::Stalled | ReadOutcome::Wake => {
+                    return Ok(None)
+                }
+                ReadOutcome::Disconnected => return Err(ClientError::Disconnected),
+                ReadOutcome::Corrupt(e) => return Err(ClientError::Frame(e)),
+            };
+            if let Some(reply) = self.stash(resp) {
+                // A non-pushed frame with no request outstanding — a
+                // drain Goodbye is expected protocol, anything else is
+                // the server talking out of turn.
+                return match reply {
+                    Response::Goodbye { .. } => Err(ClientError::Disconnected),
+                    other => Err(unexpected("Notification", &other)),
+                };
+            }
         }
     }
 }

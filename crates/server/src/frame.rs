@@ -133,6 +133,11 @@ pub enum ReadOutcome {
     IdleTimeout,
     /// A frame started but did not complete within the read budget.
     Stalled,
+    /// The caller's `wake` callback asked for control back (pending
+    /// out-of-band work, e.g. notification frames to push). Only
+    /// returned between frames — never with a frame partially read —
+    /// so the caller can write to the stream and re-enter.
+    Wake,
     /// The stream's bytes are not a valid frame (bad length or CRC).
     Corrupt(FrameError),
 }
@@ -166,6 +171,13 @@ fn take_frame(buf: &mut Vec<u8>, max: u32) -> Result<Option<Vec<u8>>, FrameError
 /// frame that has started arriving (that is the graceful-drain
 /// contract: a request already in flight on the wire is either fully
 /// read or the peer disconnects).
+///
+/// The `wake` callback is polled at the same points; returning true
+/// yields [`ReadOutcome::Wake`] so the caller can perform out-of-band
+/// writes (pushed notification frames). It is checked before
+/// `should_stop`, so pending pushes are flushed before a drain closes
+/// the connection, and — like `should_stop` — it never interrupts a
+/// frame mid-read.
 pub fn read_frame_timeout(
     stream: &TcpStream,
     buf: &mut Vec<u8>,
@@ -173,6 +185,7 @@ pub fn read_frame_timeout(
     read: Duration,
     max: u32,
     should_stop: &dyn Fn() -> bool,
+    wake: &dyn Fn() -> bool,
 ) -> io::Result<ReadOutcome> {
     let mut chunk = [0u8; 4096];
     let start = Instant::now();
@@ -190,6 +203,9 @@ pub fn read_frame_timeout(
         }
         match first_byte_at {
             None => {
+                if wake() && buf.is_empty() {
+                    return Ok(ReadOutcome::Wake);
+                }
                 if should_stop() && buf.is_empty() {
                     return Ok(ReadOutcome::IdleTimeout);
                 }

@@ -45,7 +45,7 @@ pub mod frame;
 pub mod proto;
 pub mod server;
 
-pub use client::{Client, ClientError, RemoteCommit, ServerInfo};
+pub use client::{Client, ClientError, Notification, NotificationEvent, RemoteCommit, ServerInfo};
 pub use frame::{FrameError, DEFAULT_MAX_FRAME_LEN};
 pub use proto::{ErrorCode, Request, Response, WireError, PROTOCOL_VERSION};
 pub use server::{Server, ServerConfig};

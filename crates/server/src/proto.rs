@@ -15,18 +15,24 @@
 //! payload (head version raced against, attempts spent, queue capacity)
 //! rides in [`WireError::detail`].
 
+use txlog_base::Atom;
 use txlog_engine::db::{CommitError, IsolationLevel};
 use txlog_relational::codec::{CodecError, Decoder, Encoder};
 
 /// The protocol version this build speaks. Version 2 added the
 /// optional isolation field on [`Request::Begin`] and the
-/// [`ErrorCode::SerializationFailure`] code; both are strict extensions,
+/// [`ErrorCode::SerializationFailure`] code. Version 3 adds event
+/// subscriptions: [`Request::Subscribe`]/[`Request::Unsubscribe`], the
+/// [`Response::Subscribed`]/[`Response::Unsubscribed`] acknowledgements,
+/// the server-pushed [`Response::Notification`] frame, and the
+/// [`ErrorCode::SubscriptionOverflow`] code. All are strict extensions,
 /// so the server still serves [`MIN_PROTOCOL_VERSION`] clients (their
-/// `Begin` frames simply carry no level and default to Snapshot). A
+/// `Begin` frames simply carry no level and default to Snapshot, and
+/// they never see a pushed frame because they cannot subscribe). A
 /// [`Request::Hello`] outside the supported range is refused with
 /// [`ErrorCode::Protocol`] — the handshake is how both sides find out
 /// before any state changes hands.
-pub const PROTOCOL_VERSION: u32 = 2;
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// The oldest protocol version the server still accepts.
 pub const MIN_PROTOCOL_VERSION: u32 = 1;
@@ -61,6 +67,8 @@ const REQ_ABORT: u8 = 7;
 const REQ_SHOW_STATE: u8 = 8;
 const REQ_METRICS: u8 = 9;
 const REQ_SHUTDOWN: u8 = 10;
+const REQ_SUBSCRIBE: u8 = 11;
+const REQ_UNSUBSCRIBE: u8 = 12;
 
 // Response tags.
 const RESP_WELCOME: u8 = 0;
@@ -77,6 +85,9 @@ const RESP_ABORTED: u8 = 10;
 const RESP_SHUTTING_DOWN: u8 = 11;
 const RESP_GOODBYE: u8 = 12;
 const RESP_ERROR: u8 = 13;
+const RESP_SUBSCRIBED: u8 = 14;
+const RESP_UNSUBSCRIBED: u8 = 15;
+const RESP_NOTIFICATION: u8 = 16;
 
 /// A client-to-server message.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -135,6 +146,24 @@ pub enum Request {
     Metrics,
     /// Ask the server to drain and shut down gracefully.
     Shutdown,
+    /// Register an event-pattern subscription (protocol v3). Matches
+    /// arrive as server-pushed [`Response::Notification`] frames,
+    /// version-ordered, interleaved with this connection's replies.
+    Subscribe {
+        /// Subscription name, unique per connection; also the
+        /// database-side pattern registry name (prefixed per
+        /// connection), echoed on every notification.
+        name: String,
+        /// The pattern in text form (see the events crate's grammar,
+        /// e.g. `seq(delete(EMP, N, _), insert(EMP, N, _))`).
+        pattern: String,
+    },
+    /// Drop a subscription by name (protocol v3). Frames already
+    /// queued may still arrive before the acknowledgement.
+    Unsubscribe {
+        /// The name given at [`Request::Subscribe`] time.
+        name: String,
+    },
 }
 
 /// A server-to-client message.
@@ -216,6 +245,28 @@ pub enum Response {
     /// The request failed; the connection stays usable unless the
     /// error says otherwise.
     Error(WireError),
+    /// A subscription is registered (protocol v3).
+    Subscribed {
+        /// The subscription name, echoed.
+        name: String,
+    },
+    /// A subscription was dropped (protocol v3).
+    Unsubscribed {
+        /// The subscription name, echoed.
+        name: String,
+    },
+    /// A server-pushed event match (protocol v3). Not a reply: it may
+    /// arrive between a request and its response, and clients must
+    /// stash it (see `Client::next_notification`). Per subscription,
+    /// notifications arrive in non-decreasing `version` order.
+    Notification {
+        /// The subscription name given at subscribe time.
+        name: String,
+        /// The commit version the match completed at.
+        version: u64,
+        /// The match's variable binding, sorted by variable name.
+        binding: Vec<(String, Atom)>,
+    },
 }
 
 /// Machine-readable failure categories carried on the wire.
@@ -256,6 +307,13 @@ pub enum ErrorCode {
     /// is the head version whose concurrent deltas intersected the
     /// session's reads. The transaction must be re-run from scratch.
     SerializationFailure = 12,
+    /// The connection's notification queue overflowed: the subscription
+    /// named in the message was dropped (its pending frames discarded)
+    /// because the client was not draining pushed frames fast enough.
+    /// `detail` is the queue capacity. Re-subscribe to resume; matches
+    /// already materialized can be recovered by querying the pattern's
+    /// history relation.
+    SubscriptionOverflow = 13,
 }
 
 impl ErrorCode {
@@ -276,6 +334,7 @@ impl ErrorCode {
             10 => ErrorCode::Unavailable,
             11 => ErrorCode::BadState,
             12 => ErrorCode::SerializationFailure,
+            13 => ErrorCode::SubscriptionOverflow,
             _ => return None,
         })
     }
@@ -296,6 +355,7 @@ impl ErrorCode {
             ErrorCode::Unavailable => "unavailable",
             ErrorCode::BadState => "bad-state",
             ErrorCode::SerializationFailure => "serialization-failure",
+            ErrorCode::SubscriptionOverflow => "subscription-overflow",
         }
     }
 }
@@ -439,6 +499,15 @@ impl Request {
             Request::ShowState => e.u8(REQ_SHOW_STATE),
             Request::Metrics => e.u8(REQ_METRICS),
             Request::Shutdown => e.u8(REQ_SHUTDOWN),
+            Request::Subscribe { name, pattern } => {
+                e.u8(REQ_SUBSCRIBE);
+                e.str(name);
+                e.str(pattern);
+            }
+            Request::Unsubscribe { name } => {
+                e.u8(REQ_UNSUBSCRIBE);
+                e.str(name);
+            }
         }
         e.finish()
     }
@@ -486,6 +555,13 @@ impl Request {
             REQ_SHOW_STATE => Request::ShowState,
             REQ_METRICS => Request::Metrics,
             REQ_SHUTDOWN => Request::Shutdown,
+            REQ_SUBSCRIBE => Request::Subscribe {
+                name: d.str("subscribe name")?.to_string(),
+                pattern: d.str("subscribe pattern")?.to_string(),
+            },
+            REQ_UNSUBSCRIBE => Request::Unsubscribe {
+                name: d.str("unsubscribe name")?.to_string(),
+            },
             other => {
                 return Err(CodecError::BadTag {
                     offset: 0,
@@ -576,6 +652,28 @@ impl Response {
                 e.str(&err.message);
                 e.u64(err.detail);
             }
+            Response::Subscribed { name } => {
+                e.u8(RESP_SUBSCRIBED);
+                e.str(name);
+            }
+            Response::Unsubscribed { name } => {
+                e.u8(RESP_UNSUBSCRIBED);
+                e.str(name);
+            }
+            Response::Notification {
+                name,
+                version,
+                binding,
+            } => {
+                e.u8(RESP_NOTIFICATION);
+                e.str(name);
+                e.u64(*version);
+                e.u32(u32::try_from(binding.len()).unwrap_or(u32::MAX));
+                for (var, atom) in binding {
+                    e.str(var);
+                    e.atom(*atom);
+                }
+            }
         }
         e.finish()
     }
@@ -641,6 +739,28 @@ impl Response {
                     detail: d.u64("error detail")?,
                 })
             }
+            RESP_SUBSCRIBED => Response::Subscribed {
+                name: d.str("subscribed name")?.to_string(),
+            },
+            RESP_UNSUBSCRIBED => Response::Unsubscribed {
+                name: d.str("unsubscribed name")?.to_string(),
+            },
+            RESP_NOTIFICATION => {
+                let name = d.str("notification name")?.to_string();
+                let version = d.u64("notification version")?;
+                let n = d.u32("notification binding count")?;
+                let mut binding = Vec::new();
+                for _ in 0..n {
+                    let var = d.str("notification variable")?.to_string();
+                    let atom = d.atom()?;
+                    binding.push((var, atom));
+                }
+                Response::Notification {
+                    name,
+                    version,
+                    binding,
+                }
+            }
             other => {
                 return Err(CodecError::BadTag {
                     offset: 0,
@@ -694,6 +814,13 @@ mod tests {
             Request::ShowState,
             Request::Metrics,
             Request::Shutdown,
+            Request::Subscribe {
+                name: "fires".to_string(),
+                pattern: "delete(EMP, N, _, _, _, _)".to_string(),
+            },
+            Request::Unsubscribe {
+                name: "fires".to_string(),
+            },
         ]
     }
 
@@ -736,6 +863,28 @@ mod tests {
                 reason: "idle".to_string(),
             },
             Response::Error(WireError::new(ErrorCode::Overload, "queue full").with_detail(8)),
+            Response::Subscribed {
+                name: "fires".to_string(),
+            },
+            Response::Unsubscribed {
+                name: "fires".to_string(),
+            },
+            Response::Notification {
+                name: "fires".to_string(),
+                version: 12,
+                binding: vec![
+                    ("N".to_string(), Atom::str("ann")),
+                    ("S".to_string(), Atom::nat(500)),
+                ],
+            },
+            Response::Notification {
+                name: "empty".to_string(),
+                version: 1,
+                binding: Vec::new(),
+            },
+            Response::Error(
+                WireError::new(ErrorCode::SubscriptionOverflow, "fires").with_detail(256),
+            ),
         ]
     }
 

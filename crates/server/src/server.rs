@@ -23,17 +23,20 @@
 //! idle connections get a [`Response::Goodbye`] at the next tick; then
 //! [`Server::join`] returns.
 
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use txlog_base::obs::{Counter, Metrics};
+use txlog_base::Atom;
 use txlog_engine::db::{CommitError, Database, Session, SessionOptions};
-use txlog_engine::Env;
+use txlog_engine::{Env, EventCallback, SubId};
+use txlog_events::Pattern;
 use txlog_logic::{parse_fformula, parse_fterm, FTerm, ParseCtx};
 use txlog_relational::{DbState, Schema};
 
@@ -65,6 +68,12 @@ pub struct ServerConfig {
     pub max_frame_len: u32,
     /// Name reported in the [`Response::Welcome`] handshake.
     pub server_name: String,
+    /// Per-connection bound on queued-but-unsent notification frames.
+    /// When a commit's matches would push a connection past it, the
+    /// slowest subscription is dropped: its queued frames are
+    /// discarded and replaced by one
+    /// [`ErrorCode::SubscriptionOverflow`] frame naming it.
+    pub notify_queue: usize,
 }
 
 impl Default for ServerConfig {
@@ -77,6 +86,7 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(10),
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
             server_name: "txlog".to_string(),
+            notify_queue: 256,
         }
     }
 }
@@ -93,6 +103,9 @@ struct Shared {
     /// The bound address, used to self-connect and wake the blocking
     /// `accept` when shutdown is requested from outside.
     addr: SocketAddr,
+    /// Monotonic connection serial, used to namespace each
+    /// connection's subscriptions in the database's pattern registry.
+    next_conn: AtomicU64,
 }
 
 impl Shared {
@@ -145,6 +158,7 @@ impl Server {
             active: AtomicUsize::new(0),
             stop: AtomicBool::new(false),
             addr: local,
+            next_conn: AtomicU64::new(0),
         });
         let (tx, rx) = mpsc::sync_channel::<TcpStream>(shared.cfg.accept_queue.max(1));
         let rx = Arc::new(Mutex::new(rx));
@@ -297,12 +311,48 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
 }
 
 /// Everything one connection owns: its session (snapshot + commit
-/// pipeline access), its residual receive buffer, and the staged
-/// transaction opened by `Begin`, if any.
+/// pipeline access), its residual receive buffer, the staged
+/// transaction opened by `Begin` (if any), and its subscriptions.
 struct Conn<'a> {
     session: Session<'a>,
     ctx: ParseCtx,
     staged: Option<Staged>,
+    /// This connection's serial, namespacing its registry names.
+    serial: u64,
+    /// Live subscriptions by client-facing name.
+    subs: HashMap<String, SubId>,
+    /// The bounded notification queue, shared with the event hub's
+    /// callbacks (which run on whichever thread commits).
+    notify: Arc<NotifyQueue>,
+}
+
+/// The per-connection notification mailbox. Hub callbacks fill it from
+/// committing threads; the connection's worker drains it between
+/// frames ([`ReadOutcome::Wake`]) and after each request.
+#[derive(Default)]
+struct NotifyQueue {
+    inner: Mutex<NotifyInner>,
+}
+
+#[derive(Default)]
+struct NotifyInner {
+    /// Frames awaiting the worker: notifications, plus one typed
+    /// overflow error per dropped subscription.
+    pending: VecDeque<Response>,
+    /// Subscriptions that overflowed: callbacks stop enqueueing for
+    /// them, and the worker unregisters them at the next flush.
+    dead: BTreeSet<String>,
+    /// Dead subscriptions not yet unregistered from the database.
+    to_drop: Vec<String>,
+}
+
+impl NotifyQueue {
+    fn has_pending(&self) -> bool {
+        self.inner
+            .lock()
+            .map(|i| !i.pending.is_empty() || !i.to_drop.is_empty())
+            .unwrap_or(false)
+    }
 }
 
 /// A multi-request transaction in progress: the statements staged so
@@ -325,9 +375,10 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
     };
 
     // ---- handshake: the first frame must be a matching Hello ----
-    let payload = match read_one(shared, &stream, &mut buf, &metrics) {
-        Some(p) => p,
-        None => return,
+    // No subscriptions can exist yet, so there is nothing to wake for.
+    let payload = match read_one(shared, &stream, &mut buf, &metrics, &|| false) {
+        ReadOne::Frame(p) => p,
+        ReadOne::Wake | ReadOne::Closed => return,
     };
     match Request::decode(&payload) {
         Ok(Request::Hello { protocol, .. })
@@ -379,39 +430,111 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
         session: shared.db.session(),
         ctx: ParseCtx::new(shared.db.schema().decls().iter().map(|d| d.name)),
         staged: None,
+        serial: shared.next_conn.fetch_add(1, Ordering::AcqRel),
+        subs: HashMap::new(),
+        notify: Arc::new(NotifyQueue::default()),
     };
+    // The wake closure must not borrow `conn` (the loop body holds it
+    // mutably), so it watches the mailbox through its own handle.
+    let mailbox = Arc::clone(&conn.notify);
 
     // ---- request loop ----
     loop {
-        let payload = match read_one(shared, &stream, &mut buf, &metrics) {
-            Some(p) => p,
-            None => return,
+        let payload = match read_one(shared, &stream, &mut buf, &metrics, &|| {
+            mailbox.has_pending()
+        }) {
+            ReadOne::Frame(p) => p,
+            ReadOne::Wake => {
+                // Notifications from other connections' commits landed
+                // while this one sat idle between frames.
+                if flush_notifications(shared, &mut conn, &mut stream).is_err() {
+                    break;
+                }
+                continue;
+            }
+            ReadOne::Closed => break,
         };
-        let _span = metrics.span("server.request");
-        let resp = match Request::decode(&payload) {
-            Ok(req) => handle_request(shared, &mut conn, req),
-            Err(e) => {
-                metrics.bump(Counter::ServerDecodeErrors);
-                // The frame checksum held, so the stream is still in
-                // sync: report and keep the connection.
-                Response::Error(WireError::new(ErrorCode::Decode, e.to_string()))
+        let resp = {
+            let _span = metrics.span("server.request");
+            match Request::decode(&payload) {
+                Ok(req) => handle_request(shared, &mut conn, req),
+                Err(e) => {
+                    metrics.bump(Counter::ServerDecodeErrors);
+                    // The frame checksum held, so the stream is still in
+                    // sync: report and keep the connection.
+                    Response::Error(WireError::new(ErrorCode::Decode, e.to_string()))
+                }
             }
         };
         if send(&mut stream, &resp).is_err() {
-            return;
+            break;
         }
+        // Matches this very request produced (dispatch is synchronous
+        // with commit) go out now, not at the next read tick.
+        if flush_notifications(shared, &mut conn, &mut stream).is_err() {
+            break;
+        }
+    }
+
+    // The connection is done; release its subscriptions so the hub
+    // stops filling a mailbox nobody will drain.
+    for (_, id) in conn.subs.drain() {
+        shared.db.unsubscribe(id);
     }
 }
 
+/// Drain the connection's notification mailbox: first unregister
+/// overflowed subscriptions from the database, then write every queued
+/// frame (matches and typed overflow errors) in arrival order. Called
+/// after each response and whenever the read loop wakes with pending
+/// frames.
+fn flush_notifications(
+    shared: &Shared,
+    conn: &mut Conn<'_>,
+    stream: &mut TcpStream,
+) -> io::Result<()> {
+    let (frames, drops) = {
+        let Ok(mut inner) = conn.notify.inner.lock() else {
+            return Ok(());
+        };
+        (
+            inner.pending.drain(..).collect::<Vec<_>>(),
+            std::mem::take(&mut inner.to_drop),
+        )
+    };
+    for name in drops {
+        if let Some(id) = conn.subs.remove(&name) {
+            shared.db.unsubscribe(id);
+        }
+    }
+    for resp in frames {
+        write_frame(stream, &resp.encode(), shared.cfg.max_frame_len)?;
+        shared.metrics().bump(Counter::ServerFramesOut);
+    }
+    Ok(())
+}
+
+/// What one read attempt produced for the connection loop.
+enum ReadOne {
+    /// A complete request frame.
+    Frame(Vec<u8>),
+    /// No frame yet, but the wake predicate fired: the caller has
+    /// notifications to flush before reading again.
+    Wake,
+    /// The connection is finished (the farewell, if any, has been
+    /// written).
+    Closed,
+}
+
 /// Read one frame for the connection loop, translating every
-/// non-frame outcome into the right farewell. `None` means the
-/// connection is finished (the farewell, if any, has been written).
+/// non-frame outcome into the right farewell.
 fn read_one(
     shared: &Shared,
     stream: &TcpStream,
     buf: &mut Vec<u8>,
     metrics: &Metrics,
-) -> Option<Vec<u8>> {
+    wake: &dyn Fn() -> bool,
+) -> ReadOne {
     let outcome = read_frame_timeout(
         stream,
         buf,
@@ -419,6 +542,7 @@ fn read_one(
         shared.cfg.read_timeout,
         shared.cfg.max_frame_len,
         &|| shared.stopping(),
+        wake,
     );
     let farewell = |resp: Response| {
         let mut s = stream;
@@ -431,9 +555,10 @@ fn read_one(
     match outcome {
         Ok(ReadOutcome::Frame(p)) => {
             metrics.bump(Counter::ServerFramesIn);
-            Some(p)
+            ReadOne::Frame(p)
         }
-        Ok(ReadOutcome::Disconnected) => None,
+        Ok(ReadOutcome::Wake) => ReadOne::Wake,
+        Ok(ReadOutcome::Disconnected) => ReadOne::Closed,
         Ok(ReadOutcome::IdleTimeout) => {
             let reason = if shared.stopping() {
                 "server shutting down"
@@ -443,14 +568,14 @@ fn read_one(
             farewell(Response::Goodbye {
                 reason: reason.to_string(),
             });
-            None
+            ReadOne::Closed
         }
         Ok(ReadOutcome::Stalled) => {
             farewell(Response::Error(WireError::new(
                 ErrorCode::Protocol,
                 "request frame stalled mid-read",
             )));
-            None
+            ReadOne::Closed
         }
         Ok(ReadOutcome::Corrupt(e)) => {
             // A bad length or checksum means framing is lost; nothing
@@ -460,9 +585,9 @@ fn read_one(
                 ErrorCode::Decode,
                 e.to_string(),
             )));
-            None
+            ReadOne::Closed
         }
-        Err(_) => None,
+        Err(_) => ReadOne::Closed,
     }
 }
 
@@ -550,6 +675,90 @@ fn handle_request<'a>(shared: &'a Shared, conn: &mut Conn<'a>, req: Request) -> 
             // any already-pipelined requests have been answered.
             Response::ShuttingDown
         }
+        Request::Subscribe { name, pattern } => subscribe(shared, conn, name, &pattern),
+        Request::Unsubscribe { name } => match conn.subs.remove(&name) {
+            Some(id) => {
+                shared.db.unsubscribe(id);
+                Response::Unsubscribed { name }
+            }
+            None => Response::Error(WireError::new(
+                ErrorCode::BadState,
+                format!("no subscription named {name}"),
+            )),
+        },
+    }
+}
+
+/// Register a wire subscription: parse the pattern text, register it
+/// under a name namespaced by the connection serial (two connections
+/// may both subscribe as "fires"), and wire the hub callback to the
+/// connection's bounded mailbox.
+fn subscribe(shared: &Shared, conn: &mut Conn<'_>, name: String, pattern: &str) -> Response {
+    if conn.subs.contains_key(&name) {
+        return Response::Error(WireError::new(
+            ErrorCode::BadState,
+            format!("a subscription named {name} is already active"),
+        ));
+    }
+    let parsed = match Pattern::parse(pattern) {
+        Ok(p) => p,
+        Err(e) => return Response::Error(WireError::new(ErrorCode::Parse, e.to_string())),
+    };
+    let metrics = shared.metrics().clone();
+    let mailbox = Arc::clone(&conn.notify);
+    let cap = shared.cfg.notify_queue.max(1);
+    let sub = name.clone();
+    let callback: EventCallback = Arc::new(move |n| {
+        let Ok(mut inner) = mailbox.inner.lock() else {
+            return;
+        };
+        if inner.dead.contains(&sub) {
+            // Overflowed earlier in this flush window; the worker has
+            // not unregistered it from the hub yet.
+            metrics.bump(Counter::EvtNotificationsDropped);
+            return;
+        }
+        if inner.pending.len() >= cap {
+            // The peer is not draining fast enough. Drop this
+            // subscription wholesale — a silent gap would violate the
+            // every-match guarantee, so its queued matches are replaced
+            // by one typed error naming it.
+            inner
+                .pending
+                .retain(|r| !matches!(r, Response::Notification { name, .. } if *name == sub));
+            inner.pending.push_back(Response::Error(
+                WireError::new(ErrorCode::SubscriptionOverflow, sub.clone())
+                    .with_detail(cap as u64),
+            ));
+            inner.dead.insert(sub.clone());
+            inner.to_drop.push(sub.clone());
+            metrics.bump(Counter::EvtNotificationsDropped);
+            return;
+        }
+        let mut binding: Vec<(String, Atom)> = n
+            .binding
+            .iter()
+            .map(|(v, a)| (v.as_str().to_string(), *a))
+            .collect();
+        binding.sort_by(|a, b| a.0.cmp(&b.0));
+        inner.pending.push_back(Response::Notification {
+            name: sub.clone(),
+            version: n.version,
+            binding,
+        });
+    });
+    let registry = format!("wire-{}/{}", conn.serial, name);
+    match shared.db.subscribe_pattern(&registry, &parsed, callback) {
+        Ok(id) => {
+            // A name freed by overflow may be reused once the client
+            // has seen the error frame.
+            if let Ok(mut inner) = conn.notify.inner.lock() {
+                inner.dead.remove(&name);
+            }
+            conn.subs.insert(name.clone(), id);
+            Response::Subscribed { name }
+        }
+        Err(e) => Response::Error(WireError::new(ErrorCode::Execution, e.to_string())),
     }
 }
 

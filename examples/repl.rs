@@ -22,6 +22,9 @@
 //!                              (:begin [read-committed|snapshot|serializable],
 //!                              :commit, :abort)
 //! :disconnect                  return to local mode
+//! :subscribe <name> <pattern>  (connected) register an event subscription
+//! :unsubscribe <name>          (connected) drop one
+//! :notifications [ms]          (connected) drain server-pushed matches
 //! help | quit
 //! ```
 
@@ -123,6 +126,62 @@ impl Repl {
                 .map_err(wire)
                 .map(|n| format!("aborted; {n} staged statements discarded")),
             ":metrics" => client.metrics_json().map_err(wire),
+            ":subscribe" => match rest.split_once(char::is_whitespace) {
+                Some((name, pattern)) => client
+                    .subscribe(name, pattern.trim())
+                    .map_err(wire)
+                    .map(|()| format!("subscribed {name}; drain with :notifications")),
+                None => Err(TxError::eval("usage: :subscribe <name> <pattern>")),
+            },
+            ":unsubscribe" => {
+                if rest.is_empty() {
+                    Err(TxError::eval("usage: :unsubscribe <name>"))
+                } else {
+                    client
+                        .unsubscribe(rest)
+                        .map_err(wire)
+                        .map(|()| format!("unsubscribed {rest}"))
+                }
+            }
+            ":notifications" => {
+                let wait = match rest {
+                    "" => Ok(std::time::Duration::from_millis(200)),
+                    ms => ms
+                        .parse::<u64>()
+                        .map(std::time::Duration::from_millis)
+                        .map_err(|_| TxError::eval("usage: :notifications [wait-ms]")),
+                };
+                wait.and_then(|wait| {
+                    let mut out = String::new();
+                    loop {
+                        match client.next_notification(wait).map_err(wire)? {
+                            Some(NotificationEvent::Match(n)) => {
+                                let binding = n
+                                    .binding
+                                    .iter()
+                                    .map(|(v, a)| format!("{v} = {a}"))
+                                    .collect::<Vec<_>>()
+                                    .join(", ");
+                                out.push_str(&format!(
+                                    "{} @ v{}: {{{binding}}}\n",
+                                    n.name, n.version
+                                ));
+                            }
+                            Some(NotificationEvent::Overflow { name, capacity }) => {
+                                out.push_str(&format!(
+                                    "{name}: OVERFLOW — dropped at queue capacity \
+                                     {capacity}; re-subscribe to resume\n"
+                                ));
+                            }
+                            None => break,
+                        }
+                    }
+                    if out.is_empty() {
+                        out.push_str("no notifications pending");
+                    }
+                    Ok(out.trim_end().to_string())
+                })
+            }
             ":quit-server" => {
                 let r = client
                     .shutdown_server()
@@ -287,6 +346,11 @@ commands:
                        isolation level: read-committed | snapshot | serializable
   :disconnect          return to local mode
   :metrics             (connected) the server's metrics snapshot as JSON
+  :subscribe <name> <pattern>
+                       (connected) push event matches, e.g.
+                       :subscribe fires delete(EMP, N, _, _, _, _)
+  :unsubscribe <name>  (connected) drop a subscription
+  :notifications [ms]  (connected) drain pushed matches, waiting up to ms
   :quit-server         (connected) ask the server to drain and shut down
   show | history | undo | quit";
 

@@ -5,6 +5,7 @@
 //! the server turns into an error response or a clean disconnect).
 
 use proptest::prelude::*;
+use txlog::prelude::Atom;
 use txlog::server::frame::{decode_frame, encode_frame, FRAME_HEADER_LEN};
 use txlog::server::{Request, Response, WireError, DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION};
 
@@ -33,6 +34,44 @@ fn request_pool() -> Vec<Request> {
         Request::ShowState,
         Request::Metrics,
         Request::Shutdown,
+        Request::Subscribe {
+            name: "fires".to_string(),
+            pattern: "delete(EMP, N, _, _, _, _)".to_string(),
+        },
+        Request::Unsubscribe {
+            name: "fires".to_string(),
+        },
+    ]
+}
+
+/// Genuine server-pushed frames (protocol v3) for corruption to start
+/// from — these travel server→client, so it is the *client's* decoder
+/// whose totality is at stake.
+fn push_pool() -> Vec<Response> {
+    vec![
+        Response::Notification {
+            name: "fires".to_string(),
+            version: 7,
+            binding: vec![
+                ("N".to_string(), Atom::str("ann")),
+                ("S".to_string(), Atom::nat(500)),
+            ],
+        },
+        Response::Notification {
+            name: "ticks".to_string(),
+            version: u64::MAX,
+            binding: Vec::new(),
+        },
+        Response::Subscribed {
+            name: "fires".to_string(),
+        },
+        Response::Unsubscribed {
+            name: "fires".to_string(),
+        },
+        Response::Error(
+            WireError::new(txlog::server::ErrorCode::SubscriptionOverflow, "fires")
+                .with_detail(256),
+        ),
     ]
 }
 
@@ -116,7 +155,7 @@ proptest! {
     /// outcomes (message, need-more, typed error).
     #[test]
     fn mutated_genuine_frames_never_panic(
-        which in 0usize..10,
+        which in 0usize..12,
         muts in prop::collection::vec(mutation_strategy(), 1..=3),
     ) {
         let pool = request_pool();
@@ -129,6 +168,52 @@ proptest! {
         drive_decoders(&bytes);
     }
 
+    /// Mutated server-pushed frames — notifications, subscription
+    /// acknowledgements, the typed overflow error — never panic the
+    /// client-side decoders either.
+    #[test]
+    fn mutated_push_frames_never_panic(
+        which in 0usize..5,
+        muts in prop::collection::vec(mutation_strategy(), 1..=3),
+    ) {
+        let pool = push_pool();
+        let resp = &pool[which % pool.len()];
+        let mut bytes =
+            encode_frame(&resp.encode(), DEFAULT_MAX_FRAME_LEN).expect("genuine frame fits");
+        for m in &muts {
+            apply(&mut bytes, m);
+        }
+        drive_decoders(&bytes);
+    }
+
+    /// Pushed frames round-trip whole: the subscription name, commit
+    /// version, and every (variable, atom) binding pair survive
+    /// encode/decode exactly — and a payload flip never silently
+    /// yields a *different* valid notification (the CRC rejects it
+    /// before the message decoder runs).
+    #[test]
+    fn push_frames_round_trip_and_flips_are_detected(
+        which in 0usize..5,
+        pos in 0usize..65_536,
+        bits in 1u8..=255,
+    ) {
+        let pool = push_pool();
+        let resp = &pool[which % pool.len()];
+        let payload = resp.encode();
+        match Response::decode(&payload) {
+            Ok(back) => prop_assert_eq!(&back, resp),
+            Err(e) => prop_assert!(false, "genuine push frame must decode: {}", e),
+        }
+        let mut bytes = encode_frame(&payload, DEFAULT_MAX_FRAME_LEN).expect("fits");
+        let pos = FRAME_HEADER_LEN + pos % payload.len();
+        bytes[pos] ^= bits;
+        prop_assert!(
+            decode_frame(&bytes, DEFAULT_MAX_FRAME_LEN).is_err(),
+            "payload flip at byte {} went undetected",
+            pos
+        );
+    }
+
     /// A flip confined to the payload region of a single frame is
     /// always caught: either the CRC detects it, or (if the flip lands
     /// in the header) the frame fails framing or re-frames to a
@@ -136,7 +221,7 @@ proptest! {
     /// payload never reaches the message decoder silently.
     #[test]
     fn payload_flips_inside_one_frame_are_always_detected(
-        which in 0usize..10,
+        which in 0usize..12,
         pos in 0usize..65_536,
         bits in 1u8..=255,
     ) {
@@ -156,7 +241,7 @@ proptest! {
     /// Every strict prefix of a genuine frame asks for more bytes —
     /// the reader never misparses a half-arrived request.
     #[test]
-    fn strict_prefixes_ask_for_more(which in 0usize..10, cut in 0usize..65_536) {
+    fn strict_prefixes_ask_for_more(which in 0usize..12, cut in 0usize..65_536) {
         let pool = request_pool();
         let req = &pool[which % pool.len()];
         let bytes = encode_frame(&req.encode(), DEFAULT_MAX_FRAME_LEN).expect("fits");
@@ -171,9 +256,9 @@ proptest! {
     /// Wire errors round-trip whole: the typed code, message, and
     /// numeric detail a server reports are exactly what a client sees.
     #[test]
-    fn wire_errors_round_trip(code in 0u8..12, detail in 0u64..=u64::MAX, msg_pick in 0usize..4) {
+    fn wire_errors_round_trip(code in 0u8..14, detail in 0u64..=u64::MAX, msg_pick in 0usize..4) {
         let msgs = ["", "x", "constraint-name", "a longer diagnostic message"];
-        let code = txlog::server::ErrorCode::from_u8(code).expect("0..12 are all valid codes");
+        let code = txlog::server::ErrorCode::from_u8(code).expect("0..14 are all valid codes");
         let err = WireError::new(code, msgs[msg_pick]).with_detail(detail);
         let resp = Response::Error(err.clone());
         match Response::decode(&resp.encode()) {

@@ -393,6 +393,206 @@ fn corrupt_frames_get_a_typed_decode_error_then_disconnect() {
 }
 
 #[test]
+fn subscriber_sees_every_match_in_commit_version_order() {
+    let server = serve(crew_db(), quick_cfg());
+    let addr = server.local_addr();
+    let mut sub = Client::connect(addr, "subscriber").expect("connects");
+    sub.subscribe("arrivals", "insert(CREW, N, R)")
+        .expect("subscription registers");
+
+    // Commits from a *different* connection: delivery crosses threads.
+    let mut committer = Client::connect(addr, "committer").expect("connects");
+    let names = ["ada", "bea", "cyd"];
+    let mut versions = Vec::new();
+    for (i, n) in names.iter().enumerate() {
+        let c = committer
+            .execute(n, &format!("insert(tuple('{n}', {i}), CREW)"))
+            .expect("commit installs");
+        versions.push(c.version);
+    }
+
+    let mut got = Vec::new();
+    while got.len() < names.len() {
+        match sub
+            .next_notification(Duration::from_secs(5))
+            .expect("push channel stays healthy")
+        {
+            Some(NotificationEvent::Match(n)) => got.push(n),
+            Some(NotificationEvent::Overflow { name, .. }) => {
+                panic!("no overflow expected for {name}")
+            }
+            None => panic!("timed out with {} of {} matches", got.len(), names.len()),
+        }
+    }
+    for (i, n) in got.iter().enumerate() {
+        assert_eq!(n.name, "arrivals");
+        assert_eq!(n.version, versions[i], "delivery follows commit order");
+        assert_eq!(
+            n.binding,
+            vec![
+                ("N".to_string(), Atom::str(names[i])),
+                ("R".to_string(), Atom::nat(i as u64)),
+            ],
+            "the binding travels whole, sorted by variable"
+        );
+    }
+    assert!(
+        got.windows(2).all(|w| w[0].version <= w[1].version),
+        "versions never go backwards"
+    );
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn subscription_bookkeeping_errors_are_typed() {
+    let server = serve(crew_db(), quick_cfg());
+    let mut client = Client::connect(server.local_addr(), "bookkeeper").expect("connects");
+
+    // an unparseable pattern is a Parse error, not a disconnect
+    match client
+        .subscribe("broken", "seq(insert(CREW)")
+        .expect_err("bad pattern refuses")
+    {
+        ClientError::Server(e) => assert_eq!(e.code, ErrorCode::Parse),
+        other => panic!("expected a parse error, got {other}"),
+    }
+    // a pattern over an unknown relation is an Execution error
+    match client
+        .subscribe("ghost", "insert(GHOST, X)")
+        .expect_err("unknown relation refuses")
+    {
+        ClientError::Server(e) => assert_eq!(e.code, ErrorCode::Execution),
+        other => panic!("expected an execution error, got {other}"),
+    }
+    // duplicate names and unknown unsubscribes are BadState
+    client
+        .subscribe("arrivals", "insert(CREW, N, R)")
+        .expect("first registration succeeds");
+    match client
+        .subscribe("arrivals", "insert(CREW, N, R)")
+        .expect_err("duplicate name refuses")
+    {
+        ClientError::Server(e) => assert_eq!(e.code, ErrorCode::BadState),
+        other => panic!("expected BadState, got {other}"),
+    }
+    match client.unsubscribe("nobody").expect_err("unknown name") {
+        ClientError::Server(e) => assert_eq!(e.code, ErrorCode::BadState),
+        other => panic!("expected BadState, got {other}"),
+    }
+    // after unsubscribing, commits push nothing
+    client.unsubscribe("arrivals").expect("drops");
+    client
+        .execute("quiet", "insert(tuple('ada', 1), CREW)")
+        .expect("commit installs");
+    assert_eq!(
+        client
+            .next_notification(Duration::from_millis(200))
+            .expect("socket healthy"),
+        None,
+        "an unsubscribed pattern pushes nothing"
+    );
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn slow_subscriber_overflow_is_a_typed_error_naming_the_subscription() {
+    // A queue of two, and one commit whose dispatch produces three
+    // matches: the callbacks all run before the worker can flush (the
+    // commit came from this very connection, whose worker is busy
+    // answering it), so the third match must overflow deterministically.
+    let cfg = ServerConfig {
+        notify_queue: 2,
+        ..quick_cfg()
+    };
+    let server = serve(crew_db(), cfg);
+    let mut client = Client::connect(server.local_addr(), "slow").expect("connects");
+    client
+        .subscribe("arrivals", "insert(CREW, N, R)")
+        .expect("registers");
+    client
+        .execute(
+            "burst",
+            "insert(tuple('ada', 1), CREW) ;; \
+             insert(tuple('bea', 2), CREW) ;; \
+             insert(tuple('cyd', 3), CREW)",
+        )
+        .expect("the commit itself is unaffected by the overflow");
+    match client
+        .next_notification(Duration::from_secs(5))
+        .expect("push channel stays healthy")
+    {
+        Some(NotificationEvent::Overflow { name, capacity }) => {
+            assert_eq!(name, "arrivals", "the error names the subscription");
+            assert_eq!(capacity, 2, "the queue bound travels in the detail");
+        }
+        other => panic!("expected the typed overflow, got {other:?}"),
+    }
+    // the dropped subscription's queued matches were discarded with it
+    assert_eq!(
+        client
+            .next_notification(Duration::from_millis(200))
+            .expect("socket healthy"),
+        None,
+        "no partial delivery after an overflow"
+    );
+    // the name is free again: re-subscribing resumes delivery
+    client
+        .subscribe("arrivals", "insert(CREW, N, R)")
+        .expect("re-registers after overflow");
+    client
+        .execute("one-more", "insert(tuple('dot', 4), CREW)")
+        .expect("commit installs");
+    match client
+        .next_notification(Duration::from_secs(5))
+        .expect("push channel stays healthy")
+    {
+        Some(NotificationEvent::Match(n)) => {
+            assert_eq!(n.binding[0], ("N".to_string(), Atom::str("dot")));
+        }
+        other => panic!("expected a match after re-subscribing, got {other:?}"),
+    }
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn queued_notifications_survive_a_graceful_drain() {
+    let server = serve(crew_db(), quick_cfg());
+    let addr = server.local_addr();
+    let mut sub = Client::connect(addr, "survivor").expect("connects");
+    sub.subscribe("arrivals", "insert(CREW, N, R)")
+        .expect("registers");
+
+    // Another connection commits a match, then the drain begins. The
+    // subscriber's queued notification must be flushed before its
+    // goodbye — a drain loses responses, never pushed matches.
+    let mut committer = Client::connect(addr, "committer").expect("connects");
+    let c = committer
+        .execute("final", "insert(tuple('zoe', 9), CREW)")
+        .expect("commit installs");
+    server.shutdown();
+
+    match sub
+        .next_notification(Duration::from_secs(5))
+        .expect("the match outlives the drain")
+    {
+        Some(NotificationEvent::Match(n)) => {
+            assert_eq!(n.version, c.version);
+            assert_eq!(n.binding[0], ("N".to_string(), Atom::str("zoe")));
+        }
+        other => panic!("expected the queued match, got {other:?}"),
+    }
+    // after the flush, the drain farewell arrives
+    match sub.next_notification(Duration::from_secs(5)) {
+        Err(ClientError::Disconnected) => {}
+        other => panic!("expected the drain goodbye, got {other:?}"),
+    }
+    server.join();
+}
+
+#[test]
 fn concurrent_clients_commit_disjoint_relations_without_protocol_errors() {
     let mut schema = Schema::new();
     for r in 0..4 {
